@@ -1,0 +1,25 @@
+package amcast
+
+// Engine is the deterministic state machine of one group's protocol logic.
+//
+// Engines never perform I/O and never block: each call consumes one input
+// envelope and returns the envelopes to transmit. Delivered messages
+// accumulate internally and are drained with TakeDeliveries by the
+// surrounding runtime, which is responsible for sending KindReply envelopes
+// to clients and for recording metrics.
+//
+// Determinism contract: given the same sequence of envelopes, an engine
+// must produce the same outputs and deliveries (including their order).
+// This is what allows a group to be replicated with state machine
+// replication (internal/smr): replicas agree on the input sequence via
+// Paxos and replay it through identical engines.
+type Engine interface {
+	// Group returns the group this engine serves.
+	Group() GroupID
+	// OnEnvelope consumes one incoming envelope and returns the envelopes
+	// to send. Envelopes of unknown or unexpected kinds are ignored.
+	OnEnvelope(env Envelope) []Output
+	// TakeDeliveries returns the messages delivered since the previous
+	// call, in delivery order, and clears the internal buffer.
+	TakeDeliveries() []Delivery
+}

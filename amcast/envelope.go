@@ -1,0 +1,121 @@
+package amcast
+
+import "fmt"
+
+// Kind discriminates the wire envelopes exchanged by the protocols.
+type Kind uint8
+
+const (
+	// KindRequest is a client request entering a protocol: the client sends
+	// the application message to the protocol-specific entry node(s)
+	// (FlexCast: the lca; hierarchical: the tree lowest common ancestor;
+	// Skeen: every destination).
+	KindRequest Kind = iota + 1
+	// KindMsg is FlexCast's application-message propagation from the lca to
+	// the remaining destinations, carrying a history diff.
+	KindMsg
+	// KindAck is FlexCast's acknowledgment from a destination (or a
+	// notified group) to higher destinations, carrying a history diff and
+	// the sender's accumulated notification list (Strategy b).
+	KindAck
+	// KindNotif is FlexCast's notification to a non-destination group that
+	// must propagate its dependencies down the C-DAG (Strategy c).
+	KindNotif
+	// KindTS is Skeen's local-timestamp exchange between destinations.
+	KindTS
+	// KindFwd is the hierarchical protocol's downward forwarding of an
+	// application message along the tree.
+	KindFwd
+	// KindReply is the per-destination response a group sends to the
+	// message's client upon delivery (paper §5.2).
+	KindReply
+)
+
+// String names the envelope kind for logs and metrics.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "REQUEST"
+	case KindMsg:
+		return "MSG"
+	case KindAck:
+		return "ACK"
+	case KindNotif:
+		return "NOTIF"
+	case KindTS:
+		return "TS"
+	case KindFwd:
+		return "FWD"
+	case KindReply:
+		return "REPLY"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsPayload reports whether envelopes of this kind carry the application
+// payload. The paper's communication-overhead metric (Figures 1 and 9)
+// counts payload messages only.
+func (k Kind) IsPayload() bool {
+	switch k {
+	case KindRequest, KindMsg, KindFwd:
+		return true
+	default:
+		return false
+	}
+}
+
+// Envelope is the unit of communication between nodes. A single envelope
+// type (with optional fields) keeps the codec simple and makes message-size
+// accounting uniform across protocols.
+type Envelope struct {
+	Kind Kind
+	From NodeID
+	// Msg carries the application message. For auxiliary kinds (ACK, NOTIF,
+	// TS, REPLY) only the header (id, sender, dst) is present.
+	Msg Message
+	// Hist is the FlexCast history diff piggybacked on MSG/ACK/NOTIF
+	// envelopes (diff-hst in Algorithm 3). Nil for other kinds.
+	Hist *HistDelta
+	// NotifList carries the groups notified so far about Msg (FlexCast
+	// MSG/ACK envelopes; Algorithm 3 line 40).
+	NotifList []GroupID
+	// TS is the Skeen local timestamp (KindTS) and doubles as the delivery
+	// sequence number on KindReply envelopes.
+	TS uint64
+	// TSFrom is the group that assigned TS (KindTS).
+	TSFrom GroupID
+}
+
+// HistNode is one vertex of a history diff: a message id plus its
+// destination set (the paper's "a vertex contains a message's id and
+// destinations").
+type HistNode struct {
+	ID  MsgID
+	Dst []GroupID
+}
+
+// HistEdge is one dependency edge of a history diff: From was ordered
+// before To.
+type HistEdge struct {
+	From, To MsgID
+}
+
+// HistDelta is the incremental portion of a group's history sent to one
+// descendant (diff-hst in Algorithm 3). Nodes and Edges are sorted for
+// deterministic encoding.
+type HistDelta struct {
+	Nodes []HistNode
+	Edges []HistEdge
+}
+
+// Empty reports whether the delta carries no information.
+func (d *HistDelta) Empty() bool {
+	return d == nil || (len(d.Nodes) == 0 && len(d.Edges) == 0)
+}
+
+// Output is an envelope queued for transmission to another node.
+type Output struct {
+	To  NodeID
+	Env Envelope
+}

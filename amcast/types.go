@@ -1,0 +1,150 @@
+// Package amcast defines the shared vocabulary of the atomic multicast
+// protocols in this repository: group and node identifiers, application
+// messages, wire envelopes, deliveries, and the Engine state-machine
+// interface that every protocol (FlexCast, Skeen's distributed protocol,
+// and the hierarchical tree protocol) implements.
+//
+// Engines are deterministic, single-threaded state machines: they consume
+// one Envelope at a time and emit Outputs (envelopes addressed to other
+// nodes) plus Deliveries (messages handed to the application in order).
+// The same engine runs unmodified on the discrete-event simulator
+// (internal/sim), the in-memory goroutine runtime, and the TCP runtime
+// (internal/transport).
+package amcast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroupID identifies a server group. Groups are numbered 1..N to match the
+// paper's Figure 4 numbering; 0 is reserved as "no group".
+type GroupID int32
+
+// NoGroup is the zero GroupID, used as a sentinel.
+const NoGroup GroupID = 0
+
+// MsgID is a globally unique message identifier. Clients build ids as
+// NewMsgID(clientIndex, seq) so ids are unique without coordination and
+// provide a deterministic total order for tie-breaking.
+type MsgID uint64
+
+// NewMsgID builds a MsgID from a client index and a per-client sequence
+// number. The client index occupies the high 24 bits.
+func NewMsgID(client int, seq uint64) MsgID {
+	return MsgID(uint64(client)<<40 | (seq & (1<<40 - 1)))
+}
+
+// Client extracts the client index encoded in the id.
+func (id MsgID) Client() int { return int(uint64(id) >> 40) }
+
+// Seq extracts the per-client sequence number encoded in the id.
+func (id MsgID) Seq() uint64 { return uint64(id) & (1<<40 - 1) }
+
+// String renders the id as "client/seq" for logs and test failures.
+func (id MsgID) String() string { return fmt.Sprintf("%d/%d", id.Client(), id.Seq()) }
+
+// NodeID addresses a process in a deployment: one server process per group
+// (single-process groups, as in the paper's evaluation), plus any number of
+// client processes. Replicated groups (internal/smr) address replicas
+// through their own replica ids and expose the group as one logical NodeID.
+type NodeID int32
+
+// clientBase offsets client node ids so they never collide with group ids.
+const clientBase NodeID = 1 << 20
+
+// GroupNode returns the NodeID of the (logical) server process of group g.
+func GroupNode(g GroupID) NodeID { return NodeID(g) }
+
+// ClientNode returns the NodeID of client number i (i >= 0).
+func ClientNode(i int) NodeID { return clientBase + NodeID(i) }
+
+// IsClient reports whether n addresses a client process.
+func (n NodeID) IsClient() bool { return n >= clientBase }
+
+// ClientIndex returns the client number for a client NodeID.
+func (n NodeID) ClientIndex() int { return int(n - clientBase) }
+
+// Group returns the group addressed by a server NodeID.
+func (n NodeID) Group() GroupID { return GroupID(n) }
+
+// String renders the node id as "gN" or "cN".
+func (n NodeID) String() string {
+	if n.IsClient() {
+		return fmt.Sprintf("c%d", n.ClientIndex())
+	}
+	return fmt.Sprintf("g%d", int32(n))
+}
+
+// MsgFlags carries per-message protocol flags.
+type MsgFlags uint8
+
+const (
+	// FlagFlush marks the periodic garbage-collection message multicast to
+	// all groups (paper §4.3). Engines treat it as an ordinary message and
+	// additionally prune their histories after delivering it.
+	FlagFlush MsgFlags = 1 << iota
+)
+
+// Message is an application message handed to multicast(m). Dst must be
+// sorted, non-empty and duplicate-free; use NormalizeDst.
+type Message struct {
+	ID      MsgID
+	Sender  NodeID    // the client that multicast the message
+	Dst     []GroupID // destination groups, sorted ascending
+	Flags   MsgFlags
+	Payload []byte
+}
+
+// IsLocal reports whether m is addressed to a single group (a "local"
+// message in the paper's terminology).
+func (m Message) IsLocal() bool { return len(m.Dst) == 1 }
+
+// IsGlobal reports whether m is addressed to two or more groups.
+func (m Message) IsGlobal() bool { return len(m.Dst) > 1 }
+
+// HasDst reports whether g is one of m's destinations. Dst is sorted, so
+// this is a binary search.
+func (m Message) HasDst(g GroupID) bool {
+	i := sort.Search(len(m.Dst), func(i int) bool { return m.Dst[i] >= g })
+	return i < len(m.Dst) && m.Dst[i] == g
+}
+
+// Header returns a copy of m without its payload. Auxiliary protocol
+// messages (acks, notifications, timestamps) carry only the header, which
+// keeps their wire size realistic.
+func (m Message) Header() Message {
+	h := m
+	h.Payload = nil
+	return h
+}
+
+// Clone returns a deep copy of m.
+func (m Message) Clone() Message {
+	c := m
+	c.Dst = append([]GroupID(nil), m.Dst...)
+	c.Payload = append([]byte(nil), m.Payload...)
+	return c
+}
+
+// NormalizeDst sorts dst ascending and removes duplicates, in place.
+func NormalizeDst(dst []GroupID) []GroupID {
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	out := dst[:0]
+	var prev GroupID = -1
+	for _, g := range dst {
+		if g != prev {
+			out = append(out, g)
+			prev = g
+		}
+	}
+	return out
+}
+
+// Delivery is one message handed to the application by a group, together
+// with the group-local delivery sequence number (0-based).
+type Delivery struct {
+	Group GroupID
+	Seq   uint64
+	Msg   Message
+}

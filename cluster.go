@@ -1,0 +1,254 @@
+package flexcast
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/transport"
+)
+
+// ProtocolKind selects which multicast protocol a Cluster runs.
+type ProtocolKind int
+
+const (
+	// ProtocolFlexCast runs the paper's protocol on a C-DAG overlay.
+	ProtocolFlexCast ProtocolKind = iota + 1
+	// ProtocolSkeen runs the distributed genuine baseline.
+	ProtocolSkeen
+	// ProtocolHierarchical runs the tree-overlay baseline.
+	ProtocolHierarchical
+)
+
+// String names the protocol.
+func (p ProtocolKind) String() string {
+	switch p {
+	case ProtocolFlexCast:
+		return "flexcast"
+	case ProtocolSkeen:
+		return "skeen"
+	case ProtocolHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("ProtocolKind(%d)", int(p))
+	}
+}
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Protocol selects the multicast protocol (default ProtocolFlexCast).
+	Protocol ProtocolKind
+	// Overlay is required for ProtocolFlexCast; its order defines the
+	// group set for every protocol unless Tree is set.
+	Overlay *Overlay
+	// Tree is required for ProtocolHierarchical.
+	Tree *Tree
+	// OnDeliver observes every delivery at every group. Calls are
+	// serialized per group but concurrent across groups; the callback
+	// must be safe for concurrent use.
+	OnDeliver func(d Delivery)
+	// CallTimeout bounds Call (default 10s).
+	CallTimeout time.Duration
+}
+
+// Cluster is an in-process deployment of one multicast protocol: one
+// goroutine per group over the in-memory transport, plus a built-in
+// client for Multicast/Call. It is the easiest way to embed atomic
+// multicast in an application or test.
+type Cluster struct {
+	cfg    ClusterConfig
+	groups []GroupID
+	net    *transport.InMemNet
+
+	mu      sync.Mutex
+	seq     uint64
+	waiters map[MsgID]*callWaiter
+	closed  bool
+}
+
+type callWaiter struct {
+	remaining map[GroupID]bool
+	done      chan struct{}
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = ProtocolFlexCast
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
+	var groups []GroupID
+	switch cfg.Protocol {
+	case ProtocolFlexCast, ProtocolSkeen:
+		if cfg.Overlay == nil {
+			return nil, fmt.Errorf("flexcast: %s cluster requires an overlay", cfg.Protocol)
+		}
+		groups = cfg.Overlay.Groups()
+	case ProtocolHierarchical:
+		if cfg.Tree == nil {
+			return nil, fmt.Errorf("flexcast: hierarchical cluster requires a tree")
+		}
+		groups = cfg.Tree.Groups()
+	default:
+		return nil, fmt.Errorf("flexcast: unknown protocol %d", cfg.Protocol)
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		groups:  groups,
+		net:     transport.NewInMemNet(),
+		waiters: make(map[MsgID]*callWaiter),
+	}
+	for _, g := range groups {
+		eng, err := c.newEngine(g)
+		if err != nil {
+			c.net.Close()
+			return nil, err
+		}
+		if err := c.net.AddEngine(eng, func(d Delivery) {
+			if cfg.OnDeliver != nil {
+				cfg.OnDeliver(d)
+			}
+		}); err != nil {
+			c.net.Close()
+			return nil, err
+		}
+	}
+	if err := c.net.AddHandler(amcast.ClientNode(0), c.onClientEnvelope); err != nil {
+		c.net.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) newEngine(g GroupID) (Engine, error) {
+	switch c.cfg.Protocol {
+	case ProtocolFlexCast:
+		return NewFlexCastEngine(g, c.cfg.Overlay)
+	case ProtocolSkeen:
+		return NewSkeenEngine(g, c.groups)
+	default:
+		return NewHierarchicalEngine(g, c.cfg.Tree)
+	}
+}
+
+// Groups returns the cluster's group set.
+func (c *Cluster) Groups() []GroupID { return append([]GroupID(nil), c.groups...) }
+
+// Multicast sends payload to the destination groups and returns the
+// message id without waiting for delivery. Deliveries surface through
+// ClusterConfig.OnDeliver.
+func (c *Cluster) Multicast(dst []GroupID, payload []byte) (MsgID, error) {
+	m, err := c.send(dst, payload, nil)
+	if err != nil {
+		return 0, err
+	}
+	return m.ID, nil
+}
+
+// Call multicasts payload and blocks until every destination group has
+// delivered (i.e. replied), or the timeout elapses.
+func (c *Cluster) Call(dst []GroupID, payload []byte) (MsgID, error) {
+	w := &callWaiter{remaining: make(map[GroupID]bool), done: make(chan struct{})}
+	m, err := c.send(dst, payload, w)
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case <-w.done:
+		return m.ID, nil
+	case <-time.After(c.cfg.CallTimeout):
+		c.mu.Lock()
+		delete(c.waiters, m.ID)
+		c.mu.Unlock()
+		return m.ID, fmt.Errorf("flexcast: call %s timed out after %v", m.ID, c.cfg.CallTimeout)
+	}
+}
+
+func (c *Cluster) send(dst []GroupID, payload []byte, w *callWaiter) (Message, error) {
+	norm := amcast.NormalizeDst(append([]GroupID(nil), dst...))
+	if len(norm) == 0 {
+		return Message{}, fmt.Errorf("flexcast: empty destination set")
+	}
+	for _, g := range norm {
+		if !c.contains(g) {
+			return Message{}, fmt.Errorf("flexcast: group %d not in cluster", g)
+		}
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return Message{}, fmt.Errorf("flexcast: cluster closed")
+	}
+	c.seq++
+	m := Message{
+		ID:      amcast.NewMsgID(0, c.seq),
+		Sender:  amcast.ClientNode(0),
+		Dst:     norm,
+		Payload: append([]byte(nil), payload...),
+	}
+	if w != nil {
+		for _, g := range norm {
+			w.remaining[g] = true
+		}
+		c.waiters[m.ID] = w
+	}
+	c.mu.Unlock()
+
+	for _, to := range c.entry(m) {
+		c.net.Send(m.Sender, to, Envelope{Kind: amcast.KindRequest, From: m.Sender, Msg: m})
+	}
+	return m, nil
+}
+
+func (c *Cluster) contains(g GroupID) bool {
+	for _, have := range c.groups {
+		if have == g {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cluster) entry(m Message) []NodeID {
+	switch c.cfg.Protocol {
+	case ProtocolFlexCast:
+		return []NodeID{FlexCastEntry(c.cfg.Overlay, m)}
+	case ProtocolHierarchical:
+		return []NodeID{HierarchicalEntry(c.cfg.Tree, m)}
+	default:
+		return SkeenEntry(m)
+	}
+}
+
+func (c *Cluster) onClientEnvelope(env Envelope) {
+	if env.Kind != amcast.KindReply {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.waiters[env.Msg.ID]
+	if !ok {
+		return
+	}
+	delete(w.remaining, env.From.Group())
+	if len(w.remaining) == 0 {
+		delete(c.waiters, env.Msg.ID)
+		close(w.done)
+	}
+}
+
+// Close stops all group goroutines. Pending Calls fail by timeout.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.net.Close()
+}

@@ -1,0 +1,93 @@
+// Command flexbench regenerates the tables and figures of the FlexCast
+// paper's evaluation (Middleware 2023, §5) on the simulated 12-region
+// WAN and prints them in the paper's format.
+//
+// Usage:
+//
+//	flexbench -experiment all            # everything, paper-scale (60 virtual s)
+//	flexbench -experiment fig6 -scale 0.1
+//	flexbench -list
+//
+// Experiments: fig1, fig5 (Table 2), fig6, fig7 (Table 3), fig8,
+// fig9 (Table 4), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flexcast/internal/experiments"
+)
+
+// printer is the shared shape of all experiment results.
+type printer interface {
+	Print(w io.Writer)
+}
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("flexbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiment = fs.String("experiment", "all", "which experiment to run: fig1, fig5, fig6, fig7, fig8, fig9, all")
+		scale      = fs.Float64("scale", 1.0, "virtual-duration scale (1.0 = the paper's 60 s runs)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		verify     = fs.Bool("verify", false, "record runs and check the atomic multicast properties (slower)")
+		list       = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "fig1  Figure 1:  per-group overhead of hierarchical T1, 90% locality")
+		fmt.Fprintln(stdout, "fig5  Figure 5 / Table 2: latency per destination across overlays")
+		fmt.Fprintln(stdout, "fig6  Figure 6:  throughput vs number of clients, 99% locality")
+		fmt.Fprintln(stdout, "fig7  Figure 7 / Table 3: latency per destination across localities")
+		fmt.Fprintln(stdout, "fig8  Figure 8:  per-node message cost (histories)")
+		fmt.Fprintln(stdout, "fig9  Figure 9 / Table 4: tree overhead across localities")
+		fmt.Fprintln(stdout, "all   everything above")
+		return 0
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Verify: *verify}
+	runs := map[string]func() (printer, error){
+		"fig1": func() (printer, error) { return experiments.Fig1(opts) },
+		"fig5": func() (printer, error) { return experiments.Fig5Table2(opts) },
+		"fig6": func() (printer, error) { return experiments.Fig6(opts) },
+		"fig7": func() (printer, error) { return experiments.Fig7Table3(opts) },
+		"fig8": func() (printer, error) { return experiments.Fig8(opts) },
+		"fig9": func() (printer, error) { return experiments.Fig9Table4(opts) },
+	}
+
+	order := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9"}
+	var selected []string
+	switch {
+	case *experiment == "all":
+		selected = order
+	default:
+		if _, ok := runs[*experiment]; !ok {
+			fmt.Fprintf(stderr, "flexbench: unknown experiment %q (use -list)\n", *experiment)
+			return 2
+		}
+		selected = []string{*experiment}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		res, err := runs[name]()
+		if err != nil {
+			fmt.Fprintf(stderr, "flexbench: %s: %v\n", name, err)
+			return 1
+		}
+		res.Print(stdout)
+		fmt.Fprintf(stdout, "(%s computed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

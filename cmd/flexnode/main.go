@@ -1,0 +1,198 @@
+// Command flexnode runs one protocol group as a TCP server — one process
+// per group, as in the paper's CloudLab deployment.
+//
+// Usage:
+//
+//	flexnode -group 2 -protocol flexcast -overlay 8,7,6,5,2,1,3,4,9,10,11,12 \
+//	         -peers g1=host1:4001,g2=host2:4002,...,c0=client:5000
+//
+// The overlay flag gives the C-DAG rank order (FlexCast), the full group
+// list (skeen), or is replaced by -tree for the hierarchical protocol.
+// The peers flag must name every group (gN=addr) and every client
+// (cN=addr) that will participate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"flexcast"
+	"flexcast/amcast"
+	"flexcast/internal/transport"
+)
+
+func main() {
+	var (
+		group    = flag.Int("group", 0, "this node's group id (1-based)")
+		protocol = flag.String("protocol", "flexcast", "protocol: flexcast, skeen, hierarchical")
+		overlayF = flag.String("overlay", "", "comma-separated C-DAG rank order / group list")
+		treeF    = flag.String("tree", "", "tree as root:parent=child|child,parent=child (hierarchical only)")
+		peersF   = flag.String("peers", "", "comma-separated nodeid=host:port pairs (g1=..., c0=...)")
+		verbose  = flag.Bool("v", false, "log every delivery")
+	)
+	flag.Parse()
+	if err := run(*group, *protocol, *overlayF, *treeF, *peersF, *verbose); err != nil {
+		log.Fatalf("flexnode: %v", err)
+	}
+}
+
+func run(group int, protocol, overlayF, treeF, peersF string, verbose bool) error {
+	if group <= 0 {
+		return fmt.Errorf("missing -group")
+	}
+	g := flexcast.GroupID(group)
+	book, err := parsePeers(peersF)
+	if err != nil {
+		return err
+	}
+
+	var eng flexcast.Engine
+	switch protocol {
+	case "flexcast":
+		order, err := parseGroups(overlayF)
+		if err != nil {
+			return err
+		}
+		ov, err := flexcast.NewOverlay(order)
+		if err != nil {
+			return err
+		}
+		eng, err = flexcast.NewFlexCastEngine(g, ov)
+		if err != nil {
+			return err
+		}
+	case "skeen":
+		order, err := parseGroups(overlayF)
+		if err != nil {
+			return err
+		}
+		eng, err = flexcast.NewSkeenEngine(g, order)
+		if err != nil {
+			return err
+		}
+	case "hierarchical":
+		tree, err := parseTree(treeF)
+		if err != nil {
+			return err
+		}
+		eng, err = flexcast.NewHierarchicalEngine(g, tree)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+
+	onDeliver := func(d flexcast.Delivery) {
+		if verbose {
+			log.Printf("group %d delivered %s seq=%d dst=%v payload=%dB",
+				d.Group, d.Msg.ID, d.Seq, d.Msg.Dst, len(d.Msg.Payload))
+		}
+	}
+	node, err := transport.NewTCPEngineNode(eng, book, onDeliver)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	log.Printf("flexnode: group %d (%s) listening on %s", group, protocol, node.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("flexnode: shutting down")
+	return nil
+}
+
+// parsePeers parses "g1=host:port,c0=host:port,...".
+func parsePeers(s string) (transport.AddrBook, error) {
+	book := make(transport.AddrBook)
+	if s == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	for _, pair := range strings.Split(s, ",") {
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer %q", pair)
+		}
+		id, err := parseNodeID(kv[0])
+		if err != nil {
+			return nil, err
+		}
+		book[id] = kv[1]
+	}
+	return book, nil
+}
+
+func parseNodeID(s string) (flexcast.NodeID, error) {
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q: %w", s, err)
+	}
+	switch s[0] {
+	case 'g':
+		return amcast.GroupNode(flexcast.GroupID(n)), nil
+	case 'c':
+		return amcast.ClientNode(n), nil
+	default:
+		return 0, fmt.Errorf("bad node id %q (want gN or cN)", s)
+	}
+}
+
+func parseGroups(s string) ([]flexcast.GroupID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -overlay")
+	}
+	var out []flexcast.GroupID
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad group %q: %w", part, err)
+		}
+		out = append(out, flexcast.GroupID(n))
+	}
+	return out, nil
+}
+
+// parseTree parses "root:parent=c1|c2,parent=c3", e.g.
+// "8:8=7|5|9,7=6,5=1|2|3|4,9=10|11|12".
+func parseTree(s string) (*flexcast.Tree, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -tree")
+	}
+	head := strings.SplitN(s, ":", 2)
+	if len(head) != 2 {
+		return nil, fmt.Errorf("tree must be root:edges")
+	}
+	root, err := strconv.Atoi(head[0])
+	if err != nil {
+		return nil, fmt.Errorf("bad tree root %q: %w", head[0], err)
+	}
+	children := make(map[flexcast.GroupID][]flexcast.GroupID)
+	for _, edge := range strings.Split(head[1], ",") {
+		kv := strings.SplitN(edge, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad tree edge %q", edge)
+		}
+		p, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad tree parent %q: %w", kv[0], err)
+		}
+		for _, c := range strings.Split(kv[1], "|") {
+			n, err := strconv.Atoi(c)
+			if err != nil {
+				return nil, fmt.Errorf("bad tree child %q: %w", c, err)
+			}
+			children[flexcast.GroupID(p)] = append(children[flexcast.GroupID(p)], flexcast.GroupID(n))
+		}
+	}
+	return flexcast.NewTree(flexcast.GroupID(root), children)
+}

@@ -1,0 +1,185 @@
+// Package client implements the closed-loop clients of the paper's
+// evaluation (§5.3): each client issues one transaction at a time to the
+// protocol-specific entry node(s), waits for a reply from every
+// destination group, records per-destination latencies, and issues the
+// next transaction. Clients are simulator handlers; the same logic drives
+// the TCP runtime through cmd/flexclient.
+package client
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+	"flexcast/internal/sim"
+)
+
+// Tx is one transaction to issue.
+type Tx struct {
+	Dst     []amcast.GroupID
+	Payload []byte
+	Flags   amcast.MsgFlags
+}
+
+// TxSource produces the client's transactions.
+type TxSource interface {
+	Next() Tx
+}
+
+// TxSourceFunc adapts a function to TxSource.
+type TxSourceFunc func() Tx
+
+// Next implements TxSource.
+func (f TxSourceFunc) Next() Tx { return f() }
+
+// RouteFunc maps a message to the protocol's entry node(s): FlexCast and
+// the hierarchical protocol route to the (respective) lowest common
+// ancestor; Skeen's protocol routes to every destination.
+type RouteFunc func(m amcast.Message) []amcast.NodeID
+
+// Reply records one destination's response.
+type Reply struct {
+	Group amcast.GroupID
+	At    sim.Time
+}
+
+// Completion summarizes one finished transaction.
+type Completion struct {
+	Msg    amcast.Message
+	Issued sim.Time
+	// Replies are sorted by arrival time: Replies[0] is the first
+	// destination to respond (the paper's "1st destination").
+	Replies []Reply
+}
+
+// Config configures one client.
+type Config struct {
+	// Index is the client number; it determines the NodeID and message ids.
+	Index int
+	// Home is the client's region (its nearest group).
+	Home amcast.GroupID
+	// Route maps messages to entry nodes.
+	Route RouteFunc
+	// Source generates transactions.
+	Source TxSource
+	// ThinkTime is the delay between a completion and the next issue.
+	ThinkTime sim.Time
+	// OnComplete observes every completed transaction; may be nil.
+	OnComplete func(c Completion)
+}
+
+// Client is a closed-loop client attached to a simulated network.
+type Client struct {
+	cfg  Config
+	id   amcast.NodeID
+	s    *sim.Simulator
+	net  *sim.Network
+	seq  uint64
+	open *openTx
+	stop bool
+
+	issued    uint64
+	completed uint64
+}
+
+type openTx struct {
+	msg     amcast.Message
+	issued  sim.Time
+	replies []Reply
+	seen    map[amcast.GroupID]bool
+}
+
+// New builds a client and registers it on the network.
+func New(cfg Config, s *sim.Simulator, net *sim.Network) (*Client, error) {
+	if cfg.Route == nil || cfg.Source == nil {
+		return nil, fmt.Errorf("client: missing route or source")
+	}
+	c := &Client{cfg: cfg, id: amcast.ClientNode(cfg.Index), s: s, net: net}
+	net.Register(c.id, c)
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, s *sim.Simulator, net *sim.Network) *Client {
+	c, err := New(cfg, s, net)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ID returns the client's node id.
+func (c *Client) ID() amcast.NodeID { return c.id }
+
+// Home returns the client's home group.
+func (c *Client) Home() amcast.GroupID { return c.cfg.Home }
+
+// Issued and Completed report lifetime transaction counts.
+func (c *Client) Issued() uint64 { return c.issued }
+
+// Completed reports the number of finished transactions.
+func (c *Client) Completed() uint64 { return c.completed }
+
+// Start schedules the client's first transaction after the given delay.
+func (c *Client) Start(delay sim.Time) {
+	c.s.Schedule(delay, c.issue)
+}
+
+// Stop prevents further transactions; the in-flight one still completes.
+func (c *Client) Stop() { c.stop = true }
+
+func (c *Client) issue() {
+	if c.stop || c.open != nil {
+		return
+	}
+	tx := c.cfg.Source.Next()
+	c.seq++
+	m := amcast.Message{
+		ID:      amcast.NewMsgID(c.cfg.Index, c.seq),
+		Sender:  c.id,
+		Dst:     amcast.NormalizeDst(append([]amcast.GroupID(nil), tx.Dst...)),
+		Flags:   tx.Flags,
+		Payload: tx.Payload,
+	}
+	c.open = &openTx{msg: m, issued: c.s.Now(), seen: make(map[amcast.GroupID]bool, len(m.Dst))}
+	c.issued++
+	for _, to := range c.cfg.Route(m) {
+		c.net.Send(c.id, to, amcast.Envelope{Kind: amcast.KindRequest, From: c.id, Msg: m})
+	}
+}
+
+// HandleEnvelope implements sim.Handler: it consumes KindReply envelopes.
+func (c *Client) HandleEnvelope(env amcast.Envelope) {
+	if env.Kind != amcast.KindReply || c.open == nil || env.Msg.ID != c.open.msg.ID {
+		return
+	}
+	g := env.From.Group()
+	if c.open.seen[g] {
+		return
+	}
+	c.open.seen[g] = true
+	c.open.replies = append(c.open.replies, Reply{Group: g, At: c.s.Now()})
+	if len(c.open.replies) < len(c.open.msg.Dst) {
+		return
+	}
+	done := c.open
+	c.open = nil
+	c.completed++
+	sort.Slice(done.replies, func(i, j int) bool {
+		if done.replies[i].At != done.replies[j].At {
+			return done.replies[i].At < done.replies[j].At
+		}
+		return done.replies[i].Group < done.replies[j].Group
+	})
+	if c.cfg.OnComplete != nil {
+		c.cfg.OnComplete(Completion{Msg: done.msg, Issued: done.issued, Replies: done.replies})
+	}
+	if c.stop {
+		return
+	}
+	if c.cfg.ThinkTime > 0 {
+		c.s.Schedule(c.cfg.ThinkTime, c.issue)
+	} else {
+		c.issue()
+	}
+}

@@ -1,0 +1,303 @@
+// Package codec provides the deterministic binary wire encoding of
+// protocol envelopes. It serves two purposes: framing for the TCP runtime
+// (internal/transport) and exact message-size accounting for the
+// communication-cost experiments (paper Figure 8), which is why Size
+// computes the encoded length without allocating.
+//
+// Layout (all integers are unsigned varints unless noted):
+//
+//	kind(1 byte) | from | msg | [payload] | [hist] | [notifList] | [ts tsFrom]
+//	msg   = id | sender | flags(1 byte) | nDst | dst...
+//	hist  = nNodes | (id nDst dst...)... | nEdges | (from to)...
+//
+// Optional sections are present only for the envelope kinds that use them,
+// keeping auxiliary messages (ACK/NOTIF/TS/REPLY) small, as in the paper's
+// prototypes.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flexcast/amcast"
+)
+
+func hasPayload(k amcast.Kind) bool { return k.IsPayload() }
+
+func hasHist(k amcast.Kind) bool {
+	return k == amcast.KindMsg || k == amcast.KindAck || k == amcast.KindNotif
+}
+
+func hasNotifList(k amcast.Kind) bool {
+	return k == amcast.KindMsg || k == amcast.KindAck
+}
+
+func hasTS(k amcast.Kind) bool {
+	return k == amcast.KindTS || k == amcast.KindReply
+}
+
+// Marshal encodes an envelope.
+func Marshal(env amcast.Envelope) []byte {
+	buf := make([]byte, 0, Size(env))
+	buf = append(buf, byte(env.Kind))
+	buf = binary.AppendUvarint(buf, uint64(uint32(env.From)))
+	buf = appendMessage(buf, env.Msg, hasPayload(env.Kind))
+	if hasHist(env.Kind) {
+		buf = appendHist(buf, env.Hist)
+	}
+	if hasNotifList(env.Kind) {
+		buf = binary.AppendUvarint(buf, uint64(len(env.NotifList)))
+		for _, g := range env.NotifList {
+			buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		}
+	}
+	if hasTS(env.Kind) {
+		buf = binary.AppendUvarint(buf, env.TS)
+		buf = binary.AppendUvarint(buf, uint64(uint32(env.TSFrom)))
+	}
+	return buf
+}
+
+func appendMessage(buf []byte, m amcast.Message, payload bool) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.ID))
+	buf = binary.AppendUvarint(buf, uint64(uint32(m.Sender)))
+	buf = append(buf, byte(m.Flags))
+	buf = binary.AppendUvarint(buf, uint64(len(m.Dst)))
+	for _, g := range m.Dst {
+		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+	}
+	if payload {
+		buf = binary.AppendUvarint(buf, uint64(len(m.Payload)))
+		buf = append(buf, m.Payload...)
+	}
+	return buf
+}
+
+func appendHist(buf []byte, d *amcast.HistDelta) []byte {
+	if d == nil {
+		buf = binary.AppendUvarint(buf, 0)
+		buf = binary.AppendUvarint(buf, 0)
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Nodes)))
+	for _, n := range d.Nodes {
+		buf = binary.AppendUvarint(buf, uint64(n.ID))
+		buf = binary.AppendUvarint(buf, uint64(len(n.Dst)))
+		for _, g := range n.Dst {
+			buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(d.Edges)))
+	for _, e := range d.Edges {
+		buf = binary.AppendUvarint(buf, uint64(e.From))
+		buf = binary.AppendUvarint(buf, uint64(e.To))
+	}
+	return buf
+}
+
+// Size returns len(Marshal(env)) without allocating. The message-cost
+// experiments call it on every transmission.
+func Size(env amcast.Envelope) int {
+	n := 1 + uvarintLen(uint64(uint32(env.From)))
+	n += messageSize(env.Msg, hasPayload(env.Kind))
+	if hasHist(env.Kind) {
+		n += histSize(env.Hist)
+	}
+	if hasNotifList(env.Kind) {
+		n += uvarintLen(uint64(len(env.NotifList)))
+		for _, g := range env.NotifList {
+			n += uvarintLen(uint64(uint32(g)))
+		}
+	}
+	if hasTS(env.Kind) {
+		n += uvarintLen(env.TS) + uvarintLen(uint64(uint32(env.TSFrom)))
+	}
+	return n
+}
+
+func messageSize(m amcast.Message, payload bool) int {
+	n := uvarintLen(uint64(m.ID)) + uvarintLen(uint64(uint32(m.Sender))) + 1
+	n += uvarintLen(uint64(len(m.Dst)))
+	for _, g := range m.Dst {
+		n += uvarintLen(uint64(uint32(g)))
+	}
+	if payload {
+		n += uvarintLen(uint64(len(m.Payload))) + len(m.Payload)
+	}
+	return n
+}
+
+func histSize(d *amcast.HistDelta) int {
+	if d == nil {
+		return 2 // two zero counts
+	}
+	n := uvarintLen(uint64(len(d.Nodes)))
+	for _, hn := range d.Nodes {
+		n += uvarintLen(uint64(hn.ID))
+		n += uvarintLen(uint64(len(hn.Dst)))
+		for _, g := range hn.Dst {
+			n += uvarintLen(uint64(uint32(g)))
+		}
+	}
+	n += uvarintLen(uint64(len(d.Edges)))
+	for _, e := range d.Edges {
+		n += uvarintLen(uint64(e.From)) + uvarintLen(uint64(e.To))
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// decoder is a cursor over an encoded envelope.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("codec: truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = fmt.Errorf("codec: truncated byte at offset %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("codec: truncated %d bytes at offset %d", n, d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// maxCount bounds decoded collection lengths to guard against corrupt or
+// hostile frames.
+const maxCount = 1 << 22
+
+func (d *decoder) count() int {
+	v := d.uvarint()
+	if v > maxCount {
+		d.err = fmt.Errorf("codec: count %d exceeds limit", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) groups(n int) []amcast.GroupID {
+	if n == 0 {
+		return nil
+	}
+	gs := make([]amcast.GroupID, n)
+	for i := range gs {
+		gs[i] = amcast.GroupID(uint32(d.uvarint()))
+	}
+	return gs
+}
+
+// Unmarshal decodes an envelope, validating structure and rejecting
+// trailing garbage.
+func Unmarshal(buf []byte) (amcast.Envelope, error) {
+	d := &decoder{buf: buf}
+	var env amcast.Envelope
+	env.Kind = amcast.Kind(d.byte())
+	if d.err == nil {
+		switch env.Kind {
+		case amcast.KindRequest, amcast.KindMsg, amcast.KindAck, amcast.KindNotif,
+			amcast.KindTS, amcast.KindFwd, amcast.KindReply:
+		default:
+			return env, fmt.Errorf("codec: unknown envelope kind %d", env.Kind)
+		}
+	}
+	env.From = amcast.NodeID(uint32(d.uvarint()))
+	env.Msg = d.message(hasPayload(env.Kind))
+	if hasHist(env.Kind) {
+		env.Hist = d.hist()
+	}
+	if hasNotifList(env.Kind) {
+		env.NotifList = d.groups(d.count())
+	}
+	if hasTS(env.Kind) {
+		env.TS = d.uvarint()
+		env.TSFrom = amcast.GroupID(uint32(d.uvarint()))
+	}
+	if d.err != nil {
+		return env, d.err
+	}
+	if d.off != len(buf) {
+		return env, fmt.Errorf("codec: %d trailing bytes", len(buf)-d.off)
+	}
+	return env, nil
+}
+
+func (d *decoder) message(payload bool) amcast.Message {
+	var m amcast.Message
+	m.ID = amcast.MsgID(d.uvarint())
+	m.Sender = amcast.NodeID(uint32(d.uvarint()))
+	m.Flags = amcast.MsgFlags(d.byte())
+	m.Dst = d.groups(d.count())
+	if payload {
+		m.Payload = d.bytes(d.count())
+	}
+	return m
+}
+
+func (d *decoder) hist() *amcast.HistDelta {
+	nNodes := d.count()
+	if d.err != nil {
+		return nil
+	}
+	var h *amcast.HistDelta
+	if nNodes > 0 {
+		h = &amcast.HistDelta{Nodes: make([]amcast.HistNode, nNodes)}
+		for i := range h.Nodes {
+			h.Nodes[i].ID = amcast.MsgID(d.uvarint())
+			h.Nodes[i].Dst = d.groups(d.count())
+		}
+	}
+	nEdges := d.count()
+	if d.err != nil {
+		return h
+	}
+	if nEdges > 0 {
+		if h == nil {
+			h = &amcast.HistDelta{}
+		}
+		h.Edges = make([]amcast.HistEdge, nEdges)
+		for i := range h.Edges {
+			h.Edges[i].From = amcast.MsgID(d.uvarint())
+			h.Edges[i].To = amcast.MsgID(d.uvarint())
+		}
+	}
+	return h
+}

@@ -1,0 +1,216 @@
+package codec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flexcast/amcast"
+)
+
+func sampleEnvelopes() []amcast.Envelope {
+	msg := amcast.Message{
+		ID:      amcast.NewMsgID(3, 17),
+		Sender:  amcast.ClientNode(3),
+		Dst:     []amcast.GroupID{2, 5, 9},
+		Payload: []byte("new-order payload"),
+	}
+	hist := &amcast.HistDelta{
+		Nodes: []amcast.HistNode{
+			{ID: 1, Dst: []amcast.GroupID{1, 2}},
+			{ID: 2, Dst: nil},
+		},
+		Edges: []amcast.HistEdge{{From: 1, To: 2}},
+	}
+	return []amcast.Envelope{
+		{Kind: amcast.KindRequest, From: amcast.ClientNode(3), Msg: msg},
+		{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: msg, Hist: hist,
+			NotifList: []amcast.GroupID{4, 7}},
+		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header(), Hist: hist},
+		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header()}, // nil hist
+		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: msg.Header(), Hist: hist},
+		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: msg.Header(), TS: 42, TSFrom: 9},
+		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: msg},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: msg.Header(), TS: 7},
+		{Kind: amcast.KindMsg, From: amcast.GroupNode(1), Msg: amcast.Message{
+			ID: 1, Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1},
+			Flags: amcast.FlagFlush,
+		}},
+	}
+}
+
+// normalize maps an envelope to its decoded-equivalent form: fields not
+// carried by the kind are cleared and empty slices match nil.
+func normalize(e amcast.Envelope) amcast.Envelope {
+	if !hasPayload(e.Kind) {
+		e.Msg.Payload = nil
+	}
+	if !hasHist(e.Kind) {
+		e.Hist = nil
+	} else if e.Hist != nil && len(e.Hist.Nodes) == 0 && len(e.Hist.Edges) == 0 {
+		e.Hist = nil
+	}
+	if !hasNotifList(e.Kind) || len(e.NotifList) == 0 {
+		e.NotifList = nil
+	}
+	if !hasTS(e.Kind) {
+		e.TS = 0
+		e.TSFrom = 0
+	}
+	if len(e.Msg.Dst) == 0 {
+		e.Msg.Dst = nil
+	}
+	if len(e.Msg.Payload) == 0 {
+		e.Msg.Payload = nil
+	}
+	if e.Hist != nil {
+		for i := range e.Hist.Nodes {
+			if len(e.Hist.Nodes[i].Dst) == 0 {
+				e.Hist.Nodes[i].Dst = nil
+			}
+		}
+	}
+	return e
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, env := range sampleEnvelopes() {
+		buf := Marshal(env)
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", env.Kind, err)
+		}
+		want := normalize(env)
+		got = normalize(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", env.Kind, got, want)
+		}
+	}
+}
+
+func TestSizeMatchesMarshal(t *testing.T) {
+	for _, env := range sampleEnvelopes() {
+		if got, want := Size(env), len(Marshal(env)); got != want {
+			t.Fatalf("%s: Size = %d, Marshal length = %d", env.Kind, got, want)
+		}
+	}
+}
+
+func TestAuxiliaryMessagesAreSmallerThanPayload(t *testing.T) {
+	envs := sampleEnvelopes()
+	msgSize := Size(envs[1]) // MSG with payload and history
+	tsSize := Size(envs[5])  // TS
+	if tsSize >= msgSize {
+		t.Fatalf("TS envelope (%d bytes) not smaller than MSG (%d bytes)", tsSize, msgSize)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid := Marshal(sampleEnvelopes()[1])
+	tests := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{0xEE, 0x01}},
+		{"truncated", valid[:len(valid)/2]},
+		{"trailing garbage", append(append([]byte{}, valid...), 0x00)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Unmarshal(tt.buf); err == nil {
+				t.Fatalf("Unmarshal(%q) succeeded, want error", tt.buf)
+			}
+		})
+	}
+}
+
+func TestUnmarshalRejectsHugeCounts(t *testing.T) {
+	// kind=REQUEST, from=1, id=1, sender=1, flags=0, then a destination
+	// count far beyond maxCount.
+	buf := []byte{byte(amcast.KindRequest), 1, 1, 1, 0,
+		0xFF, 0xFF, 0xFF, 0xFF, 0x7F} // ~34 bits
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+func TestTruncatedInputsNeverPanic(t *testing.T) {
+	for _, env := range sampleEnvelopes() {
+		buf := Marshal(env)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, err := Unmarshal(buf[:cut]); err == nil {
+				t.Fatalf("%s truncated at %d accepted", env.Kind, cut)
+			}
+		}
+	}
+}
+
+func randomEnvelope(rng *rand.Rand) amcast.Envelope {
+	kinds := []amcast.Kind{
+		amcast.KindRequest, amcast.KindMsg, amcast.KindAck, amcast.KindNotif,
+		amcast.KindTS, amcast.KindFwd, amcast.KindReply,
+	}
+	env := amcast.Envelope{
+		Kind: kinds[rng.Intn(len(kinds))],
+		From: amcast.NodeID(rng.Intn(1 << 20)),
+		TS:   rng.Uint64() >> uint(rng.Intn(64)),
+	}
+	env.Msg = amcast.Message{
+		ID:     amcast.MsgID(rng.Uint64() >> uint(rng.Intn(64))),
+		Sender: amcast.ClientNode(rng.Intn(1000)),
+		Flags:  amcast.MsgFlags(rng.Intn(2)),
+	}
+	for i := 0; i < rng.Intn(4); i++ {
+		env.Msg.Dst = append(env.Msg.Dst, amcast.GroupID(rng.Intn(12)+1))
+	}
+	env.Msg.Dst = amcast.NormalizeDst(env.Msg.Dst)
+	if hasPayload(env.Kind) {
+		env.Msg.Payload = make([]byte, rng.Intn(64))
+		rng.Read(env.Msg.Payload)
+	}
+	if hasHist(env.Kind) && rng.Intn(2) == 0 {
+		h := &amcast.HistDelta{}
+		for i := 0; i < rng.Intn(5); i++ {
+			h.Nodes = append(h.Nodes, amcast.HistNode{
+				ID:  amcast.MsgID(rng.Intn(100)),
+				Dst: []amcast.GroupID{amcast.GroupID(rng.Intn(12) + 1)},
+			})
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			h.Edges = append(h.Edges, amcast.HistEdge{
+				From: amcast.MsgID(rng.Intn(100)), To: amcast.MsgID(rng.Intn(100)),
+			})
+		}
+		env.Hist = h
+	}
+	if hasNotifList(env.Kind) {
+		for i := 0; i < rng.Intn(3); i++ {
+			env.NotifList = append(env.NotifList, amcast.GroupID(rng.Intn(12)+1))
+		}
+	}
+	if hasTS(env.Kind) {
+		env.TSFrom = amcast.GroupID(rng.Intn(12) + 1)
+	}
+	return env
+}
+
+func TestRandomRoundTripAndSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := randomEnvelope(rng)
+		buf := Marshal(env)
+		if len(buf) != Size(env) {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(got), normalize(env))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,505 @@
+// Package core implements the FlexCast protocol engine — the paper's
+// primary contribution (§4, Algorithms 1-3). One Engine instance runs the
+// protocol logic of one group on a complete-DAG overlay.
+//
+// Protocol recap:
+//
+//   - A client multicasts m by sending it to m's lca, the lowest-ranked
+//     destination. The lca delivers immediately and propagates m (MSG) to
+//     the remaining destinations together with a diff of its history
+//     (Strategy a).
+//   - A non-lca destination g queues m until (i) it has ACKs from every
+//     ancestor destination other than the lca and from every notified
+//     ancestor (Strategy b), and (ii) no undelivered message addressed to
+//     g precedes m in g's history. On delivery it ACKs m to the
+//     destinations ranked above it.
+//   - Before forwarding m (or its ACK), a group sends NOTIF to
+//     non-destination descendants that are ancestors of some destination
+//     and to which it previously sent application traffic (Strategy c);
+//     a notified group flushes its dependencies down the C-DAG by ACKing m
+//     once it has no open dependencies, and notifies further groups
+//     inductively.
+//
+// The deviations from the paper's pseudocode that any executable
+// implementation must make are listed in DESIGN.md §4.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+	"flexcast/internal/history"
+	"flexcast/internal/overlay"
+)
+
+// Config configures one FlexCast engine.
+type Config struct {
+	// Group is the group this engine serves.
+	Group amcast.GroupID
+	// Overlay is the shared C-DAG rank order.
+	Overlay *overlay.CDAG
+	// DisableGC turns off history pruning on flush deliveries; tests use
+	// it to exercise unbounded histories.
+	DisableGC bool
+}
+
+// pending tracks protocol state for one not-yet-delivered message
+// (Algorithm 1 lines 5-6: m.acks and m.notifList, plus the message body).
+type pending struct {
+	msg    amcast.Message
+	hasMsg bool // the MSG/REQUEST envelope carrying the payload arrived
+	queued bool
+	acks   map[amcast.GroupID]bool
+	notif  map[amcast.GroupID]bool
+}
+
+// pendingNotif is a deferred notification (Algorithm 2 line 16): the ACK
+// for msg is withheld until every open dependency in deps is delivered.
+type pendingNotif struct {
+	msg  amcast.Message
+	deps map[amcast.MsgID]bool
+}
+
+// Engine is the FlexCast state machine for one group. It implements
+// amcast.Engine. Not safe for concurrent use; runtimes serialize access.
+type Engine struct {
+	cfg Config
+	g   amcast.GroupID
+	ov  *overlay.CDAG
+
+	hst *history.History
+	// delivered doubles as deliveredInG and as the tombstone set that
+	// prevents re-delivery after garbage collection.
+	delivered map[amcast.MsgID]bool
+	// open is the open-dependency set: messages present in hst, addressed
+	// to g, not yet delivered (open-dependencies() in Algorithm 3).
+	open map[amcast.MsgID]bool
+	// queues holds the per-ancestor FIFO queues of undelivered application
+	// messages, keyed by the message's lca (Algorithm 1 line 14).
+	queues map[amcast.GroupID][]amcast.MsgID
+	// pend tracks acks/notifLists per in-flight message; entries are
+	// created on first reference because an ACK can overtake its MSG on a
+	// different link.
+	pend map[amcast.MsgID]*pending
+	// pendNotif holds notifications waiting for open dependencies.
+	pendNotif []*pendingNotif
+	// notifDone records messages this group already acked in response to a
+	// notification, so duplicate NOTIFs (from distinct destinations of the
+	// same message) do not produce duplicate ack floods.
+	notifDone map[amcast.MsgID]bool
+	// cursors tracks, per descendant, the prefix of the history already
+	// sent (hst(h) in Algorithm 1 line 18, as a log cursor).
+	cursors map[amcast.GroupID]history.Cursor
+
+	deliveries []amcast.Delivery
+	seq        uint64
+
+	// counters for tests and debugging.
+	nPruned int
+}
+
+var _ amcast.Engine = (*Engine)(nil)
+
+// New builds a FlexCast engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Overlay == nil {
+		return nil, fmt.Errorf("core: nil overlay")
+	}
+	if !cfg.Overlay.Contains(cfg.Group) {
+		return nil, fmt.Errorf("core: group %d not in overlay", cfg.Group)
+	}
+	return &Engine{
+		cfg:       cfg,
+		g:         cfg.Group,
+		ov:        cfg.Overlay,
+		hst:       history.New(),
+		delivered: make(map[amcast.MsgID]bool),
+		open:      make(map[amcast.MsgID]bool),
+		queues:    make(map[amcast.GroupID][]amcast.MsgID),
+		pend:      make(map[amcast.MsgID]*pending),
+		notifDone: make(map[amcast.MsgID]bool),
+		cursors:   make(map[amcast.GroupID]history.Cursor),
+	}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Group implements amcast.Engine.
+func (e *Engine) Group() amcast.GroupID { return e.g }
+
+// TakeDeliveries implements amcast.Engine.
+func (e *Engine) TakeDeliveries() []amcast.Delivery {
+	d := e.deliveries
+	e.deliveries = nil
+	return d
+}
+
+// HistoryLen reports the number of live history nodes (tests, metrics).
+func (e *Engine) HistoryLen() int { return e.hst.Len() }
+
+// PrunedNodes reports how many history nodes GC removed so far.
+func (e *Engine) PrunedNodes() int { return e.nPruned }
+
+// QueuedMessages reports the total number of queued undelivered messages.
+func (e *Engine) QueuedMessages() int {
+	n := 0
+	for _, q := range e.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// OnEnvelope implements amcast.Engine (Algorithm 2).
+func (e *Engine) OnEnvelope(env amcast.Envelope) []amcast.Output {
+	switch env.Kind {
+	case amcast.KindRequest:
+		return e.onRequest(env)
+	case amcast.KindMsg:
+		return e.onMsg(env)
+	case amcast.KindAck:
+		return e.onAck(env)
+	case amcast.KindNotif:
+		return e.onNotif(env)
+	default:
+		return nil
+	}
+}
+
+// onRequest handles a client message entering the overlay at its lca
+// (Algorithm 2 lines 1-2): the lca delivers immediately, imposing its
+// order on all descendants.
+func (e *Engine) onRequest(env amcast.Envelope) []amcast.Output {
+	m := env.Msg
+	if len(m.Dst) == 0 || e.ov.Lca(m.Dst) != e.g || e.delivered[m.ID] {
+		return nil
+	}
+	return e.aDeliver(m)
+}
+
+// onMsg handles an application message propagated by its lca (Algorithm 2
+// lines 3-6).
+func (e *Engine) onMsg(env amcast.Envelope) []amcast.Output {
+	e.mergeHist(env.Hist)
+	m := env.Msg
+	var outs []amcast.Output
+	if !m.HasDst(e.g) || e.delivered[m.ID] {
+		// Duplicate or misrouted: the history merge above is still useful.
+		return e.reprocess(&outs)
+	}
+	p := e.pending(m.ID)
+	if !p.hasMsg {
+		p.msg = m
+		p.hasMsg = true
+	}
+	e.mergeNotifList(p, env.NotifList)
+	if !p.queued {
+		lca := e.ov.Lca(m.Dst)
+		e.queues[lca] = append(e.queues[lca], m.ID)
+		p.queued = true
+	}
+	return e.reprocess(&outs)
+}
+
+// onAck handles an acknowledgment from an ancestor destination or a
+// notified ancestor (Algorithm 2 lines 7-11).
+func (e *Engine) onAck(env amcast.Envelope) []amcast.Output {
+	e.mergeHist(env.Hist)
+	var outs []amcast.Output
+	m := env.Msg
+	if e.delivered[m.ID] {
+		return e.reprocess(&outs)
+	}
+	from := env.From
+	if !from.IsClient() {
+		p := e.pending(m.ID)
+		p.acks[from.Group()] = true
+		e.mergeNotifList(p, env.NotifList)
+	}
+	return e.reprocess(&outs)
+}
+
+// onNotif handles a notification: this group is not a destination of the
+// message but must flush its dependencies down the C-DAG (Algorithm 2
+// lines 12-18).
+func (e *Engine) onNotif(env amcast.Envelope) []amcast.Output {
+	e.mergeHist(env.Hist)
+	m := env.Msg
+	var outs []amcast.Output
+	if m.HasDst(e.g) || e.notifDone[m.ID] {
+		// Destinations ack on delivery; duplicate notifications are folded.
+		return e.reprocess(&outs)
+	}
+	e.notifDone[m.ID] = true
+	deps := make(map[amcast.MsgID]bool, len(e.open))
+	for id := range e.open {
+		deps[id] = true
+	}
+	if len(deps) > 0 {
+		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: m.Header(), deps: deps})
+	} else {
+		e.sendDescendants(m.Header(), amcast.KindAck, &outs)
+	}
+	return e.reprocess(&outs)
+}
+
+func (e *Engine) pending(id amcast.MsgID) *pending {
+	p, ok := e.pend[id]
+	if !ok {
+		p = &pending{
+			acks:  make(map[amcast.GroupID]bool),
+			notif: make(map[amcast.GroupID]bool),
+		}
+		e.pend[id] = p
+	}
+	return p
+}
+
+func (e *Engine) mergeNotifList(p *pending, gs []amcast.GroupID) {
+	for _, g := range gs {
+		p.notif[g] = true
+	}
+}
+
+// mergeHist integrates a received history diff (update-hst in Algorithm 3)
+// and maintains the open-dependency set.
+func (e *Engine) mergeHist(d *amcast.HistDelta) {
+	for _, n := range e.hst.Merge(d) {
+		if e.delivered[n.ID] {
+			continue
+		}
+		for _, dst := range n.Dst {
+			if dst == e.g {
+				e.open[n.ID] = true
+				break
+			}
+		}
+	}
+}
+
+// aDeliver delivers m at this group (Algorithm 3 lines 20-31) and returns
+// the outputs it generates.
+func (e *Engine) aDeliver(m amcast.Message) []amcast.Output {
+	var outs []amcast.Output
+	e.deliver(m, &outs)
+	e.reprocess(&outs)
+	return outs
+}
+
+func (e *Engine) deliver(m amcast.Message, outs *[]amcast.Output) {
+	e.hst.AppendDelivered(history.Node{ID: m.ID, Dst: m.Dst})
+	e.delivered[m.ID] = true
+	delete(e.open, m.ID)
+	e.deliveries = append(e.deliveries, amcast.Delivery{Group: e.g, Seq: e.seq, Msg: m})
+	e.seq++
+
+	lca := e.ov.Lca(m.Dst)
+	if lca == e.g {
+		e.sendDescendants(m, amcast.KindMsg, outs)
+	} else {
+		e.dequeue(lca, m.ID)
+		e.sendDescendants(m.Header(), amcast.KindAck, outs)
+	}
+	delete(e.pend, m.ID)
+
+	// Unblock pending notifications waiting on this delivery.
+	kept := e.pendNotif[:0]
+	for _, pn := range e.pendNotif {
+		delete(pn.deps, m.ID)
+		if len(pn.deps) == 0 {
+			e.sendDescendants(pn.msg, amcast.KindAck, outs)
+		} else {
+			kept = append(kept, pn)
+		}
+	}
+	e.pendNotif = kept
+
+	if m.Flags&amcast.FlagFlush != 0 && !e.cfg.DisableGC {
+		e.nPruned += e.hst.PruneBefore(m.ID)
+		e.compactCursors()
+	}
+}
+
+// compactCursors shrinks the history log after a prune, keeping the
+// per-descendant diff cursors consistent.
+func (e *Engine) compactCursors() {
+	keys := make([]amcast.GroupID, 0, len(e.cursors))
+	vals := make([]history.Cursor, 0, len(e.cursors))
+	for g, c := range e.cursors {
+		keys = append(keys, g)
+		vals = append(vals, c)
+	}
+	ptrs := make([]*history.Cursor, len(vals))
+	for i := range vals {
+		ptrs[i] = &vals[i]
+	}
+	e.hst.CompactLog(ptrs)
+	for i, g := range keys {
+		e.cursors[g] = vals[i]
+	}
+}
+
+func (e *Engine) dequeue(lca amcast.GroupID, id amcast.MsgID) {
+	q := e.queues[lca]
+	for i, qid := range q {
+		if qid == id {
+			e.queues[lca] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// sendDescendants implements Algorithm 3 lines 32-35: notify
+// non-destination descendants as needed (Strategy c), then send the
+// MSG/ACK with a history diff to every destination ranked above this
+// group.
+func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, outs *[]amcast.Output) {
+	notified := e.sendNotifs(m, outs)
+	var notifList []amcast.GroupID
+	if p, ok := e.pend[m.ID]; ok {
+		for g := range p.notif {
+			notifList = append(notifList, g)
+		}
+	}
+	notifList = append(notifList, notified...)
+	notifList = amcast.NormalizeDst(notifList)
+
+	myRank := e.ov.Rank(e.g)
+	for _, d := range m.Dst {
+		if e.ov.Rank(d) <= myRank {
+			continue
+		}
+		delta := e.diffFor(d)
+		*outs = append(*outs, amcast.Output{
+			To: amcast.GroupNode(d),
+			Env: amcast.Envelope{
+				Kind:      kind,
+				From:      amcast.GroupNode(e.g),
+				Msg:       m,
+				Hist:      delta,
+				NotifList: notifList,
+			},
+		})
+	}
+}
+
+// sendNotifs implements Algorithm 3 lines 36-40 (Strategy c): for every
+// descendant d that is not a destination of m but is an ancestor of some
+// destination, and to which this group's history holds application
+// traffic, send a NOTIF so d can flush its dependencies. Returns the
+// newly notified groups.
+func (e *Engine) sendNotifs(m amcast.Message, outs *[]amcast.Output) []amcast.GroupID {
+	maxRank := -1
+	for _, d := range m.Dst {
+		if r := e.ov.Rank(d); r > maxRank {
+			maxRank = r
+		}
+	}
+	var notified []amcast.GroupID
+	myRank := e.ov.Rank(e.g)
+	for r := myRank + 1; r < maxRank; r++ {
+		d := e.ov.GroupAt(r)
+		if m.HasDst(d) || !e.hst.ContainsMsgTo(d) {
+			continue
+		}
+		delta := e.diffFor(d)
+		*outs = append(*outs, amcast.Output{
+			To: amcast.GroupNode(d),
+			Env: amcast.Envelope{
+				Kind: amcast.KindNotif,
+				From: amcast.GroupNode(e.g),
+				Msg:  m.Header(),
+				Hist: delta,
+			},
+		})
+		notified = append(notified, d)
+	}
+	return notified
+}
+
+func (e *Engine) diffFor(d amcast.GroupID) *amcast.HistDelta {
+	delta, cur := e.hst.DiffSince(e.cursors[d])
+	e.cursors[d] = cur
+	return delta
+}
+
+// reprocess drains the ancestor queues while progress is possible
+// (Algorithm 3 lines 41-48). outs accumulates all generated envelopes;
+// the (possibly grown) slice is returned for convenience.
+func (e *Engine) reprocess(outs *[]amcast.Output) []amcast.Output {
+	for {
+		progressed := false
+		// Iterate ancestors in rank order for determinism.
+		for _, lca := range e.ov.Ancestors(e.g) {
+			q := e.queues[lca]
+			if len(q) == 0 {
+				continue
+			}
+			id := q[0]
+			if e.canDeliver(id) {
+				e.deliver(e.pend[id].msg, outs)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return *outs
+		}
+	}
+}
+
+// canDeliver implements Algorithm 3 lines 49-54.
+func (e *Engine) canDeliver(id amcast.MsgID) bool {
+	p := e.pend[id]
+	if p == nil || !p.hasMsg {
+		return false
+	}
+	// Condition 1: acks from every ancestor destination except the lca,
+	// and from every notified group that is an ancestor of g (notified
+	// groups ranked above g ack only their own descendants).
+	m := p.msg
+	lca := e.ov.Lca(m.Dst)
+	myRank := e.ov.Rank(e.g)
+	for _, d := range m.Dst {
+		if d == lca || e.ov.Rank(d) >= myRank {
+			continue
+		}
+		if !p.acks[d] {
+			return false
+		}
+	}
+	for n := range p.notif {
+		if e.ov.Rank(n) < myRank && !p.acks[n] {
+			return false
+		}
+	}
+	// Condition 2: no undelivered message addressed to g precedes m. The
+	// search prunes at locally delivered nodes: everything ordered before
+	// a delivered message and addressed to g was delivered first, so no
+	// open dependency can hide behind one.
+	return !e.hst.AnyBeforeUntil(id,
+		func(x amcast.MsgID) bool { return e.open[x] },
+		func(x amcast.MsgID) bool { return e.delivered[x] })
+}
+
+// CheckHistoryAcyclic verifies that the merged history remains a DAG —
+// the internal invariant behind the Acyclic Order property; exposed for
+// tests.
+func (e *Engine) CheckHistoryAcyclic() error { return e.hst.CheckAcyclic() }
+
+// OpenDependencies returns the ids of undelivered messages addressed to
+// this group that appear in its history, sorted; exposed for tests.
+func (e *Engine) OpenDependencies() []amcast.MsgID {
+	ids := make([]amcast.MsgID, 0, len(e.open))
+	for id := range e.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,391 @@
+package core_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+)
+
+// The three-group overlay of the paper's Figure 3: A → B → C with
+// ascending ranks. Group ids: A=1, B=2, C=3.
+const (
+	gA amcast.GroupID = 1
+	gB amcast.GroupID = 2
+	gC amcast.GroupID = 3
+)
+
+func abcRouter(t *testing.T) *prototest.Router {
+	t.Helper()
+	ov := overlay.MustCDAG([]amcast.GroupID{gA, gB, gC})
+	return prototest.NewRouter(t, ov.Order(), func(g amcast.GroupID) amcast.Engine {
+		return core.MustNew(core.Config{Group: g, Overlay: ov})
+	})
+}
+
+func ids(vs ...uint64) []amcast.MsgID {
+	out := make([]amcast.MsgID, len(vs))
+	for i, v := range vs {
+		out[i] = amcast.MsgID(v)
+	}
+	return out
+}
+
+func wantSeq(t *testing.T, r *prototest.Router, g amcast.GroupID, want []amcast.MsgID) {
+	t.Helper()
+	if got := r.Seq(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("group %d delivered %v, want %v", g, got, want)
+	}
+}
+
+// TestLcaDeliversImmediately checks Algorithm 2 lines 1-2: the lca
+// delivers a client message on receipt and propagates it.
+func TestLcaDeliversImmediately(t *testing.T) {
+	r := abcRouter(t)
+	r.Multicast(gA, prototest.Msg(1, gA, gC))
+	wantSeq(t, r, gA, ids(1))
+	if r.InFlight() != 1 {
+		t.Fatalf("in flight = %d, want 1 (MSG to C)", r.InFlight())
+	}
+	r.Step(gA, gC, amcast.KindMsg, 1)
+	wantSeq(t, r, gC, ids(1))
+}
+
+// TestLocalMessage checks that single-destination messages involve no one
+// else.
+func TestLocalMessage(t *testing.T) {
+	r := abcRouter(t)
+	r.Multicast(gB, prototest.Msg(1, gB))
+	wantSeq(t, r, gB, ids(1))
+	if r.InFlight() != 0 {
+		t.Fatalf("local message produced %d envelopes", r.InFlight())
+	}
+}
+
+// TestFigure3aHistories replays Figure 3(a): C receives m3 (which depends
+// on m1 through A's and B's histories) before m1, and must wait.
+func TestFigure3aHistories(t *testing.T) {
+	r := abcRouter(t)
+	m1 := prototest.Msg(1, gA, gC)
+	m2 := prototest.Msg(2, gA, gB)
+	m3 := prototest.Msg(3, gB, gC)
+
+	r.Multicast(gA, m1) // A delivers m1; MSG m1 -> C in flight
+	r.Multicast(gA, m2) // A delivers m2; MSG m2 -> B in flight
+	r.Step(gA, gB, amcast.KindMsg, 2)
+	wantSeq(t, r, gB, ids(2))
+	r.Multicast(gB, m3) // B delivers m3 after m2; MSG m3 -> C in flight
+
+	// C receives m3 first: it must block, because B's history shows
+	// m1 ≺ m2 ≺ m3 and m1 is addressed to C but undelivered.
+	r.Step(gB, gC, amcast.KindMsg, 3)
+	wantSeq(t, r, gC, nil)
+
+	// m1 arrives: C delivers m1 and then unblocks m3.
+	r.Step(gA, gC, amcast.KindMsg, 1)
+	wantSeq(t, r, gC, ids(1, 3))
+
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure3bAcks replays Figure 3(b): C must wait for B's ACK on m2
+// before delivering it, because B (a lower destination of m2 that is not
+// the lca) may have created dependencies.
+func TestFigure3bAcks(t *testing.T) {
+	r := abcRouter(t)
+	m1 := prototest.Msg(1, gB, gC)
+	m2 := prototest.Msg(2, gA, gB, gC)
+
+	r.Multicast(gB, m1) // B delivers m1; MSG m1 -> C held in flight
+	r.Multicast(gA, m2) // A delivers m2; MSG m2 -> B, C
+
+	// C receives m2 first: blocked waiting for B's ack.
+	r.Step(gA, gC, amcast.KindMsg, 2)
+	wantSeq(t, r, gC, nil)
+
+	// B receives m2, delivers it after m1, and acks to C with its
+	// history m1 ≺ m2. The B→C link now carries [MSG m1, ACK m2] in FIFO
+	// order.
+	r.Step(gA, gB, amcast.KindMsg, 2)
+	wantSeq(t, r, gB, ids(1, 2))
+
+	// m1 arrives at C and is delivered, but m2 stays blocked: B's ack has
+	// not arrived yet (Strategy b's whole point).
+	r.Step(gB, gC, amcast.KindMsg, 1)
+	wantSeq(t, r, gC, ids(1))
+
+	// The ACK arrives: C delivers m2 — the paper's required order.
+	r.Step(gB, gC, amcast.KindAck, 2)
+	wantSeq(t, r, gC, ids(1, 2))
+
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure3bAcksAlternativeInterleaving varies Figure 3(b): m1 reaches
+// C before the ack; C may deliver m1 at once and m2 only after the ack.
+func TestFigure3bAcksAlternativeInterleaving(t *testing.T) {
+	r := abcRouter(t)
+	m1 := prototest.Msg(1, gB, gC)
+	m2 := prototest.Msg(2, gA, gB, gC)
+
+	r.Multicast(gB, m1)
+	r.Multicast(gA, m2)
+	r.Step(gA, gC, amcast.KindMsg, 2) // C blocked on ack
+	r.Step(gB, gC, amcast.KindMsg, 1) // m1 deliverable immediately
+	wantSeq(t, r, gC, ids(1))
+	r.Step(gA, gB, amcast.KindMsg, 2)
+	r.Step(gB, gC, amcast.KindAck, 2)
+	wantSeq(t, r, gC, ids(1, 2))
+
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFigure3cNotifs replays Figure 3(c): the dependency m1 ≺ m2 exists
+// only at B, which is not a destination of m3; A must NOTIF B so that B
+// flushes its history to C before C delivers m3.
+func TestFigure3cNotifs(t *testing.T) {
+	r := abcRouter(t)
+	m1 := prototest.Msg(1, gB, gC)
+	m2 := prototest.Msg(2, gA, gB)
+	m3 := prototest.Msg(3, gA, gC)
+
+	r.Multicast(gB, m1) // B delivers m1; MSG m1 -> C held
+	r.Multicast(gA, m2) // A delivers m2; MSG m2 -> B
+	r.Step(gA, gB, amcast.KindMsg, 2)
+	wantSeq(t, r, gB, ids(1, 2)) // dependency m1 ≺ m2 exists only at B
+
+	// A multicasts m3 = {A, C}. A's history contains m2 (addressed to B),
+	// so A must notify B and C must wait for B's ack.
+	r.Multicast(gA, m3)
+	r.Step(gA, gC, amcast.KindMsg, 3)
+	wantSeq(t, r, gC, nil) // blocked: notified ancestor B has not acked
+
+	// B processes the NOTIF: no open dependencies, so it acks m3 to C
+	// carrying its history m1 ≺ m2 (≺ m3). The B→C link now carries
+	// [MSG m1, ACK m3] in FIFO order.
+	r.Step(gA, gB, amcast.KindNotif, 3)
+
+	// m1 arrives and is delivered, but m3 still lacks B's ack.
+	r.Step(gB, gC, amcast.KindMsg, 1)
+	wantSeq(t, r, gC, ids(1))
+
+	// The ACK lands: C delivers m3 after m1, avoiding the m1≺m2≺m3 cycle.
+	r.Step(gB, gC, amcast.KindAck, 3)
+	wantSeq(t, r, gC, ids(1, 3))
+
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNotifWithOpenDependencyIsDeferred checks Algorithm 2 lines 15-16: a
+// notified group with an open dependency withholds its ack until the
+// dependency is delivered. Under FIFO links the open dependency must come
+// from a different ancestor than the notifier, so this uses four groups
+// X ≺ A ≺ B ≺ C.
+func TestNotifWithOpenDependencyIsDeferred(t *testing.T) {
+	const (
+		gX amcast.GroupID = 1
+		gA amcast.GroupID = 2
+		gB amcast.GroupID = 3
+		gC amcast.GroupID = 4
+	)
+	ov := overlay.MustCDAG([]amcast.GroupID{gX, gA, gB, gC})
+	r := prototest.NewRouter(t, ov.Order(), func(g amcast.GroupID) amcast.Engine {
+		return core.MustNew(core.Config{Group: g, Overlay: ov})
+	})
+	m0 := prototest.Msg(1, gX, gB)  // creates B's future open dependency
+	m0p := prototest.Msg(2, gX, gA) // carries m0 into A's history
+	m2 := prototest.Msg(3, gA, gC)  // triggers A's NOTIF to B
+
+	r.Multicast(gX, m0)  // X delivers; MSG m0 -> B held in flight
+	r.Multicast(gX, m0p) // X delivers; MSG m0' -> A with history m0 ≺ m0'
+	r.Step(gX, gA, amcast.KindMsg, 2)
+	wantSeq(t, r, gA, ids(2)) // A now knows m0, addressed to B
+
+	// A multicasts m2 = {A, C}: A's history contains m0 (addressed to B),
+	// so A notifies B and C waits for B's ack.
+	r.Multicast(gA, m2)
+	r.Step(gA, gC, amcast.KindMsg, 3)
+	wantSeq(t, r, gC, nil)
+
+	// B processes the NOTIF: its history now holds m0 (addressed to B,
+	// undelivered) — the ack is deferred, nothing leaves B yet.
+	r.Step(gA, gB, amcast.KindNotif, 3)
+	if r.InFlight() != 1 { // only X's MSG m0 -> B remains
+		t.Fatalf("in flight = %d, want 1 (deferred ack must not be sent)", r.InFlight())
+	}
+
+	// B receives and delivers m0; the pending notification unblocks and
+	// the ack (with m0 ≺ …) reaches C.
+	r.Step(gX, gB, amcast.KindMsg, 1)
+	wantSeq(t, r, gB, ids(1))
+	r.Step(gB, gC, amcast.KindAck, 3)
+	wantSeq(t, r, gC, ids(3))
+
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAckBeforeMsg checks robustness when an ACK overtakes its MSG
+// (different links): the pending record must absorb the early ack.
+func TestAckBeforeMsg(t *testing.T) {
+	r := abcRouter(t)
+	m := prototest.Msg(1, gA, gB, gC)
+	r.Multicast(gA, m)
+	r.Step(gA, gB, amcast.KindMsg, 1) // B delivers, ACK -> C
+	r.Step(gB, gC, amcast.KindAck, 1) // ACK overtakes A's MSG
+	wantSeq(t, r, gC, nil)
+	r.Step(gA, gC, amcast.KindMsg, 1)
+	wantSeq(t, r, gC, ids(1))
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDuplicateRequestIgnored checks Integrity under client retries.
+func TestDuplicateRequestIgnored(t *testing.T) {
+	r := abcRouter(t)
+	m := prototest.Msg(1, gA, gB)
+	r.Multicast(gA, m)
+	r.Multicast(gA, m)
+	wantSeq(t, r, gA, ids(1))
+	r.Drain()
+	wantSeq(t, r, gB, ids(1))
+}
+
+// TestMisroutedRequestDropped checks that a request reaching a non-lca
+// group is not delivered there out of band.
+func TestMisroutedRequestDropped(t *testing.T) {
+	r := abcRouter(t)
+	r.Multicast(gB, prototest.Msg(1, gA, gB)) // lca is A, not B
+	wantSeq(t, r, gB, nil)
+	if r.InFlight() != 0 {
+		t.Fatal("misrouted request produced traffic")
+	}
+}
+
+// TestFlushGarbageCollection checks §4.3: delivering a flush message
+// prunes everything ordered before it, and the protocol keeps working.
+func TestFlushGarbageCollection(t *testing.T) {
+	ov := overlay.MustCDAG([]amcast.GroupID{gA, gB, gC})
+	engines := make(map[amcast.GroupID]*core.Engine)
+	r := prototest.NewRouter(t, ov.Order(), func(g amcast.GroupID) amcast.Engine {
+		e := core.MustNew(core.Config{Group: g, Overlay: ov})
+		engines[g] = e
+		return e
+	})
+	for i := uint64(1); i <= 5; i++ {
+		r.Multicast(gA, prototest.Msg(i, gA, gB, gC))
+	}
+	r.Drain()
+	before := engines[gC].HistoryLen()
+	flush := prototest.Msg(100, gA, gB, gC)
+	flush.Flags = amcast.FlagFlush
+	r.Multicast(gA, flush)
+	r.Drain()
+	for g, e := range engines {
+		if e.PrunedNodes() == 0 {
+			t.Errorf("group %d pruned nothing", g)
+		}
+		if e.HistoryLen() >= before {
+			t.Errorf("group %d history grew after flush: %d -> %d", g, before, e.HistoryLen())
+		}
+	}
+	// The protocol still orders correctly after the prune.
+	for i := uint64(6); i <= 10; i++ {
+		r.Multicast(gA, prototest.Msg(i, gA, gB, gC))
+	}
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisableGC checks that the GC switch works.
+func TestDisableGC(t *testing.T) {
+	ov := overlay.MustCDAG([]amcast.GroupID{gA, gB})
+	var engA *core.Engine
+	r := prototest.NewRouter(t, ov.Order(), func(g amcast.GroupID) amcast.Engine {
+		e := core.MustNew(core.Config{Group: g, Overlay: ov, DisableGC: true})
+		if g == gA {
+			engA = e
+		}
+		return e
+	})
+	r.Multicast(gA, prototest.Msg(1, gA, gB))
+	flush := prototest.Msg(2, gA, gB)
+	flush.Flags = amcast.FlagFlush
+	r.Multicast(gA, flush)
+	r.Drain()
+	if engA.PrunedNodes() != 0 {
+		t.Fatal("GC ran despite DisableGC")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ov := overlay.MustCDAG([]amcast.GroupID{gA, gB})
+	if _, err := core.New(core.Config{Group: gA}); err == nil {
+		t.Error("nil overlay accepted")
+	}
+	if _, err := core.New(core.Config{Group: 9, Overlay: ov}); err == nil {
+		t.Error("group outside overlay accepted")
+	}
+	if _, err := core.New(core.Config{Group: gA, Overlay: ov}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// TestRandomWorkloadProperties drives random workloads over random C-DAG
+// sizes with link jitter and checks the full atomic multicast
+// specification including minimality.
+func TestRandomWorkloadProperties(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 6} {
+		for seed := int64(0); seed < 6; seed++ {
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("groups=%d/seed=%d", n, seed), func(t *testing.T) {
+				groups := make([]amcast.GroupID, n)
+				for i := range groups {
+					groups[i] = amcast.GroupID(i + 1)
+				}
+				ov := overlay.MustCDAG(groups)
+				rec := prototest.RunRandom(t, prototest.RandomConfig{
+					Groups:   groups,
+					Clients:  4,
+					Messages: 25,
+					Route: func(m amcast.Message) []amcast.NodeID {
+						return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+					},
+					Factory: func(g amcast.GroupID) amcast.Engine {
+						return core.MustNew(core.Config{Group: g, Overlay: ov})
+					},
+					Seed:   seed*31 + int64(n),
+					Jitter: 500,
+				})
+				if err := rec.CheckAll(true); err != nil {
+					t.Fatal(err)
+				}
+				if rec.Deliveries() == 0 {
+					t.Fatal("nothing delivered")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+	"flexcast/internal/sim"
+	"flexcast/internal/trace"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed*2654435761 + 1)) }
+
+// TestHistoriesStayAcyclicUnderRandomWorkloads drives random workloads
+// through FlexCast and asserts the internal invariant behind Acyclic
+// Order: every group's merged history remains a DAG at quiescence.
+func TestHistoriesStayAcyclicUnderRandomWorkloads(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		groups := []amcast.GroupID{1, 2, 3, 4, 5}
+		ov := overlay.MustCDAG(groups)
+		engines := make(map[amcast.GroupID]*core.Engine)
+		rec := prototest.RunRandom(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 30,
+			Route: func(m amcast.Message) []amcast.NodeID {
+				return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+			},
+			Factory: func(g amcast.GroupID) amcast.Engine {
+				e := core.MustNew(core.Config{Group: g, Overlay: ov})
+				engines[g] = e
+				return e
+			},
+			Seed:   seed,
+			Jitter: 700,
+		})
+		if err := rec.CheckAll(true); err != nil {
+			t.Fatal(err)
+		}
+		for g, e := range engines {
+			if err := e.CheckHistoryAcyclic(); err != nil {
+				t.Fatalf("seed %d, group %d: %v", seed, g, err)
+			}
+			if got := len(e.OpenDependencies()); got != 0 {
+				t.Fatalf("seed %d, group %d: %d open dependencies after quiescence",
+					seed, g, got)
+			}
+			if got := e.QueuedMessages(); got != 0 {
+				t.Fatalf("seed %d, group %d: %d messages still queued", seed, g, got)
+			}
+		}
+	}
+}
+
+// TestRandomWorkloadWithPeriodicFlush interleaves flush messages with a
+// random workload and re-checks the full specification — GC must never
+// compromise ordering.
+func TestRandomWorkloadWithPeriodicFlush(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		groups := []amcast.GroupID{1, 2, 3, 4}
+		ov := overlay.MustCDAG(groups)
+		s := sim.New()
+		rec := trace.NewRecorder()
+		var checkErr error
+		net := sim.NewNetwork(s,
+			func(from, to amcast.NodeID) sim.Time { return 300 },
+			sim.WithSendHook(func(from, to amcast.NodeID, env amcast.Envelope) {
+				if env.Kind == amcast.KindRequest {
+					rec.OnMulticast(env.Msg)
+				}
+				rec.OnSend(from, to, env)
+			}))
+		engines := make(map[amcast.GroupID]*core.Engine)
+		for _, g := range groups {
+			g := g
+			eng := core.MustNew(core.Config{Group: g, Overlay: ov})
+			engines[g] = eng
+			net.Register(amcast.GroupNode(g), sim.HandlerFunc(func(env amcast.Envelope) {
+				for _, out := range eng.OnEnvelope(env) {
+					net.Send(amcast.GroupNode(g), out.To, out.Env)
+				}
+				for _, d := range eng.TakeDeliveries() {
+					if err := rec.OnDeliver(d); err != nil && checkErr == nil {
+						checkErr = err
+					}
+				}
+			}))
+		}
+		net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+
+		// Interleave application messages with flushes: every 5th message
+		// is a flush to all groups.
+		rng := newRng(seed)
+		for i := 0; i < 60; i++ {
+			var m amcast.Message
+			if i%5 == 4 {
+				m = amcast.Message{
+					ID:     amcast.NewMsgID(0, uint64(i+1)),
+					Sender: amcast.ClientNode(0),
+					Dst:    append([]amcast.GroupID(nil), groups...),
+					Flags:  amcast.FlagFlush,
+				}
+			} else {
+				n := 1 + rng.Intn(len(groups))
+				perm := rng.Perm(len(groups))
+				dst := make([]amcast.GroupID, 0, n)
+				for _, p := range perm[:n] {
+					dst = append(dst, groups[p])
+				}
+				m = amcast.Message{
+					ID:     amcast.NewMsgID(0, uint64(i+1)),
+					Sender: amcast.ClientNode(0),
+					Dst:    amcast.NormalizeDst(dst),
+				}
+			}
+			// m is declared inside the loop body, so each closure captures
+			// its own copy.
+			at := sim.Time(rng.Int63n(30_000))
+			s.ScheduleAt(at, func() {
+				rec.OnMulticast(m)
+				net.Send(m.Sender, amcast.GroupNode(ov.Lca(m.Dst)),
+					amcast.Envelope{Kind: amcast.KindRequest, From: m.Sender, Msg: m})
+			})
+		}
+		s.Run()
+		if checkErr != nil {
+			t.Fatal(checkErr)
+		}
+		if err := rec.CheckAll(true); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		pruned := 0
+		for _, e := range engines {
+			pruned += e.PrunedNodes()
+			if err := e.CheckHistoryAcyclic(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if pruned == 0 {
+			t.Fatal("flush messages pruned nothing")
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/wan"
+)
+
+// tiny runs experiments at the smallest useful scale.
+var tiny = Options{Scale: 0.04, Seed: 7}
+
+func TestFig1ShapeMatchesPaper(t *testing.T) {
+	res, err := Fig1(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGroup := make(map[amcast.GroupID]float64)
+	for _, row := range res.Rows {
+		byGroup[row.Group] = row.Overhead
+	}
+	// The continental subtree roots (5 = America, 9 = Asia) dominate the
+	// overhead; leaves have none (paper §5.8 and Figure 1).
+	if byGroup[5] < 0.05 || byGroup[9] < 0.05 {
+		t.Fatalf("subtree roots show no overhead: 5=%.3f 9=%.3f", byGroup[5], byGroup[9])
+	}
+	for _, leaf := range []amcast.GroupID{1, 2, 3, 4, 10, 11, 12, 6} {
+		if byGroup[leaf] > 0.05 {
+			t.Errorf("leaf group %d has overhead %.3f", leaf, byGroup[leaf])
+		}
+	}
+	if res.Mean <= 0 || res.Mean > 0.3 {
+		t.Fatalf("mean overhead = %.3f, outside plausible band", res.Mean)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig5O1BeatsO2OnFirstDestination(t *testing.T) {
+	res, err := Fig5Table2(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := make(map[string]LatencyRow)
+	for _, row := range res.Rows {
+		byLabel[row.Label] = row
+	}
+	o1 := byLabel["FlexCast O1"].PerDest[0].Percentile(90)
+	o2 := byLabel["FlexCast O2"].PerDest[0].Percentile(90)
+	if o1 > o2 {
+		t.Errorf("O1 1st-dest p90 (%.0f) worse than O2 (%.0f); paper expects O1 <= O2", o1, o2)
+	}
+	// T3 (the star) must be the worst hierarchical tree at the first
+	// destination: every message crosses the root.
+	t1 := byLabel["Hierarchical T1"].PerDest[0].Percentile(90)
+	t3 := byLabel["Hierarchical T3"].PerDest[0].Percentile(90)
+	if t3 < t1 {
+		t.Errorf("T3 1st-dest p90 (%.0f) better than T1 (%.0f); paper expects the star to bottleneck", t3, t1)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Table 2") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig6FlexCastSaturatesBelowHierarchical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput sweep is slow")
+	}
+	res, err := Fig6(Options{Scale: 0.03, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := func(label string) float64 {
+		c := res.Curves[label]
+		return c[len(c)-1].Throughput
+	}
+	if last("FlexCast") >= last("Hierarchical") {
+		t.Errorf("FlexCast plateau (%.0f) not below hierarchical (%.0f); paper expects FlexCast to saturate first",
+			last("FlexCast"), last("Hierarchical"))
+	}
+	// Throughput must grow from 24 clients to the plateau for every
+	// protocol.
+	for label, curve := range res.Curves {
+		if curve[0].Throughput >= curve[len(curve)-1].Throughput {
+			t.Errorf("%s: no growth from 24 clients (%.0f) to 1440 (%.0f)",
+				label, curve[0].Throughput, curve[len(curve)-1].Throughput)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig7FlexCastWinsFirstDestination(t *testing.T) {
+	res, err := Fig7Table3(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := make(map[string]LatencyRow)
+	for _, row := range res.Rows {
+		byLabel[row.Label] = row
+	}
+	// The paper's headline (§5.6): FlexCast outperforms both baselines at
+	// the first destination for every locality rate.
+	for _, loc := range []string{"90%", "95%", "99%"} {
+		fc := byLabel["FlexCast "+loc].PerDest[0].Percentile(90)
+		hi := byLabel["Hierarchical "+loc].PerDest[0].Percentile(90)
+		di := byLabel["Distributed "+loc].PerDest[0].Percentile(90)
+		if fc > hi || fc > di {
+			t.Errorf("locality %s: FlexCast 1st-dest p90 %.0f not best (hier %.0f, dist %.0f)",
+				loc, fc, hi, di)
+		}
+	}
+	// The distributed protocol is the most locality-sensitive baseline at
+	// the first destination (paper: up to 29% reduction from 90% to 99%).
+	d90 := byLabel["Distributed 90%"].PerDest[0].Percentile(90)
+	d99 := byLabel["Distributed 99%"].PerDest[0].Percentile(90)
+	if d99 > d90 {
+		t.Errorf("distributed got slower with more locality: %.0f -> %.0f", d90, d99)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Table 3") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig8HistoryCostGrowsUpTheDAG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("720-client run is slow")
+	}
+	res, err := Fig8(Options{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := res.PerProtocol["FlexCast"]
+	// The paper's Figure 8(a): average message size increases as nodes
+	// ascend the C-DAG. Compare the low-rank third to the high-rank
+	// third.
+	lo := (fc[0].AvgSize + fc[1].AvgSize + fc[2].AvgSize) / 3
+	hi := (fc[9].AvgSize + fc[10].AvgSize + fc[11].AvgSize) / 3
+	if hi <= lo {
+		t.Errorf("FlexCast message size does not grow up the DAG: low ranks %.0fB, high ranks %.0fB", lo, hi)
+	}
+	// Baseline protocols have flat message sizes.
+	h := res.PerProtocol["Hierarchical"]
+	var min, max float64 = 1 << 30, 0
+	for _, n := range h {
+		if n.AvgSize < min {
+			min = n.AvgSize
+		}
+		if n.AvgSize > max {
+			max = n.AvgSize
+		}
+	}
+	if max > 2*min {
+		t.Errorf("hierarchical message sizes not flat: %.0f..%.0f", min, max)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func TestFig9TreeOverheadProperties(t *testing.T) {
+	res, err := Fig9Table4(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]Fig9Row)
+	for _, row := range res.Rows {
+		rows[row.Tree+"@"+pct(row.Locality)] = row
+	}
+	// T1's overhead decreases as locality increases (paper Table 4:
+	// 9.16% -> 7.33% -> 5.41%).
+	if rows["T1@90"].Mean < rows["T1@99"].Mean {
+		t.Errorf("T1 overhead grew with locality: %.2f%% -> %.2f%%",
+			rows["T1@90"].Mean, rows["T1@99"].Mean)
+	}
+	// T3's root bears the maximum overhead of all configurations, and
+	// its profile barely moves with locality (paper: constant 56% max).
+	if rows["T3@90"].Max < rows["T1@90"].Max {
+		t.Errorf("T3 max overhead (%.1f%%) below T1 (%.1f%%)", rows["T3@90"].Max, rows["T1@90"].Max)
+	}
+	for _, row := range res.Rows {
+		// Only inner nodes can have overhead; every tree keeps the mean
+		// within a plausible band.
+		if row.Mean < 0 || row.Mean > 30 {
+			t.Errorf("%s@%v: implausible mean overhead %.2f%%", row.Tree, row.Locality, row.Mean)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Table 4") {
+		t.Fatal("Print output missing title")
+	}
+}
+
+func pct(f float64) string {
+	switch {
+	case f > 0.985:
+		return "99"
+	case f > 0.935:
+		return "95"
+	default:
+		return "90"
+	}
+}
+
+func TestVerifiedRunPassesSpecChecks(t *testing.T) {
+	// A full (small) gTPC-C FlexCast run with trace verification: the
+	// integration test that ties workload, WAN, engines and checkers
+	// together.
+	_, err := Options{Scale: 0.04, Seed: 11, Verify: true}.run(harnessConfigForVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Fig1(Options{Scale: 0.04, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig1(Options{Scale: 0.04, Seed: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("same seed produced different overhead at group %d", a.Rows[i].Group)
+		}
+	}
+}
+
+func TestNodeOrderCoversAllGroups(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		n    int
+	}{{"flexcast", len(nodeOrder(1))}, {"hier", len(nodeOrder(3))}} {
+		if p.n != wan.NumRegions {
+			t.Fatalf("%s node order has %d entries", p.name, p.n)
+		}
+	}
+}

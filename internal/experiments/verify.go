@@ -1,0 +1,16 @@
+package experiments
+
+import "flexcast/internal/harness"
+
+// harnessConfigForVerify is the configuration used by the verified
+// integration test: FlexCast on O1 with garbage collection under the
+// gTPC-C workload.
+func harnessConfigForVerify() harness.Config {
+	return harness.Config{
+		Protocol:   harness.FlexCast,
+		Locality:   0.90,
+		NumClients: 48,
+		GlobalOnly: true,
+		FlushEvery: 250_000,
+	}
+}

@@ -1,0 +1,218 @@
+// Package gtpcc implements the paper's gTPC-C benchmark (§5.3): TPC-C
+// translated to atomic multicast (warehouses are groups, transactions are
+// multicast messages) and extended with geographic locality.
+//
+// Transaction mix (TPC-C §5.2.3): new-order 45 %, payment 43 %, and the
+// three single-warehouse transactions order-status, delivery and
+// stock-level at 4 % each. New-order transactions touch 5-15 items; each
+// item is served by a remote warehouse with 2 % probability. When a
+// remote warehouse is needed, the customer picks the warehouse nearest to
+// its home warehouse with probability equal to the locality rate,
+// otherwise the next nearest, and so on — modelling a wholesale supplier
+// that ships a missing item from the closest stocked warehouse.
+//
+// For latency experiments the paper uses a global-only variant: only
+// new-order and payment transactions, always spanning two or more
+// warehouses, and messages addressed to more than three warehouses are
+// excluded (they are vanishingly rare under TPC-C's 2 % rule).
+package gtpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexcast/amcast"
+)
+
+// TxType enumerates gTPC-C transaction types.
+type TxType uint8
+
+const (
+	// NewOrder is the TPC-C new-order transaction (45 %).
+	NewOrder TxType = iota + 1
+	// Payment is the TPC-C payment transaction (43 %).
+	Payment
+	// OrderStatus is the TPC-C order-status transaction (4 %, local).
+	OrderStatus
+	// Delivery is the TPC-C delivery transaction (4 %, local).
+	Delivery
+	// StockLevel is the TPC-C stock-level transaction (4 %, local).
+	StockLevel
+)
+
+// String names the transaction type.
+func (t TxType) String() string {
+	switch t {
+	case NewOrder:
+		return "new-order"
+	case Payment:
+		return "payment"
+	case OrderStatus:
+		return "order-status"
+	case Delivery:
+		return "delivery"
+	case StockLevel:
+		return "stock-level"
+	default:
+		return fmt.Sprintf("TxType(%d)", uint8(t))
+	}
+}
+
+// Tx is one generated transaction.
+type Tx struct {
+	Type TxType
+	// Dst is the destination warehouse set (sorted, home included).
+	Dst []amcast.GroupID
+	// Items is the new-order item count (0 for other types).
+	Items int
+	// PayloadSize is the request size in bytes.
+	PayloadSize int
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	// Home is the client's home warehouse (its nearest group).
+	Home amcast.GroupID
+	// Nearest lists the other warehouses ordered by increasing distance
+	// from Home (wan.NearestOrder).
+	Nearest []amcast.GroupID
+	// Locality is the locality rate (e.g. 0.90, 0.95, 0.99): the
+	// probability that a remote pick takes the next-nearest warehouse in
+	// the walk down Nearest.
+	Locality float64
+	// GlobalOnly restricts the mix to new-order and payment and forces
+	// every transaction to span at least two warehouses (the paper's
+	// latency workloads).
+	GlobalOnly bool
+	// MaxDst drops transactions addressed to more destinations (paper:
+	// 3). Zero means 3.
+	MaxDst int
+}
+
+// Gen generates gTPC-C transactions for one client. Not safe for
+// concurrent use; give each client its own Gen and seed.
+type Gen struct {
+	cfg Config
+	rng *rand.Rand
+
+	// remotePayments forces Payment transactions remote in GlobalOnly
+	// mode; in the full mix TPC-C pays a remote customer 15 % of the time.
+	remoteRate float64
+}
+
+// New builds a generator. The rng must be private to this generator.
+func New(cfg Config, rng *rand.Rand) (*Gen, error) {
+	if cfg.Home == amcast.NoGroup {
+		return nil, fmt.Errorf("gtpcc: missing home warehouse")
+	}
+	if len(cfg.Nearest) == 0 {
+		return nil, fmt.Errorf("gtpcc: empty nearest-warehouse order")
+	}
+	for _, g := range cfg.Nearest {
+		if g == cfg.Home {
+			return nil, fmt.Errorf("gtpcc: home warehouse %d in nearest order", g)
+		}
+	}
+	if cfg.Locality <= 0 || cfg.Locality > 1 {
+		return nil, fmt.Errorf("gtpcc: locality rate %v outside (0,1]", cfg.Locality)
+	}
+	if cfg.MaxDst == 0 {
+		cfg.MaxDst = 3
+	}
+	remoteRate := 0.15 // TPC-C: 15 % of payments hit a remote warehouse
+	if cfg.GlobalOnly {
+		remoteRate = 1
+	}
+	return &Gen{cfg: cfg, rng: rng, remoteRate: remoteRate}, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, rng *rand.Rand) *Gen {
+	g, err := New(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Next generates the next transaction.
+func (g *Gen) Next() Tx {
+	for {
+		tx := g.gen()
+		if len(tx.Dst) > g.cfg.MaxDst {
+			continue // the paper excludes >3-destination messages
+		}
+		if g.cfg.GlobalOnly && len(tx.Dst) < 2 {
+			continue
+		}
+		return tx
+	}
+}
+
+func (g *Gen) gen() Tx {
+	roll := g.rng.Float64()
+	if g.cfg.GlobalOnly {
+		// Normalize new-order:payment to 45:43.
+		if roll < 45.0/88.0 {
+			return g.newOrder()
+		}
+		return g.payment()
+	}
+	switch {
+	case roll < 0.45:
+		return g.newOrder()
+	case roll < 0.88:
+		return g.payment()
+	case roll < 0.92:
+		return g.local(OrderStatus, 40)
+	case roll < 0.96:
+		return g.local(Delivery, 40)
+	default:
+		return g.local(StockLevel, 40)
+	}
+}
+
+func (g *Gen) newOrder() Tx {
+	items := 5 + g.rng.Intn(11) // uniform in [5,15]
+	dst := []amcast.GroupID{g.cfg.Home}
+	for i := 0; i < items; i++ {
+		if g.rng.Float64() < 0.02 { // TPC-C: 2 % of items are remote
+			dst = append(dst, g.pickRemote())
+		}
+	}
+	if g.cfg.GlobalOnly && len(dst) == 1 {
+		dst = append(dst, g.pickRemote())
+	}
+	dst = amcast.NormalizeDst(dst)
+	return Tx{
+		Type:        NewOrder,
+		Dst:         dst,
+		Items:       items,
+		PayloadSize: 64 + 12*items,
+	}
+}
+
+func (g *Gen) payment() Tx {
+	dst := []amcast.GroupID{g.cfg.Home}
+	if g.rng.Float64() < g.remoteRate {
+		dst = append(dst, g.pickRemote())
+	}
+	dst = amcast.NormalizeDst(dst)
+	return Tx{Type: Payment, Dst: dst, PayloadSize: 48}
+}
+
+func (g *Gen) local(t TxType, size int) Tx {
+	return Tx{Type: t, Dst: []amcast.GroupID{g.cfg.Home}, PayloadSize: size}
+}
+
+// pickRemote walks the nearest-warehouse order: the nearest warehouse is
+// chosen with probability Locality, otherwise the next nearest, and so on;
+// the walk stops at the farthest warehouse (§5.3).
+func (g *Gen) pickRemote() amcast.GroupID {
+	for _, w := range g.cfg.Nearest[:len(g.cfg.Nearest)-1] {
+		if g.rng.Float64() < g.cfg.Locality {
+			return w
+		}
+	}
+	return g.cfg.Nearest[len(g.cfg.Nearest)-1]
+}

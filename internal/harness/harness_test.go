@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"math"
+	"testing"
+)
+
+// small returns a configuration small enough for unit tests but large
+// enough to exercise cross-message dependencies.
+func small(p Protocol) Config {
+	return Config{
+		Protocol:   p,
+		Locality:   0.90,
+		NumClients: 36,
+		GlobalOnly: true,
+		Duration:   3_000_000, // 3 virtual seconds
+		Seed:       1,
+	}
+}
+
+func TestRunCheckedAllProtocols(t *testing.T) {
+	for _, p := range []Protocol{FlexCast, Distributed, Hierarchical} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := RunChecked(small(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed == 0 {
+				t.Fatal("no transactions completed in the measurement window")
+			}
+			if res.PerDest[0].Len() == 0 {
+				t.Fatal("no first-destination latencies recorded")
+			}
+			if got := res.PerDest[0].Percentile(50); math.IsNaN(got) || got <= 0 {
+				t.Fatalf("implausible median first-destination latency: %v", got)
+			}
+			t.Logf("%s: completed=%d p90(1st)=%.1fms events=%d",
+				p, res.Completed, res.PerDest[0].Percentile(90)/1000, res.Events)
+		})
+	}
+}
+
+func TestFlexCastWithFlushGC(t *testing.T) {
+	cfg := small(FlexCast)
+	cfg.FlushEvery = 300_000 // flush every 0.3 virtual seconds
+	res, err := RunChecked(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+}
+
+func TestGenuineProtocolsHaveZeroOverhead(t *testing.T) {
+	for _, p := range []Protocol{FlexCast, Distributed} {
+		// Quiesced runs: messages still in flight at the horizon would
+		// otherwise count as received-but-undelivered.
+		res, err := RunChecked(small(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, ov := range res.Overhead() {
+			if ov != 0 {
+				t.Errorf("%s: group %d has overhead %.3f, want 0", p, g, ov)
+			}
+		}
+	}
+}
+
+func TestHierarchicalHasOverhead(t *testing.T) {
+	res, err := Run(small(Hierarchical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, ov := range res.Overhead() {
+		total += ov
+	}
+	if total == 0 {
+		t.Fatal("hierarchical protocol shows zero overhead everywhere; relaying not happening")
+	}
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/wan"
+)
+
+// TestAllProtocolsDeliverTheSameMessageSets runs the identical workload
+// (same seed, same clients) through all three protocols and checks that
+// every group delivers exactly the same set of messages under each —
+// the protocols may order differently, but Validity/Agreement make the
+// delivered sets a pure function of the workload.
+func TestAllProtocolsDeliverTheSameMessageSets(t *testing.T) {
+	sets := make(map[Protocol]map[amcast.GroupID][]amcast.MsgID)
+	for _, p := range []Protocol{FlexCast, Distributed, Hierarchical} {
+		res, err := RunChecked(Config{
+			Protocol:   p,
+			Locality:   0.90,
+			NumClients: 24,
+			GlobalOnly: true,
+			Duration:   2_000_000,
+			Seed:       99,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perGroup := make(map[amcast.GroupID][]amcast.MsgID)
+		for _, g := range wan.Groups() {
+			seq := res.Trace.Sequence(g)
+			sort.Slice(seq, func(i, j int) bool { return seq[i] < seq[j] })
+			perGroup[g] = seq
+		}
+		sets[p] = perGroup
+	}
+	// Closed-loop clients complete transactions at protocol-dependent
+	// speeds, so the number of issued messages per client differs across
+	// protocols. The generator stream per client is seed-deterministic,
+	// so the comparable population is the per-client common prefix:
+	// messages with seq <= min over protocols of that client's highest
+	// delivered seq. Restricted to that population, the delivered sets
+	// must be identical per group.
+	maxSeq := make(map[Protocol]map[int]uint64)
+	for p, perGroup := range sets {
+		m := make(map[int]uint64)
+		for _, seq := range perGroup {
+			for _, id := range seq {
+				if id.Seq() > m[id.Client()] {
+					m[id.Client()] = id.Seq()
+				}
+			}
+		}
+		maxSeq[p] = m
+	}
+	common := make(map[int]uint64)
+	for c := range maxSeq[FlexCast] {
+		min := maxSeq[FlexCast][c]
+		for _, p := range []Protocol{Distributed, Hierarchical} {
+			if s := maxSeq[p][c]; s < min {
+				min = s
+			}
+		}
+		common[c] = min
+	}
+	restrict := func(seq []amcast.MsgID) map[amcast.MsgID]bool {
+		out := make(map[amcast.MsgID]bool)
+		for _, id := range seq {
+			if id.Seq() <= common[id.Client()] {
+				out[id] = true
+			}
+		}
+		return out
+	}
+	for _, g := range wan.Groups() {
+		ref := restrict(sets[FlexCast][g])
+		for _, p := range []Protocol{Distributed, Hierarchical} {
+			got := restrict(sets[p][g])
+			if len(got) != len(ref) {
+				t.Fatalf("group %d: %s delivered %d common-prefix messages, FlexCast %d",
+					g, p, len(got), len(ref))
+			}
+			for id := range ref {
+				if !got[id] {
+					t.Fatalf("group %d: message %s delivered under FlexCast but not %s", g, id, p)
+				}
+			}
+		}
+	}
+}
+
+// TestFlushKeepsHistoriesBounded runs FlexCast long enough for several
+// flush cycles and verifies the flush mechanism's purpose (§4.3): live
+// history size stays bounded instead of growing with the run.
+func TestFlushKeepsHistoriesBounded(t *testing.T) {
+	run := func(flush int64, dur int64) int {
+		res, err := Run(Config{
+			Protocol:   FlexCast,
+			Locality:   0.95,
+			NumClients: 60,
+			GlobalOnly: true,
+			Duration:   dur,
+			Seed:       5,
+			FlushEvery: flush,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, n := range res.FinalHistoryLen {
+			total += n
+		}
+		return total
+	}
+	// Without GC, history size scales with the run length; with GC it is
+	// bounded by the flush period regardless of run length.
+	gcShort := run(250_000, 3_000_000)
+	gcLong := run(250_000, 9_000_000)
+	noGCShort := run(0, 3_000_000)
+	noGCLong := run(0, 9_000_000)
+	if noGCLong < noGCShort*2 {
+		t.Errorf("without GC, histories did not grow with the run: %d -> %d nodes", noGCShort, noGCLong)
+	}
+	if gcLong > gcShort*2 {
+		t.Errorf("with GC, histories grew with the run: %d -> %d nodes", gcShort, gcLong)
+	}
+	if gcLong >= noGCLong {
+		t.Errorf("GC did not shrink histories: %d (gc) vs %d (no gc)", gcLong, noGCLong)
+	}
+}
+
+// TestThroughputSaturatesWithProcessingCost checks the Figure-6
+// mechanism in isolation: with a processing-cost model, adding clients
+// beyond saturation must not increase throughput proportionally.
+func TestThroughputSaturatesWithProcessingCost(t *testing.T) {
+	run := func(clients int) float64 {
+		res, err := Run(Config{
+			Protocol:      FlexCast,
+			Locality:      0.99,
+			NumClients:    clients,
+			GlobalOnly:    false,
+			Duration:      2_000_000,
+			Seed:          3,
+			ProcCostBase:  400,
+			ProcCostPerKB: 900,
+			FlushEvery:    250_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Throughput()
+	}
+	low := run(24)
+	high := run(480)
+	if high < low {
+		t.Fatalf("more clients reduced throughput below the 24-client level: %.0f -> %.0f", low, high)
+	}
+	// 20x the clients must NOT give anywhere near 20x the throughput once
+	// saturated.
+	if high > low*10 {
+		t.Fatalf("no saturation: %.0f -> %.0f ops/s for 20x clients", low, high)
+	}
+}
+
+// TestLatencyDistributionsAreDeterministic re-runs one configuration and
+// compares full percentile rows.
+func TestLatencyDistributionsAreDeterministic(t *testing.T) {
+	run := func() []float64 {
+		res, err := Run(small(FlexCast))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for k := 0; k < 3; k++ {
+			for _, p := range []float64{50, 90, 99} {
+				out = append(out, res.PerDest[k].Percentile(p))
+			}
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config, different distributions:\n%v\n%v", a, b)
+	}
+}
+
+// TestUnknownProtocolRejected covers the configuration error path.
+func TestUnknownProtocolRejected(t *testing.T) {
+	if _, err := Run(Config{Protocol: Protocol(99), NumClients: 1, Duration: 1000}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+// TestResultAccessors covers Throughput and Overhead edge cases.
+func TestResultAccessors(t *testing.T) {
+	r := &Result{}
+	if r.Throughput() != 0 {
+		t.Fatal("zero-window throughput not zero")
+	}
+}

@@ -1,0 +1,187 @@
+package hierarchical_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/hierarchical"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+)
+
+// Test tree:
+//
+//	    1
+//	   / \
+//	  2   3
+//	 / \
+//	4   5
+func testTree() *overlay.Tree {
+	return overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{
+		1: {2, 3},
+		2: {4, 5},
+	})
+}
+
+func router(t *testing.T) (*prototest.Router, map[amcast.GroupID]*hierarchical.Engine) {
+	t.Helper()
+	tr := testTree()
+	engines := make(map[amcast.GroupID]*hierarchical.Engine)
+	r := prototest.NewRouter(t, tr.Groups(), func(g amcast.GroupID) amcast.Engine {
+		e := hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tr})
+		engines[g] = e
+		return e
+	})
+	return r, engines
+}
+
+func ids(vs ...uint64) []amcast.MsgID {
+	out := make([]amcast.MsgID, len(vs))
+	for i, v := range vs {
+		out[i] = amcast.MsgID(v)
+	}
+	return out
+}
+
+func TestEntryAtTreeLcaAndForwarding(t *testing.T) {
+	r, engines := router(t)
+	// dst {4,5}: tree lca is 2; the message never touches 1 or 3.
+	m := prototest.Msg(1, 4, 5)
+	r.Multicast(2, m)
+	r.Drain()
+	if got := r.Seq(4); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("4 delivered %v", got)
+	}
+	if got := r.Seq(5); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("5 delivered %v", got)
+	}
+	if len(r.Seq(1))+len(r.Seq(3)) != 0 {
+		t.Fatal("non-destination delivered")
+	}
+	// Group 2 relayed without being a destination: the protocol's
+	// non-genuineness.
+	if engines[2].Relayed() != 1 {
+		t.Fatalf("relayed = %d, want 1", engines[2].Relayed())
+	}
+	if engines[1].Relayed() != 0 {
+		t.Fatal("root relayed a message it never saw")
+	}
+}
+
+func TestInnerDestinationDeliversAndForwards(t *testing.T) {
+	r, engines := router(t)
+	m := prototest.Msg(1, 2, 4) // lca is 2, which is also a destination
+	r.Multicast(2, m)
+	r.Drain()
+	if got := r.Seq(2); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("2 delivered %v", got)
+	}
+	if got := r.Seq(4); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("4 delivered %v", got)
+	}
+	if engines[2].Relayed() != 0 {
+		t.Fatal("destination counted as relay")
+	}
+}
+
+func TestCrossSubtreeGoesThroughRoot(t *testing.T) {
+	r, engines := router(t)
+	m := prototest.Msg(1, 3, 4) // lca is the root
+	r.Multicast(1, m)
+	r.Drain()
+	if !reflect.DeepEqual(r.Seq(3), ids(1)) || !reflect.DeepEqual(r.Seq(4), ids(1)) {
+		t.Fatalf("3: %v, 4: %v", r.Seq(3), r.Seq(4))
+	}
+	// Root and group 2 both relay.
+	if engines[1].Relayed() != 1 || engines[2].Relayed() != 1 {
+		t.Fatalf("relays: root=%d, 2=%d", engines[1].Relayed(), engines[2].Relayed())
+	}
+}
+
+func TestHigherGroupOrderPreserved(t *testing.T) {
+	r, _ := router(t)
+	// Both messages ordered at the root, then delivered at 4 and 5 in the
+	// same order via FIFO links.
+	m1 := prototest.Msg(1, 3, 4, 5)
+	m2 := prototest.Msg(2, 3, 4, 5)
+	r.Multicast(1, m1)
+	r.Multicast(1, m2)
+	r.Drain()
+	for _, g := range []amcast.GroupID{3, 4, 5} {
+		if got := r.Seq(g); !reflect.DeepEqual(got, ids(1, 2)) {
+			t.Fatalf("group %d delivered %v", g, got)
+		}
+	}
+	if err := r.Recorder.CheckAll(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMisroutedRequestDropped(t *testing.T) {
+	r, _ := router(t)
+	r.Multicast(4, prototest.Msg(1, 4, 5)) // lca is 2, not 4
+	r.Drain()
+	if len(r.Seq(4)) != 0 {
+		t.Fatal("misrouted request delivered")
+	}
+}
+
+func TestDuplicateForwardIgnored(t *testing.T) {
+	r, _ := router(t)
+	m := prototest.Msg(1, 2)
+	r.Multicast(2, m)
+	r.Multicast(2, m)
+	if got := r.Seq(2); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("2 delivered %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	tr := testTree()
+	if _, err := hierarchical.New(hierarchical.Config{Group: 1}); err == nil {
+		t.Error("nil tree accepted")
+	}
+	if _, err := hierarchical.New(hierarchical.Config{Group: 9, Tree: tr}); err == nil {
+		t.Error("group outside tree accepted")
+	}
+}
+
+func TestRandomWorkloadProperties(t *testing.T) {
+	trees := map[string]*overlay.Tree{
+		"balanced": testTree(),
+		"star": overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{
+			1: {2, 3, 4, 5},
+		}),
+		"chain": overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{
+			1: {2}, 2: {3}, 3: {4}, 4: {5},
+		}),
+	}
+	for name, tr := range trees {
+		tr := tr
+		for seed := int64(0); seed < 4; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", name, seed), func(t *testing.T) {
+				rec := prototest.RunRandom(t, prototest.RandomConfig{
+					Groups:   tr.Groups(),
+					Clients:  4,
+					Messages: 25,
+					Route: func(m amcast.Message) []amcast.NodeID {
+						return []amcast.NodeID{amcast.GroupNode(tr.Lca(m.Dst))}
+					},
+					Factory: func(g amcast.GroupID) amcast.Engine {
+						return hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tr})
+					},
+					Seed:   seed*13 + 7,
+					Jitter: 500,
+				})
+				// Minimality must NOT be checked: the protocol is not
+				// genuine by design.
+				if err := rec.CheckAll(false); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,411 @@
+// Package history implements FlexCast's history data structure (paper
+// §4.1, Strategy a, and Algorithm 1): a DAG whose vertexes are messages
+// (id + destination set) and whose edges record relative delivery order.
+// Every group maintains one history; it grows by local deliveries and by
+// merging the history diffs received from ancestor groups, and it shrinks
+// through flush-based garbage collection (§4.3).
+//
+// The structure also maintains an append-only log of first-seen nodes and
+// edges. Per-descendant diff tracking (diff-hst in Algorithm 3) is a pair
+// of indexes into this log, which makes computing "the part of my history
+// I have not yet sent to h" O(new entries) instead of O(|history|).
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+)
+
+// Node is one history vertex: a message id and its destinations.
+type Node struct {
+	ID  amcast.MsgID
+	Dst []amcast.GroupID
+}
+
+type logEntry struct {
+	// isEdge selects which of the two fields below is meaningful.
+	isEdge bool
+	node   Node
+	edge   amcast.HistEdge
+}
+
+// History is the history H = (M, D, lastDlvd) of one group. The zero value
+// is not usable; call New.
+type History struct {
+	nodes map[amcast.MsgID]Node
+	succ  map[amcast.MsgID]map[amcast.MsgID]struct{}
+	pred  map[amcast.MsgID]map[amcast.MsgID]struct{}
+	last  amcast.MsgID // lastDlvd; 0 means ⊥
+	// msgsTo counts live nodes addressed to each group, backing the
+	// hst.containsMsgTo(d) test of Algorithm 3 (send-notifs).
+	msgsTo map[amcast.GroupID]int
+	// log records first-seen nodes and edges in insertion order; pruned
+	// entries are left in place (they are dead weight for at most one diff
+	// per descendant) so that diff cursors remain valid monotonic indexes.
+	log []logEntry
+}
+
+// New returns an empty history.
+func New() *History {
+	return &History{
+		nodes:  make(map[amcast.MsgID]Node),
+		succ:   make(map[amcast.MsgID]map[amcast.MsgID]struct{}),
+		pred:   make(map[amcast.MsgID]map[amcast.MsgID]struct{}),
+		msgsTo: make(map[amcast.GroupID]int),
+	}
+}
+
+// Len returns the number of live nodes.
+func (h *History) Len() int { return len(h.nodes) }
+
+// EdgeCount returns the number of live edges.
+func (h *History) EdgeCount() int {
+	n := 0
+	for _, s := range h.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Contains reports whether the message id is a live node.
+func (h *History) Contains(id amcast.MsgID) bool {
+	_, ok := h.nodes[id]
+	return ok
+}
+
+// NodeOf returns the node for id, and whether it exists.
+func (h *History) NodeOf(id amcast.MsgID) (Node, bool) {
+	n, ok := h.nodes[id]
+	return n, ok
+}
+
+// LastDelivered returns the id of the last message delivered at this
+// group, or 0 if none.
+func (h *History) LastDelivered() amcast.MsgID { return h.last }
+
+// ContainsMsgTo reports whether the history holds any live message
+// addressed to g (hst.containsMsgTo in Algorithm 3 line 38).
+func (h *History) ContainsMsgTo(g amcast.GroupID) bool { return h.msgsTo[g] > 0 }
+
+// AddNode inserts a node if it is not already present, returning true when
+// the node is new. If the node exists as a placeholder (empty destination
+// set, materialized by an edge that referenced it), the destinations are
+// filled in and the node is NOT reported as new.
+func (h *History) AddNode(n Node) bool {
+	existing, ok := h.nodes[n.ID]
+	if ok {
+		if len(existing.Dst) == 0 && len(n.Dst) > 0 {
+			h.nodes[n.ID] = n
+			for _, g := range n.Dst {
+				h.msgsTo[g]++
+			}
+			// Re-log the now-complete node so descendants whose diff
+			// cursor already passed the placeholder entry still learn the
+			// destinations.
+			h.log = append(h.log, logEntry{node: n})
+		}
+		return false
+	}
+	h.nodes[n.ID] = n
+	for _, g := range n.Dst {
+		h.msgsTo[g]++
+	}
+	h.log = append(h.log, logEntry{node: n})
+	return true
+}
+
+// AddEdge inserts a dependency edge (from ordered before to), returning
+// true when the edge is new. Unknown endpoints are materialized as
+// placeholder nodes so that reachability through pruned or not-yet-known
+// messages is preserved.
+func (h *History) AddEdge(from, to amcast.MsgID) bool {
+	if from == to {
+		return false
+	}
+	if s, ok := h.succ[from]; ok {
+		if _, dup := s[to]; dup {
+			return false
+		}
+	}
+	h.ensureNode(from)
+	h.ensureNode(to)
+	addSet(h.succ, from, to)
+	addSet(h.pred, to, from)
+	h.log = append(h.log, logEntry{isEdge: true, edge: amcast.HistEdge{From: from, To: to}})
+	return true
+}
+
+func (h *History) ensureNode(id amcast.MsgID) {
+	if _, ok := h.nodes[id]; !ok {
+		n := Node{ID: id}
+		h.nodes[id] = n
+		h.log = append(h.log, logEntry{node: n})
+	}
+}
+
+func addSet(m map[amcast.MsgID]map[amcast.MsgID]struct{}, k, v amcast.MsgID) {
+	s, ok := m[k]
+	if !ok {
+		s = make(map[amcast.MsgID]struct{})
+		m[k] = s
+	}
+	s[v] = struct{}{}
+}
+
+// AppendDelivered records a local delivery (hst-add in Algorithm 3): the
+// node is inserted, ordered after the previous local delivery, and becomes
+// lastDlvd. Returns the nodes newly added to the history (the message
+// itself if it was unknown).
+func (h *History) AppendDelivered(n Node) bool {
+	isNew := h.AddNode(n)
+	if h.last != 0 && h.last != n.ID {
+		h.AddEdge(h.last, n.ID)
+	}
+	h.last = n.ID
+	return isNew
+}
+
+// Merge integrates a received history diff (update-hst in Algorithm 3)
+// and returns the nodes that were new to this history. The caller uses
+// the new nodes to maintain its open-dependency set.
+func (h *History) Merge(d *amcast.HistDelta) []Node {
+	if d == nil {
+		return nil
+	}
+	var added []Node
+	for _, hn := range d.Nodes {
+		n := Node{ID: hn.ID, Dst: hn.Dst}
+		if h.AddNode(n) {
+			added = append(added, n)
+		}
+	}
+	for _, e := range d.Edges {
+		before := len(h.log)
+		h.AddEdge(e.From, e.To)
+		// AddEdge may materialize placeholder endpoints; report them too so
+		// the engine can track them if they later gain destinations.
+		for _, le := range h.log[before:] {
+			if !le.isEdge {
+				added = append(added, le.node)
+			}
+		}
+	}
+	return added
+}
+
+// Cursor is a per-descendant diff position: an index into the append-only
+// log. A zero Cursor means "nothing sent yet".
+type Cursor int
+
+// DiffSince returns the portion of the history appended after the cursor
+// as a wire delta, plus the advanced cursor (diff-hst in Algorithm 3).
+// Entries pruned by garbage collection are skipped: they recorded
+// dependencies that are fully resolved system-wide (everything before a
+// delivered flush), so descendants no longer need them — this is what
+// keeps FlexCast's history piggybacking bounded (§4.3).
+func (h *History) DiffSince(c Cursor) (*amcast.HistDelta, Cursor) {
+	if int(c) >= len(h.log) {
+		return nil, c
+	}
+	var d *amcast.HistDelta
+	for _, le := range h.log[c:] {
+		if le.isEdge {
+			if s, ok := h.succ[le.edge.From]; !ok {
+				continue
+			} else if _, live := s[le.edge.To]; !live {
+				continue
+			}
+			if d == nil {
+				d = &amcast.HistDelta{}
+			}
+			d.Edges = append(d.Edges, le.edge)
+		} else {
+			n, ok := h.nodes[le.node.ID]
+			if !ok {
+				continue
+			}
+			if d == nil {
+				d = &amcast.HistDelta{}
+			}
+			d.Nodes = append(d.Nodes, amcast.HistNode{ID: n.ID, Dst: n.Dst})
+		}
+	}
+	return d, Cursor(len(h.log))
+}
+
+// CompactLog drops dead (pruned) entries from the log and remaps the
+// given diff cursors to the compacted positions. Engines call it after a
+// flush prune so long-lived runs keep bounded memory.
+func (h *History) CompactLog(cursors []*Cursor) {
+	live := h.log[:0]
+	// remap[i] = number of surviving entries strictly before old index i.
+	remap := make([]Cursor, len(h.log)+1)
+	for i, le := range h.log {
+		remap[i] = Cursor(len(live))
+		keep := false
+		if le.isEdge {
+			if s, ok := h.succ[le.edge.From]; ok {
+				_, keep = s[le.edge.To]
+			}
+		} else {
+			_, keep = h.nodes[le.node.ID]
+		}
+		if keep {
+			live = append(live, le)
+		}
+	}
+	remap[len(h.log)] = Cursor(len(live))
+	h.log = live
+	for _, c := range cursors {
+		if int(*c) >= len(remap) {
+			*c = Cursor(len(live))
+			continue
+		}
+		*c = remap[*c]
+	}
+}
+
+// LogLen reports the log size (tests and memory accounting).
+func (h *History) LogLen() int { return len(h.log) }
+
+// AnyBefore walks every node with a (transitive) path to m, excluding m
+// itself, and reports whether pred returns true for any of them. This
+// implements the second can-deliver condition of Algorithm 3: "is there an
+// undelivered message addressed to me ordered before m".
+func (h *History) AnyBefore(m amcast.MsgID, pred func(amcast.MsgID) bool) bool {
+	return h.AnyBeforeUntil(m, pred, nil)
+}
+
+// AnyBeforeUntil is AnyBefore with search pruning: nodes for which stop
+// returns true are tested against pred but their own predecessors are not
+// explored. FlexCast prunes at locally delivered messages — the protocol
+// guarantees that when a message is delivered every predecessor addressed
+// to this group was delivered first, so nothing open can hide behind a
+// delivered node. This turns the per-delivery dependency check from
+// O(|history|) into O(open frontier).
+func (h *History) AnyBeforeUntil(m amcast.MsgID, pred, stop func(amcast.MsgID) bool) bool {
+	seen := map[amcast.MsgID]bool{m: true}
+	stack := make([]amcast.MsgID, 0, 8)
+	for p := range h.pred[m] {
+		if !seen[p] {
+			seen[p] = true
+			stack = append(stack, p)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if pred(cur) {
+			return true
+		}
+		if stop != nil && stop(cur) {
+			continue
+		}
+		for p := range h.pred[cur] {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// DependsOn reports whether m transitively depends on mPrime (mPrime was
+// ordered before m somewhere in the system; depend(m, m') in Algorithm 3).
+func (h *History) DependsOn(m, mPrime amcast.MsgID) bool {
+	return h.AnyBefore(m, func(id amcast.MsgID) bool { return id == mPrime })
+}
+
+// PruneBefore removes every node with a path to flushID (i.e. every
+// message ordered before the flush message) and their edges, implementing
+// the garbage collection of §4.3. The flush node itself survives as the
+// new history root. Returns the number of removed nodes.
+func (h *History) PruneBefore(flushID amcast.MsgID) int {
+	if _, ok := h.nodes[flushID]; !ok {
+		return 0
+	}
+	// Collect the prune set: all strict ancestors of flushID.
+	doomed := make(map[amcast.MsgID]bool)
+	h.AnyBefore(flushID, func(id amcast.MsgID) bool {
+		doomed[id] = true
+		return false
+	})
+	for id := range doomed {
+		n := h.nodes[id]
+		for _, g := range n.Dst {
+			h.msgsTo[g]--
+		}
+		delete(h.nodes, id)
+		for s := range h.succ[id] {
+			delete(h.pred[s], id)
+		}
+		for p := range h.pred[id] {
+			delete(h.succ[p], id)
+		}
+		delete(h.succ, id)
+		delete(h.pred, id)
+	}
+	return len(doomed)
+}
+
+// Snapshot returns all live nodes sorted by id and all live edges sorted
+// by (from, to); used by tests and debugging dumps.
+func (h *History) Snapshot() ([]Node, []amcast.HistEdge) {
+	ns := make([]Node, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		ns = append(ns, n)
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+	var es []amcast.HistEdge
+	for from, s := range h.succ {
+		for to := range s {
+			es = append(es, amcast.HistEdge{From: from, To: to})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return ns, es
+}
+
+// CheckAcyclic verifies that the live dependency graph is a DAG. A cycle
+// would mean the protocol violated acyclic order; tests call this after
+// every merge.
+func (h *History) CheckAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[amcast.MsgID]int, len(h.nodes))
+	var visit func(id amcast.MsgID) error
+	visit = func(id amcast.MsgID) error {
+		color[id] = gray
+		for s := range h.succ[id] {
+			switch color[s] {
+			case gray:
+				return fmt.Errorf("history: cycle through %s and %s", id, s)
+			case white:
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for id := range h.nodes {
+		if color[id] == white {
+			if err := visit(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

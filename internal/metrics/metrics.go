@@ -1,0 +1,130 @@
+// Package metrics collects per-node communication counters: envelopes and
+// bytes sent/received, payload messages received, and application messages
+// delivered. These counters back the paper's communication-overhead
+// metric (Figures 1 and 9, Table 4: overhead = 1 − delivered/received over
+// payload messages) and the message-cost experiment (Figure 8: messages
+// per second, average message size, and KB/s per node).
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+)
+
+// NodeCounters aggregates traffic for one node.
+type NodeCounters struct {
+	EnvsSent      uint64
+	BytesSent     uint64
+	EnvsReceived  uint64
+	BytesReceived uint64
+	// ReceivedByKind counts received envelopes per kind.
+	ReceivedByKind map[amcast.Kind]uint64
+	// PayloadReceived counts received envelopes of payload-carrying kinds
+	// (REQUEST/MSG/FWD) — the denominator of the overhead metric.
+	PayloadReceived uint64
+	// Delivered counts application messages delivered by the node — the
+	// numerator of the overhead metric.
+	Delivered uint64
+}
+
+// Overhead returns the paper's communication overhead for this node:
+// 1 − delivered/received over payload messages, as a fraction in [0,1].
+// Nodes that received nothing report 0.
+func (c NodeCounters) Overhead() float64 {
+	if c.PayloadReceived == 0 {
+		return 0
+	}
+	ratio := float64(c.Delivered) / float64(c.PayloadReceived)
+	if ratio > 1 {
+		ratio = 1
+	}
+	return 1 - ratio
+}
+
+// AvgReceivedSize returns the mean received envelope size in bytes.
+func (c NodeCounters) AvgReceivedSize() float64 {
+	if c.EnvsReceived == 0 {
+		return 0
+	}
+	return float64(c.BytesReceived) / float64(c.EnvsReceived)
+}
+
+// Registry holds counters for all nodes of a deployment. Safe for
+// concurrent use (the TCP runtime updates it from multiple goroutines; the
+// simulator is single-threaded).
+type Registry struct {
+	mu    sync.Mutex
+	nodes map[amcast.NodeID]*NodeCounters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{nodes: make(map[amcast.NodeID]*NodeCounters)}
+}
+
+func (r *Registry) counters(n amcast.NodeID) *NodeCounters {
+	c, ok := r.nodes[n]
+	if !ok {
+		c = &NodeCounters{ReceivedByKind: make(map[amcast.Kind]uint64)}
+		r.nodes[n] = c
+	}
+	return c
+}
+
+// OnSend records a transmission; wire size is computed with the real
+// codec so simulated and TCP runs report identical numbers.
+func (r *Registry) OnSend(from, to amcast.NodeID, env amcast.Envelope) {
+	size := uint64(codec.Size(env))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters(from)
+	c.EnvsSent++
+	c.BytesSent += size
+	d := r.counters(to)
+	d.EnvsReceived++
+	d.BytesReceived += size
+	d.ReceivedByKind[env.Kind]++
+	if env.Kind.IsPayload() {
+		d.PayloadReceived++
+	}
+}
+
+// OnDeliver records an application delivery at a group.
+func (r *Registry) OnDeliver(g amcast.GroupID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters(amcast.GroupNode(g)).Delivered++
+}
+
+// Node returns a copy of the counters for one node.
+func (r *Registry) Node(n amcast.NodeID) NodeCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.nodes[n]
+	if !ok {
+		return NodeCounters{ReceivedByKind: map[amcast.Kind]uint64{}}
+	}
+	cp := *c
+	cp.ReceivedByKind = make(map[amcast.Kind]uint64, len(c.ReceivedByKind))
+	for k, v := range c.ReceivedByKind {
+		cp.ReceivedByKind[k] = v
+	}
+	return cp
+}
+
+// Groups returns the group nodes present in the registry, sorted.
+func (r *Registry) Groups() []amcast.GroupID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var gs []amcast.GroupID
+	for n := range r.nodes {
+		if !n.IsClient() {
+			gs = append(gs, n.Group())
+		}
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}

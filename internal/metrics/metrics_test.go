@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+)
+
+func fwd(id uint64) amcast.Envelope {
+	return amcast.Envelope{
+		Kind: amcast.KindFwd,
+		From: amcast.GroupNode(1),
+		Msg:  amcast.Message{ID: amcast.MsgID(id), Dst: []amcast.GroupID{2}, Payload: []byte("x")},
+	}
+}
+
+func ack(id uint64) amcast.Envelope {
+	return amcast.Envelope{Kind: amcast.KindAck, From: amcast.GroupNode(1),
+		Msg: amcast.Message{ID: amcast.MsgID(id), Dst: []amcast.GroupID{2}}}
+}
+
+func TestSendAccounting(t *testing.T) {
+	r := NewRegistry()
+	e := fwd(1)
+	r.OnSend(amcast.GroupNode(1), amcast.GroupNode(2), e)
+	from := r.Node(amcast.GroupNode(1))
+	to := r.Node(amcast.GroupNode(2))
+	size := uint64(codec.Size(e))
+	if from.EnvsSent != 1 || from.BytesSent != size {
+		t.Fatalf("sender counters = %+v", from)
+	}
+	if to.EnvsReceived != 1 || to.BytesReceived != size || to.PayloadReceived != 1 {
+		t.Fatalf("receiver counters = %+v", to)
+	}
+	if to.ReceivedByKind[amcast.KindFwd] != 1 {
+		t.Fatalf("per-kind counters = %+v", to.ReceivedByKind)
+	}
+}
+
+func TestAuxiliaryKindsNotPayload(t *testing.T) {
+	r := NewRegistry()
+	r.OnSend(amcast.GroupNode(1), amcast.GroupNode(2), ack(1))
+	if got := r.Node(amcast.GroupNode(2)).PayloadReceived; got != 0 {
+		t.Fatalf("ACK counted as payload: %d", got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	r := NewRegistry()
+	// Group 2 receives 4 payload messages, delivers 3 => overhead 25%.
+	for i := 0; i < 4; i++ {
+		r.OnSend(amcast.GroupNode(1), amcast.GroupNode(2), fwd(uint64(i)))
+	}
+	for i := 0; i < 3; i++ {
+		r.OnDeliver(2)
+	}
+	if got := r.Node(amcast.GroupNode(2)).Overhead(); got != 0.25 {
+		t.Fatalf("overhead = %v, want 0.25", got)
+	}
+}
+
+func TestOverheadEdgeCases(t *testing.T) {
+	var c NodeCounters
+	if c.Overhead() != 0 {
+		t.Fatal("empty counters must report zero overhead")
+	}
+	// Delivered > received (flush or locally originated deliveries) clamps
+	// to zero rather than going negative.
+	c.PayloadReceived = 1
+	c.Delivered = 2
+	if c.Overhead() != 0 {
+		t.Fatalf("overhead = %v, want 0 (clamped)", c.Overhead())
+	}
+}
+
+func TestAvgReceivedSize(t *testing.T) {
+	r := NewRegistry()
+	e := fwd(1)
+	r.OnSend(amcast.GroupNode(1), amcast.GroupNode(2), e)
+	r.OnSend(amcast.GroupNode(1), amcast.GroupNode(2), e)
+	want := float64(codec.Size(e))
+	if got := r.Node(amcast.GroupNode(2)).AvgReceivedSize(); got != want {
+		t.Fatalf("avg size = %v, want %v", got, want)
+	}
+	var zero NodeCounters
+	if zero.AvgReceivedSize() != 0 {
+		t.Fatal("empty avg size not zero")
+	}
+}
+
+func TestNodeReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.OnSend(amcast.GroupNode(1), amcast.GroupNode(2), fwd(1))
+	c := r.Node(amcast.GroupNode(2))
+	c.ReceivedByKind[amcast.KindFwd] = 99
+	if r.Node(amcast.GroupNode(2)).ReceivedByKind[amcast.KindFwd] == 99 {
+		t.Fatal("Node leaked internal map")
+	}
+	// Unknown nodes return usable zero counters.
+	unknown := r.Node(amcast.GroupNode(9))
+	if unknown.EnvsReceived != 0 || unknown.ReceivedByKind == nil {
+		t.Fatalf("unknown node counters = %+v", unknown)
+	}
+}
+
+func TestGroupsListsOnlyGroups(t *testing.T) {
+	r := NewRegistry()
+	r.OnSend(amcast.ClientNode(1), amcast.GroupNode(3), fwd(1))
+	r.OnSend(amcast.GroupNode(3), amcast.GroupNode(1), ack(1))
+	gs := r.Groups()
+	if len(gs) != 2 || gs[0] != 1 || gs[1] != 3 {
+		t.Fatalf("Groups = %v, want [1 3]", gs)
+	}
+}

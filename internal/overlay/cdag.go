@@ -1,0 +1,158 @@
+// Package overlay implements the communication overlays used by the
+// protocols: the complete directed acyclic graph (C-DAG) used by FlexCast
+// and the tree overlays used by the hierarchical protocol, together with
+// the greedy nearest-neighbour chain construction the paper uses to build
+// the C-DAG rank orders O1 and O2 (§5.4).
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+)
+
+// CDAG is a complete directed acyclic graph over a set of groups: each
+// group has a unique rank in 0..n-1 and there is a directed edge from every
+// group of rank i to every group of rank j > i. "Ancestors" of g are the
+// groups ranked below g, "descendants" the groups ranked above g (paper
+// §4.1).
+type CDAG struct {
+	order []amcast.GroupID       // order[rank] = group
+	rank  map[amcast.GroupID]int // group -> rank
+}
+
+// NewCDAG builds a C-DAG whose rank order is the given group sequence:
+// order[0] is the lowest-ranked group (everyone's potential ancestor).
+func NewCDAG(order []amcast.GroupID) (*CDAG, error) {
+	if len(order) == 0 {
+		return nil, fmt.Errorf("overlay: empty rank order")
+	}
+	rank := make(map[amcast.GroupID]int, len(order))
+	for i, g := range order {
+		if g == amcast.NoGroup {
+			return nil, fmt.Errorf("overlay: rank %d uses reserved group id 0", i)
+		}
+		if _, dup := rank[g]; dup {
+			return nil, fmt.Errorf("overlay: group %d appears twice in rank order", g)
+		}
+		rank[g] = i
+	}
+	return &CDAG{order: append([]amcast.GroupID(nil), order...), rank: rank}, nil
+}
+
+// MustCDAG is NewCDAG for known-good literals; it panics on error.
+func MustCDAG(order []amcast.GroupID) *CDAG {
+	d, err := NewCDAG(order)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Len returns the number of groups.
+func (d *CDAG) Len() int { return len(d.order) }
+
+// Order returns the rank order (a copy).
+func (d *CDAG) Order() []amcast.GroupID {
+	return append([]amcast.GroupID(nil), d.order...)
+}
+
+// Groups returns the member groups sorted by id.
+func (d *CDAG) Groups() []amcast.GroupID {
+	gs := d.Order()
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}
+
+// Contains reports whether g is part of the overlay.
+func (d *CDAG) Contains(g amcast.GroupID) bool {
+	_, ok := d.rank[g]
+	return ok
+}
+
+// Rank returns g's rank; it panics if g is not in the overlay.
+func (d *CDAG) Rank(g amcast.GroupID) int {
+	r, ok := d.rank[g]
+	if !ok {
+		panic(fmt.Sprintf("overlay: group %d not in C-DAG", g))
+	}
+	return r
+}
+
+// GroupAt returns the group with the given rank.
+func (d *CDAG) GroupAt(rank int) amcast.GroupID { return d.order[rank] }
+
+// Lca returns the lowest-ranked group among dst (m.lca() in Algorithm 1).
+// dst must be non-empty and contained in the overlay.
+func (d *CDAG) Lca(dst []amcast.GroupID) amcast.GroupID {
+	if len(dst) == 0 {
+		panic("overlay: Lca of empty destination set")
+	}
+	best := dst[0]
+	bestRank := d.Rank(best)
+	for _, g := range dst[1:] {
+		if r := d.Rank(g); r < bestRank {
+			best, bestRank = g, r
+		}
+	}
+	return best
+}
+
+// IsAncestor reports whether a is an ancestor of g (strictly lower rank).
+func (d *CDAG) IsAncestor(a, g amcast.GroupID) bool { return d.Rank(a) < d.Rank(g) }
+
+// Ancestors returns the groups ranked strictly below g, in rank order.
+func (d *CDAG) Ancestors(g amcast.GroupID) []amcast.GroupID {
+	return append([]amcast.GroupID(nil), d.order[:d.Rank(g)]...)
+}
+
+// Descendants returns the groups ranked strictly above g, in rank order.
+func (d *CDAG) Descendants(g amcast.GroupID) []amcast.GroupID {
+	return append([]amcast.GroupID(nil), d.order[d.Rank(g)+1:]...)
+}
+
+// SortByRank sorts groups ascending by rank, in place, and returns them.
+// Protocol engines use it to emit envelopes in a deterministic order.
+func (d *CDAG) SortByRank(gs []amcast.GroupID) []amcast.GroupID {
+	sort.Slice(gs, func(i, j int) bool { return d.Rank(gs[i]) < d.Rank(gs[j]) })
+	return gs
+}
+
+// GreedyChain implements the paper's O1/O2 construction rule (§5.4): start
+// from a chosen group, then repeatedly append the unvisited group closest
+// to the previously appended one. rtt reports the symmetric distance
+// between two groups; ties break toward the smaller group id so the result
+// is deterministic.
+func GreedyChain(start amcast.GroupID, groups []amcast.GroupID, rtt func(a, b amcast.GroupID) int64) ([]amcast.GroupID, error) {
+	remaining := make(map[amcast.GroupID]bool, len(groups))
+	for _, g := range groups {
+		remaining[g] = true
+	}
+	if !remaining[start] {
+		return nil, fmt.Errorf("overlay: start group %d not in group set", start)
+	}
+	chain := []amcast.GroupID{start}
+	delete(remaining, start)
+	cur := start
+	for len(remaining) > 0 {
+		var next amcast.GroupID
+		var best int64 = -1
+		// Deterministic iteration: visit candidates in id order.
+		cands := make([]amcast.GroupID, 0, len(remaining))
+		for g := range remaining {
+			cands = append(cands, g)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		for _, g := range cands {
+			d := rtt(cur, g)
+			if best < 0 || d < best {
+				best, next = d, g
+			}
+		}
+		chain = append(chain, next)
+		delete(remaining, next)
+		cur = next
+	}
+	return chain, nil
+}

@@ -1,0 +1,171 @@
+package overlay
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flexcast/amcast"
+)
+
+func gs(ids ...int) []amcast.GroupID {
+	out := make([]amcast.GroupID, len(ids))
+	for i, id := range ids {
+		out[i] = amcast.GroupID(id)
+	}
+	return out
+}
+
+func TestNewCDAGValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		order   []amcast.GroupID
+		wantErr bool
+	}{
+		{"valid", gs(3, 1, 2), false},
+		{"single", gs(7), false},
+		{"empty", nil, true},
+		{"duplicate", gs(1, 2, 1), true},
+		{"reserved zero id", gs(1, 0, 2), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewCDAG(tt.order)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewCDAG(%v) error = %v, wantErr %v", tt.order, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCDAGRanksAndRelations(t *testing.T) {
+	d := MustCDAG(gs(8, 7, 6, 5))
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", d.Len())
+	}
+	wantRanks := map[amcast.GroupID]int{8: 0, 7: 1, 6: 2, 5: 3}
+	for g, r := range wantRanks {
+		if got := d.Rank(g); got != r {
+			t.Errorf("Rank(%d) = %d, want %d", g, got, r)
+		}
+		if got := d.GroupAt(r); got != g {
+			t.Errorf("GroupAt(%d) = %d, want %d", r, got, g)
+		}
+	}
+	if !d.IsAncestor(8, 5) || d.IsAncestor(5, 8) {
+		t.Error("ancestor relation does not follow rank order")
+	}
+	if got := d.Ancestors(6); !reflect.DeepEqual(got, gs(8, 7)) {
+		t.Errorf("Ancestors(6) = %v, want [8 7]", got)
+	}
+	if got := d.Descendants(6); !reflect.DeepEqual(got, gs(5)) {
+		t.Errorf("Descendants(6) = %v, want [5]", got)
+	}
+	if got := d.Descendants(5); len(got) != 0 {
+		t.Errorf("Descendants(5) = %v, want empty", got)
+	}
+}
+
+func TestCDAGLca(t *testing.T) {
+	d := MustCDAG(gs(8, 7, 6, 5, 2, 1))
+	tests := []struct {
+		dst  []amcast.GroupID
+		want amcast.GroupID
+	}{
+		{gs(5), 5},
+		{gs(1, 2), 2},
+		{gs(1, 5, 7), 7},
+		{gs(8, 1), 8},
+		{gs(6, 5, 2, 1), 6},
+	}
+	for _, tt := range tests {
+		if got := d.Lca(tt.dst); got != tt.want {
+			t.Errorf("Lca(%v) = %d, want %d", tt.dst, got, tt.want)
+		}
+	}
+}
+
+func TestCDAGLcaPanicsOnEmpty(t *testing.T) {
+	d := MustCDAG(gs(1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lca(nil) did not panic")
+		}
+	}()
+	d.Lca(nil)
+}
+
+func TestCDAGRankPanicsOnUnknownGroup(t *testing.T) {
+	d := MustCDAG(gs(1, 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rank(99) did not panic")
+		}
+	}()
+	d.Rank(99)
+}
+
+func TestSortByRank(t *testing.T) {
+	d := MustCDAG(gs(8, 7, 6, 5))
+	got := d.SortByRank(gs(5, 8, 6))
+	if !reflect.DeepEqual(got, gs(8, 6, 5)) {
+		t.Fatalf("SortByRank = %v, want [8 6 5]", got)
+	}
+}
+
+func TestGreedyChain(t *testing.T) {
+	// Distances on a line: 1-2-3-4 with unit spacing; chain from 3 visits
+	// nearest-first with ties toward smaller ids.
+	dist := func(a, b amcast.GroupID) int64 {
+		d := int64(a) - int64(b)
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	chain, err := GreedyChain(3, gs(1, 2, 3, 4), dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From 3: nearest is 2 or 4 (tie -> 2), then from 2: 1, then 4.
+	if !reflect.DeepEqual(chain, gs(3, 2, 1, 4)) {
+		t.Fatalf("chain = %v, want [3 2 1 4]", chain)
+	}
+}
+
+func TestGreedyChainUnknownStart(t *testing.T) {
+	if _, err := GreedyChain(9, gs(1, 2), func(a, b amcast.GroupID) int64 { return 1 }); err == nil {
+		t.Fatal("expected error for unknown start group")
+	}
+}
+
+func TestGreedyChainIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		// Pseudo-random symmetric distances derived from the seed.
+		dist := func(a, b amcast.GroupID) int64 {
+			x := int64(a*31+b*17) ^ seed
+			y := int64(b*31+a*17) ^ seed
+			v := (x + y) % 1000
+			if v < 0 {
+				v = -v
+			}
+			return v + 1
+		}
+		groups := gs(1, 2, 3, 4, 5, 6, 7)
+		chain, err := GreedyChain(4, groups, dist)
+		if err != nil || len(chain) != len(groups) {
+			return false
+		}
+		seen := make(map[amcast.GroupID]bool)
+		for _, g := range chain {
+			if seen[g] {
+				return false
+			}
+			seen[g] = true
+		}
+		return chain[0] == 4 && len(seen) == len(groups)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

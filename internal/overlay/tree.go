@@ -1,0 +1,192 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+)
+
+// Tree is a rooted tree overlay for the hierarchical (ByzCast-style)
+// protocol: a group may only exchange messages with its parent and
+// children. Messages enter at the lowest common ancestor of their
+// destination set and are forwarded down the tree.
+type Tree struct {
+	root     amcast.GroupID
+	parent   map[amcast.GroupID]amcast.GroupID
+	children map[amcast.GroupID][]amcast.GroupID
+	depth    map[amcast.GroupID]int
+	// subtree[g] is the set of groups in the subtree rooted at g
+	// (including g itself).
+	subtree map[amcast.GroupID]map[amcast.GroupID]bool
+}
+
+// NewTree builds a tree from a root and a parent->children adjacency map.
+// Every group other than the root must appear exactly once as a child.
+func NewTree(root amcast.GroupID, children map[amcast.GroupID][]amcast.GroupID) (*Tree, error) {
+	t := &Tree{
+		root:     root,
+		parent:   make(map[amcast.GroupID]amcast.GroupID),
+		children: make(map[amcast.GroupID][]amcast.GroupID),
+		depth:    make(map[amcast.GroupID]int),
+		subtree:  make(map[amcast.GroupID]map[amcast.GroupID]bool),
+	}
+	for p, cs := range children {
+		sorted := append([]amcast.GroupID(nil), cs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		t.children[p] = sorted
+	}
+	// BFS from the root: assign parents and depths, detect cycles and
+	// unreachable groups.
+	seen := map[amcast.GroupID]bool{root: true}
+	queue := []amcast.GroupID{root}
+	t.depth[root] = 0
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, c := range t.children[p] {
+			if seen[c] {
+				return nil, fmt.Errorf("overlay: group %d reachable twice in tree", c)
+			}
+			seen[c] = true
+			t.parent[c] = p
+			t.depth[c] = t.depth[p] + 1
+			queue = append(queue, c)
+		}
+	}
+	for p := range children {
+		if !seen[p] {
+			return nil, fmt.Errorf("overlay: group %d has children but is not reachable from root %d", p, root)
+		}
+	}
+	// Subtree sets, computed bottom-up over the BFS order reversed.
+	order := t.bfsOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		g := order[i]
+		set := map[amcast.GroupID]bool{g: true}
+		for _, c := range t.children[g] {
+			for m := range t.subtree[c] {
+				set[m] = true
+			}
+		}
+		t.subtree[g] = set
+	}
+	return t, nil
+}
+
+// MustTree is NewTree for known-good literals; it panics on error.
+func MustTree(root amcast.GroupID, children map[amcast.GroupID][]amcast.GroupID) *Tree {
+	t, err := NewTree(root, children)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) bfsOrder() []amcast.GroupID {
+	order := []amcast.GroupID{t.root}
+	for i := 0; i < len(order); i++ {
+		order = append(order, t.children[order[i]]...)
+	}
+	return order
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() amcast.GroupID { return t.root }
+
+// Len returns the number of groups in the tree.
+func (t *Tree) Len() int { return len(t.subtree) }
+
+// Groups returns the member groups sorted by id.
+func (t *Tree) Groups() []amcast.GroupID {
+	gs := make([]amcast.GroupID, 0, len(t.subtree))
+	for g := range t.subtree {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}
+
+// Contains reports whether g is part of the tree.
+func (t *Tree) Contains(g amcast.GroupID) bool {
+	_, ok := t.subtree[g]
+	return ok
+}
+
+// Parent returns g's parent and false if g is the root.
+func (t *Tree) Parent(g amcast.GroupID) (amcast.GroupID, bool) {
+	p, ok := t.parent[g]
+	return p, ok
+}
+
+// Children returns g's children in ascending id order.
+func (t *Tree) Children(g amcast.GroupID) []amcast.GroupID {
+	return append([]amcast.GroupID(nil), t.children[g]...)
+}
+
+// Depth returns g's distance from the root.
+func (t *Tree) Depth(g amcast.GroupID) int { return t.depth[g] }
+
+// InnerNodes returns the non-leaf groups sorted by id. The paper compares
+// trees by their number of inner nodes (§5.4).
+func (t *Tree) InnerNodes() []amcast.GroupID {
+	var inner []amcast.GroupID
+	for g, cs := range t.children {
+		if len(cs) > 0 {
+			inner = append(inner, g)
+		}
+	}
+	sort.Slice(inner, func(i, j int) bool { return inner[i] < inner[j] })
+	return inner
+}
+
+// InSubtree reports whether member is in the subtree rooted at g.
+func (t *Tree) InSubtree(g, member amcast.GroupID) bool { return t.subtree[g][member] }
+
+// SubtreeHasAny reports whether any destination lies in the subtree rooted
+// at g; the hierarchical protocol uses it to prune forwarding.
+func (t *Tree) SubtreeHasAny(g amcast.GroupID, dst []amcast.GroupID) bool {
+	set := t.subtree[g]
+	for _, d := range dst {
+		if set[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Lca returns the lowest common ancestor of dst: the deepest group whose
+// subtree contains every destination. A multicast enters the tree there
+// (ByzCast's entry rule).
+func (t *Tree) Lca(dst []amcast.GroupID) amcast.GroupID {
+	if len(dst) == 0 {
+		panic("overlay: tree Lca of empty destination set")
+	}
+	cur := dst[0]
+	for _, d := range dst[1:] {
+		cur = t.lca2(cur, d)
+	}
+	return cur
+}
+
+func (t *Tree) lca2(a, b amcast.GroupID) amcast.GroupID {
+	for t.depth[a] > t.depth[b] {
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		b = t.parent[b]
+	}
+	for a != b {
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return a
+}
+
+// PathLen returns the number of tree edges between a and b; the
+// hierarchical protocol's delivery latency is governed by these path
+// lengths.
+func (t *Tree) PathLen(a, b amcast.GroupID) int {
+	l := t.lca2(a, b)
+	return t.depth[a] + t.depth[b] - 2*t.depth[l]
+}

@@ -1,0 +1,145 @@
+package overlay
+
+import (
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+)
+
+// testTree builds the tree
+//
+//	     1
+//	   / | \
+//	  2  3  4
+//	 / \     \
+//	5   6     7
+func testTree(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := NewTree(1, map[amcast.GroupID][]amcast.GroupID{
+		1: {2, 3, 4},
+		2: {5, 6},
+		4: {7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		root     amcast.GroupID
+		children map[amcast.GroupID][]amcast.GroupID
+		wantErr  bool
+	}{
+		{"valid", 1, map[amcast.GroupID][]amcast.GroupID{1: {2}}, false},
+		{"single node", 1, nil, false},
+		{"cycle", 1, map[amcast.GroupID][]amcast.GroupID{1: {2}, 2: {1}}, true},
+		{"duplicate child", 1, map[amcast.GroupID][]amcast.GroupID{1: {2, 3}, 3: {2}}, true},
+		{"unreachable parent", 1, map[amcast.GroupID][]amcast.GroupID{1: {2}, 9: {3}}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewTree(tt.root, tt.children)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewTree error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTreeBasics(t *testing.T) {
+	tr := testTree(t)
+	if tr.Root() != 1 {
+		t.Errorf("Root = %d, want 1", tr.Root())
+	}
+	if tr.Len() != 7 {
+		t.Errorf("Len = %d, want 7", tr.Len())
+	}
+	if got := tr.Groups(); !reflect.DeepEqual(got, gs(1, 2, 3, 4, 5, 6, 7)) {
+		t.Errorf("Groups = %v", got)
+	}
+	if p, ok := tr.Parent(5); !ok || p != 2 {
+		t.Errorf("Parent(5) = %d,%v, want 2,true", p, ok)
+	}
+	if _, ok := tr.Parent(1); ok {
+		t.Error("root must have no parent")
+	}
+	if got := tr.Children(2); !reflect.DeepEqual(got, gs(5, 6)) {
+		t.Errorf("Children(2) = %v, want [5 6]", got)
+	}
+	wantDepth := map[amcast.GroupID]int{1: 0, 2: 1, 3: 1, 4: 1, 5: 2, 6: 2, 7: 2}
+	for g, d := range wantDepth {
+		if got := tr.Depth(g); got != d {
+			t.Errorf("Depth(%d) = %d, want %d", g, got, d)
+		}
+	}
+	if got := tr.InnerNodes(); !reflect.DeepEqual(got, gs(1, 2, 4)) {
+		t.Errorf("InnerNodes = %v, want [1 2 4]", got)
+	}
+}
+
+func TestTreeSubtree(t *testing.T) {
+	tr := testTree(t)
+	if !tr.InSubtree(2, 6) || !tr.InSubtree(2, 2) {
+		t.Error("subtree of 2 must contain 2 and 6")
+	}
+	if tr.InSubtree(2, 7) {
+		t.Error("subtree of 2 must not contain 7")
+	}
+	if !tr.SubtreeHasAny(4, gs(7)) || tr.SubtreeHasAny(4, gs(5, 6, 3)) {
+		t.Error("SubtreeHasAny(4) wrong")
+	}
+}
+
+func TestTreeLca(t *testing.T) {
+	tr := testTree(t)
+	tests := []struct {
+		dst  []amcast.GroupID
+		want amcast.GroupID
+	}{
+		{gs(5), 5},
+		{gs(5, 6), 2},
+		{gs(5, 2), 2},
+		{gs(5, 7), 1},
+		{gs(3, 4), 1},
+		{gs(5, 6, 2), 2},
+		{gs(6, 7, 3), 1},
+	}
+	for _, tt := range tests {
+		if got := tr.Lca(tt.dst); got != tt.want {
+			t.Errorf("Lca(%v) = %d, want %d", tt.dst, got, tt.want)
+		}
+	}
+}
+
+func TestTreePathLen(t *testing.T) {
+	tr := testTree(t)
+	tests := []struct {
+		a, b amcast.GroupID
+		want int
+	}{
+		{5, 5, 0},
+		{5, 6, 2},
+		{5, 2, 1},
+		{5, 7, 4},
+		{1, 7, 2},
+	}
+	for _, tt := range tests {
+		if got := tr.PathLen(tt.a, tt.b); got != tt.want {
+			t.Errorf("PathLen(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTreeLcaPanicsOnEmpty(t *testing.T) {
+	tr := testTree(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Lca(nil) did not panic")
+		}
+	}()
+	tr.Lca(nil)
+}

@@ -1,0 +1,636 @@
+// Package paxos implements multi-instance Paxos with a stable leader —
+// the consensus substrate for state machine replication within a group
+// (paper §4.4: "processes within a group are kept consistent using state
+// machine replication … Paxos requires a majority of correct processes
+// within each group and can tolerate message losses").
+//
+// The implementation is a deterministic message-passing state machine:
+// replicas exchange Messages and are driven by explicit Tick calls, so
+// the same code runs on the discrete-event simulator (where tests inject
+// crashes, drops and delays) and over TCP.
+//
+// Protocol shape:
+//
+//   - Replica 0 starts as the presumed leader. A leader runs Phase 1
+//     (Prepare/Promise) once for its ballot over the whole log suffix,
+//     then Phase 2 (Accept/Accepted) per instance.
+//   - Followers forward proposals to the leader. If a follower sees no
+//     leader activity for ElectionTimeout ticks, it promotes itself with
+//     a higher ballot (ballots are (counter, replica) pairs, so they are
+//     totally ordered and proposer-unique).
+//   - Decided values are learned via Decide broadcasts and delivered in
+//     instance order through TakeDecisions.
+package paxos
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// ReplicaID identifies a replica within one group (0..n-1).
+type ReplicaID int32
+
+// InstanceID is a slot in the replicated log.
+type InstanceID uint64
+
+// Ballot is a totally ordered proposal number, unique per proposer.
+type Ballot struct {
+	Counter uint64
+	Replica ReplicaID
+}
+
+// Less orders ballots lexicographically.
+func (b Ballot) Less(o Ballot) bool {
+	if b.Counter != o.Counter {
+		return b.Counter < o.Counter
+	}
+	return b.Replica < o.Replica
+}
+
+// IsZero reports whether b is the zero ballot (never used by proposers).
+func (b Ballot) IsZero() bool { return b.Counter == 0 && b.Replica == 0 }
+
+// MsgKind discriminates Paxos messages.
+type MsgKind uint8
+
+const (
+	// MsgPropose carries a client value to the leader.
+	MsgPropose MsgKind = iota + 1
+	// MsgPrepare is Phase 1a: a candidate asks for promises from instance
+	// Instance onward.
+	MsgPrepare
+	// MsgPromise is Phase 1b: an acceptor promises and reports previously
+	// accepted values.
+	MsgPromise
+	// MsgAccept is Phase 2a.
+	MsgAccept
+	// MsgAccepted is Phase 2b.
+	MsgAccepted
+	// MsgNack rejects a stale ballot and reveals the newer one.
+	MsgNack
+	// MsgDecide announces a chosen value.
+	MsgDecide
+	// MsgHeartbeat is the leader's periodic liveness signal; it suppresses
+	// follower elections.
+	MsgHeartbeat
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgPropose:
+		return "PROPOSE"
+	case MsgPrepare:
+		return "PREPARE"
+	case MsgPromise:
+		return "PROMISE"
+	case MsgAccept:
+		return "ACCEPT"
+	case MsgAccepted:
+		return "ACCEPTED"
+	case MsgNack:
+		return "NACK"
+	case MsgDecide:
+		return "DECIDE"
+	case MsgHeartbeat:
+		return "HEARTBEAT"
+	default:
+		return fmt.Sprintf("MsgKind(%d)", uint8(k))
+	}
+}
+
+// accepted is one previously accepted (instance, ballot, value) triple
+// reported in a Promise.
+type accepted struct {
+	Instance InstanceID
+	Ballot   Ballot
+	Value    []byte
+}
+
+// Message is one Paxos protocol message.
+type Message struct {
+	Kind     MsgKind
+	From, To ReplicaID
+	Ballot   Ballot
+	Instance InstanceID
+	Value    []byte
+	// Accepted reports previously accepted values (Promise only).
+	Accepted []accepted
+}
+
+// Decision is one chosen log entry.
+type Decision struct {
+	Instance InstanceID
+	Value    []byte
+}
+
+// Config parameterizes a replica.
+type Config struct {
+	// ID is this replica's id.
+	ID ReplicaID
+	// N is the group size (replicas are 0..N-1).
+	N int
+	// ElectionTimeout is the number of ticks without leader activity
+	// before a follower promotes itself (default 10).
+	ElectionTimeout int
+}
+
+type instState struct {
+	promised Ballot
+	accepted Ballot
+	value    []byte
+	// proposer bookkeeping (leader only)
+	acks     map[ReplicaID]bool
+	decided  bool
+	inFlight bool
+}
+
+// Replica is one Paxos participant: proposer, acceptor and learner.
+// Not safe for concurrent use; runtimes serialize access.
+type Replica struct {
+	cfg Config
+
+	// Acceptor/learner state per instance.
+	insts map[InstanceID]*instState
+	// decidedLog holds chosen values; nextDeliver is the in-order cursor.
+	decidedVals map[InstanceID][]byte
+	nextDeliver InstanceID
+	out         []Decision
+
+	// Leadership.
+	ballot      Ballot // current ballot when leading/campaigning
+	leader      ReplicaID
+	leading     bool
+	campaigning bool
+	promises    map[ReplicaID][]accepted
+	// nextInstance is the first unused slot known to this leader.
+	nextInstance InstanceID
+	// pending holds values waiting to be assigned to instances.
+	pending [][]byte
+	// quietTicks counts ticks since the last leader activity.
+	quietTicks int
+	crashed    bool
+	// outstanding holds values this replica forwarded to a leader and has
+	// not yet seen decided; they are re-sent periodically so proposals
+	// survive leader crashes (at-least-once semantics — the replicated
+	// application must tolerate duplicates, which all engines in this
+	// repository do).
+	outstanding [][]byte
+	retryTicks  int
+	// floor is the highest promise covering instances that have no
+	// per-instance state yet (a Prepare promises a whole log suffix);
+	// floorFrom is the first instance it covers.
+	floor     Ballot
+	floorFrom InstanceID
+}
+
+// NewReplica builds a replica; replica 0 boots as the presumed leader
+// (it still runs Phase 1 before proposing).
+func NewReplica(cfg Config) (*Replica, error) {
+	if cfg.N < 1 || int(cfg.ID) >= cfg.N || cfg.ID < 0 {
+		return nil, fmt.Errorf("paxos: invalid replica id %d of %d", cfg.ID, cfg.N)
+	}
+	if cfg.ElectionTimeout == 0 {
+		cfg.ElectionTimeout = 10
+	}
+	r := &Replica{
+		cfg:         cfg,
+		insts:       make(map[InstanceID]*instState),
+		decidedVals: make(map[InstanceID][]byte),
+		leader:      0,
+	}
+	return r, nil
+}
+
+// MustNewReplica is NewReplica for known-good configurations.
+func MustNewReplica(cfg Config) *Replica {
+	r, err := NewReplica(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ID returns this replica's id.
+func (r *Replica) ID() ReplicaID { return r.cfg.ID }
+
+// Leader returns the replica currently believed to lead.
+func (r *Replica) Leader() ReplicaID { return r.leader }
+
+// IsLeader reports whether this replica has an established leadership.
+func (r *Replica) IsLeader() bool { return r.leading }
+
+// Crash makes the replica drop all future inputs (failure injection).
+func (r *Replica) Crash() { r.crashed = true }
+
+// Crashed reports whether the replica was crashed.
+func (r *Replica) Crashed() bool { return r.crashed }
+
+func (r *Replica) majority() int { return r.cfg.N/2 + 1 }
+
+func (r *Replica) inst(i InstanceID) *instState {
+	st, ok := r.insts[i]
+	if !ok {
+		st = &instState{}
+		if i >= r.floorFrom {
+			// New instances inherit the promise made for the whole log
+			// suffix during Phase 1.
+			st.promised = r.floor
+		}
+		r.insts[i] = st
+	}
+	return st
+}
+
+// TakeDecisions returns chosen values in instance order (contiguous
+// prefix) accumulated since the previous call.
+func (r *Replica) TakeDecisions() []Decision {
+	d := r.out
+	r.out = nil
+	return d
+}
+
+// Propose submits a value for replication. On a follower the value is
+// forwarded to the believed leader; on the leader it is assigned to the
+// next free instance once Phase 1 is complete.
+func (r *Replica) Propose(value []byte) []Message {
+	if r.crashed {
+		return nil
+	}
+	if !r.leading {
+		if r.leader == r.cfg.ID {
+			// Believed leader but Phase 1 incomplete: queue and (re)start
+			// the campaign.
+			r.pending = append(r.pending, value)
+			if !r.campaigning {
+				return r.campaign()
+			}
+			return nil
+		}
+		r.outstanding = append(r.outstanding, value)
+		return []Message{{Kind: MsgPropose, From: r.cfg.ID, To: r.leader, Value: value}}
+	}
+	r.pending = append(r.pending, value)
+	return r.pump()
+}
+
+// Tick advances failure-detection time. Followers that observe no leader
+// traffic for ElectionTimeout ticks start a campaign.
+func (r *Replica) Tick() []Message {
+	if r.crashed {
+		return nil
+	}
+	var outs []Message
+	if len(r.outstanding) > 0 {
+		r.retryTicks++
+		if r.retryTicks >= 2*r.cfg.ElectionTimeout {
+			r.retryTicks = 0
+			outs = append(outs, r.resendOutstanding()...)
+		}
+	}
+	if r.leading {
+		// Heartbeat to suppress follower elections.
+		r.quietTicks++
+		if r.quietTicks*3 >= r.cfg.ElectionTimeout {
+			r.quietTicks = 0
+			for p := 0; p < r.cfg.N; p++ {
+				if ReplicaID(p) == r.cfg.ID {
+					continue
+				}
+				outs = append(outs, Message{
+					Kind: MsgHeartbeat, From: r.cfg.ID, To: ReplicaID(p), Ballot: r.ballot,
+				})
+			}
+		}
+		return outs
+	}
+	r.quietTicks++
+	if r.quietTicks < r.cfg.ElectionTimeout {
+		return outs
+	}
+	r.quietTicks = 0
+	// Deterministic succession: the id right after the suspected leader
+	// campaigns first; replicas further away wait progressively longer so
+	// campaigns do not collide.
+	gap := (int(r.cfg.ID) - int(r.leader) + r.cfg.N) % r.cfg.N
+	if gap > 1 {
+		r.quietTicks = -(gap - 1) * r.cfg.ElectionTimeout
+		return outs
+	}
+	return append(outs, r.campaign()...)
+}
+
+// resendOutstanding retries forwarded-but-undecided values: a leader
+// pumps them itself, a follower re-forwards to the current leader.
+func (r *Replica) resendOutstanding() []Message {
+	if r.leading {
+		r.pending = append(r.pending, r.outstanding...)
+		r.outstanding = nil
+		return r.pump()
+	}
+	if r.leader == r.cfg.ID {
+		return nil // campaign in progress; values resent on promotion
+	}
+	outs := make([]Message, 0, len(r.outstanding))
+	for _, v := range r.outstanding {
+		outs = append(outs, Message{Kind: MsgPropose, From: r.cfg.ID, To: r.leader, Value: v})
+	}
+	return outs
+}
+
+func (r *Replica) campaign() []Message {
+	r.campaigning = true
+	r.leading = false
+	r.ballot = Ballot{Counter: r.ballot.Counter + 1, Replica: r.cfg.ID}
+	r.promises = make(map[ReplicaID][]accepted)
+	var outs []Message
+	for p := 0; p < r.cfg.N; p++ {
+		m := Message{
+			Kind:     MsgPrepare,
+			From:     r.cfg.ID,
+			To:       ReplicaID(p),
+			Ballot:   r.ballot,
+			Instance: r.nextDeliver, // promises cover everything not yet delivered
+		}
+		if ReplicaID(p) == r.cfg.ID {
+			outs = append(outs, r.onPrepare(m)...)
+		} else {
+			outs = append(outs, m)
+		}
+	}
+	return outs
+}
+
+// OnMessage consumes one Paxos message and returns the messages to send.
+func (r *Replica) OnMessage(m Message) []Message {
+	if r.crashed {
+		return nil
+	}
+	switch m.Kind {
+	case MsgPropose:
+		return r.Propose(m.Value)
+	case MsgPrepare:
+		return r.onPrepare(m)
+	case MsgPromise:
+		return r.onPromise(m)
+	case MsgAccept:
+		return r.onAccept(m)
+	case MsgAccepted:
+		return r.onAccepted(m)
+	case MsgNack:
+		return r.onNack(m)
+	case MsgDecide:
+		r.learn(m.Instance, m.Value)
+		if m.From != r.cfg.ID {
+			r.observeLeader(m.From)
+		}
+		return nil
+	case MsgHeartbeat:
+		if r.ballot.Less(m.Ballot) || (!r.leading && !r.campaigning) {
+			r.ballot.Counter = m.Ballot.Counter
+			r.observeLeader(m.From)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (r *Replica) observeLeader(from ReplicaID) {
+	r.quietTicks = 0
+	r.leader = from
+	if from != r.cfg.ID {
+		r.leading = false
+		r.campaigning = false
+		// Values queued while this replica believed itself leader become
+		// plain forwarded proposals, re-sent by the retry tick.
+		r.outstanding = append(r.outstanding, r.pending...)
+		r.pending = nil
+	}
+}
+
+func (r *Replica) onPrepare(m Message) []Message {
+	// A prepare covers all instances >= m.Instance.
+	maxPromised := r.maxPromised()
+	if m.Ballot.Less(maxPromised) {
+		return []Message{{Kind: MsgNack, From: r.cfg.ID, To: m.From, Ballot: maxPromised}}
+	}
+	r.observeLeader(m.From)
+	var acc []accepted
+	for i, st := range r.insts {
+		if i >= m.Instance {
+			if st.promised.Less(m.Ballot) {
+				st.promised = m.Ballot
+			}
+			if !st.accepted.IsZero() && !st.decided {
+				acc = append(acc, accepted{Instance: i, Ballot: st.accepted, Value: st.value})
+			}
+		}
+	}
+	// Remember the floor promise for instances not yet materialized.
+	r.inst(m.Instance) // ensure at least the floor instance exists
+	r.floorPromise(m.Ballot, m.Instance)
+	sort.Slice(acc, func(i, j int) bool { return acc[i].Instance < acc[j].Instance })
+	reply := Message{
+		Kind: MsgPromise, From: r.cfg.ID, To: m.From,
+		Ballot: m.Ballot, Instance: m.Instance, Accepted: acc,
+	}
+	if m.From == r.cfg.ID {
+		return r.onPromise(reply)
+	}
+	return []Message{reply}
+}
+
+func (r *Replica) floorPromise(b Ballot, from InstanceID) {
+	// Materialized lazily: any instance created later inherits the floor.
+	if r.floor.Less(b) {
+		r.floor = b
+		r.floorFrom = from
+	}
+}
+
+func (r *Replica) maxPromised() Ballot {
+	max := r.floor
+	for _, st := range r.insts {
+		if max.Less(st.promised) {
+			max = st.promised
+		}
+	}
+	return max
+}
+
+func (r *Replica) onPromise(m Message) []Message {
+	if !r.campaigning || m.Ballot != r.ballot {
+		return nil
+	}
+	r.promises[m.From] = m.Accepted
+	if len(r.promises) < r.majority() {
+		return nil
+	}
+	// Phase 1 complete: adopt the highest-ballot accepted value per
+	// instance, then re-propose them, then pump pending values.
+	r.campaigning = false
+	r.leading = true
+	r.leader = r.cfg.ID
+	adopt := make(map[InstanceID]accepted)
+	for _, accs := range r.promises {
+		for _, a := range accs {
+			cur, ok := adopt[a.Instance]
+			if !ok || cur.Ballot.Less(a.Ballot) {
+				adopt[a.Instance] = a
+			}
+		}
+	}
+	insts := make([]InstanceID, 0, len(adopt))
+	for i := range adopt {
+		insts = append(insts, i)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	var outs []Message
+	for _, i := range insts {
+		if i >= r.nextInstance {
+			r.nextInstance = i + 1
+		}
+		outs = append(outs, r.propose(i, adopt[i].Value)...)
+	}
+	if r.nextInstance < r.nextDeliver {
+		r.nextInstance = r.nextDeliver
+	}
+	// Values this replica forwarded to the previous leader are now its
+	// own responsibility.
+	r.pending = append(r.pending, r.outstanding...)
+	r.outstanding = nil
+	outs = append(outs, r.pump()...)
+	return outs
+}
+
+// pump assigns pending values to fresh instances.
+func (r *Replica) pump() []Message {
+	var outs []Message
+	for len(r.pending) > 0 {
+		v := r.pending[0]
+		r.pending = r.pending[1:]
+		for r.insts[r.nextInstance] != nil && (r.insts[r.nextInstance].decided || r.insts[r.nextInstance].inFlight) {
+			r.nextInstance++
+		}
+		outs = append(outs, r.propose(r.nextInstance, v)...)
+		r.nextInstance++
+	}
+	return outs
+}
+
+func (r *Replica) propose(i InstanceID, v []byte) []Message {
+	st := r.inst(i)
+	if st.decided {
+		return nil
+	}
+	st.inFlight = true
+	st.acks = make(map[ReplicaID]bool)
+	var outs []Message
+	for p := 0; p < r.cfg.N; p++ {
+		m := Message{
+			Kind: MsgAccept, From: r.cfg.ID, To: ReplicaID(p),
+			Ballot: r.ballot, Instance: i, Value: v,
+		}
+		if ReplicaID(p) == r.cfg.ID {
+			outs = append(outs, r.onAccept(m)...)
+		} else {
+			outs = append(outs, m)
+		}
+	}
+	return outs
+}
+
+func (r *Replica) onAccept(m Message) []Message {
+	st := r.inst(m.Instance)
+	promised := st.promised
+	if promised.Less(r.floor) {
+		promised = r.floor
+	}
+	if m.Ballot.Less(promised) {
+		return []Message{{Kind: MsgNack, From: r.cfg.ID, To: m.From, Ballot: promised}}
+	}
+	r.observeLeader(m.From)
+	st.promised = m.Ballot
+	st.accepted = m.Ballot
+	st.value = m.Value
+	reply := Message{
+		Kind: MsgAccepted, From: r.cfg.ID, To: m.From,
+		Ballot: m.Ballot, Instance: m.Instance,
+	}
+	if m.From == r.cfg.ID {
+		return r.onAccepted(reply)
+	}
+	return []Message{reply}
+}
+
+func (r *Replica) onAccepted(m Message) []Message {
+	if !r.leading || m.Ballot != r.ballot {
+		return nil
+	}
+	st := r.inst(m.Instance)
+	if st.decided || st.acks == nil {
+		return nil
+	}
+	st.acks[m.From] = true
+	if len(st.acks) < r.majority() {
+		return nil
+	}
+	// Chosen: learn locally and broadcast the decision.
+	v := st.value
+	r.learn(m.Instance, v)
+	var outs []Message
+	for p := 0; p < r.cfg.N; p++ {
+		if ReplicaID(p) == r.cfg.ID {
+			continue
+		}
+		outs = append(outs, Message{
+			Kind: MsgDecide, From: r.cfg.ID, To: ReplicaID(p),
+			Instance: m.Instance, Value: v,
+		})
+	}
+	return outs
+}
+
+func (r *Replica) onNack(m Message) []Message {
+	// A higher ballot exists: step down; a future tick may campaign with
+	// a higher counter.
+	if r.ballot.Less(m.Ballot) {
+		r.ballot.Counter = m.Ballot.Counter
+		r.leading = false
+		r.campaigning = false
+		if m.Ballot.Replica != r.cfg.ID {
+			r.observeLeader(m.Ballot.Replica)
+		}
+	}
+	return nil
+}
+
+func (r *Replica) learn(i InstanceID, v []byte) {
+	st := r.inst(i)
+	if st.decided {
+		return
+	}
+	st.decided = true
+	st.inFlight = false
+	st.value = v
+	r.decidedVals[i] = v
+	for idx, ov := range r.outstanding {
+		if bytes.Equal(ov, v) {
+			r.outstanding = append(r.outstanding[:idx], r.outstanding[idx+1:]...)
+			break
+		}
+	}
+	for {
+		val, ok := r.decidedVals[r.nextDeliver]
+		if !ok {
+			break
+		}
+		r.out = append(r.out, Decision{Instance: r.nextDeliver, Value: val})
+		r.nextDeliver++
+	}
+}
+
+// Decided reports how many log entries were delivered in order.
+func (r *Replica) Decided() InstanceID { return r.nextDeliver }

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+
+	"flexcast/amcast"
+)
+
+// Handler consumes envelopes addressed to one node.
+type Handler interface {
+	HandleEnvelope(env amcast.Envelope)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(env amcast.Envelope)
+
+// HandleEnvelope implements Handler.
+func (f HandlerFunc) HandleEnvelope(env amcast.Envelope) { f(env) }
+
+// LatencyFunc returns the one-way latency in microseconds between two
+// nodes.
+type LatencyFunc func(from, to amcast.NodeID) Time
+
+// ProcCostFunc returns the serial processing cost a node pays to handle an
+// envelope. Return 0 for an infinitely fast node.
+type ProcCostFunc func(node amcast.NodeID, env amcast.Envelope) Time
+
+// SendHook observes every transmission; the harness uses it to record the
+// per-node message and byte counters behind Figures 1, 8 and 9.
+type SendHook func(from, to amcast.NodeID, env amcast.Envelope)
+
+type linkKey struct{ from, to amcast.NodeID }
+
+// Network connects handlers through simulated point-to-point links.
+//
+// Links are reliable and FIFO by default (the paper's model assumes FIFO
+// reliable channels): if jitter would reorder two envelopes on the same
+// link, the later send is delayed to preserve order. Tests that explicitly
+// exercise non-FIFO behaviour can disable the clamp.
+type Network struct {
+	sim      *Simulator
+	latency  LatencyFunc
+	procCost ProcCostFunc
+	jitter   func(from, to amcast.NodeID) Time
+	noFIFO   bool
+
+	handlers    map[amcast.NodeID]Handler
+	lastArrival map[linkKey]Time
+	busyUntil   map[amcast.NodeID]Time
+	onSend      SendHook
+	onHandle    SendHook
+	dropped     uint64
+	partitioned map[linkKey]bool
+}
+
+// NetworkOption configures a Network.
+type NetworkOption func(*Network)
+
+// WithProcCost installs a per-envelope processing-cost model.
+func WithProcCost(f ProcCostFunc) NetworkOption {
+	return func(n *Network) { n.procCost = f }
+}
+
+// WithJitter adds per-transmission extra latency (may vary per call; use a
+// seeded source for determinism).
+func WithJitter(f func(from, to amcast.NodeID) Time) NetworkOption {
+	return func(n *Network) { n.jitter = f }
+}
+
+// WithoutFIFO disables the per-link FIFO clamp; only tests use this.
+func WithoutFIFO() NetworkOption {
+	return func(n *Network) { n.noFIFO = true }
+}
+
+// WithSendHook observes every send (before latency is applied).
+func WithSendHook(h SendHook) NetworkOption {
+	return func(n *Network) { n.onSend = h }
+}
+
+// WithHandleHook observes every envelope as it is handed to its
+// destination handler (after latency and queueing).
+func WithHandleHook(h SendHook) NetworkOption {
+	return func(n *Network) { n.onHandle = h }
+}
+
+// NewNetwork builds a network over the simulator with the given one-way
+// latency model.
+func NewNetwork(s *Simulator, latency LatencyFunc, opts ...NetworkOption) *Network {
+	n := &Network{
+		sim:         s,
+		latency:     latency,
+		handlers:    make(map[amcast.NodeID]Handler),
+		lastArrival: make(map[linkKey]Time),
+		busyUntil:   make(map[amcast.NodeID]Time),
+		partitioned: make(map[linkKey]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Register attaches a handler to a node id. Registering the same id twice
+// panics: it is always a deployment bug.
+func (n *Network) Register(id amcast.NodeID, h Handler) {
+	if _, dup := n.handlers[id]; dup {
+		panic(fmt.Sprintf("sim: node %s registered twice", id))
+	}
+	n.handlers[id] = h
+}
+
+// Partition drops all traffic from 'from' to 'to' until Heal is called.
+// Used by failure-injection tests.
+func (n *Network) Partition(from, to amcast.NodeID) {
+	n.partitioned[linkKey{from, to}] = true
+}
+
+// Heal restores a partitioned link.
+func (n *Network) Heal(from, to amcast.NodeID) {
+	delete(n.partitioned, linkKey{from, to})
+}
+
+// Dropped returns the number of envelopes dropped by partitions.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Send transmits an envelope. Delivery happens after the link's one-way
+// latency (plus jitter), in FIFO order per link, and after the destination
+// node has finished processing all earlier envelopes (serial processing
+// model).
+func (n *Network) Send(from, to amcast.NodeID, env amcast.Envelope) {
+	if n.onSend != nil {
+		n.onSend(from, to, env)
+	}
+	key := linkKey{from, to}
+	if n.partitioned[key] {
+		n.dropped++
+		return
+	}
+	lat := n.latency(from, to)
+	if n.jitter != nil {
+		lat += n.jitter(from, to)
+	}
+	arrival := n.sim.Now() + lat
+	if !n.noFIFO {
+		if last := n.lastArrival[key]; arrival < last {
+			arrival = last
+		}
+		n.lastArrival[key] = arrival
+	}
+	n.sim.ScheduleAt(arrival, func() { n.arrive(from, to, env) })
+}
+
+func (n *Network) arrive(from, to amcast.NodeID, env amcast.Envelope) {
+	h, ok := n.handlers[to]
+	if !ok {
+		panic(fmt.Sprintf("sim: envelope %s for unregistered node %s", env.Kind, to))
+	}
+	var cost Time
+	if n.procCost != nil {
+		cost = n.procCost(to, env)
+	}
+	if cost <= 0 {
+		if n.onHandle != nil {
+			n.onHandle(from, to, env)
+		}
+		h.HandleEnvelope(env)
+		return
+	}
+	start := n.sim.Now()
+	if busy := n.busyUntil[to]; busy > start {
+		start = busy
+	}
+	finish := start + cost
+	n.busyUntil[to] = finish
+	n.sim.ScheduleAt(finish, func() {
+		if n.onHandle != nil {
+			n.onHandle(from, to, env)
+		}
+		h.HandleEnvelope(env)
+	})
+}

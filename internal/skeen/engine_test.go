@@ -1,0 +1,201 @@
+package skeen_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/prototest"
+	"flexcast/internal/skeen"
+)
+
+const (
+	gA amcast.GroupID = 1
+	gB amcast.GroupID = 2
+	gC amcast.GroupID = 3
+)
+
+var groupsABC = []amcast.GroupID{gA, gB, gC}
+
+func router(t *testing.T) *prototest.Router {
+	t.Helper()
+	return prototest.NewRouter(t, groupsABC, func(g amcast.GroupID) amcast.Engine {
+		return skeen.MustNew(skeen.Config{Group: g, Groups: groupsABC})
+	})
+}
+
+// multicast injects the request at every destination, as Skeen's clients
+// do.
+func multicast(r *prototest.Router, m amcast.Message) {
+	for _, g := range m.Dst {
+		r.Multicast(g, m)
+	}
+}
+
+func ids(vs ...uint64) []amcast.MsgID {
+	out := make([]amcast.MsgID, len(vs))
+	for i, v := range vs {
+		out[i] = amcast.MsgID(v)
+	}
+	return out
+}
+
+func TestLocalMessageDeliversImmediately(t *testing.T) {
+	r := router(t)
+	multicast(r, prototest.Msg(1, gB))
+	if got := r.Seq(gB); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("B delivered %v", got)
+	}
+	if r.InFlight() != 0 {
+		t.Fatal("local message produced timestamp traffic")
+	}
+}
+
+func TestGlobalMessageNeedsAllTimestamps(t *testing.T) {
+	r := router(t)
+	multicast(r, prototest.Msg(1, gA, gB))
+	// Both groups assigned local timestamps and sent them; neither
+	// delivers before receiving the other's timestamp.
+	if len(r.Seq(gA))+len(r.Seq(gB)) != 0 {
+		t.Fatal("delivered before timestamp exchange completed")
+	}
+	r.Step(gA, gB, amcast.KindTS, 1)
+	if got := r.Seq(gB); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("B after A's ts: %v", got)
+	}
+	r.Step(gB, gA, amcast.KindTS, 1)
+	if got := r.Seq(gA); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("A after B's ts: %v", got)
+	}
+}
+
+// TestPendingLowerTimestampBlocks replays the classic ISIS hazard: a
+// message with a known final timestamp must wait while another pending
+// message could still obtain a smaller final timestamp.
+func TestPendingLowerTimestampBlocks(t *testing.T) {
+	r := router(t)
+	m1 := prototest.Msg(1, gA, gB)
+	m2 := prototest.Msg(2, gA, gB)
+	// A sees m1 then m2 (local ts 1, 2); B sees m2 then m1 (local ts 1, 2).
+	r.Multicast(gA, m1)
+	r.Multicast(gA, m2)
+	r.Multicast(gB, m2)
+	r.Multicast(gB, m1)
+	// B receives A's ts for m1 (1): final(m1) = max(1, 2) = 2. But m2 is
+	// pending at B with local ts 1, so m2 could still finalize at 1 or 2
+	// and (ts, id) order must be respected: B cannot deliver m1 yet.
+	r.Step(gA, gB, amcast.KindTS, 1)
+	if len(r.Seq(gB)) != 0 {
+		t.Fatalf("B delivered %v before m2's final timestamp was known", r.Seq(gB))
+	}
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Seq(gA), r.Seq(gB)) {
+		t.Fatalf("A %v and B %v disagree", r.Seq(gA), r.Seq(gB))
+	}
+}
+
+func TestTimestampBeforeRequest(t *testing.T) {
+	r := router(t)
+	m := prototest.Msg(1, gA, gB)
+	// Only A has the request; A's timestamp reaches B before B's request.
+	r.Multicast(gA, m)
+	r.Step(gA, gB, amcast.KindTS, 1)
+	if len(r.Seq(gB)) != 0 {
+		t.Fatal("B delivered from a timestamp alone")
+	}
+	r.Multicast(gB, m)
+	r.Drain()
+	if !reflect.DeepEqual(r.Seq(gB), ids(1)) {
+		t.Fatalf("B delivered %v", r.Seq(gB))
+	}
+}
+
+func TestDuplicateRequestIgnored(t *testing.T) {
+	r := router(t)
+	m := prototest.Msg(1, gA)
+	r.Multicast(gA, m)
+	r.Multicast(gA, m)
+	if got := r.Seq(gA); !reflect.DeepEqual(got, ids(1)) {
+		t.Fatalf("A delivered %v", got)
+	}
+}
+
+func TestMisaddressedEnvelopesIgnored(t *testing.T) {
+	r := router(t)
+	multicast(r, prototest.Msg(1, gA, gB)) // C not a destination
+	r.Drain()
+	if len(r.Seq(gC)) != 0 {
+		t.Fatal("C delivered a message not addressed to it")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := skeen.New(skeen.Config{}); err == nil {
+		t.Fatal("missing group accepted")
+	}
+}
+
+func TestRandomWorkloadProperties(t *testing.T) {
+	for _, n := range []int{2, 4, 6} {
+		for seed := int64(0); seed < 6; seed++ {
+			n, seed := n, seed
+			t.Run(fmt.Sprintf("groups=%d/seed=%d", n, seed), func(t *testing.T) {
+				groups := make([]amcast.GroupID, n)
+				for i := range groups {
+					groups[i] = amcast.GroupID(i + 1)
+				}
+				rec := prototest.RunRandom(t, prototest.RandomConfig{
+					Groups:   groups,
+					Clients:  4,
+					Messages: 25,
+					Route: func(m amcast.Message) []amcast.NodeID {
+						nodes := make([]amcast.NodeID, len(m.Dst))
+						for i, g := range m.Dst {
+							nodes[i] = amcast.GroupNode(g)
+						}
+						return nodes
+					},
+					Factory: func(g amcast.GroupID) amcast.Engine {
+						return skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+					},
+					Seed:   seed*17 + int64(n),
+					Jitter: 500,
+				})
+				if err := rec.CheckAll(true); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestRandomWorkloadWithoutFIFO checks that Skeen's ordering survives
+// arbitrary per-link reordering — unlike FlexCast it does not rely on
+// FIFO channels for its timestamps.
+func TestRandomWorkloadWithoutFIFO(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4}
+	rec := prototest.RunRandomNoFIFO(t, prototest.RandomConfig{
+		Groups:   groups,
+		Clients:  3,
+		Messages: 30,
+		Route: func(m amcast.Message) []amcast.NodeID {
+			nodes := make([]amcast.NodeID, len(m.Dst))
+			for i, g := range m.Dst {
+				nodes[i] = amcast.GroupNode(g)
+			}
+			return nodes
+		},
+		Factory: func(g amcast.GroupID) amcast.Engine {
+			return skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+		},
+		Seed:   5,
+		Jitter: 2000,
+	})
+	if err := rec.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+}

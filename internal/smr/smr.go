@@ -1,0 +1,243 @@
+// Package smr implements state machine replication of a protocol group,
+// the fault-tolerance approach of the paper's §4.4: "processes within a
+// group are kept consistent using state machine replication … processes
+// in a group can fail as long as enough processes remain operational
+// within the group".
+//
+// A Group runs N replicas. Each replica holds a Paxos participant and a
+// deterministic protocol engine (FlexCast, Skeen or hierarchical — the
+// amcast.Engine determinism contract exists exactly for this). Envelopes
+// addressed to the group are sequenced through multi-Paxos; every replica
+// applies the decided envelope sequence to its engine, so replicas stay
+// byte-identical.
+//
+// Output strategy: every live replica emits its engine's outputs
+// (protocol envelopes and client replies). This trades bandwidth for
+// simplicity and fault tolerance — no output is lost when the leader
+// crashes between deciding and sending — and is safe because every
+// receiver in this repository is idempotent: engines deduplicate
+// MSG/ACK/NOTIF/REQUEST/TS envelopes and clients deduplicate replies.
+package smr
+
+import (
+	"fmt"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+	"flexcast/internal/paxos"
+	"flexcast/internal/sim"
+)
+
+// replicaBase offsets replica node ids: replica idx of group g lives at
+// NodeID(g) + (idx+1)*replicaBase. Group ids stay below replicaBase and
+// clients start at 1<<20, so the ranges never collide.
+const replicaBase amcast.NodeID = 1 << 12
+
+// ReplicaNode returns the network address of one replica.
+func ReplicaNode(g amcast.GroupID, idx int) amcast.NodeID {
+	return amcast.NodeID(g) + amcast.NodeID(idx+1)*replicaBase
+}
+
+// Config configures a replicated group.
+type Config struct {
+	// Group is the replicated group's id.
+	Group amcast.GroupID
+	// Replicas is the replication degree N (Paxos tolerates ⌊(N-1)/2⌋
+	// crashes).
+	Replicas int
+	// NewEngine builds one engine instance; it is called once per replica
+	// and every instance must be deterministic and identical.
+	NewEngine func() (amcast.Engine, error)
+	// IntraLatency is the one-way latency between replicas (co-located in
+	// one region; default 200µs).
+	IntraLatency sim.Time
+	// TickEvery is the Paxos failure-detector tick period (default 50ms).
+	TickEvery sim.Time
+	// OnDeliver observes deliveries at replica 0's engine (or, more
+	// precisely, at every replica; see OnDeliverAll) exactly once per
+	// replica. May be nil.
+	OnDeliver func(replica int, d amcast.Delivery)
+}
+
+// Group is a replicated protocol group attached to a simulated network.
+type Group struct {
+	cfg      Config
+	s        *sim.Simulator
+	net      *sim.Network
+	replicas []*replica
+	stopped  bool
+}
+
+type replica struct {
+	grp     *Group
+	idx     int
+	node    amcast.NodeID
+	pax     *paxos.Replica
+	eng     amcast.Engine
+	crashed bool
+	applied uint64
+}
+
+// New builds the group and registers its ingress and replicas on the
+// network.
+func New(cfg Config, s *sim.Simulator, net *sim.Network) (*Group, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("smr: need at least one replica")
+	}
+	if cfg.NewEngine == nil {
+		return nil, fmt.Errorf("smr: missing engine factory")
+	}
+	if cfg.IntraLatency == 0 {
+		cfg.IntraLatency = 200
+	}
+	if cfg.TickEvery == 0 {
+		cfg.TickEvery = 50_000
+	}
+	g := &Group{cfg: cfg, s: s, net: net}
+	for i := 0; i < cfg.Replicas; i++ {
+		eng, err := cfg.NewEngine()
+		if err != nil {
+			return nil, err
+		}
+		r := &replica{
+			grp:  g,
+			idx:  i,
+			node: ReplicaNode(cfg.Group, i),
+			pax:  paxos.MustNewReplica(paxos.Config{ID: paxos.ReplicaID(i), N: cfg.Replicas}),
+			eng:  eng,
+		}
+		g.replicas = append(g.replicas, r)
+	}
+	// The group's logical endpoint: the paper treats each group as a
+	// reliable entity; the ingress forwards external envelopes into the
+	// replica set (to the believed leader, falling back to any live
+	// replica).
+	net.Register(amcast.GroupNode(cfg.Group), sim.HandlerFunc(g.ingress))
+	return g, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config, s *sim.Simulator, net *sim.Network) *Group {
+	g, err := New(cfg, s, net)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Start begins the Paxos failure-detector ticks.
+func (g *Group) Start() {
+	g.s.Schedule(g.cfg.TickEvery, g.tick)
+}
+
+// Stop halts the tick loop (tests call it before draining the simulator).
+func (g *Group) Stop() { g.stopped = true }
+
+func (g *Group) tick() {
+	if g.stopped {
+		return
+	}
+	for _, r := range g.replicas {
+		if r.crashed {
+			continue
+		}
+		r.route(r.pax.Tick())
+		r.apply()
+	}
+	g.s.Schedule(g.cfg.TickEvery, g.tick)
+}
+
+// Crash kills one replica (failure injection).
+func (g *Group) Crash(idx int) {
+	r := g.replicas[idx]
+	r.crashed = true
+	r.pax.Crash()
+}
+
+// Leader returns the index of the first live replica that believes it
+// leads, or -1.
+func (g *Group) Leader() int {
+	for _, r := range g.replicas {
+		if !r.crashed && r.pax.IsLeader() {
+			return r.idx
+		}
+	}
+	return -1
+}
+
+// Applied reports how many log entries replica idx has applied.
+func (g *Group) Applied(idx int) uint64 { return g.replicas[idx].applied }
+
+// Engine exposes replica idx's engine for test inspection.
+func (g *Group) Engine(idx int) amcast.Engine { return g.replicas[idx].eng }
+
+// ingress sequences an external envelope through Paxos.
+func (g *Group) ingress(env amcast.Envelope) {
+	value := codec.Marshal(env)
+	// Prefer the believed leader; otherwise the first live replica.
+	var target *replica
+	for _, r := range g.replicas {
+		if r.crashed {
+			continue
+		}
+		if target == nil {
+			target = r
+		}
+		if r.pax.IsLeader() {
+			target = r
+			break
+		}
+	}
+	if target == nil {
+		return // whole group down: the paper assumes this cannot happen
+	}
+	target.route(target.pax.Propose(value))
+	target.apply()
+}
+
+// route transmits Paxos messages between replicas over the intra-group
+// links.
+func (r *replica) route(ms []paxos.Message) {
+	for _, m := range ms {
+		to := r.grp.replicas[m.To]
+		m := m
+		r.grp.s.Schedule(r.grp.cfg.IntraLatency, func() {
+			if to.crashed || r.grp.stopped {
+				return
+			}
+			to.route(to.pax.OnMessage(m))
+			to.apply()
+		})
+	}
+}
+
+// apply replays newly decided envelopes into the engine and emits its
+// outputs and client replies.
+func (r *replica) apply() {
+	for _, dec := range r.pax.TakeDecisions() {
+		env, err := codec.Unmarshal(dec.Value)
+		if err != nil {
+			// A corrupt decided value would be a codec bug; skip it
+			// deterministically on every replica.
+			continue
+		}
+		r.applied++
+		outs := r.eng.OnEnvelope(env)
+		for _, o := range outs {
+			r.grp.net.Send(amcast.GroupNode(r.grp.cfg.Group), o.To, o.Env)
+		}
+		for _, d := range r.eng.TakeDeliveries() {
+			if r.grp.cfg.OnDeliver != nil {
+				r.grp.cfg.OnDeliver(r.idx, d)
+			}
+			if d.Msg.Sender.IsClient() {
+				r.grp.net.Send(amcast.GroupNode(r.grp.cfg.Group), d.Msg.Sender, amcast.Envelope{
+					Kind: amcast.KindReply,
+					From: amcast.GroupNode(r.grp.cfg.Group),
+					Msg:  d.Msg.Header(),
+					TS:   d.Seq,
+				})
+			}
+		}
+	}
+}

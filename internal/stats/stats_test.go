@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func recorderOf(vs ...float64) *Recorder {
+	r := &Recorder{}
+	for _, v := range vs {
+		r.Add(v)
+	}
+	return r
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := recorderOf(10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{10, 10},
+		{50, 50},
+		{90, 90},
+		{95, 100},
+		{99, 100},
+		{100, 100},
+	}
+	for _, tt := range tests {
+		if got := r.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	r := recorderOf(42)
+	for _, p := range []float64{1, 50, 99} {
+		if got := r.Percentile(p); got != 42 {
+			t.Errorf("Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := &Recorder{}
+	for name, f := range map[string]func() float64{
+		"Percentile": func() float64 { return r.Percentile(50) },
+		"Mean":       r.Mean,
+		"Std":        r.Std,
+		"Min":        r.Min,
+		"Max":        r.Max,
+	} {
+		if !math.IsNaN(f()) {
+			t.Errorf("%s on empty recorder is not NaN", name)
+		}
+	}
+	if got := r.CDF(10); got != nil {
+		t.Errorf("CDF on empty recorder = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	r := recorderOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := r.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := r.Std(); got != 2 {
+		t.Errorf("Std = %v, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	r := recorderOf(5, -1, 3)
+	if r.Min() != -1 || r.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := &Recorder{}
+	for i := 0; i < 1000; i++ {
+		r.Add(rng.Float64() * 100)
+	}
+	pts := r.CDF(50)
+	if len(pts) != 50 {
+		t.Fatalf("CDF returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].V < pts[i-1].V || pts[i].F < pts[i-1].F {
+			t.Fatalf("CDF not monotone at %d: %+v %+v", i, pts[i-1], pts[i])
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.F != 1 || last.V != r.Max() {
+		t.Fatalf("CDF does not end at (max, 1): %+v", last)
+	}
+}
+
+func TestCDFFewerSamplesThanPoints(t *testing.T) {
+	r := recorderOf(1, 2)
+	pts := r.CDF(10)
+	if len(pts) != 2 {
+		t.Fatalf("CDF = %v, want 2 points", pts)
+	}
+}
+
+func TestAddAfterPercentileKeepsSorted(t *testing.T) {
+	r := recorderOf(3, 1)
+	if r.Percentile(50) != 1 {
+		t.Fatal("median of {1,3} wrong")
+	}
+	r.Add(0)
+	if got := r.Min(); got != 0 {
+		t.Fatalf("Min after late Add = %v", got)
+	}
+}
+
+func TestPercentileWithinRange(t *testing.T) {
+	f := func(vs []float64, p float64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100) + 0.5
+		r := recorderOf(vs...)
+		got := r.Percentile(p)
+		return got >= r.Min() && got <= r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentileRowFormat(t *testing.T) {
+	r := recorderOf(1000, 2000, 3000)
+	row := r.PercentileRow(1000)
+	if row == "" || row == "      -       -       -" {
+		t.Fatalf("row = %q", row)
+	}
+	if got := (&Recorder{}).PercentileRow(1000); got != "      -       -       -" {
+		t.Fatalf("empty row = %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	r := recorderOf(1, 2, 3, 4, 5, 6, 7, 8)
+	line := r.Sparkline(8)
+	if line == "" {
+		t.Fatal("empty sparkline")
+	}
+	if (&Recorder{}).Sparkline(8) != "" {
+		t.Fatal("sparkline of empty recorder not empty")
+	}
+	// Constant samples must not divide by zero.
+	if recorderOf(5, 5, 5).Sparkline(3) == "" {
+		t.Fatal("constant sparkline empty")
+	}
+}

@@ -1,0 +1,143 @@
+// Package transport provides real (wall-clock) runtimes for the protocol
+// engines: an in-memory goroutine transport for single-process
+// deployments and demos, and a TCP transport for multi-process
+// deployments (cmd/flexnode, cmd/flexclient). Both feed each engine from
+// a single goroutine, preserving the engines' single-threaded contract,
+// and both use the wire codec so message sizes match the simulator's
+// accounting.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"flexcast/amcast"
+)
+
+// DeliverFunc observes application deliveries at a node. The runtime has
+// already sent the client reply when it is called.
+type DeliverFunc func(d amcast.Delivery)
+
+// InMemNet connects engines through buffered channels, one mailbox
+// goroutine per node. Close stops all nodes and waits for them.
+type InMemNet struct {
+	mu     sync.Mutex
+	nodes  map[amcast.NodeID]*inmemNode
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type inmemNode struct {
+	id   amcast.NodeID
+	in   chan amcast.Envelope
+	stop chan struct{}
+}
+
+// mailboxDepth bounds per-node queues; sends to a full mailbox block,
+// providing natural backpressure.
+const mailboxDepth = 1024
+
+// NewInMemNet returns an empty in-memory network.
+func NewInMemNet() *InMemNet {
+	return &InMemNet{nodes: make(map[amcast.NodeID]*inmemNode)}
+}
+
+// AddEngine attaches a protocol engine as a node. Deliveries trigger
+// client replies automatically; onDeliver may be nil.
+func (n *InMemNet) AddEngine(eng amcast.Engine, onDeliver DeliverFunc) error {
+	id := amcast.GroupNode(eng.Group())
+	return n.addNode(id, func(env amcast.Envelope) {
+		outs := eng.OnEnvelope(env)
+		for _, o := range outs {
+			n.Send(id, o.To, o.Env)
+		}
+		for _, d := range eng.TakeDeliveries() {
+			if d.Msg.Sender.IsClient() {
+				n.Send(id, d.Msg.Sender, amcast.Envelope{
+					Kind: amcast.KindReply,
+					From: id,
+					Msg:  d.Msg.Header(),
+					TS:   d.Seq,
+				})
+			}
+			if onDeliver != nil {
+				onDeliver(d)
+			}
+		}
+	})
+}
+
+// AddHandler attaches a raw envelope handler (clients use this).
+func (n *InMemNet) AddHandler(id amcast.NodeID, h func(env amcast.Envelope)) error {
+	return n.addNode(id, h)
+}
+
+func (n *InMemNet) addNode(id amcast.NodeID, h func(env amcast.Envelope)) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("transport: network closed")
+	}
+	if _, dup := n.nodes[id]; dup {
+		return fmt.Errorf("transport: node %s already registered", id)
+	}
+	node := &inmemNode{id: id, in: make(chan amcast.Envelope, mailboxDepth), stop: make(chan struct{})}
+	n.nodes[id] = node
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case env := <-node.in:
+				h(env)
+			case <-node.stop:
+				// Drain what is already queued, then exit.
+				for {
+					select {
+					case env := <-node.in:
+						h(env)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// Send enqueues an envelope to the destination mailbox. Envelopes to
+// unknown nodes are dropped (matching a network that loses packets to
+// dead hosts); per-pair ordering follows channel FIFO semantics.
+func (n *InMemNet) Send(from, to amcast.NodeID, env amcast.Envelope) {
+	n.mu.Lock()
+	node, ok := n.nodes[to]
+	closed := n.closed
+	n.mu.Unlock()
+	if !ok || closed {
+		return
+	}
+	select {
+	case node.in <- env:
+	case <-node.stop:
+	}
+}
+
+// Close stops all nodes and waits for their mailboxes to drain.
+func (n *InMemNet) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	nodes := make([]*inmemNode, 0, len(n.nodes))
+	for _, node := range n.nodes {
+		nodes = append(nodes, node)
+	}
+	n.mu.Unlock()
+	for _, node := range nodes {
+		close(node.stop)
+	}
+	n.wg.Wait()
+}

@@ -1,0 +1,8 @@
+package transport
+
+import "net"
+
+// net_Listen grabs an ephemeral loopback port for test address books.
+func net_Listen() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

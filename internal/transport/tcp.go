@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+)
+
+// AddrBook maps node ids to listen addresses ("host:port").
+type AddrBook map[amcast.NodeID]string
+
+// maxFrame bounds a single wire frame (a large FlexCast history diff
+// still fits comfortably).
+const maxFrame = 16 << 20
+
+// dialRetry is the backoff between reconnection attempts.
+const dialRetry = 200 * time.Millisecond
+
+// TCPNode is one process in a TCP deployment: it listens for inbound
+// envelopes, maintains lazy persistent connections to peers, and feeds a
+// handler from a single dispatcher goroutine (preserving the engine
+// single-threaded contract).
+type TCPNode struct {
+	id      amcast.NodeID
+	book    AddrBook
+	ln      net.Listener
+	handler func(env amcast.Envelope)
+
+	mu      sync.Mutex
+	conns   map[amcast.NodeID]*peerConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	in   chan amcast.Envelope
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex // serializes frame writes
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// NewTCPNode starts listening on the node's address from the book and
+// dispatches inbound envelopes to handler.
+func NewTCPNode(id amcast.NodeID, book AddrBook, handler func(env amcast.Envelope)) (*TCPNode, error) {
+	addr, ok := book[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: node %s not in address book", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		id:      id,
+		book:    book,
+		ln:      ln,
+		handler: handler,
+		conns:   make(map[amcast.NodeID]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+		in:      make(chan amcast.Envelope, mailboxDepth),
+		stop:    make(chan struct{}),
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.dispatchLoop()
+	return n, nil
+}
+
+// NewTCPEngineNode runs a protocol engine over TCP: outputs are
+// transmitted, deliveries answered to clients.
+func NewTCPEngineNode(eng amcast.Engine, book AddrBook, onDeliver DeliverFunc) (*TCPNode, error) {
+	id := amcast.GroupNode(eng.Group())
+	var n *TCPNode
+	handler := func(env amcast.Envelope) {
+		outs := eng.OnEnvelope(env)
+		for _, o := range outs {
+			if err := n.Send(o.To, o.Env); err != nil {
+				// Peer unreachable: FIFO links are assumed reliable by the
+				// protocols; the send path retries dialing, so this only
+				// triggers on shutdown.
+				continue
+			}
+		}
+		for _, d := range eng.TakeDeliveries() {
+			if d.Msg.Sender.IsClient() {
+				_ = n.Send(d.Msg.Sender, amcast.Envelope{
+					Kind: amcast.KindReply,
+					From: id,
+					Msg:  d.Msg.Header(),
+					TS:   d.Seq,
+				})
+			}
+			if onDeliver != nil {
+				onDeliver(d)
+			}
+		}
+	}
+	node, err := NewTCPNode(id, book, handler)
+	if err != nil {
+		return nil, err
+	}
+	n = node
+	return n, nil
+}
+
+// Addr returns the actual listen address (useful with ":0" test setups).
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		select {
+		case n.in <- env:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+func (n *TCPNode) dispatchLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case env := <-n.in:
+			n.handler(env)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// Send transmits one envelope, dialing and caching the peer connection.
+// It retries the dial once after a short backoff, then reports the error.
+func (n *TCPNode) Send(to amcast.NodeID, env amcast.Envelope) error {
+	pc, err := n.peer(to)
+	if err != nil {
+		return err
+	}
+	if err := pc.writeFrame(env); err != nil {
+		// Connection broke: drop it and retry once on a fresh dial.
+		n.dropPeer(to, pc)
+		time.Sleep(dialRetry)
+		pc, err = n.peer(to)
+		if err != nil {
+			return err
+		}
+		if err := pc.writeFrame(env); err != nil {
+			n.dropPeer(to, pc)
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *TCPNode) peer(to amcast.NodeID) (*peerConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("transport: node closed")
+	}
+	if pc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.book[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: node %s not in address book", to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	pc := &peerConn{conn: conn, w: bufio.NewWriter(conn)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return nil, errors.New("transport: node closed")
+	}
+	if existing, ok := n.conns[to]; ok {
+		conn.Close() // lost the race; reuse the existing connection
+		return existing, nil
+	}
+	n.conns[to] = pc
+	return pc, nil
+}
+
+func (n *TCPNode) dropPeer(to amcast.NodeID, pc *peerConn) {
+	n.mu.Lock()
+	if cur, ok := n.conns[to]; ok && cur == pc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	pc.conn.Close()
+}
+
+// Close shuts the node down: the listener, all connections, and the
+// dispatcher.
+func (n *TCPNode) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	conns := make([]*peerConn, 0, len(n.conns))
+	for _, pc := range n.conns {
+		conns = append(conns, pc)
+	}
+	n.conns = make(map[amcast.NodeID]*peerConn)
+	inbound := make([]net.Conn, 0, len(n.inbound))
+	for c := range n.inbound {
+		inbound = append(inbound, c)
+	}
+	n.mu.Unlock()
+
+	close(n.stop)
+	n.ln.Close()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	n.wg.Wait()
+}
+
+func (pc *peerConn) writeFrame(env amcast.Envelope) error {
+	payload := codec.Marshal(env)
+	var hdr [binary.MaxVarintLen64]byte
+	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, err := pc.w.Write(hdr[:hn]); err != nil {
+		return err
+	}
+	if _, err := pc.w.Write(payload); err != nil {
+		return err
+	}
+	return pc.w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (amcast.Envelope, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return amcast.Envelope{}, err
+	}
+	if size > maxFrame {
+		return amcast.Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return amcast.Envelope{}, err
+	}
+	return codec.Unmarshal(buf)
+}

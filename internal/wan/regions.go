@@ -1,0 +1,203 @@
+// Package wan models the emulated wide-area network of the paper's
+// evaluation (§5.2): 12 AWS regions, one group per region, with
+// inter-region round-trip latencies.
+//
+// The paper uses RTTs measured by cloudping.co; those measurements are not
+// reproduced in the paper, so this package substitutes a synthetic matrix
+// built from well-known AWS inter-region latencies. The group numbering is
+// chosen so that the paper's construction rules reproduce its overlays
+// exactly: the greedy nearest-neighbour chain started at group 8 yields
+// O1 = [8 7 6 5 2 1 3 4 9 10 11 12], which is the node order shown on the
+// x-axis of the paper's Figure 8(a).
+//
+// Continental clusters (matching the paper's narrative that groups 1-5 are
+// America, 6-8 Europe, 9-12 Asia-Pacific):
+//
+//	1 us-east-2 (Ohio)        5 ca-central-1 (Montreal)
+//	2 us-east-1 (N. Virginia) 6 eu-west-2 (London)
+//	3 us-west-1 (N. Calif.)   7 eu-west-3 (Paris)
+//	4 us-west-2 (Oregon)      8 eu-central-1 (Frankfurt)
+//	9 ap-northeast-1 (Tokyo)  11 ap-southeast-1 (Singapore)
+//	10 ap-northeast-2 (Seoul) 12 ap-southeast-2 (Sydney)
+package wan
+
+import (
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+	"flexcast/internal/overlay"
+)
+
+// NumRegions is the number of regions/groups in the paper's deployment.
+const NumRegions = 12
+
+// Region names indexed by group id (index 0 unused).
+var regionNames = [NumRegions + 1]string{
+	"",               // group ids start at 1
+	"us-east-2",      // 1  Ohio
+	"us-east-1",      // 2  N. Virginia
+	"us-west-1",      // 3  N. California
+	"us-west-2",      // 4  Oregon
+	"ca-central-1",   // 5  Montreal
+	"eu-west-2",      // 6  London
+	"eu-west-3",      // 7  Paris
+	"eu-central-1",   // 8  Frankfurt
+	"ap-northeast-1", // 9  Tokyo
+	"ap-northeast-2", // 10 Seoul
+	"ap-southeast-1", // 11 Singapore
+	"ap-southeast-2", // 12 Sydney
+}
+
+// RegionName returns the AWS region name for a group.
+func RegionName(g amcast.GroupID) string {
+	if g < 1 || g > NumRegions {
+		return fmt.Sprintf("region(%d)", g)
+	}
+	return regionNames[g]
+}
+
+// rttMS[i][j] is the round-trip time in milliseconds between regions i and
+// j (1-based). Only the upper triangle is specified; the matrix is
+// symmetrized at init. Values approximate steady-state AWS inter-region
+// RTTs.
+var rttMS = func() [NumRegions + 1][NumRegions + 1]int64 {
+	var m [NumRegions + 1][NumRegions + 1]int64
+	upper := map[[2]int]int64{
+		{1, 2}: 12, {1, 3}: 52, {1, 4}: 71, {1, 5}: 17, {1, 6}: 86,
+		{1, 7}: 92, {1, 8}: 98, {1, 9}: 155, {1, 10}: 175, {1, 11}: 215, {1, 12}: 195,
+		{2, 3}: 61, {2, 4}: 77, {2, 5}: 16, {2, 6}: 76, {2, 7}: 80,
+		{2, 8}: 88, {2, 9}: 167, {2, 10}: 185, {2, 11}: 232, {2, 12}: 204,
+		{3, 4}: 22, {3, 5}: 74, {3, 6}: 137, {3, 7}: 142, {3, 8}: 147,
+		{3, 9}: 107, {3, 10}: 135, {3, 11}: 170, {3, 12}: 139,
+		{4, 5}: 60, {4, 6}: 130, {4, 7}: 136, {4, 8}: 141, {4, 9}: 97,
+		{4, 10}: 126, {4, 11}: 161, {4, 12}: 138,
+		{5, 6}: 73, {5, 7}: 79, {5, 8}: 86, {5, 9}: 144, {5, 10}: 168,
+		{5, 11}: 208, {5, 12}: 197,
+		{6, 7}: 9, {6, 8}: 14, {6, 9}: 210, {6, 10}: 230, {6, 11}: 170, {6, 12}: 263,
+		{7, 8}: 8, {7, 9}: 218, {7, 10}: 238, {7, 11}: 160, {7, 12}: 270,
+		{8, 9}: 225, {8, 10}: 245, {8, 11}: 155, {8, 12}: 278,
+		{9, 10}: 35, {9, 11}: 70, {9, 12}: 104,
+		{10, 11}: 75, {10, 12}: 136,
+		{11, 12}: 92,
+	}
+	for k, v := range upper {
+		m[k[0]][k[1]] = v
+		m[k[1]][k[0]] = v
+	}
+	// Intra-region RTT: clients talk to their home group over the local
+	// network.
+	for i := 1; i <= NumRegions; i++ {
+		m[i][i] = 1
+	}
+	return m
+}()
+
+// LocalRTTMicros is the round-trip time between a client and a group in
+// the same region, in microseconds.
+const LocalRTTMicros int64 = 1000
+
+// RTTMicros returns the round-trip time between two regions in
+// microseconds.
+func RTTMicros(a, b amcast.GroupID) int64 {
+	if a < 1 || a > NumRegions || b < 1 || b > NumRegions {
+		panic(fmt.Sprintf("wan: region out of range: %d,%d", a, b))
+	}
+	return rttMS[a][b] * 1000
+}
+
+// OneWayMicros returns the one-way latency between two regions in
+// microseconds (half the RTT).
+func OneWayMicros(a, b amcast.GroupID) int64 { return RTTMicros(a, b) / 2 }
+
+// Groups returns all group ids 1..NumRegions.
+func Groups() []amcast.GroupID {
+	gs := make([]amcast.GroupID, NumRegions)
+	for i := range gs {
+		gs[i] = amcast.GroupID(i + 1)
+	}
+	return gs
+}
+
+// NearestOrder returns the other regions sorted by ascending RTT from
+// home; the gTPC-C locality rule walks this list (§5.3). Ties break toward
+// the smaller group id.
+func NearestOrder(home amcast.GroupID) []amcast.GroupID {
+	others := make([]amcast.GroupID, 0, NumRegions-1)
+	for _, g := range Groups() {
+		if g != home {
+			others = append(others, g)
+		}
+	}
+	sort.SliceStable(others, func(i, j int) bool {
+		di, dj := RTTMicros(home, others[i]), RTTMicros(home, others[j])
+		if di != dj {
+			return di < dj
+		}
+		return others[i] < others[j]
+	})
+	return others
+}
+
+// O1 returns the paper's FlexCast overlay O1: the greedy nearest-neighbour
+// chain started at the central European group 8 (Frankfurt). With this
+// package's matrix the result is [8 7 6 5 2 1 3 4 9 10 11 12].
+func O1() *overlay.CDAG {
+	return chainFrom(8)
+}
+
+// O2 returns the paper's FlexCast overlay O2: the greedy chain started at
+// the left-most group 1 (Ohio).
+func O2() *overlay.CDAG {
+	return chainFrom(1)
+}
+
+func chainFrom(start amcast.GroupID) *overlay.CDAG {
+	chain, err := overlay.GreedyChain(start, Groups(), RTTMicros)
+	if err != nil {
+		panic(err)
+	}
+	return overlay.MustCDAG(chain)
+}
+
+// T1 returns hierarchical tree T1 (3 levels, inner nodes 8, 5, 9): the
+// European root with the America subtree rooted at group 5 (Montreal, the
+// American region closest to Europe) and the Asia subtree rooted at group
+// 9 (Tokyo). This reconstructs the paper's description of T1, whose
+// highest-overhead groups are the continental subtree roots 5 and 9
+// (§5.8).
+func T1() *overlay.Tree {
+	return overlay.MustTree(8, map[amcast.GroupID][]amcast.GroupID{
+		8: {7, 5, 9},
+		7: {6},
+		5: {1, 2, 3, 4},
+		9: {10, 11, 12},
+	})
+}
+
+// T2 returns hierarchical tree T2 (5 inner nodes: 7, 5, 2, 9, 11). More
+// inner nodes spread the communication overhead across more groups at the
+// cost of extra forwarding steps (§5.4).
+func T2() *overlay.Tree {
+	return overlay.MustTree(7, map[amcast.GroupID][]amcast.GroupID{
+		7:  {8, 6, 5, 9},
+		5:  {2},
+		2:  {1, 3, 4},
+		9:  {11},
+		11: {10, 12},
+	})
+}
+
+// T3 returns hierarchical tree T3: a star rooted at group 6 (London). The
+// single inner node concentrates the entire overhead on the root, which
+// also becomes a latency bottleneck — the paper reports 56% overhead at
+// T3's root, independent of the locality rate (§5.8, Table 4).
+func T3() *overlay.Tree {
+	children := make([]amcast.GroupID, 0, NumRegions-1)
+	for _, g := range Groups() {
+		if g != 6 {
+			children = append(children, g)
+		}
+	}
+	return overlay.MustTree(6, map[amcast.GroupID][]amcast.GroupID{6: children})
+}

@@ -1,0 +1,163 @@
+package wan
+
+import (
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+)
+
+func TestMatrixSymmetricAndPositive(t *testing.T) {
+	for _, a := range Groups() {
+		for _, b := range Groups() {
+			ab, ba := RTTMicros(a, b), RTTMicros(b, a)
+			if ab != ba {
+				t.Errorf("RTT(%d,%d)=%d != RTT(%d,%d)=%d", a, b, ab, b, a, ba)
+			}
+			if ab <= 0 {
+				t.Errorf("RTT(%d,%d)=%d not positive", a, b, ab)
+			}
+			if a != b && ab < RTTMicros(a, a) {
+				t.Errorf("inter-region RTT(%d,%d) below intra-region RTT", a, b)
+			}
+		}
+	}
+}
+
+func TestOneWayIsHalfRTT(t *testing.T) {
+	if got, want := OneWayMicros(1, 2), RTTMicros(1, 2)/2; got != want {
+		t.Fatalf("OneWayMicros = %d, want %d", got, want)
+	}
+}
+
+func TestContinentalClustering(t *testing.T) {
+	america := []amcast.GroupID{1, 2, 3, 4, 5}
+	europe := []amcast.GroupID{6, 7, 8}
+	asia := []amcast.GroupID{9, 10, 11, 12}
+	maxIntra := func(set []amcast.GroupID) int64 {
+		var max int64
+		for _, a := range set {
+			for _, b := range set {
+				if a != b && RTTMicros(a, b) > max {
+					max = RTTMicros(a, b)
+				}
+			}
+		}
+		return max
+	}
+	minInter := func(s1, s2 []amcast.GroupID) int64 {
+		min := int64(1 << 62)
+		for _, a := range s1 {
+			for _, b := range s2 {
+				if RTTMicros(a, b) < min {
+					min = RTTMicros(a, b)
+				}
+			}
+		}
+		return min
+	}
+	// Every continental cluster is internally tighter than its distance to
+	// any other continent — the structural property the paper's locality
+	// analysis relies on.
+	if maxIntra(europe) >= minInter(europe, america) {
+		t.Error("Europe not tighter than Europe-America")
+	}
+	if maxIntra(asia) >= minInter(asia, europe) {
+		t.Error("Asia not tighter than Asia-Europe")
+	}
+	if maxIntra(america) >= minInter(america, asia) {
+		t.Error("America not tighter than America-Asia")
+	}
+}
+
+func TestO1MatchesPaperOrder(t *testing.T) {
+	// The paper's Figure 8(a) lists FlexCast's nodes in O1 rank order:
+	// 8 7 6 5 2 1 3 4 9 10 11 12.
+	want := []amcast.GroupID{8, 7, 6, 5, 2, 1, 3, 4, 9, 10, 11, 12}
+	if got := O1().Order(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("O1 order = %v, want %v", got, want)
+	}
+}
+
+func TestO2StartsAtGroup1(t *testing.T) {
+	order := O2().Order()
+	if order[0] != 1 {
+		t.Fatalf("O2 starts at %d, want 1", order[0])
+	}
+	if len(order) != NumRegions {
+		t.Fatalf("O2 has %d groups, want %d", len(order), NumRegions)
+	}
+}
+
+func TestNearestOrder(t *testing.T) {
+	for _, home := range Groups() {
+		order := NearestOrder(home)
+		if len(order) != NumRegions-1 {
+			t.Fatalf("NearestOrder(%d) has %d entries", home, len(order))
+		}
+		for i := 0; i+1 < len(order); i++ {
+			if RTTMicros(home, order[i]) > RTTMicros(home, order[i+1]) {
+				t.Errorf("NearestOrder(%d) not sorted at %d", home, i)
+			}
+		}
+		for _, g := range order {
+			if g == home {
+				t.Errorf("NearestOrder(%d) contains home", home)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsMatchGeography(t *testing.T) {
+	// Spot checks that drive the gTPC-C locality pattern.
+	wantNearest := map[amcast.GroupID]amcast.GroupID{
+		1:  2,  // Ohio -> Virginia
+		3:  4,  // N. California -> Oregon
+		6:  7,  // London -> Paris
+		7:  8,  // Paris -> Frankfurt
+		9:  10, // Tokyo -> Seoul
+		12: 11, // Sydney -> Singapore
+	}
+	for home, want := range wantNearest {
+		if got := NearestOrder(home)[0]; got != want {
+			t.Errorf("nearest(%d) = %d, want %d", home, got, want)
+		}
+	}
+}
+
+func TestTreesAreValidAndMatchNarrative(t *testing.T) {
+	t1, t2, t3 := T1(), T2(), T3()
+	for name, tr := range map[string]interface{ Len() int }{"T1": t1, "T2": t2, "T3": t3} {
+		if tr.Len() != NumRegions {
+			t.Errorf("%s has %d groups, want %d", name, tr.Len(), NumRegions)
+		}
+	}
+	// T1: America subtree rooted at 5, Asia subtree at 9 (paper §5.8).
+	if !t1.InSubtree(5, 1) || !t1.InSubtree(5, 4) || !t1.InSubtree(9, 12) {
+		t.Error("T1 subtree structure wrong")
+	}
+	if t1.Root() != 8 {
+		t.Errorf("T1 root = %d, want 8", t1.Root())
+	}
+	// T2 has more inner nodes than T1.
+	if len(t2.InnerNodes()) <= len(t1.InnerNodes()) {
+		t.Errorf("T2 inner nodes (%d) not more than T1 (%d)",
+			len(t2.InnerNodes()), len(t1.InnerNodes()))
+	}
+	// T3 is a star: exactly one inner node, the root 6.
+	if inner := t3.InnerNodes(); len(inner) != 1 || inner[0] != 6 {
+		t.Errorf("T3 inner nodes = %v, want [6]", inner)
+	}
+	if t3.Depth(1) != 1 {
+		t.Errorf("T3 depth(1) = %d, want 1", t3.Depth(1))
+	}
+}
+
+func TestRegionName(t *testing.T) {
+	if got := RegionName(8); got != "eu-central-1" {
+		t.Errorf("RegionName(8) = %q", got)
+	}
+	if got := RegionName(99); got != "region(99)" {
+		t.Errorf("RegionName(99) = %q", got)
+	}
+}
