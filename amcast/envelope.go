@@ -1,6 +1,9 @@
 package amcast
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Kind discriminates the wire envelopes exchanged by the protocols.
 type Kind uint8
@@ -77,14 +80,45 @@ type Envelope struct {
 	// Hist is the FlexCast history diff piggybacked on MSG/ACK/NOTIF
 	// envelopes (diff-hst in Algorithm 3). Nil for other kinds.
 	Hist *HistDelta
-	// NotifList carries the groups notified so far about Msg (FlexCast
-	// MSG/ACK envelopes; Algorithm 3 line 40).
-	NotifList []GroupID
+	// NotifList carries the notification pairs known so far about Msg
+	// (FlexCast MSG/ACK envelopes; Algorithm 3 line 40). Pairs rather
+	// than a flat group set: a destination must match each notified
+	// ancestor's flush ack against the notifier whose history triggered
+	// the notification, or a flush ack predating a later notifier's
+	// dependencies could satisfy the wait too early (see DESIGN.md §4).
+	NotifList []NotifPair
+	// AckCovers, on a notified group's flush ACK, names the notifiers
+	// whose notifications this ack answers. Empty on destination acks.
+	AckCovers []GroupID
 	// TS is the Skeen local timestamp (KindTS) and doubles as the delivery
 	// sequence number on KindReply envelopes.
 	TS uint64
 	// TSFrom is the group that assigned TS (KindTS).
 	TSFrom GroupID
+}
+
+// NotifPair records that Notifier sent a NOTIF about a message to
+// Notified (a non-destination holding relevant ordering information).
+type NotifPair struct {
+	Notifier, Notified GroupID
+}
+
+// NormalizePairs sorts pairs by (notifier, notified) and removes
+// duplicates, in place; deterministic encoding needs a canonical order.
+func NormalizePairs(ps []NotifPair) []NotifPair {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Notifier != ps[j].Notifier {
+			return ps[i].Notifier < ps[j].Notifier
+		}
+		return ps[i].Notified < ps[j].Notified
+	})
+	out := ps[:0]
+	for i, p := range ps {
+		if i == 0 || p != ps[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // HistNode is one vertex of a history diff: a message id plus its

@@ -1,0 +1,36 @@
+package amcast
+
+// Snapshot is an opaque, self-contained copy of one engine's protocol
+// state. Implementations are protocol-specific and private; the only
+// shared operation is identifying the owning group, which lets runtimes
+// sanity-check that a snapshot is restored into the right engine.
+//
+// A Snapshot shares no mutable state with the engine that produced it:
+// the engine may keep running (and a restored engine may diverge) without
+// affecting the snapshot. This is what allows a runtime to keep a
+// periodic snapshot as simulated stable storage and restore it more than
+// once while exploring different recovery schedules.
+type Snapshot interface {
+	// SnapshotGroup returns the group whose engine produced the snapshot.
+	SnapshotGroup() GroupID
+}
+
+// SnapshotEngine is an Engine whose full state can be captured and
+// restored, enabling crash/recovery testing (internal/chaos) and
+// state-transfer-based replica recovery. All three protocol engines in
+// this repository implement it.
+//
+// Contract: Restore(Snapshot()) must leave the engine byte-equivalent to
+// the engine that took the snapshot — given the same subsequent envelope
+// sequence, the restored engine must produce the same outputs and
+// deliveries. Restore discards all current state, including undrained
+// deliveries.
+type SnapshotEngine interface {
+	Engine
+	// Snapshot captures the engine's complete state.
+	Snapshot() Snapshot
+	// Restore replaces the engine's state with a snapshot previously
+	// produced by a compatible engine for the same group. It fails on a
+	// snapshot of the wrong concrete type or group.
+	Restore(Snapshot) error
+}

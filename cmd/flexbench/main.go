@@ -1,12 +1,17 @@
 // Command flexbench regenerates the tables and figures of the FlexCast
 // paper's evaluation (Middleware 2023, §5) on the simulated 12-region
-// WAN and prints them in the paper's format.
+// WAN and prints them in the paper's format. It doubles as the
+// simulation-testing driver: -mode chaos explores randomized
+// fault-injection schedules (crashes, partitions, retransmissions,
+// duplication) and checks the safety properties on every schedule.
 //
 // Usage:
 //
 //	flexbench -experiment all            # everything, paper-scale (60 virtual s)
 //	flexbench -experiment fig6 -scale 0.1
 //	flexbench -list
+//	flexbench -mode chaos -seed 1 -schedules 100
+//	flexbench -mode chaos -protocol flexcast -repro-seed 123456789
 //
 // Experiments: fig1, fig5 (Table 2), fig6, fig7 (Table 3), fig8,
 // fig9 (Table 4), all.
@@ -17,9 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"flexcast/internal/chaos"
 	"flexcast/internal/experiments"
+	"flexcast/internal/harness"
 )
 
 // printer is the shared shape of all experiment results.
@@ -35,13 +43,26 @@ func run(stdout, stderr io.Writer, args []string) int {
 	fs := flag.NewFlagSet("flexbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
+		mode       = fs.String("mode", "bench", "bench (paper experiments) or chaos (fault-injection exploration)")
 		experiment = fs.String("experiment", "all", "which experiment to run: fig1, fig5, fig6, fig7, fig8, fig9, all")
 		scale      = fs.Float64("scale", 1.0, "virtual-duration scale (1.0 = the paper's 60 s runs)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		verify     = fs.Bool("verify", false, "record runs and check the atomic multicast properties (slower)")
 		list       = fs.Bool("list", false, "list experiments and exit")
+
+		schedules = fs.Int("schedules", 100, "chaos: number of seeded fault schedules per protocol")
+		protocol  = fs.String("protocol", "all", "chaos: flexcast, distributed, hierarchical or all")
+		reproSeed = fs.Int64("repro-seed", 0, "chaos: rerun exactly one schedule seed (from a failure report)")
+		chaosBug  = fs.Int("chaos-bug", 0, "chaos: test-only ordering-bug hook; >0 flips every n-th delivery batch to validate the checker")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *mode == "chaos" {
+		return runChaos(stdout, stderr, *protocol, *seed, *schedules, *reproSeed, *chaosBug)
+	}
+	if *mode != "bench" {
+		fmt.Fprintf(stderr, "flexbench: unknown mode %q (bench or chaos)\n", *mode)
 		return 2
 	}
 
@@ -88,6 +109,75 @@ func run(stdout, stderr io.Writer, args []string) int {
 		}
 		res.Print(stdout)
 		fmt.Fprintf(stdout, "(%s computed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// chaosProtocols resolves the -protocol selector.
+func chaosProtocols(sel string) ([]harness.Protocol, error) {
+	switch strings.ToLower(sel) {
+	case "all":
+		return []harness.Protocol{harness.FlexCast, harness.Distributed, harness.Hierarchical}, nil
+	case "flexcast":
+		return []harness.Protocol{harness.FlexCast}, nil
+	case "distributed", "skeen":
+		return []harness.Protocol{harness.Distributed}, nil
+	case "hierarchical", "tree":
+		return []harness.Protocol{harness.Hierarchical}, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (flexcast, distributed, hierarchical, all)", sel)
+	}
+}
+
+// runChaos drives the fault-injection explorer. The exit code reports
+// safety: 0 only when every explored schedule upheld every invariant.
+func runChaos(stdout, stderr io.Writer, protocol string, seed int64, schedules int, reproSeed int64, bugEvery int) int {
+	protos, err := chaosProtocols(protocol)
+	if err != nil {
+		fmt.Fprintf(stderr, "flexbench: %v\n", err)
+		return 2
+	}
+	if schedules <= 0 {
+		fmt.Fprintf(stderr, "flexbench: -schedules must be > 0 (got %d)\n", schedules)
+		return 2
+	}
+	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: bugEvery}
+	failed := false
+	for _, p := range protos {
+		cfg := harness.ChaosConfig{Protocol: p, Options: opts}
+		start := time.Now()
+		if reproSeed != 0 {
+			res, err := harness.ReplayChaos(cfg, reproSeed)
+			if err != nil {
+				fmt.Fprintf(stderr, "flexbench: chaos %s: %v\n", p, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "chaos %-12s  seed=%d multicasts=%d deliveries=%d events=%d\n",
+				p, res.Seed, res.Multicasts, res.Deliveries, res.Events)
+			if res.Err != nil {
+				failed = true
+				fmt.Fprintf(stdout, "  INVARIANT VIOLATION: %v\n", res.Err)
+				for _, line := range res.FaultTrace {
+					fmt.Fprintf(stdout, "    %s\n", line)
+				}
+			} else {
+				fmt.Fprintf(stdout, "  invariants: OK\n")
+			}
+			continue
+		}
+		rep, err := harness.RunChaos(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "flexbench: chaos %s: %v\n", p, err)
+			return 1
+		}
+		rep.Print(stdout)
+		fmt.Fprintf(stdout, "(%s explored in %v)\n\n", p, time.Since(start).Round(time.Millisecond))
+		if rep.Failed() {
+			failed = true
+		}
+	}
+	if failed {
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,3 @@
+module flexcast
+
+go 1.22

@@ -1,0 +1,272 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"flexcast/amcast"
+	"flexcast/internal/sim"
+	"flexcast/internal/trace"
+)
+
+// ScheduleResult is the outcome of one explored schedule.
+type ScheduleResult struct {
+	// Seed reproduces the schedule exactly via RunSchedule.
+	Seed int64
+	// Multicasts and Deliveries count the workload.
+	Multicasts int
+	Deliveries int
+	// Events is the number of simulator events executed.
+	Events uint64
+	// Faults counts the injected faults.
+	Faults FaultStats
+	// Err is the first invariant violation (nil for a clean schedule).
+	Err error
+	// FaultTrace is the schedule's fault log, kept for failure reports.
+	FaultTrace []string
+}
+
+// Report aggregates one exploration run.
+type Report struct {
+	// Deployment is the protocol label.
+	Deployment string
+	// Schedules is the number of schedules explored.
+	Schedules int
+	// Multicasts, Deliveries and Events aggregate the workload.
+	Multicasts int
+	Deliveries int
+	Events     uint64
+	// Faults aggregates the injected faults.
+	Faults FaultStats
+	// Violations holds every schedule that failed a safety check.
+	Violations []ScheduleResult
+	// minimality records whether the genuineness audit ran (Print).
+	minimality bool
+	// bugFlip echoes Options.BugFlipEvery so the printed reproduce
+	// command includes the flag that shaped the schedule.
+	bugFlip int
+}
+
+// Failed reports whether any schedule violated an invariant.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Print renders the report; violations come with their seed and fault
+// trace so they can be replayed.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "chaos %-12s  schedules=%d multicasts=%d deliveries=%d events=%d\n",
+		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.Events)
+	fmt.Fprintf(w, "  faults: retransmits=%d duplicates=%d partition-hits=%d crashes=%d parked=%d\n",
+		r.Faults.Retransmits, r.Faults.Duplicates, r.Faults.PartitionHits, r.Faults.Crashes, r.Faults.Parked)
+	if !r.Failed() {
+		fmt.Fprintf(w, "  invariants: OK (acyclic order, agreement, integrity, prefix order%s)\n",
+			map[bool]string{true: ", minimality"}[r.minimality])
+		return
+	}
+	fmt.Fprintf(w, "  INVARIANT VIOLATIONS: %d\n", len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "  seed %d: %v\n", v.Seed, v.Err)
+		bug := ""
+		if r.bugFlip > 0 {
+			bug = fmt.Sprintf(" -chaos-bug %d", r.bugFlip)
+		}
+		fmt.Fprintf(w, "    reproduce: flexbench -mode chaos -protocol %s -repro-seed %d%s\n", r.Deployment, v.Seed, bug)
+		for _, line := range v.FaultTrace {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+}
+
+// Explore runs opt.Schedules seeded schedules of the deployment and
+// aggregates the results. A violation does not stop exploration: every
+// failing seed is collected so the report is a complete picture.
+func Explore(d Deployment, opt Options) (*Report, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	opt.fill()
+	rep := &Report{Deployment: d.Name, Schedules: opt.Schedules, minimality: d.Minimality, bugFlip: opt.BugFlipEvery}
+	for i := 0; i < opt.Schedules; i++ {
+		res, err := RunSchedule(d, opt, ScheduleSeed(opt.Seed, i))
+		if err != nil {
+			return nil, err
+		}
+		rep.Multicasts += res.Multicasts
+		rep.Deliveries += res.Deliveries
+		rep.Events += res.Events
+		rep.Faults.Add(res.Faults)
+		if res.Err != nil {
+			rep.Violations = append(rep.Violations, *res)
+		}
+	}
+	return rep, nil
+}
+
+// RunSchedule runs one seeded schedule: build a fresh deployment on the
+// simulator, inject the seed's faults and workload, run to quiescence,
+// and check every safety property. The returned error is reserved for
+// deployment problems; invariant violations land in ScheduleResult.Err.
+func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	opt.fill()
+	rng := rand.New(rand.NewSource(seed))
+	s := sim.New()
+	rec := trace.NewRecorder()
+	res := &ScheduleResult{Seed: seed}
+	fail := func(err error) {
+		if res.Err == nil {
+			res.Err = err
+		}
+	}
+
+	// Random but fixed per-link latencies in [100µs, 20ms): chaos
+	// explores latency topologies beyond the WAN matrix.
+	lat := make(map[[2]amcast.NodeID]sim.Time)
+	latency := func(from, to amcast.NodeID) sim.Time {
+		key := [2]amcast.NodeID{from, to}
+		l, ok := lat[key]
+		if !ok {
+			l = sim.Time(100 + rng.Int63n(19_900))
+			lat[key] = l
+		}
+		return l
+	}
+
+	inj := newInjector(opt, d.Groups, rng, s)
+	netOpts := []sim.NetworkOption{
+		sim.WithFaults(inj.Fault),
+		sim.WithSendHook(func(from, to amcast.NodeID, env amcast.Envelope) {
+			rec.OnSend(from, to, env)
+		}),
+	}
+	if opt.Observer != nil {
+		netOpts = append(netOpts, sim.WithHandleHook(opt.Observer))
+	}
+	net := sim.NewNetwork(s, latency, netOpts...)
+
+	nodes := make(map[amcast.GroupID]*node, len(d.Groups))
+	engines := make(map[amcast.GroupID]amcast.SnapshotEngine, len(d.Groups))
+	for _, g := range d.Groups {
+		eng, err := d.Factory(g)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: build engine for group %d: %w", g, err)
+		}
+		n := newNode(amcast.GroupNode(g), eng, net, opt.SnapshotEvery)
+		n.onDeliver = func(del amcast.Delivery) error {
+			res.Deliveries++
+			return rec.OnDeliver(del)
+		}
+		n.fail = fail
+		n.bugEvery = opt.BugFlipEvery
+		nodes[g] = n
+		engines[g] = eng
+		net.Register(amcast.GroupNode(g), n)
+	}
+
+	// Crash/recovery schedule: crash the server and park its traffic;
+	// at the window's end rebuild the engine from stable storage, then
+	// release the parked traffic.
+	for _, w := range inj.crashes {
+		w := w
+		gnode := amcast.GroupNode(w.group)
+		s.ScheduleAt(w.start, func() {
+			nodes[w.group].Crash()
+			net.CrashNode(gnode)
+			inj.stats.Crashes++
+		})
+		s.ScheduleAt(w.end, func() {
+			inj.stats.Parked += net.Parked(gnode)
+			if err := nodes[w.group].Recover(); err != nil {
+				fail(err)
+			}
+			net.RestartNode(gnode)
+		})
+	}
+
+	// The flush/garbage-collection client (paper §4.3): flush multicasts
+	// to every group on a fixed period, so schedules exercise history
+	// pruning concurrently with faults.
+	if opt.FlushEvery > 0 {
+		fid := amcast.ClientNode(opt.Clients)
+		net.Register(fid, sim.HandlerFunc(func(env amcast.Envelope) {}))
+		seq := uint64(0)
+		for at := opt.FlushEvery; at <= opt.InjectWindow; at += opt.FlushEvery {
+			seq++
+			m := amcast.Message{
+				ID:     amcast.NewMsgID(opt.Clients, seq),
+				Sender: fid,
+				Dst:    amcast.NormalizeDst(append([]amcast.GroupID(nil), d.Groups...)),
+				Flags:  amcast.FlagFlush,
+			}
+			rec.OnMulticast(m)
+			res.Multicasts++
+			at := at
+			s.ScheduleAt(at, func() {
+				for _, to := range d.Route(m) {
+					net.Send(fid, to, amcast.Envelope{Kind: amcast.KindRequest, From: fid, Msg: m})
+				}
+			})
+		}
+	}
+
+	// Workload: open-loop clients firing seeded multicasts across the
+	// injection window.
+	maxDst := opt.MaxDst
+	if maxDst == 0 || maxDst > len(d.Groups) {
+		maxDst = len(d.Groups)
+	}
+	for c := 0; c < opt.Clients; c++ {
+		cid := amcast.ClientNode(c)
+		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
+		for i := 0; i < opt.Messages; i++ {
+			nDst := 1 + rng.Intn(maxDst)
+			perm := rng.Perm(len(d.Groups))
+			dst := make([]amcast.GroupID, 0, nDst)
+			for _, p := range perm[:nDst] {
+				dst = append(dst, d.Groups[p])
+			}
+			m := amcast.Message{
+				ID:      amcast.NewMsgID(c, uint64(i+1)),
+				Sender:  cid,
+				Dst:     amcast.NormalizeDst(dst),
+				Payload: []byte(fmt.Sprintf("chaos-%d-%d", c, i)),
+			}
+			rec.OnMulticast(m)
+			res.Multicasts++
+			at := sim.Time(rng.Int63n(int64(opt.InjectWindow)))
+			s.ScheduleAt(at, func() {
+				for _, to := range d.Route(m) {
+					net.Send(cid, to, amcast.Envelope{Kind: amcast.KindRequest, From: cid, Msg: m})
+				}
+			})
+		}
+	}
+
+	s.Run()
+	res.Events = s.Steps()
+	res.Faults = inj.stats
+	res.FaultTrace = inj.FaultTrace()
+
+	// Safety checks. res.Err may already hold an at-most-once violation
+	// or a recovery divergence; the trace checkers add the global
+	// properties, and engines exposing an internal acyclicity check (the
+	// FlexCast history DAG) are audited too.
+	if res.Err == nil {
+		if err := rec.CheckAll(d.Minimality); err != nil {
+			res.Err = err
+		}
+	}
+	if res.Err == nil {
+		for _, g := range d.Groups {
+			if c, ok := engines[g].(interface{ CheckHistoryAcyclic() error }); ok {
+				if err := c.CheckHistoryAcyclic(); err != nil {
+					res.Err = fmt.Errorf("group %d: %w", g, err)
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -6,9 +6,10 @@
 //
 // Layout (all integers are unsigned varints unless noted):
 //
-//	kind(1 byte) | from | msg | [payload] | [hist] | [notifList] | [ts tsFrom]
+//	kind(1 byte) | from | msg | [payload] | [hist] | [notifList] | [ackCovers] | [ts tsFrom]
 //	msg   = id | sender | flags(1 byte) | nDst | dst...
 //	hist  = nNodes | (id nDst dst...)... | nEdges | (from to)...
+//	notifList = nPairs | (notifier notified)...
 //
 // Optional sections are present only for the envelope kinds that use them,
 // keeping auxiliary messages (ACK/NOTIF/TS/REPLY) small, as in the paper's
@@ -32,6 +33,10 @@ func hasNotifList(k amcast.Kind) bool {
 	return k == amcast.KindMsg || k == amcast.KindAck
 }
 
+func hasAckCovers(k amcast.Kind) bool {
+	return k == amcast.KindAck
+}
+
 func hasTS(k amcast.Kind) bool {
 	return k == amcast.KindTS || k == amcast.KindReply
 }
@@ -47,7 +52,14 @@ func Marshal(env amcast.Envelope) []byte {
 	}
 	if hasNotifList(env.Kind) {
 		buf = binary.AppendUvarint(buf, uint64(len(env.NotifList)))
-		for _, g := range env.NotifList {
+		for _, p := range env.NotifList {
+			buf = binary.AppendUvarint(buf, uint64(uint32(p.Notifier)))
+			buf = binary.AppendUvarint(buf, uint64(uint32(p.Notified)))
+		}
+	}
+	if hasAckCovers(env.Kind) {
+		buf = binary.AppendUvarint(buf, uint64(len(env.AckCovers)))
+		for _, g := range env.AckCovers {
 			buf = binary.AppendUvarint(buf, uint64(uint32(g)))
 		}
 	}
@@ -105,7 +117,13 @@ func Size(env amcast.Envelope) int {
 	}
 	if hasNotifList(env.Kind) {
 		n += uvarintLen(uint64(len(env.NotifList)))
-		for _, g := range env.NotifList {
+		for _, p := range env.NotifList {
+			n += uvarintLen(uint64(uint32(p.Notifier))) + uvarintLen(uint64(uint32(p.Notified)))
+		}
+	}
+	if hasAckCovers(env.Kind) {
+		n += uvarintLen(uint64(len(env.AckCovers)))
+		for _, g := range env.AckCovers {
 			n += uvarintLen(uint64(uint32(g)))
 		}
 	}
@@ -171,8 +189,28 @@ func (d *decoder) uvarint() uint64 {
 		d.err = fmt.Errorf("codec: truncated varint at offset %d", d.off)
 		return 0
 	}
+	if n != uvarintLen(v) {
+		// Reject non-minimal encodings: the wire format is canonical
+		// (exactly one byte string per envelope), which the round-trip
+		// fuzzer relies on and which keeps Size exact.
+		d.err = fmt.Errorf("codec: non-minimal varint at offset %d", d.off)
+		return 0
+	}
 	d.off += n
 	return v
+}
+
+// uvarint32 decodes a varint that must fit 32 bits (group and node
+// ids). Oversized values are rejected rather than truncated, so every
+// accepted frame re-encodes to exactly the same bytes (canonical
+// encoding — the round-trip property the fuzzer checks).
+func (d *decoder) uvarint32() uint32 {
+	v := d.uvarint()
+	if d.err == nil && v > 0xFFFFFFFF {
+		d.err = fmt.Errorf("codec: 32-bit field overflow (%d)", v)
+		return 0
+	}
+	return uint32(v)
 }
 
 func (d *decoder) byte() byte {
@@ -220,9 +258,21 @@ func (d *decoder) groups(n int) []amcast.GroupID {
 	}
 	gs := make([]amcast.GroupID, n)
 	for i := range gs {
-		gs[i] = amcast.GroupID(uint32(d.uvarint()))
+		gs[i] = amcast.GroupID(d.uvarint32())
 	}
 	return gs
+}
+
+func (d *decoder) pairs(n int) []amcast.NotifPair {
+	if n == 0 {
+		return nil
+	}
+	ps := make([]amcast.NotifPair, n)
+	for i := range ps {
+		ps[i].Notifier = amcast.GroupID(d.uvarint32())
+		ps[i].Notified = amcast.GroupID(d.uvarint32())
+	}
+	return ps
 }
 
 // Unmarshal decodes an envelope, validating structure and rejecting
@@ -239,17 +289,20 @@ func Unmarshal(buf []byte) (amcast.Envelope, error) {
 			return env, fmt.Errorf("codec: unknown envelope kind %d", env.Kind)
 		}
 	}
-	env.From = amcast.NodeID(uint32(d.uvarint()))
+	env.From = amcast.NodeID(d.uvarint32())
 	env.Msg = d.message(hasPayload(env.Kind))
 	if hasHist(env.Kind) {
 		env.Hist = d.hist()
 	}
 	if hasNotifList(env.Kind) {
-		env.NotifList = d.groups(d.count())
+		env.NotifList = d.pairs(d.count())
+	}
+	if hasAckCovers(env.Kind) {
+		env.AckCovers = d.groups(d.count())
 	}
 	if hasTS(env.Kind) {
 		env.TS = d.uvarint()
-		env.TSFrom = amcast.GroupID(uint32(d.uvarint()))
+		env.TSFrom = amcast.GroupID(d.uvarint32())
 	}
 	if d.err != nil {
 		return env, d.err
@@ -263,7 +316,7 @@ func Unmarshal(buf []byte) (amcast.Envelope, error) {
 func (d *decoder) message(payload bool) amcast.Message {
 	var m amcast.Message
 	m.ID = amcast.MsgID(d.uvarint())
-	m.Sender = amcast.NodeID(uint32(d.uvarint()))
+	m.Sender = amcast.NodeID(d.uvarint32())
 	m.Flags = amcast.MsgFlags(d.byte())
 	m.Dst = d.groups(d.count())
 	if payload {

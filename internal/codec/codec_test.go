@@ -26,8 +26,9 @@ func sampleEnvelopes() []amcast.Envelope {
 	return []amcast.Envelope{
 		{Kind: amcast.KindRequest, From: amcast.ClientNode(3), Msg: msg},
 		{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: msg, Hist: hist,
-			NotifList: []amcast.GroupID{4, 7}},
-		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header(), Hist: hist},
+			NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4}, {Notifier: 2, Notified: 7}}},
+		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header(), Hist: hist,
+			AckCovers: []amcast.GroupID{2, 3}},
 		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header()}, // nil hist
 		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: msg.Header(), Hist: hist},
 		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: msg.Header(), TS: 42, TSFrom: 9},
@@ -53,6 +54,9 @@ func normalize(e amcast.Envelope) amcast.Envelope {
 	}
 	if !hasNotifList(e.Kind) || len(e.NotifList) == 0 {
 		e.NotifList = nil
+	}
+	if !hasAckCovers(e.Kind) || len(e.AckCovers) == 0 {
+		e.AckCovers = nil
 	}
 	if !hasTS(e.Kind) {
 		e.TS = 0
@@ -187,7 +191,15 @@ func randomEnvelope(rng *rand.Rand) amcast.Envelope {
 	}
 	if hasNotifList(env.Kind) {
 		for i := 0; i < rng.Intn(3); i++ {
-			env.NotifList = append(env.NotifList, amcast.GroupID(rng.Intn(12)+1))
+			env.NotifList = append(env.NotifList, amcast.NotifPair{
+				Notifier: amcast.GroupID(rng.Intn(12) + 1),
+				Notified: amcast.GroupID(rng.Intn(12) + 1),
+			})
+		}
+	}
+	if hasAckCovers(env.Kind) {
+		for i := 0; i < rng.Intn(3); i++ {
+			env.AckCovers = append(env.AckCovers, amcast.GroupID(rng.Intn(12)+1))
 		}
 	}
 	if hasTS(env.Kind) {

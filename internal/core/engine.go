@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"flexcast/amcast"
 	"flexcast/internal/history"
@@ -51,14 +52,25 @@ type pending struct {
 	hasMsg bool // the MSG/REQUEST envelope carrying the payload arrived
 	queued bool
 	acks   map[amcast.GroupID]bool
-	notif  map[amcast.GroupID]bool
+	// notif is the set of (notifier → notified) pairs known for the
+	// message. Pairs, not a flat set: each notifier's notification must
+	// be answered by a flush ack that causally follows it (the notifier
+	// sends the NOTIF on the same FIFO link as its earlier traffic), or
+	// a stale ack could hide dependencies the notifier knows about.
+	notif map[amcast.NotifPair]bool
+	// notifAcks[n] is the set of notifiers whose notifications group n
+	// has flushed (learned from AckCovers on n's acks).
+	notifAcks map[amcast.GroupID]map[amcast.GroupID]bool
 }
 
 // pendingNotif is a deferred notification (Algorithm 2 line 16): the ACK
-// for msg is withheld until every open dependency in deps is delivered.
+// answering notifier's NOTIF for msg is withheld until every open
+// dependency in deps is delivered. One entry per (message, notifier) —
+// a later notifier's NOTIF snapshots its own, possibly larger, open set.
 type pendingNotif struct {
-	msg  amcast.Message
-	deps map[amcast.MsgID]bool
+	msg      amcast.Message
+	notifier amcast.GroupID
+	deps     map[amcast.MsgID]bool
 }
 
 // Engine is the FlexCast state machine for one group. It implements
@@ -84,10 +96,12 @@ type Engine struct {
 	pend map[amcast.MsgID]*pending
 	// pendNotif holds notifications waiting for open dependencies.
 	pendNotif []*pendingNotif
-	// notifDone records messages this group already acked in response to a
-	// notification, so duplicate NOTIFs (from distinct destinations of the
-	// same message) do not produce duplicate ack floods.
-	notifDone map[amcast.MsgID]bool
+	// notifDone records, per message, the notifiers whose NOTIF this
+	// group already accepted (flushed or deferred), folding duplicate
+	// deliveries of the same notifier's NOTIF. Distinct notifiers are
+	// NOT folded: each snapshots its own dependency set — see the
+	// pending.notif comment and DESIGN.md §4.
+	notifDone map[amcast.MsgID]map[amcast.GroupID]bool
 	// cursors tracks, per descendant, the prefix of the history already
 	// sent (hst(h) in Algorithm 1 line 18, as a log cursor).
 	cursors map[amcast.GroupID]history.Cursor
@@ -118,7 +132,7 @@ func New(cfg Config) (*Engine, error) {
 		open:      make(map[amcast.MsgID]bool),
 		queues:    make(map[amcast.GroupID][]amcast.MsgID),
 		pend:      make(map[amcast.MsgID]*pending),
-		notifDone: make(map[amcast.MsgID]bool),
+		notifDone: make(map[amcast.MsgID]map[amcast.GroupID]bool),
 		cursors:   make(map[amcast.GroupID]history.Cursor),
 	}, nil
 }
@@ -221,6 +235,14 @@ func (e *Engine) onAck(env amcast.Envelope) []amcast.Output {
 	if !from.IsClient() {
 		p := e.pending(m.ID)
 		p.acks[from.Group()] = true
+		for _, a := range env.AckCovers {
+			covered, ok := p.notifAcks[from.Group()]
+			if !ok {
+				covered = make(map[amcast.GroupID]bool)
+				p.notifAcks[from.Group()] = covered
+			}
+			covered[a] = true
+		}
 		e.mergeNotifList(p, env.NotifList)
 	}
 	return e.reprocess(&outs)
@@ -228,24 +250,35 @@ func (e *Engine) onAck(env amcast.Envelope) []amcast.Output {
 
 // onNotif handles a notification: this group is not a destination of the
 // message but must flush its dependencies down the C-DAG (Algorithm 2
-// lines 12-18).
+// lines 12-18). Every distinct notifier is processed: its NOTIF arrived
+// on the same FIFO link as the notifier's earlier history traffic, so
+// the open-dependency snapshot taken here covers everything the notifier
+// ordered before the message. The resulting ack declares the notifier it
+// answers (AckCovers), letting destinations pair acks with notifiers.
 func (e *Engine) onNotif(env amcast.Envelope) []amcast.Output {
 	e.mergeHist(env.Hist)
 	m := env.Msg
 	var outs []amcast.Output
-	if m.HasDst(e.g) || e.notifDone[m.ID] {
-		// Destinations ack on delivery; duplicate notifications are folded.
+	notifier := env.From.Group()
+	if m.HasDst(e.g) || env.From.IsClient() || e.notifDone[m.ID][notifier] {
+		// Destinations ack on delivery; the same notifier's duplicate
+		// notifications are folded.
 		return e.reprocess(&outs)
 	}
-	e.notifDone[m.ID] = true
+	done, ok := e.notifDone[m.ID]
+	if !ok {
+		done = make(map[amcast.GroupID]bool)
+		e.notifDone[m.ID] = done
+	}
+	done[notifier] = true
 	deps := make(map[amcast.MsgID]bool, len(e.open))
 	for id := range e.open {
 		deps[id] = true
 	}
 	if len(deps) > 0 {
-		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: m.Header(), deps: deps})
+		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: m.Header(), notifier: notifier, deps: deps})
 	} else {
-		e.sendDescendants(m.Header(), amcast.KindAck, &outs)
+		e.sendFlushAck(m.Header(), []amcast.GroupID{notifier}, &outs)
 	}
 	return e.reprocess(&outs)
 }
@@ -254,17 +287,18 @@ func (e *Engine) pending(id amcast.MsgID) *pending {
 	p, ok := e.pend[id]
 	if !ok {
 		p = &pending{
-			acks:  make(map[amcast.GroupID]bool),
-			notif: make(map[amcast.GroupID]bool),
+			acks:      make(map[amcast.GroupID]bool),
+			notif:     make(map[amcast.NotifPair]bool),
+			notifAcks: make(map[amcast.GroupID]map[amcast.GroupID]bool),
 		}
 		e.pend[id] = p
 	}
 	return p
 }
 
-func (e *Engine) mergeNotifList(p *pending, gs []amcast.GroupID) {
-	for _, g := range gs {
-		p.notif[g] = true
+func (e *Engine) mergeNotifList(p *pending, ps []amcast.NotifPair) {
+	for _, pr := range ps {
+		p.notif[pr] = true
 	}
 }
 
@@ -302,24 +336,36 @@ func (e *Engine) deliver(m amcast.Message, outs *[]amcast.Output) {
 
 	lca := e.ov.Lca(m.Dst)
 	if lca == e.g {
-		e.sendDescendants(m, amcast.KindMsg, outs)
+		e.sendDescendants(m, amcast.KindMsg, nil, outs)
 	} else {
 		e.dequeue(lca, m.ID)
-		e.sendDescendants(m.Header(), amcast.KindAck, outs)
+		e.sendDescendants(m.Header(), amcast.KindAck, nil, outs)
 	}
 	delete(e.pend, m.ID)
 
-	// Unblock pending notifications waiting on this delivery.
+	// Unblock pending notifications waiting on this delivery. Entries
+	// for the same message that unblock together are answered with one
+	// ack covering all their notifiers.
 	kept := e.pendNotif[:0]
+	var readyIDs []amcast.MsgID
+	readyMsg := make(map[amcast.MsgID]amcast.Message)
+	readyCovers := make(map[amcast.MsgID][]amcast.GroupID)
 	for _, pn := range e.pendNotif {
 		delete(pn.deps, m.ID)
-		if len(pn.deps) == 0 {
-			e.sendDescendants(pn.msg, amcast.KindAck, outs)
-		} else {
+		if len(pn.deps) > 0 {
 			kept = append(kept, pn)
+			continue
 		}
+		if _, ok := readyMsg[pn.msg.ID]; !ok {
+			readyMsg[pn.msg.ID] = pn.msg
+			readyIDs = append(readyIDs, pn.msg.ID)
+		}
+		readyCovers[pn.msg.ID] = append(readyCovers[pn.msg.ID], pn.notifier)
 	}
 	e.pendNotif = kept
+	for _, id := range readyIDs {
+		e.sendFlushAck(readyMsg[id], readyCovers[id], outs)
+	}
 
 	if m.Flags&amcast.FlagFlush != 0 && !e.cfg.DisableGC {
 		e.nPruned += e.hst.PruneBefore(m.ID)
@@ -356,20 +402,29 @@ func (e *Engine) dequeue(lca amcast.GroupID, id amcast.MsgID) {
 	}
 }
 
+// sendFlushAck answers one or more notifiers' NOTIFs for m: an ACK to
+// every destination above this group, declaring the covered notifiers.
+func (e *Engine) sendFlushAck(m amcast.Message, covers []amcast.GroupID, outs *[]amcast.Output) {
+	e.sendDescendants(m, amcast.KindAck, amcast.NormalizeDst(covers), outs)
+}
+
 // sendDescendants implements Algorithm 3 lines 32-35: notify
 // non-destination descendants as needed (Strategy c), then send the
 // MSG/ACK with a history diff to every destination ranked above this
-// group.
-func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, outs *[]amcast.Output) {
+// group. covers, set on a notified group's flush ack, names the
+// notifiers the ack answers (nil on delivery acks and MSG).
+func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, covers []amcast.GroupID, outs *[]amcast.Output) {
 	notified := e.sendNotifs(m, outs)
-	var notifList []amcast.GroupID
+	var notifList []amcast.NotifPair
 	if p, ok := e.pend[m.ID]; ok {
-		for g := range p.notif {
-			notifList = append(notifList, g)
+		for pr := range p.notif {
+			notifList = append(notifList, pr)
 		}
 	}
-	notifList = append(notifList, notified...)
-	notifList = amcast.NormalizeDst(notifList)
+	for _, n := range notified {
+		notifList = append(notifList, amcast.NotifPair{Notifier: e.g, Notified: n})
+	}
+	notifList = amcast.NormalizePairs(notifList)
 
 	myRank := e.ov.Rank(e.g)
 	for _, d := range m.Dst {
@@ -385,6 +440,7 @@ func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, outs *[]amc
 				Msg:       m,
 				Hist:      delta,
 				NotifList: notifList,
+				AckCovers: covers,
 			},
 		})
 	}
@@ -461,8 +517,13 @@ func (e *Engine) canDeliver(id amcast.MsgID) bool {
 		return false
 	}
 	// Condition 1: acks from every ancestor destination except the lca,
-	// and from every notified group that is an ancestor of g (notified
-	// groups ranked above g ack only their own descendants).
+	// and, for every known notification pair whose notified group is an
+	// ancestor of g, a flush ack from that group covering that notifier
+	// (notified groups ranked above g ack only their own descendants).
+	// Pair-wise matching is what makes the wait causally meaningful: the
+	// covering ack was sent after the notified group processed that
+	// notifier's NOTIF, which on FIFO links follows every message the
+	// notifier had ordered before m (DESIGN.md §4).
 	m := p.msg
 	lca := e.ov.Lca(m.Dst)
 	myRank := e.ov.Rank(e.g)
@@ -474,8 +535,8 @@ func (e *Engine) canDeliver(id amcast.MsgID) bool {
 			return false
 		}
 	}
-	for n := range p.notif {
-		if e.ov.Rank(n) < myRank && !p.acks[n] {
+	for pr := range p.notif {
+		if e.ov.Rank(pr.Notified) < myRank && !p.notifAcks[pr.Notified][pr.Notifier] {
 			return false
 		}
 	}
@@ -493,6 +554,12 @@ func (e *Engine) canDeliver(id amcast.MsgID) bool {
 // tests.
 func (e *Engine) CheckHistoryAcyclic() error { return e.hst.CheckAcyclic() }
 
+// HistorySnapshot returns the live history nodes and edges, sorted;
+// exposed for tests and chaos failure analysis.
+func (e *Engine) HistorySnapshot() ([]history.Node, []amcast.HistEdge) {
+	return e.hst.Snapshot()
+}
+
 // OpenDependencies returns the ids of undelivered messages addressed to
 // this group that appear in its history, sorted; exposed for tests.
 func (e *Engine) OpenDependencies() []amcast.MsgID {
@@ -502,4 +569,51 @@ func (e *Engine) OpenDependencies() []amcast.MsgID {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// DebugDump renders the engine's blocking state — queued messages with
+// the acks they hold and need, open dependencies, withheld notifications
+// — for chaos-schedule failure analysis and tests.
+func (e *Engine) DebugDump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "group %d: delivered=%d open=%v\n", e.g, len(e.delivered), e.OpenDependencies())
+	lcas := make([]amcast.GroupID, 0, len(e.queues))
+	for lca := range e.queues {
+		lcas = append(lcas, lca)
+	}
+	sort.Slice(lcas, func(i, j int) bool { return lcas[i] < lcas[j] })
+	for _, lca := range lcas {
+		for _, id := range e.queues[lca] {
+			p := e.pend[id]
+			if p == nil {
+				fmt.Fprintf(&sb, "  q[lca %d] %s: no pending state\n", lca, id)
+				continue
+			}
+			pairs := make([]amcast.NotifPair, 0, len(p.notif))
+			for pr := range p.notif {
+				pairs = append(pairs, pr)
+			}
+			pairs = amcast.NormalizePairs(pairs)
+			fmt.Fprintf(&sb, "  q[lca %d] %s: hasMsg=%v dst=%v acks=%v notif=%v canDeliver=%v\n",
+				lca, id, p.hasMsg, p.msg.Dst, sortedGroups(p.acks), pairs, e.canDeliver(id))
+		}
+	}
+	for _, pn := range e.pendNotif {
+		deps := make([]amcast.MsgID, 0, len(pn.deps))
+		for id := range pn.deps {
+			deps = append(deps, id)
+		}
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+		fmt.Fprintf(&sb, "  withheld notif-ack for %s (notifier %d): waiting on %v\n", pn.msg.ID, pn.notifier, deps)
+	}
+	return sb.String()
+}
+
+func sortedGroups(set map[amcast.GroupID]bool) []amcast.GroupID {
+	gs := make([]amcast.GroupID, 0, len(set))
+	for g := range set {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
 }

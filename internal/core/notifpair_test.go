@@ -1,0 +1,118 @@
+package core_test
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+)
+
+// TestStaleNotifAckCycle replays, step by step, a delivery-cycle scenario
+// found by the chaos explorer (internal/chaos): a group notified about a
+// message by TWO different notifiers used to satisfy a destination's
+// notified-ack wait with the ack answering the FIRST notifier — sent
+// before the SECOND notifier's dependencies were knowable. The protocol
+// now tracks (notifier → notified) pairs and destinations wait for a
+// flush ack covering each notifier (see DESIGN.md §4).
+//
+// Groups ranked 1 < 2 < 3 < 4. Messages:
+//
+//	m0 = {1,2,3} — puts a message addressed to g3 into g1's history
+//	mX = {2,3}   — puts a message addressed to g3 into g2's history
+//	mT = {1,2,4} — the notified message: g1 and g2 both notify g3
+//	mF = {3,4}   — fresh lca-g3 message that closes the cycle
+//
+// Buggy run: g3 answers g1's NOTIF(mT) early; g2 then orders mX ≺ mT and
+// re-notifies g3 (carrying mX, addressed to g3), but the duplicate NOTIF
+// is folded; g4 delivers mT with the stale ack; g3 delivers mF before mX
+// (lca fast path); g4 then delivers mF after mT. Global order:
+// mT ≺ mF (g4), mF ≺ mX (g3), mX ≺ mT (g2) — a cycle.
+func TestStaleNotifAckCycle(t *testing.T) {
+	const (
+		g1 amcast.GroupID = 1
+		g2 amcast.GroupID = 2
+		g3 amcast.GroupID = 3
+		g4 amcast.GroupID = 4
+	)
+	ov := overlay.MustCDAG([]amcast.GroupID{g1, g2, g3, g4})
+	r := prototest.NewRouter(t, ov.Order(), func(g amcast.GroupID) amcast.Engine {
+		return core.MustNew(core.Config{Group: g, Overlay: ov})
+	})
+	m0 := prototest.Msg(1, g1, g2, g3)
+	mX := prototest.Msg(2, g2, g3)
+	mT := prototest.Msg(3, g1, g2, g4)
+	mF := prototest.Msg(4, g3, g4)
+
+	// g1 delivers m0 (lca) and holds MSGs to g2, g3 in flight.
+	r.Multicast(g1, m0)
+	// g3 queues m0: it needs g2's ack, which is held in flight.
+	r.Step(g1, g3, amcast.KindMsg, 1)
+
+	// g1 delivers mT; its history holds m0 (addressed to g3, not a
+	// destination of mT), so g1 notifies g3 about mT.
+	r.Multicast(g1, mT)
+	r.Step(g1, g3, amcast.KindNotif, 3)
+	// g3 has an open dependency (m0), so the ack for g1's NOTIF is
+	// withheld. Release it: g2 delivers m0 and acks to g3.
+	r.Step(g1, g2, amcast.KindMsg, 1)
+	r.Step(g2, g3, amcast.KindAck, 1)
+	// g3 delivered m0 and flushed the NOTIF: its ack (covering g1) plus
+	// the m0 delivery ack head for g4.
+
+	// g2 delivers mX (lca) and then mT: order mX ≺ mT at g2. Its ack for
+	// mT re-notifies g3 — g2's history holds mX, addressed to g3.
+	r.Multicast(g2, mX)
+	r.Step(g1, g2, amcast.KindMsg, 3)
+	wantOrder(t, r.Seq(g2), 1, 2, 3) // m0, mX, mT at g2
+
+	// g4 receives everything EXCEPT g3's answer to g2's notification:
+	// the MSG from g1, g2's ack (naming the pair g2→g3), g3's early
+	// flush ack (covering g1 only) and g3's m0 delivery ack.
+	r.Step(g1, g4, amcast.KindMsg, 3)
+	r.Step(g2, g4, amcast.KindAck, 3)
+	drainLink(t, r, g3, g4)
+
+	// The guard under test: g4 must NOT deliver mT yet — it knows the
+	// pair (g2 → g3) but has no ack from g3 covering g2.
+	if got := r.Seq(g4); len(got) != 0 {
+		t.Fatalf("g4 delivered %v with a stale notified ack (pre-fix bug)", got)
+	}
+
+	// g3 delivers mF immediately (lca fast path, jumping over queued
+	// mX), then mX once g2's TS... ack arrives; its chain is mF ≺ mX.
+	r.Multicast(g3, mF)
+	wantOrder(t, r.Seq(g3), 1, 4) // m0, mF delivered; mX still queued
+
+	// Now let everything settle and check the global properties: with
+	// pair-wise acks g4 learns (via g3's covering ack) that mF precedes
+	// mX ≺ mT, so it delivers mF before mT and no cycle forms.
+	r.Drain()
+	if err := r.Recorder.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder(t, r.Seq(g3), 1, 4, 2) // m0, mF, mX
+	wantOrder(t, r.Seq(g4), 4, 3)    // mF before mT — cycle avoided
+}
+
+// drainLink delivers every envelope currently in flight from one group to
+// another, in FIFO order.
+func drainLink(t *testing.T, r *prototest.Router, from, to amcast.GroupID) {
+	t.Helper()
+	for r.LinkDepth(from, to) > 0 {
+		r.StepAny(from, to)
+	}
+}
+
+func wantOrder(t *testing.T, got []amcast.MsgID, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("delivery sequence = %v, want %v", got, want)
+	}
+	for i, id := range want {
+		if got[i] != amcast.MsgID(id) {
+			t.Fatalf("delivery sequence = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"flexcast/amcast"
+	"flexcast/internal/history"
+)
+
+// snapshot is the FlexCast engine's amcast.Snapshot: a deep copy of every
+// mutable field of Engine. Config (group, overlay, GC switch) is not
+// captured — a snapshot is restored into an engine built with the same
+// configuration, which Restore verifies via the group id.
+type snapshot struct {
+	g         amcast.GroupID
+	hst       *history.History
+	delivered map[amcast.MsgID]bool
+	open      map[amcast.MsgID]bool
+	queues    map[amcast.GroupID][]amcast.MsgID
+	pend      map[amcast.MsgID]*pending
+	pendNotif []*pendingNotif
+	notifDone map[amcast.MsgID]map[amcast.GroupID]bool
+	cursors   map[amcast.GroupID]history.Cursor
+
+	deliveries []amcast.Delivery
+	seq        uint64
+	nPruned    int
+}
+
+// SnapshotGroup implements amcast.Snapshot.
+func (s *snapshot) SnapshotGroup() amcast.GroupID { return s.g }
+
+var _ amcast.SnapshotEngine = (*Engine)(nil)
+
+func copyIDSet(m map[amcast.MsgID]bool) map[amcast.MsgID]bool {
+	c := make(map[amcast.MsgID]bool, len(m))
+	for id, v := range m {
+		c[id] = v
+	}
+	return c
+}
+
+func copyGroupSet(m map[amcast.GroupID]bool) map[amcast.GroupID]bool {
+	c := make(map[amcast.GroupID]bool, len(m))
+	for g, v := range m {
+		c[g] = v
+	}
+	return c
+}
+
+func copyNotifDone(m map[amcast.MsgID]map[amcast.GroupID]bool) map[amcast.MsgID]map[amcast.GroupID]bool {
+	c := make(map[amcast.MsgID]map[amcast.GroupID]bool, len(m))
+	for id, set := range m {
+		c[id] = copyGroupSet(set)
+	}
+	return c
+}
+
+func copyPending(p *pending) *pending {
+	c := &pending{
+		msg:       p.msg,
+		hasMsg:    p.hasMsg,
+		queued:    p.queued,
+		acks:      copyGroupSet(p.acks),
+		notif:     make(map[amcast.NotifPair]bool, len(p.notif)),
+		notifAcks: make(map[amcast.GroupID]map[amcast.GroupID]bool, len(p.notifAcks)),
+	}
+	for pr, v := range p.notif {
+		c.notif[pr] = v
+	}
+	for g, covered := range p.notifAcks {
+		c.notifAcks[g] = copyGroupSet(covered)
+	}
+	return c
+}
+
+// capture deep-copies the engine's mutable state. It backs both Snapshot
+// (engine → snapshot) and Restore (snapshot → engine), so a snapshot can
+// be restored repeatedly without the running engine corrupting it.
+func (e *Engine) capture() *snapshot {
+	s := &snapshot{
+		g:          e.g,
+		hst:        e.hst.Clone(),
+		delivered:  copyIDSet(e.delivered),
+		open:       copyIDSet(e.open),
+		queues:     make(map[amcast.GroupID][]amcast.MsgID, len(e.queues)),
+		pend:       make(map[amcast.MsgID]*pending, len(e.pend)),
+		notifDone:  copyNotifDone(e.notifDone),
+		cursors:    make(map[amcast.GroupID]history.Cursor, len(e.cursors)),
+		deliveries: append([]amcast.Delivery(nil), e.deliveries...),
+		seq:        e.seq,
+		nPruned:    e.nPruned,
+	}
+	for g, q := range e.queues {
+		s.queues[g] = append([]amcast.MsgID(nil), q...)
+	}
+	for id, p := range e.pend {
+		s.pend[id] = copyPending(p)
+	}
+	for _, pn := range e.pendNotif {
+		deps := make(map[amcast.MsgID]bool, len(pn.deps))
+		for id := range pn.deps {
+			deps[id] = true
+		}
+		s.pendNotif = append(s.pendNotif, &pendingNotif{msg: pn.msg, notifier: pn.notifier, deps: deps})
+	}
+	for g, c := range e.cursors {
+		s.cursors[g] = c
+	}
+	return s
+}
+
+// install is the inverse of capture: it deep-copies snapshot state into
+// the engine.
+func (e *Engine) install(s *snapshot) {
+	e.hst = s.hst.Clone()
+	e.delivered = copyIDSet(s.delivered)
+	e.open = copyIDSet(s.open)
+	e.queues = make(map[amcast.GroupID][]amcast.MsgID, len(s.queues))
+	for g, q := range s.queues {
+		e.queues[g] = append([]amcast.MsgID(nil), q...)
+	}
+	e.pend = make(map[amcast.MsgID]*pending, len(s.pend))
+	for id, p := range s.pend {
+		e.pend[id] = copyPending(p)
+	}
+	e.pendNotif = nil
+	for _, pn := range s.pendNotif {
+		deps := make(map[amcast.MsgID]bool, len(pn.deps))
+		for id := range pn.deps {
+			deps[id] = true
+		}
+		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: pn.msg, notifier: pn.notifier, deps: deps})
+	}
+	e.notifDone = copyNotifDone(s.notifDone)
+	e.cursors = make(map[amcast.GroupID]history.Cursor, len(s.cursors))
+	for g, c := range s.cursors {
+		e.cursors[g] = c
+	}
+	e.deliveries = append([]amcast.Delivery(nil), s.deliveries...)
+	e.seq = s.seq
+	e.nPruned = s.nPruned
+}
+
+// Snapshot implements amcast.SnapshotEngine.
+func (e *Engine) Snapshot() amcast.Snapshot { return e.capture() }
+
+// Restore implements amcast.SnapshotEngine.
+func (e *Engine) Restore(snap amcast.Snapshot) error {
+	s, ok := snap.(*snapshot)
+	if !ok {
+		return fmt.Errorf("core: restore of foreign snapshot %T", snap)
+	}
+	if s.g != e.g {
+		return fmt.Errorf("core: restore of group %d snapshot into group %d", s.g, e.g)
+	}
+	e.install(s)
+	return nil
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"flexcast/amcast"
+	"flexcast/internal/chaos"
+	"flexcast/internal/core"
+	"flexcast/internal/hierarchical"
+	"flexcast/internal/overlay"
+	"flexcast/internal/skeen"
+	"flexcast/internal/wan"
+)
+
+// ChaosConfig configures the chaos deployment mode: instead of the
+// paper's measurement runs, the protocol is subjected to randomized
+// fault-injection schedules (internal/chaos) on the 12-group deployment
+// and every schedule is validated against the safety properties.
+type ChaosConfig struct {
+	// Protocol selects the multicast protocol.
+	Protocol Protocol
+	// Overlay is FlexCast's C-DAG (default wan.O1()).
+	Overlay *overlay.CDAG
+	// Tree is the hierarchical protocol's overlay (default wan.T1()).
+	Tree *overlay.Tree
+	// Options parameterize the exploration (seeds, schedules, fault
+	// intensities); see chaos.Options.
+	Options chaos.Options
+}
+
+func (c *ChaosConfig) fill() {
+	if c.Overlay == nil {
+		c.Overlay = wan.O1()
+	}
+	if c.Tree == nil {
+		c.Tree = wan.T1()
+	}
+}
+
+// chaosDeployment adapts a protocol to the chaos explorer.
+func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
+	cfg.fill()
+	groups := wan.Groups()
+	d := chaos.Deployment{
+		Name:       cfg.Protocol.String(),
+		Groups:     groups,
+		Minimality: cfg.Protocol != Hierarchical,
+	}
+	switch cfg.Protocol {
+	case FlexCast:
+		ov := cfg.Overlay
+		d.Factory = func(g amcast.GroupID) (amcast.SnapshotEngine, error) {
+			return core.New(core.Config{Group: g, Overlay: ov})
+		}
+		d.Route = func(m amcast.Message) []amcast.NodeID {
+			return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+		}
+	case Distributed:
+		d.Factory = func(g amcast.GroupID) (amcast.SnapshotEngine, error) {
+			return skeen.New(skeen.Config{Group: g, Groups: groups})
+		}
+		d.Route = func(m amcast.Message) []amcast.NodeID {
+			nodes := make([]amcast.NodeID, len(m.Dst))
+			for i, g := range m.Dst {
+				nodes[i] = amcast.GroupNode(g)
+			}
+			return nodes
+		}
+	case Hierarchical:
+		tree := cfg.Tree
+		d.Factory = func(g amcast.GroupID) (amcast.SnapshotEngine, error) {
+			return hierarchical.New(hierarchical.Config{Group: g, Tree: tree})
+		}
+		d.Route = func(m amcast.Message) []amcast.NodeID {
+			return []amcast.NodeID{amcast.GroupNode(tree.Lca(m.Dst))}
+		}
+	default:
+		return d, fmt.Errorf("harness: unknown protocol %d", cfg.Protocol)
+	}
+	return d, nil
+}
+
+// RunChaos explores the protocol under randomized fault schedules and
+// returns the aggregated safety report.
+func RunChaos(cfg ChaosConfig) (*chaos.Report, error) {
+	d, err := chaosDeployment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return chaos.Explore(d, cfg.Options)
+}
+
+// ReplayChaos reruns exactly one seeded schedule — the reproduction path
+// for a seed printed in a failure report.
+func ReplayChaos(cfg ChaosConfig, seed int64) (*chaos.ScheduleResult, error) {
+	d, err := chaosDeployment(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return chaos.RunSchedule(d, cfg.Options, seed)
+}

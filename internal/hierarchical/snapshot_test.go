@@ -1,0 +1,49 @@
+package hierarchical_test
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/hierarchical"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+)
+
+// TestSnapshotReplay checks the SnapshotEngine contract for the
+// hierarchical protocol under random workloads.
+func TestSnapshotReplay(t *testing.T) {
+	tree := overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{
+		1: {2, 3},
+		2: {4, 5},
+	})
+	groups := tree.Groups()
+	route := func(m amcast.Message) []amcast.NodeID {
+		return []amcast.NodeID{amcast.GroupNode(tree.Lca(m.Dst))}
+	}
+	factory := func(g amcast.GroupID) amcast.Engine {
+		return hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tree})
+	}
+	for _, snapAfter := range []int{0, 5, 30} {
+		for seed := int64(1); seed <= 4; seed++ {
+			prototest.RunSnapshotReplay(t, prototest.RandomConfig{
+				Groups:   groups,
+				Clients:  3,
+				Messages: 12,
+				Route:    route,
+				Factory:  factory,
+				Seed:     seed,
+				Jitter:   3000,
+			}, snapAfter)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch verifies the Restore guard rails.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	tree := overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{1: {2}})
+	e1 := hierarchical.MustNew(hierarchical.Config{Group: 1, Tree: tree})
+	e2 := hierarchical.MustNew(hierarchical.Config{Group: 2, Tree: tree})
+	if err := e2.Restore(e1.Snapshot()); err == nil {
+		t.Fatal("restore of group 1 snapshot into group 2 engine succeeded")
+	}
+}

@@ -168,8 +168,11 @@ func (h *History) AppendDelivered(n Node) bool {
 }
 
 // Merge integrates a received history diff (update-hst in Algorithm 3)
-// and returns the nodes that were new to this history. The caller uses
-// the new nodes to maintain its open-dependency set.
+// and returns the nodes that were new to this history — including
+// placeholder nodes (materialized earlier by an edge) whose destinations
+// this diff fills in: the caller maintains its open-dependency set from
+// the returned nodes, and a fill-in is the first time the destinations
+// are known, so omitting it would leave a hole in dependency tracking.
 func (h *History) Merge(d *amcast.HistDelta) []Node {
 	if d == nil {
 		return nil
@@ -177,7 +180,10 @@ func (h *History) Merge(d *amcast.HistDelta) []Node {
 	var added []Node
 	for _, hn := range d.Nodes {
 		n := Node{ID: hn.ID, Dst: hn.Dst}
+		prev, existed := h.nodes[n.ID]
 		if h.AddNode(n) {
+			added = append(added, n)
+		} else if existed && len(prev.Dst) == 0 && len(n.Dst) > 0 {
 			added = append(added, n)
 		}
 	}
@@ -349,6 +355,42 @@ func (h *History) PruneBefore(flushID amcast.MsgID) int {
 		delete(h.pred, id)
 	}
 	return len(doomed)
+}
+
+// Clone returns a deep copy of the history: mutating either copy leaves
+// the other untouched. Node destination slices are shared — they are
+// immutable once inserted. Engines use Clone to implement the
+// amcast.SnapshotEngine crash/recovery contract.
+func (h *History) Clone() *History {
+	c := &History{
+		nodes:  make(map[amcast.MsgID]Node, len(h.nodes)),
+		succ:   make(map[amcast.MsgID]map[amcast.MsgID]struct{}, len(h.succ)),
+		pred:   make(map[amcast.MsgID]map[amcast.MsgID]struct{}, len(h.pred)),
+		last:   h.last,
+		msgsTo: make(map[amcast.GroupID]int, len(h.msgsTo)),
+		log:    append([]logEntry(nil), h.log...),
+	}
+	for id, n := range h.nodes {
+		c.nodes[id] = n
+	}
+	for id, s := range h.succ {
+		cs := make(map[amcast.MsgID]struct{}, len(s))
+		for v := range s {
+			cs[v] = struct{}{}
+		}
+		c.succ[id] = cs
+	}
+	for id, s := range h.pred {
+		cs := make(map[amcast.MsgID]struct{}, len(s))
+		for v := range s {
+			cs[v] = struct{}{}
+		}
+		c.pred[id] = cs
+	}
+	for g, n := range h.msgsTo {
+		c.msgsTo[g] = n
+	}
+	return c
 }
 
 // Snapshot returns all live nodes sorted by id and all live edges sorted

@@ -227,6 +227,44 @@ func (r *Replica) Crash() { r.crashed = true }
 // Crashed reports whether the replica was crashed.
 func (r *Replica) Crashed() bool { return r.crashed }
 
+// Recover brings a crashed replica back. The acceptor state (promises,
+// accepted values, decided log) is retained across the crash — the
+// crash-recovery model of Paxos assumes it lives on stable storage — so
+// rejoining with it is safe. The replica resumes as a follower; missed
+// decisions are learned through CatchUp (state transfer from a live
+// peer) or by accepting new instances.
+func (r *Replica) Recover() {
+	if !r.crashed {
+		return
+	}
+	r.crashed = false
+	r.leading = false
+	r.campaigning = false
+	r.quietTicks = 0
+}
+
+// DecidedLog returns the values of the contiguous decided prefix
+// (instances 0..Decided()-1) in instance order. This is the stable log a
+// recovering replica replays into a fresh engine, and the payload of
+// state transfer between replicas (internal/smr).
+func (r *Replica) DecidedLog() [][]byte {
+	log := make([][]byte, 0, r.nextDeliver)
+	for i := InstanceID(0); i < r.nextDeliver; i++ {
+		log = append(log, r.decidedVals[i])
+	}
+	return log
+}
+
+// CatchUp installs decided values for instances start, start+1, …
+// learned from a peer's DecidedLog (the caller passes the suffix it is
+// missing). Entries this replica already decided are skipped; new ones
+// are learned and surface through TakeDecisions in instance order.
+func (r *Replica) CatchUp(start InstanceID, vals [][]byte) {
+	for i, v := range vals {
+		r.learn(start+InstanceID(i), v)
+	}
+}
+
 func (r *Replica) majority() int { return r.cfg.N/2 + 1 }
 
 func (r *Replica) inst(i InstanceID) *instState {

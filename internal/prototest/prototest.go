@@ -8,6 +8,7 @@ package prototest
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -114,6 +115,25 @@ func (r *Router) Step(from, to amcast.GroupID, kind amcast.Kind, id uint64) {
 	r.feed(to, head)
 }
 
+// LinkDepth reports how many envelopes are in flight on the (from→to)
+// link.
+func (r *Router) LinkDepth(from, to amcast.GroupID) int {
+	return len(r.flight[link{from: amcast.GroupNode(from), to: amcast.GroupNode(to)}])
+}
+
+// StepAny delivers the oldest in-flight envelope on the (from→to) link,
+// whatever its kind. It fails the test when the link is empty.
+func (r *Router) StepAny(from, to amcast.GroupID) {
+	r.t.Helper()
+	l := link{from: amcast.GroupNode(from), to: amcast.GroupNode(to)}
+	q := r.flight[l]
+	if len(q) == 0 {
+		r.t.Fatalf("prototest: no envelope in flight on %d->%d", from, to)
+	}
+	r.flight[l] = q[1:]
+	r.feed(to, q[0])
+}
+
 // Drain delivers all remaining in-flight envelopes in a deterministic
 // link order until quiescence.
 func (r *Router) Drain() {
@@ -179,6 +199,146 @@ func RunRandom(t *testing.T, cfg RandomConfig) *trace.Recorder {
 func RunRandomNoFIFO(t *testing.T, cfg RandomConfig) *trace.Recorder {
 	t.Helper()
 	return runRandom(t, cfg, true)
+}
+
+// snapTap wraps one engine during RunSnapshotReplay: it logs inputs,
+// snapshots after snapAfter envelopes, and records the outputs and
+// deliveries produced after the snapshot point for later comparison.
+type snapTap struct {
+	eng       amcast.SnapshotEngine
+	snapAfter int
+	inputs    int
+	snap      amcast.Snapshot
+	log       []amcast.Envelope
+	outs      [][]amcast.Output
+	dels      [][]amcast.Delivery
+}
+
+func (s *snapTap) consume(env amcast.Envelope) ([]amcast.Output, []amcast.Delivery) {
+	s.inputs++
+	logged := s.inputs > s.snapAfter
+	if logged {
+		s.log = append(s.log, env)
+	}
+	outs := s.eng.OnEnvelope(env)
+	dels := s.eng.TakeDeliveries()
+	if logged {
+		s.outs = append(s.outs, outs)
+		s.dels = append(s.dels, dels)
+	}
+	if s.inputs == s.snapAfter {
+		s.snap = s.eng.Snapshot()
+	}
+	return outs, dels
+}
+
+// RunSnapshotReplay exercises the amcast.SnapshotEngine contract under a
+// random workload: every engine is snapshotted after snapAfter input
+// envelopes (engines that see fewer inputs are snapshotted at their
+// initial state), the live run continues to quiescence, and then a fresh
+// engine per group is restored from the snapshot and replays the
+// post-snapshot input log. The replayed outputs and deliveries must be
+// identical to the live ones — any state missed by Snapshot/Restore, or
+// any aliasing between snapshot and engine, shows up as a divergence.
+func RunSnapshotReplay(t *testing.T, cfg RandomConfig, snapAfter int) {
+	t.Helper()
+	if cfg.MaxDst == 0 || cfg.MaxDst > len(cfg.Groups) {
+		cfg.MaxDst = len(cfg.Groups)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := sim.New()
+	taps := make(map[amcast.GroupID]*snapTap, len(cfg.Groups))
+
+	lat := make(map[[2]amcast.NodeID]sim.Time)
+	latency := func(from, to amcast.NodeID) sim.Time {
+		key := [2]amcast.NodeID{from, to}
+		l, ok := lat[key]
+		if !ok {
+			l = sim.Time(100 + rng.Intn(1900))
+			lat[key] = l
+		}
+		return l
+	}
+	net := sim.NewNetwork(s, latency)
+	for _, g := range cfg.Groups {
+		g := g
+		eng, ok := cfg.Factory(g).(amcast.SnapshotEngine)
+		if !ok {
+			t.Fatalf("prototest: engine for group %d does not implement amcast.SnapshotEngine", g)
+		}
+		tap := &snapTap{eng: eng, snapAfter: snapAfter, snap: eng.Snapshot()}
+		taps[g] = tap
+		net.Register(amcast.GroupNode(g), sim.HandlerFunc(func(env amcast.Envelope) {
+			outs, _ := tap.consume(env)
+			for _, out := range outs {
+				net.Send(amcast.GroupNode(g), out.To, out.Env)
+			}
+		}))
+	}
+	for c := 0; c < cfg.Clients; c++ {
+		cid := amcast.ClientNode(c)
+		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
+		for i := 0; i < cfg.Messages; i++ {
+			nDst := 1 + rng.Intn(cfg.MaxDst)
+			perm := rng.Perm(len(cfg.Groups))
+			dst := make([]amcast.GroupID, 0, nDst)
+			for _, p := range perm[:nDst] {
+				dst = append(dst, cfg.Groups[p])
+			}
+			m := amcast.Message{
+				ID:      amcast.NewMsgID(c, uint64(i+1)),
+				Sender:  cid,
+				Dst:     amcast.NormalizeDst(dst),
+				Payload: []byte(fmt.Sprintf("payload-%d-%d", c, i)),
+			}
+			at := sim.Time(rng.Int63n(50_000))
+			s.ScheduleAt(at, func() {
+				for _, to := range cfg.Route(m) {
+					net.Send(cid, to, amcast.Envelope{Kind: amcast.KindRequest, From: cid, Msg: m})
+				}
+			})
+		}
+	}
+	s.Run()
+
+	for _, g := range cfg.Groups {
+		tap := taps[g]
+		fresh, _ := cfg.Factory(g).(amcast.SnapshotEngine)
+		if err := fresh.Restore(tap.snap); err != nil {
+			t.Fatalf("prototest: restore at group %d: %v", g, err)
+		}
+		// Restore discards undrained deliveries; at the snapshot point the
+		// live engine had just been drained, so start replay drained too.
+		fresh.TakeDeliveries()
+		for i, env := range tap.log {
+			outs := fresh.OnEnvelope(env)
+			dels := fresh.TakeDeliveries()
+			if !reflect.DeepEqual(normOuts(outs), normOuts(tap.outs[i])) {
+				t.Fatalf("prototest: group %d diverged on replayed input %d (%s %s): outputs %v != live %v",
+					g, i, env.Kind, env.Msg.ID, outs, tap.outs[i])
+			}
+			if !reflect.DeepEqual(normDels(dels), normDels(tap.dels[i])) {
+				t.Fatalf("prototest: group %d diverged on replayed input %d (%s %s): deliveries %v != live %v",
+					g, i, env.Kind, env.Msg.ID, dels, tap.dels[i])
+			}
+		}
+	}
+}
+
+// normOuts and normDels map empty slices to nil so DeepEqual ignores the
+// nil-vs-empty distinction.
+func normOuts(o []amcast.Output) []amcast.Output {
+	if len(o) == 0 {
+		return nil
+	}
+	return o
+}
+
+func normDels(d []amcast.Delivery) []amcast.Delivery {
+	if len(d) == 0 {
+		return nil
+	}
+	return d
 }
 
 func runRandom(t *testing.T, cfg RandomConfig, noFIFO bool) *trace.Recorder {

@@ -1,0 +1,49 @@
+package skeen_test
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/prototest"
+	"flexcast/internal/skeen"
+)
+
+// TestSnapshotReplay checks the SnapshotEngine contract for Skeen's
+// protocol: clock, timestamp tables and pending state must survive a
+// snapshot/restore round trip mid-run.
+func TestSnapshotReplay(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4}
+	route := func(m amcast.Message) []amcast.NodeID {
+		nodes := make([]amcast.NodeID, len(m.Dst))
+		for i, g := range m.Dst {
+			nodes[i] = amcast.GroupNode(g)
+		}
+		return nodes
+	}
+	factory := func(g amcast.GroupID) amcast.Engine {
+		return skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+	}
+	for _, snapAfter := range []int{0, 3, 25} {
+		for seed := int64(1); seed <= 4; seed++ {
+			prototest.RunSnapshotReplay(t, prototest.RandomConfig{
+				Groups:   groups,
+				Clients:  3,
+				Messages: 12,
+				Route:    route,
+				Factory:  factory,
+				Seed:     seed,
+				Jitter:   3000,
+			}, snapAfter)
+		}
+	}
+}
+
+// TestRestoreRejectsMismatch verifies the Restore guard rails.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	groups := []amcast.GroupID{1, 2}
+	e1 := skeen.MustNew(skeen.Config{Group: 1, Groups: groups})
+	e2 := skeen.MustNew(skeen.Config{Group: 2, Groups: groups})
+	if err := e2.Restore(e1.Snapshot()); err == nil {
+		t.Fatal("restore of group 1 snapshot into group 2 engine succeeded")
+	}
+}

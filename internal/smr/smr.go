@@ -154,6 +154,65 @@ func (g *Group) Crash(idx int) {
 	r.pax.Crash()
 }
 
+// Restart recovers a crashed replica — the paper's §4.4 recovery path.
+// The replica's engine state is rebuilt by replaying its stable decided
+// log (the Paxos log is the write-ahead log of engine inputs) into a
+// fresh engine, and the decisions the replica missed while down are
+// state-transferred from the most advanced live peer. Replayed outputs
+// are suppressed: live replicas already emitted them (every replica
+// emits; receivers are idempotent), so recovery adds no duplicate
+// traffic. OnDeliver is likewise not re-invoked for replayed entries.
+func (g *Group) Restart(idx int) error {
+	r := g.replicas[idx]
+	if !r.crashed {
+		return nil
+	}
+	eng, err := g.cfg.NewEngine()
+	if err != nil {
+		return fmt.Errorf("smr: restart replica %d: %w", idx, err)
+	}
+	r.eng = eng
+	r.applied = 0
+	r.crashed = false
+	r.pax.Recover()
+	r.pax.TakeDecisions() // discard learner output stranded by the crash
+	r.replay(r.pax.DecidedLog())
+
+	var donor *replica
+	for _, p := range g.replicas {
+		if p.crashed || p.idx == idx {
+			continue
+		}
+		if donor == nil || p.pax.Decided() > donor.pax.Decided() {
+			donor = p
+		}
+	}
+	if donor != nil && donor.pax.Decided() > r.pax.Decided() {
+		from := r.pax.Decided()
+		r.pax.CatchUp(from, donor.pax.DecidedLog()[from:])
+		var vals [][]byte
+		for _, dec := range r.pax.TakeDecisions() {
+			vals = append(vals, dec.Value)
+		}
+		r.replay(vals)
+	}
+	return nil
+}
+
+// replay applies a decided-value sequence to the engine without emitting
+// outputs, replies or OnDeliver callbacks.
+func (r *replica) replay(vals [][]byte) {
+	for _, v := range vals {
+		env, err := codec.Unmarshal(v)
+		if err != nil {
+			continue // mirrors apply: skip deterministically
+		}
+		r.applied++
+		r.eng.OnEnvelope(env)
+		r.eng.TakeDeliveries()
+	}
+}
+
 // Leader returns the index of the first live replica that believes it
 // leads, or -1.
 func (g *Group) Leader() int {

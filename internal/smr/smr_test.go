@@ -246,3 +246,79 @@ func TestAppliedCountsMatch(t *testing.T) {
 		}
 	}
 }
+
+// TestCrashedReplicaRestartsAndCatchesUp exercises the §4.4 recovery
+// path: a crashed follower restarts, rebuilds its engine by replaying
+// its stable decided log, state-transfers the suffix it missed from a
+// live peer, and then participates normally.
+func TestCrashedReplicaRestartsAndCatchesUp(t *testing.T) {
+	d := deployABC(t, 3)
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	d.multicast(t, 1, 1, 2, 3)
+	d.multicast(t, 2, 1, 2)
+	d.s.RunUntil(2_000_000)
+
+	g1 := d.groups[1]
+	lead := g1.Leader()
+	if lead < 0 {
+		lead = 0
+	}
+	down := (lead + 1) % 3
+	g1.Crash(down)
+
+	// Traffic the crashed replica misses entirely.
+	for i := uint64(3); i <= 6; i++ {
+		d.multicast(t, i, 1, 3)
+	}
+	d.s.RunUntil(6_000_000)
+
+	if err := g1.Restart(down); err != nil {
+		t.Fatal(err)
+	}
+	// The restarted replica must already have caught up to a live peer.
+	if got, want := g1.Applied(down), g1.Applied(lead); got != want {
+		t.Fatalf("restarted replica applied %d entries, live peer %d", got, want)
+	}
+
+	// And it keeps up with new traffic.
+	preRestart := len(d.delivered[1][down])
+	for i := uint64(7); i <= 9; i++ {
+		d.multicast(t, i, 1, 2)
+	}
+	d.run(t, 12_000_000)
+
+	for idx := 0; idx < 3; idx++ {
+		if got, want := g1.Applied(idx), g1.Applied(lead); got != want {
+			t.Fatalf("replica %d applied %d entries, leader %d", idx, got, want)
+		}
+	}
+	post := d.delivered[1][down][preRestart:]
+	if len(post) == 0 {
+		t.Fatal("restarted replica delivered nothing after restart")
+	}
+	// Replayed deliveries are suppressed, so the restarted replica's
+	// post-restart deliveries must be a suffix of a live replica's full
+	// sequence (consistent order, no duplicates, no gaps at the end).
+	full := d.delivered[1][lead]
+	if len(full) < len(post) || !reflect.DeepEqual(full[len(full)-len(post):], post) {
+		t.Fatalf("post-restart deliveries %v are not a suffix of live sequence %v", post, full)
+	}
+	if err := d.rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartOfLiveReplicaIsNoop covers the guard.
+func TestRestartOfLiveReplicaIsNoop(t *testing.T) {
+	d := deployABC(t, 3)
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	d.multicast(t, 1, 1, 2)
+	d.s.RunUntil(1_000_000)
+	before := d.groups[1].Applied(1)
+	if err := d.groups[1].Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.groups[1].Applied(1) != before {
+		t.Fatal("restart of live replica rebuilt its state")
+	}
+}
