@@ -1,0 +1,49 @@
+package amcast
+
+// BatchStepper is an optional Engine extension: an engine that can drain
+// a whole inbound batch in one call. A batch is a scheduling unit: the
+// engine consumes the envelopes in order, but it may defer its internal
+// progress fixpoint (delivery scans, queue reprocessing) to the end of
+// the batch — the dominant per-envelope cost in the protocols here — so
+// outputs may be consolidated relative to the per-envelope execution
+// (fewer, later acks carrying larger history diffs). The result must be
+// protocol-equivalent: everything emitted and delivered is something the
+// per-envelope engine could also have emitted and delivered under a
+// valid execution in which the node processed the batch while
+// momentarily busy, and all of the protocol's safety properties
+// (integrity, agreement, acyclic order, minimality) hold over chunked
+// executions — internal/prototest.RunChunkedSafety checks exactly this.
+//
+// The determinism contract extends to batches: given the same sequence
+// of batches, an engine must produce the same outputs and deliveries.
+// State machine replication (internal/smr) relies on it when replicas
+// apply batched decided values.
+//
+// All three protocol engines in this repository implement it.
+type BatchStepper interface {
+	// BatchStep consumes the batch in order and returns the envelopes to
+	// send.
+	BatchStep(envs []Envelope) []Output
+}
+
+// BatchStep drains envs through eng, using the engine's fast path when
+// it implements BatchStepper and falling back to per-envelope OnEnvelope
+// otherwise. This is the single entry point runtimes use, so an engine
+// from outside this repository (implementing only Engine) runs unchanged
+// under the batched runtime.
+func BatchStep(eng Engine, envs []Envelope) []Output {
+	if len(envs) == 0 {
+		return nil
+	}
+	if bs, ok := eng.(BatchStepper); ok {
+		return bs.BatchStep(envs)
+	}
+	if len(envs) == 1 {
+		return eng.OnEnvelope(envs[0])
+	}
+	var outs []Output
+	for _, env := range envs {
+		outs = append(outs, eng.OnEnvelope(env)...)
+	}
+	return outs
+}

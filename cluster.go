@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"flexcast/amcast"
+	"flexcast/internal/runtime"
 	"flexcast/internal/transport"
 )
 
@@ -50,16 +51,25 @@ type ClusterConfig struct {
 	OnDeliver func(d Delivery)
 	// CallTimeout bounds Call (default 10s).
 	CallTimeout time.Duration
+	// MaxBatch caps the runtime's envelope batches (internal/runtime):
+	// inbound coalescing and per-destination output batching. 0 takes
+	// the runtime default (64); 1 disables batching. Batching never
+	// delays an idle cluster — batches form only when queues have depth.
+	MaxBatch int
+	// FlushInterval bounds the latency a partially filled batch may add
+	// under sustained load (0 takes the runtime default, 500µs).
+	FlushInterval time.Duration
 }
 
 // Cluster is an in-process deployment of one multicast protocol: one
-// goroutine per group over the in-memory transport, plus a built-in
-// client for Multicast/Call. It is the easiest way to embed atomic
-// multicast in an application or test.
+// batched runtime node per group over the in-memory transport
+// (internal/runtime), plus a built-in client for Multicast/Call. It is
+// the easiest way to embed atomic multicast in an application or test.
 type Cluster struct {
 	cfg    ClusterConfig
 	groups []GroupID
 	net    *transport.InMemNet
+	nodes  []*runtime.Node
 
 	mu      sync.Mutex
 	seq     uint64
@@ -105,20 +115,28 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for _, g := range groups {
 		eng, err := c.newEngine(g)
 		if err != nil {
-			c.net.Close()
+			c.Close()
 			return nil, err
 		}
-		if err := c.net.AddEngine(eng, func(d Delivery) {
-			if cfg.OnDeliver != nil {
-				cfg.OnDeliver(d)
-			}
-		}); err != nil {
-			c.net.Close()
+		id := amcast.GroupNode(g)
+		send := func(to NodeID, envs []Envelope) { c.net.SendBatch(id, to, envs) }
+		node := runtime.NewNode(eng, send, runtime.Config{
+			MaxBatch:      cfg.MaxBatch,
+			FlushInterval: cfg.FlushInterval,
+			OnDeliver: func(d Delivery) {
+				if cfg.OnDeliver != nil {
+					cfg.OnDeliver(d)
+				}
+			},
+		})
+		c.nodes = append(c.nodes, node)
+		if err := c.net.AddBatchHandler(id, node.Submit); err != nil {
+			c.Close()
 			return nil, err
 		}
 	}
 	if err := c.net.AddHandler(amcast.ClientNode(0), c.onClientEnvelope); err != nil {
-		c.net.Close()
+		c.Close()
 		return nil, err
 	}
 	return c, nil
@@ -251,4 +269,7 @@ func (c *Cluster) Close() {
 	c.closed = true
 	c.mu.Unlock()
 	c.net.Close()
+	for _, n := range c.nodes {
+		n.Close()
+	}
 }

@@ -50,16 +50,18 @@ func run(stdout, stderr io.Writer, args []string) int {
 		verify     = fs.Bool("verify", false, "record runs and check the atomic multicast properties (slower)")
 		list       = fs.Bool("list", false, "list experiments and exit")
 
-		schedules = fs.Int("schedules", 100, "chaos: number of seeded fault schedules per protocol")
-		protocol  = fs.String("protocol", "all", "chaos: flexcast, distributed, hierarchical or all")
-		reproSeed = fs.Int64("repro-seed", 0, "chaos: rerun exactly one schedule seed (from a failure report)")
-		chaosBug  = fs.Int("chaos-bug", 0, "chaos: test-only ordering-bug hook; >0 flips every n-th delivery batch to validate the checker")
+		schedules  = fs.Int("schedules", 100, "chaos: number of seeded fault schedules per protocol")
+		protocol   = fs.String("protocol", "all", "chaos: flexcast, distributed, hierarchical or all")
+		reproSeed  = fs.Int64("repro-seed", 0, "chaos: rerun exactly one schedule seed (from a failure report)")
+		chaosBug   = fs.Int("chaos-bug", 0, "chaos: test-only ordering-bug hook; >0 flips every n-th delivery batch to validate the checker")
+		closedLoop = fs.Bool("closed-loop", false, "chaos: closed-loop workload (each client issues on completion; denser schedules)")
+		messages   = fs.Int("messages", 0, "chaos: multicasts per client (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *mode == "chaos" {
-		return runChaos(stdout, stderr, *protocol, *seed, *schedules, *reproSeed, *chaosBug)
+		return runChaos(stdout, stderr, *protocol, *seed, *schedules, *reproSeed, *chaosBug, *closedLoop, *messages)
 	}
 	if *mode != "bench" {
 		fmt.Fprintf(stderr, "flexbench: unknown mode %q (bench or chaos)\n", *mode)
@@ -131,7 +133,7 @@ func chaosProtocols(sel string) ([]harness.Protocol, error) {
 
 // runChaos drives the fault-injection explorer. The exit code reports
 // safety: 0 only when every explored schedule upheld every invariant.
-func runChaos(stdout, stderr io.Writer, protocol string, seed int64, schedules int, reproSeed int64, bugEvery int) int {
+func runChaos(stdout, stderr io.Writer, protocol string, seed int64, schedules int, reproSeed int64, bugEvery int, closedLoop bool, messages int) int {
 	protos, err := chaosProtocols(protocol)
 	if err != nil {
 		fmt.Fprintf(stderr, "flexbench: %v\n", err)
@@ -141,7 +143,8 @@ func runChaos(stdout, stderr io.Writer, protocol string, seed int64, schedules i
 		fmt.Fprintf(stderr, "flexbench: -schedules must be > 0 (got %d)\n", schedules)
 		return 2
 	}
-	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: bugEvery}
+	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: bugEvery,
+		ClosedLoop: closedLoop, Messages: messages}
 	failed := false
 	for _, p := range protos {
 		cfg := harness.ChaosConfig{Protocol: p, Options: opts}

@@ -23,7 +23,7 @@ import (
 	"flexcast"
 	"flexcast/amcast"
 	"flexcast/internal/gtpcc"
-	"flexcast/internal/stats"
+	"flexcast/internal/metrics"
 	"flexcast/internal/transport"
 	"flexcast/internal/wan"
 )
@@ -96,9 +96,11 @@ func run(clientIdx, home int, protocol, overlayF, treeF, peersF string,
 	}
 	defer node.Close()
 
-	perDest := make([]*stats.Recorder, 3)
+	// Per-destination latencies go into the exact-percentile histogram
+	// (internal/metrics) — bounded memory however long the run.
+	perDest := make([]*metrics.Histogram, 3)
 	for i := range perDest {
-		perDest[i] = &stats.Recorder{}
+		perDest[i] = metrics.NewHistogram()
 	}
 	completed := 0
 	for i := 0; i < n; i++ {
@@ -131,7 +133,7 @@ func run(clientIdx, home int, protocol, overlayF, treeF, peersF string,
 			sort.Slice(replies, func(a, b int) bool { return replies[a] < replies[b] })
 			for k, d := range replies {
 				if k < 3 {
-					perDest[k].Add(float64(d.Microseconds()))
+					perDest[k].Record(uint64(max(d.Microseconds(), 0)))
 				}
 			}
 			mu.Unlock()
@@ -144,7 +146,7 @@ func run(clientIdx, home int, protocol, overlayF, treeF, peersF string,
 	fmt.Printf("client %d: %d/%d transactions completed\n", clientIdx, completed, n)
 	fmt.Println("dest   90p      95p      99p   (ms)")
 	for k, rec := range perDest {
-		if rec.Len() == 0 {
+		if rec.Count() == 0 {
 			continue
 		}
 		fmt.Printf("%3d  %s\n", k+1, rec.PercentileRow(1000))

@@ -1,0 +1,117 @@
+// Command flexload is the sustained-load benchmark of the batched node
+// runtime (internal/runtime): it deploys all groups and client processes
+// in one OS process over the in-memory or loopback-TCP transport, drives
+// them with open- or closed-loop gTPC-C clients, and reports sustained
+// throughput plus exact latency percentiles from the HDR-style histogram
+// (internal/metrics). The JSON it emits (BENCH_runtime.json) is the
+// repository's performance trajectory.
+//
+// Usage:
+//
+//	flexload                                   # closed loop, batching on, in-memory
+//	flexload -batch 1                          # the unbatched baseline
+//	flexload -compare -out BENCH_runtime.json  # batched vs -batch=1, with speedup
+//	flexload -transport tcp -clients 8 -workers 16
+//	flexload -rate 20000 -duration 10s         # open loop at 20k tx/s per client
+//	flexload -validate BENCH_runtime.json      # schema/sanity check (CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flexcast/internal/loadgen"
+)
+
+func main() {
+	var (
+		transportF = flag.String("transport", "inmem", "transport: inmem or tcp (loopback)")
+		protocol   = flag.String("protocol", "flexcast", "protocol: flexcast, skeen, hierarchical")
+		groups     = flag.Int("groups", 0, "number of groups (default 12, the paper's WAN set)")
+		clients    = flag.Int("clients", 4, "client processes")
+		workers    = flag.Int("workers", 32, "concurrent closed-loop sessions per client process")
+		rate       = flag.Float64("rate", 0, "open-loop rate per client process in tx/s (0 = closed loop)")
+		warmup     = flag.Duration("warmup", time.Second, "warm-up before the measurement window")
+		duration   = flag.Duration("duration", 5*time.Second, "measurement window")
+		batch      = flag.Int("batch", 64, "max envelopes per runtime batch (1 disables batching)")
+		flush      = flag.Duration("flush-interval", 500*time.Microsecond, "batch flush period")
+		payload    = flag.Int("payload", 0, "payload bytes (0 = gTPC-C sizes)")
+		locality   = flag.Float64("locality", 0.95, "gTPC-C locality rate")
+		globalOnly = flag.Bool("global-only", false, "multi-group transactions only")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		out        = flag.String("out", "", "write the JSON report to this file")
+		compare    = flag.Bool("compare", false, "also run the -batch=1 baseline and report the speedup")
+		validate   = flag.String("validate", "", "validate an existing report file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		rep, err := loadgen.ValidateFile(*validate)
+		if err != nil {
+			log.Fatalf("flexload: %v", err)
+		}
+		fmt.Printf("%s: valid (%s, %.0f tx/s, p99 %s)\n", *validate, rep.Schema,
+			rep.Results.Throughput, time.Duration(rep.Results.Latency.P99)*time.Microsecond)
+		return
+	}
+
+	cfg := loadgen.Config{
+		Transport:     *transportF,
+		Protocol:      *protocol,
+		Groups:        *groups,
+		Clients:       *clients,
+		Workers:       *workers,
+		Rate:          *rate,
+		Warmup:        *warmup,
+		Duration:      *duration,
+		MaxBatch:      *batch,
+		FlushInterval: *flush,
+		PayloadSize:   *payload,
+		Locality:      *locality,
+		GlobalOnly:    *globalOnly,
+		Seed:          *seed,
+	}
+
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatalf("flexload: %v", err)
+	}
+	printResult(fmt.Sprintf("%s/%s batch=%d", cfg.Transport, cfg.Protocol, cfg.MaxBatch), res)
+	rep := loadgen.NewReport(cfg, res)
+
+	if *compare {
+		base := cfg
+		base.MaxBatch = 1
+		baseRes, err := loadgen.Run(base)
+		if err != nil {
+			log.Fatalf("flexload: baseline: %v", err)
+		}
+		printResult(fmt.Sprintf("%s/%s batch=1 (baseline)", cfg.Transport, cfg.Protocol), baseRes)
+		rep.WithBaseline(baseRes)
+		fmt.Printf("speedup vs unbatched: %.2fx\n", rep.SpeedupVsUnbatched)
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			log.Fatalf("flexload: write %s: %v", *out, err)
+		}
+		if _, err := loadgen.ValidateFile(*out); err != nil {
+			log.Fatalf("flexload: self-validation failed: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	_ = os.Stdout.Sync()
+}
+
+func printResult(label string, r *loadgen.Result) {
+	l := r.Latency
+	fmt.Printf("%-40s %10.0f tx/s  (completed %d in %.2fs)\n",
+		label, r.Throughput, r.Completed, r.WindowSecs)
+	fmt.Printf("  latency µs: p50 %d  p90 %d  p99 %d  p99.9 %d  max %d  mean %.0f\n",
+		l.P50, l.P90, l.P99, l.P999, l.Max, l.Mean)
+	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
+		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)
+}

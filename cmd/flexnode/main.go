@@ -21,9 +21,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"flexcast"
 	"flexcast/amcast"
+	"flexcast/internal/runtime"
 	"flexcast/internal/transport"
 )
 
@@ -34,15 +36,17 @@ func main() {
 		overlayF = flag.String("overlay", "", "comma-separated C-DAG rank order / group list")
 		treeF    = flag.String("tree", "", "tree as root:parent=child|child,parent=child (hierarchical only)")
 		peersF   = flag.String("peers", "", "comma-separated nodeid=host:port pairs (g1=..., c0=...)")
+		batch    = flag.Int("batch", 64, "max envelopes per runtime batch (1 disables batching)")
+		flush    = flag.Duration("flush-interval", 500*time.Microsecond, "batch flush period")
 		verbose  = flag.Bool("v", false, "log every delivery")
 	)
 	flag.Parse()
-	if err := run(*group, *protocol, *overlayF, *treeF, *peersF, *verbose); err != nil {
+	if err := run(*group, *protocol, *overlayF, *treeF, *peersF, *batch, *flush, *verbose); err != nil {
 		log.Fatalf("flexnode: %v", err)
 	}
 }
 
-func run(group int, protocol, overlayF, treeF, peersF string, verbose bool) error {
+func run(group int, protocol, overlayF, treeF, peersF string, batch int, flush time.Duration, verbose bool) error {
 	if group <= 0 {
 		return fmt.Errorf("missing -group")
 	}
@@ -95,12 +99,38 @@ func run(group int, protocol, overlayF, treeF, peersF string, verbose bool) erro
 				d.Group, d.Msg.ID, d.Seq, d.Msg.Dst, len(d.Msg.Payload))
 		}
 	}
-	node, err := transport.NewTCPEngineNode(eng, book, onDeliver)
+	// The batched node runtime over TCP: inbound frames (single or batch)
+	// drain through the engine's batch fast path; outputs leave as batch
+	// frames per destination. The listener starts accepting before the
+	// TCPNode variable is assigned, so the send path gates on tcpReady —
+	// a frame dispatched in that window parks until the assignment is
+	// published.
+	var (
+		tcp      *transport.TCPNode
+		tcpReady = make(chan struct{})
+	)
+	rt := runtime.NewNode(eng, func(to flexcast.NodeID, envs []flexcast.Envelope) {
+		<-tcpReady
+		if tcp == nil {
+			return // listener never came up; the node is shutting down
+		}
+		// Peer unreachable: FIFO links are assumed reliable by the
+		// protocols; the send path retries dialing, so this only
+		// triggers on shutdown.
+		_ = tcp.SendBatch(to, envs)
+	}, runtime.Config{MaxBatch: batch, FlushInterval: flush, OnDeliver: onDeliver})
+	tcp, err = transport.NewTCPBatchNode(amcast.GroupNode(g), book, rt.Submit)
 	if err != nil {
+		close(tcpReady) // unblock the worker so Close can drain
+		rt.Close()
 		return err
 	}
-	defer node.Close()
-	log.Printf("flexnode: group %d (%s) listening on %s", group, protocol, node.Addr())
+	close(tcpReady)
+	defer func() {
+		tcp.Close()
+		rt.Close()
+	}()
+	log.Printf("flexnode: group %d (%s) listening on %s (batch=%d)", group, protocol, tcp.Addr(), batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -89,6 +89,17 @@ type Options struct {
 	Messages     int
 	MaxDst       int
 	InjectWindow sim.Time
+	// ClosedLoop switches the workload from open-loop (all multicasts
+	// scheduled up front at random times) to closed-loop: each client
+	// issues its next multicast the moment the previous one completed
+	// (every destination's reply received), after ThinkTime. Closed-loop
+	// schedules keep the protocol continuously saturated relative to its
+	// own progress — delivery, ack and flush phases overlap densely in
+	// ways the open-loop injector rarely produces.
+	ClosedLoop bool
+	// ThinkTime is the closed-loop delay between a completion and the
+	// next issue (default 0: immediate).
+	ThinkTime sim.Time
 	// FlushEvery adds the paper's §4.3 flush/garbage-collection client:
 	// a flush message multicast to every group on this period, so
 	// exploration also covers history pruning (default 400ms; negative

@@ -43,9 +43,11 @@ type Report struct {
 	Violations []ScheduleResult
 	// minimality records whether the genuineness audit ran (Print).
 	minimality bool
-	// bugFlip echoes Options.BugFlipEvery so the printed reproduce
-	// command includes the flag that shaped the schedule.
-	bugFlip int
+	// bugFlip, closedLoop and messages echo the options so the printed
+	// reproduce command includes every flag that shaped the schedule.
+	bugFlip    int
+	closedLoop bool
+	messages   int
 }
 
 // Failed reports whether any schedule violated an invariant.
@@ -66,11 +68,17 @@ func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "  INVARIANT VIOLATIONS: %d\n", len(r.Violations))
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "  seed %d: %v\n", v.Seed, v.Err)
-		bug := ""
+		flags := ""
 		if r.bugFlip > 0 {
-			bug = fmt.Sprintf(" -chaos-bug %d", r.bugFlip)
+			flags += fmt.Sprintf(" -chaos-bug %d", r.bugFlip)
 		}
-		fmt.Fprintf(w, "    reproduce: flexbench -mode chaos -protocol %s -repro-seed %d%s\n", r.Deployment, v.Seed, bug)
+		if r.closedLoop {
+			flags += " -closed-loop"
+		}
+		if r.messages > 0 {
+			flags += fmt.Sprintf(" -messages %d", r.messages)
+		}
+		fmt.Fprintf(w, "    reproduce: flexbench -mode chaos -protocol %s -repro-seed %d%s\n", r.Deployment, v.Seed, flags)
 		for _, line := range v.FaultTrace {
 			fmt.Fprintf(w, "    %s\n", line)
 		}
@@ -85,7 +93,8 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 		return nil, err
 	}
 	opt.fill()
-	rep := &Report{Deployment: d.Name, Schedules: opt.Schedules, minimality: d.Minimality, bugFlip: opt.BugFlipEvery}
+	rep := &Report{Deployment: d.Name, Schedules: opt.Schedules, minimality: d.Minimality,
+		bugFlip: opt.BugFlipEvery, closedLoop: opt.ClosedLoop, messages: opt.Messages}
 	for i := 0; i < opt.Schedules; i++ {
 		res, err := RunSchedule(d, opt, ScheduleSeed(opt.Seed, i))
 		if err != nil {
@@ -100,6 +109,56 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// loopClient is one closed-loop workload source: it issues its next
+// multicast as soon as the previous one completed at every destination.
+// Duplicate replies (fault injection) are folded by the pending set.
+type loopClient struct {
+	s     *sim.Simulator
+	net   *sim.Network
+	route func(m amcast.Message) []amcast.NodeID
+	rec   *trace.Recorder
+	res   *ScheduleResult
+	id    amcast.NodeID
+	msgs  []amcast.Message
+	next  int
+	cur   map[amcast.GroupID]bool
+	think sim.Time
+}
+
+func (c *loopClient) issue() {
+	if c.next >= len(c.msgs) {
+		return
+	}
+	m := c.msgs[c.next]
+	c.next++
+	c.cur = make(map[amcast.GroupID]bool, len(m.Dst))
+	for _, g := range m.Dst {
+		c.cur[g] = true
+	}
+	c.rec.OnMulticast(m)
+	c.res.Multicasts++
+	for _, to := range c.route(m) {
+		c.net.Send(c.id, to, amcast.Envelope{Kind: amcast.KindRequest, From: c.id, Msg: m})
+	}
+}
+
+// HandleEnvelope implements sim.Handler: collect replies, issue the next
+// multicast once the current one completed everywhere.
+func (c *loopClient) HandleEnvelope(env amcast.Envelope) {
+	if env.Kind != amcast.KindReply || c.cur == nil || !c.cur[env.From.Group()] {
+		return
+	}
+	// Stale replies for earlier messages cannot reach here: cur only
+	// tracks the in-flight message, and ids are per-client unique.
+	if env.Msg.ID != c.msgs[c.next-1].ID {
+		return
+	}
+	delete(c.cur, env.From.Group())
+	if len(c.cur) == 0 {
+		c.s.Schedule(c.think, c.issue)
+	}
 }
 
 // RunSchedule runs one seeded schedule: build a fresh deployment on the
@@ -187,52 +246,94 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 
 	// The flush/garbage-collection client (paper §4.3): flush multicasts
 	// to every group on a fixed period, so schedules exercise history
-	// pruning concurrently with faults.
+	// pruning concurrently with faults. Closed-loop schedules run as long
+	// as their clients keep completing, so the flush client then chains
+	// closed-loop too (one flush per completed flush plus think time),
+	// keeping GC active across the whole denser run.
 	if opt.FlushEvery > 0 {
 		fid := amcast.ClientNode(opt.Clients)
-		net.Register(fid, sim.HandlerFunc(func(env amcast.Envelope) {}))
-		seq := uint64(0)
-		for at := opt.FlushEvery; at <= opt.InjectWindow; at += opt.FlushEvery {
-			seq++
-			m := amcast.Message{
-				ID:     amcast.NewMsgID(opt.Clients, seq),
-				Sender: fid,
-				Dst:    amcast.NormalizeDst(append([]amcast.GroupID(nil), d.Groups...)),
-				Flags:  amcast.FlagFlush,
+		allGroups := amcast.NormalizeDst(append([]amcast.GroupID(nil), d.Groups...))
+		if opt.ClosedLoop {
+			n := opt.Messages
+			if n < 4 {
+				n = 4
 			}
-			rec.OnMulticast(m)
-			res.Multicasts++
-			at := at
-			s.ScheduleAt(at, func() {
-				for _, to := range d.Route(m) {
-					net.Send(fid, to, amcast.Envelope{Kind: amcast.KindRequest, From: fid, Msg: m})
+			msgs := make([]amcast.Message, n)
+			for i := range msgs {
+				msgs[i] = amcast.Message{
+					ID:     amcast.NewMsgID(opt.Clients, uint64(i+1)),
+					Sender: fid,
+					Dst:    allGroups,
+					Flags:  amcast.FlagFlush,
 				}
-			})
+			}
+			lc := &loopClient{
+				s: s, net: net, route: d.Route, rec: rec, res: res,
+				id: fid, msgs: msgs, think: opt.FlushEvery,
+			}
+			net.Register(fid, lc)
+			s.ScheduleAt(opt.FlushEvery, lc.issue)
+		} else {
+			net.Register(fid, sim.HandlerFunc(func(env amcast.Envelope) {}))
+			seq := uint64(0)
+			for at := opt.FlushEvery; at <= opt.InjectWindow; at += opt.FlushEvery {
+				seq++
+				m := amcast.Message{
+					ID:     amcast.NewMsgID(opt.Clients, seq),
+					Sender: fid,
+					Dst:    allGroups,
+					Flags:  amcast.FlagFlush,
+				}
+				rec.OnMulticast(m)
+				res.Multicasts++
+				at := at
+				s.ScheduleAt(at, func() {
+					for _, to := range d.Route(m) {
+						net.Send(fid, to, amcast.Envelope{Kind: amcast.KindRequest, From: fid, Msg: m})
+					}
+				})
+			}
 		}
 	}
 
-	// Workload: open-loop clients firing seeded multicasts across the
-	// injection window.
+	// Workload: every client's multicast sequence is drawn up front from
+	// the schedule seed (so open- and closed-loop runs with the same seed
+	// share the workload); open loop schedules them at random times,
+	// closed loop chains each issue to the previous completion.
 	maxDst := opt.MaxDst
 	if maxDst == 0 || maxDst > len(d.Groups) {
 		maxDst = len(d.Groups)
 	}
 	for c := 0; c < opt.Clients; c++ {
 		cid := amcast.ClientNode(c)
-		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
-		for i := 0; i < opt.Messages; i++ {
+		msgs := make([]amcast.Message, opt.Messages)
+		for i := range msgs {
 			nDst := 1 + rng.Intn(maxDst)
 			perm := rng.Perm(len(d.Groups))
 			dst := make([]amcast.GroupID, 0, nDst)
 			for _, p := range perm[:nDst] {
 				dst = append(dst, d.Groups[p])
 			}
-			m := amcast.Message{
+			msgs[i] = amcast.Message{
 				ID:      amcast.NewMsgID(c, uint64(i+1)),
 				Sender:  cid,
 				Dst:     amcast.NormalizeDst(dst),
 				Payload: []byte(fmt.Sprintf("chaos-%d-%d", c, i)),
 			}
+		}
+		if opt.ClosedLoop {
+			lc := &loopClient{
+				s: s, net: net, route: d.Route, rec: rec, res: res,
+				id: cid, msgs: msgs, think: opt.ThinkTime,
+			}
+			net.Register(cid, lc)
+			start := sim.Time(rng.Int63n(int64(opt.InjectWindow)/8 + 1))
+			s.ScheduleAt(start, lc.issue)
+			continue
+		}
+		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
+		for i := range msgs {
+			m := msgs[i]
 			rec.OnMulticast(m)
 			res.Multicasts++
 			at := sim.Time(rng.Int63n(int64(opt.InjectWindow)))

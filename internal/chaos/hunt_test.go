@@ -1,0 +1,49 @@
+package chaos_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"flexcast/internal/chaos"
+	"flexcast/internal/harness"
+)
+
+// TestHuntFlushGC is a manual hunting harness for the known flush-GC
+// acyclic-order bug (ROADMAP): dense, fault-free closed-loop schedules
+// with aggressive flushing. Enabled via CHAOS_HUNT=<schedules>.
+func TestHuntFlushGC(t *testing.T) {
+	n, _ := strconv.Atoi(os.Getenv("CHAOS_HUNT"))
+	if n == 0 {
+		t.Skip("set CHAOS_HUNT=<schedules> to hunt")
+	}
+	rep, err := harness.RunChaos(harness.ChaosConfig{
+		Protocol: harness.FlexCast,
+		Options: chaos.Options{
+			Seed:      7,
+			Schedules: n,
+			Clients:   6,
+			Messages:  400,
+			MaxDst:    3,
+			// Aggressive GC, no faults: the known repro (flexbench
+			// -experiment fig5 -scale 0.02 -verify) is fault-free.
+			FlushEvery:    100_000,
+			ClosedLoop:    true,
+			DropProb:      -1,
+			DupProb:       -1,
+			JitterMax:     -1,
+			Partitions:    -1,
+			Crashes:       -1,
+			SnapshotEvery: 1 << 30,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("VIOLATION seed %d: %v\n", v.Seed, v.Err)
+	}
+	fmt.Printf("hunted %d schedules, %d multicasts, %d violations\n",
+		rep.Schedules, rep.Multicasts, len(rep.Violations))
+}

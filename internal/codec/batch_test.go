@@ -1,0 +1,144 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexcast/amcast"
+)
+
+func batchSampleEnvelopes() []amcast.Envelope {
+	return []amcast.Envelope{
+		{Kind: amcast.KindRequest, From: amcast.ClientNode(1), Msg: amcast.Message{
+			ID: amcast.NewMsgID(1, 1), Sender: amcast.ClientNode(1),
+			Dst: []amcast.GroupID{2, 4}, Payload: []byte("payload-a"),
+		}},
+		{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: amcast.Message{
+			ID: amcast.NewMsgID(1, 1), Sender: amcast.ClientNode(1),
+			Dst: []amcast.GroupID{2, 4}, Payload: []byte("payload-a"),
+		}, Hist: &amcast.HistDelta{
+			Nodes: []amcast.HistNode{{ID: 7, Dst: []amcast.GroupID{2, 4}}},
+			Edges: []amcast.HistEdge{{From: 7, To: amcast.NewMsgID(1, 1)}},
+		}, NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 3}}},
+		{Kind: amcast.KindAck, From: amcast.GroupNode(3), Msg: amcast.Message{
+			ID: amcast.NewMsgID(1, 1), Dst: []amcast.GroupID{2, 4},
+		}, AckCovers: []amcast.GroupID{2}},
+		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: amcast.Message{
+			ID: 8, Dst: []amcast.GroupID{9, 11},
+		}, TS: 42, TSFrom: 9},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: amcast.Message{
+			ID: 8, Dst: []amcast.GroupID{5},
+		}, TS: 7},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	envs := batchSampleEnvelopes()
+	for n := 1; n <= len(envs); n++ {
+		buf := MarshalBatch(envs[:n])
+		if !IsBatch(buf) {
+			t.Fatalf("batch of %d not recognized as batch frame", n)
+		}
+		if got := BatchSize(envs[:n]); got != len(buf) {
+			t.Fatalf("BatchSize = %d, wire length = %d", got, len(buf))
+		}
+		dec, err := UnmarshalBatch(buf)
+		if err != nil {
+			t.Fatalf("UnmarshalBatch(%d envs): %v", n, err)
+		}
+		if !reflect.DeepEqual(dec, envs[:n]) {
+			t.Fatalf("batch of %d did not round trip:\n got %+v\nwant %+v", n, dec, envs[:n])
+		}
+		if re := MarshalBatch(dec); !bytes.Equal(re, buf) {
+			t.Fatalf("batch re-encode not canonical")
+		}
+	}
+}
+
+func TestBatchSingleEnvelopeDistinctFromPlainFrame(t *testing.T) {
+	env := batchSampleEnvelopes()[0]
+	single := Marshal(env)
+	batch := MarshalBatch([]amcast.Envelope{env})
+	if IsBatch(single) {
+		t.Fatalf("plain envelope misdetected as batch")
+	}
+	if bytes.Equal(single, batch) {
+		t.Fatalf("batch and single frames must differ")
+	}
+	if _, err := Unmarshal(batch); err == nil {
+		t.Fatalf("Unmarshal accepted a batch frame")
+	}
+	if _, err := UnmarshalBatch(single); err == nil {
+		t.Fatalf("UnmarshalBatch accepted a plain envelope")
+	}
+}
+
+func TestBatchRejectsEmpty(t *testing.T) {
+	if _, err := UnmarshalBatch([]byte{BatchKind, 0}); err == nil {
+		t.Fatalf("empty batch accepted")
+	}
+	if _, err := UnmarshalBatch([]byte{BatchKind}); err == nil {
+		t.Fatalf("truncated batch accepted")
+	}
+	if _, err := UnmarshalBatch(nil); err == nil {
+		t.Fatalf("nil buffer accepted")
+	}
+}
+
+func TestBatchRejectsOversized(t *testing.T) {
+	buf := []byte{BatchKind}
+	buf = binary.AppendUvarint(buf, MaxBatchEnvelopes+1)
+	_, err := UnmarshalBatch(buf)
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized batch not rejected: %v", err)
+	}
+}
+
+func TestBatchRejectsTrailingGarbage(t *testing.T) {
+	buf := MarshalBatch(batchSampleEnvelopes()[:2])
+	if _, err := UnmarshalBatch(append(buf, 0x00)); err == nil {
+		t.Fatalf("trailing garbage accepted")
+	}
+}
+
+func TestBatchRejectsCorruptInnerEnvelope(t *testing.T) {
+	envs := batchSampleEnvelopes()[:1]
+	buf := MarshalBatch(envs)
+	// Flip the inner envelope's kind byte to an unknown value: the inner
+	// Unmarshal must reject it. The kind byte sits right after the batch
+	// header (BatchKind, count, inner length).
+	inner := len(buf) - Size(envs[0])
+	buf[inner] = 0xEE
+	if _, err := UnmarshalBatch(buf); err == nil {
+		t.Fatalf("corrupt inner envelope accepted")
+	}
+}
+
+func TestBatchRejectsNonCanonicalInnerLength(t *testing.T) {
+	envs := batchSampleEnvelopes()[:1]
+	size := Size(envs[0])
+	if size >= 0x80 {
+		t.Skip("sample envelope too large for a two-byte non-minimal length")
+	}
+	buf := []byte{BatchKind, 1}
+	// Non-minimal varint for the inner length: 0x80|size, 0x00.
+	buf = append(buf, byte(0x80|size), 0x00)
+	buf = Append(buf, envs[0])
+	if _, err := UnmarshalBatch(buf); err == nil {
+		t.Fatalf("non-minimal inner length accepted")
+	}
+}
+
+func TestAppendMatchesMarshal(t *testing.T) {
+	for _, env := range batchSampleEnvelopes() {
+		prefix := []byte{0xAB, 0xCD}
+		got := Append(append([]byte(nil), prefix...), env)
+		want := append(append([]byte(nil), prefix...), Marshal(env)...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Append diverges from Marshal for kind %s", env.Kind)
+		}
+	}
+}

@@ -43,31 +43,7 @@ func hasTS(k amcast.Kind) bool {
 
 // Marshal encodes an envelope.
 func Marshal(env amcast.Envelope) []byte {
-	buf := make([]byte, 0, Size(env))
-	buf = append(buf, byte(env.Kind))
-	buf = binary.AppendUvarint(buf, uint64(uint32(env.From)))
-	buf = appendMessage(buf, env.Msg, hasPayload(env.Kind))
-	if hasHist(env.Kind) {
-		buf = appendHist(buf, env.Hist)
-	}
-	if hasNotifList(env.Kind) {
-		buf = binary.AppendUvarint(buf, uint64(len(env.NotifList)))
-		for _, p := range env.NotifList {
-			buf = binary.AppendUvarint(buf, uint64(uint32(p.Notifier)))
-			buf = binary.AppendUvarint(buf, uint64(uint32(p.Notified)))
-		}
-	}
-	if hasAckCovers(env.Kind) {
-		buf = binary.AppendUvarint(buf, uint64(len(env.AckCovers)))
-		for _, g := range env.AckCovers {
-			buf = binary.AppendUvarint(buf, uint64(uint32(g)))
-		}
-	}
-	if hasTS(env.Kind) {
-		buf = binary.AppendUvarint(buf, env.TS)
-		buf = binary.AppendUvarint(buf, uint64(uint32(env.TSFrom)))
-	}
-	return buf
+	return Append(make([]byte, 0, Size(env)), env)
 }
 
 func appendMessage(buf []byte, m amcast.Message, payload bool) []byte {

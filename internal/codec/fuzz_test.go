@@ -45,12 +45,37 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 	for _, env := range seed {
 		f.Add(Marshal(env))
 	}
-	// Malformed probes: truncations, bad kind, hostile counts.
+	// Batch frames: the same canonical round-trip property must hold for
+	// the batched encoding (strict inner framing, oversized rejection).
+	f.Add(MarshalBatch(seed[:1]))
+	f.Add(MarshalBatch(seed[:3]))
+	f.Add(MarshalBatch(seed))
+	// Malformed probes: truncations, bad kind, hostile counts, empty and
+	// oversized batches.
 	f.Add([]byte{})
 	f.Add([]byte{0xEE})
 	f.Add([]byte{byte(amcast.KindMsg), 0x01, 0x01, 0x01, 0x00, 0x01, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{BatchKind, 0x00})
+	f.Add([]byte{BatchKind, 0xFF, 0xFF, 0xFF, 0x7F})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		if IsBatch(data) {
+			envs, err := UnmarshalBatch(data)
+			if err != nil {
+				return // rejected input: fine, as long as we did not panic
+			}
+			if len(envs) == 0 || len(envs) > MaxBatchEnvelopes {
+				t.Fatalf("accepted batch of %d envelopes", len(envs))
+			}
+			re := MarshalBatch(envs)
+			if !bytes.Equal(re, data) {
+				t.Fatalf("batch round trip not canonical:\n in  %x\n out %x", data, re)
+			}
+			if got := BatchSize(envs); got != len(data) {
+				t.Fatalf("BatchSize = %d, wire length = %d", got, len(data))
+			}
+			return
+		}
 		env, err := Unmarshal(data)
 		if err != nil {
 			return // rejected input: fine, as long as we did not panic

@@ -115,6 +115,8 @@ type Engine struct {
 
 var _ amcast.Engine = (*Engine)(nil)
 
+var _ amcast.BatchStepper = (*Engine)(nil)
+
 // New builds a FlexCast engine.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Overlay == nil {
@@ -173,40 +175,75 @@ func (e *Engine) QueuedMessages() int {
 
 // OnEnvelope implements amcast.Engine (Algorithm 2).
 func (e *Engine) OnEnvelope(env amcast.Envelope) []amcast.Output {
+	var outs []amcast.Output
+	e.step(env, &outs)
+	return outs
+}
+
+// BatchStep implements amcast.BatchStepper — the engine's batch fast
+// path: every envelope's state updates (history merges, ack and
+// notification bookkeeping, immediate lca deliveries) are applied in
+// order, and the reprocess fixpoint — the dominant per-envelope cost,
+// scanning ancestor queues and walking history dependencies — runs once
+// for the whole batch instead of once per envelope. Deferring the
+// fixpoint is protocol-equivalent to per-envelope processing: the
+// deliverability conditions a message satisfies are exactly those it
+// would satisfy had the batch arrived as individual envelopes processed
+// by a momentarily busy server, and the acks the fixpoint emits simply
+// carry consolidated history diffs. Deliveries and outputs remain a
+// deterministic function of the batch sequence (what state machine
+// replication requires); the per-envelope execution stays available
+// through OnEnvelope and is what the simulator and chaos explorer run.
+// TestBatchStepSafety validates chunked executions against the full
+// multicast specification.
+func (e *Engine) BatchStep(envs []amcast.Envelope) []amcast.Output {
+	var outs []amcast.Output
+	for _, env := range envs {
+		e.apply(env, &outs)
+	}
+	e.reprocess(&outs)
+	return outs
+}
+
+func (e *Engine) step(env amcast.Envelope, outs *[]amcast.Output) {
+	e.apply(env, outs)
+	e.reprocess(outs)
+}
+
+// apply performs one envelope's state updates without the trailing
+// reprocess fixpoint.
+func (e *Engine) apply(env amcast.Envelope, outs *[]amcast.Output) {
 	switch env.Kind {
 	case amcast.KindRequest:
-		return e.onRequest(env)
+		e.onRequest(env, outs)
 	case amcast.KindMsg:
-		return e.onMsg(env)
+		e.onMsg(env, outs)
 	case amcast.KindAck:
-		return e.onAck(env)
+		e.onAck(env, outs)
 	case amcast.KindNotif:
-		return e.onNotif(env)
-	default:
-		return nil
+		e.onNotif(env, outs)
 	}
 }
 
 // onRequest handles a client message entering the overlay at its lca
 // (Algorithm 2 lines 1-2): the lca delivers immediately, imposing its
 // order on all descendants.
-func (e *Engine) onRequest(env amcast.Envelope) []amcast.Output {
+func (e *Engine) onRequest(env amcast.Envelope, outs *[]amcast.Output) {
 	m := env.Msg
 	if len(m.Dst) == 0 || e.ov.Lca(m.Dst) != e.g || e.delivered[m.ID] {
-		return nil
+		return
 	}
-	return e.aDeliver(m)
+	e.deliver(m, outs)
 }
 
 // onMsg handles an application message propagated by its lca (Algorithm 2
 // lines 3-6).
-func (e *Engine) onMsg(env amcast.Envelope) []amcast.Output {
+func (e *Engine) onMsg(env amcast.Envelope, outs *[]amcast.Output) {
 	e.mergeHist(env.Hist)
 	m := env.Msg
-	var outs []amcast.Output
 	if !m.HasDst(e.g) || e.delivered[m.ID] {
 		// Duplicate or misrouted: the history merge above is still useful.
-		return e.reprocess(&outs)
+		return
 	}
 	p := e.pending(m.ID)
 	if !p.hasMsg {
@@ -219,17 +256,15 @@ func (e *Engine) onMsg(env amcast.Envelope) []amcast.Output {
 		e.queues[lca] = append(e.queues[lca], m.ID)
 		p.queued = true
 	}
-	return e.reprocess(&outs)
 }
 
 // onAck handles an acknowledgment from an ancestor destination or a
 // notified ancestor (Algorithm 2 lines 7-11).
-func (e *Engine) onAck(env amcast.Envelope) []amcast.Output {
+func (e *Engine) onAck(env amcast.Envelope, outs *[]amcast.Output) {
 	e.mergeHist(env.Hist)
-	var outs []amcast.Output
 	m := env.Msg
 	if e.delivered[m.ID] {
-		return e.reprocess(&outs)
+		return
 	}
 	from := env.From
 	if !from.IsClient() {
@@ -245,7 +280,6 @@ func (e *Engine) onAck(env amcast.Envelope) []amcast.Output {
 		}
 		e.mergeNotifList(p, env.NotifList)
 	}
-	return e.reprocess(&outs)
 }
 
 // onNotif handles a notification: this group is not a destination of the
@@ -255,15 +289,14 @@ func (e *Engine) onAck(env amcast.Envelope) []amcast.Output {
 // the open-dependency snapshot taken here covers everything the notifier
 // ordered before the message. The resulting ack declares the notifier it
 // answers (AckCovers), letting destinations pair acks with notifiers.
-func (e *Engine) onNotif(env amcast.Envelope) []amcast.Output {
+func (e *Engine) onNotif(env amcast.Envelope, outs *[]amcast.Output) {
 	e.mergeHist(env.Hist)
 	m := env.Msg
-	var outs []amcast.Output
 	notifier := env.From.Group()
 	if m.HasDst(e.g) || env.From.IsClient() || e.notifDone[m.ID][notifier] {
 		// Destinations ack on delivery; the same notifier's duplicate
 		// notifications are folded.
-		return e.reprocess(&outs)
+		return
 	}
 	done, ok := e.notifDone[m.ID]
 	if !ok {
@@ -278,9 +311,8 @@ func (e *Engine) onNotif(env amcast.Envelope) []amcast.Output {
 	if len(deps) > 0 {
 		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: m.Header(), notifier: notifier, deps: deps})
 	} else {
-		e.sendFlushAck(m.Header(), []amcast.GroupID{notifier}, &outs)
+		e.sendFlushAck(m.Header(), []amcast.GroupID{notifier}, outs)
 	}
-	return e.reprocess(&outs)
 }
 
 func (e *Engine) pending(id amcast.MsgID) *pending {
@@ -318,15 +350,8 @@ func (e *Engine) mergeHist(d *amcast.HistDelta) {
 	}
 }
 
-// aDeliver delivers m at this group (Algorithm 3 lines 20-31) and returns
+// deliver delivers m at this group (Algorithm 3 lines 20-31), appending
 // the outputs it generates.
-func (e *Engine) aDeliver(m amcast.Message) []amcast.Output {
-	var outs []amcast.Output
-	e.deliver(m, &outs)
-	e.reprocess(&outs)
-	return outs
-}
-
 func (e *Engine) deliver(m amcast.Message, outs *[]amcast.Output) {
 	e.hst.AppendDelivered(history.Node{ID: m.ID, Dst: m.Dst})
 	e.delivered[m.ID] = true

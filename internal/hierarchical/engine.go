@@ -40,6 +40,8 @@ type Engine struct {
 
 var _ amcast.Engine = (*Engine)(nil)
 
+var _ amcast.BatchStepper = (*Engine)(nil)
+
 // New builds a hierarchical engine.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Tree == nil {
@@ -76,24 +78,38 @@ func (e *Engine) Relayed() uint64 { return e.relayed }
 
 // OnEnvelope implements amcast.Engine.
 func (e *Engine) OnEnvelope(env amcast.Envelope) []amcast.Output {
+	var outs []amcast.Output
+	e.step(env, &outs)
+	return outs
+}
+
+// BatchStep implements amcast.BatchStepper: the batch is processed
+// envelope by envelope with the output slice shared across the batch.
+func (e *Engine) BatchStep(envs []amcast.Envelope) []amcast.Output {
+	var outs []amcast.Output
+	for _, env := range envs {
+		e.step(env, &outs)
+	}
+	return outs
+}
+
+func (e *Engine) step(env amcast.Envelope, outs *[]amcast.Output) {
 	switch env.Kind {
 	case amcast.KindRequest:
 		// Clients must address the lowest common ancestor of the
 		// destination set; misrouted requests are dropped.
 		if e.tree.Lca(env.Msg.Dst) != e.g {
-			return nil
+			return
 		}
-		return e.handle(env.Msg)
+		e.handle(env.Msg, outs)
 	case amcast.KindFwd:
-		return e.handle(env.Msg)
-	default:
-		return nil
+		e.handle(env.Msg, outs)
 	}
 }
 
-func (e *Engine) handle(m amcast.Message) []amcast.Output {
+func (e *Engine) handle(m amcast.Message, outs *[]amcast.Output) {
 	if e.seen[m.ID] {
-		return nil
+		return
 	}
 	e.seen[m.ID] = true
 	if m.HasDst(e.g) {
@@ -102,15 +118,13 @@ func (e *Engine) handle(m amcast.Message) []amcast.Output {
 	} else {
 		e.relayed++
 	}
-	var outs []amcast.Output
 	for _, c := range e.tree.Children(e.g) {
 		if !e.tree.SubtreeHasAny(c, m.Dst) {
 			continue
 		}
-		outs = append(outs, amcast.Output{
+		*outs = append(*outs, amcast.Output{
 			To:  amcast.GroupNode(c),
 			Env: amcast.Envelope{Kind: amcast.KindFwd, From: amcast.GroupNode(e.g), Msg: m},
 		})
 	}
-	return outs
 }

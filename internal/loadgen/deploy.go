@@ -1,0 +1,164 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+
+	"flexcast/amcast"
+	"flexcast/internal/runtime"
+	"flexcast/internal/transport"
+)
+
+// deployment is the transport-specific part of a run: the server-side
+// runtime nodes plus a close function tearing everything down.
+type deployment struct {
+	nodes []*runtime.Node
+	close func()
+}
+
+// deploy builds the group servers and client processes on the selected
+// transport.
+func deploy(cfg Config, proto *protocolDeployment, r *run) (*deployment, []*clientProc, error) {
+	clients := make([]*clientProc, cfg.Clients)
+	for i := range clients {
+		clients[i] = &clientProc{
+			idx:      i,
+			id:       amcast.ClientNode(i),
+			out:      make(chan amcast.Message, cfg.Workers),
+			inflight: make(map[amcast.MsgID]*txState),
+			run:      r,
+		}
+	}
+	switch cfg.Transport {
+	case "tcp":
+		dep, err := deployTCP(cfg, proto, clients)
+		return dep, clients, err
+	default:
+		dep, err := deployInMem(cfg, proto, clients)
+		return dep, clients, err
+	}
+}
+
+func runtimeConfig(cfg Config) runtime.Config {
+	return runtime.Config{
+		MaxBatch:      cfg.MaxBatch,
+		FlushInterval: cfg.FlushInterval,
+	}
+}
+
+func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (*deployment, error) {
+	nw := transport.NewInMemNet()
+	dep := &deployment{}
+	for _, g := range proto.groups {
+		eng, err := proto.factory(g)
+		if err != nil {
+			nw.Close()
+			return nil, err
+		}
+		id := amcast.GroupNode(g)
+		send := func(to amcast.NodeID, envs []amcast.Envelope) { nw.SendBatch(id, to, envs) }
+		node := runtime.NewNode(eng, send, runtimeConfig(cfg))
+		dep.nodes = append(dep.nodes, node)
+		if err := nw.AddBatchHandler(id, node.Submit); err != nil {
+			nw.Close()
+			return nil, err
+		}
+	}
+	for _, c := range clients {
+		c := c
+		c.batcher = runtime.NewBatcher(func(to amcast.NodeID, envs []amcast.Envelope) {
+			nw.SendBatch(c.id, to, envs)
+		}, cfg.MaxBatch)
+		if err := nw.AddBatchHandler(c.id, c.onReplies); err != nil {
+			nw.Close()
+			return nil, err
+		}
+	}
+	dep.close = func() {
+		nw.Close()
+		for _, n := range dep.nodes {
+			n.Close()
+		}
+	}
+	return dep, nil
+}
+
+// deployTCP runs the whole deployment over loopback TCP: one listening
+// node per group and per client process, so every envelope crosses the
+// real codec, framing and kernel socket path.
+func deployTCP(cfg Config, proto *protocolDeployment, clients []*clientProc) (*deployment, error) {
+	book := make(transport.AddrBook, len(proto.groups)+len(clients))
+	var ids []amcast.NodeID
+	for _, g := range proto.groups {
+		ids = append(ids, amcast.GroupNode(g))
+	}
+	for _, c := range clients {
+		ids = append(ids, c.id)
+	}
+	// Reserve a loopback port per node: listen on :0, record the port,
+	// close, and hand the address out through the book. The tiny window
+	// between close and the node's own listen is acceptable for a local
+	// benchmark.
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: reserve port: %w", err)
+		}
+		book[id] = ln.Addr().String()
+		ln.Close()
+	}
+
+	dep := &deployment{}
+	var tcpNodes []*transport.TCPNode
+	cleanup := func() {
+		for _, tn := range tcpNodes {
+			tn.Close()
+		}
+		for _, n := range dep.nodes {
+			n.Close()
+		}
+	}
+	for _, g := range proto.groups {
+		eng, err := proto.factory(g)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		// The listener starts accepting before tn is assigned; the send
+		// path gates on ready so a frame dispatched in that window parks
+		// until the assignment is published.
+		var tn *transport.TCPNode
+		ready := make(chan struct{})
+		node := runtime.NewNode(eng, func(to amcast.NodeID, envs []amcast.Envelope) {
+			<-ready
+			if tn == nil {
+				return
+			}
+			// Peer unreachable mid-benchmark only happens at teardown.
+			_ = tn.SendBatch(to, envs)
+		}, runtimeConfig(cfg))
+		tn, err = transport.NewTCPBatchNode(amcast.GroupNode(g), book, node.Submit)
+		close(ready)
+		if err != nil {
+			node.Close()
+			cleanup()
+			return nil, err
+		}
+		dep.nodes = append(dep.nodes, node)
+		tcpNodes = append(tcpNodes, tn)
+	}
+	for _, c := range clients {
+		c := c
+		tn, err := transport.NewTCPBatchNode(c.id, book, c.onReplies)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		tcpNodes = append(tcpNodes, tn)
+		c.batcher = runtime.NewBatcher(func(to amcast.NodeID, envs []amcast.Envelope) {
+			_ = tn.SendBatch(to, envs)
+		}, cfg.MaxBatch)
+	}
+	dep.close = cleanup
+	return dep, nil
+}

@@ -1,0 +1,612 @@
+// Package loadgen is the sustained-load benchmark subsystem behind
+// cmd/flexload: it deploys the batched node runtime (internal/runtime)
+// over the in-memory or TCP transport, drives it with open- or
+// closed-loop gTPC-C clients, and measures sustained throughput and
+// latency percentiles with the exact-percentile histogram
+// (internal/metrics). Its JSON report (BENCH_runtime.json) is the
+// repository's performance trajectory: every scaling PR is measured
+// against it.
+//
+// The client model mirrors the paper's evaluation (§5.3): a few client
+// processes, each running many concurrent closed-loop sessions. Client
+// processes batch their requests per destination exactly like the
+// server runtime, so the -batch knob governs the whole path.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/gtpcc"
+	"flexcast/internal/hierarchical"
+	"flexcast/internal/metrics"
+	"flexcast/internal/overlay"
+	"flexcast/internal/runtime"
+	"flexcast/internal/skeen"
+	"flexcast/internal/wan"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Transport selects "inmem" (default) or "tcp" (loopback, one
+	// in-process TCP node per group and client).
+	Transport string
+	// Protocol selects "flexcast" (default), "skeen" or "hierarchical".
+	Protocol string
+	// Groups is the number of server groups (default 12: the paper's WAN
+	// group set and overlays; other sizes use a chain overlay).
+	Groups int
+	// Clients is the number of client processes (default 4).
+	Clients int
+	// Workers is the number of concurrent closed-loop sessions per
+	// client process (default 32).
+	Workers int
+	// Rate, when > 0, switches to open-loop: each client process issues
+	// Rate requests per second independent of completions.
+	Rate float64
+	// MaxOutstanding bounds in-flight transactions per client process in
+	// open-loop mode; issuance beyond it is shed and counted (default
+	// 512). Unbounded open loop over capacity measures bufferbloat — the
+	// protocol's open-dependency tracking degrades superlinearly in
+	// in-flight messages — not the runtime under test.
+	MaxOutstanding int
+	// FlushEvery is the period of the §4.3 flush/garbage-collection
+	// client; it bounds the engines' history growth exactly as every
+	// paper experiment does (default 500ms; negative disables).
+	FlushEvery time.Duration
+	// Warmup and Duration are the warm-up and measurement windows
+	// (defaults 1s and 5s).
+	Warmup   time.Duration
+	Duration time.Duration
+	// MaxBatch is the runtime batch cap for servers and clients; 1
+	// disables batching (the baseline), 0 defaults to 64.
+	MaxBatch int
+	// FlushInterval is the batch flush period (0: runtime default).
+	FlushInterval time.Duration
+	// PayloadSize overrides the gTPC-C payload size when > 0.
+	PayloadSize int
+	// Locality is the gTPC-C locality rate (default 0.95).
+	Locality float64
+	// GlobalOnly restricts the workload to multi-group transactions.
+	GlobalOnly bool
+	// Seed drives the workload (default 1).
+	Seed int64
+	// Timeout bounds one transaction (default 30s); exceeding it fails
+	// the run.
+	Timeout time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Transport == "" {
+		c.Transport = "inmem"
+	}
+	if c.Transport != "inmem" && c.Transport != "tcp" {
+		return fmt.Errorf("loadgen: unknown transport %q", c.Transport)
+	}
+	if c.Protocol == "" {
+		c.Protocol = "flexcast"
+	}
+	if c.Protocol != "flexcast" && c.Protocol != "skeen" && c.Protocol != "hierarchical" {
+		return fmt.Errorf("loadgen: unknown protocol %q", c.Protocol)
+	}
+	if c.Groups == 0 {
+		c.Groups = wan.NumRegions
+	}
+	if c.Groups < 2 {
+		return fmt.Errorf("loadgen: need at least 2 groups")
+	}
+	if c.Clients == 0 {
+		c.Clients = 4
+	}
+	if c.Workers == 0 {
+		c.Workers = 32
+	}
+	if c.Warmup == 0 {
+		c.Warmup = time.Second
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 512
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 500 * time.Millisecond
+	}
+	if c.Locality == 0 {
+		c.Locality = 0.95
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Completed  uint64                 `json:"completed"`
+	Throughput float64                `json:"throughput_tx_s"`
+	WindowSecs float64                `json:"window_s"`
+	Latency    metrics.LatencySummary `json:"latency_us"`
+	// Issued counts requests issued during the measurement window (a
+	// transaction issued in warmup and completed in-window counts toward
+	// Completed but not Issued, so the two may differ slightly in either
+	// direction); under open loop Issued far above Completed means the
+	// system fell behind the offered rate.
+	Issued uint64 `json:"issued"`
+	// Shed counts open-loop issuances skipped by the outstanding cap.
+	Shed uint64 `json:"shed,omitempty"`
+	// Batching statistics aggregated over all server and client nodes.
+	BatchesSent   uint64  `json:"batches_sent"`
+	EnvelopesSent uint64  `json:"envelopes_sent"`
+	AvgBatch      float64 `json:"avg_batch"`
+	LargestBatch  int     `json:"largest_batch"`
+}
+
+// protocolDeployment carries the protocol-specific pieces.
+type protocolDeployment struct {
+	groups  []amcast.GroupID
+	factory func(g amcast.GroupID) (amcast.Engine, error)
+	route   func(m amcast.Message) []amcast.NodeID
+	nearest func(home amcast.GroupID) []amcast.GroupID
+}
+
+func buildProtocol(cfg Config) (*protocolDeployment, error) {
+	var groups []amcast.GroupID
+	paperScale := cfg.Groups == wan.NumRegions
+	if paperScale {
+		groups = wan.Groups()
+	} else {
+		for i := 1; i <= cfg.Groups; i++ {
+			groups = append(groups, amcast.GroupID(i))
+		}
+	}
+	d := &protocolDeployment{groups: groups}
+	d.nearest = func(home amcast.GroupID) []amcast.GroupID {
+		if paperScale {
+			return wan.NearestOrder(home)
+		}
+		var out []amcast.GroupID
+		for _, g := range groups {
+			if g != home {
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+	switch cfg.Protocol {
+	case "flexcast":
+		var ov *overlay.CDAG
+		var err error
+		if paperScale {
+			ov = wan.O1()
+		} else if ov, err = overlay.NewCDAG(groups); err != nil {
+			return nil, err
+		}
+		d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
+			return core.New(core.Config{Group: g, Overlay: ov})
+		}
+		d.route = func(m amcast.Message) []amcast.NodeID {
+			return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+		}
+	case "skeen":
+		d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
+			return skeen.New(skeen.Config{Group: g, Groups: groups})
+		}
+		d.route = func(m amcast.Message) []amcast.NodeID {
+			nodes := make([]amcast.NodeID, len(m.Dst))
+			for i, g := range m.Dst {
+				nodes[i] = amcast.GroupNode(g)
+			}
+			return nodes
+		}
+	case "hierarchical":
+		var tr *overlay.Tree
+		var err error
+		if paperScale {
+			tr = wan.T1()
+		} else {
+			// Star tree rooted at the first group.
+			children := map[amcast.GroupID][]amcast.GroupID{groups[0]: groups[1:]}
+			if tr, err = overlay.NewTree(groups[0], children); err != nil {
+				return nil, err
+			}
+		}
+		d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
+			return hierarchical.New(hierarchical.Config{Group: g, Tree: tr})
+		}
+		d.route = func(m amcast.Message) []amcast.NodeID {
+			return []amcast.NodeID{amcast.GroupNode(tr.Lca(m.Dst))}
+		}
+	}
+	return d, nil
+}
+
+// txState tracks one in-flight transaction at its issuing client.
+type txState struct {
+	remaining map[amcast.GroupID]bool
+	issued    time.Time
+	done      chan struct{} // closed-loop sessions wait on it; nil open-loop
+	// silent transactions (the flush client's) stay out of the metrics.
+	silent bool
+}
+
+// clientProc is one client process: its own node id on the transport, a
+// request batcher fed by a dispatcher goroutine that coalesces the
+// process's concurrent sessions (the same adaptive batching as
+// runtime.Node — batches form only when sessions outpace the transport,
+// and an idle client flushes immediately), and the in-flight transaction
+// table its reply handler resolves.
+type clientProc struct {
+	idx     int
+	id      amcast.NodeID
+	batcher *runtime.Batcher
+	out     chan amcast.Message
+
+	mu       sync.Mutex
+	inflight map[amcast.MsgID]*txState
+
+	run *run
+}
+
+// dispatcher drains queued requests into the batcher and flushes when
+// the queue runs dry.
+func (c *clientProc) dispatcher(stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		var m amcast.Message
+		select {
+		case m = <-c.out:
+		case <-stop:
+			return
+		}
+		c.addRequest(m)
+	drain:
+		for {
+			select {
+			case more := <-c.out:
+				c.addRequest(more)
+			default:
+				break drain
+			}
+		}
+		c.batcher.FlushAll()
+	}
+}
+
+func (c *clientProc) addRequest(m amcast.Message) {
+	for _, to := range c.run.proto.route(m) {
+		c.batcher.Add(to, amcast.Envelope{Kind: amcast.KindRequest, From: c.id, Msg: m})
+	}
+}
+
+func (c *clientProc) onReplies(envs []amcast.Envelope) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, env := range envs {
+		if env.Kind != amcast.KindReply {
+			continue
+		}
+		tx, ok := c.inflight[env.Msg.ID]
+		if !ok || !tx.remaining[env.From.Group()] {
+			continue
+		}
+		delete(tx.remaining, env.From.Group())
+		if len(tx.remaining) > 0 {
+			continue
+		}
+		delete(c.inflight, env.Msg.ID)
+		c.run.complete(tx, now)
+		if tx.done != nil {
+			close(tx.done)
+		}
+	}
+}
+
+// issue registers one transaction and queues it to the dispatcher.
+func (c *clientProc) issue(m amcast.Message, closedLoop, silent bool) *txState {
+	tx := &txState{remaining: make(map[amcast.GroupID]bool, len(m.Dst)), silent: silent}
+	for _, g := range m.Dst {
+		tx.remaining[g] = true
+	}
+	if closedLoop {
+		tx.done = make(chan struct{})
+	}
+	c.mu.Lock()
+	tx.issued = time.Now()
+	c.inflight[m.ID] = tx
+	c.mu.Unlock()
+	if !silent && c.run.measuring.Load() {
+		c.run.issued.Add(1)
+	}
+	c.out <- m
+	return tx
+}
+
+// run is one executing load run.
+type run struct {
+	cfg   Config
+	proto *protocolDeployment
+
+	hist      *metrics.Histogram
+	completed atomic.Uint64
+	issued    atomic.Uint64
+	shed      atomic.Uint64
+	measuring atomic.Bool
+
+	windowStart time.Time
+}
+
+// complete records one finished transaction.
+func (r *run) complete(tx *txState, now time.Time) {
+	if tx.silent || !r.measuring.Load() || tx.issued.Before(r.windowStart) {
+		return
+	}
+	r.completed.Add(1)
+	lat := now.Sub(tx.issued).Microseconds()
+	if lat < 0 {
+		lat = 0
+	}
+	r.hist.Record(uint64(lat))
+}
+
+// Run executes one load run and returns its measurement.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	proto, err := buildProtocol(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram()}
+
+	dep, clients, err := deploy(cfg, proto, r)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.close()
+
+	// Sessions stop first; dispatchers stop after every session has
+	// unblocked, so an issue() in flight is always drained.
+	stop := make(chan struct{})
+	stopDispatch := make(chan struct{})
+	errCh := make(chan error, cfg.Clients*cfg.Workers+1)
+	var wg sync.WaitGroup
+	var dispatchWG sync.WaitGroup
+	for _, c := range clients {
+		dispatchWG.Add(1)
+		go c.dispatcher(stopDispatch, &dispatchWG)
+	}
+
+	// The flush/garbage-collection client (paper §4.3): a closed-loop
+	// flush multicast to every group on a fixed period, keeping engine
+	// histories pruned during sustained load.
+	if cfg.FlushEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			flushLoop(clients[0], cfg, proto, stop, errCh)
+		}()
+	}
+	for _, c := range clients {
+		c := c
+		if cfg.Rate > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				openLoop(c, cfg, stop, errCh)
+			}()
+			continue
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				closedLoop(c, w, cfg, stop, errCh)
+			}()
+		}
+	}
+
+	// Warm up, open the measurement window, close it, stop the load.
+	time.Sleep(cfg.Warmup)
+	r.windowStart = time.Now()
+	r.measuring.Store(true)
+	time.Sleep(cfg.Duration)
+	r.measuring.Store(false)
+	windowSecs := time.Since(r.windowStart).Seconds()
+	close(stop)
+	wg.Wait()
+	close(stopDispatch)
+	dispatchWG.Wait()
+
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &Result{
+		Completed:  r.completed.Load(),
+		Issued:     r.issued.Load(),
+		Shed:       r.shed.Load(),
+		WindowSecs: windowSecs,
+		Latency:    r.hist.Summary(),
+	}
+	if windowSecs > 0 {
+		res.Throughput = float64(res.Completed) / windowSecs
+	}
+	var stats runtime.BatcherStats
+	for _, n := range dep.nodes {
+		s := n.Stats()
+		stats.Batches += s.Batches
+		stats.Envelopes += s.Envelopes
+		if s.MaxBatch > stats.MaxBatch {
+			stats.MaxBatch = s.MaxBatch
+		}
+	}
+	for _, c := range clients {
+		s := c.batcher.Stats()
+		stats.Batches += s.Batches
+		stats.Envelopes += s.Envelopes
+		if s.MaxBatch > stats.MaxBatch {
+			stats.MaxBatch = s.MaxBatch
+		}
+	}
+	res.BatchesSent = stats.Batches
+	res.EnvelopesSent = stats.Envelopes
+	res.AvgBatch = stats.AvgBatch()
+	res.LargestBatch = stats.MaxBatch
+	return res, nil
+}
+
+// closedLoop is one session: issue, wait for every destination's reply,
+// repeat.
+func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, errCh chan<- error) {
+	gen, rng, err := newGen(c, worker, cfg)
+	if err != nil {
+		sendErr(errCh, err)
+		return
+	}
+	seq := uint64(worker) << 24 // per-worker id space within the client
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		seq++
+		m := nextMessage(c, gen, rng, cfg, seq)
+		tx := c.issue(m, true, false)
+		select {
+		case <-tx.done:
+		case <-time.After(cfg.Timeout):
+			sendErr(errCh, fmt.Errorf("loadgen: client %d worker %d: tx %s to %v timed out after %v",
+				c.idx, worker, m.ID, m.Dst, cfg.Timeout))
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+// openLoop issues at a fixed rate per client process, completions
+// resolving asynchronously through the reply handler. Pacing is
+// burst-based: a millisecond ticker issues however many transactions the
+// elapsed time owes, so the offered rate is honored far beyond the
+// ticker resolution.
+func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- error) {
+	gen, rng, err := newGen(c, 0, cfg)
+	if err != nil {
+		sendErr(errCh, err)
+		return
+	}
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	start := time.Now()
+	seq := uint64(0)
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			owed := uint64(cfg.Rate * now.Sub(start).Seconds())
+			for seq < owed {
+				seq++
+				c.mu.Lock()
+				outstanding := len(c.inflight)
+				c.mu.Unlock()
+				if outstanding >= cfg.MaxOutstanding {
+					if c.run.measuring.Load() {
+						c.run.shed.Add(owed - seq + 1)
+					}
+					seq = owed
+					break
+				}
+				m := nextMessage(c, gen, rng, cfg, seq)
+				c.issue(m, false, false)
+			}
+		}
+	}
+}
+
+// flushLoop issues one FlagFlush multicast to all groups per period,
+// waiting for delivery everywhere before the next (the distinguished
+// flush process of §4.3). A flush that times out fails the run: a
+// benchmark silently running without garbage collection would publish
+// numbers for a different system.
+func flushLoop(c *clientProc, cfg Config, proto *protocolDeployment, stop <-chan struct{}, errCh chan<- error) {
+	t := time.NewTicker(cfg.FlushEvery)
+	defer t.Stop()
+	seq := uint64(1) << 38 // clear of every worker's id space
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		seq++
+		m := amcast.Message{
+			ID:     amcast.NewMsgID(c.idx, seq),
+			Sender: c.id,
+			Dst:    append([]amcast.GroupID(nil), proto.groups...),
+			Flags:  amcast.FlagFlush,
+		}
+		tx := c.issue(m, true, true)
+		select {
+		case <-tx.done:
+		case <-time.After(cfg.Timeout):
+			sendErr(errCh, fmt.Errorf("loadgen: flush multicast %s timed out after %v (GC stalled)",
+				m.ID, cfg.Timeout))
+			return
+		case <-stop:
+			return
+		}
+	}
+}
+
+func newGen(c *clientProc, worker int, cfg Config) (*gtpcc.Gen, *rand.Rand, error) {
+	home := c.run.proto.groups[c.idx%len(c.run.proto.groups)]
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.idx)*7919 + int64(worker)*104729))
+	gen, err := gtpcc.New(gtpcc.Config{
+		Home:       home,
+		Nearest:    c.run.proto.nearest(home),
+		Locality:   cfg.Locality,
+		GlobalOnly: cfg.GlobalOnly,
+	}, rng)
+	return gen, rng, err
+}
+
+func nextMessage(c *clientProc, gen *gtpcc.Gen, rng *rand.Rand, cfg Config, seq uint64) amcast.Message {
+	tx := gen.Next()
+	size := tx.PayloadSize
+	if cfg.PayloadSize > 0 {
+		size = cfg.PayloadSize
+	}
+	return amcast.Message{
+		ID:      amcast.NewMsgID(c.idx, seq),
+		Sender:  c.id,
+		Dst:     tx.Dst,
+		Payload: make([]byte, size),
+	}
+}
+
+func sendErr(ch chan<- error, err error) {
+	select {
+	case ch <- err:
+	default:
+	}
+}

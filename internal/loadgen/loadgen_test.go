@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func shortCfg() Config {
+	return Config{
+		Clients:  2,
+		Workers:  8,
+		Warmup:   100 * time.Millisecond,
+		Duration: 400 * time.Millisecond,
+		Timeout:  20 * time.Second,
+	}
+}
+
+// TestRunInMemShort is the benchmark subsystem's smoke test: a short
+// closed-loop run on the in-memory transport completes transactions and
+// produces a self-consistent, validatable report.
+func TestRunInMemShort(t *testing.T) {
+	for _, batch := range []int{1, 16} {
+		cfg := shortCfg()
+		cfg.MaxBatch = batch
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if res.Completed == 0 || res.Throughput <= 0 {
+			t.Fatalf("batch=%d: nothing completed: %+v", batch, res)
+		}
+		if res.Latency.P50 == 0 || res.Latency.P99 < res.Latency.P50 {
+			t.Fatalf("batch=%d: implausible latency summary: %+v", batch, res.Latency)
+		}
+		if batch == 1 && res.BatchesSent != res.EnvelopesSent {
+			t.Fatalf("batch=1 must send per envelope: %+v", res)
+		}
+		path := filepath.Join(t.TempDir(), "bench.json")
+		rep := NewReport(cfg, res)
+		if err := rep.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ValidateFile(path)
+		if err != nil {
+			t.Fatalf("batch=%d: report failed validation: %v", batch, err)
+		}
+		if back.Config.MaxBatch != batch || back.Results.Completed != res.Completed {
+			t.Fatalf("batch=%d: report round trip mangled: %+v", batch, back)
+		}
+	}
+}
+
+// TestRunTCPShort drives the same smoke over loopback TCP.
+func TestRunTCPShort(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Transport = "tcp"
+	cfg.Groups = 4 // fewer listeners: keep the test light
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+}
+
+// TestRunOpenLoopShort checks the open-loop pacer: offered load is
+// honored (or shed under the outstanding cap) and completions resolve
+// through the asynchronous reply path.
+func TestRunOpenLoopShort(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Rate = 2000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+	if res.Issued == 0 {
+		t.Fatalf("pacer issued nothing: %+v", res)
+	}
+}
+
+// TestConfigValidation rejects unknown transports and protocols.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Transport: "carrier-pigeon"}); err == nil {
+		t.Fatal("bad transport accepted")
+	}
+	if _, err := Run(Config{Protocol: "two-phase-wish"}); err == nil {
+		t.Fatal("bad protocol accepted")
+	}
+	if _, err := Run(Config{Groups: 1}); err == nil {
+		t.Fatal("single group accepted")
+	}
+}
+
+// TestValidateFileRejectsGarbage covers the CI gate's failure modes.
+func TestValidateFileRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"notjson.json": "}{",
+		"schema.json":  `{"schema":"flexload/v0","results":{"completed":1}}`,
+		"empty.json":   `{"schema":"flexload/v1"}`,
+		"zero.json":    `{"schema":"flexload/v1","results":{"completed":0}}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ValidateFile(path); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

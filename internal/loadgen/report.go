@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Schema identifies the BENCH_runtime.json layout; bump on breaking
+// changes so downstream tooling can dispatch.
+const Schema = "flexload/v1"
+
+// ReportConfig is the run configuration echoed into the report.
+type ReportConfig struct {
+	Transport       string  `json:"transport"`
+	Protocol        string  `json:"protocol"`
+	Groups          int     `json:"groups"`
+	Clients         int     `json:"clients"`
+	Workers         int     `json:"workers"`
+	Mode            string  `json:"mode"` // "closed" or "open"
+	RatePerClient   float64 `json:"rate_per_client,omitempty"`
+	WarmupSecs      float64 `json:"warmup_s"`
+	DurationSecs    float64 `json:"duration_s"`
+	MaxBatch        int     `json:"max_batch"`
+	FlushIntervalUS int64   `json:"flush_interval_us"`
+	PayloadBytes    int     `json:"payload_bytes,omitempty"`
+	Locality        float64 `json:"locality"`
+	GlobalOnly      bool    `json:"global_only"`
+	Seed            int64   `json:"seed"`
+}
+
+// Report is the serialized benchmark outcome (BENCH_runtime.json).
+type Report struct {
+	Schema        string       `json:"schema"`
+	GeneratedUnix int64        `json:"generated_unix"`
+	Config        ReportConfig `json:"config"`
+	Results       *Result      `json:"results"`
+	// Baseline holds the -batch=1 run when the benchmark ran in compare
+	// mode, and SpeedupVsUnbatched its throughput ratio.
+	Baseline           *Result `json:"baseline,omitempty"`
+	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched,omitempty"`
+}
+
+// reportConfig converts a run Config.
+func reportConfig(cfg Config) ReportConfig {
+	mode := "closed"
+	if cfg.Rate > 0 {
+		mode = "open"
+	}
+	flush := cfg.FlushInterval
+	if flush == 0 {
+		flush = 500 * time.Microsecond
+	}
+	return ReportConfig{
+		Transport:       cfg.Transport,
+		Protocol:        cfg.Protocol,
+		Groups:          cfg.Groups,
+		Clients:         cfg.Clients,
+		Workers:         cfg.Workers,
+		Mode:            mode,
+		RatePerClient:   cfg.Rate,
+		WarmupSecs:      cfg.Warmup.Seconds(),
+		DurationSecs:    cfg.Duration.Seconds(),
+		MaxBatch:        cfg.MaxBatch,
+		FlushIntervalUS: flush.Microseconds(),
+		PayloadBytes:    cfg.PayloadSize,
+		Locality:        cfg.Locality,
+		GlobalOnly:      cfg.GlobalOnly,
+		Seed:            cfg.Seed,
+	}
+}
+
+// NewReport assembles a report from one measured run.
+func NewReport(cfg Config, res *Result) *Report {
+	if err := cfg.fill(); err != nil {
+		// cfg was validated by Run already; fill here only normalizes.
+		_ = err
+	}
+	return &Report{
+		Schema:        Schema,
+		GeneratedUnix: time.Now().Unix(),
+		Config:        reportConfig(cfg),
+		Results:       res,
+	}
+}
+
+// WithBaseline attaches an unbatched baseline run.
+func (r *Report) WithBaseline(base *Result) *Report {
+	r.Baseline = base
+	if base != nil && base.Throughput > 0 {
+		r.SpeedupVsUnbatched = r.Results.Throughput / base.Throughput
+	}
+	return r
+}
+
+// WriteFile serializes the report (indented, trailing newline).
+func (r *Report) WriteFile(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ValidateFile parses a report file and sanity-checks it: schema match,
+// plausible throughput, latency ordering, batching invariants. The CI
+// benchmark smoke job gates on it.
+func ValidateFile(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("loadgen: %s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	if r.Results == nil {
+		return nil, fmt.Errorf("loadgen: %s: missing results", path)
+	}
+	return &r, validateResult("results", r.Results)
+}
+
+func validateResult(label string, res *Result) error {
+	if res.Completed == 0 || res.Throughput <= 0 {
+		return fmt.Errorf("loadgen: %s: no completed transactions", label)
+	}
+	if res.Issued == 0 {
+		return fmt.Errorf("loadgen: %s: nothing issued in the measurement window", label)
+	}
+	l := res.Latency
+	if l.Count == 0 || l.P50 == 0 {
+		return fmt.Errorf("loadgen: %s: empty latency histogram", label)
+	}
+	if l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.P999 || l.P999 > l.Max || l.Min > l.P50 {
+		return fmt.Errorf("loadgen: %s: percentiles out of order: %+v", label, l)
+	}
+	if res.EnvelopesSent < res.BatchesSent {
+		return fmt.Errorf("loadgen: %s: %d envelopes in %d batches", label, res.EnvelopesSent, res.BatchesSent)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Percentile(50) != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatalf("empty histogram not zeroed: %+v", h.Summary())
+	}
+	if !math.IsNaN(h.Mean()) {
+		t.Fatalf("empty mean = %v, want NaN", h.Mean())
+	}
+	if got := h.PercentileRow(1000); got != "      -       -       -" {
+		t.Fatalf("empty row = %q", got)
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below 64 are bucketed one-to-one, so percentiles are exact
+	// and must match the nearest-rank definition.
+	h := NewHistogram()
+	for v := uint64(1); v <= 50; v++ {
+		h.Record(v)
+	}
+	for _, tt := range []struct {
+		p    float64
+		want uint64
+	}{{50, 25}, {90, 45}, {99, 50}, {100, 50}} {
+		if got := h.Percentile(tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+	if h.Min() != 1 || h.Max() != 50 || h.Count() != 50 {
+		t.Fatalf("min/max/count = %d/%d/%d", h.Min(), h.Max(), h.Count())
+	}
+	if got := h.Mean(); got != 25.5 {
+		t.Fatalf("mean = %v, want 25.5", got)
+	}
+}
+
+func TestHistogramBoundedRelativeError(t *testing.T) {
+	// Against a brute-force exact percentile over the same samples, the
+	// histogram must stay within the sub-bucket resolution (1/64) and
+	// never under-report.
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var samples []uint64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform across six orders of magnitude, like latencies.
+		v := uint64(math.Exp(rng.Float64() * 14))
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		rank := int(math.Ceil(p / 100 * float64(len(samples))))
+		exact := samples[rank-1]
+		got := h.Percentile(p)
+		if got < exact {
+			t.Errorf("Percentile(%v) = %d under-reports exact %d", p, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+2.0/subBuckets)+1 {
+			t.Errorf("Percentile(%v) = %d exceeds error bound around exact %d", p, got, exact)
+		}
+	}
+}
+
+func TestHistogramNeverExceedsObservedMax(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	for _, p := range []float64{50, 99, 99.9, 100} {
+		if got := h.Percentile(p); got != 1000 {
+			t.Fatalf("Percentile(%v) = %d, want clamped to max 1000", p, got)
+		}
+	}
+}
+
+func TestHistogramHugeValueClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(math.MaxUint64) // far beyond maxExp: lands in the top bucket, no panic
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Percentiles report the top bucket's bound (the histogram's range
+	// ends at 2^41-1); Max stays exact.
+	if got := h.Percentile(99); got != uint64(1)<<41-1 {
+		t.Fatalf("Percentile(99) = %d, want top-bucket bound %d", got, uint64(1)<<41-1)
+	}
+	if h.Max() != math.MaxUint64 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for v := uint64(1); v <= 100; v++ {
+		a.Record(v)
+	}
+	for v := uint64(101); v <= 200; v++ {
+		b.Record(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Count() != 200 || a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged count/min/max = %d/%d/%d", a.Count(), a.Min(), a.Max())
+	}
+	got := a.Percentile(50)
+	if got < 100 || got > 102 {
+		t.Fatalf("merged p50 = %d, want ~100", got)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, each = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < each; i++ {
+				h.Record(uint64(rng.Intn(1_000_000)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*each {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*each)
+	}
+	s := h.Summary()
+	if s.P50 == 0 || s.P99 < s.P50 || s.Max < s.P999 {
+		t.Fatalf("implausible summary: %+v", s)
+	}
+}

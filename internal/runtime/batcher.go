@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"sync"
+
+	"flexcast/amcast"
+)
+
+// Batcher accumulates outbound envelopes per destination and hands them
+// to the transport as batches: a destination's batch is sent when it
+// reaches the size cap, when the owning node's queue runs dry, or when
+// the flush timer fires. Sends happen under the batcher's mutex, so per-
+// destination envelope order is exactly the Add order — the FIFO-link
+// property the protocols assume survives batching.
+type Batcher struct {
+	mu      sync.Mutex
+	send    SendBatchFunc
+	max     int
+	pending map[amcast.NodeID][]amcast.Envelope
+	// order lists destinations with pending envelopes in first-Add order
+	// so FlushAll is deterministic and starvation-free.
+	order []amcast.NodeID
+
+	stats BatcherStats
+}
+
+// BatcherStats counts what the batcher moved.
+type BatcherStats struct {
+	// Batches is the number of transport sends.
+	Batches uint64
+	// Envelopes is the total number of envelopes sent.
+	Envelopes uint64
+	// MaxBatch is the largest batch sent.
+	MaxBatch int
+}
+
+// AvgBatch returns the mean envelopes per transport send.
+func (s BatcherStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Envelopes) / float64(s.Batches)
+}
+
+// NewBatcher builds a batcher over a transport send function. max <= 1
+// degenerates to unbatched pass-through sends.
+func NewBatcher(send SendBatchFunc, max int) *Batcher {
+	if max < 1 {
+		max = 1
+	}
+	return &Batcher{
+		send:    send,
+		max:     max,
+		pending: make(map[amcast.NodeID][]amcast.Envelope),
+	}
+}
+
+// Add queues one envelope for a destination, flushing that destination's
+// batch when it reaches the cap.
+func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.max <= 1 {
+		b.sendLocked(to, []amcast.Envelope{env})
+		return
+	}
+	q, ok := b.pending[to]
+	if !ok {
+		b.order = append(b.order, to)
+	}
+	q = append(q, env)
+	if len(q) >= b.max {
+		delete(b.pending, to)
+		b.dropFromOrder(to)
+		b.sendLocked(to, q)
+		return
+	}
+	b.pending[to] = q
+}
+
+// FlushAll sends every pending batch.
+func (b *Batcher) FlushAll() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.order) == 0 {
+		return
+	}
+	order := b.order
+	b.order = nil
+	for _, to := range order {
+		q, ok := b.pending[to]
+		if !ok {
+			continue
+		}
+		delete(b.pending, to)
+		b.sendLocked(to, q)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// sendLocked transmits one batch while holding the mutex; the transport
+// may block (backpressure), which intentionally stalls the owning node.
+func (b *Batcher) sendLocked(to amcast.NodeID, envs []amcast.Envelope) {
+	b.stats.Batches++
+	b.stats.Envelopes += uint64(len(envs))
+	if len(envs) > b.stats.MaxBatch {
+		b.stats.MaxBatch = len(envs)
+	}
+	b.send(to, envs)
+}
+
+func (b *Batcher) dropFromOrder(to amcast.NodeID) {
+	for i, d := range b.order {
+		if d == to {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			return
+		}
+	}
+}

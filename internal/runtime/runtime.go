@@ -1,0 +1,230 @@
+// Package runtime is the production node runtime shared by the real
+// (wall-clock) deployments: the in-process Cluster (flexcast root
+// package), the TCP server (cmd/flexnode) and the sustained-load
+// benchmark (cmd/flexload). It wraps one protocol engine per node and
+// adds the throughput layer the bare transports lack:
+//
+//   - each node is a sharded worker goroutine draining a bounded inbound
+//     queue; the bound is counted in envelopes — batching must never
+//     widen effective buffering, or queue residency (and with it the
+//     protocols' in-flight dependency state) balloons — and a full queue
+//     blocks the transport, so a saturated node exerts backpressure on
+//     its senders instead of buffering without limit;
+//   - the worker drains up to MaxBatch queued envelopes per wakeup and
+//     steps the engine once per chunk through its batch fast path
+//     (amcast.BatchStep) — one queue operation, one fixpoint scan, and
+//     per-destination output batches amortized across the chunk;
+//   - outputs are batched per destination (Batcher) and flushed at the
+//     end of every chunk: amortization comes from within a chunk, never
+//     from holding outputs across chunks, so an idle node adds no
+//     batching latency;
+//   - a periodic flush timer remains as a safety net bounding the wait
+//     of any batch parked while the worker blocks on backpressure.
+//
+// The per-envelope protocol semantics are unchanged — a batch is a
+// scheduling unit (see amcast.BatchStepper) — so the simulator, the
+// chaos explorer and the replicas (internal/smr) verify the same state
+// machines this runtime executes.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"flexcast/amcast"
+)
+
+// SendBatchFunc transmits one batch to a peer. Implementations:
+// transport.InMemNet.SendBatch, transport.TCPNode.SendBatch (adapted),
+// or any test hook. Calls are serialized by the batcher; per-destination
+// call order is the envelope order, preserving FIFO links.
+type SendBatchFunc func(to amcast.NodeID, envs []amcast.Envelope)
+
+// Config parameterizes a Node.
+type Config struct {
+	// MaxBatch caps both the envelopes drained per engine step and the
+	// per-destination output batches (reaching it flushes immediately).
+	// 1 disables batching entirely — the per-envelope baseline the
+	// benchmark subsystem compares against. 0 takes the default (64).
+	MaxBatch int
+	// FlushInterval bounds how long an output batch parked by
+	// backpressure may wait (default 500µs; unused when MaxBatch is 1).
+	FlushInterval time.Duration
+	// QueueDepth bounds the inbound queue in envelopes (default 1024) —
+	// the same effective buffering whatever MaxBatch is.
+	QueueDepth int
+	// OnDeliver observes every delivery after the client reply has been
+	// queued. Called from the node's worker goroutine. May be nil.
+	OnDeliver func(d amcast.Delivery)
+}
+
+func (c *Config) fill() {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 1024
+	}
+}
+
+// Node runs one group engine under the batched runtime: a single worker
+// goroutine owns the engine (preserving the single-threaded contract),
+// inbound batches enter through Submit, outputs leave through the
+// per-destination Batcher.
+type Node struct {
+	id  amcast.NodeID
+	cfg Config
+	eng amcast.Engine
+
+	// Inbound queue: an envelope-counted deque. A channel would count
+	// batches, and 1024 64-envelope batches is 64x the buffering of 1024
+	// envelopes — enough queue residency to visibly inflate the
+	// protocols' in-flight state under saturation.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []amcast.Envelope
+	stopped bool
+
+	batcher *Batcher
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewNode attaches an engine to a transport's batch send function and
+// starts the worker. The caller registers the returned node's Submit as
+// the transport's batch handler for the engine's group.
+func NewNode(eng amcast.Engine, send SendBatchFunc, cfg Config) *Node {
+	cfg.fill()
+	n := &Node{
+		id:      amcast.GroupNode(eng.Group()),
+		cfg:     cfg,
+		eng:     eng,
+		batcher: NewBatcher(send, cfg.MaxBatch),
+		stop:    make(chan struct{}),
+	}
+	n.qcond = sync.NewCond(&n.qmu)
+	n.wg.Add(1)
+	go n.worker()
+	if cfg.MaxBatch > 1 {
+		n.wg.Add(1)
+		go n.flushLoop()
+	}
+	return n
+}
+
+// ID returns the node's network address.
+func (n *Node) ID() amcast.NodeID { return n.id }
+
+// Submit enqueues one inbound batch. It blocks while the queue holds
+// QueueDepth or more envelopes (backpressure) and drops the batch once
+// the node is closed.
+func (n *Node) Submit(envs []amcast.Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	n.qmu.Lock()
+	for len(n.queue) >= n.cfg.QueueDepth && !n.stopped {
+		n.qcond.Wait()
+	}
+	if n.stopped {
+		n.qmu.Unlock()
+		return
+	}
+	n.queue = append(n.queue, envs...)
+	n.qmu.Unlock()
+	n.qcond.Signal()
+}
+
+// take pops up to MaxBatch queued envelopes, blocking until at least one
+// is available or the node stops (then draining the remainder).
+func (n *Node) take(buf []amcast.Envelope) []amcast.Envelope {
+	n.qmu.Lock()
+	for len(n.queue) == 0 && !n.stopped {
+		n.qcond.Wait()
+	}
+	k := len(n.queue)
+	if k > n.cfg.MaxBatch {
+		k = n.cfg.MaxBatch
+	}
+	buf = append(buf[:0], n.queue[:k]...)
+	rest := copy(n.queue, n.queue[k:])
+	n.queue = n.queue[:rest]
+	n.qmu.Unlock()
+	n.qcond.Broadcast()
+	return buf
+}
+
+// worker drains the inbound queue chunk by chunk: one queue pop, one
+// engine step (amcast.BatchStep), one batcher flush per chunk.
+func (n *Node) worker() {
+	defer n.wg.Done()
+	var buf []amcast.Envelope
+	for {
+		buf = n.take(buf)
+		if len(buf) == 0 {
+			return // stopped and drained
+		}
+		n.process(buf)
+		n.batcher.FlushAll()
+	}
+}
+
+// process steps the engine once for the whole chunk.
+func (n *Node) process(envs []amcast.Envelope) {
+	outs := amcast.BatchStep(n.eng, envs)
+	dels := n.eng.TakeDeliveries()
+	for _, o := range outs {
+		n.batcher.Add(o.To, o.Env)
+	}
+	for _, d := range dels {
+		if d.Msg.Sender.IsClient() {
+			n.batcher.Add(d.Msg.Sender, amcast.Envelope{
+				Kind: amcast.KindReply,
+				From: n.id,
+				Msg:  d.Msg.Header(),
+				TS:   d.Seq,
+			})
+		}
+		if n.cfg.OnDeliver != nil {
+			n.cfg.OnDeliver(d)
+		}
+	}
+}
+
+// flushLoop is the periodic flush timer: it bounds the wait of output
+// batches parked while the worker is blocked on downstream backpressure.
+func (n *Node) flushLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.batcher.FlushAll()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// Stats reports the batcher's counters.
+func (n *Node) Stats() BatcherStats { return n.batcher.Stats() }
+
+// Close stops the worker (draining what is queued) and flushes pending
+// output batches.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.qmu.Lock()
+		n.stopped = true
+		n.qmu.Unlock()
+		n.qcond.Broadcast()
+	})
+	n.wg.Wait()
+	n.batcher.FlushAll()
+}

@@ -66,6 +66,8 @@ type Engine struct {
 
 var _ amcast.Engine = (*Engine)(nil)
 
+var _ amcast.BatchStepper = (*Engine)(nil)
+
 // New builds a Skeen engine.
 func New(cfg Config) (*Engine, error) {
 	if cfg.Group == amcast.NoGroup {
@@ -102,24 +104,51 @@ func (e *Engine) Pending() int { return len(e.pend) }
 
 // OnEnvelope implements amcast.Engine.
 func (e *Engine) OnEnvelope(env amcast.Envelope) []amcast.Output {
+	var outs []amcast.Output
+	e.step(env, &outs)
+	return outs
+}
+
+// BatchStep implements amcast.BatchStepper — the batch fast path: every
+// envelope's state updates (timestamp assignment, TS bookkeeping) apply
+// in order, and the delivery drain — which re-sorts the pending set —
+// runs once per batch instead of once per envelope. The delivery
+// sequence is unchanged: messages deliver in final-timestamp order, and
+// a message arriving later in the batch is Lamport-stamped above every
+// final timestamp already deliverable, so it can never overtake one.
+func (e *Engine) BatchStep(envs []amcast.Envelope) []amcast.Output {
+	var outs []amcast.Output
+	for _, env := range envs {
+		e.apply(env, &outs)
+	}
+	e.drain()
+	return outs
+}
+
+func (e *Engine) step(env amcast.Envelope, outs *[]amcast.Output) {
+	e.apply(env, outs)
+	e.drain()
+}
+
+// apply performs one envelope's state updates without the trailing
+// delivery drain.
+func (e *Engine) apply(env amcast.Envelope, outs *[]amcast.Output) {
 	switch env.Kind {
 	case amcast.KindRequest:
-		return e.onRequest(env)
+		e.onRequest(env, outs)
 	case amcast.KindTS:
-		return e.onTS(env)
-	default:
-		return nil
+		e.onTS(env)
 	}
 }
 
-func (e *Engine) onRequest(env amcast.Envelope) []amcast.Output {
+func (e *Engine) onRequest(env amcast.Envelope, outs *[]amcast.Output) {
 	m := env.Msg
 	if !m.HasDst(e.g) || e.delivered[m.ID] {
-		return nil
+		return
 	}
 	p := e.pending(m.ID)
 	if p.hasMsg {
-		return nil // duplicate request
+		return // duplicate request
 	}
 	p.msg = m
 	p.hasMsg = true
@@ -128,12 +157,11 @@ func (e *Engine) onRequest(env amcast.Envelope) []amcast.Output {
 	p.hasTS = true
 	p.ts[e.g] = p.localTS
 
-	var outs []amcast.Output
 	for _, d := range m.Dst {
 		if d == e.g {
 			continue
 		}
-		outs = append(outs, amcast.Output{
+		*outs = append(*outs, amcast.Output{
 			To: amcast.GroupNode(d),
 			Env: amcast.Envelope{
 				Kind:   amcast.KindTS,
@@ -145,17 +173,15 @@ func (e *Engine) onRequest(env amcast.Envelope) []amcast.Output {
 		})
 	}
 	e.tryFinal(p)
-	e.drain()
-	return outs
 }
 
-func (e *Engine) onTS(env amcast.Envelope) []amcast.Output {
+func (e *Engine) onTS(env amcast.Envelope) {
 	m := env.Msg
 	if env.TS > e.clock {
 		e.clock = env.TS
 	}
 	if !m.HasDst(e.g) || e.delivered[m.ID] {
-		return nil
+		return
 	}
 	p := e.pending(m.ID)
 	if !p.hasMsg {
@@ -165,8 +191,6 @@ func (e *Engine) onTS(env amcast.Envelope) []amcast.Output {
 	}
 	p.ts[env.TSFrom] = env.TS
 	e.tryFinal(p)
-	e.drain()
-	return nil
 }
 
 func (e *Engine) pending(id amcast.MsgID) *pend {

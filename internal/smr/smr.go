@@ -53,6 +53,17 @@ type Config struct {
 	IntraLatency sim.Time
 	// TickEvery is the Paxos failure-detector tick period (default 50ms).
 	TickEvery sim.Time
+	// BatchWindow enables batched proposals: envelopes arriving at the
+	// group's ingress within the window are sequenced through Paxos as
+	// one decided value (a codec batch frame), amortizing consensus
+	// rounds under load. 0 keeps per-envelope proposals. Replicas apply
+	// a decided batch through the engine's batch fast path, which is
+	// semantically identical to applying its envelopes in order, so
+	// batched and unbatched groups stay byte-equivalent.
+	BatchWindow sim.Time
+	// BatchMax caps the envelopes per proposal when batching (default
+	// 64); reaching it proposes immediately.
+	BatchMax int
 	// OnDeliver observes deliveries at replica 0's engine (or, more
 	// precisely, at every replica; see OnDeliverAll) exactly once per
 	// replica. May be nil.
@@ -66,6 +77,16 @@ type Group struct {
 	net      *sim.Network
 	replicas []*replica
 	stopped  bool
+
+	// pending accumulates ingress envelopes while a batch window is open.
+	pending      []amcast.Envelope
+	flushPlanned bool
+	// flushGen invalidates scheduled window timers: a size-triggered
+	// flush bumps it, so the timer it orphaned becomes a no-op instead
+	// of prematurely fragmenting the next window's batch.
+	flushGen      uint64
+	nBatchesProp  uint64
+	nEnvsProposed uint64
 }
 
 type replica struct {
@@ -92,6 +113,12 @@ func New(cfg Config, s *sim.Simulator, net *sim.Network) (*Group, error) {
 	}
 	if cfg.TickEvery == 0 {
 		cfg.TickEvery = 50_000
+	}
+	if cfg.BatchMax == 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.BatchMax > codec.MaxBatchEnvelopes {
+		cfg.BatchMax = codec.MaxBatchEnvelopes
 	}
 	g := &Group{cfg: cfg, s: s, net: net}
 	for i := 0; i < cfg.Replicas; i++ {
@@ -203,12 +230,12 @@ func (g *Group) Restart(idx int) error {
 // outputs, replies or OnDeliver callbacks.
 func (r *replica) replay(vals [][]byte) {
 	for _, v := range vals {
-		env, err := codec.Unmarshal(v)
+		envs, err := codec.DecodeFrame(v)
 		if err != nil {
 			continue // mirrors apply: skip deterministically
 		}
 		r.applied++
-		r.eng.OnEnvelope(env)
+		amcast.BatchStep(r.eng, envs)
 		r.eng.TakeDeliveries()
 	}
 }
@@ -230,10 +257,50 @@ func (g *Group) Applied(idx int) uint64 { return g.replicas[idx].applied }
 // Engine exposes replica idx's engine for test inspection.
 func (g *Group) Engine(idx int) amcast.Engine { return g.replicas[idx].eng }
 
-// ingress sequences an external envelope through Paxos.
+// ingress sequences an external envelope through Paxos: immediately, or
+// accumulated into a batch proposal when BatchWindow is set.
 func (g *Group) ingress(env amcast.Envelope) {
-	value := codec.Marshal(env)
-	// Prefer the believed leader; otherwise the first live replica.
+	if g.cfg.BatchWindow <= 0 {
+		g.propose(codec.Marshal(env), 1)
+		return
+	}
+	g.pending = append(g.pending, env)
+	if len(g.pending) >= g.cfg.BatchMax {
+		g.flushProposal()
+		return
+	}
+	if !g.flushPlanned {
+		g.flushPlanned = true
+		gen := g.flushGen
+		g.s.Schedule(g.cfg.BatchWindow, func() {
+			if g.flushGen != gen {
+				return // a size-triggered flush already closed this window
+			}
+			g.flushProposal()
+		})
+	}
+}
+
+// flushProposal proposes the open batch as one Paxos value and closes
+// the current window.
+func (g *Group) flushProposal() {
+	g.flushPlanned = false
+	g.flushGen++
+	if len(g.pending) == 0 || g.stopped {
+		return
+	}
+	envs := g.pending
+	g.pending = nil
+	if len(envs) == 1 {
+		g.propose(codec.Marshal(envs[0]), 1)
+		return
+	}
+	g.propose(codec.MarshalBatch(envs), len(envs))
+}
+
+// propose sequences one encoded value (a single envelope or a batch
+// frame) through the believed leader, falling back to any live replica.
+func (g *Group) propose(value []byte, nEnvs int) {
 	var target *replica
 	for _, r := range g.replicas {
 		if r.crashed {
@@ -250,8 +317,16 @@ func (g *Group) ingress(env amcast.Envelope) {
 	if target == nil {
 		return // whole group down: the paper assumes this cannot happen
 	}
+	g.nBatchesProp++
+	g.nEnvsProposed += uint64(nEnvs)
 	target.route(target.pax.Propose(value))
 	target.apply()
+}
+
+// Proposals reports how many Paxos values the group proposed and how
+// many envelopes they carried (tests, metrics).
+func (g *Group) Proposals() (values, envelopes uint64) {
+	return g.nBatchesProp, g.nEnvsProposed
 }
 
 // route transmits Paxos messages between replicas over the intra-group
@@ -270,18 +345,18 @@ func (r *replica) route(ms []paxos.Message) {
 	}
 }
 
-// apply replays newly decided envelopes into the engine and emits its
-// outputs and client replies.
+// apply replays newly decided values (single envelopes or batches) into
+// the engine and emits its outputs and client replies.
 func (r *replica) apply() {
 	for _, dec := range r.pax.TakeDecisions() {
-		env, err := codec.Unmarshal(dec.Value)
+		envs, err := codec.DecodeFrame(dec.Value)
 		if err != nil {
 			// A corrupt decided value would be a codec bug; skip it
 			// deterministically on every replica.
 			continue
 		}
 		r.applied++
-		outs := r.eng.OnEnvelope(env)
+		outs := amcast.BatchStep(r.eng, envs)
 		for _, o := range outs {
 			r.grp.net.Send(amcast.GroupNode(r.grp.cfg.Group), o.To, o.Env)
 		}

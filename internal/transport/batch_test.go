@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"flexcast/amcast"
+)
+
+// TestTCPBatchFrameRoundTrip sends batches and single envelopes over a
+// real TCP connection and checks that batch frames arrive as one
+// dispatch unit, interleaved in order with single frames.
+func TestTCPBatchFrameRoundTrip(t *testing.T) {
+	a := amcast.GroupNode(1)
+	b := amcast.GroupNode(2)
+	book := AddrBook{a: "127.0.0.1:0", b: "127.0.0.1:0"}
+
+	got := make(chan []amcast.Envelope, 16)
+	nb, err := NewTCPBatchNode(b, book, func(envs []amcast.Envelope) {
+		got <- envs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	book[b] = nb.Addr()
+
+	na, err := NewTCPBatchNode(a, book, func(envs []amcast.Envelope) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+
+	mkEnv := func(seq uint64) amcast.Envelope {
+		return amcast.Envelope{
+			Kind: amcast.KindRequest,
+			From: a,
+			Msg: amcast.Message{
+				ID: amcast.NewMsgID(0, seq), Sender: amcast.ClientNode(0),
+				Dst: []amcast.GroupID{2}, Payload: []byte{byte(seq)},
+			},
+		}
+	}
+	batch := []amcast.Envelope{mkEnv(1), mkEnv(2), mkEnv(3)}
+	if err := na.SendBatch(b, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := na.Send(b, mkEnv(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := na.SendBatch(b, []amcast.Envelope{mkEnv(5)}); err != nil {
+		t.Fatal(err)
+	}
+
+	want := [][]uint64{{1, 2, 3}, {4}, {5}}
+	for i, w := range want {
+		select {
+		case envs := <-got:
+			if len(envs) != len(w) {
+				t.Fatalf("dispatch %d: got %d envelopes, want %d", i, len(envs), len(w))
+			}
+			for j, env := range envs {
+				if env.Msg.ID.Seq() != w[j] {
+					t.Fatalf("dispatch %d envelope %d: seq %d, want %d", i, j, env.Msg.ID.Seq(), w[j])
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for dispatch %d", i)
+		}
+	}
+}
+
+// TestInMemBatchDispatch checks that SendBatch hands the whole batch to
+// the handler as one unit and preserves per-pair FIFO with Send.
+func TestInMemBatchDispatch(t *testing.T) {
+	net := NewInMemNet()
+	defer net.Close()
+
+	got := make(chan []amcast.Envelope, 16)
+	if err := net.AddBatchHandler(amcast.GroupNode(1), func(envs []amcast.Envelope) {
+		got <- envs
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	env := func(seq uint64) amcast.Envelope {
+		return amcast.Envelope{Kind: amcast.KindRequest, From: amcast.ClientNode(0),
+			Msg: amcast.Message{ID: amcast.NewMsgID(0, seq), Dst: []amcast.GroupID{1}}}
+	}
+	net.SendBatch(amcast.ClientNode(0), amcast.GroupNode(1), []amcast.Envelope{env(1), env(2)})
+	net.Send(amcast.ClientNode(0), amcast.GroupNode(1), env(3))
+
+	want := [][]uint64{{1, 2}, {3}}
+	for i, w := range want {
+		select {
+		case envs := <-got:
+			if len(envs) != len(w) {
+				t.Fatalf("dispatch %d: got %d envelopes, want %d", i, len(envs), len(w))
+			}
+			for j, e := range envs {
+				if e.Msg.ID.Seq() != w[j] {
+					t.Fatalf("dispatch %d envelope %d: seq %d, want %d", i, j, e.Msg.ID.Seq(), w[j])
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for dispatch %d", i)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"sync"
+
+	"flexcast/amcast"
+)
+
+// envQueue is a FIFO of batches bounded by its total envelope count, so
+// a batched sender gets exactly the same effective buffering as an
+// unbatched one (a channel of batches would multiply the bound by the
+// batch size, and the extra queue residency visibly inflates the
+// protocols' in-flight state under saturation). Both transports use it:
+// the in-memory mailboxes and the TCP inbound dispatch queue.
+type envQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   [][]amcast.Envelope
+	queued  int // envelopes across queue
+	limit   int
+	stopped bool
+}
+
+func newEnvQueue(limit int) *envQueue {
+	q := &envQueue{limit: limit}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push blocks until the queue has room, then appends the batch; it
+// reports false once the queue stopped.
+func (q *envQueue) push(envs []amcast.Envelope) bool {
+	q.mu.Lock()
+	for q.queued >= q.limit && !q.stopped {
+		q.cond.Wait()
+	}
+	if q.stopped {
+		q.mu.Unlock()
+		return false
+	}
+	q.queue = append(q.queue, envs)
+	q.queued += len(envs)
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until a batch is available; nil means stopped and drained.
+func (q *envQueue) pop() []amcast.Envelope {
+	q.mu.Lock()
+	for len(q.queue) == 0 && !q.stopped {
+		q.cond.Wait()
+	}
+	if len(q.queue) == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	envs := q.queue[0]
+	q.queue[0] = nil
+	q.queue = q.queue[1:]
+	q.queued -= len(envs)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return envs
+}
+
+func (q *envQueue) close() {
+	q.mu.Lock()
+	q.stopped = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

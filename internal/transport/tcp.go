@@ -27,21 +27,25 @@ const dialRetry = 200 * time.Millisecond
 // TCPNode is one process in a TCP deployment: it listens for inbound
 // envelopes, maintains lazy persistent connections to peers, and feeds a
 // handler from a single dispatcher goroutine (preserving the engine
-// single-threaded contract).
+// single-threaded contract). Frames are either single envelopes or batch
+// frames (codec.BatchKind); a batch is dispatched to the handler as one
+// unit.
 type TCPNode struct {
 	id      amcast.NodeID
 	book    AddrBook
 	ln      net.Listener
-	handler func(env amcast.Envelope)
+	handler BatchHandler
 
 	mu      sync.Mutex
 	conns   map[amcast.NodeID]*peerConn
 	inbound map[net.Conn]struct{}
 	closed  bool
 
-	in   chan amcast.Envelope
-	stop chan struct{}
-	wg   sync.WaitGroup
+	// in is envelope-bounded (see envQueue): inbound buffering is the
+	// same whatever the batch size, and a saturated dispatcher pushes
+	// backpressure into the kernel socket buffers.
+	in *envQueue
+	wg sync.WaitGroup
 }
 
 type peerConn struct {
@@ -51,8 +55,19 @@ type peerConn struct {
 }
 
 // NewTCPNode starts listening on the node's address from the book and
-// dispatches inbound envelopes to handler.
+// dispatches inbound envelopes to handler, one call per envelope.
 func NewTCPNode(id amcast.NodeID, book AddrBook, handler func(env amcast.Envelope)) (*TCPNode, error) {
+	return NewTCPBatchNode(id, book, func(envs []amcast.Envelope) {
+		for _, env := range envs {
+			handler(env)
+		}
+	})
+}
+
+// NewTCPBatchNode starts listening on the node's address from the book
+// and dispatches inbound batches to handler, one call per frame; the
+// node runtime (internal/runtime) attaches this way.
+func NewTCPBatchNode(id amcast.NodeID, book AddrBook, handler BatchHandler) (*TCPNode, error) {
 	addr, ok := book[id]
 	if !ok {
 		return nil, fmt.Errorf("transport: node %s not in address book", id)
@@ -68,8 +83,7 @@ func NewTCPNode(id amcast.NodeID, book AddrBook, handler func(env amcast.Envelop
 		handler: handler,
 		conns:   make(map[amcast.NodeID]*peerConn),
 		inbound: make(map[net.Conn]struct{}),
-		in:      make(chan amcast.Envelope, mailboxDepth),
-		stop:    make(chan struct{}),
+		in:      newEnvQueue(mailboxDepth),
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -147,14 +161,12 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	for {
-		env, err := readFrame(r)
+		envs, err := readFrame(r)
 		if err != nil {
 			return
 		}
-		select {
-		case n.in <- env:
-		case <-n.stop:
-			return
+		if !n.in.push(envs) {
+			return // node closed
 		}
 	}
 }
@@ -162,23 +174,40 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 func (n *TCPNode) dispatchLoop() {
 	defer n.wg.Done()
 	for {
-		select {
-		case env := <-n.in:
-			n.handler(env)
-		case <-n.stop:
-			return
+		envs := n.in.pop()
+		if envs == nil {
+			return // closed and drained
 		}
+		n.handler(envs)
 	}
 }
 
 // Send transmits one envelope, dialing and caching the peer connection.
 // It retries the dial once after a short backoff, then reports the error.
 func (n *TCPNode) Send(to amcast.NodeID, env amcast.Envelope) error {
+	return n.sendPayload(to, codec.Marshal(env))
+}
+
+// SendBatch transmits a batch as one wire frame, amortizing the frame
+// header, the write syscall and the flush across the batch. A
+// single-envelope batch is sent as a plain envelope frame.
+func (n *TCPNode) SendBatch(to amcast.NodeID, envs []amcast.Envelope) error {
+	switch len(envs) {
+	case 0:
+		return nil
+	case 1:
+		return n.sendPayload(to, codec.Marshal(envs[0]))
+	default:
+		return n.sendPayload(to, codec.MarshalBatch(envs))
+	}
+}
+
+func (n *TCPNode) sendPayload(to amcast.NodeID, payload []byte) error {
 	pc, err := n.peer(to)
 	if err != nil {
 		return err
 	}
-	if err := pc.writeFrame(env); err != nil {
+	if err := pc.writeFrame(payload); err != nil {
 		// Connection broke: drop it and retry once on a fresh dial.
 		n.dropPeer(to, pc)
 		time.Sleep(dialRetry)
@@ -186,7 +215,7 @@ func (n *TCPNode) Send(to amcast.NodeID, env amcast.Envelope) error {
 		if err != nil {
 			return err
 		}
-		if err := pc.writeFrame(env); err != nil {
+		if err := pc.writeFrame(payload); err != nil {
 			n.dropPeer(to, pc)
 			return err
 		}
@@ -257,7 +286,7 @@ func (n *TCPNode) Close() {
 	}
 	n.mu.Unlock()
 
-	close(n.stop)
+	n.in.close()
 	n.ln.Close()
 	for _, pc := range conns {
 		pc.conn.Close()
@@ -268,8 +297,7 @@ func (n *TCPNode) Close() {
 	n.wg.Wait()
 }
 
-func (pc *peerConn) writeFrame(env amcast.Envelope) error {
-	payload := codec.Marshal(env)
+func (pc *peerConn) writeFrame(payload []byte) error {
 	var hdr [binary.MaxVarintLen64]byte
 	hn := binary.PutUvarint(hdr[:], uint64(len(payload)))
 	pc.mu.Lock()
@@ -283,17 +311,19 @@ func (pc *peerConn) writeFrame(env amcast.Envelope) error {
 	return pc.w.Flush()
 }
 
-func readFrame(r *bufio.Reader) (amcast.Envelope, error) {
+// readFrame reads one length-prefixed frame and decodes it as a batch or
+// a single envelope, discriminated by the payload's first byte.
+func readFrame(r *bufio.Reader) ([]amcast.Envelope, error) {
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
-		return amcast.Envelope{}, err
+		return nil, err
 	}
 	if size > maxFrame {
-		return amcast.Envelope{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
 	buf := make([]byte, size)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return amcast.Envelope{}, err
+		return nil, err
 	}
-	return codec.Unmarshal(buf)
+	return codec.DecodeFrame(buf)
 }
