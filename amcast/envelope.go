@@ -95,6 +95,10 @@ type Envelope struct {
 	TS uint64
 	// TSFrom is the group that assigned TS (KindTS).
 	TSFrom GroupID
+	// Result is the execution outcome on KindReply envelopes when the
+	// replying group executes deliveries against application state
+	// (ResultCommitted/ResultAborted; ResultNone otherwise).
+	Result uint8
 }
 
 // NotifPair records that Notifier sent a NOTIF about a message to

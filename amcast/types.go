@@ -141,10 +141,28 @@ func NormalizeDst(dst []GroupID) []GroupID {
 	return out
 }
 
+// Execution result codes carried on Delivery.Result and on KindReply
+// envelopes when a deployment executes deliveries against application
+// state (internal/store). 0 is reserved for deployments (or messages,
+// e.g. flush multicasts) that do not execute.
+const (
+	// ResultNone marks a delivery that was not executed.
+	ResultNone uint8 = 0
+	// ResultCommitted marks a transaction that executed and committed.
+	ResultCommitted uint8 = 1
+	// ResultAborted marks a transaction that executed and rolled back.
+	ResultAborted uint8 = 2
+)
+
 // Delivery is one message handed to the application by a group, together
 // with the group-local delivery sequence number (0-based).
 type Delivery struct {
 	Group GroupID
 	Seq   uint64
 	Msg   Message
+	// Result is the execution outcome when the group runs a state
+	// machine over its deliveries (ResultCommitted/ResultAborted);
+	// ResultNone for pure-multicast deployments. Runtimes copy it onto
+	// the KindReply envelope so clients observe commit/abort.
+	Result uint8
 }

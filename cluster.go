@@ -59,6 +59,11 @@ type ClusterConfig struct {
 	// FlushInterval bounds the latency a partially filled batch may add
 	// under sustained load (0 takes the runtime default, 500µs).
 	FlushInterval time.Duration
+	// WrapEngine, when non-nil, wraps each group's protocol engine
+	// before it is attached to the runtime — the hook execution layers
+	// (StoreCluster) use to run a state machine over deliveries without
+	// the cluster knowing about application state.
+	WrapEngine func(g GroupID, eng Engine) (Engine, error)
 }
 
 // Cluster is an in-process deployment of one multicast protocol: one
@@ -79,7 +84,10 @@ type Cluster struct {
 
 type callWaiter struct {
 	remaining map[GroupID]bool
-	done      chan struct{}
+	// results collects each destination group's execution result code
+	// from its reply (amcast.ResultNone for pure-multicast clusters).
+	results map[GroupID]uint8
+	done    chan struct{}
 }
 
 // NewCluster builds and starts a cluster.
@@ -143,14 +151,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 }
 
 func (c *Cluster) newEngine(g GroupID) (Engine, error) {
+	var eng Engine
+	var err error
 	switch c.cfg.Protocol {
 	case ProtocolFlexCast:
-		return NewFlexCastEngine(g, c.cfg.Overlay)
+		eng, err = NewFlexCastEngine(g, c.cfg.Overlay)
 	case ProtocolSkeen:
-		return NewSkeenEngine(g, c.groups)
+		eng, err = NewSkeenEngine(g, c.groups)
 	default:
-		return NewHierarchicalEngine(g, c.cfg.Tree)
+		eng, err = NewHierarchicalEngine(g, c.cfg.Tree)
 	}
+	if err != nil || c.cfg.WrapEngine == nil {
+		return eng, err
+	}
+	return c.cfg.WrapEngine(g, eng)
 }
 
 // Groups returns the cluster's group set.
@@ -170,19 +184,35 @@ func (c *Cluster) Multicast(dst []GroupID, payload []byte) (MsgID, error) {
 // Call multicasts payload and blocks until every destination group has
 // delivered (i.e. replied), or the timeout elapses.
 func (c *Cluster) Call(dst []GroupID, payload []byte) (MsgID, error) {
-	w := &callWaiter{remaining: make(map[GroupID]bool), done: make(chan struct{})}
+	id, _, err := c.CallResults(dst, payload)
+	return id, err
+}
+
+// CallResults is Call, additionally returning each destination group's
+// execution result code from its reply (amcast.ResultCommitted /
+// amcast.ResultAborted on executing clusters, amcast.ResultNone on
+// pure-multicast ones).
+func (c *Cluster) CallResults(dst []GroupID, payload []byte) (MsgID, map[GroupID]uint8, error) {
+	w := &callWaiter{
+		remaining: make(map[GroupID]bool),
+		results:   make(map[GroupID]uint8),
+		done:      make(chan struct{}),
+	}
 	m, err := c.send(dst, payload, w)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	select {
 	case <-w.done:
-		return m.ID, nil
+		c.mu.Lock()
+		results := w.results
+		c.mu.Unlock()
+		return m.ID, results, nil
 	case <-time.After(c.cfg.CallTimeout):
 		c.mu.Lock()
 		delete(c.waiters, m.ID)
 		c.mu.Unlock()
-		return m.ID, fmt.Errorf("flexcast: call %s timed out after %v", m.ID, c.cfg.CallTimeout)
+		return m.ID, nil, fmt.Errorf("flexcast: call %s timed out after %v", m.ID, c.cfg.CallTimeout)
 	}
 }
 
@@ -251,6 +281,9 @@ func (c *Cluster) onClientEnvelope(env Envelope) {
 	w, ok := c.waiters[env.Msg.ID]
 	if !ok {
 		return
+	}
+	if w.remaining[env.From.Group()] {
+		w.results[env.From.Group()] = env.Result
 	}
 	delete(w.remaining, env.From.Group())
 	if len(w.remaining) == 0 {

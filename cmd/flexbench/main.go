@@ -56,12 +56,18 @@ func run(stdout, stderr io.Writer, args []string) int {
 		chaosBug   = fs.Int("chaos-bug", 0, "chaos: test-only ordering-bug hook; >0 flips every n-th delivery batch to validate the checker")
 		closedLoop = fs.Bool("closed-loop", false, "chaos: closed-loop workload (each client issues on completion; denser schedules)")
 		messages   = fs.Int("messages", 0, "chaos: multicasts per client (0 = default)")
+		execute    = fs.Bool("execute", false, "chaos: run the gTPC-C store at every group and audit execution (serializability, invariants, replica digests)")
+		profile    = fs.String("profile", "random", "chaos: environment profile: random (default) or wan (WAN latency matrix + gTPC-C destination locality)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *mode == "chaos" {
-		return runChaos(stdout, stderr, *protocol, *seed, *schedules, *reproSeed, *chaosBug, *closedLoop, *messages)
+		return runChaos(stdout, stderr, chaosRunConfig{
+			protocol: *protocol, seed: *seed, schedules: *schedules, reproSeed: *reproSeed,
+			bugEvery: *chaosBug, closedLoop: *closedLoop, messages: *messages,
+			execute: *execute, profile: *profile,
+		})
 	}
 	if *mode != "bench" {
 		fmt.Fprintf(stderr, "flexbench: unknown mode %q (bench or chaos)\n", *mode)
@@ -131,9 +137,23 @@ func chaosProtocols(sel string) ([]harness.Protocol, error) {
 	}
 }
 
+// chaosRunConfig bundles the chaos-mode flags.
+type chaosRunConfig struct {
+	protocol   string
+	seed       int64
+	schedules  int
+	reproSeed  int64
+	bugEvery   int
+	closedLoop bool
+	messages   int
+	execute    bool
+	profile    string
+}
+
 // runChaos drives the fault-injection explorer. The exit code reports
 // safety: 0 only when every explored schedule upheld every invariant.
-func runChaos(stdout, stderr io.Writer, protocol string, seed int64, schedules int, reproSeed int64, bugEvery int, closedLoop bool, messages int) int {
+func runChaos(stdout, stderr io.Writer, rc chaosRunConfig) int {
+	protocol, seed, schedules, reproSeed := rc.protocol, rc.seed, rc.schedules, rc.reproSeed
 	protos, err := chaosProtocols(protocol)
 	if err != nil {
 		fmt.Fprintf(stderr, "flexbench: %v\n", err)
@@ -143,11 +163,19 @@ func runChaos(stdout, stderr io.Writer, protocol string, seed int64, schedules i
 		fmt.Fprintf(stderr, "flexbench: -schedules must be > 0 (got %d)\n", schedules)
 		return 2
 	}
-	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: bugEvery,
-		ClosedLoop: closedLoop, Messages: messages}
+	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: rc.bugEvery,
+		ClosedLoop: rc.closedLoop, Messages: rc.messages}
+	switch rc.profile {
+	case "", "random":
+	case "wan":
+		harness.ApplyWANProfile(&opts, 0.95, rc.execute)
+	default:
+		fmt.Fprintf(stderr, "flexbench: unknown profile %q (random or wan)\n", rc.profile)
+		return 2
+	}
 	failed := false
 	for _, p := range protos {
-		cfg := harness.ChaosConfig{Protocol: p, Options: opts}
+		cfg := harness.ChaosConfig{Protocol: p, Options: opts, Execute: rc.execute}
 		start := time.Now()
 		if reproSeed != 0 {
 			res, err := harness.ReplayChaos(cfg, reproSeed)

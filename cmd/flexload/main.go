@@ -41,6 +41,8 @@ func main() {
 		payload    = flag.Int("payload", 0, "payload bytes (0 = gTPC-C sizes)")
 		locality   = flag.Float64("locality", 0.95, "gTPC-C locality rate")
 		globalOnly = flag.Bool("global-only", false, "multi-group transactions only")
+		execute    = flag.Bool("execute", false, "execute the gTPC-C store at every group (per-type stats, cross-shard invariant digest)")
+		storeSeed  = flag.Int64("store-seed", 0, "store population seed (0 = workload seed)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		out        = flag.String("out", "", "write the JSON report to this file")
 		compare    = flag.Bool("compare", false, "also run the -batch=1 baseline and report the speedup")
@@ -72,6 +74,8 @@ func main() {
 		PayloadSize:   *payload,
 		Locality:      *locality,
 		GlobalOnly:    *globalOnly,
+		Execute:       *execute,
+		StoreSeed:     *storeSeed,
 		Seed:          *seed,
 	}
 
@@ -114,4 +118,16 @@ func printResult(label string, r *loadgen.Result) {
 		l.P50, l.P90, l.P99, l.P999, l.Max, l.Mean)
 	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
 		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)
+	if ex := r.Execute; ex != nil {
+		fmt.Printf("  execute: %d shards, %d applies, abort rate %.4f, invariants ok, digest %s…\n",
+			ex.Shards, ex.TxApplied, ex.AbortRate, ex.GlobalDigest[:16])
+		for _, typ := range []string{"new-order", "payment", "order-status", "delivery", "stock-level"} {
+			st, ok := ex.PerType[typ]
+			if !ok {
+				continue
+			}
+			fmt.Printf("    %-13s committed %7d  aborted %5d  p50 %6dµs  p99 %7dµs\n",
+				typ, st.Committed, st.Aborted, st.Latency.P50, st.Latency.P99)
+		}
+	}
 }

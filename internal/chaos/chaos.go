@@ -55,6 +55,13 @@ type Deployment struct {
 	// Minimality enables the genuineness audit (false for the
 	// non-genuine hierarchical protocol).
 	Minimality bool
+	// Instrument, when non-nil, is called once per schedule right after
+	// the engines are built — the hook execute-mode deployments use to
+	// attach execution observers (store.Executor) — and the function it
+	// returns runs after the schedule quiesces, auditing execution-level
+	// properties (serializability, store invariants, replica digests).
+	// Its error is reported as the schedule's violation.
+	Instrument func(engines map[amcast.GroupID]amcast.SnapshotEngine) func() error
 }
 
 func (d *Deployment) validate() error {
@@ -147,6 +154,19 @@ type Options struct {
 	// node (after faults, queueing and crash parking) — a debugging aid
 	// for analyzing a failing schedule. It does not perturb the run.
 	Observer sim.SendHook
+
+	// Latency, when non-nil, replaces the default random per-link
+	// latency model with a fixed one — e.g. the harness's WAN matrix
+	// (internal/harness.ApplyWANProfile), whose latency topology the
+	// random model does not emulate.
+	Latency func(from, to amcast.NodeID) sim.Time
+	// NextTx, when non-nil, replaces the uniform random workload: it is
+	// called once per (schedule, client) with the schedule's seed and
+	// returns the generator of that client's multicast sequence
+	// (destination set and payload per message). The harness's WAN
+	// profile plugs gTPC-C destination locality (and executable
+	// transaction payloads) in through it.
+	NextTx func(scheduleSeed int64, client int) func(i int) ([]amcast.GroupID, []byte)
 }
 
 func (o *Options) fill() {

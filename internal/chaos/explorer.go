@@ -181,16 +181,20 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	}
 
 	// Random but fixed per-link latencies in [100µs, 20ms): chaos
-	// explores latency topologies beyond the WAN matrix.
-	lat := make(map[[2]amcast.NodeID]sim.Time)
-	latency := func(from, to amcast.NodeID) sim.Time {
-		key := [2]amcast.NodeID{from, to}
-		l, ok := lat[key]
-		if !ok {
-			l = sim.Time(100 + rng.Int63n(19_900))
-			lat[key] = l
+	// explores latency topologies beyond the WAN matrix — unless a
+	// fixed latency model (e.g. the WAN matrix itself) is installed.
+	latency := opt.Latency
+	if latency == nil {
+		lat := make(map[[2]amcast.NodeID]sim.Time)
+		latency = func(from, to amcast.NodeID) sim.Time {
+			key := [2]amcast.NodeID{from, to}
+			l, ok := lat[key]
+			if !ok {
+				l = sim.Time(100 + rng.Int63n(19_900))
+				lat[key] = l
+			}
+			return l
 		}
-		return l
 	}
 
 	inj := newInjector(opt, d.Groups, rng, s)
@@ -222,6 +226,10 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 		nodes[g] = n
 		engines[g] = eng
 		net.Register(amcast.GroupNode(g), n)
+	}
+	var postCheck func() error
+	if d.Instrument != nil {
+		postCheck = d.Instrument(engines)
 	}
 
 	// Crash/recovery schedule: crash the server and park its traffic;
@@ -306,19 +314,31 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	}
 	for c := 0; c < opt.Clients; c++ {
 		cid := amcast.ClientNode(c)
+		var nextTx func(i int) ([]amcast.GroupID, []byte)
+		if opt.NextTx != nil {
+			nextTx = opt.NextTx(seed, c)
+		}
 		msgs := make([]amcast.Message, opt.Messages)
 		for i := range msgs {
-			nDst := 1 + rng.Intn(maxDst)
-			perm := rng.Perm(len(d.Groups))
-			dst := make([]amcast.GroupID, 0, nDst)
-			for _, p := range perm[:nDst] {
-				dst = append(dst, d.Groups[p])
+			var dst []amcast.GroupID
+			var payload []byte
+			if nextTx != nil {
+				dst, payload = nextTx(i)
+			} else {
+				nDst := 1 + rng.Intn(maxDst)
+				perm := rng.Perm(len(d.Groups))
+				dst = make([]amcast.GroupID, 0, nDst)
+				for _, p := range perm[:nDst] {
+					dst = append(dst, d.Groups[p])
+				}
+				dst = amcast.NormalizeDst(dst)
+				payload = []byte(fmt.Sprintf("chaos-%d-%d", c, i))
 			}
 			msgs[i] = amcast.Message{
 				ID:      amcast.NewMsgID(c, uint64(i+1)),
 				Sender:  cid,
-				Dst:     amcast.NormalizeDst(dst),
-				Payload: []byte(fmt.Sprintf("chaos-%d-%d", c, i)),
+				Dst:     dst,
+				Payload: payload,
 			}
 		}
 		if opt.ClosedLoop {
@@ -368,6 +388,11 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 				}
 			}
 		}
+	}
+	// Execution-level audits (store serializability, cross-shard
+	// invariants, replica digests) on execute-mode deployments.
+	if res.Err == nil && postCheck != nil {
+		res.Err = postCheck()
 	}
 	return res, nil
 }

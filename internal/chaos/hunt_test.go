@@ -12,31 +12,43 @@ import (
 
 // TestHuntFlushGC is a manual hunting harness for the known flush-GC
 // acyclic-order bug (ROADMAP): dense, fault-free closed-loop schedules
-// with aggressive flushing. Enabled via CHAOS_HUNT=<schedules>.
+// with aggressive flushing, now on the profile that mirrors the
+// measurement harness — the WAN latency matrix plus gTPC-C destination
+// locality (harness.ApplyWANProfile), which the earlier random-latency,
+// uniform-destination hunts could not emulate and which the known
+// repro (flexbench -experiment fig5 -scale 0.02 -verify) depends on.
+// Enabled via CHAOS_HUNT=<schedules>; CHAOS_HUNT_RANDOM=1 falls back to
+// the random environment.
 func TestHuntFlushGC(t *testing.T) {
 	n, _ := strconv.Atoi(os.Getenv("CHAOS_HUNT"))
 	if n == 0 {
 		t.Skip("set CHAOS_HUNT=<schedules> to hunt")
 	}
+	opts := chaos.Options{
+		Seed:      7,
+		Schedules: n,
+		Clients:   6,
+		Messages:  400,
+		MaxDst:    3,
+		// Aggressive GC, no faults: the known repro (flexbench
+		// -experiment fig5 -scale 0.02 -verify) is fault-free.
+		FlushEvery:    100_000,
+		ClosedLoop:    true,
+		DropProb:      -1,
+		DupProb:       -1,
+		JitterMax:     -1,
+		Partitions:    -1,
+		Crashes:       -1,
+		SnapshotEvery: 1 << 30,
+	}
+	if os.Getenv("CHAOS_HUNT_RANDOM") == "" {
+		// The fig5 harness runs the global-only latency workloads at high
+		// locality; 0.95 is its middle setting.
+		harness.ApplyWANProfile(&opts, 0.95, false)
+	}
 	rep, err := harness.RunChaos(harness.ChaosConfig{
 		Protocol: harness.FlexCast,
-		Options: chaos.Options{
-			Seed:      7,
-			Schedules: n,
-			Clients:   6,
-			Messages:  400,
-			MaxDst:    3,
-			// Aggressive GC, no faults: the known repro (flexbench
-			// -experiment fig5 -scale 0.02 -verify) is fault-free.
-			FlushEvery:    100_000,
-			ClosedLoop:    true,
-			DropProb:      -1,
-			DupProb:       -1,
-			JitterMax:     -1,
-			Partitions:    -1,
-			Crashes:       -1,
-			SnapshotEvery: 1 << 30,
-		},
+		Options:  opts,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -67,6 +67,9 @@ func Append(buf []byte, env amcast.Envelope) []byte {
 		buf = binary.AppendUvarint(buf, env.TS)
 		buf = binary.AppendUvarint(buf, uint64(uint32(env.TSFrom)))
 	}
+	if hasResult(env.Kind) {
+		buf = append(buf, env.Result)
+	}
 	return buf
 }
 

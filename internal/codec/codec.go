@@ -41,6 +41,10 @@ func hasTS(k amcast.Kind) bool {
 	return k == amcast.KindTS || k == amcast.KindReply
 }
 
+func hasResult(k amcast.Kind) bool {
+	return k == amcast.KindReply
+}
+
 // Marshal encodes an envelope.
 func Marshal(env amcast.Envelope) []byte {
 	return Append(make([]byte, 0, Size(env)), env)
@@ -105,6 +109,9 @@ func Size(env amcast.Envelope) int {
 	}
 	if hasTS(env.Kind) {
 		n += uvarintLen(env.TS) + uvarintLen(uint64(uint32(env.TSFrom)))
+	}
+	if hasResult(env.Kind) {
+		n++
 	}
 	return n
 }
@@ -279,6 +286,9 @@ func Unmarshal(buf []byte) (amcast.Envelope, error) {
 	if hasTS(env.Kind) {
 		env.TS = d.uvarint()
 		env.TSFrom = amcast.GroupID(d.uvarint32())
+	}
+	if hasResult(env.Kind) {
+		env.Result = d.byte()
 	}
 	if d.err != nil {
 		return env, d.err

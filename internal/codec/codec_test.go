@@ -33,7 +33,8 @@ func sampleEnvelopes() []amcast.Envelope {
 		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: msg.Header(), Hist: hist},
 		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: msg.Header(), TS: 42, TSFrom: 9},
 		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: msg},
-		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: msg.Header(), TS: 7},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: msg.Header(), TS: 7,
+			Result: amcast.ResultCommitted},
 		{Kind: amcast.KindMsg, From: amcast.GroupNode(1), Msg: amcast.Message{
 			ID: 1, Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1},
 			Flags: amcast.FlagFlush,
@@ -61,6 +62,9 @@ func normalize(e amcast.Envelope) amcast.Envelope {
 	if !hasTS(e.Kind) {
 		e.TS = 0
 		e.TSFrom = 0
+	}
+	if !hasResult(e.Kind) {
+		e.Result = 0
 	}
 	if len(e.Msg.Dst) == 0 {
 		e.Msg.Dst = nil
@@ -204,6 +208,9 @@ func randomEnvelope(rng *rand.Rand) amcast.Envelope {
 	}
 	if hasTS(env.Kind) {
 		env.TSFrom = amcast.GroupID(rng.Intn(12) + 1)
+	}
+	if hasResult(env.Kind) {
+		env.Result = uint8(rng.Intn(3))
 	}
 	return env
 }

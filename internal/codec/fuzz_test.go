@@ -37,7 +37,7 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		}, TS: 42, TSFrom: 9},
 		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: amcast.Message{
 			ID: 8, Dst: []amcast.GroupID{5},
-		}, TS: 7},
+		}, TS: 7, Result: amcast.ResultAborted},
 		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: amcast.Message{
 			ID: 1, Dst: []amcast.GroupID{8, 9}, Payload: []byte("fwd"),
 		}},

@@ -58,13 +58,56 @@ func (t TxType) String() string {
 	}
 }
 
-// Tx is one generated transaction.
+// Table sizes of the executable store (internal/store). They are scaled
+// down from TPC-C's 100k items / 3k customers per district so that a
+// simulated multi-warehouse deployment stays cache-resident while
+// keeping enough rows for contention to be rare but present.
+const (
+	// NumItems is the number of stock items per warehouse.
+	NumItems = 100
+	// NumCustomers is the number of customers per warehouse.
+	NumCustomers = 30
+	// MaxPayment is the largest payment amount (TPC-C: 1..5000).
+	MaxPayment = 5000
+)
+
+// OrderLine is one item of a new-order transaction: Qty units of Item
+// supplied by warehouse Supply (the home warehouse for ~98 % of lines).
+type OrderLine struct {
+	Item   int32
+	Supply amcast.GroupID
+	Qty    int32
+}
+
+// Tx is one generated transaction. Besides the destination set used by
+// the multicast layer it carries the full transaction detail, so the
+// executable store (internal/store) can run it deterministically at
+// every destination warehouse.
 type Tx struct {
 	Type TxType
 	// Dst is the destination warehouse set (sorted, home included).
 	Dst []amcast.GroupID
+	// Home is the client's home warehouse (the transaction's district).
+	Home amcast.GroupID
 	// Items is the new-order item count (0 for other types).
 	Items int
+	// Lines holds the new-order order lines (len == Items).
+	Lines []OrderLine
+	// Customer is the customer the transaction concerns (new-order,
+	// payment, order-status; resident at CustWarehouse for payment and
+	// at Home otherwise).
+	Customer int32
+	// CustWarehouse is the customer's warehouse for payment transactions
+	// (TPC-C: remote 15 % of the time).
+	CustWarehouse amcast.GroupID
+	// Amount is the payment amount.
+	Amount int64
+	// Rollback marks the TPC-C 1 % of new-orders that abort (an invalid
+	// item number). The decision is carried in the payload so every
+	// involved warehouse reaches the same verdict deterministically.
+	Rollback bool
+	// Threshold is the stock-level low-stock threshold (TPC-C: 10..20).
+	Threshold int32
 	// PayloadSize is the request size in bytes.
 	PayloadSize int
 }
@@ -174,35 +217,64 @@ func (g *Gen) gen() Tx {
 
 func (g *Gen) newOrder() Tx {
 	items := 5 + g.rng.Intn(11) // uniform in [5,15]
+	lines := make([]OrderLine, items)
 	dst := []amcast.GroupID{g.cfg.Home}
-	for i := 0; i < items; i++ {
+	for i := range lines {
+		lines[i] = OrderLine{
+			Item:   int32(g.rng.Intn(NumItems)),
+			Supply: g.cfg.Home,
+			Qty:    int32(1 + g.rng.Intn(10)),
+		}
 		if g.rng.Float64() < 0.02 { // TPC-C: 2 % of items are remote
-			dst = append(dst, g.pickRemote())
+			lines[i].Supply = g.pickRemote()
+			dst = append(dst, lines[i].Supply)
 		}
 	}
 	if g.cfg.GlobalOnly && len(dst) == 1 {
-		dst = append(dst, g.pickRemote())
+		lines[items-1].Supply = g.pickRemote()
+		dst = append(dst, lines[items-1].Supply)
 	}
 	dst = amcast.NormalizeDst(dst)
 	return Tx{
 		Type:        NewOrder,
 		Dst:         dst,
+		Home:        g.cfg.Home,
 		Items:       items,
+		Lines:       lines,
+		Customer:    int32(g.rng.Intn(NumCustomers)),
+		Rollback:    g.rng.Float64() < 0.01, // TPC-C: 1 % of new-orders roll back
 		PayloadSize: 64 + 12*items,
 	}
 }
 
 func (g *Gen) payment() Tx {
+	custW := g.cfg.Home
 	dst := []amcast.GroupID{g.cfg.Home}
 	if g.rng.Float64() < g.remoteRate {
-		dst = append(dst, g.pickRemote())
+		custW = g.pickRemote()
+		dst = append(dst, custW)
 	}
 	dst = amcast.NormalizeDst(dst)
-	return Tx{Type: Payment, Dst: dst, PayloadSize: 48}
+	return Tx{
+		Type:          Payment,
+		Dst:           dst,
+		Home:          g.cfg.Home,
+		Customer:      int32(g.rng.Intn(NumCustomers)),
+		CustWarehouse: custW,
+		Amount:        int64(1 + g.rng.Intn(MaxPayment)),
+		PayloadSize:   48,
+	}
 }
 
 func (g *Gen) local(t TxType, size int) Tx {
-	return Tx{Type: t, Dst: []amcast.GroupID{g.cfg.Home}, PayloadSize: size}
+	tx := Tx{Type: t, Dst: []amcast.GroupID{g.cfg.Home}, Home: g.cfg.Home, PayloadSize: size}
+	switch t {
+	case OrderStatus:
+		tx.Customer = int32(g.rng.Intn(NumCustomers))
+	case StockLevel:
+		tx.Threshold = int32(10 + g.rng.Intn(11)) // TPC-C: uniform in [10,20]
+	}
+	return tx
 }
 
 // pickRemote walks the nearest-warehouse order: the nearest warehouse is

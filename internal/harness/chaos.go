@@ -2,13 +2,18 @@ package harness
 
 import (
 	"fmt"
+	"math/rand"
 
 	"flexcast/amcast"
 	"flexcast/internal/chaos"
 	"flexcast/internal/core"
+	"flexcast/internal/gtpcc"
 	"flexcast/internal/hierarchical"
 	"flexcast/internal/overlay"
+	"flexcast/internal/sim"
 	"flexcast/internal/skeen"
+	"flexcast/internal/store"
+	"flexcast/internal/trace"
 	"flexcast/internal/wan"
 )
 
@@ -26,6 +31,14 @@ type ChaosConfig struct {
 	// Options parameterize the exploration (seeds, schedules, fault
 	// intensities); see chaos.Options.
 	Options chaos.Options
+	// Execute runs the partitioned gTPC-C store at every group: the
+	// workload switches to executable transaction payloads (gTPC-C
+	// destination locality included), every schedule executes them
+	// through store.Executor — with crash recovery rebuilding store
+	// state from snapshot + WAL — and the post-run audits add the
+	// cross-group serializability checker, the cross-shard invariants
+	// and mirror-replica digest equality.
+	Execute bool
 }
 
 func (c *ChaosConfig) fill() {
@@ -77,12 +90,128 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 	default:
 		return d, fmt.Errorf("harness: unknown protocol %d", cfg.Protocol)
 	}
+	if cfg.Execute {
+		base := d.Factory
+		d.Factory = func(g amcast.GroupID) (amcast.SnapshotEngine, error) {
+			eng, err := base(g)
+			if err != nil {
+				return nil, err
+			}
+			return store.NewExecutor(eng, store.Config{Warehouse: g}, true)
+		}
+		d.Instrument = instrumentExecution
+	}
 	return d, nil
+}
+
+// instrumentExecution attaches a per-schedule execution recorder to
+// every store executor and returns the post-schedule audit.
+func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) func() error {
+	rec := trace.NewExecRecorder()
+	execs := make(map[amcast.GroupID]*store.Executor, len(engines))
+	for g, eng := range engines {
+		ex, ok := eng.(*store.Executor)
+		if !ok {
+			g := g
+			return func() error {
+				return fmt.Errorf("harness: execute-mode engine of group %d is %T, not a store executor", g, engines[g])
+			}
+		}
+		ex.SetExecObserver(rec.OnApply)
+		execs[g] = ex
+	}
+	return func() error {
+		if rec.Records() == 0 {
+			return fmt.Errorf("harness: execute-mode schedule executed nothing")
+		}
+		if err := rec.CheckAll(); err != nil {
+			return err
+		}
+		shards := make([]*store.Shard, 0, len(execs))
+		for _, g := range wan.Groups() {
+			ex, ok := execs[g]
+			if !ok {
+				continue
+			}
+			if err := ex.CheckMirror(); err != nil {
+				return err
+			}
+			shards = append(shards, ex.Shard())
+		}
+		return store.CheckInvariants(shards)
+	}
+}
+
+// ApplyWANProfile installs the chaos profile that mirrors the paper's
+// measurement harness instead of chaos's uniform random environment:
+// link latencies come from the WAN matrix (wan.OneWayMicros; clients
+// are co-located with their home region) and the workload becomes
+// gTPC-C — destination sets drawn with geographic locality, payloads
+// executable when execute is set. This is the ROADMAP's "next angle"
+// for the flush-GC ordering bug: the dense schedules the harness
+// produces depend on exactly this latency/destination structure.
+func ApplyWANProfile(o *chaos.Options, locality float64, execute bool) {
+	groups := wan.Groups()
+	clientHome := func(n amcast.NodeID) amcast.GroupID {
+		return groups[n.ClientIndex()%len(groups)]
+	}
+	o.Latency = func(from, to amcast.NodeID) sim.Time {
+		a, b := from, to
+		ha := amcast.GroupID(0)
+		if a.IsClient() {
+			ha = clientHome(a)
+		} else {
+			ha = a.Group()
+		}
+		hb := amcast.GroupID(0)
+		if b.IsClient() {
+			hb = clientHome(b)
+		} else {
+			hb = b.Group()
+		}
+		if ha == hb {
+			return sim.Time(wan.LocalRTTMicros / 2)
+		}
+		return sim.Time(wan.OneWayMicros(ha, hb))
+	}
+	o.NextTx = gtpccNextTx(locality, execute)
+}
+
+// gtpccNextTx builds the chaos workload hook that draws gTPC-C
+// transactions (destination locality over the WAN's nearest-warehouse
+// order) instead of uniform random destination sets.
+func gtpccNextTx(locality float64, execute bool) func(scheduleSeed int64, client int) func(i int) ([]amcast.GroupID, []byte) {
+	groups := wan.Groups()
+	return func(scheduleSeed int64, client int) func(i int) ([]amcast.GroupID, []byte) {
+		home := groups[client%len(groups)]
+		gen := gtpcc.MustNew(gtpcc.Config{
+			Home:     home,
+			Nearest:  wan.NearestOrder(home),
+			Locality: locality,
+		}, rand.New(rand.NewSource(chaos.ScheduleSeed(scheduleSeed, 1000+client))))
+		return func(i int) ([]amcast.GroupID, []byte) {
+			tx := gen.Next()
+			if execute {
+				return tx.Dst, gtpcc.EncodeTx(tx)
+			}
+			return tx.Dst, make([]byte, tx.PayloadSize)
+		}
+	}
+}
+
+// fillExecuteWorkload gives execute-mode runs an executable gTPC-C
+// workload unless the caller installed one (reproduction must use the
+// same hook as exploration).
+func (c *ChaosConfig) fillExecuteWorkload() {
+	if c.Execute && c.Options.NextTx == nil {
+		c.Options.NextTx = gtpccNextTx(0.95, true)
+	}
 }
 
 // RunChaos explores the protocol under randomized fault schedules and
 // returns the aggregated safety report.
 func RunChaos(cfg ChaosConfig) (*chaos.Report, error) {
+	cfg.fillExecuteWorkload()
 	d, err := chaosDeployment(cfg)
 	if err != nil {
 		return nil, err
@@ -93,6 +222,7 @@ func RunChaos(cfg ChaosConfig) (*chaos.Report, error) {
 // ReplayChaos reruns exactly one seeded schedule — the reproduction path
 // for a seed printed in a failure report.
 func ReplayChaos(cfg ChaosConfig, seed int64) (*chaos.ScheduleResult, error) {
+	cfg.fillExecuteWorkload()
 	d, err := chaosDeployment(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,87 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"flexcast/internal/chaos"
+	"flexcast/internal/harness"
+)
+
+// TestChaosExecuteStoreAudits runs store-backed chaos schedules — full
+// fault model including crash/recovery, so store state is rebuilt from
+// snapshot + WAL — and requires every execution-level audit (read-set
+// agreement, conflict serializability, cross-shard invariants, mirror
+// digests) to pass alongside the multicast safety properties.
+func TestChaosExecuteStoreAudits(t *testing.T) {
+	for _, p := range []harness.Protocol{harness.FlexCast, harness.Distributed, harness.Hierarchical} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			rep, err := harness.RunChaos(harness.ChaosConfig{
+				Protocol: p,
+				Execute:  true,
+				Options:  chaos.Options{Seed: 11, Schedules: 6},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				var b strings.Builder
+				rep.Print(&b)
+				t.Fatalf("execute-mode schedules violated invariants:\n%s", b.String())
+			}
+			if rep.Deliveries == 0 {
+				t.Fatal("nothing delivered")
+			}
+		})
+	}
+}
+
+// TestChaosExecuteClosedLoopWANProfile combines everything: the WAN
+// latency matrix, gTPC-C destination locality, closed-loop saturation,
+// executable payloads and the full fault model.
+func TestChaosExecuteClosedLoopWANProfile(t *testing.T) {
+	opts := chaos.Options{Seed: 3, Schedules: 4, ClosedLoop: true}
+	harness.ApplyWANProfile(&opts, 0.95, true)
+	rep, err := harness.RunChaos(harness.ChaosConfig{
+		Protocol: harness.FlexCast,
+		Execute:  true,
+		Options:  opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		var b strings.Builder
+		rep.Print(&b)
+		t.Fatalf("WAN-profile execute schedules violated invariants:\n%s", b.String())
+	}
+}
+
+// TestChaosExecuteReplayMatchesExploration ensures the reproduction
+// path uses the same executable workload as exploration (a replayed
+// seed must rebuild the identical schedule).
+func TestChaosExecuteReplayMatchesExploration(t *testing.T) {
+	cfg := harness.ChaosConfig{
+		Protocol: harness.FlexCast,
+		Execute:  true,
+		Options:  chaos.Options{Seed: 21, Schedules: 2},
+	}
+	rep, err := harness.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatal("exploration failed")
+	}
+	res, err := harness.ReplayChaos(cfg, chaos.ScheduleSeed(21, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("replay violated invariants: %v", res.Err)
+	}
+	if res.Multicasts == 0 || res.Deliveries == 0 {
+		t.Fatalf("replay ran empty: %+v", res)
+	}
+}

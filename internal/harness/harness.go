@@ -297,10 +297,11 @@ func (n *engineNode) HandleEnvelope(env amcast.Envelope) {
 		}
 		if del.Msg.Sender.IsClient() {
 			n.d.net.Send(n.id, del.Msg.Sender, amcast.Envelope{
-				Kind: amcast.KindReply,
-				From: n.id,
-				Msg:  del.Msg.Header(),
-				TS:   del.Seq,
+				Kind:   amcast.KindReply,
+				From:   n.id,
+				Msg:    del.Msg.Header(),
+				TS:     del.Seq,
+				Result: del.Result,
 			})
 		}
 	}

@@ -14,6 +14,8 @@
 package loadgen
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -28,6 +30,7 @@ import (
 	"flexcast/internal/overlay"
 	"flexcast/internal/runtime"
 	"flexcast/internal/skeen"
+	"flexcast/internal/store"
 	"flexcast/internal/wan"
 )
 
@@ -79,6 +82,17 @@ type Config struct {
 	// Timeout bounds one transaction (default 30s); exceeding it fails
 	// the run.
 	Timeout time.Duration
+	// Execute runs the partitioned gTPC-C store (internal/store) at
+	// every group: transaction payloads carry full detail, each group
+	// executes its warehouse shard's portion of every delivery (plus a
+	// mirror replica as a determinism audit), clients observe per-
+	// transaction commit/abort verdicts, and the run ends with a drain
+	// phase followed by the cross-shard invariant and replica-digest
+	// checks.
+	Execute bool
+	// StoreSeed seeds the store's initial population in execute mode
+	// (default: Seed).
+	StoreSeed int64
 }
 
 func (c *Config) fill() error {
@@ -130,7 +144,48 @@ func (c *Config) fill() error {
 	if c.Timeout == 0 {
 		c.Timeout = 30 * time.Second
 	}
+	if c.StoreSeed == 0 {
+		c.StoreSeed = c.Seed
+	}
 	return nil
+}
+
+// TxTypeStats is the execute-mode measurement of one transaction type.
+type TxTypeStats struct {
+	// Committed and Aborted count measurement-window completions by
+	// verdict.
+	Committed uint64 `json:"committed"`
+	Aborted   uint64 `json:"aborted"`
+	// Latency summarizes the type's completion latency in the window.
+	Latency metrics.LatencySummary `json:"latency_us"`
+}
+
+// ExecuteResult is the execute-mode extension of a run's measurement.
+type ExecuteResult struct {
+	// PerType breaks the measurement window down by transaction type.
+	PerType map[string]*TxTypeStats `json:"per_type"`
+	// Aborted counts window completions that rolled back; AbortRate is
+	// their fraction of all window completions.
+	Aborted   uint64  `json:"aborted"`
+	AbortRate float64 `json:"abort_rate"`
+	// InvariantsOK reports the post-drain cross-shard invariant audit
+	// (a failed audit fails the run, so emitted reports carry true).
+	InvariantsOK bool `json:"invariants_ok"`
+	// ReplicaDigestsOK reports that every shard's mirror replica
+	// reached a byte-identical digest.
+	ReplicaDigestsOK bool `json:"replica_digests_ok"`
+	// GlobalDigest is the hex digest folded over all shard digests in
+	// group order — the run's final database fingerprint.
+	GlobalDigest string `json:"global_digest"`
+	// PaymentsBanked is the warehouses' total year-to-date payment
+	// intake, cross-checked against the clients' committed payment
+	// amounts over the whole run.
+	PaymentsBanked int64 `json:"payments_banked"`
+	// Shards is the number of warehouse shards executed.
+	Shards int `json:"shards"`
+	// TxApplied is the total number of transactions executed across all
+	// shards (multi-shard transactions count once per involved shard).
+	TxApplied uint64 `json:"tx_applied"`
 }
 
 // Result is one run's measurement.
@@ -139,6 +194,9 @@ type Result struct {
 	Throughput float64                `json:"throughput_tx_s"`
 	WindowSecs float64                `json:"window_s"`
 	Latency    metrics.LatencySummary `json:"latency_us"`
+	// Execute carries the store-execution measurement when the run
+	// executed transactions (-execute).
+	Execute *ExecuteResult `json:"execute,omitempty"`
 	// Issued counts requests issued during the measurement window (a
 	// transaction issued in warmup and completed in-window counts toward
 	// Completed but not Issued, so the two may differ slightly in either
@@ -160,6 +218,34 @@ type protocolDeployment struct {
 	factory func(g amcast.GroupID) (amcast.Engine, error)
 	route   func(m amcast.Message) []amcast.NodeID
 	nearest func(home amcast.GroupID) []amcast.GroupID
+	// executors collects the store executors in group order (execute
+	// mode; filled as the transport deployment builds engines).
+	executors []*store.Executor
+}
+
+// wrapExecute layers the store executor over the protocol factory:
+// every group's engine gains a warehouse shard plus a mirror replica.
+func (d *protocolDeployment) wrapExecute(cfg Config) {
+	base := d.factory
+	d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
+		eng, err := base(g)
+		if err != nil {
+			return nil, err
+		}
+		se, ok := eng.(amcast.SnapshotEngine)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: %s engine does not support snapshots", cfg.Protocol)
+		}
+		ex, err := store.NewExecutor(se, store.Config{
+			Warehouse: g,
+			Seed:      cfg.StoreSeed,
+		}, true)
+		if err != nil {
+			return nil, err
+		}
+		d.executors = append(d.executors, ex)
+		return ex, nil
+	}
 }
 
 func buildProtocol(cfg Config) (*protocolDeployment, error) {
@@ -230,6 +316,9 @@ func buildProtocol(cfg Config) (*protocolDeployment, error) {
 			return []amcast.NodeID{amcast.GroupNode(tr.Lca(m.Dst))}
 		}
 	}
+	if cfg.Execute {
+		d.wrapExecute(cfg)
+	}
 	return d, nil
 }
 
@@ -240,6 +329,13 @@ type txState struct {
 	done      chan struct{} // closed-loop sessions wait on it; nil open-loop
 	// silent transactions (the flush client's) stay out of the metrics.
 	silent bool
+	// txType and amount carry execute-mode detail for per-type stats
+	// and the payment cross-check.
+	txType gtpcc.TxType
+	amount int64
+	// result folds the per-group execution verdicts; replies that
+	// disagree bump the run's divergence counter.
+	result uint8
 }
 
 // clientProc is one client process: its own node id on the transport, a
@@ -269,7 +365,18 @@ func (c *clientProc) dispatcher(stop <-chan struct{}, wg *sync.WaitGroup) {
 		select {
 		case m = <-c.out:
 		case <-stop:
-			return
+			// Sessions have unblocked, but one may have queued a final
+			// request the select raced past: drain before exiting, or
+			// the execute-mode drain phase waits on a never-sent tx.
+			for {
+				select {
+				case m := <-c.out:
+					c.addRequest(m)
+				default:
+					c.batcher.FlushAll()
+					return
+				}
+			}
 		}
 		c.addRequest(m)
 	drain:
@@ -303,6 +410,15 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 		if !ok || !tx.remaining[env.From.Group()] {
 			continue
 		}
+		if env.Result != amcast.ResultNone {
+			if tx.result == amcast.ResultNone {
+				tx.result = env.Result
+			} else if tx.result != env.Result {
+				// Involved groups reached different verdicts: the
+				// deterministic one-shot execution contract is broken.
+				c.run.execDiverged.Add(1)
+			}
+		}
 		delete(tx.remaining, env.From.Group())
 		if len(tx.remaining) > 0 {
 			continue
@@ -315,9 +431,21 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 	}
 }
 
+// inflightLen reports the client's in-flight transaction count.
+func (c *clientProc) inflightLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}
+
 // issue registers one transaction and queues it to the dispatcher.
-func (c *clientProc) issue(m amcast.Message, closedLoop, silent bool) *txState {
-	tx := &txState{remaining: make(map[amcast.GroupID]bool, len(m.Dst)), silent: silent}
+func (c *clientProc) issue(m amcast.Message, meta txMeta, closedLoop, silent bool) *txState {
+	tx := &txState{
+		remaining: make(map[amcast.GroupID]bool, len(m.Dst)),
+		silent:    silent,
+		txType:    meta.typ,
+		amount:    meta.amount,
+	}
 	for _, g := range m.Dst {
 		tx.remaining[g] = true
 	}
@@ -335,6 +463,12 @@ func (c *clientProc) issue(m amcast.Message, closedLoop, silent bool) *txState {
 	return tx
 }
 
+// txMeta carries execute-mode issue detail into the in-flight table.
+type txMeta struct {
+	typ    gtpcc.TxType
+	amount int64
+}
+
 // run is one executing load run.
 type run struct {
 	cfg   Config
@@ -346,12 +480,28 @@ type run struct {
 	shed      atomic.Uint64
 	measuring atomic.Bool
 
+	// Execute-mode accumulators. typeHists/typeCommitted/typeAborted are
+	// indexed by gtpcc.TxType and cover the measurement window;
+	// paidCommitted tallies committed payment amounts over the WHOLE run
+	// for the conservation cross-check against the warehouses' books.
+	typeHists     [6]*metrics.Histogram
+	typeCommitted [6]atomic.Uint64
+	typeAborted   [6]atomic.Uint64
+	paidCommitted atomic.Int64
+	execDiverged  atomic.Uint64
+
 	windowStart time.Time
 }
 
 // complete records one finished transaction.
 func (r *run) complete(tx *txState, now time.Time) {
-	if tx.silent || !r.measuring.Load() || tx.issued.Before(r.windowStart) {
+	if tx.silent {
+		return
+	}
+	if r.cfg.Execute && tx.txType == gtpcc.Payment && tx.result == amcast.ResultCommitted {
+		r.paidCommitted.Add(tx.amount)
+	}
+	if !r.measuring.Load() || tx.issued.Before(r.windowStart) {
 		return
 	}
 	r.completed.Add(1)
@@ -360,6 +510,14 @@ func (r *run) complete(tx *txState, now time.Time) {
 		lat = 0
 	}
 	r.hist.Record(uint64(lat))
+	if r.cfg.Execute && tx.txType >= 1 && int(tx.txType) < len(r.typeHists) {
+		r.typeHists[tx.txType].Record(uint64(lat))
+		if tx.result == amcast.ResultAborted {
+			r.typeAborted[tx.txType].Add(1)
+		} else {
+			r.typeCommitted[tx.txType].Add(1)
+		}
+	}
 }
 
 // Run executes one load run and returns its measurement.
@@ -372,6 +530,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram()}
+	for i := range r.typeHists {
+		r.typeHists[i] = metrics.NewHistogram()
+	}
 
 	dep, clients, err := deploy(cfg, proto, r)
 	if err != nil {
@@ -439,32 +600,46 @@ func Run(cfg Config) (*Result, error) {
 	default:
 	}
 
+	var execRes *ExecuteResult
+	if cfg.Execute {
+		// Drain: the store invariants are defined over quiesced state, so
+		// wait for every in-flight transaction to complete before auditing.
+		deadline := time.Now().Add(cfg.Timeout)
+		for {
+			pending := 0
+			for _, c := range clients {
+				pending += c.inflightLen()
+			}
+			if pending == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("loadgen: %d transactions still in flight %v after load stop", pending, cfg.Timeout)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if execRes, err = r.auditExecution(); err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{
 		Completed:  r.completed.Load(),
 		Issued:     r.issued.Load(),
 		Shed:       r.shed.Load(),
 		WindowSecs: windowSecs,
 		Latency:    r.hist.Summary(),
+		Execute:    execRes,
 	}
 	if windowSecs > 0 {
 		res.Throughput = float64(res.Completed) / windowSecs
 	}
 	var stats runtime.BatcherStats
 	for _, n := range dep.nodes {
-		s := n.Stats()
-		stats.Batches += s.Batches
-		stats.Envelopes += s.Envelopes
-		if s.MaxBatch > stats.MaxBatch {
-			stats.MaxBatch = s.MaxBatch
-		}
+		stats.Add(n.Stats())
 	}
 	for _, c := range clients {
-		s := c.batcher.Stats()
-		stats.Batches += s.Batches
-		stats.Envelopes += s.Envelopes
-		if s.MaxBatch > stats.MaxBatch {
-			stats.MaxBatch = s.MaxBatch
-		}
+		stats.Add(c.batcher.Stats())
 	}
 	res.BatchesSent = stats.Batches
 	res.EnvelopesSent = stats.Envelopes
@@ -473,10 +648,69 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// auditExecution runs the post-drain execute-mode checks and assembles
+// the execution measurement.
+func (r *run) auditExecution() (*ExecuteResult, error) {
+	if n := r.execDiverged.Load(); n > 0 {
+		return nil, fmt.Errorf("loadgen: %d transactions received diverging verdicts across involved groups", n)
+	}
+	execs := r.proto.executors
+	if len(execs) == 0 {
+		return nil, fmt.Errorf("loadgen: execute mode deployed no store executors")
+	}
+	res := &ExecuteResult{
+		PerType: make(map[string]*TxTypeStats),
+		Shards:  len(execs),
+	}
+	shards := make([]*store.Shard, 0, len(execs))
+	global := sha256.New()
+	var banked int64
+	for _, ex := range execs {
+		if err := ex.CheckMirror(); err != nil {
+			return nil, err
+		}
+		sh := ex.Shard()
+		shards = append(shards, sh)
+		d := sh.Digest()
+		global.Write(d[:])
+		banked += sh.Totals().WarehouseYTD
+		res.TxApplied += sh.Applied()
+	}
+	res.ReplicaDigestsOK = true
+	if err := store.CheckInvariants(shards); err != nil {
+		return nil, err
+	}
+	res.InvariantsOK = true
+	res.GlobalDigest = hex.EncodeToString(global.Sum(nil))
+	res.PaymentsBanked = banked
+	if paid := r.paidCommitted.Load(); paid != banked {
+		return nil, fmt.Errorf("loadgen: clients committed payments totalling %d but warehouses banked %d (a payment applied without completing, or vice versa)",
+			paid, banked)
+	}
+	var completed uint64
+	for typ := gtpcc.NewOrder; typ <= gtpcc.StockLevel; typ++ {
+		c, a := r.typeCommitted[typ].Load(), r.typeAborted[typ].Load()
+		if c+a == 0 {
+			continue
+		}
+		res.PerType[typ.String()] = &TxTypeStats{
+			Committed: c,
+			Aborted:   a,
+			Latency:   r.typeHists[typ].Summary(),
+		}
+		completed += c + a
+		res.Aborted += a
+	}
+	if completed > 0 {
+		res.AbortRate = float64(res.Aborted) / float64(completed)
+	}
+	return res, nil
+}
+
 // closedLoop is one session: issue, wait for every destination's reply,
 // repeat.
 func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, errCh chan<- error) {
-	gen, rng, err := newGen(c, worker, cfg)
+	gen, err := newGen(c, worker, cfg)
 	if err != nil {
 		sendErr(errCh, err)
 		return
@@ -489,8 +723,8 @@ func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, err
 		default:
 		}
 		seq++
-		m := nextMessage(c, gen, rng, cfg, seq)
-		tx := c.issue(m, true, false)
+		m, meta := nextMessage(c, gen, cfg, seq)
+		tx := c.issue(m, meta, true, false)
 		select {
 		case <-tx.done:
 		case <-time.After(cfg.Timeout):
@@ -509,7 +743,7 @@ func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, err
 // elapsed time owes, so the offered rate is honored far beyond the
 // ticker resolution.
 func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- error) {
-	gen, rng, err := newGen(c, 0, cfg)
+	gen, err := newGen(c, 0, cfg)
 	if err != nil {
 		sendErr(errCh, err)
 		return
@@ -536,8 +770,8 @@ func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- erro
 					seq = owed
 					break
 				}
-				m := nextMessage(c, gen, rng, cfg, seq)
-				c.issue(m, false, false)
+				m, meta := nextMessage(c, gen, cfg, seq)
+				c.issue(m, meta, false, false)
 			}
 		}
 	}
@@ -565,7 +799,7 @@ func flushLoop(c *clientProc, cfg Config, proto *protocolDeployment, stop <-chan
 			Dst:    append([]amcast.GroupID(nil), proto.groups...),
 			Flags:  amcast.FlagFlush,
 		}
-		tx := c.issue(m, true, true)
+		tx := c.issue(m, txMeta{}, true, true)
 		select {
 		case <-tx.done:
 		case <-time.After(cfg.Timeout):
@@ -578,30 +812,37 @@ func flushLoop(c *clientProc, cfg Config, proto *protocolDeployment, stop <-chan
 	}
 }
 
-func newGen(c *clientProc, worker int, cfg Config) (*gtpcc.Gen, *rand.Rand, error) {
+func newGen(c *clientProc, worker int, cfg Config) (*gtpcc.Gen, error) {
 	home := c.run.proto.groups[c.idx%len(c.run.proto.groups)]
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(c.idx)*7919 + int64(worker)*104729))
-	gen, err := gtpcc.New(gtpcc.Config{
+	return gtpcc.New(gtpcc.Config{
 		Home:       home,
 		Nearest:    c.run.proto.nearest(home),
 		Locality:   cfg.Locality,
 		GlobalOnly: cfg.GlobalOnly,
 	}, rng)
-	return gen, rng, err
 }
 
-func nextMessage(c *clientProc, gen *gtpcc.Gen, rng *rand.Rand, cfg Config, seq uint64) amcast.Message {
+func nextMessage(c *clientProc, gen *gtpcc.Gen, cfg Config, seq uint64) (amcast.Message, txMeta) {
 	tx := gen.Next()
+	m := amcast.Message{
+		ID:     amcast.NewMsgID(c.idx, seq),
+		Sender: c.id,
+		Dst:    tx.Dst,
+	}
+	if cfg.Execute {
+		if cfg.PayloadSize > tx.PayloadSize {
+			tx.PayloadSize = cfg.PayloadSize // padding only; detail wins otherwise
+		}
+		m.Payload = gtpcc.EncodeTx(tx)
+		return m, txMeta{typ: tx.Type, amount: tx.Amount}
+	}
 	size := tx.PayloadSize
 	if cfg.PayloadSize > 0 {
 		size = cfg.PayloadSize
 	}
-	return amcast.Message{
-		ID:      amcast.NewMsgID(c.idx, seq),
-		Sender:  c.id,
-		Dst:     tx.Dst,
-		Payload: make([]byte, size),
-	}
+	m.Payload = make([]byte, size)
+	return m, txMeta{typ: tx.Type}
 }
 
 func sendErr(ch chan<- error, err error) {

@@ -28,6 +28,10 @@ type ReportConfig struct {
 	Locality        float64 `json:"locality"`
 	GlobalOnly      bool    `json:"global_only"`
 	Seed            int64   `json:"seed"`
+	// Execute marks store-execution runs; StoreSeed is the population
+	// seed they used.
+	Execute   bool  `json:"execute,omitempty"`
+	StoreSeed int64 `json:"store_seed,omitempty"`
 }
 
 // Report is the serialized benchmark outcome (BENCH_runtime.json).
@@ -52,7 +56,7 @@ func reportConfig(cfg Config) ReportConfig {
 	if flush == 0 {
 		flush = 500 * time.Microsecond
 	}
-	return ReportConfig{
+	rc := ReportConfig{
 		Transport:       cfg.Transport,
 		Protocol:        cfg.Protocol,
 		Groups:          cfg.Groups,
@@ -68,7 +72,12 @@ func reportConfig(cfg Config) ReportConfig {
 		Locality:        cfg.Locality,
 		GlobalOnly:      cfg.GlobalOnly,
 		Seed:            cfg.Seed,
+		Execute:         cfg.Execute,
 	}
+	if cfg.Execute {
+		rc.StoreSeed = cfg.StoreSeed
+	}
+	return rc
 }
 
 // NewReport assembles a report from one measured run.
@@ -140,6 +149,40 @@ func validateResult(label string, res *Result) error {
 	}
 	if res.EnvelopesSent < res.BatchesSent {
 		return fmt.Errorf("loadgen: %s: %d envelopes in %d batches", label, res.EnvelopesSent, res.BatchesSent)
+	}
+	if res.Execute != nil {
+		if err := validateExecute(label, res.Execute); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateExecute sanity-checks the execute-mode section: the audits
+// must have passed, the database fingerprint must be present, and the
+// per-type stats must be plausible (only new-orders abort, at roughly
+// TPC-C's 1 % rollback rate).
+func validateExecute(label string, ex *ExecuteResult) error {
+	if !ex.InvariantsOK || !ex.ReplicaDigestsOK {
+		return fmt.Errorf("loadgen: %s: execution audits failed (invariants %v, replica digests %v)",
+			label, ex.InvariantsOK, ex.ReplicaDigestsOK)
+	}
+	if len(ex.GlobalDigest) != 64 {
+		return fmt.Errorf("loadgen: %s: malformed global digest %q", label, ex.GlobalDigest)
+	}
+	if len(ex.PerType) == 0 || ex.TxApplied == 0 {
+		return fmt.Errorf("loadgen: %s: execute mode measured no transactions", label)
+	}
+	if ex.AbortRate > 0.1 {
+		return fmt.Errorf("loadgen: %s: implausible abort rate %.3f", label, ex.AbortRate)
+	}
+	for typ, st := range ex.PerType {
+		if st.Aborted > 0 && typ != "new-order" {
+			return fmt.Errorf("loadgen: %s: %s transactions aborted (%d) — only new-orders roll back", label, typ, st.Aborted)
+		}
+		if st.Committed+st.Aborted > 0 && st.Latency.Count == 0 {
+			return fmt.Errorf("loadgen: %s: %s has completions but no latency samples", label, typ)
+		}
 	}
 	return nil
 }

@@ -63,17 +63,7 @@ func RunBatchEquivalence(t *testing.T, cfg RandomConfig) {
 		cid := amcast.ClientNode(c)
 		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
 		for i := 0; i < cfg.Messages; i++ {
-			nDst := 1 + rng.Intn(cfg.MaxDst)
-			perm := rng.Perm(len(cfg.Groups))
-			dst := make([]amcast.GroupID, 0, nDst)
-			for _, p := range perm[:nDst] {
-				dst = append(dst, cfg.Groups[p])
-			}
-			m := amcast.Message{
-				ID:     amcast.NewMsgID(c, uint64(i+1)),
-				Sender: cid,
-				Dst:    amcast.NormalizeDst(dst),
-			}
+			m := cfg.message(c, i, cfg.MaxDst, rng)
 			at := sim.Time(rng.Int63n(50_000))
 			s.ScheduleAt(at, func() {
 				for _, to := range cfg.Route(m) {

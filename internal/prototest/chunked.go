@@ -60,17 +60,7 @@ func chunkedRun(t *testing.T, cfg RandomConfig, runSeed int64) (*trace.Recorder,
 	for c := 0; c < cfg.Clients; c++ {
 		cid := amcast.ClientNode(c)
 		for i := 0; i < cfg.Messages; i++ {
-			nDst := 1 + mcRNG.Intn(maxDst)
-			perm := mcRNG.Perm(len(cfg.Groups))
-			dst := make([]amcast.GroupID, 0, nDst)
-			for _, p := range perm[:nDst] {
-				dst = append(dst, cfg.Groups[p])
-			}
-			m := amcast.Message{
-				ID:     amcast.NewMsgID(c, uint64(i+1)),
-				Sender: cid,
-				Dst:    amcast.NormalizeDst(dst),
-			}
+			m := cfg.message(c, i, maxDst, mcRNG)
 			rec.OnMulticast(m)
 			env := amcast.Envelope{Kind: amcast.KindRequest, From: cid, Msg: m}
 			for _, to := range cfg.Route(m) {
@@ -126,7 +116,21 @@ func chunkedRun(t *testing.T, cfg RandomConfig, runSeed int64) (*trace.Recorder,
 	if checkErr != nil {
 		t.Fatal(checkErr)
 	}
+	if cfg.OnEngines != nil {
+		cfg.OnEngines(engines)
+	}
 	return rec, seqs
+}
+
+// RunChunked executes one seeded chunked run (random chunk sizes and
+// link interleavings, everything through amcast.BatchStep) and returns
+// the recorded trace. Store-backed tests combine it with
+// RandomConfig.OnEngines to compare state digests against a
+// per-envelope execution of the same workload.
+func RunChunked(t *testing.T, cfg RandomConfig, runSeed int64) *trace.Recorder {
+	t.Helper()
+	rec, _ := chunkedRun(t, cfg, runSeed)
+	return rec
 }
 
 // RunChunkedSafety exercises the weak (protocol-equivalence) form of the

@@ -185,6 +185,34 @@ type RandomConfig struct {
 	// Jitter adds random per-transmission latency (FIFO still enforced),
 	// exercising adversarial interleavings across links.
 	Jitter sim.Time
+	// NextMessage, when non-nil, replaces the uniform random workload:
+	// it builds client c's i-th multicast (id, destinations, payload)
+	// from the given rng. Store-backed tests use it to generate
+	// executable gTPC-C transaction payloads.
+	NextMessage func(c, i int, rng *rand.Rand) amcast.Message
+	// OnEngines, when non-nil, observes the engines after the run
+	// quiesces (digest comparisons across execution strategies).
+	OnEngines func(engines map[amcast.GroupID]amcast.Engine)
+}
+
+// message builds client c's i-th multicast: via NextMessage when set,
+// otherwise a uniform random destination set.
+func (cfg *RandomConfig) message(c, i, maxDst int, rng *rand.Rand) amcast.Message {
+	if cfg.NextMessage != nil {
+		return cfg.NextMessage(c, i, rng)
+	}
+	nDst := 1 + rng.Intn(maxDst)
+	perm := rng.Perm(len(cfg.Groups))
+	dst := make([]amcast.GroupID, 0, nDst)
+	for _, p := range perm[:nDst] {
+		dst = append(dst, cfg.Groups[p])
+	}
+	return amcast.Message{
+		ID:      amcast.NewMsgID(c, uint64(i+1)),
+		Sender:  amcast.ClientNode(c),
+		Dst:     amcast.NormalizeDst(dst),
+		Payload: []byte(fmt.Sprintf("payload-%d-%d", c, i)),
+	}
 }
 
 // RunRandom drives a random workload through the protocol on the
@@ -279,18 +307,7 @@ func RunSnapshotReplay(t *testing.T, cfg RandomConfig, snapAfter int) {
 		cid := amcast.ClientNode(c)
 		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
 		for i := 0; i < cfg.Messages; i++ {
-			nDst := 1 + rng.Intn(cfg.MaxDst)
-			perm := rng.Perm(len(cfg.Groups))
-			dst := make([]amcast.GroupID, 0, nDst)
-			for _, p := range perm[:nDst] {
-				dst = append(dst, cfg.Groups[p])
-			}
-			m := amcast.Message{
-				ID:      amcast.NewMsgID(c, uint64(i+1)),
-				Sender:  cid,
-				Dst:     amcast.NormalizeDst(dst),
-				Payload: []byte(fmt.Sprintf("payload-%d-%d", c, i)),
-			}
+			m := cfg.message(c, i, cfg.MaxDst, rng)
 			at := sim.Time(rng.Int63n(50_000))
 			s.ScheduleAt(at, func() {
 				for _, to := range cfg.Route(m) {
@@ -300,6 +317,14 @@ func RunSnapshotReplay(t *testing.T, cfg RandomConfig, snapAfter int) {
 		}
 	}
 	s.Run()
+
+	if cfg.OnEngines != nil {
+		engines := make(map[amcast.GroupID]amcast.Engine, len(taps))
+		for g, tap := range taps {
+			engines[g] = tap.eng
+		}
+		cfg.OnEngines(engines)
+	}
 
 	for _, g := range cfg.Groups {
 		tap := taps[g]
@@ -376,9 +401,11 @@ func runRandom(t *testing.T, cfg RandomConfig, noFIFO bool) *trace.Recorder {
 	net := sim.NewNetwork(s, latency, opts...)
 
 	var checkErr error
+	engines := make(map[amcast.GroupID]amcast.Engine, len(cfg.Groups))
 	for _, g := range cfg.Groups {
 		g := g
 		eng := cfg.Factory(g)
+		engines[g] = eng
 		net.Register(amcast.GroupNode(g), sim.HandlerFunc(func(env amcast.Envelope) {
 			for _, out := range eng.OnEnvelope(env) {
 				net.Send(amcast.GroupNode(g), out.To, out.Env)
@@ -396,18 +423,7 @@ func runRandom(t *testing.T, cfg RandomConfig, noFIFO bool) *trace.Recorder {
 		cid := amcast.ClientNode(c)
 		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
 		for i := 0; i < cfg.Messages; i++ {
-			nDst := 1 + rng.Intn(cfg.MaxDst)
-			perm := rng.Perm(len(cfg.Groups))
-			dst := make([]amcast.GroupID, 0, nDst)
-			for _, p := range perm[:nDst] {
-				dst = append(dst, cfg.Groups[p])
-			}
-			m := amcast.Message{
-				ID:      amcast.NewMsgID(c, uint64(i+1)),
-				Sender:  cid,
-				Dst:     amcast.NormalizeDst(dst),
-				Payload: []byte(fmt.Sprintf("payload-%d-%d", c, i)),
-			}
+			m := cfg.message(c, i, cfg.MaxDst, rng)
 			rec.OnMulticast(m)
 			at := sim.Time(rng.Int63n(50_000))
 			s.ScheduleAt(at, func() {
@@ -420,6 +436,9 @@ func runRandom(t *testing.T, cfg RandomConfig, noFIFO bool) *trace.Recorder {
 	s.Run()
 	if checkErr != nil {
 		t.Fatal(checkErr)
+	}
+	if cfg.OnEngines != nil {
+		cfg.OnEngines(engines)
 	}
 	return rec
 }

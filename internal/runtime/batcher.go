@@ -12,11 +12,25 @@ import (
 // the flush timer fires. Sends happen under the batcher's mutex, so per-
 // destination envelope order is exactly the Add order — the FIFO-link
 // property the protocols assume survives batching.
+//
+// Control-priority flushing: batches carrying protocol control
+// envelopes (ACK, NOTIF, TS, REPLY — everything that unblocks delivery
+// or completes a client transaction) are flushed ahead of payload-only
+// batches. Large chunks consolidate acks at chunk end, where they used
+// to queue behind fat payload frames into backpressured transports,
+// stretching FlexCast transaction lifetimes and widening in-flight
+// dependency state (more NOTIFs, fatter history diffs). Priority is
+// strictly across destinations: a destination's own batch is never
+// reordered internally, because FlexCast's incremental history diffs
+// rely on per-link FIFO delivery.
 type Batcher struct {
 	mu      sync.Mutex
 	send    SendBatchFunc
 	max     int
 	pending map[amcast.NodeID][]amcast.Envelope
+	// control marks destinations whose pending batch carries at least
+	// one control envelope; FlushAll sends those first.
+	control map[amcast.NodeID]bool
 	// order lists destinations with pending envelopes in first-Add order
 	// so FlushAll is deterministic and starvation-free.
 	order []amcast.NodeID
@@ -32,6 +46,9 @@ type BatcherStats struct {
 	Envelopes uint64
 	// MaxBatch is the largest batch sent.
 	MaxBatch int
+	// ControlBatches counts batches flushed in the control-priority
+	// phase (carrying at least one ACK/NOTIF/TS/REPLY envelope).
+	ControlBatches uint64
 }
 
 // AvgBatch returns the mean envelopes per transport send.
@@ -40,6 +57,16 @@ func (s BatcherStats) AvgBatch() float64 {
 		return 0
 	}
 	return float64(s.Envelopes) / float64(s.Batches)
+}
+
+// Add accumulates another node's stats into s.
+func (s *BatcherStats) Add(s2 BatcherStats) {
+	s.Batches += s2.Batches
+	s.Envelopes += s2.Envelopes
+	s.ControlBatches += s2.ControlBatches
+	if s2.MaxBatch > s.MaxBatch {
+		s.MaxBatch = s2.MaxBatch
+	}
 }
 
 // NewBatcher builds a batcher over a transport send function. max <= 1
@@ -52,8 +79,13 @@ func NewBatcher(send SendBatchFunc, max int) *Batcher {
 		send:    send,
 		max:     max,
 		pending: make(map[amcast.NodeID][]amcast.Envelope),
+		control: make(map[amcast.NodeID]bool),
 	}
 }
+
+// isControl reports whether an envelope is latency-critical protocol
+// control traffic rather than payload propagation.
+func isControl(env amcast.Envelope) bool { return !env.Kind.IsPayload() }
 
 // Add queues one envelope for a destination, flushing that destination's
 // batch when it reaches the cap.
@@ -61,6 +93,9 @@ func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.max <= 1 {
+		if isControl(env) {
+			b.stats.ControlBatches++
+		}
 		b.sendLocked(to, []amcast.Envelope{env})
 		return
 	}
@@ -69,16 +104,20 @@ func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
 		b.order = append(b.order, to)
 	}
 	q = append(q, env)
+	if isControl(env) {
+		b.control[to] = true
+	}
 	if len(q) >= b.max {
-		delete(b.pending, to)
-		b.dropFromOrder(to)
-		b.sendLocked(to, q)
+		b.flushLocked(to, q)
 		return
 	}
 	b.pending[to] = q
 }
 
-// FlushAll sends every pending batch.
+// FlushAll sends every pending batch: control-bearing destinations
+// first (in first-Add order), payload-only destinations after, so acks
+// and replies are never stuck behind payload frames on a backpressured
+// transport.
 func (b *Batcher) FlushAll() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -88,12 +127,17 @@ func (b *Batcher) FlushAll() {
 	order := b.order
 	b.order = nil
 	for _, to := range order {
-		q, ok := b.pending[to]
-		if !ok {
+		if !b.control[to] {
 			continue
 		}
-		delete(b.pending, to)
-		b.sendLocked(to, q)
+		if q, ok := b.pending[to]; ok {
+			b.flushLocked(to, q)
+		}
+	}
+	for _, to := range order {
+		if q, ok := b.pending[to]; ok {
+			b.flushLocked(to, q)
+		}
 	}
 }
 
@@ -102,6 +146,17 @@ func (b *Batcher) Stats() BatcherStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.stats
+}
+
+// flushLocked sends one destination's batch and clears its bookkeeping.
+func (b *Batcher) flushLocked(to amcast.NodeID, q []amcast.Envelope) {
+	delete(b.pending, to)
+	b.dropFromOrder(to)
+	if b.control[to] {
+		b.stats.ControlBatches++
+		delete(b.control, to)
+	}
+	b.sendLocked(to, q)
 }
 
 // sendLocked transmits one batch while holding the mutex; the transport

@@ -184,10 +184,11 @@ func (n *Node) process(envs []amcast.Envelope) {
 	for _, d := range dels {
 		if d.Msg.Sender.IsClient() {
 			n.batcher.Add(d.Msg.Sender, amcast.Envelope{
-				Kind: amcast.KindReply,
-				From: n.id,
-				Msg:  d.Msg.Header(),
-				TS:   d.Seq,
+				Kind:   amcast.KindReply,
+				From:   n.id,
+				Msg:    d.Msg.Header(),
+				TS:     d.Seq,
+				Result: d.Result,
 			})
 		}
 		if n.cfg.OnDeliver != nil {

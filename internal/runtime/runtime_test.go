@@ -213,6 +213,59 @@ func TestBatcherCapFlush(t *testing.T) {
 	}
 }
 
+// TestBatcherControlPriority checks that FlushAll sends batches
+// carrying control envelopes (ACK/NOTIF/TS/REPLY) before payload-only
+// batches, across destinations, while never reordering within a
+// destination (per-link FIFO).
+func TestBatcherControlPriority(t *testing.T) {
+	var sent []struct {
+		to   amcast.NodeID
+		envs []amcast.Envelope
+	}
+	b := runtime.NewBatcher(func(to amcast.NodeID, envs []amcast.Envelope) {
+		sent = append(sent, struct {
+			to   amcast.NodeID
+			envs []amcast.Envelope
+		}{to, append([]amcast.Envelope(nil), envs...)})
+	}, 16)
+
+	msg := amcast.Message{ID: amcast.NewMsgID(0, 1), Dst: []amcast.GroupID{2, 3}}
+	// Payload-only batches to groups 1 and 2 queued first, then a mixed
+	// batch (payload + ack) to group 3 and a pure ack to group 4.
+	b.Add(amcast.GroupNode(1), amcast.Envelope{Kind: amcast.KindMsg, Msg: msg})
+	b.Add(amcast.GroupNode(2), amcast.Envelope{Kind: amcast.KindMsg, Msg: msg})
+	b.Add(amcast.GroupNode(3), amcast.Envelope{Kind: amcast.KindMsg, Msg: msg})
+	b.Add(amcast.GroupNode(3), amcast.Envelope{Kind: amcast.KindAck, Msg: msg.Header()})
+	b.Add(amcast.GroupNode(4), amcast.Envelope{Kind: amcast.KindAck, Msg: msg.Header()})
+	b.FlushAll()
+
+	if len(sent) != 4 {
+		t.Fatalf("sends = %d, want 4", len(sent))
+	}
+	// Control-bearing destinations (3, then 4, in first-Add order) lead;
+	// payload-only destinations (1, then 2) follow.
+	wantOrder := []amcast.NodeID{amcast.GroupNode(3), amcast.GroupNode(4), amcast.GroupNode(1), amcast.GroupNode(2)}
+	for i, want := range wantOrder {
+		if sent[i].to != want {
+			t.Fatalf("send %d went to %s, want %s", i, sent[i].to, want)
+		}
+	}
+	// Group 3's batch keeps its internal Add order: MSG before ACK.
+	if sent[0].envs[0].Kind != amcast.KindMsg || sent[0].envs[1].Kind != amcast.KindAck {
+		t.Fatalf("within-destination order violated: %v %v", sent[0].envs[0].Kind, sent[0].envs[1].Kind)
+	}
+	if s := b.Stats(); s.ControlBatches != 2 {
+		t.Fatalf("ControlBatches = %d, want 2", s.ControlBatches)
+	}
+	// A later flush with fresh payload-only traffic does not inherit
+	// stale control flags.
+	b.Add(amcast.GroupNode(3), amcast.Envelope{Kind: amcast.KindMsg, Msg: msg})
+	b.FlushAll()
+	if s := b.Stats(); s.ControlBatches != 2 {
+		t.Fatalf("stale control flag: ControlBatches = %d, want 2", s.ControlBatches)
+	}
+}
+
 // TestBatcherUnbatchedPassThrough checks the -batch=1 baseline: every
 // Add is its own send.
 func TestBatcherUnbatchedPassThrough(t *testing.T) {

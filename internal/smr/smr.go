@@ -366,10 +366,11 @@ func (r *replica) apply() {
 			}
 			if d.Msg.Sender.IsClient() {
 				r.grp.net.Send(amcast.GroupNode(r.grp.cfg.Group), d.Msg.Sender, amcast.Envelope{
-					Kind: amcast.KindReply,
-					From: amcast.GroupNode(r.grp.cfg.Group),
-					Msg:  d.Msg.Header(),
-					TS:   d.Seq,
+					Kind:   amcast.KindReply,
+					From:   amcast.GroupNode(r.grp.cfg.Group),
+					Msg:    d.Msg.Header(),
+					TS:     d.Seq,
+					Result: d.Result,
 				})
 			}
 		}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"fmt"
+
+	"flexcast/amcast"
+	"flexcast/internal/trace"
+)
+
+// Executor attaches a shard to a protocol engine: deliveries drained
+// from the engine are executed against the shard (in delivery order,
+// the only order the runtime ever observes them in) before they leave
+// TakeDeliveries, and each delivery's Result carries the commit/abort
+// verdict for the client reply. The Executor itself implements
+// amcast.SnapshotEngine — snapshots and restores cover engine state AND
+// store state together — so every runtime layer (the batched node
+// runtime, the chaos crash/recovery harness, Paxos-replicated groups)
+// runs an executing group without modification: wrap the engine factory
+// and nothing else changes.
+type Executor struct {
+	eng    amcast.SnapshotEngine
+	shard  *Shard
+	mirror *Shard
+	// onApply observes executed transactions (the serializability
+	// checker's feed). Set before traffic flows; called from whatever
+	// goroutine drains the engine.
+	onApply func(trace.ExecRecord)
+}
+
+// NewExecutor wraps an engine with a freshly populated shard. mirror
+// adds a second, independently maintained shard replica fed the same
+// deliveries; CheckMirror then audits that Apply is deterministic
+// (byte-identical replica digests) without deploying Paxos groups.
+func NewExecutor(eng amcast.SnapshotEngine, cfg Config, mirror bool) (*Executor, error) {
+	if g := eng.Group(); g != cfg.Warehouse && cfg.Warehouse != amcast.NoGroup {
+		return nil, fmt.Errorf("store: engine group %d != warehouse %d", g, cfg.Warehouse)
+	}
+	cfg.Warehouse = eng.Group()
+	shard, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Executor{eng: eng, shard: shard}
+	if mirror {
+		m, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.mirror = m
+	}
+	return e, nil
+}
+
+// Shard exposes the live shard (invariant checks, digests). Read it
+// only after the owning runtime has quiesced.
+func (e *Executor) Shard() *Shard { return e.shard }
+
+// SetExecObserver installs the execution-record observer.
+func (e *Executor) SetExecObserver(f func(trace.ExecRecord)) { e.onApply = f }
+
+// Digest returns the live shard's state digest.
+func (e *Executor) Digest() [32]byte { return e.shard.Digest() }
+
+// CheckMirror verifies that the mirror replica — fed the identical
+// delivery sequence — reached a byte-identical digest.
+func (e *Executor) CheckMirror() error {
+	if e.mirror == nil {
+		return nil
+	}
+	if a, b := e.shard.Digest(), e.mirror.Digest(); a != b {
+		return fmt.Errorf("store: warehouse %d replica digests diverged (%x != %x): Apply is not deterministic",
+			e.shard.Warehouse(), a[:8], b[:8])
+	}
+	return nil
+}
+
+// Group implements amcast.Engine.
+func (e *Executor) Group() amcast.GroupID { return e.eng.Group() }
+
+// OnEnvelope implements amcast.Engine.
+func (e *Executor) OnEnvelope(env amcast.Envelope) []amcast.Output {
+	return e.eng.OnEnvelope(env)
+}
+
+// BatchStep implements amcast.BatchStepper via the inner engine's fast
+// path (or its per-envelope fallback).
+func (e *Executor) BatchStep(envs []amcast.Envelope) []amcast.Output {
+	return amcast.BatchStep(e.eng, envs)
+}
+
+// TakeDeliveries drains the engine and executes each delivery against
+// the shard (and mirror), stamping the execution verdict onto the
+// delivery for the client reply.
+func (e *Executor) TakeDeliveries() []amcast.Delivery {
+	dels := e.eng.TakeDeliveries()
+	for i := range dels {
+		res := e.shard.Apply(dels[i])
+		if e.mirror != nil {
+			e.mirror.Apply(dels[i])
+		}
+		dels[i].Result = res.Code
+		if e.onApply != nil && res.Code != amcast.ResultNone {
+			e.onApply(res.Record)
+		}
+	}
+	return dels
+}
+
+// CheckHistoryAcyclic forwards the inner engine's internal ordering
+// audit (the FlexCast history DAG) so wrapping an engine does not hide
+// it from the chaos explorer.
+func (e *Executor) CheckHistoryAcyclic() error {
+	if c, ok := e.eng.(interface{ CheckHistoryAcyclic() error }); ok {
+		return c.CheckHistoryAcyclic()
+	}
+	return nil
+}
+
+// execSnapshot is the combined engine+store snapshot.
+type execSnapshot struct {
+	eng    amcast.Snapshot
+	shard  *Shard
+	mirror *Shard
+}
+
+func (s *execSnapshot) SnapshotGroup() amcast.GroupID { return s.eng.SnapshotGroup() }
+
+// Snapshot implements amcast.SnapshotEngine: engine and store state are
+// captured together, so crash/recovery replay (chaos WAL, Paxos log)
+// rebuilds application state alongside protocol state.
+func (e *Executor) Snapshot() amcast.Snapshot {
+	s := &execSnapshot{eng: e.eng.Snapshot(), shard: e.shard.Clone()}
+	if e.mirror != nil {
+		s.mirror = e.mirror.Clone()
+	}
+	return s
+}
+
+// Restore implements amcast.SnapshotEngine. The snapshot stays usable
+// for further restores.
+func (e *Executor) Restore(snap amcast.Snapshot) error {
+	s, ok := snap.(*execSnapshot)
+	if !ok {
+		return fmt.Errorf("store: snapshot type %T is not an executor snapshot", snap)
+	}
+	if g := s.SnapshotGroup(); g != e.eng.Group() {
+		return fmt.Errorf("store: snapshot of group %d restored into group %d", g, e.eng.Group())
+	}
+	if err := e.eng.Restore(s.eng); err != nil {
+		return err
+	}
+	e.shard = s.shard.Clone()
+	if e.mirror != nil {
+		if s.mirror != nil {
+			e.mirror = s.mirror.Clone()
+		} else {
+			e.mirror = s.shard.Clone()
+		}
+	}
+	return nil
+}

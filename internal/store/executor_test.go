@@ -1,0 +1,269 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/gtpcc"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+	"flexcast/internal/skeen"
+	"flexcast/internal/trace"
+)
+
+var testGroups = []amcast.GroupID{1, 2, 3, 4}
+
+// gtpccWorkload builds a memoized prototest workload: client c's i-th
+// message is a gTPC-C transaction whose payload the store executes.
+// Memoization keeps the workload identical across repeated runs of the
+// same config (determinism comparisons re-run the generator).
+func gtpccWorkload(groups []amcast.GroupID, seed int64) func(c, i int, rng *rand.Rand) amcast.Message {
+	type client struct {
+		gen  *gtpcc.Gen
+		msgs []amcast.Message
+	}
+	clients := make(map[int]*client)
+	return func(c, i int, _ *rand.Rand) amcast.Message {
+		cl := clients[c]
+		if cl == nil {
+			home := groups[c%len(groups)]
+			var nearest []amcast.GroupID
+			for _, g := range groups {
+				if g != home {
+					nearest = append(nearest, g)
+				}
+			}
+			cl = &client{gen: gtpcc.MustNew(gtpcc.Config{
+				Home: home, Nearest: nearest, Locality: 0.9,
+			}, rand.New(rand.NewSource(seed+int64(c)*7919)))}
+			clients[c] = cl
+		}
+		for len(cl.msgs) <= i {
+			tx := cl.gen.Next()
+			cl.msgs = append(cl.msgs, amcast.Message{
+				ID:      amcast.NewMsgID(c, uint64(len(cl.msgs)+1)),
+				Sender:  amcast.ClientNode(c),
+				Dst:     tx.Dst,
+				Payload: gtpcc.EncodeTx(tx),
+			})
+		}
+		return cl.msgs[i]
+	}
+}
+
+// execDeployment wires Executor-wrapped engines into prototest runs and
+// keeps the created executors for post-run audits.
+type execDeployment struct {
+	t         *testing.T
+	factory   func(g amcast.GroupID) amcast.SnapshotEngine
+	rec       *trace.ExecRecorder
+	executors map[amcast.GroupID][]*Executor
+}
+
+func newExecDeployment(t *testing.T, factory func(g amcast.GroupID) amcast.SnapshotEngine, rec *trace.ExecRecorder) *execDeployment {
+	return &execDeployment{
+		t: t, factory: factory, rec: rec,
+		executors: make(map[amcast.GroupID][]*Executor),
+	}
+}
+
+func (d *execDeployment) Factory(g amcast.GroupID) amcast.Engine {
+	ex, err := NewExecutor(d.factory(g), Config{Warehouse: g}, true)
+	if err != nil {
+		d.t.Fatal(err)
+	}
+	if d.rec != nil {
+		ex.SetExecObserver(d.rec.OnApply)
+	}
+	d.executors[g] = append(d.executors[g], ex)
+	return ex
+}
+
+// liveShards returns the first-created executor's shard per group.
+func (d *execDeployment) liveShards() []*Shard {
+	var shards []*Shard
+	for _, g := range testGroups {
+		if exs := d.executors[g]; len(exs) > 0 {
+			shards = append(shards, exs[0].Shard())
+		}
+	}
+	return shards
+}
+
+func (d *execDeployment) checkMirrors() {
+	d.t.Helper()
+	for _, exs := range d.executors {
+		for _, ex := range exs {
+			if err := ex.CheckMirror(); err != nil {
+				d.t.Fatal(err)
+			}
+		}
+	}
+}
+
+func flexcastFactory(t *testing.T) (func(g amcast.GroupID) amcast.SnapshotEngine, func(m amcast.Message) []amcast.NodeID) {
+	t.Helper()
+	ov, err := overlay.NewCDAG(testGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(g amcast.GroupID) amcast.SnapshotEngine {
+		eng, err := core.New(core.Config{Group: g, Overlay: ov})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	route := func(m amcast.Message) []amcast.NodeID {
+		return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+	}
+	return factory, route
+}
+
+// TestStoreSnapshotReplay exercises the combined engine+store snapshot
+// under the generic snapshot-replay audit: restored executors must
+// reproduce the live outputs AND deliveries (including execution
+// verdicts) exactly.
+func TestStoreSnapshotReplay(t *testing.T) {
+	factory, route := flexcastFactory(t)
+	dep := newExecDeployment(t, factory, nil)
+	prototest.RunSnapshotReplay(t, prototest.RandomConfig{
+		Groups:      testGroups,
+		Clients:     3,
+		Messages:    40,
+		Route:       route,
+		Factory:     dep.Factory,
+		Seed:        11,
+		NextMessage: gtpccWorkload(testGroups, 11),
+	}, 30)
+}
+
+// TestExecutionSerializableUnderChunking drives the chunked execution
+// (random chunk sizes through the engines' batch fast paths) and checks
+// the store-level properties: the execution is cross-group
+// serializable, the cross-shard invariants hold, and mirror replicas
+// reach byte-identical digests.
+func TestExecutionSerializableUnderChunking(t *testing.T) {
+	for runSeed := int64(1); runSeed <= 3; runSeed++ {
+		factory, route := flexcastFactory(t)
+		execRec := trace.NewExecRecorder()
+		dep := newExecDeployment(t, factory, execRec)
+		rec := prototest.RunChunked(t, prototest.RandomConfig{
+			Groups:      testGroups,
+			Clients:     3,
+			Messages:    50,
+			Route:       route,
+			Factory:     dep.Factory,
+			Seed:        23,
+			NextMessage: gtpccWorkload(testGroups, 23),
+		}, runSeed)
+		if err := rec.CheckAll(true); err != nil {
+			t.Fatalf("run seed %d: multicast spec: %v", runSeed, err)
+		}
+		if execRec.Records() == 0 {
+			t.Fatalf("run seed %d: nothing executed", runSeed)
+		}
+		if err := execRec.CheckAll(); err != nil {
+			t.Fatalf("run seed %d: %v", runSeed, err)
+		}
+		if err := CheckInvariants(dep.liveShards()); err != nil {
+			t.Fatalf("run seed %d: %v", runSeed, err)
+		}
+		dep.checkMirrors()
+	}
+}
+
+// TestExecutionSerializablePerEnvelope is the per-envelope counterpart:
+// the simulator drives Executor-wrapped FlexCast engines with jitter,
+// and the execution must satisfy the same store-level properties.
+func TestExecutionSerializablePerEnvelope(t *testing.T) {
+	factory, route := flexcastFactory(t)
+	execRec := trace.NewExecRecorder()
+	dep := newExecDeployment(t, factory, execRec)
+	rec := prototest.RunRandom(t, prototest.RandomConfig{
+		Groups:      testGroups,
+		Clients:     4,
+		Messages:    60,
+		Route:       route,
+		Factory:     dep.Factory,
+		Seed:        5,
+		Jitter:      3_000,
+		NextMessage: gtpccWorkload(testGroups, 5),
+	})
+	if err := rec.CheckAll(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := execRec.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckInvariants(dep.liveShards()); err != nil {
+		t.Fatal(err)
+	}
+	dep.checkMirrors()
+}
+
+// TestChunkedAndPerEnvelopeDigestsIdentical verifies store determinism
+// across execution strategies on the strong batch-equivalence contract
+// (Skeen's engine): replaying each group's exact input sequence through
+// BatchStep in random chunks must land every shard on a byte-identical
+// digest.
+func TestChunkedAndPerEnvelopeDigestsIdentical(t *testing.T) {
+	factory := func(g amcast.GroupID) amcast.SnapshotEngine {
+		eng, err := skeen.New(skeen.Config{Group: g, Groups: testGroups})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	dep := newExecDeployment(t, factory, nil)
+	prototest.RunBatchEquivalence(t, prototest.RandomConfig{
+		Groups:   testGroups,
+		Clients:  3,
+		Messages: 50,
+		Route: func(m amcast.Message) []amcast.NodeID {
+			nodes := make([]amcast.NodeID, len(m.Dst))
+			for i, g := range m.Dst {
+				nodes[i] = amcast.GroupNode(g)
+			}
+			return nodes
+		},
+		Factory:     dep.Factory,
+		Seed:        31,
+		NextMessage: gtpccWorkload(testGroups, 31),
+	})
+	for _, g := range testGroups {
+		exs := dep.executors[g]
+		if len(exs) != 2 {
+			t.Fatalf("group %d: %d executors, want live+replay", g, len(exs))
+		}
+		if a, b := exs[0].Digest(), exs[1].Digest(); a != b {
+			t.Fatalf("group %d: per-envelope digest %x != chunked digest %x", g, a[:8], b[:8])
+		}
+	}
+	dep.checkMirrors()
+}
+
+// TestExecutorRestoreRejectsWrongSnapshots covers the snapshot type and
+// group guards.
+func TestExecutorRestoreRejectsWrongSnapshots(t *testing.T) {
+	factory, _ := flexcastFactory(t)
+	ex1, err := NewExecutor(factory(1), Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2, err := NewExecutor(factory(2), Config{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex1.Restore(ex2.Snapshot()); err == nil {
+		t.Fatal("cross-group restore accepted")
+	}
+	if err := ex1.Restore(factory(1).Snapshot()); err == nil {
+		t.Fatal("bare engine snapshot accepted by executor")
+	}
+	if err := ex1.Restore(ex1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,367 @@
+package trace
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"flexcast/amcast"
+)
+
+// Execution-level checking for partially replicated state machines
+// (internal/store): the store reports every transaction it applies as an
+// ExecRecord, and the ExecRecorder verifies that the execution — not
+// merely the delivery order — is cross-group serializable:
+//
+//   - read-set agreement: every group involved in a transaction decodes
+//     the same transaction (identical read-set digest, type, involved
+//     set) and reaches the same commit/abort verdict;
+//   - containment: a shard only touches rows it owns (the partial-
+//     replication contract: warehouse = group = shard), and only applies
+//     transactions it is involved in;
+//   - conflict serializability: the union over shards of the per-shard
+//     conflict orders (two transactions conflict when they touch a
+//     common row and at least one writes it) is acyclic, so the
+//     execution is equivalent to some serial one;
+//   - execution agreement: once a run quiesces, every transaction was
+//     applied at every involved shard.
+//
+// Recovery replay re-applies transactions at a recovering shard; the
+// recorder folds such duplicates, requiring them to be byte-identical to
+// the original application — a replay that diverges from the pre-crash
+// execution is reported as a violation.
+
+// Table identifiers of the store's rows, part of the shared checking
+// vocabulary so conflict detection does not depend on store internals.
+const (
+	// TableStock is the per-item stock table.
+	TableStock uint8 = 1
+	// TableCustomer is the per-customer balance table.
+	TableCustomer uint8 = 2
+	// TableWarehouse is the warehouse row (year-to-date totals).
+	TableWarehouse uint8 = 3
+	// TableOrders is the warehouse's order queue (new-order appends,
+	// delivery pops — modelled as one coarse row).
+	TableOrders uint8 = 4
+)
+
+// Row identifies one accessed record of the partitioned store.
+type Row struct {
+	// Shard is the warehouse owning the row.
+	Shard amcast.GroupID
+	// Table discriminates the row's table (TableStock, ...).
+	Table uint8
+	// Key is the row key within the table (item or customer index; 0
+	// for single-row tables).
+	Key int32
+	// Write reports whether the access mutated the row.
+	Write bool
+}
+
+// ExecRecord is one transaction application at one shard.
+type ExecRecord struct {
+	// Group is the shard that applied the transaction.
+	Group amcast.GroupID
+	// Seq is the shard-local application index (0-based, gap-free).
+	Seq uint64
+	// TxID is the transaction's multicast message id.
+	TxID amcast.MsgID
+	// Kind is the transaction type (gtpcc.TxType as uint8).
+	Kind uint8
+	// Committed is the commit/abort verdict.
+	Committed bool
+	// ReadSet digests the transaction's payload-derived access set; all
+	// involved groups must report the same value.
+	ReadSet uint64
+	// Involved is the transaction's full shard set (sorted).
+	Involved []amcast.GroupID
+	// Rows lists the rows the shard touched applying the transaction.
+	Rows []Row
+}
+
+// ExecRecorder accumulates execution records and checks them. Safe for
+// concurrent OnApply calls (runtime nodes execute on separate
+// goroutines); the checks must run after the run quiesces.
+type ExecRecorder struct {
+	mu sync.Mutex
+	// byShard[g] is g's application sequence in order.
+	byShard map[amcast.GroupID][]*ExecRecord
+	// byTx[id][g] is the application of id at shard g.
+	byTx map[amcast.MsgID]map[amcast.GroupID]*ExecRecord
+	// firstErr holds the first OnApply-time violation (replay mismatch,
+	// out-of-order application).
+	firstErr error
+}
+
+// NewExecRecorder returns an empty execution recorder.
+func NewExecRecorder() *ExecRecorder {
+	return &ExecRecorder{
+		byShard: make(map[amcast.GroupID][]*ExecRecord),
+		byTx:    make(map[amcast.MsgID]map[amcast.GroupID]*ExecRecord),
+	}
+}
+
+// OnApply records one application. Duplicate (group, tx) applications —
+// crash-recovery replay — must be identical to the original record.
+func (r *ExecRecorder) OnApply(rec ExecRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	byGroup, ok := r.byTx[rec.TxID]
+	if !ok {
+		byGroup = make(map[amcast.GroupID]*ExecRecord)
+		r.byTx[rec.TxID] = byGroup
+	}
+	if prev, dup := byGroup[rec.Group]; dup {
+		if !reflect.DeepEqual(*prev, rec) && r.firstErr == nil {
+			r.firstErr = fmt.Errorf("exec: recovery replay of tx %s at shard %d diverged:\n  replay %+v\n  original %+v",
+				rec.TxID, rec.Group, rec, *prev)
+		}
+		return
+	}
+	seq := r.byShard[rec.Group]
+	if want := uint64(len(seq)); rec.Seq != want && r.firstErr == nil {
+		r.firstErr = fmt.Errorf("exec: shard %d applied tx %s at index %d, expected %d (lost or reordered application)",
+			rec.Group, rec.TxID, rec.Seq, want)
+	}
+	cp := rec
+	byGroup[rec.Group] = &cp
+	r.byShard[rec.Group] = append(seq, &cp)
+}
+
+// Records reports how many applications were recorded.
+func (r *ExecRecorder) Records() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, seq := range r.byShard {
+		n += len(seq)
+	}
+	return n
+}
+
+// shards returns the recorded shard ids in ascending order.
+func (r *ExecRecorder) shards() []amcast.GroupID {
+	gs := make([]amcast.GroupID, 0, len(r.byShard))
+	for g := range r.byShard {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}
+
+// txIDs returns the recorded transaction ids in ascending order.
+func (r *ExecRecorder) txIDs() []amcast.MsgID {
+	ids := make([]amcast.MsgID, 0, len(r.byTx))
+	for id := range r.byTx {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// CheckReadSets verifies that all shards involved in a transaction
+// applied it against the same read-set digest, transaction type,
+// involved set and commit verdict.
+func (r *ExecRecorder) CheckReadSets() error {
+	for _, id := range r.txIDs() {
+		byGroup := r.byTx[id]
+		var ref *ExecRecord
+		gs := make([]amcast.GroupID, 0, len(byGroup))
+		for g := range byGroup {
+			gs = append(gs, g)
+		}
+		sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+		for _, g := range gs {
+			rec := byGroup[g]
+			if ref == nil {
+				ref = rec
+				continue
+			}
+			if rec.ReadSet != ref.ReadSet {
+				return fmt.Errorf("exec: tx %s read-set digest differs: shard %d has %x, shard %d has %x",
+					id, ref.Group, ref.ReadSet, rec.Group, rec.ReadSet)
+			}
+			if rec.Kind != ref.Kind {
+				return fmt.Errorf("exec: tx %s type differs across shards %d and %d", id, ref.Group, rec.Group)
+			}
+			if rec.Committed != ref.Committed {
+				return fmt.Errorf("exec: tx %s verdict differs: shard %d committed=%v, shard %d committed=%v",
+					id, ref.Group, ref.Committed, rec.Group, rec.Committed)
+			}
+			if !reflect.DeepEqual(rec.Involved, ref.Involved) {
+				return fmt.Errorf("exec: tx %s involved set differs: shard %d has %v, shard %d has %v",
+					id, ref.Group, ref.Involved, rec.Group, rec.Involved)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckContainment verifies the partial-replication contract: every
+// shard touches only rows it owns, and only applies transactions whose
+// involved set names it.
+func (r *ExecRecorder) CheckContainment() error {
+	for _, g := range r.shards() {
+		for _, rec := range r.byShard[g] {
+			involved := false
+			for _, h := range rec.Involved {
+				if h == g {
+					involved = true
+					break
+				}
+			}
+			if !involved {
+				return fmt.Errorf("exec: shard %d applied tx %s without being involved (%v)",
+					g, rec.TxID, rec.Involved)
+			}
+			for _, row := range rec.Rows {
+				if row.Shard != g {
+					return fmt.Errorf("exec: shard %d touched foreign row {shard %d table %d key %d} applying tx %s",
+						g, row.Shard, row.Table, row.Key, rec.TxID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckExecutionAgreement verifies that, at the end of a quiesced run,
+// every recorded transaction was applied by every shard in its involved
+// set.
+func (r *ExecRecorder) CheckExecutionAgreement() error {
+	for _, id := range r.txIDs() {
+		byGroup := r.byTx[id]
+		var ref *ExecRecord
+		for _, rec := range byGroup {
+			ref = rec
+			break
+		}
+		for _, g := range ref.Involved {
+			if _, ok := byGroup[g]; !ok {
+				return fmt.Errorf("exec: tx %s (involved %v) never applied at shard %d", id, ref.Involved, g)
+			}
+		}
+	}
+	return nil
+}
+
+// rowKey folds a Row (ignoring Write) for conflict indexing.
+type rowKey struct {
+	shard amcast.GroupID
+	table uint8
+	key   int32
+}
+
+// CheckConflictSerializability builds the conflict graph — T1 → T2 when
+// some shard applied T1 before T2 and the two touch a common row with at
+// least one write — and verifies it is acyclic, i.e. the execution is
+// equivalent to a serial one.
+func (r *ExecRecorder) CheckConflictSerializability() error {
+	succ := make(map[amcast.MsgID]map[amcast.MsgID]bool)
+	addEdge := func(from, to amcast.MsgID) {
+		if from == to {
+			return
+		}
+		s, ok := succ[from]
+		if !ok {
+			s = make(map[amcast.MsgID]bool)
+			succ[from] = s
+		}
+		s[to] = true
+	}
+	for _, g := range r.shards() {
+		lastWrite := make(map[rowKey]amcast.MsgID)
+		readers := make(map[rowKey][]amcast.MsgID)
+		for _, rec := range r.byShard[g] {
+			for _, row := range rec.Rows {
+				k := rowKey{shard: row.Shard, table: row.Table, key: row.Key}
+				if row.Write {
+					if w, ok := lastWrite[k]; ok {
+						addEdge(w, rec.TxID)
+					}
+					for _, rd := range readers[k] {
+						addEdge(rd, rec.TxID)
+					}
+					lastWrite[k] = rec.TxID
+					delete(readers, k)
+				} else {
+					if w, ok := lastWrite[k]; ok {
+						addEdge(w, rec.TxID)
+					}
+					readers[k] = append(readers[k], rec.TxID)
+				}
+			}
+		}
+	}
+	// Iterative three-color DFS (execution logs can be long).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[amcast.MsgID]int, len(succ))
+	roots := make([]amcast.MsgID, 0, len(succ))
+	for id := range succ {
+		roots = append(roots, id)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	type frame struct {
+		id   amcast.MsgID
+		next []amcast.MsgID
+	}
+	for _, root := range roots {
+		if color[root] != white {
+			continue
+		}
+		stack := []frame{{id: root, next: sortedSucc(succ[root])}}
+		color[root] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if len(top.next) == 0 {
+				color[top.id] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			s := top.next[0]
+			top.next = top.next[1:]
+			switch color[s] {
+			case gray:
+				return fmt.Errorf("exec: conflict cycle through transactions %s and %s — execution is not serializable",
+					top.id, s)
+			case white:
+				color[s] = gray
+				stack = append(stack, frame{id: s, next: sortedSucc(succ[s])})
+			}
+		}
+	}
+	return nil
+}
+
+func sortedSucc(s map[amcast.MsgID]bool) []amcast.MsgID {
+	out := make([]amcast.MsgID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CheckAll runs every execution check appropriate for a quiesced run.
+func (r *ExecRecorder) CheckAll() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstErr != nil {
+		return r.firstErr
+	}
+	if err := r.CheckReadSets(); err != nil {
+		return err
+	}
+	if err := r.CheckContainment(); err != nil {
+		return err
+	}
+	if err := r.CheckExecutionAgreement(); err != nil {
+		return err
+	}
+	return r.CheckConflictSerializability()
+}

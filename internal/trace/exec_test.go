@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"flexcast/amcast"
+)
+
+func rec(g amcast.GroupID, seq uint64, tx amcast.MsgID, readSet uint64, involved []amcast.GroupID, rows ...Row) ExecRecord {
+	return ExecRecord{
+		Group: g, Seq: seq, TxID: tx, Kind: 1, Committed: true,
+		ReadSet: readSet, Involved: involved, Rows: rows,
+	}
+}
+
+func w(g amcast.GroupID, table uint8, key int32) Row {
+	return Row{Shard: g, Table: table, Key: key, Write: true}
+}
+
+func rd(g amcast.GroupID, table uint8, key int32) Row {
+	return Row{Shard: g, Table: table, Key: key, Write: false}
+}
+
+func TestExecCleanRunPasses(t *testing.T) {
+	r := NewExecRecorder()
+	both := []amcast.GroupID{1, 2}
+	// Two cross-shard transactions applied in the same order at both
+	// shards, plus a local one.
+	r.OnApply(rec(1, 0, 10, 0xA, both, w(1, TableStock, 3)))
+	r.OnApply(rec(1, 1, 11, 0xB, both, w(1, TableStock, 3)))
+	r.OnApply(rec(2, 0, 10, 0xA, both, w(2, TableStock, 7)))
+	r.OnApply(rec(2, 1, 11, 0xB, both, w(2, TableStock, 7)))
+	r.OnApply(rec(2, 2, 12, 0xC, []amcast.GroupID{2}, w(2, TableCustomer, 1)))
+	if err := r.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Records() != 5 {
+		t.Fatalf("records = %d, want 5", r.Records())
+	}
+}
+
+func TestExecDetectsConflictCycle(t *testing.T) {
+	r := NewExecRecorder()
+	both := []amcast.GroupID{1, 2}
+	// Shard 1 applies 10 before 11; shard 2 applies 11 before 10, with
+	// write-write conflicts on both shards: a classic serializability
+	// cycle that per-shard checks cannot see.
+	r.OnApply(rec(1, 0, 10, 0xA, both, w(1, TableStock, 3)))
+	r.OnApply(rec(1, 1, 11, 0xB, both, w(1, TableStock, 3)))
+	r.OnApply(rec(2, 0, 11, 0xB, both, w(2, TableStock, 3)))
+	r.OnApply(rec(2, 1, 10, 0xA, both, w(2, TableStock, 3)))
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "not serializable") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestExecReadOnlyDoesNotConflict(t *testing.T) {
+	r := NewExecRecorder()
+	both := []amcast.GroupID{1, 2}
+	// Opposite application orders are fine when all common accesses are
+	// reads.
+	r.OnApply(rec(1, 0, 10, 0xA, both, rd(1, TableStock, 3)))
+	r.OnApply(rec(1, 1, 11, 0xB, both, rd(1, TableStock, 3)))
+	r.OnApply(rec(2, 0, 11, 0xB, both, rd(2, TableStock, 3)))
+	r.OnApply(rec(2, 1, 10, 0xA, both, rd(2, TableStock, 3)))
+	if err := r.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecReadWriteConflictDetected(t *testing.T) {
+	r := NewExecRecorder()
+	both := []amcast.GroupID{1, 2}
+	// T10 reads what T11 writes on shard 1 (10 before 11) but on shard 2
+	// the write lands first — a read-write cycle.
+	r.OnApply(rec(1, 0, 10, 0xA, both, rd(1, TableStock, 3)))
+	r.OnApply(rec(1, 1, 11, 0xB, both, w(1, TableStock, 3)))
+	r.OnApply(rec(2, 0, 11, 0xB, both, w(2, TableStock, 3)))
+	r.OnApply(rec(2, 1, 10, 0xA, both, rd(2, TableStock, 3)))
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "not serializable") {
+		t.Fatalf("read-write cycle not detected: %v", err)
+	}
+}
+
+func TestExecDetectsReadSetMismatch(t *testing.T) {
+	r := NewExecRecorder()
+	both := []amcast.GroupID{1, 2}
+	r.OnApply(rec(1, 0, 10, 0xA, both, w(1, TableStock, 1)))
+	r.OnApply(rec(2, 0, 10, 0xDEAD, both, w(2, TableStock, 1)))
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "read-set digest differs") {
+		t.Fatalf("read-set mismatch not detected: %v", err)
+	}
+}
+
+func TestExecDetectsVerdictMismatch(t *testing.T) {
+	r := NewExecRecorder()
+	both := []amcast.GroupID{1, 2}
+	r.OnApply(rec(1, 0, 10, 0xA, both))
+	bad := rec(2, 0, 10, 0xA, both)
+	bad.Committed = false
+	r.OnApply(bad)
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "verdict differs") {
+		t.Fatalf("verdict mismatch not detected: %v", err)
+	}
+}
+
+func TestExecDetectsMissingApplication(t *testing.T) {
+	r := NewExecRecorder()
+	r.OnApply(rec(1, 0, 10, 0xA, []amcast.GroupID{1, 2}, w(1, TableStock, 1)))
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "never applied") {
+		t.Fatalf("missing application not detected: %v", err)
+	}
+}
+
+func TestExecDetectsForeignRow(t *testing.T) {
+	r := NewExecRecorder()
+	r.OnApply(rec(1, 0, 10, 0xA, []amcast.GroupID{1}, w(2, TableStock, 1)))
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "foreign row") {
+		t.Fatalf("foreign row not detected: %v", err)
+	}
+}
+
+func TestExecDetectsUninvolvedShard(t *testing.T) {
+	r := NewExecRecorder()
+	r.OnApply(rec(3, 0, 10, 0xA, []amcast.GroupID{1, 2}, w(3, TableStock, 1)))
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "without being involved") {
+		t.Fatalf("uninvolved application not detected: %v", err)
+	}
+}
+
+func TestExecRecoveryReplayFoldsIdenticalDuplicates(t *testing.T) {
+	r := NewExecRecorder()
+	one := []amcast.GroupID{1}
+	a := rec(1, 0, 10, 0xA, one, w(1, TableStock, 1))
+	r.OnApply(a)
+	r.OnApply(a) // WAL replay after a crash re-applies identically
+	if err := r.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Records() != 1 {
+		t.Fatalf("records = %d, want 1 (duplicate folded)", r.Records())
+	}
+}
+
+func TestExecRecoveryReplayDivergenceDetected(t *testing.T) {
+	r := NewExecRecorder()
+	one := []amcast.GroupID{1}
+	r.OnApply(rec(1, 0, 10, 0xA, one, w(1, TableStock, 1)))
+	diverged := rec(1, 0, 10, 0xA, one, w(1, TableStock, 2))
+	r.OnApply(diverged)
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "replay") {
+		t.Fatalf("replay divergence not detected: %v", err)
+	}
+}
+
+func TestExecOutOfOrderApplicationDetected(t *testing.T) {
+	r := NewExecRecorder()
+	one := []amcast.GroupID{1}
+	r.OnApply(rec(1, 0, 10, 0xA, one))
+	r.OnApply(rec(1, 5, 11, 0xB, one)) // skipped indices 1..4
+	err := r.CheckAll()
+	if err == nil || !strings.Contains(err.Error(), "lost or reordered") {
+		t.Fatalf("application gap not detected: %v", err)
+	}
+}

@@ -69,10 +69,11 @@ func (n *InMemNet) AddEngine(eng amcast.Engine, onDeliver DeliverFunc) error {
 		for _, d := range eng.TakeDeliveries() {
 			if d.Msg.Sender.IsClient() {
 				n.Send(id, d.Msg.Sender, amcast.Envelope{
-					Kind: amcast.KindReply,
-					From: id,
-					Msg:  d.Msg.Header(),
-					TS:   d.Seq,
+					Kind:   amcast.KindReply,
+					From:   id,
+					Msg:    d.Msg.Header(),
+					TS:     d.Seq,
+					Result: d.Result,
 				})
 			}
 			if onDeliver != nil {

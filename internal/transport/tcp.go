@@ -109,10 +109,11 @@ func NewTCPEngineNode(eng amcast.Engine, book AddrBook, onDeliver DeliverFunc) (
 		for _, d := range eng.TakeDeliveries() {
 			if d.Msg.Sender.IsClient() {
 				_ = n.Send(d.Msg.Sender, amcast.Envelope{
-					Kind: amcast.KindReply,
-					From: id,
-					Msg:  d.Msg.Header(),
-					TS:   d.Seq,
+					Kind:   amcast.KindReply,
+					From:   id,
+					Msg:    d.Msg.Header(),
+					TS:     d.Seq,
+					Result: d.Result,
 				})
 			}
 			if onDeliver != nil {

@@ -1,0 +1,312 @@
+package flexcast
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/gtpcc"
+	"flexcast/internal/store"
+)
+
+// StoreClusterConfig configures an executing cluster: a Cluster (the
+// batched in-process runtime) whose groups each own one warehouse shard
+// of the partitioned gTPC-C database (internal/store).
+type StoreClusterConfig struct {
+	// Protocol selects the multicast protocol (default ProtocolFlexCast).
+	Protocol ProtocolKind
+	// Warehouses is the number of warehouse groups; when Overlay/Tree
+	// are unset a chain overlay (or a star tree for the hierarchical
+	// protocol) over groups 1..Warehouses is built (default 4).
+	Warehouses int
+	// Overlay overrides the generated overlay (FlexCast, Skeen).
+	Overlay *Overlay
+	// Tree overrides the generated tree (hierarchical).
+	Tree *Tree
+	// Items and Customers size each warehouse's tables (defaults: the
+	// gTPC-C generator's table sizes).
+	Items     int
+	Customers int
+	// StoreSeed drives the deterministic initial population (default 1).
+	StoreSeed int64
+	// MaxBatch, FlushInterval and CallTimeout pass through to the
+	// underlying ClusterConfig.
+	MaxBatch      int
+	FlushInterval time.Duration
+	CallTimeout   time.Duration
+}
+
+// OrderLine is one item of a NewOrder call: Qty units of Item supplied
+// by warehouse Supply.
+type OrderLine struct {
+	Item   int
+	Supply GroupID
+	Qty    int
+}
+
+// TxResult is the outcome of one executed transaction.
+type TxResult struct {
+	// ID is the transaction's multicast message id.
+	ID MsgID
+	// Committed reports the verdict (all involved warehouses agree; a
+	// disagreement fails the call instead).
+	Committed bool
+	// Results maps each involved warehouse to its reply's result code.
+	Results map[GroupID]uint8
+}
+
+// StoreCluster is an in-process deployment of the partially replicated
+// gTPC-C store over atomic multicast: every transaction is multicast to
+// the warehouses it involves, delivered in a cross-group serializable
+// order, and executed deterministically at each involved shard. It is
+// the executable-workload counterpart of Cluster.
+type StoreCluster struct {
+	c         *Cluster
+	execs     map[GroupID]*store.Executor
+	items     int
+	customers int
+}
+
+// NewStoreCluster builds and starts an executing cluster.
+func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) {
+	if cfg.Protocol == 0 {
+		cfg.Protocol = ProtocolFlexCast
+	}
+	if cfg.Warehouses == 0 {
+		cfg.Warehouses = 4
+	}
+	ccfg := ClusterConfig{
+		Protocol:      cfg.Protocol,
+		Overlay:       cfg.Overlay,
+		Tree:          cfg.Tree,
+		MaxBatch:      cfg.MaxBatch,
+		FlushInterval: cfg.FlushInterval,
+		CallTimeout:   cfg.CallTimeout,
+	}
+	if ccfg.Overlay == nil && ccfg.Tree == nil {
+		groups := make([]GroupID, cfg.Warehouses)
+		for i := range groups {
+			groups[i] = GroupID(i + 1)
+		}
+		if cfg.Protocol == ProtocolHierarchical {
+			tree, err := NewTree(groups[0], map[GroupID][]GroupID{groups[0]: groups[1:]})
+			if err != nil {
+				return nil, err
+			}
+			ccfg.Tree = tree
+		} else {
+			ov, err := NewOverlay(groups)
+			if err != nil {
+				return nil, err
+			}
+			ccfg.Overlay = ov
+		}
+	}
+
+	if cfg.Items == 0 {
+		cfg.Items = gtpcc.NumItems
+	}
+	if cfg.Customers == 0 {
+		cfg.Customers = gtpcc.NumCustomers
+	}
+	sc := &StoreCluster{
+		execs:     make(map[GroupID]*store.Executor),
+		items:     cfg.Items,
+		customers: cfg.Customers,
+	}
+	ccfg.WrapEngine = func(g GroupID, eng Engine) (Engine, error) {
+		se, ok := eng.(amcast.SnapshotEngine)
+		if !ok {
+			return nil, fmt.Errorf("flexcast: %s engine does not support snapshots", cfg.Protocol)
+		}
+		ex, err := store.NewExecutor(se, store.Config{
+			Warehouse: g,
+			Items:     cfg.Items,
+			Customers: cfg.Customers,
+			Seed:      cfg.StoreSeed,
+		}, true)
+		if err != nil {
+			return nil, err
+		}
+		sc.execs[g] = ex
+		return ex, nil
+	}
+	c, err := NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.c = c
+	return sc, nil
+}
+
+// Warehouses returns the cluster's warehouse groups.
+func (sc *StoreCluster) Warehouses() []GroupID { return sc.c.Groups() }
+
+// checkCustomer validates a customer index against the table size.
+func (sc *StoreCluster) checkCustomer(customer int) error {
+	if customer < 0 || customer >= sc.customers {
+		return fmt.Errorf("flexcast: customer %d outside [0,%d)", customer, sc.customers)
+	}
+	return nil
+}
+
+// exec multicasts one transaction and folds the per-warehouse verdicts.
+func (sc *StoreCluster) exec(tx gtpcc.Tx) (*TxResult, error) {
+	id, results, err := sc.c.CallResults(tx.Involved(), gtpcc.EncodeTx(tx))
+	if err != nil {
+		return nil, err
+	}
+	res := &TxResult{ID: id, Results: results}
+	first := uint8(0)
+	groups := make([]GroupID, 0, len(results))
+	for g := range results {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	for i, g := range groups {
+		code := results[g]
+		if code == amcast.ResultNone {
+			return nil, fmt.Errorf("flexcast: warehouse %d did not execute tx %s", g, id)
+		}
+		if i == 0 {
+			first = code
+			continue
+		}
+		if code != first {
+			return nil, fmt.Errorf("flexcast: tx %s verdicts diverge across warehouses: %v", id, results)
+		}
+	}
+	res.Committed = first == amcast.ResultCommitted
+	return res, nil
+}
+
+// NewOrder executes a TPC-C new-order for a customer of the home
+// warehouse; order lines may be supplied by remote warehouses, making
+// the transaction multi-shard.
+func (sc *StoreCluster) NewOrder(home GroupID, customer int, lines []OrderLine) (*TxResult, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("flexcast: new-order needs at least one order line")
+	}
+	if err := sc.checkCustomer(customer); err != nil {
+		return nil, err
+	}
+	for _, l := range lines {
+		if l.Item < 0 || l.Item >= sc.items {
+			return nil, fmt.Errorf("flexcast: item %d outside [0,%d)", l.Item, sc.items)
+		}
+		if l.Qty < 0 {
+			return nil, fmt.Errorf("flexcast: negative quantity %d", l.Qty)
+		}
+	}
+	tx := gtpcc.Tx{
+		Type:        gtpcc.NewOrder,
+		Home:        home,
+		Customer:    int32(customer),
+		Items:       len(lines),
+		PayloadSize: 64 + 12*len(lines),
+	}
+	for _, l := range lines {
+		supply := l.Supply
+		if supply == amcast.NoGroup {
+			supply = home
+		}
+		qty := l.Qty
+		if qty <= 0 {
+			qty = 1
+		}
+		tx.Lines = append(tx.Lines, gtpcc.OrderLine{
+			Item: int32(l.Item), Supply: supply, Qty: int32(qty),
+		})
+	}
+	tx.Dst = tx.Involved()
+	return sc.exec(tx)
+}
+
+// Payment executes a TPC-C payment: the home warehouse banks amount,
+// the customer's warehouse debits the customer (multi-shard when they
+// differ).
+func (sc *StoreCluster) Payment(home, customerWarehouse GroupID, customer int, amount int64) (*TxResult, error) {
+	if amount <= 0 {
+		return nil, fmt.Errorf("flexcast: payment amount must be positive")
+	}
+	if err := sc.checkCustomer(customer); err != nil {
+		return nil, err
+	}
+	if customerWarehouse == amcast.NoGroup {
+		customerWarehouse = home
+	}
+	tx := gtpcc.Tx{
+		Type:          gtpcc.Payment,
+		Home:          home,
+		Customer:      int32(customer),
+		CustWarehouse: customerWarehouse,
+		Amount:        amount,
+		PayloadSize:   48,
+	}
+	tx.Dst = tx.Involved()
+	return sc.exec(tx)
+}
+
+// OrderStatus executes the read-only order-status transaction at one
+// warehouse (single-shard, still ordered through the multicast).
+func (sc *StoreCluster) OrderStatus(warehouse GroupID, customer int) (*TxResult, error) {
+	if err := sc.checkCustomer(customer); err != nil {
+		return nil, err
+	}
+	tx := gtpcc.Tx{
+		Type: gtpcc.OrderStatus, Home: warehouse,
+		Customer: int32(customer), PayloadSize: 40,
+	}
+	tx.Dst = tx.Involved()
+	return sc.exec(tx)
+}
+
+// DeliverOrders executes the delivery transaction at one warehouse,
+// popping its oldest undelivered orders.
+func (sc *StoreCluster) DeliverOrders(warehouse GroupID) (*TxResult, error) {
+	tx := gtpcc.Tx{Type: gtpcc.Delivery, Home: warehouse, PayloadSize: 40}
+	tx.Dst = tx.Involved()
+	return sc.exec(tx)
+}
+
+// StockLevel executes the read-only stock-level transaction at one
+// warehouse.
+func (sc *StoreCluster) StockLevel(warehouse GroupID, threshold int) (*TxResult, error) {
+	tx := gtpcc.Tx{
+		Type: gtpcc.StockLevel, Home: warehouse,
+		Threshold: int32(threshold), PayloadSize: 40,
+	}
+	tx.Dst = tx.Involved()
+	return sc.exec(tx)
+}
+
+// Digest returns a warehouse shard's state digest — the witness that
+// replicas (and independent runs with the same delivery order) hold
+// byte-identical state. Quiesce the cluster (no in-flight Calls) before
+// reading digests.
+func (sc *StoreCluster) Digest(warehouse GroupID) ([32]byte, error) {
+	ex, ok := sc.execs[warehouse]
+	if !ok {
+		return [32]byte{}, fmt.Errorf("flexcast: unknown warehouse %d", warehouse)
+	}
+	return ex.Digest(), nil
+}
+
+// CheckInvariants audits the quiesced store: per-shard conservation,
+// the cross-shard payment and order-line conservation laws, and the
+// byte-identity of each shard's mirror replica.
+func (sc *StoreCluster) CheckInvariants() error {
+	shards := make([]*store.Shard, 0, len(sc.execs))
+	for _, g := range sc.c.Groups() {
+		ex := sc.execs[g]
+		if err := ex.CheckMirror(); err != nil {
+			return err
+		}
+		shards = append(shards, ex.Shard())
+	}
+	return store.CheckInvariants(shards)
+}
+
+// Close stops the underlying cluster.
+func (sc *StoreCluster) Close() { sc.c.Close() }
