@@ -157,3 +157,28 @@ type Output struct {
 	To  NodeID
 	Env Envelope
 }
+
+// PrefixTracker accumulates, per group, the delivered prefix a client
+// has observed: every KindReply envelope answers one delivery and
+// carries its group-local sequence number (Envelope.TS), so a reply
+// witnesses that deliveries 0..TS have been applied at the replying
+// group. The tracked prefix is the read-your-writes barrier of the
+// local-read fast path (internal/store, DESIGN.md §1d); every harness
+// that derives read barriers from replies folds them through this one
+// type. Not synchronized — callers guard it with whatever protects
+// their reply handling.
+type PrefixTracker map[GroupID]uint64
+
+// Observe folds one envelope into the tracker (non-reply kinds are
+// ignored).
+func (t PrefixTracker) Observe(env Envelope) {
+	if env.Kind != KindReply {
+		return
+	}
+	if g := env.From.Group(); env.TS+1 > t[g] {
+		t[g] = env.TS + 1
+	}
+}
+
+// Prefix returns the observed delivered prefix at group g.
+func (t PrefixTracker) Prefix(g GroupID) uint64 { return t[g] }

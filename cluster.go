@@ -79,7 +79,12 @@ type Cluster struct {
 	mu      sync.Mutex
 	seq     uint64
 	waiters map[MsgID]*callWaiter
-	closed  bool
+	// observed is the delivered prefix this client has witnessed per
+	// group — the consistency barrier of the local-read fast path
+	// (StoreCluster): a read at barrier observed[g] sees every delivery
+	// whose reply the client has already received. Guarded by mu.
+	observed amcast.PrefixTracker
+	closed   bool
 }
 
 type callWaiter struct {
@@ -115,10 +120,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		cfg:     cfg,
-		groups:  groups,
-		net:     transport.NewInMemNet(),
-		waiters: make(map[MsgID]*callWaiter),
+		cfg:      cfg,
+		groups:   groups,
+		net:      transport.NewInMemNet(),
+		waiters:  make(map[MsgID]*callWaiter),
+		observed: make(amcast.PrefixTracker),
 	}
 	for _, g := range groups {
 		eng, err := c.newEngine(g)
@@ -169,6 +175,16 @@ func (c *Cluster) newEngine(g GroupID) (Engine, error) {
 
 // Groups returns the cluster's group set.
 func (c *Cluster) Groups() []GroupID { return append([]GroupID(nil), c.groups...) }
+
+// ObservedPrefix returns the delivered prefix the cluster's built-in
+// client has observed at group g: one past the highest delivery
+// sequence seen on a reply from g. It only grows as Calls complete, so
+// it is a valid read-your-writes barrier for local reads against g.
+func (c *Cluster) ObservedPrefix(g GroupID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.observed.Prefix(g)
+}
 
 // Multicast sends payload to the destination groups and returns the
 // message id without waiting for delivery. Deliveries surface through
@@ -278,6 +294,7 @@ func (c *Cluster) onClientEnvelope(env Envelope) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.observed.Observe(env)
 	w, ok := c.waiters[env.Msg.ID]
 	if !ok {
 		return

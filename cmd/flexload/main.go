@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"flexcast/internal/codec"
 	"flexcast/internal/loadgen"
 )
 
@@ -43,6 +44,10 @@ func main() {
 		globalOnly = flag.Bool("global-only", false, "multi-group transactions only")
 		execute    = flag.Bool("execute", false, "execute the gTPC-C store at every group (per-type stats, cross-shard invariant digest)")
 		storeSeed  = flag.Int64("store-seed", 0, "store population seed (0 = workload seed)")
+		readPct    = flag.Float64("read-pct", 0, "percent of iterations served as fast-path local reads (requires -execute)")
+		zipf       = flag.Float64("zipf", 0, "Zipfian workload skew parameter s (> 1; 0 = uniform)")
+		noPool     = flag.Bool("no-pool", false, "disable codec frame pooling (allocation A/B baseline)")
+		ab         = flag.Bool("ab", false, "also run the A/B companions: read mix off and frame pooling off")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		out        = flag.String("out", "", "write the JSON report to this file")
 		compare    = flag.Bool("compare", false, "also run the -batch=1 baseline and report the speedup")
@@ -76,15 +81,21 @@ func main() {
 		GlobalOnly:    *globalOnly,
 		Execute:       *execute,
 		StoreSeed:     *storeSeed,
+		ReadPct:       *readPct,
+		Zipf:          *zipf,
 		Seed:          *seed,
 	}
 
+	codec.SetPooling(!*noPool)
 	res, err := loadgen.Run(cfg)
 	if err != nil {
 		log.Fatalf("flexload: %v", err)
 	}
-	printResult(fmt.Sprintf("%s/%s batch=%d", cfg.Transport, cfg.Protocol, cfg.MaxBatch), res)
+	printResult(fmt.Sprintf("%s/%s batch=%d read-pct=%.0f", cfg.Transport, cfg.Protocol, cfg.MaxBatch, cfg.ReadPct), res)
 	rep := loadgen.NewReport(cfg, res)
+	if rep.ReadWriteP50Ratio > 0 {
+		fmt.Printf("write p50 / read p50: %.0fx\n", rep.ReadWriteP50Ratio)
+	}
 
 	if *compare {
 		base := cfg
@@ -96,6 +107,47 @@ func main() {
 		printResult(fmt.Sprintf("%s/%s batch=1 (baseline)", cfg.Transport, cfg.Protocol), baseRes)
 		rep.WithBaseline(baseRes)
 		fmt.Printf("speedup vs unbatched: %.2fx\n", rep.SpeedupVsUnbatched)
+	}
+
+	if *ab {
+		if cfg.ReadPct > 0 {
+			noReads := cfg
+			noReads.ReadPct = 0
+			vres, err := loadgen.Run(noReads)
+			if err != nil {
+				log.Fatalf("flexload: no_reads variant: %v", err)
+			}
+			printResult(fmt.Sprintf("%s/%s batch=%d read-pct=0 (variant)", cfg.Transport, cfg.Protocol, cfg.MaxBatch), vres)
+			rep.WithVariant("no_reads", vres)
+		}
+		// The frame pool is only in the TCP path (the in-memory transport
+		// never touches the codec), so the pooling A/B always runs over
+		// TCP — an inmem no_pool "variant" would measure nothing but run
+		// noise.
+		poolCfg := cfg
+		poolCfg.Transport = "tcp"
+		runPool := func(label string, on bool) {
+			codec.SetPooling(on)
+			vres, err := loadgen.Run(poolCfg)
+			codec.SetPooling(!*noPool)
+			if err != nil {
+				log.Fatalf("flexload: %s variant: %v", label, err)
+			}
+			printResult(fmt.Sprintf("tcp/%s batch=%d %s (variant)", poolCfg.Protocol, poolCfg.MaxBatch, label), vres)
+			rep.WithVariant(label, vres)
+		}
+		switch {
+		case cfg.Transport == "tcp" && *noPool:
+			// The primary run is the unpooled TCP measurement; the
+			// variant supplies the pooled side of the A/B.
+			runPool("pool", true)
+		case cfg.Transport == "tcp":
+			// The primary run is the pooled TCP measurement already.
+			runPool("no_pool", false)
+		default:
+			runPool("tcp_pool", true)
+			runPool("tcp_no_pool", false)
+		}
 	}
 
 	if *out != "" {
@@ -116,6 +168,10 @@ func printResult(label string, r *loadgen.Result) {
 		label, r.Throughput, r.Completed, r.WindowSecs)
 	fmt.Printf("  latency µs: p50 %d  p90 %d  p99 %d  p99.9 %d  max %d  mean %.0f\n",
 		l.P50, l.P90, l.P99, l.P999, l.Max, l.Mean)
+	if rl := r.ReadLatency; rl != nil {
+		fmt.Printf("  fast reads: %d (%.0f/s, total %.0f tx/s)  latency µs: p50 %d  p99 %d  max %d  mean %.1f\n",
+			r.Reads, r.ReadThroughput, r.TotalThroughput, rl.P50, rl.P99, rl.Max, rl.Mean)
+	}
 	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
 		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)
 	if ex := r.Execute; ex != nil {

@@ -32,6 +32,7 @@ package chaos
 
 import (
 	"fmt"
+	"math/rand"
 
 	"flexcast/amcast"
 	"flexcast/internal/sim"
@@ -57,11 +58,28 @@ type Deployment struct {
 	Minimality bool
 	// Instrument, when non-nil, is called once per schedule right after
 	// the engines are built — the hook execute-mode deployments use to
-	// attach execution observers (store.Executor) — and the function it
-	// returns runs after the schedule quiesces, auditing execution-level
-	// properties (serializability, store invariants, replica digests).
-	// Its error is reported as the schedule's violation.
-	Instrument func(engines map[amcast.GroupID]amcast.SnapshotEngine) func() error
+	// attach execution observers (store.Executor). The returned
+	// Instrumentation provides the schedule's execution-level hooks:
+	// the post-quiescence audit and, optionally, the local-read fast
+	// path the explorer's clients exercise.
+	Instrument func(engines map[amcast.GroupID]amcast.SnapshotEngine) *Instrumentation
+}
+
+// Instrumentation carries one schedule's execution-level hooks.
+type Instrumentation struct {
+	// FastRead, when non-nil, executes one read-only fast-path
+	// transaction at group g against the group's local state, requiring
+	// barrier (the issuing client's observed delivered prefix). The rng
+	// derives the read deterministically from the schedule seed. A
+	// returned error — including a barrier the shard cannot serve,
+	// which in the simulator means the delivered-prefix contract broke —
+	// is reported as the schedule's violation.
+	FastRead func(rng *rand.Rand, g amcast.GroupID, barrier uint64) error
+	// PostCheck, when non-nil, runs after the schedule quiesces,
+	// auditing execution-level properties (serializability including
+	// fast reads, store invariants, replica digests). Its error is the
+	// schedule's violation.
+	PostCheck func() error
 }
 
 func (d *Deployment) validate() error {
@@ -143,6 +161,14 @@ type Options struct {
 	// on recovery.
 	SnapshotEvery int
 
+	// FastReadProb is the probability that a client reply triggers a
+	// local-read fast-path transaction at the replying group, at the
+	// client's observed delivered-prefix barrier (only on deployments
+	// whose Instrumentation provides FastRead; default 0.25, negative
+	// disables). Reads interleave with crashes, recoveries and
+	// partitions, auditing the fast path under the full fault model.
+	FastReadProb float64
+
 	// BugFlipEvery is a test-only hook that validates the checker
 	// pipeline: when > 0, every BugFlipEvery-th multi-delivery batch at
 	// a group records its first two deliveries in swapped order — a
@@ -211,6 +237,9 @@ func (o *Options) fill() {
 	}
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 16
+	}
+	if o.FastReadProb == 0 {
+		o.FastReadProb = 0.25
 	}
 	// Negative knobs ("fault class off") are kept as-is so fill stays
 	// idempotent; the injector treats them as zero.

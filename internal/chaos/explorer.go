@@ -17,6 +17,9 @@ type ScheduleResult struct {
 	// Multicasts and Deliveries count the workload.
 	Multicasts int
 	Deliveries int
+	// FastReads counts the local-read fast-path transactions issued
+	// (execute-mode deployments with FastRead instrumentation).
+	FastReads int
 	// Events is the number of simulator events executed.
 	Events uint64
 	// Faults counts the injected faults.
@@ -33,9 +36,11 @@ type Report struct {
 	Deployment string
 	// Schedules is the number of schedules explored.
 	Schedules int
-	// Multicasts, Deliveries and Events aggregate the workload.
+	// Multicasts, Deliveries, FastReads and Events aggregate the
+	// workload.
 	Multicasts int
 	Deliveries int
+	FastReads  int
 	Events     uint64
 	// Faults aggregates the injected faults.
 	Faults FaultStats
@@ -56,8 +61,8 @@ func (r *Report) Failed() bool { return len(r.Violations) > 0 }
 // Print renders the report; violations come with their seed and fault
 // trace so they can be replayed.
 func (r *Report) Print(w io.Writer) {
-	fmt.Fprintf(w, "chaos %-12s  schedules=%d multicasts=%d deliveries=%d events=%d\n",
-		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.Events)
+	fmt.Fprintf(w, "chaos %-12s  schedules=%d multicasts=%d deliveries=%d fast-reads=%d events=%d\n",
+		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.FastReads, r.Events)
 	fmt.Fprintf(w, "  faults: retransmits=%d duplicates=%d partition-hits=%d crashes=%d parked=%d\n",
 		r.Faults.Retransmits, r.Faults.Duplicates, r.Faults.PartitionHits, r.Faults.Crashes, r.Faults.Parked)
 	if !r.Failed() {
@@ -102,6 +107,7 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 		}
 		rep.Multicasts += res.Multicasts
 		rep.Deliveries += res.Deliveries
+		rep.FastReads += res.FastReads
 		rep.Events += res.Events
 		rep.Faults.Add(res.Faults)
 		if res.Err != nil {
@@ -109,6 +115,54 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// readIssuer tracks one client's observed delivered prefixes (from
+// reply sequence numbers) and issues seeded local-read fast-path
+// transactions through the deployment's FastRead instrumentation —
+// each read at the client's own barrier, so read-your-writes is
+// exercised under the full fault model.
+type readIssuer struct {
+	rng    *rand.Rand
+	prob   float64
+	read   func(rng *rand.Rand, g amcast.GroupID, barrier uint64) error
+	prefix amcast.PrefixTracker
+	res    *ScheduleResult
+	fail   func(err error)
+}
+
+// newReadIssuer returns nil when the deployment has no fast-read hook
+// or reads are disabled.
+func newReadIssuer(instr *Instrumentation, opt Options, seed int64, client int, res *ScheduleResult, fail func(error)) *readIssuer {
+	if instr == nil || instr.FastRead == nil || opt.FastReadProb <= 0 {
+		return nil
+	}
+	return &readIssuer{
+		rng:    rand.New(rand.NewSource(ScheduleSeed(seed, 5000+client))),
+		prob:   opt.FastReadProb,
+		read:   instr.FastRead,
+		prefix: make(amcast.PrefixTracker),
+		res:    res,
+		fail:   fail,
+	}
+}
+
+// onReply folds one reply into the observed prefix and, with the
+// configured probability, issues a fast-path read at the replying
+// group's barrier.
+func (ri *readIssuer) onReply(env amcast.Envelope) {
+	if ri == nil || env.Kind != amcast.KindReply {
+		return
+	}
+	ri.prefix.Observe(env)
+	if ri.rng.Float64() >= ri.prob {
+		return
+	}
+	g := env.From.Group()
+	ri.res.FastReads++
+	if err := ri.read(ri.rng, g, ri.prefix.Prefix(g)); err != nil {
+		ri.fail(fmt.Errorf("fast read at group %d: %w", g, err))
+	}
 }
 
 // loopClient is one closed-loop workload source: it issues its next
@@ -125,6 +179,7 @@ type loopClient struct {
 	next  int
 	cur   map[amcast.GroupID]bool
 	think sim.Time
+	reads *readIssuer
 }
 
 func (c *loopClient) issue() {
@@ -145,8 +200,11 @@ func (c *loopClient) issue() {
 }
 
 // HandleEnvelope implements sim.Handler: collect replies, issue the next
-// multicast once the current one completed everywhere.
+// multicast once the current one completed everywhere. Every reply also
+// feeds the fast-read issuer (stale and duplicate replies included —
+// they still witness a delivered prefix).
 func (c *loopClient) HandleEnvelope(env amcast.Envelope) {
+	c.reads.onReply(env)
 	if env.Kind != amcast.KindReply || c.cur == nil || !c.cur[env.From.Group()] {
 		return
 	}
@@ -227,9 +285,9 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 		engines[g] = eng
 		net.Register(amcast.GroupNode(g), n)
 	}
-	var postCheck func() error
+	var instr *Instrumentation
 	if d.Instrument != nil {
-		postCheck = d.Instrument(engines)
+		instr = d.Instrument(engines)
 	}
 
 	// Crash/recovery schedule: crash the server and park its traffic;
@@ -345,13 +403,15 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 			lc := &loopClient{
 				s: s, net: net, route: d.Route, rec: rec, res: res,
 				id: cid, msgs: msgs, think: opt.ThinkTime,
+				reads: newReadIssuer(instr, opt, seed, c, res, fail),
 			}
 			net.Register(cid, lc)
 			start := sim.Time(rng.Int63n(int64(opt.InjectWindow)/8 + 1))
 			s.ScheduleAt(start, lc.issue)
 			continue
 		}
-		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {}))
+		ri := newReadIssuer(instr, opt, seed, c, res, fail)
+		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) { ri.onReply(env) }))
 		for i := range msgs {
 			m := msgs[i]
 			rec.OnMulticast(m)
@@ -389,10 +449,11 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 			}
 		}
 	}
-	// Execution-level audits (store serializability, cross-shard
-	// invariants, replica digests) on execute-mode deployments.
-	if res.Err == nil && postCheck != nil {
-		res.Err = postCheck()
+	// Execution-level audits (store serializability including fast
+	// reads, cross-shard invariants, replica digests) on execute-mode
+	// deployments.
+	if res.Err == nil && instr != nil && instr.PostCheck != nil {
+		res.Err = instr.PostCheck()
 	}
 	return res, nil
 }

@@ -31,7 +31,13 @@ const MaxBatchEnvelopes = 1 << 16
 
 // MarshalBatch encodes a non-empty envelope batch as one frame.
 func MarshalBatch(envs []amcast.Envelope) []byte {
-	buf := make([]byte, 0, BatchSize(envs))
+	return AppendBatch(make([]byte, 0, BatchSize(envs)), envs)
+}
+
+// AppendBatch encodes a batch frame onto buf, equivalent to
+// append(buf, MarshalBatch(envs)...) without the intermediate
+// allocation — the transport's pooled-buffer encode path.
+func AppendBatch(buf []byte, envs []amcast.Envelope) []byte {
 	buf = append(buf, BatchKind)
 	buf = binary.AppendUvarint(buf, uint64(len(envs)))
 	for _, env := range envs {

@@ -1,0 +1,102 @@
+package codec
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+)
+
+// benchBatch builds a representative runtime batch: mostly control
+// envelopes (the FlexCast steady-state mix) plus a few payload messages.
+func benchBatch(n int) []amcast.Envelope {
+	envs := make([]amcast.Envelope, n)
+	for i := range envs {
+		switch i % 4 {
+		case 0:
+			envs[i] = amcast.Envelope{Kind: amcast.KindMsg, From: amcast.GroupNode(1),
+				Msg: amcast.Message{ID: amcast.MsgID(i + 1), Sender: amcast.ClientNode(0),
+					Dst: []amcast.GroupID{1, 2}, Payload: make([]byte, 64)}}
+		default:
+			envs[i] = amcast.Envelope{Kind: amcast.KindAck, From: amcast.GroupNode(2),
+				Msg:       amcast.Message{ID: amcast.MsgID(i + 1), Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1, 2}},
+				NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 3}},
+				AckCovers: []amcast.GroupID{1}}
+		}
+	}
+	return envs
+}
+
+// controlBatch is the pure-control variant (ACK/TS only) whose decode
+// path is allocation-free for the frame buffer.
+func controlBatch(n int) []amcast.Envelope {
+	envs := make([]amcast.Envelope, n)
+	for i := range envs {
+		envs[i] = amcast.Envelope{Kind: amcast.KindTS, From: amcast.GroupNode(2),
+			Msg: amcast.Message{ID: amcast.MsgID(i + 1), Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1, 2}},
+			TS:  uint64(i), TSFrom: 2}
+	}
+	return envs
+}
+
+// BenchmarkMarshalBatch is the unpooled encode baseline: one frame
+// allocation per batch.
+func BenchmarkMarshalBatch(b *testing.B) {
+	envs := benchBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := MarshalBatch(envs)
+		_ = buf
+	}
+}
+
+// BenchmarkAppendBatchPooled is the transport's send path: encode into
+// a pooled frame, release it — zero allocations per frame.
+func BenchmarkAppendBatchPooled(b *testing.B) {
+	envs := benchBatch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := GetFrame(BatchSize(envs))
+		f.B = AppendBatch(f.B, envs)
+		f.Release()
+	}
+}
+
+// BenchmarkDecodeControlAlloc is the unpooled decode baseline for a
+// control frame: one frame-buffer allocation per frame plus the decoded
+// structures.
+func BenchmarkDecodeControlAlloc(b *testing.B) {
+	frame := MarshalBatch(controlBatch(64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := make([]byte, len(frame))
+		copy(buf, frame)
+		if _, err := DecodeFrame(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeControlPooled mirrors the transport's read path: the
+// frame buffer comes from the pool and recycles because control frames
+// do not alias it.
+func BenchmarkDecodeControlPooled(b *testing.B) {
+	frame := MarshalBatch(controlBatch(64))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := GetFrame(len(frame))
+		f.B = append(f.B, frame...)
+		envs, err := DecodeFrame(f.B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if FrameAliases(envs) {
+			f.Disown()
+		} else {
+			f.Release()
+		}
+	}
+}

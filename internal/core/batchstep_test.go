@@ -42,6 +42,34 @@ func TestBatchStepSafety(t *testing.T) {
 	}
 }
 
+// TestPriorityDrainSafety validates the node runtime's receiver-side
+// control-priority drain against the full multicast specification:
+// chunked executions in which every chunk is reordered control-first
+// (per-sender FIFO preserved — the exact permutation runtime.Node.take
+// applies under backlog) must still deliver acyclically, agree, stay
+// genuine and remain deterministic. FlexCast is the protocol whose
+// incremental history diffs are most sensitive to reordering, which is
+// why the drain's safety argument (DESIGN.md §1b) is proven here.
+func TestPriorityDrainSafety(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4, 5}
+	ov := overlay.MustCDAG(groups)
+	for seed := int64(0); seed < 4; seed++ {
+		prototest.RunChunkedSafety(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 25,
+			Route: func(m amcast.Message) []amcast.NodeID {
+				return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+			},
+			Factory: func(g amcast.GroupID) amcast.Engine {
+				return core.MustNew(core.Config{Group: g, Overlay: ov})
+			},
+			Seed:          911 + seed,
+			PriorityDrain: true,
+		}, true)
+	}
+}
+
 // TestBatchStepSingletonMatchesOnEnvelope pins the chunk-size-1 case:
 // a 1-envelope batch must be byte-identical to OnEnvelope.
 func TestBatchStepSingletonMatchesOnEnvelope(t *testing.T) {

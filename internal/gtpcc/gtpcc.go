@@ -130,6 +130,14 @@ type Config struct {
 	// MaxDst drops transactions addressed to more destinations (paper:
 	// 3). Zero means 3.
 	MaxDst int
+	// Zipf, when > 1, skews the workload with a Zipfian distribution of
+	// parameter s = Zipf: item and customer picks favour low indexes
+	// (hot rows) and remote-warehouse picks favour the nearest
+	// warehouses — the contention-skewed variant of the workload.
+	// Deterministic under the generator's seed like everything else.
+	// 0 keeps TPC-C's uniform picks; values in (0, 1] are invalid
+	// (the Zipfian law needs s > 1 to normalize).
+	Zipf float64
 }
 
 // Gen generates gTPC-C transactions for one client. Not safe for
@@ -141,6 +149,12 @@ type Gen struct {
 	// remotePayments forces Payment transactions remote in GlobalOnly
 	// mode; in the full mix TPC-C pays a remote customer 15 % of the time.
 	remoteRate float64
+
+	// Zipfian skew generators (nil when Config.Zipf is 0): hot items,
+	// hot customers, and hot (near) destination warehouses.
+	itemZ *rand.Zipf
+	custZ *rand.Zipf
+	destZ *rand.Zipf
 }
 
 // New builds a generator. The rng must be private to this generator.
@@ -162,11 +176,36 @@ func New(cfg Config, rng *rand.Rand) (*Gen, error) {
 	if cfg.MaxDst == 0 {
 		cfg.MaxDst = 3
 	}
+	if cfg.Zipf != 0 && cfg.Zipf <= 1 {
+		return nil, fmt.Errorf("gtpcc: zipf parameter %v outside (1, inf)", cfg.Zipf)
+	}
 	remoteRate := 0.15 // TPC-C: 15 % of payments hit a remote warehouse
 	if cfg.GlobalOnly {
 		remoteRate = 1
 	}
-	return &Gen{cfg: cfg, rng: rng, remoteRate: remoteRate}, nil
+	g := &Gen{cfg: cfg, rng: rng, remoteRate: remoteRate}
+	if cfg.Zipf > 1 {
+		g.itemZ = rand.NewZipf(rng, cfg.Zipf, 1, uint64(NumItems-1))
+		g.custZ = rand.NewZipf(rng, cfg.Zipf, 1, uint64(NumCustomers-1))
+		g.destZ = rand.NewZipf(rng, cfg.Zipf, 1, uint64(len(cfg.Nearest)-1))
+	}
+	return g, nil
+}
+
+// item picks an item index: uniform, or the hot head of the Zipfian law.
+func (g *Gen) item() int32 {
+	if g.itemZ != nil {
+		return int32(g.itemZ.Uint64())
+	}
+	return int32(g.rng.Intn(NumItems))
+}
+
+// customer picks a customer index (uniform or Zipf-skewed).
+func (g *Gen) customer() int32 {
+	if g.custZ != nil {
+		return int32(g.custZ.Uint64())
+	}
+	return int32(g.rng.Intn(NumCustomers))
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -221,7 +260,7 @@ func (g *Gen) newOrder() Tx {
 	dst := []amcast.GroupID{g.cfg.Home}
 	for i := range lines {
 		lines[i] = OrderLine{
-			Item:   int32(g.rng.Intn(NumItems)),
+			Item:   g.item(),
 			Supply: g.cfg.Home,
 			Qty:    int32(1 + g.rng.Intn(10)),
 		}
@@ -241,7 +280,7 @@ func (g *Gen) newOrder() Tx {
 		Home:        g.cfg.Home,
 		Items:       items,
 		Lines:       lines,
-		Customer:    int32(g.rng.Intn(NumCustomers)),
+		Customer:    g.customer(),
 		Rollback:    g.rng.Float64() < 0.01, // TPC-C: 1 % of new-orders roll back
 		PayloadSize: 64 + 12*items,
 	}
@@ -259,7 +298,7 @@ func (g *Gen) payment() Tx {
 		Type:          Payment,
 		Dst:           dst,
 		Home:          g.cfg.Home,
-		Customer:      int32(g.rng.Intn(NumCustomers)),
+		Customer:      g.customer(),
 		CustWarehouse: custW,
 		Amount:        int64(1 + g.rng.Intn(MaxPayment)),
 		PayloadSize:   48,
@@ -270,17 +309,35 @@ func (g *Gen) local(t TxType, size int) Tx {
 	tx := Tx{Type: t, Dst: []amcast.GroupID{g.cfg.Home}, Home: g.cfg.Home, PayloadSize: size}
 	switch t {
 	case OrderStatus:
-		tx.Customer = int32(g.rng.Intn(NumCustomers))
+		tx.Customer = g.customer()
 	case StockLevel:
 		tx.Threshold = int32(10 + g.rng.Intn(11)) // TPC-C: uniform in [10,20]
 	}
 	return tx
 }
 
+// NextRead generates a read-only single-shard transaction — TPC-C's
+// read-only pair, order-status and stock-level at equal rates, at the
+// home warehouse. These are the transactions the local-read fast path
+// serves without multicast; read-mix workloads (loadgen -read-pct) draw
+// from this stream. Customer picks honour the Zipf skew.
+func (g *Gen) NextRead() Tx {
+	if g.rng.Intn(2) == 0 {
+		return g.local(OrderStatus, 40)
+	}
+	return g.local(StockLevel, 40)
+}
+
 // pickRemote walks the nearest-warehouse order: the nearest warehouse is
 // chosen with probability Locality, otherwise the next nearest, and so on;
-// the walk stops at the farthest warehouse (§5.3).
+// the walk stops at the farthest warehouse (§5.3). With Zipf skew the
+// walk is replaced by a Zipfian draw over the same order — nearest
+// warehouses are the hot ones, with a heavier tail than the geometric
+// walk produces.
 func (g *Gen) pickRemote() amcast.GroupID {
+	if g.destZ != nil {
+		return g.cfg.Nearest[g.destZ.Uint64()]
+	}
 	for _, w := range g.cfg.Nearest[:len(g.cfg.Nearest)-1] {
 		if g.rng.Float64() < g.cfg.Locality {
 			return w

@@ -1,0 +1,119 @@
+package gtpcc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/wan"
+)
+
+func zipfGen(t *testing.T, s float64, seed int64) *Gen {
+	t.Helper()
+	g, err := New(Config{
+		Home:     1,
+		Nearest:  wan.NearestOrder(1),
+		Locality: 0.95,
+		Zipf:     s,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range []float64{0.5, 1.0, -2} {
+		_, err := New(Config{
+			Home: 1, Nearest: wan.NearestOrder(1), Locality: 0.95, Zipf: s,
+		}, rng)
+		if err == nil {
+			t.Fatalf("zipf parameter %v accepted", s)
+		}
+	}
+}
+
+// TestZipfSkewsHotRows verifies the contention skew: with s = 1.5 the
+// hottest item and customer must absorb far more than the uniform share
+// of picks, and remote destinations must concentrate on the nearest
+// warehouse.
+func TestZipfSkewsHotRows(t *testing.T) {
+	g := zipfGen(t, 1.5, 7)
+	items := make(map[int32]int)
+	custs := make(map[int32]int)
+	dests := make(map[amcast.GroupID]int)
+	nearest := wan.NearestOrder(1)[0]
+	const n = 4000
+	remote := 0
+	for i := 0; i < n; i++ {
+		tx := g.Next()
+		if tx.Type == NewOrder {
+			for _, l := range tx.Lines {
+				items[l.Item]++
+				if l.Supply != g.cfg.Home {
+					dests[l.Supply]++
+					remote++
+				}
+			}
+		}
+		if tx.Type == NewOrder || tx.Type == Payment || tx.Type == OrderStatus {
+			custs[tx.Customer]++
+		}
+	}
+	totalItems := 0
+	for _, c := range items {
+		totalItems += c
+	}
+	// Uniform would give item 0 about 1 % of picks; Zipf(1.5) gives a
+	// large multiple. Use a conservative 5x threshold.
+	if frac := float64(items[0]) / float64(totalItems); frac < 0.05 {
+		t.Fatalf("item 0 drew %.3f of picks, want the Zipf head (>= 0.05)", frac)
+	}
+	if frac := float64(custs[0]) / float64(n); frac < 0.10 {
+		t.Fatalf("customer 0 drew %.3f of picks, want the Zipf head", frac)
+	}
+	if remote > 0 {
+		if frac := float64(dests[nearest]) / float64(remote); frac < 0.5 {
+			t.Fatalf("nearest warehouse drew %.3f of remote picks, want the Zipf head", frac)
+		}
+	}
+}
+
+// TestZipfDeterministic: identical seeds must reproduce the identical
+// transaction and read streams — the property every harness (loadgen
+// A/B, chaos replay) relies on.
+func TestZipfDeterministic(t *testing.T) {
+	a, b := zipfGen(t, 1.3, 42), zipfGen(t, 1.3, 42)
+	for i := 0; i < 200; i++ {
+		ta, tb := a.Next(), b.Next()
+		if !reflect.DeepEqual(ta, tb) {
+			t.Fatalf("tx %d diverged under identical seeds:\n%+v\n%+v", i, ta, tb)
+		}
+		ra, rb := a.NextRead(), b.NextRead()
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("read %d diverged under identical seeds:\n%+v\n%+v", i, ra, rb)
+		}
+	}
+}
+
+// TestNextRead verifies the read stream: read-only types only, local to
+// the home warehouse, both types present.
+func TestNextRead(t *testing.T) {
+	g := gen(t, 3, 0.95, false, 11)
+	seen := make(map[TxType]int)
+	for i := 0; i < 200; i++ {
+		tx := g.NextRead()
+		if tx.Type != OrderStatus && tx.Type != StockLevel {
+			t.Fatalf("NextRead produced %s", tx.Type)
+		}
+		if len(tx.Dst) != 1 || tx.Dst[0] != 3 || tx.Home != 3 {
+			t.Fatalf("read not local to home: %+v", tx)
+		}
+		seen[tx.Type]++
+	}
+	if seen[OrderStatus] == 0 || seen[StockLevel] == 0 {
+		t.Fatalf("read mix missing a type: %v", seen)
+	}
+}

@@ -105,40 +105,60 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 }
 
 // instrumentExecution attaches a per-schedule execution recorder to
-// every store executor and returns the post-schedule audit.
-func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) func() error {
+// every store executor and returns the schedule's instrumentation: the
+// local-read fast path (TryRead at the client's barrier — in the
+// simulator a reply always implies the prefix is applied, so a failed
+// barrier is a violation, not a wait) and the post-schedule audit.
+func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) *chaos.Instrumentation {
 	rec := trace.NewExecRecorder()
 	execs := make(map[amcast.GroupID]*store.Executor, len(engines))
 	for g, eng := range engines {
 		ex, ok := eng.(*store.Executor)
 		if !ok {
 			g := g
-			return func() error {
+			return &chaos.Instrumentation{PostCheck: func() error {
 				return fmt.Errorf("harness: execute-mode engine of group %d is %T, not a store executor", g, engines[g])
-			}
+			}}
 		}
 		ex.SetExecObserver(rec.OnApply)
+		ex.SetReadObserver(rec.OnFastRead)
 		execs[g] = ex
 	}
-	return func() error {
-		if rec.Records() == 0 {
-			return fmt.Errorf("harness: execute-mode schedule executed nothing")
-		}
-		if err := rec.CheckAll(); err != nil {
-			return err
-		}
-		shards := make([]*store.Shard, 0, len(execs))
-		for _, g := range wan.Groups() {
+	return &chaos.Instrumentation{
+		FastRead: func(rng *rand.Rand, g amcast.GroupID, barrier uint64) error {
 			ex, ok := execs[g]
 			if !ok {
-				continue
+				return fmt.Errorf("harness: fast read at unknown group %d", g)
 			}
-			if err := ex.CheckMirror(); err != nil {
+			var tx gtpcc.Tx
+			if rng.Intn(2) == 0 {
+				tx = gtpcc.Tx{Type: gtpcc.OrderStatus, Home: g, Customer: int32(rng.Intn(gtpcc.NumCustomers))}
+			} else {
+				tx = gtpcc.Tx{Type: gtpcc.StockLevel, Home: g, Threshold: int32(10 + rng.Intn(11))}
+			}
+			_, err := ex.TryRead(tx, barrier)
+			return err
+		},
+		PostCheck: func() error {
+			if rec.Records() == 0 {
+				return fmt.Errorf("harness: execute-mode schedule executed nothing")
+			}
+			if err := rec.CheckAll(); err != nil {
 				return err
 			}
-			shards = append(shards, ex.Shard())
-		}
-		return store.CheckInvariants(shards)
+			shards := make([]*store.Shard, 0, len(execs))
+			for _, g := range wan.Groups() {
+				ex, ok := execs[g]
+				if !ok {
+					continue
+				}
+				if err := ex.CheckMirror(); err != nil {
+					return err
+				}
+				shards = append(shards, ex.Shard())
+			}
+			return store.CheckInvariants(shards)
+		},
 	}
 }
 

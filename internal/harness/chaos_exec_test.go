@@ -33,6 +33,49 @@ func TestChaosExecuteStoreAudits(t *testing.T) {
 			if rep.Deliveries == 0 {
 				t.Fatal("nothing delivered")
 			}
+			if rep.FastReads == 0 {
+				t.Fatal("execute-mode schedules issued no fast-path reads")
+			}
+		})
+	}
+}
+
+// TestChaosFastReadsUnderFaults drives the local-read fast path hard —
+// every reply triggers a read — under the full fault model including
+// crash/recovery, on both loop modes. The delivered-prefix barrier must
+// hold at every read (a TryRead failure is a violation), and the
+// ExecRecorder audits (fast-read containment, read-only rows, conflict
+// serializability with reads merged at their cuts) must stay green.
+func TestChaosFastReadsUnderFaults(t *testing.T) {
+	for _, closedLoop := range []bool{false, true} {
+		name := "open-loop"
+		if closedLoop {
+			name = "closed-loop"
+		}
+		t.Run(name, func(t *testing.T) {
+			rep, err := harness.RunChaos(harness.ChaosConfig{
+				Protocol: harness.FlexCast,
+				Execute:  true,
+				Options: chaos.Options{
+					Seed: 77, Schedules: 4,
+					ClosedLoop:   closedLoop,
+					FastReadProb: 1,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failed() {
+				var b strings.Builder
+				rep.Print(&b)
+				t.Fatalf("fast-read schedules violated invariants:\n%s", b.String())
+			}
+			if rep.FastReads == 0 {
+				t.Fatal("no fast reads issued")
+			}
+			if rep.Faults.Crashes == 0 {
+				t.Fatal("schedules explored no crash/recovery alongside the reads")
+			}
 		})
 	}
 }

@@ -29,3 +29,26 @@ func TestBatchStepEquivalence(t *testing.T) {
 		})
 	}
 }
+
+// TestPriorityDrainSafety runs the chunked executions with the
+// receiver-side control-priority reordering (runtime.Node.take's
+// permutation) on the tree protocol; the hierarchical baseline is not
+// genuine, so minimality is not asserted.
+func TestPriorityDrainSafety(t *testing.T) {
+	tr := wan.T1()
+	for seed := int64(0); seed < 2; seed++ {
+		prototest.RunChunkedSafety(t, prototest.RandomConfig{
+			Groups:   tr.Groups(),
+			Clients:  3,
+			Messages: 15,
+			Route: func(m amcast.Message) []amcast.NodeID {
+				return []amcast.NodeID{amcast.GroupNode(tr.Lca(m.Dst))}
+			},
+			Factory: func(g amcast.GroupID) amcast.Engine {
+				return hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tr})
+			},
+			Seed:          seed*37 + 5,
+			PriorityDrain: true,
+		}, false)
+	}
+}

@@ -26,6 +26,7 @@ func deploy(cfg Config, proto *protocolDeployment, r *run) (*deployment, []*clie
 			id:       amcast.ClientNode(i),
 			out:      make(chan amcast.Message, cfg.Workers),
 			inflight: make(map[amcast.MsgID]*txState),
+			prefix:   make(amcast.PrefixTracker),
 			run:      r,
 		}
 	}

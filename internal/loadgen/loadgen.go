@@ -93,6 +93,18 @@ type Config struct {
 	// StoreSeed seeds the store's initial population in execute mode
 	// (default: Seed).
 	StoreSeed int64
+	// ReadPct is the read mix in percent: that fraction of each
+	// session's iterations issue a read-only single-shard transaction
+	// (order-status or stock-level at the client's home warehouse)
+	// through the local-read fast path — no multicast, executed directly
+	// against the home shard at the client's delivered-prefix barrier.
+	// Reads are measured in their own histogram (Result.ReadLatency)
+	// and never enter the multicast counters. Requires Execute.
+	ReadPct float64
+	// Zipf, when > 1, skews the gTPC-C workload with a Zipfian law of
+	// that parameter (hot items, hot customers, near destinations); see
+	// gtpcc.Config.Zipf.
+	Zipf float64
 }
 
 func (c *Config) fill() error {
@@ -147,6 +159,15 @@ func (c *Config) fill() error {
 	if c.StoreSeed == 0 {
 		c.StoreSeed = c.Seed
 	}
+	if c.ReadPct < 0 || c.ReadPct > 100 {
+		return fmt.Errorf("loadgen: read percentage %v outside [0, 100]", c.ReadPct)
+	}
+	if c.ReadPct > 0 && !c.Execute {
+		return fmt.Errorf("loadgen: -read-pct requires -execute (fast-path reads run against the store)")
+	}
+	if c.Zipf != 0 && c.Zipf <= 1 {
+		return fmt.Errorf("loadgen: zipf parameter %v outside (1, inf)", c.Zipf)
+	}
 	return nil
 }
 
@@ -188,12 +209,24 @@ type ExecuteResult struct {
 	TxApplied uint64 `json:"tx_applied"`
 }
 
-// Result is one run's measurement.
+// Result is one run's measurement. Completed/Throughput/Latency cover
+// the multicast (write) path only — comparable across every report this
+// repository has ever emitted; read-mix runs add the fast-path read
+// counters alongside.
 type Result struct {
 	Completed  uint64                 `json:"completed"`
 	Throughput float64                `json:"throughput_tx_s"`
 	WindowSecs float64                `json:"window_s"`
 	Latency    metrics.LatencySummary `json:"latency_us"`
+	// Reads counts fast-path read completions in the measurement window;
+	// ReadThroughput is their rate and ReadLatency their summary (often
+	// single-digit microseconds — the histogram's unit stays µs, so a
+	// p50 of 0 means sub-microsecond). TotalThroughput combines reads
+	// and writes. Present only on read-mix runs.
+	Reads           uint64                  `json:"reads,omitempty"`
+	ReadThroughput  float64                 `json:"read_throughput_tx_s,omitempty"`
+	TotalThroughput float64                 `json:"total_throughput_tx_s,omitempty"`
+	ReadLatency     *metrics.LatencySummary `json:"read_latency_us,omitempty"`
 	// Execute carries the store-execution measurement when the run
 	// executed transactions (-execute).
 	Execute *ExecuteResult `json:"execute,omitempty"`
@@ -219,24 +252,23 @@ type protocolDeployment struct {
 	route   func(m amcast.Message) []amcast.NodeID
 	nearest func(home amcast.GroupID) []amcast.GroupID
 	// executors collects the store executors in group order (execute
-	// mode; filled as the transport deployment builds engines).
-	executors []*store.Executor
+	// mode; filled as the transport deployment builds engines), and
+	// execByGroup indexes them for the local-read fast path.
+	executors   []*store.Executor
+	execByGroup map[amcast.GroupID]*store.Executor
 }
 
 // wrapExecute layers the store executor over the protocol factory:
 // every group's engine gains a warehouse shard plus a mirror replica.
 func (d *protocolDeployment) wrapExecute(cfg Config) {
 	base := d.factory
+	d.execByGroup = make(map[amcast.GroupID]*store.Executor)
 	d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
 		eng, err := base(g)
 		if err != nil {
 			return nil, err
 		}
-		se, ok := eng.(amcast.SnapshotEngine)
-		if !ok {
-			return nil, fmt.Errorf("loadgen: %s engine does not support snapshots", cfg.Protocol)
-		}
-		ex, err := store.NewExecutor(se, store.Config{
+		ex, err := store.Wrap(eng, store.Config{
 			Warehouse: g,
 			Seed:      cfg.StoreSeed,
 		}, true)
@@ -244,6 +276,7 @@ func (d *protocolDeployment) wrapExecute(cfg Config) {
 			return nil, err
 		}
 		d.executors = append(d.executors, ex)
+		d.execByGroup[g] = ex
 		return ex, nil
 	}
 }
@@ -352,8 +385,19 @@ type clientProc struct {
 
 	mu       sync.Mutex
 	inflight map[amcast.MsgID]*txState
+	// prefix is the delivered prefix this client has observed per group
+	// — the read-your-writes barrier of its fast-path reads. Guarded by
+	// mu.
+	prefix amcast.PrefixTracker
 
 	run *run
+}
+
+// observedPrefix returns the client's delivered-prefix barrier for g.
+func (c *clientProc) observedPrefix(g amcast.GroupID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.prefix.Prefix(g)
 }
 
 // dispatcher drains queued requests into the batcher and flushes when
@@ -406,6 +450,7 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 		if env.Kind != amcast.KindReply {
 			continue
 		}
+		c.prefix.Observe(env)
 		tx, ok := c.inflight[env.Msg.ID]
 		if !ok || !tx.remaining[env.From.Group()] {
 			continue
@@ -418,6 +463,11 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 				// deterministic one-shot execution contract is broken.
 				c.run.execDiverged.Add(1)
 			}
+		} else if c.run.cfg.Execute && !tx.silent {
+			// An executing deployment replied without a verdict: that
+			// shard never executed the transaction (partial execution) —
+			// as hard a contract violation as diverging verdicts.
+			c.run.execNoVerdict.Add(1)
 		}
 		delete(tx.remaining, env.From.Group())
 		if len(tx.remaining) > 0 {
@@ -480,6 +530,11 @@ type run struct {
 	shed      atomic.Uint64
 	measuring atomic.Bool
 
+	// Fast-path read accumulators (read-mix runs): window completions
+	// and their latency, kept apart from the multicast counters.
+	readHist *metrics.Histogram
+	reads    atomic.Uint64
+
 	// Execute-mode accumulators. typeHists/typeCommitted/typeAborted are
 	// indexed by gtpcc.TxType and cover the measurement window;
 	// paidCommitted tallies committed payment amounts over the WHOLE run
@@ -489,6 +544,7 @@ type run struct {
 	typeAborted   [6]atomic.Uint64
 	paidCommitted atomic.Int64
 	execDiverged  atomic.Uint64
+	execNoVerdict atomic.Uint64
 
 	windowStart time.Time
 }
@@ -529,7 +585,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram()}
+	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram(), readHist: metrics.NewHistogram()}
 	for i := range r.typeHists {
 		r.typeHists[i] = metrics.NewHistogram()
 	}
@@ -634,6 +690,22 @@ func Run(cfg Config) (*Result, error) {
 	if windowSecs > 0 {
 		res.Throughput = float64(res.Completed) / windowSecs
 	}
+	if cfg.ReadPct > 0 {
+		res.Reads = r.reads.Load()
+		if res.Reads == 0 {
+			// A read-mix run that measured no reads is not a
+			// measurement — and would emit a report the validator
+			// rejects. Fail loudly instead (lengthen the window).
+			return nil, fmt.Errorf("loadgen: read mix %.0f%% measured no fast-path read completions in the %.2fs window",
+				cfg.ReadPct, windowSecs)
+		}
+		rl := r.readHist.Summary()
+		res.ReadLatency = &rl
+		if windowSecs > 0 {
+			res.ReadThroughput = float64(res.Reads) / windowSecs
+			res.TotalThroughput = res.Throughput + res.ReadThroughput
+		}
+	}
 	var stats runtime.BatcherStats
 	for _, n := range dep.nodes {
 		stats.Add(n.Stats())
@@ -653,6 +725,9 @@ func Run(cfg Config) (*Result, error) {
 func (r *run) auditExecution() (*ExecuteResult, error) {
 	if n := r.execDiverged.Load(); n > 0 {
 		return nil, fmt.Errorf("loadgen: %d transactions received diverging verdicts across involved groups", n)
+	}
+	if n := r.execNoVerdict.Load(); n > 0 {
+		return nil, fmt.Errorf("loadgen: %d replies carried no execution verdict (a shard skipped executing a transaction)", n)
 	}
 	execs := r.proto.executors
 	if len(execs) == 0 {
@@ -707,20 +782,66 @@ func (r *run) auditExecution() (*ExecuteResult, error) {
 	return res, nil
 }
 
+// fastRead issues one read-only transaction on the local-read fast
+// path: no multicast — it executes synchronously against the client's
+// home shard at the client's delivered-prefix barrier (read-your-writes)
+// and is measured in the read histogram.
+func (c *clientProc) fastRead(gen *gtpcc.Gen, cfg Config) error {
+	tx := gen.NextRead()
+	ex := c.run.proto.execByGroup[tx.Home]
+	if ex == nil {
+		return fmt.Errorf("loadgen: no executor for warehouse %d", tx.Home)
+	}
+	start := time.Now()
+	if _, err := ex.Read(tx, c.observedPrefix(tx.Home), cfg.Timeout); err != nil {
+		return err
+	}
+	if c.run.measuring.Load() && !start.Before(c.run.windowStart) {
+		lat := time.Since(start).Microseconds()
+		if lat < 0 {
+			lat = 0
+		}
+		c.run.reads.Add(1)
+		c.run.readHist.Record(uint64(lat))
+	}
+	return nil
+}
+
+// readRoll decides whether an iteration issues a fast-path read; the
+// rng is private to the session, so the mix is deterministic per seed.
+func readRoll(rng *rand.Rand, cfg Config) bool {
+	return cfg.ReadPct > 0 && rng.Float64()*100 < cfg.ReadPct
+}
+
+// readRNG derives a session's read-mix coin; its stream is independent
+// of the workload generator's.
+func readRNG(cfg Config, client, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed ^ 0x5EED_BEEF + int64(client)*15485863 + int64(worker)*32452843))
+}
+
 // closedLoop is one session: issue, wait for every destination's reply,
-// repeat.
+// repeat. With a read mix, ReadPct percent of iterations issue a
+// fast-path read instead of a multicast.
 func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, errCh chan<- error) {
 	gen, err := newGen(c, worker, cfg)
 	if err != nil {
 		sendErr(errCh, err)
 		return
 	}
+	reads := readRNG(cfg, c.idx, worker)
 	seq := uint64(worker) << 24 // per-worker id space within the client
 	for {
 		select {
 		case <-stop:
 			return
 		default:
+		}
+		if readRoll(reads, cfg) {
+			if err := c.fastRead(gen, cfg); err != nil {
+				sendErr(errCh, err)
+				return
+			}
+			continue
 		}
 		seq++
 		m, meta := nextMessage(c, gen, cfg, seq)
@@ -748,6 +869,7 @@ func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- erro
 		sendErr(errCh, err)
 		return
 	}
+	reads := readRNG(cfg, c.idx, 0)
 	t := time.NewTicker(time.Millisecond)
 	defer t.Stop()
 	start := time.Now()
@@ -760,6 +882,15 @@ func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- erro
 			owed := uint64(cfg.Rate * now.Sub(start).Seconds())
 			for seq < owed {
 				seq++
+				if readRoll(reads, cfg) {
+					// A read slot: served synchronously on the fast
+					// path, it never occupies the outstanding budget.
+					if err := c.fastRead(gen, cfg); err != nil {
+						sendErr(errCh, err)
+						return
+					}
+					continue
+				}
 				c.mu.Lock()
 				outstanding := len(c.inflight)
 				c.mu.Unlock()
@@ -820,6 +951,7 @@ func newGen(c *clientProc, worker int, cfg Config) (*gtpcc.Gen, error) {
 		Nearest:    c.run.proto.nearest(home),
 		Locality:   cfg.Locality,
 		GlobalOnly: cfg.GlobalOnly,
+		Zipf:       cfg.Zipf,
 	}, rng)
 }
 

@@ -170,6 +170,65 @@ func TestRunExecuteDeterministicDigest(t *testing.T) {
 }
 
 // TestConfigValidation rejects unknown transports and protocols.
+// TestRunReadMix exercises the local-read fast path under load: half
+// the iterations are fast-path reads, measured in their own histogram,
+// while the multicast path and every execute-mode audit stay intact.
+func TestRunReadMix(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Execute = true
+	cfg.ReadPct = 50
+	cfg.Zipf = 1.3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("no multicast transactions completed: %+v", res)
+	}
+	if res.Reads == 0 || res.ReadLatency == nil || res.ReadLatency.Count == 0 {
+		t.Fatalf("read mix measured no fast-path reads: %+v", res)
+	}
+	if res.TotalThroughput <= res.Throughput {
+		t.Fatalf("total throughput %v not above write throughput %v", res.TotalThroughput, res.Throughput)
+	}
+	// Fast reads must be far cheaper than the multicast path.
+	if res.ReadLatency.Mean >= res.Latency.Mean {
+		t.Fatalf("fast reads slower than multicast writes: read mean %v vs write mean %v",
+			res.ReadLatency.Mean, res.Latency.Mean)
+	}
+	if res.Execute == nil || !res.Execute.InvariantsOK || !res.Execute.ReplicaDigestsOK {
+		t.Fatalf("execute audits failed under read mix: %+v", res.Execute)
+	}
+	// The report round-trips through validation with the read section.
+	path := filepath.Join(t.TempDir(), "readmix.json")
+	if err := NewReport(cfg, res).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadMixRequiresExecute pins the config contract.
+func TestReadMixRequiresExecute(t *testing.T) {
+	cfg := shortCfg()
+	cfg.ReadPct = 50
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("read mix without execute accepted")
+	}
+	cfg = shortCfg()
+	cfg.Execute = true
+	cfg.ReadPct = 101
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("read percentage above 100 accepted")
+	}
+	cfg = shortCfg()
+	cfg.Zipf = 0.5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid zipf parameter accepted")
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{Transport: "carrier-pigeon"}); err == nil {
 		t.Fatal("bad transport accepted")

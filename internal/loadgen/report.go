@@ -32,6 +32,10 @@ type ReportConfig struct {
 	// seed they used.
 	Execute   bool  `json:"execute,omitempty"`
 	StoreSeed int64 `json:"store_seed,omitempty"`
+	// ReadPct is the fast-path read mix in percent (0 = writes only).
+	ReadPct float64 `json:"read_pct,omitempty"`
+	// Zipf is the workload's Zipfian skew parameter (0 = uniform).
+	Zipf float64 `json:"zipf_s,omitempty"`
 }
 
 // Report is the serialized benchmark outcome (BENCH_runtime.json).
@@ -44,6 +48,16 @@ type Report struct {
 	// mode, and SpeedupVsUnbatched its throughput ratio.
 	Baseline           *Result `json:"baseline,omitempty"`
 	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched,omitempty"`
+	// Variants holds the A/B companion runs of flexload -ab, keyed by
+	// which knob was flipped: "no_reads" (same config, read mix off)
+	// plus the pooling pair, always measured over TCP where the codec
+	// pool actually sits — "no_pool"/"pool" when the primary run is
+	// itself TCP (whichever side the primary did not measure), or
+	// "tcp_pool" and "tcp_no_pool" when the primary is in-memory.
+	Variants map[string]*Result `json:"variants,omitempty"`
+	// ReadWriteP50Ratio is write p50 / read p50 on read-mix runs (read
+	// p50 clamped to at least 1µs) — the headline fast-path gap.
+	ReadWriteP50Ratio float64 `json:"read_write_p50_ratio,omitempty"`
 }
 
 // reportConfig converts a run Config.
@@ -77,6 +91,8 @@ func reportConfig(cfg Config) ReportConfig {
 	if cfg.Execute {
 		rc.StoreSeed = cfg.StoreSeed
 	}
+	rc.ReadPct = cfg.ReadPct
+	rc.Zipf = cfg.Zipf
 	return rc
 }
 
@@ -86,12 +102,20 @@ func NewReport(cfg Config, res *Result) *Report {
 		// cfg was validated by Run already; fill here only normalizes.
 		_ = err
 	}
-	return &Report{
+	rep := &Report{
 		Schema:        Schema,
 		GeneratedUnix: time.Now().Unix(),
 		Config:        reportConfig(cfg),
 		Results:       res,
 	}
+	if res.ReadLatency != nil && res.Reads > 0 {
+		readP50 := res.ReadLatency.P50
+		if readP50 < 1 {
+			readP50 = 1 // sub-microsecond reads: clamp, never divide by zero
+		}
+		rep.ReadWriteP50Ratio = float64(res.Latency.P50) / float64(readP50)
+	}
+	return rep
 }
 
 // WithBaseline attaches an unbatched baseline run.
@@ -100,6 +124,15 @@ func (r *Report) WithBaseline(base *Result) *Report {
 	if base != nil && base.Throughput > 0 {
 		r.SpeedupVsUnbatched = r.Results.Throughput / base.Throughput
 	}
+	return r
+}
+
+// WithVariant attaches one A/B companion run under its label.
+func (r *Report) WithVariant(label string, res *Result) *Report {
+	if r.Variants == nil {
+		r.Variants = make(map[string]*Result)
+	}
+	r.Variants[label] = res
 	return r
 }
 
@@ -130,7 +163,26 @@ func ValidateFile(path string) (*Report, error) {
 	if r.Results == nil {
 		return nil, fmt.Errorf("loadgen: %s: missing results", path)
 	}
-	return &r, validateResult("results", r.Results)
+	if err := validateResult("results", r.Results); err != nil {
+		return nil, err
+	}
+	if r.Config.ReadPct > 0 {
+		if r.Results.Reads == 0 || r.Results.ReadLatency == nil {
+			return nil, fmt.Errorf("loadgen: %s: read mix configured (%.0f%%) but no fast-path reads measured",
+				path, r.Config.ReadPct)
+		}
+	}
+	if r.Baseline != nil {
+		if err := validateResult("baseline", r.Baseline); err != nil {
+			return nil, err
+		}
+	}
+	for label, v := range r.Variants {
+		if err := validateResult("variant "+label, v); err != nil {
+			return nil, err
+		}
+	}
+	return &r, nil
 }
 
 func validateResult(label string, res *Result) error {
@@ -146,6 +198,16 @@ func validateResult(label string, res *Result) error {
 	}
 	if l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.P999 || l.P999 > l.Max || l.Min > l.P50 {
 		return fmt.Errorf("loadgen: %s: percentiles out of order: %+v", label, l)
+	}
+	if rl := res.ReadLatency; rl != nil {
+		// Fast-path reads sit at microsecond scale, so a zero p50 is
+		// legitimate (sub-microsecond); only ordering is checked.
+		if rl.Count == 0 || res.Reads == 0 {
+			return fmt.Errorf("loadgen: %s: read summary present but empty", label)
+		}
+		if rl.P50 > rl.P90 || rl.P90 > rl.P99 || rl.P99 > rl.P999 || rl.P999 > rl.Max || rl.Min > rl.P50 {
+			return fmt.Errorf("loadgen: %s: read percentiles out of order: %+v", label, rl)
+		}
 	}
 	if res.EnvelopesSent < res.BatchesSent {
 		return fmt.Errorf("loadgen: %s: %d envelopes in %d batches", label, res.EnvelopesSent, res.BatchesSent)

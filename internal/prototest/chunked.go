@@ -36,6 +36,9 @@ func chunkedRun(t *testing.T, cfg RandomConfig, runSeed int64) (*trace.Recorder,
 			return
 		}
 		buffers[g] = nil
+		if cfg.PriorityDrain {
+			envs = priorityReorder(envs)
+		}
 		eng := engines[g]
 		for _, out := range amcast.BatchStep(eng, envs) {
 			l := link{from: amcast.GroupNode(g), to: out.To}
@@ -120,6 +123,35 @@ func chunkedRun(t *testing.T, cfg RandomConfig, runSeed int64) (*trace.Recorder,
 		cfg.OnEngines(engines)
 	}
 	return rec, seqs
+}
+
+// priorityReorder mirrors the node runtime's receiver-side
+// control-priority drain (runtime.Node.take) exactly: the head is kept
+// first (take's fairness rule always selects it), then control
+// envelopes whose sender has no earlier unpromoted envelope, then the
+// rest in arrival order — for every sender the subsequence is
+// unchanged, so per-link FIFO is preserved.
+func priorityReorder(envs []amcast.Envelope) []amcast.Envelope {
+	out := make([]amcast.Envelope, 0, len(envs))
+	promoted := make([]bool, len(envs))
+	blocked := make(map[amcast.NodeID]bool)
+	promoted[0] = true
+	out = append(out, envs[0])
+	for i := 1; i < len(envs); i++ {
+		env := envs[i]
+		if !env.Kind.IsPayload() && !blocked[env.From] {
+			promoted[i] = true
+			out = append(out, env)
+			continue
+		}
+		blocked[env.From] = true
+	}
+	for i, env := range envs {
+		if !promoted[i] {
+			out = append(out, env)
+		}
+	}
+	return out
 }
 
 // RunChunked executes one seeded chunked run (random chunk sizes and

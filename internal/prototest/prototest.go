@@ -193,6 +193,13 @@ type RandomConfig struct {
 	// OnEngines, when non-nil, observes the engines after the run
 	// quiesces (digest comparisons across execution strategies).
 	OnEngines func(engines map[amcast.GroupID]amcast.Engine)
+	// PriorityDrain makes the chunked runner reorder every chunk the way
+	// the node runtime's receiver-side control-priority drain does
+	// (internal/runtime): control envelopes ahead of payload envelopes
+	// from other senders, per-sender FIFO preserved. Chunked-equivalence
+	// runs with it prove the drain's reordering stays inside the
+	// protocols' safety envelope.
+	PriorityDrain bool
 }
 
 // message builds client c's i-th multicast: via NextMessage when set,

@@ -102,6 +102,16 @@ func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
 	q, ok := b.pending[to]
 	if !ok {
 		b.order = append(b.order, to)
+		// Preallocate a small batch and let append grow toward the cap:
+		// most flushes carry only a few envelopes (the chunk-end flush
+		// fires long before max), so full-capacity preallocation would
+		// strand most of every slice; cap 8 makes the common batch one
+		// allocation and costs a filling batch only log2(max/8) growths.
+		hint := b.max
+		if hint > 8 {
+			hint = 8
+		}
+		q = make([]amcast.Envelope, 0, hint)
 	}
 	q = append(q, env)
 	if isControl(env) {

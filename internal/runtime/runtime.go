@@ -87,6 +87,10 @@ type Node struct {
 	qcond   *sync.Cond
 	queue   []amcast.Envelope
 	stopped bool
+	// marks and blocked are the priority drain's reusable scratch
+	// (allocation-free selection; see takePriorityLocked).
+	marks   []bool
+	blocked []amcast.NodeID
 
 	batcher *Batcher
 
@@ -142,6 +146,19 @@ func (n *Node) Submit(envs []amcast.Envelope) {
 
 // take pops up to MaxBatch queued envelopes, blocking until at least one
 // is available or the node stops (then draining the remainder).
+//
+// Receiver-side control-priority drain: when the backlog exceeds one
+// chunk, control envelopes (ACK/NOTIF/TS — everything that unblocks
+// delivery) are drained ahead of payload envelopes queued before them,
+// so a saturated node keeps answering the protocol instead of parking
+// acks behind hundreds of payloads. The selection preserves per-sender
+// FIFO: an envelope is only promoted past envelopes from *other*
+// senders, never past an earlier envelope from its own sender — the
+// only ordering the protocols assume (FIFO links), and the one
+// FlexCast's incremental history diffs rely on. Reordering across
+// senders is indistinguishable from a different arrival interleaving,
+// which the chunked-equivalence tests (internal/prototest) randomize
+// over; see DESIGN.md §1b.
 func (n *Node) take(buf []amcast.Envelope) []amcast.Envelope {
 	n.qmu.Lock()
 	for len(n.queue) == 0 && !n.stopped {
@@ -151,11 +168,86 @@ func (n *Node) take(buf []amcast.Envelope) []amcast.Envelope {
 	if k > n.cfg.MaxBatch {
 		k = n.cfg.MaxBatch
 	}
-	buf = append(buf[:0], n.queue[:k]...)
-	rest := copy(n.queue, n.queue[k:])
-	n.queue = n.queue[:rest]
+	if len(n.queue) > n.cfg.MaxBatch && n.cfg.MaxBatch > 1 {
+		// Backlogged: the unselected remainder waits at least one more
+		// chunk, so promotion changes real processing order — select.
+		buf = n.takePriorityLocked(buf, k)
+	} else {
+		// The whole queue fits one chunk (or batching is off): plain
+		// FIFO pop; priority would only permute within the same chunk.
+		buf = append(buf[:0], n.queue[:k]...)
+		rest := copy(n.queue, n.queue[k:])
+		n.queue = n.queue[:rest]
+	}
 	n.qmu.Unlock()
 	n.qcond.Broadcast()
+	return buf
+}
+
+// takePriorityLocked selects up to k envelopes from the backlogged
+// queue: the queue head unconditionally (the fairness bound — every
+// take consumes the globally oldest envelope, so an envelope at queue
+// position p is processed within p takes and pure control floods can
+// never starve a parked payload indefinitely), then the control
+// envelopes that are not preceded by an unselected envelope from their
+// own sender, then the remaining envelopes in arrival order. For every
+// sender the selection is a prefix of its queued subsequence, taken in
+// order — per-sender FIFO by construction (the head has no earlier
+// envelope at all, so selecting it first never violates it). Runs under
+// qmu with reusable scratch (no allocations in steady state).
+func (n *Node) takePriorityLocked(buf []amcast.Envelope, k int) []amcast.Envelope {
+	buf = buf[:0]
+	if cap(n.marks) < len(n.queue) {
+		n.marks = make([]bool, len(n.queue))
+	}
+	marks := n.marks[:len(n.queue)]
+	for i := range marks {
+		marks[i] = false
+	}
+	marks[0] = true
+	buf = append(buf, n.queue[0])
+	blocked := n.blocked[:0]
+	isBlocked := func(from amcast.NodeID) bool {
+		for _, b := range blocked {
+			if b == from {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 1; i < len(n.queue); i++ {
+		if len(buf) >= k {
+			break
+		}
+		env := &n.queue[i]
+		if !env.Kind.IsPayload() && !isBlocked(env.From) {
+			marks[i] = true
+			buf = append(buf, *env)
+			continue
+		}
+		// Unselected: later envelopes from this sender must not be
+		// promoted past it.
+		if !isBlocked(env.From) {
+			blocked = append(blocked, env.From)
+		}
+	}
+	n.blocked = blocked[:0]
+	for i := range n.queue {
+		if len(buf) >= k {
+			break
+		}
+		if !marks[i] {
+			marks[i] = true
+			buf = append(buf, n.queue[i])
+		}
+	}
+	rest := n.queue[:0]
+	for i := range n.queue {
+		if !marks[i] {
+			rest = append(rest, n.queue[i])
+		}
+	}
+	n.queue = rest
 	return buf
 }
 
@@ -163,7 +255,9 @@ func (n *Node) take(buf []amcast.Envelope) []amcast.Envelope {
 // engine step (amcast.BatchStep), one batcher flush per chunk.
 func (n *Node) worker() {
 	defer n.wg.Done()
-	var buf []amcast.Envelope
+	// One chunk buffer for the node's lifetime: take refills it in
+	// place, so the hot path allocates nothing per chunk.
+	buf := make([]amcast.Envelope, 0, n.cfg.MaxBatch)
 	for {
 		buf = n.take(buf)
 		if len(buf) == 0 {

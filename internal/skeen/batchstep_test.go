@@ -32,3 +32,31 @@ func TestBatchStepEquivalence(t *testing.T) {
 		})
 	}
 }
+
+// TestPriorityDrainSafety runs the chunked executions with the receiver-
+// side control-priority reordering (runtime.Node.take's permutation):
+// Skeen's protocol orders by timestamps exchanged in TS envelopes —
+// exactly the control class the drain promotes — so the full spec must
+// survive the reordering.
+func TestPriorityDrainSafety(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4, 5}
+	for seed := int64(0); seed < 2; seed++ {
+		prototest.RunChunkedSafety(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 20,
+			Route: func(m amcast.Message) []amcast.NodeID {
+				nodes := make([]amcast.NodeID, len(m.Dst))
+				for i, g := range m.Dst {
+					nodes[i] = amcast.GroupNode(g)
+				}
+				return nodes
+			},
+			Factory: func(g amcast.GroupID) amcast.Engine {
+				return skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+			},
+			Seed:          seed*31 + 7,
+			PriorityDrain: true,
+		}, true)
+	}
+}

@@ -2,8 +2,11 @@ package store
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"flexcast/amcast"
+	"flexcast/internal/gtpcc"
 	"flexcast/internal/trace"
 )
 
@@ -18,13 +21,47 @@ import (
 // runs an executing group without modification: wrap the engine factory
 // and nothing else changes.
 type Executor struct {
-	eng    amcast.SnapshotEngine
+	eng amcast.SnapshotEngine
+
+	// mu guards the store state (shard, mirror, watermark) against the
+	// local-read fast path: deliveries are applied by the one goroutine
+	// that drains the engine (write lock), but Read/TryRead execute on
+	// the issuing clients' goroutines and only read shard state, so
+	// they share a read lock — concurrent readers never serialize on
+	// each other, only against applies. The engine itself stays
+	// single-owner and is never touched under mu. cond is tied to the
+	// read side (waiters hold RLocks).
+	mu     sync.RWMutex
+	cond   *sync.Cond
 	shard  *Shard
 	mirror *Shard
+	// watermark is the delivered-prefix watermark in group-local
+	// delivery-sequence space: every delivery with Seq < watermark has
+	// been applied to the shard. Client replies carry delivery sequence
+	// numbers, so a client's observed prefix is directly comparable —
+	// the fast-path read barrier (DESIGN.md §1d).
+	watermark uint64
+
 	// onApply observes executed transactions (the serializability
-	// checker's feed). Set before traffic flows; called from whatever
-	// goroutine drains the engine.
+	// checker's feed). Set before traffic flows; called (under mu) from
+	// whatever goroutine drains the engine — observers must not call
+	// back into the Executor.
 	onApply func(trace.ExecRecord)
+	// onRead observes fast-path reads (the fast-read audit's feed);
+	// same contract as onApply.
+	onRead func(trace.FastReadRecord)
+}
+
+// Wrap builds an executor over a protocol engine, asserting the
+// snapshot capability the executor needs — the one factory-wrapping
+// helper every execute-mode deployment (StoreCluster, loadgen, the
+// chaos harness) shares.
+func Wrap(eng amcast.Engine, cfg Config, mirror bool) (*Executor, error) {
+	se, ok := eng.(amcast.SnapshotEngine)
+	if !ok {
+		return nil, fmt.Errorf("store: engine %T does not support snapshots", eng)
+	}
+	return NewExecutor(se, cfg, mirror)
 }
 
 // NewExecutor wraps an engine with a freshly populated shard. mirror
@@ -41,6 +78,7 @@ func NewExecutor(eng amcast.SnapshotEngine, cfg Config, mirror bool) (*Executor,
 		return nil, err
 	}
 	e := &Executor{eng: eng, shard: shard}
+	e.cond = sync.NewCond(e.mu.RLocker())
 	if mirror {
 		m, err := New(cfg)
 		if err != nil {
@@ -57,6 +95,9 @@ func (e *Executor) Shard() *Shard { return e.shard }
 
 // SetExecObserver installs the execution-record observer.
 func (e *Executor) SetExecObserver(f func(trace.ExecRecord)) { e.onApply = f }
+
+// SetReadObserver installs the fast-read record observer.
+func (e *Executor) SetReadObserver(f func(trace.FastReadRecord)) { e.onRead = f }
 
 // Digest returns the live shard's state digest.
 func (e *Executor) Digest() [32]byte { return e.shard.Digest() }
@@ -90,20 +131,123 @@ func (e *Executor) BatchStep(envs []amcast.Envelope) []amcast.Output {
 
 // TakeDeliveries drains the engine and executes each delivery against
 // the shard (and mirror), stamping the execution verdict onto the
-// delivery for the client reply.
+// delivery for the client reply. Applying also advances the delivered-
+// prefix watermark, releasing any fast-path reads waiting on it; the
+// watermark moves before the runtime can transmit the reply, so a
+// client that has seen a reply for delivery s can always read at
+// barrier s+1 without blocking.
 func (e *Executor) TakeDeliveries() []amcast.Delivery {
 	dels := e.eng.TakeDeliveries()
+	if len(dels) == 0 {
+		return dels
+	}
+	e.mu.Lock()
 	for i := range dels {
 		res := e.shard.Apply(dels[i])
 		if e.mirror != nil {
 			e.mirror.Apply(dels[i])
 		}
 		dels[i].Result = res.Code
+		if wm := dels[i].Seq + 1; wm > e.watermark {
+			e.watermark = wm
+		}
 		if e.onApply != nil && res.Code != amcast.ResultNone {
 			e.onApply(res.Record)
 		}
 	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
 	return dels
+}
+
+// ReadResult is the outcome of one fast-path read.
+type ReadResult struct {
+	// Value is the read's result: order-status returns the customer's
+	// most recent home-order id (-1 when none), stock-level the low-
+	// stock item count.
+	Value int64
+	// Watermark is the delivered prefix the read executed at (>= the
+	// requested barrier).
+	Watermark uint64
+}
+
+// TryRead executes a read-only transaction (order-status, stock-level)
+// directly against the local shard at the current delivered prefix,
+// without multicast. It fails — rather than waits — when the shard has
+// not yet applied the caller's barrier: callers whose barrier comes
+// from an observed reply are always satisfiable, so a failure means the
+// prefix contract is broken (the discrete-event harnesses treat it as a
+// violation).
+func (e *Executor) TryRead(tx gtpcc.Tx, barrier uint64) (ReadResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.watermark < barrier {
+		return ReadResult{}, fmt.Errorf("store: warehouse %d read barrier %d ahead of delivered prefix %d",
+			e.shard.Warehouse(), barrier, e.watermark)
+	}
+	return e.readLocked(tx, barrier)
+}
+
+// Read is TryRead that waits (up to timeout) for the delivered-prefix
+// barrier instead of failing — the form the wall-clock runtimes use,
+// where the watermark advances concurrently.
+func (e *Executor) Read(tx gtpcc.Tx, barrier uint64, timeout time.Duration) (ReadResult, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.watermark < barrier {
+		expired := false
+		t := time.AfterFunc(timeout, func() {
+			e.mu.Lock()
+			expired = true
+			e.mu.Unlock()
+			e.cond.Broadcast()
+		})
+		for e.watermark < barrier && !expired {
+			e.cond.Wait()
+		}
+		t.Stop()
+		if e.watermark < barrier {
+			return ReadResult{}, fmt.Errorf("store: warehouse %d read barrier %d not reached within %v (delivered prefix %d)",
+				e.shard.Warehouse(), barrier, timeout, e.watermark)
+		}
+	}
+	return e.readLocked(tx, barrier)
+}
+
+// readLocked executes the read at the current watermark and reports it
+// to the fast-read observer. Callers hold mu (read side suffices:
+// nothing here mutates shard or executor state, and the observer is
+// concurrency-safe).
+func (e *Executor) readLocked(tx gtpcc.Tx, barrier uint64) (ReadResult, error) {
+	if tx.Home != e.shard.Warehouse() {
+		return ReadResult{}, fmt.Errorf("store: read for warehouse %d routed to warehouse %d",
+			tx.Home, e.shard.Warehouse())
+	}
+	val, rows, err := e.shard.ReadTx(tx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if e.onRead != nil {
+		e.onRead(trace.FastReadRecord{
+			Group:       e.shard.Warehouse(),
+			Watermark:   e.watermark,
+			Barrier:     barrier,
+			TxWatermark: e.shard.Applied(),
+			Kind:        uint8(tx.Type),
+			ReadSet:     readSetDigest(gtpcc.EncodeTx(tx)),
+			Value:       val,
+			Rows:        rows,
+		})
+	}
+	return ReadResult{Value: val, Watermark: e.watermark}, nil
+}
+
+// Watermark returns the delivered-prefix watermark (deliveries with
+// group-local sequence below it have been applied).
+func (e *Executor) Watermark() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.watermark
 }
 
 // CheckHistoryAcyclic forwards the inner engine's internal ordering
@@ -118,18 +262,23 @@ func (e *Executor) CheckHistoryAcyclic() error {
 
 // execSnapshot is the combined engine+store snapshot.
 type execSnapshot struct {
-	eng    amcast.Snapshot
-	shard  *Shard
-	mirror *Shard
+	eng       amcast.Snapshot
+	shard     *Shard
+	mirror    *Shard
+	watermark uint64
 }
 
 func (s *execSnapshot) SnapshotGroup() amcast.GroupID { return s.eng.SnapshotGroup() }
 
 // Snapshot implements amcast.SnapshotEngine: engine and store state are
 // captured together, so crash/recovery replay (chaos WAL, Paxos log)
-// rebuilds application state alongside protocol state.
+// rebuilds application state alongside protocol state. The delivered-
+// prefix watermark is part of the state: recovery replay re-advances it
+// to (at least) its pre-crash value before any new traffic flows.
 func (e *Executor) Snapshot() amcast.Snapshot {
-	s := &execSnapshot{eng: e.eng.Snapshot(), shard: e.shard.Clone()}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := &execSnapshot{eng: e.eng.Snapshot(), shard: e.shard.Clone(), watermark: e.watermark}
 	if e.mirror != nil {
 		s.mirror = e.mirror.Clone()
 	}
@@ -149,7 +298,10 @@ func (e *Executor) Restore(snap amcast.Snapshot) error {
 	if err := e.eng.Restore(s.eng); err != nil {
 		return err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.shard = s.shard.Clone()
+	e.watermark = s.watermark
 	if e.mirror != nil {
 		if s.mirror != nil {
 			e.mirror = s.mirror.Clone()

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/gtpcc"
+	"flexcast/internal/trace"
+)
+
+// stubEngine is a minimal SnapshotEngine feeding scripted deliveries —
+// the executor read tests need delivery sequencing, not protocol logic.
+type stubEngine struct {
+	g    amcast.GroupID
+	dels []amcast.Delivery
+}
+
+func (f *stubEngine) Group() amcast.GroupID { return f.g }
+
+func (f *stubEngine) OnEnvelope(env amcast.Envelope) []amcast.Output { return nil }
+
+func (f *stubEngine) TakeDeliveries() []amcast.Delivery {
+	d := f.dels
+	f.dels = nil
+	return d
+}
+
+type stubSnapshot struct{ g amcast.GroupID }
+
+func (s *stubSnapshot) SnapshotGroup() amcast.GroupID { return s.g }
+
+func (f *stubEngine) Snapshot() amcast.Snapshot { return &stubSnapshot{g: f.g} }
+
+func (f *stubEngine) Restore(s amcast.Snapshot) error { return nil }
+
+// deliver queues one transaction delivery with the given sequence.
+func (f *stubEngine) deliver(seq uint64, id uint64, tx gtpcc.Tx) {
+	f.dels = append(f.dels, amcast.Delivery{
+		Group: f.g,
+		Seq:   seq,
+		Msg: amcast.Message{
+			ID:      amcast.MsgID(id),
+			Sender:  amcast.ClientNode(0),
+			Dst:     tx.Involved(),
+			Payload: gtpcc.EncodeTx(tx),
+		},
+	})
+}
+
+func newReadExecutor(t *testing.T) (*Executor, *stubEngine) {
+	t.Helper()
+	eng := &stubEngine{g: 1}
+	ex, err := NewExecutor(eng, Config{Warehouse: 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex, eng
+}
+
+func TestShardReadTx(t *testing.T) {
+	s := MustNew(Config{Warehouse: 1})
+	val, rows, err := s.ReadTx(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != -1 {
+		t.Fatalf("fresh customer's last order = %d, want -1", val)
+	}
+	for _, r := range rows {
+		if r.Write {
+			t.Fatalf("order-status read reported a write row %+v", r)
+		}
+	}
+	if _, _, err := s.ReadTx(gtpcc.Tx{Type: gtpcc.Payment, Home: 1}); err == nil {
+		t.Fatal("ReadTx accepted a payment transaction")
+	}
+	// A read must not mutate shard state.
+	before := s.Digest()
+	if _, _, err := s.ReadTx(gtpcc.Tx{Type: gtpcc.StockLevel, Home: 1, Threshold: 15}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Digest() != before {
+		t.Fatal("read-only transaction changed the shard digest")
+	}
+}
+
+func TestExecutorReadYourWrites(t *testing.T) {
+	ex, eng := newReadExecutor(t)
+	rec := trace.NewExecRecorder()
+	ex.SetExecObserver(rec.OnApply)
+	ex.SetReadObserver(rec.OnFastRead)
+
+	// Before any delivery: read at barrier 0 sees the initial state.
+	res, err := ex.TryRead(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != -1 || res.Watermark != 0 {
+		t.Fatalf("initial read = %+v, want value -1 at watermark 0", res)
+	}
+
+	// A barrier ahead of the delivered prefix fails TryRead.
+	if _, err := ex.TryRead(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 7}, 1); err == nil {
+		t.Fatal("TryRead served a read ahead of its barrier")
+	}
+
+	// Apply a new-order for customer 7, then read at the observed prefix:
+	// the read must see the write.
+	order := gtpcc.Tx{
+		Type: gtpcc.NewOrder, Home: 1, Customer: 7, Items: 1,
+		Lines: []gtpcc.OrderLine{{Item: 2, Supply: 1, Qty: 1}},
+	}
+	order.Dst = order.Involved()
+	eng.deliver(0, 101, order)
+	dels := ex.TakeDeliveries()
+	if len(dels) != 1 || dels[0].Result != amcast.ResultCommitted {
+		t.Fatalf("delivery results = %+v", dels)
+	}
+	res, err = ex.Read(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 7}, 1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 0 {
+		t.Fatalf("read after new-order = %d, want order id 0", res.Value)
+	}
+	if res.Watermark != 1 {
+		t.Fatalf("watermark = %d, want 1", res.Watermark)
+	}
+
+	// Reads routed to the wrong warehouse are rejected.
+	if _, err := ex.TryRead(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 2, Customer: 7}, 0); err == nil {
+		t.Fatal("TryRead accepted a foreign warehouse's read")
+	}
+
+	if rec.FastReads() != 2 {
+		t.Fatalf("recorded %d fast reads, want 2", rec.FastReads())
+	}
+	if err := rec.CheckAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExecutorReadBarrierWait exercises the blocking form: a read issued
+// ahead of the delivered prefix parks until the apply path catches up.
+func TestExecutorReadBarrierWait(t *testing.T) {
+	ex, eng := newReadExecutor(t)
+	status := gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 4}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var res ReadResult
+	var readErr error
+	go func() {
+		defer wg.Done()
+		res, readErr = ex.Read(status, 1, 5*time.Second)
+	}()
+
+	// Give the reader a moment to park, then deliver.
+	time.Sleep(10 * time.Millisecond)
+	pay := gtpcc.Tx{Type: gtpcc.Payment, Home: 1, CustWarehouse: 1, Customer: 4, Amount: 10}
+	pay.Dst = pay.Involved()
+	eng.deliver(0, 201, pay)
+	ex.TakeDeliveries()
+	wg.Wait()
+
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if res.Watermark < 1 {
+		t.Fatalf("read served at watermark %d before its barrier", res.Watermark)
+	}
+
+	// A barrier that never arrives times out with an error.
+	if _, err := ex.Read(status, 99, 30*time.Millisecond); err == nil {
+		t.Fatal("Read returned without reaching its barrier")
+	}
+}
+
+// TestExecutorReadWatermarkSnapshot verifies the watermark travels with
+// snapshots: restore rolls it back, replay re-advances it.
+func TestExecutorReadWatermarkSnapshot(t *testing.T) {
+	ex, eng := newReadExecutor(t)
+	pay := gtpcc.Tx{Type: gtpcc.Payment, Home: 1, CustWarehouse: 1, Customer: 2, Amount: 5}
+	pay.Dst = pay.Involved()
+
+	eng.deliver(0, 301, pay)
+	ex.TakeDeliveries()
+	snap := ex.Snapshot()
+
+	eng.deliver(1, 302, pay)
+	ex.TakeDeliveries()
+	if got := ex.Watermark(); got != 2 {
+		t.Fatalf("watermark = %d, want 2", got)
+	}
+
+	if err := ex.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Watermark(); got != 1 {
+		t.Fatalf("watermark after restore = %d, want 1", got)
+	}
+	// Replay the lost delivery: the watermark re-advances and a read at
+	// the old barrier is serveable again.
+	eng.deliver(1, 302, pay)
+	ex.TakeDeliveries()
+	if _, err := ex.TryRead(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+}

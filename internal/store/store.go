@@ -242,11 +242,13 @@ func (s *Shard) Apply(d amcast.Delivery) Result {
 	case gtpcc.Payment:
 		rec.Committed, rec.Rows = s.payment(tx)
 	case gtpcc.OrderStatus:
-		rec.Committed, rec.Rows = s.orderStatus(tx)
+		_, rec.Rows = s.orderStatus(tx)
+		rec.Committed = true
 	case gtpcc.Delivery:
 		rec.Committed, rec.Rows = s.deliverOrders()
 	case gtpcc.StockLevel:
-		rec.Committed, rec.Rows = s.stockLevel(tx)
+		_, rec.Rows = s.stockLevel(tx)
+		rec.Committed = true
 	}
 	code := amcast.ResultCommitted
 	if !rec.Committed {
@@ -350,11 +352,14 @@ func (s *Shard) payment(tx gtpcc.Tx) (bool, []trace.Row) {
 	return true, rows
 }
 
-// orderStatus reads the customer's most recent order (read-only, local).
-func (s *Shard) orderStatus(tx gtpcc.Tx) (bool, []trace.Row) {
+// orderStatus reads the customer's most recent order (read-only,
+// local): the value is the last home-order id (-1 when none). Both the
+// multicast apply path and the fast-path ReadTx execute through it, so
+// the two paths can never disagree on the rows they declare — the
+// conflict-serializability audit depends on that agreement.
+func (s *Shard) orderStatus(tx gtpcc.Tx) (int64, []trace.Row) {
 	cust := index(tx.Customer, int32(s.cfg.Customers))
-	_ = s.lastOrder[cust]
-	return true, []trace.Row{
+	return s.lastOrder[cust], []trace.Row{
 		s.row(trace.TableCustomer, cust, false),
 		s.row(trace.TableOrders, 0, false),
 	}
@@ -379,16 +384,38 @@ func (s *Shard) deliverOrders() (bool, []trace.Row) {
 }
 
 // stockLevel counts low-stock items (read-only, local). The scan reads
-// the stock table-version row, conflicting with any stock write.
-func (s *Shard) stockLevel(tx gtpcc.Tx) (bool, []trace.Row) {
-	low := 0
+// the stock table-version row, conflicting with any stock write. Shared
+// by the apply path and ReadTx like orderStatus.
+func (s *Shard) stockLevel(tx gtpcc.Tx) (int64, []trace.Row) {
+	low := int64(0)
 	for _, q := range s.stockQty {
 		if q < tx.Threshold {
 			low++
 		}
 	}
-	_ = low
-	return true, []trace.Row{s.row(trace.TableStock, -1, false)}
+	return low, []trace.Row{s.row(trace.TableStock, -1, false)}
+}
+
+// ReadTx executes a read-only transaction (order-status or stock-level)
+// against the shard's current state without mutating it: the shard-local
+// applied counter does not advance, so the read is a snapshot at the cut
+// point between applied transactions — the serialization point the
+// fast-path read audit (trace.FastReadRecord) records. It returns the
+// read's value (order-status: the customer's most recent order id, -1
+// when none; stock-level: the low-stock item count) and the rows read —
+// computed by the same functions the multicast apply path runs, so both
+// paths always declare identical row sets.
+func (s *Shard) ReadTx(tx gtpcc.Tx) (int64, []trace.Row, error) {
+	switch tx.Type {
+	case gtpcc.OrderStatus:
+		val, rows := s.orderStatus(tx)
+		return val, rows, nil
+	case gtpcc.StockLevel:
+		val, rows := s.stockLevel(tx)
+		return val, rows, nil
+	default:
+		return 0, nil, fmt.Errorf("store: %s is not a read-only transaction", tx.Type)
+	}
 }
 
 // Clone returns a deep copy of the shard (snapshots, mirrors).

@@ -80,6 +80,36 @@ type ExecRecord struct {
 	Rows []Row
 }
 
+// FastReadRecord is one fast-path read-only transaction served from a
+// shard's local state without multicast (the local-read fast path,
+// DESIGN.md §1d). The read's serialization point is the cut between
+// applied transactions recorded in TxWatermark; the checker audits the
+// rows against that cut.
+type FastReadRecord struct {
+	// Group is the shard that served the read.
+	Group amcast.GroupID
+	// Watermark is the shard's delivered-prefix watermark (group-local
+	// delivery sequence space) when the read executed.
+	Watermark uint64
+	// Barrier is the delivered prefix the issuing client required; the
+	// executor must only serve the read once Watermark >= Barrier
+	// (read-your-writes), which the checker verifies.
+	Barrier uint64
+	// TxWatermark is the shard-local applied-transaction count at the
+	// read's serialization point: the read observed exactly the writes
+	// of the shard's first TxWatermark applied transactions.
+	TxWatermark uint64
+	// Kind is the transaction type (gtpcc.TxType as uint8).
+	Kind uint8
+	// ReadSet digests the read's transaction payload (ExecRecord.ReadSet
+	// vocabulary).
+	ReadSet uint64
+	// Value is the read's result.
+	Value int64
+	// Rows lists the rows read; all must be read-only and owned by Group.
+	Rows []Row
+}
+
 // ExecRecorder accumulates execution records and checks them. Safe for
 // concurrent OnApply calls (runtime nodes execute on separate
 // goroutines); the checks must run after the run quiesces.
@@ -89,6 +119,8 @@ type ExecRecorder struct {
 	byShard map[amcast.GroupID][]*ExecRecord
 	// byTx[id][g] is the application of id at shard g.
 	byTx map[amcast.MsgID]map[amcast.GroupID]*ExecRecord
+	// reads[g] collects g's fast-path reads in execution order.
+	reads map[amcast.GroupID][]*FastReadRecord
 	// firstErr holds the first OnApply-time violation (replay mismatch,
 	// out-of-order application).
 	firstErr error
@@ -99,7 +131,68 @@ func NewExecRecorder() *ExecRecorder {
 	return &ExecRecorder{
 		byShard: make(map[amcast.GroupID][]*ExecRecord),
 		byTx:    make(map[amcast.MsgID]map[amcast.GroupID]*ExecRecord),
+		reads:   make(map[amcast.GroupID][]*FastReadRecord),
 	}
+}
+
+// OnFastRead records one fast-path read.
+func (r *ExecRecorder) OnFastRead(rec FastReadRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := rec
+	r.reads[rec.Group] = append(r.reads[rec.Group], &cp)
+}
+
+// FastReads reports how many fast-path reads were recorded.
+func (r *ExecRecorder) FastReads() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rs := range r.reads {
+		n += len(rs)
+	}
+	return n
+}
+
+// CheckFastReads verifies the fast-path read contract: every read is
+// read-only (no write rows), contained to the serving shard, served at
+// or after its barrier (read-your-writes), and serialized at a cut no
+// deeper than the shard's applied sequence.
+func (r *ExecRecorder) CheckFastReads() error {
+	for _, g := range r.readShards() {
+		for i, rec := range r.reads[g] {
+			if rec.Barrier > rec.Watermark {
+				return fmt.Errorf("exec: fast read %d at shard %d served before its barrier (barrier %d > watermark %d) — read-your-writes broken",
+					i, g, rec.Barrier, rec.Watermark)
+			}
+			if rec.TxWatermark > uint64(len(r.byShard[g])) {
+				return fmt.Errorf("exec: fast read %d at shard %d serialized at cut %d beyond the shard's %d applied transactions",
+					i, g, rec.TxWatermark, len(r.byShard[g]))
+			}
+			for _, row := range rec.Rows {
+				if row.Write {
+					return fmt.Errorf("exec: fast read %d at shard %d wrote row {table %d key %d} — fast path is read-only",
+						i, g, row.Table, row.Key)
+				}
+				if row.Shard != g {
+					return fmt.Errorf("exec: fast read %d at shard %d touched foreign row {shard %d table %d key %d}",
+						i, g, row.Shard, row.Table, row.Key)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// readShards returns the shards with recorded fast reads in ascending
+// order.
+func (r *ExecRecorder) readShards() []amcast.GroupID {
+	gs := make([]amcast.GroupID, 0, len(r.reads))
+	for g := range r.reads {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
 }
 
 // OnApply records one application. Duplicate (group, tx) applications —
@@ -253,45 +346,94 @@ type rowKey struct {
 	key   int32
 }
 
+// gnode is one vertex of the conflict graph: a transaction (read == 0)
+// or a fast-path read (read == i+1 for the serving shard's i-th read).
+type gnode struct {
+	tx    amcast.MsgID
+	shard amcast.GroupID
+	read  int
+}
+
+func (n gnode) label() string {
+	if n.read > 0 {
+		return fmt.Sprintf("fast read #%d at shard %d", n.read-1, n.shard)
+	}
+	return fmt.Sprintf("tx %s", n.tx)
+}
+
+func (n gnode) less(o gnode) bool {
+	if n.tx != o.tx {
+		return n.tx < o.tx
+	}
+	if n.shard != o.shard {
+		return n.shard < o.shard
+	}
+	return n.read < o.read
+}
+
 // CheckConflictSerializability builds the conflict graph — T1 → T2 when
 // some shard applied T1 before T2 and the two touch a common row with at
 // least one write — and verifies it is acyclic, i.e. the execution is
-// equivalent to a serial one.
+// equivalent to a serial one. Fast-path reads participate as read-only
+// vertices serialized at their recorded cut (TxWatermark): they read
+// after the shard's first TxWatermark applied transactions and before
+// the rest, so a fast path serving a prefix inconsistent with the global
+// serialization order closes a cycle here.
 func (r *ExecRecorder) CheckConflictSerializability() error {
-	succ := make(map[amcast.MsgID]map[amcast.MsgID]bool)
-	addEdge := func(from, to amcast.MsgID) {
+	succ := make(map[gnode]map[gnode]bool)
+	addEdge := func(from, to gnode) {
 		if from == to {
 			return
 		}
 		s, ok := succ[from]
 		if !ok {
-			s = make(map[amcast.MsgID]bool)
+			s = make(map[gnode]bool)
 			succ[from] = s
 		}
 		s[to] = true
 	}
 	for _, g := range r.shards() {
-		lastWrite := make(map[rowKey]amcast.MsgID)
-		readers := make(map[rowKey][]amcast.MsgID)
-		for _, rec := range r.byShard[g] {
-			for _, row := range rec.Rows {
+		lastWrite := make(map[rowKey]gnode)
+		readers := make(map[rowKey][]gnode)
+		access := func(n gnode, rows []Row) {
+			for _, row := range rows {
 				k := rowKey{shard: row.Shard, table: row.Table, key: row.Key}
 				if row.Write {
 					if w, ok := lastWrite[k]; ok {
-						addEdge(w, rec.TxID)
+						addEdge(w, n)
 					}
 					for _, rd := range readers[k] {
-						addEdge(rd, rec.TxID)
+						addEdge(rd, n)
 					}
-					lastWrite[k] = rec.TxID
+					lastWrite[k] = n
 					delete(readers, k)
 				} else {
 					if w, ok := lastWrite[k]; ok {
-						addEdge(w, rec.TxID)
+						addEdge(w, n)
 					}
-					readers[k] = append(readers[k], rec.TxID)
+					readers[k] = append(readers[k], n)
 				}
 			}
+		}
+		// Merge the shard's fast reads into its apply sequence at their
+		// serialization cuts (stable by recorded order within a cut).
+		reads := append([]*FastReadRecord(nil), r.reads[g]...)
+		sort.SliceStable(reads, func(i, j int) bool { return reads[i].TxWatermark < reads[j].TxWatermark })
+		ri := 0
+		readNode := func(i int) gnode { return gnode{shard: g, read: i + 1} }
+		readIdx := make(map[*FastReadRecord]int, len(reads))
+		for i, rec := range r.reads[g] {
+			readIdx[rec] = i
+		}
+		for i, rec := range r.byShard[g] {
+			for ri < len(reads) && reads[ri].TxWatermark <= uint64(i) {
+				access(readNode(readIdx[reads[ri]]), reads[ri].Rows)
+				ri++
+			}
+			access(gnode{tx: rec.TxID}, rec.Rows)
+		}
+		for ; ri < len(reads); ri++ {
+			access(readNode(readIdx[reads[ri]]), reads[ri].Rows)
 		}
 	}
 	// Iterative three-color DFS (execution logs can be long).
@@ -300,15 +442,15 @@ func (r *ExecRecorder) CheckConflictSerializability() error {
 		gray  = 1
 		black = 2
 	)
-	color := make(map[amcast.MsgID]int, len(succ))
-	roots := make([]amcast.MsgID, 0, len(succ))
+	color := make(map[gnode]int, len(succ))
+	roots := make([]gnode, 0, len(succ))
 	for id := range succ {
 		roots = append(roots, id)
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	sort.Slice(roots, func(i, j int) bool { return roots[i].less(roots[j]) })
 	type frame struct {
-		id   amcast.MsgID
-		next []amcast.MsgID
+		id   gnode
+		next []gnode
 	}
 	for _, root := range roots {
 		if color[root] != white {
@@ -327,8 +469,8 @@ func (r *ExecRecorder) CheckConflictSerializability() error {
 			top.next = top.next[1:]
 			switch color[s] {
 			case gray:
-				return fmt.Errorf("exec: conflict cycle through transactions %s and %s — execution is not serializable",
-					top.id, s)
+				return fmt.Errorf("exec: conflict cycle through %s and %s — execution is not serializable",
+					top.id.label(), s.label())
 			case white:
 				color[s] = gray
 				stack = append(stack, frame{id: s, next: sortedSucc(succ[s])})
@@ -338,12 +480,12 @@ func (r *ExecRecorder) CheckConflictSerializability() error {
 	return nil
 }
 
-func sortedSucc(s map[amcast.MsgID]bool) []amcast.MsgID {
-	out := make([]amcast.MsgID, 0, len(s))
+func sortedSucc(s map[gnode]bool) []gnode {
+	out := make([]gnode, 0, len(s))
 	for id := range s {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
 }
 
@@ -361,6 +503,9 @@ func (r *ExecRecorder) CheckAll() error {
 		return err
 	}
 	if err := r.CheckExecutionAgreement(); err != nil {
+		return err
+	}
+	if err := r.CheckFastReads(); err != nil {
 		return err
 	}
 	return r.CheckConflictSerializability()

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"flexcast/amcast"
+)
+
+func fastRead(g amcast.GroupID, cut uint64, rows ...Row) FastReadRecord {
+	return FastReadRecord{
+		Group:       g,
+		Watermark:   cut,
+		Barrier:     cut,
+		TxWatermark: cut,
+		Kind:        3, // order-status
+		Rows:        rows,
+	}
+}
+
+func TestCheckFastReadsViolations(t *testing.T) {
+	base := func() *ExecRecorder {
+		r := NewExecRecorder()
+		r.OnApply(ExecRecord{
+			Group: 1, Seq: 0, TxID: 1, Kind: 1, Committed: true,
+			Involved: []amcast.GroupID{1},
+			Rows:     []Row{{Shard: 1, Table: TableCustomer, Key: 3, Write: true}},
+		})
+		return r
+	}
+
+	r := base()
+	r.OnFastRead(fastRead(1, 1, Row{Shard: 1, Table: TableCustomer, Key: 3}))
+	if err := r.CheckAll(); err != nil {
+		t.Fatalf("clean fast read rejected: %v", err)
+	}
+
+	r = base()
+	rec := fastRead(1, 1, Row{Shard: 1, Table: TableCustomer, Key: 3})
+	rec.Barrier = 2 // served before the barrier it claims to require
+	r.OnFastRead(rec)
+	if err := r.CheckFastReads(); err == nil || !strings.Contains(err.Error(), "read-your-writes") {
+		t.Fatalf("barrier violation not caught: %v", err)
+	}
+
+	r = base()
+	r.OnFastRead(fastRead(1, 1, Row{Shard: 1, Table: TableCustomer, Key: 3, Write: true}))
+	if err := r.CheckFastReads(); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("write row not caught: %v", err)
+	}
+
+	r = base()
+	r.OnFastRead(fastRead(1, 1, Row{Shard: 2, Table: TableCustomer, Key: 3}))
+	if err := r.CheckFastReads(); err == nil || !strings.Contains(err.Error(), "foreign row") {
+		t.Fatalf("foreign row not caught: %v", err)
+	}
+
+	r = base()
+	r.OnFastRead(fastRead(1, 5, Row{Shard: 1, Table: TableCustomer, Key: 3}))
+	if err := r.CheckFastReads(); err == nil || !strings.Contains(err.Error(), "beyond") {
+		t.Fatalf("cut beyond applied sequence not caught: %v", err)
+	}
+}
+
+// TestFastReadClosesCycle builds the anomaly the fast path must never
+// produce: the read observes T_b but not T_a while the global
+// serialization order puts T_a first. The read's cut edges (T_b → R,
+// R → T_a) combined with the cross-shard order (T_a → T_b) close a
+// cycle the serializability check must report.
+func TestFastReadClosesCycle(t *testing.T) {
+	build := func() *ExecRecorder {
+		r := NewExecRecorder()
+		ta, tb := amcast.MsgID(10), amcast.MsgID(20)
+		inv := []amcast.GroupID{1, 2}
+		// Shard 1 applies T_b then T_a, touching disjoint rows there.
+		r.OnApply(ExecRecord{Group: 1, Seq: 0, TxID: tb, Kind: 1, Committed: true, Involved: inv,
+			Rows: []Row{{Shard: 1, Table: TableStock, Key: 1, Write: true}}})
+		r.OnApply(ExecRecord{Group: 1, Seq: 1, TxID: ta, Kind: 1, Committed: true, Involved: inv,
+			Rows: []Row{{Shard: 1, Table: TableStock, Key: 2, Write: true}}})
+		// Shard 2 orders T_a before T_b on a shared row: T_a → T_b.
+		r.OnApply(ExecRecord{Group: 2, Seq: 0, TxID: ta, Kind: 1, Committed: true, Involved: inv,
+			Rows: []Row{{Shard: 2, Table: TableStock, Key: 9, Write: true}}})
+		r.OnApply(ExecRecord{Group: 2, Seq: 1, TxID: tb, Kind: 1, Committed: true, Involved: inv,
+			Rows: []Row{{Shard: 2, Table: TableStock, Key: 9, Write: true}}})
+		return r
+	}
+
+	if err := build().CheckConflictSerializability(); err != nil {
+		t.Fatalf("base execution should be serializable: %v", err)
+	}
+
+	r := build()
+	// The read at shard 1, cut 1: after T_b, before T_a, reading both rows.
+	r.OnFastRead(fastRead(1, 1,
+		Row{Shard: 1, Table: TableStock, Key: 1},
+		Row{Shard: 1, Table: TableStock, Key: 2}))
+	if err := r.CheckConflictSerializability(); err == nil || !strings.Contains(err.Error(), "fast read") {
+		t.Fatalf("inconsistent fast-read cut not caught: %v", err)
+	}
+}

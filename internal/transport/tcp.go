@@ -184,22 +184,35 @@ func (n *TCPNode) dispatchLoop() {
 }
 
 // Send transmits one envelope, dialing and caching the peer connection.
-// It retries the dial once after a short backoff, then reports the error.
+// It retries the dial once after a short backoff, then reports the
+// error. The frame is encoded into a pooled buffer (internal/codec):
+// writeFrame copies it into the connection's bufio writer before
+// returning, so the frame recycles immediately — zero allocations per
+// send in steady state.
 func (n *TCPNode) Send(to amcast.NodeID, env amcast.Envelope) error {
-	return n.sendPayload(to, codec.Marshal(env))
+	f := codec.GetFrame(codec.Size(env))
+	f.B = codec.Append(f.B, env)
+	err := n.sendPayload(to, f.B)
+	f.Release()
+	return err
 }
 
 // SendBatch transmits a batch as one wire frame, amortizing the frame
-// header, the write syscall and the flush across the batch. A
-// single-envelope batch is sent as a plain envelope frame.
+// header, the write syscall, the flush — and, via the pooled encode
+// buffer, the frame allocation — across the batch. A single-envelope
+// batch is sent as a plain envelope frame.
 func (n *TCPNode) SendBatch(to amcast.NodeID, envs []amcast.Envelope) error {
 	switch len(envs) {
 	case 0:
 		return nil
 	case 1:
-		return n.sendPayload(to, codec.Marshal(envs[0]))
+		return n.Send(to, envs[0])
 	default:
-		return n.sendPayload(to, codec.MarshalBatch(envs))
+		f := codec.GetFrame(codec.BatchSize(envs))
+		f.B = codec.AppendBatch(f.B, envs)
+		err := n.sendPayload(to, f.B)
+		f.Release()
+		return err
 	}
 }
 
@@ -313,7 +326,12 @@ func (pc *peerConn) writeFrame(payload []byte) error {
 }
 
 // readFrame reads one length-prefixed frame and decodes it as a batch or
-// a single envelope, discriminated by the payload's first byte.
+// a single envelope, discriminated by the payload's first byte. The
+// frame lands in a pooled buffer: control frames (no payload bytes —
+// the decoder copies every other section) recycle it immediately, so
+// the ACK/NOTIF/TS/REPLY traffic that dominates FlexCast's envelope
+// count decodes without a per-frame allocation. Payload frames keep
+// buffer ownership, exactly the allocation the unpooled path made.
 func readFrame(r *bufio.Reader) ([]amcast.Envelope, error) {
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -322,9 +340,28 @@ func readFrame(r *bufio.Reader) ([]amcast.Envelope, error) {
 	if size > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
+	f := codec.GetFrame(int(size))
+	f.B = f.B[:size]
+	if _, err := io.ReadFull(r, f.B); err != nil {
+		f.Release()
 		return nil, err
 	}
-	return codec.DecodeFrame(buf)
+	envs, err := codec.DecodeFrame(f.B)
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	switch {
+	case !codec.FrameAliases(envs):
+		f.Release()
+	case cap(f.B) >= 2*len(f.B):
+		// A payload frame in a pooled buffer at least twice its size:
+		// pinning the buffer for the payloads' lifetime wastes more than
+		// copying them out, so detach and recycle.
+		codec.DetachPayloads(envs)
+		f.Release()
+	default:
+		f.Disown()
+	}
+	return envs, nil
 }

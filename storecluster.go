@@ -35,6 +35,11 @@ type StoreClusterConfig struct {
 	MaxBatch      int
 	FlushInterval time.Duration
 	CallTimeout   time.Duration
+	// DisableFastReads forces the read-only single-shard transactions
+	// (OrderStatus, StockLevel) through the full multicast instead of
+	// the local-read fast path — the A/B baseline and a fallback should
+	// a deployment want strictly multicast-ordered reads.
+	DisableFastReads bool
 }
 
 // OrderLine is one item of a NewOrder call: Qty units of Item supplied
@@ -47,13 +52,24 @@ type OrderLine struct {
 
 // TxResult is the outcome of one executed transaction.
 type TxResult struct {
-	// ID is the transaction's multicast message id.
+	// ID is the transaction's multicast message id (0 for fast-path
+	// reads, which never enter the multicast).
 	ID MsgID
 	// Committed reports the verdict (all involved warehouses agree; a
 	// disagreement fails the call instead).
 	Committed bool
 	// Results maps each involved warehouse to its reply's result code.
 	Results map[GroupID]uint8
+	// FastPath reports that the transaction was a read-only single-shard
+	// transaction served by the local-read fast path: executed directly
+	// against the local shard at the delivered-prefix barrier, without a
+	// multicast round (DESIGN.md §1d).
+	FastPath bool
+	// Value is the fast-path read's result: the customer's most recent
+	// order id for OrderStatus (-1 when none), the low-stock item count
+	// for StockLevel. Multicast transactions carry no value (replies are
+	// verdict-only).
+	Value int64
 }
 
 // StoreCluster is an in-process deployment of the partially replicated
@@ -66,6 +82,8 @@ type StoreCluster struct {
 	execs     map[GroupID]*store.Executor
 	items     int
 	customers int
+	fastReads bool
+	timeout   time.Duration
 }
 
 // NewStoreCluster builds and starts an executing cluster.
@@ -110,17 +128,19 @@ func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) {
 	if cfg.Customers == 0 {
 		cfg.Customers = gtpcc.NumCustomers
 	}
+	timeout := cfg.CallTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
 	sc := &StoreCluster{
 		execs:     make(map[GroupID]*store.Executor),
 		items:     cfg.Items,
 		customers: cfg.Customers,
+		fastReads: !cfg.DisableFastReads,
+		timeout:   timeout,
 	}
 	ccfg.WrapEngine = func(g GroupID, eng Engine) (Engine, error) {
-		se, ok := eng.(amcast.SnapshotEngine)
-		if !ok {
-			return nil, fmt.Errorf("flexcast: %s engine does not support snapshots", cfg.Protocol)
-		}
-		ex, err := store.NewExecutor(se, store.Config{
+		ex, err := store.Wrap(eng, store.Config{
 			Warehouse: g,
 			Items:     cfg.Items,
 			Customers: cfg.Customers,
@@ -195,8 +215,8 @@ func (sc *StoreCluster) NewOrder(home GroupID, customer int, lines []OrderLine) 
 		if l.Item < 0 || l.Item >= sc.items {
 			return nil, fmt.Errorf("flexcast: item %d outside [0,%d)", l.Item, sc.items)
 		}
-		if l.Qty < 0 {
-			return nil, fmt.Errorf("flexcast: negative quantity %d", l.Qty)
+		if l.Qty <= 0 {
+			return nil, fmt.Errorf("flexcast: non-positive quantity %d", l.Qty)
 		}
 	}
 	tx := gtpcc.Tx{
@@ -211,12 +231,8 @@ func (sc *StoreCluster) NewOrder(home GroupID, customer int, lines []OrderLine) 
 		if supply == amcast.NoGroup {
 			supply = home
 		}
-		qty := l.Qty
-		if qty <= 0 {
-			qty = 1
-		}
 		tx.Lines = append(tx.Lines, gtpcc.OrderLine{
-			Item: int32(l.Item), Supply: supply, Qty: int32(qty),
+			Item: int32(l.Item), Supply: supply, Qty: int32(l.Qty),
 		})
 	}
 	tx.Dst = tx.Involved()
@@ -248,8 +264,33 @@ func (sc *StoreCluster) Payment(home, customerWarehouse GroupID, customer int, a
 	return sc.exec(tx)
 }
 
+// readFast serves a read-only single-shard transaction on the local-read
+// fast path: no multicast — the read executes directly against the
+// warehouse's shard once the shard has applied every delivery this
+// client has already observed there (the delivered-prefix barrier,
+// giving read-your-writes and serializable reads; DESIGN.md §1d).
+func (sc *StoreCluster) readFast(tx gtpcc.Tx) (*TxResult, error) {
+	ex, ok := sc.execs[tx.Home]
+	if !ok {
+		return nil, fmt.Errorf("flexcast: unknown warehouse %d", tx.Home)
+	}
+	res, err := ex.Read(tx, sc.c.ObservedPrefix(tx.Home), sc.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &TxResult{
+		Committed: true,
+		Results:   map[GroupID]uint8{tx.Home: amcast.ResultCommitted},
+		FastPath:  true,
+		Value:     res.Value,
+	}, nil
+}
+
 // OrderStatus executes the read-only order-status transaction at one
-// warehouse (single-shard, still ordered through the multicast).
+// warehouse. Single-shard and read-only, it is served by the local-read
+// fast path (no multicast) unless the cluster was configured with
+// DisableFastReads; the result's Value is the customer's most recent
+// order id (-1 when none).
 func (sc *StoreCluster) OrderStatus(warehouse GroupID, customer int) (*TxResult, error) {
 	if err := sc.checkCustomer(customer); err != nil {
 		return nil, err
@@ -257,6 +298,9 @@ func (sc *StoreCluster) OrderStatus(warehouse GroupID, customer int) (*TxResult,
 	tx := gtpcc.Tx{
 		Type: gtpcc.OrderStatus, Home: warehouse,
 		Customer: int32(customer), PayloadSize: 40,
+	}
+	if sc.fastReads {
+		return sc.readFast(tx)
 	}
 	tx.Dst = tx.Involved()
 	return sc.exec(tx)
@@ -271,11 +315,16 @@ func (sc *StoreCluster) DeliverOrders(warehouse GroupID) (*TxResult, error) {
 }
 
 // StockLevel executes the read-only stock-level transaction at one
-// warehouse.
+// warehouse, served by the local-read fast path (no multicast) unless
+// DisableFastReads is set; the result's Value is the low-stock item
+// count.
 func (sc *StoreCluster) StockLevel(warehouse GroupID, threshold int) (*TxResult, error) {
 	tx := gtpcc.Tx{
 		Type: gtpcc.StockLevel, Home: warehouse,
 		Threshold: int32(threshold), PayloadSize: 40,
+	}
+	if sc.fastReads {
+		return sc.readFast(tx)
 	}
 	tx.Dst = tx.Involved()
 	return sc.exec(tx)

@@ -94,6 +94,68 @@ func TestStoreClusterDeterministicDigests(t *testing.T) {
 	}
 }
 
+// TestStoreClusterFastReads exercises the local-read fast path:
+// read-only transactions bypass the multicast, carry result values, and
+// observe the issuing client's own committed writes (the delivered-
+// prefix barrier gives read-your-writes).
+func TestStoreClusterFastReads(t *testing.T) {
+	sc, err := flexcast.NewStoreCluster(flexcast.StoreClusterConfig{Warehouses: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	// A fresh customer has no orders.
+	res, err := sc.OrderStatus(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastPath || res.ID != 0 {
+		t.Fatalf("order-status did not take the fast path: %+v", res)
+	}
+	if res.Value != -1 {
+		t.Fatalf("fresh customer's last order = %d, want -1", res.Value)
+	}
+
+	// Commit a new-order, then read: the fast path must see it.
+	if _, err := sc.NewOrder(2, 9, []flexcast.OrderLine{{Item: 1, Qty: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err = sc.OrderStatus(2, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastPath || res.Value != 0 {
+		t.Fatalf("fast read after committed new-order = %+v, want order id 0", res)
+	}
+
+	// Stock-level reads report the scan's count on the fast path.
+	if res, err = sc.StockLevel(2, 15); err != nil || !res.FastPath || !res.Committed {
+		t.Fatalf("stock-level fast read: %+v, %v", res, err)
+	}
+	if res.Value < 0 {
+		t.Fatalf("stock-level count = %d", res.Value)
+	}
+
+	// The multicast path remains available and equivalent in verdict.
+	slow, err := flexcast.NewStoreCluster(flexcast.StoreClusterConfig{
+		Warehouses: 4, DisableFastReads: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	if res, err = slow.OrderStatus(2, 9); err != nil || !res.Committed {
+		t.Fatalf("multicast order-status: %+v, %v", res, err)
+	}
+	if res.FastPath || res.ID == 0 {
+		t.Fatalf("DisableFastReads still took the fast path: %+v", res)
+	}
+
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStoreClusterValidation(t *testing.T) {
 	sc, err := flexcast.NewStoreCluster(flexcast.StoreClusterConfig{Warehouses: 3})
 	if err != nil {
