@@ -30,8 +30,19 @@ const (
 	// application message along the tree.
 	KindFwd
 	// KindReply is the per-destination response a group sends to the
-	// message's client upon delivery (paper §5.2).
+	// message's client upon delivery (paper §5.2). Replies from executing
+	// deployments additionally piggyback the serving node's delivered-
+	// prefix watermark (Envelope.Watermark) — the adaptive session-barrier
+	// feed (DESIGN.md §1e).
 	KindReply
+	// KindRead is a read-only transaction addressed to one serving node
+	// outside the multicast: the client sends the encoded transaction
+	// (Msg.Payload) with its session barrier in TS, and the node answers
+	// with a KindReply carrying the read's value and watermark. It is the
+	// remote leg of the read path — used when the client is not co-located
+	// with a replica holding a read lease (DESIGN.md §1e). Read envelopes
+	// never enter a protocol engine; the runtime serves them directly.
+	KindRead
 )
 
 // String names the envelope kind for logs and metrics.
@@ -51,6 +62,8 @@ func (k Kind) String() string {
 		return "FWD"
 	case KindReply:
 		return "REPLY"
+	case KindRead:
+		return "READ"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -61,7 +74,7 @@ func (k Kind) String() string {
 // counts payload messages only.
 func (k Kind) IsPayload() bool {
 	switch k {
-	case KindRequest, KindMsg, KindFwd:
+	case KindRequest, KindMsg, KindFwd, KindRead:
 		return true
 	default:
 		return false
@@ -72,7 +85,9 @@ func (k Kind) IsPayload() bool {
 // type (with optional fields) keeps the codec simple and makes message-size
 // accounting uniform across protocols.
 type Envelope struct {
+	// Kind discriminates the envelope.
 	Kind Kind
+	// From is the sending node.
 	From NodeID
 	// Msg carries the application message. For auxiliary kinds (ACK, NOTIF,
 	// TS, REPLY) only the header (id, sender, dst) is present.
@@ -90,20 +105,36 @@ type Envelope struct {
 	// AckCovers, on a notified group's flush ACK, names the notifiers
 	// whose notifications this ack answers. Empty on destination acks.
 	AckCovers []GroupID
-	// TS is the Skeen local timestamp (KindTS) and doubles as the delivery
-	// sequence number on KindReply envelopes.
+	// TS is the Skeen local timestamp (KindTS), the delivery sequence
+	// number on KindReply envelopes, and the client's read barrier on
+	// KindRead envelopes.
 	TS uint64
 	// TSFrom is the group that assigned TS (KindTS).
 	TSFrom GroupID
 	// Result is the execution outcome on KindReply envelopes when the
 	// replying group executes deliveries against application state
-	// (ResultCommitted/ResultAborted; ResultNone otherwise).
+	// (ResultCommitted/ResultAborted, ResultRefused for refused reads;
+	// ResultNone otherwise).
 	Result uint8
+	// Watermark, on KindReply envelopes from executing deployments, is
+	// the serving node's delivered-prefix watermark when the reply was
+	// built — at least TS+1 for delivery replies, and the read's
+	// serialization prefix for read replies. Clients fold it into their
+	// session barrier (PrefixTracker), which is what makes the barrier
+	// adaptive: it advances with the freshest state the session has
+	// witnessed, not just its own writes' sequence numbers. 0 on
+	// pure-multicast deployments.
+	Watermark uint64
+	// Value is the read's result on KindReply envelopes answering a
+	// KindRead transaction (Msg.Flags has FlagRead): the order id for
+	// order-status (-1 when none), the low-stock count for stock-level.
+	Value int64
 }
 
 // NotifPair records that Notifier sent a NOTIF about a message to
 // Notified (a non-destination holding relevant ordering information).
 type NotifPair struct {
+	// Notifier sent the NOTIF; Notified received it.
 	Notifier, Notified GroupID
 }
 
@@ -129,6 +160,7 @@ func NormalizePairs(ps []NotifPair) []NotifPair {
 // destination set (the paper's "a vertex contains a message's id and
 // destinations").
 type HistNode struct {
+	// ID is the message's id; Dst its destination set.
 	ID  MsgID
 	Dst []GroupID
 }
@@ -136,6 +168,7 @@ type HistNode struct {
 // HistEdge is one dependency edge of a history diff: From was ordered
 // before To.
 type HistEdge struct {
+	// From was ordered before To.
 	From, To MsgID
 }
 
@@ -143,6 +176,8 @@ type HistEdge struct {
 // descendant (diff-hst in Algorithm 3). Nodes and Edges are sorted for
 // deterministic encoding.
 type HistDelta struct {
+	// Nodes and Edges are the diff's vertices and dependency edges,
+	// sorted for deterministic encoding.
 	Nodes []HistNode
 	Edges []HistEdge
 }
@@ -154,29 +189,52 @@ func (d *HistDelta) Empty() bool {
 
 // Output is an envelope queued for transmission to another node.
 type Output struct {
+	// To is the destination node; Env the envelope to transmit.
 	To  NodeID
 	Env Envelope
 }
 
-// PrefixTracker accumulates, per group, the delivered prefix a client
-// has observed: every KindReply envelope answers one delivery and
-// carries its group-local sequence number (Envelope.TS), so a reply
-// witnesses that deliveries 0..TS have been applied at the replying
-// group. The tracked prefix is the read-your-writes barrier of the
-// local-read fast path (internal/store, DESIGN.md §1d); every harness
-// that derives read barriers from replies folds them through this one
-// type. Not synchronized — callers guard it with whatever protects
-// their reply handling.
+// PrefixTracker is a session barrier: the per-group vector of delivered
+// prefixes a client session has observed. Two feeds advance it. Every
+// KindReply envelope answers one delivery and carries its group-local
+// sequence number (Envelope.TS), so a reply witnesses that deliveries
+// 0..TS have been applied at the replying group; executing deployments
+// additionally piggyback the serving node's watermark on replies and
+// read results (Envelope.Watermark), which can run ahead of TS+1 and is
+// folded too. The tracked vector is the read-your-writes barrier of the
+// read fast path (internal/store, DESIGN.md §1d/§1e): a read at group g
+// served at barrier Prefix(g) sees every delivery the session has
+// already observed there, at whichever replica serves it, and folding
+// read watermarks back in (Fold) makes successive reads monotonic even
+// when they land on different replicas. Every harness that derives read
+// barriers from replies folds them through this one type. Not
+// synchronized — callers guard it with whatever protects their reply
+// handling.
 type PrefixTracker map[GroupID]uint64
 
 // Observe folds one envelope into the tracker (non-reply kinds are
-// ignored).
+// ignored). Delivery replies raise the group's prefix to TS+1; replies
+// of either kind also fold the piggybacked watermark — read replies
+// (FlagRead) carry no delivery sequence, so only their watermark counts.
 func (t PrefixTracker) Observe(env Envelope) {
 	if env.Kind != KindReply {
 		return
 	}
-	if g := env.From.Group(); env.TS+1 > t[g] {
+	g := env.From.Group()
+	if env.Msg.Flags&FlagRead == 0 && env.TS+1 > t[g] {
 		t[g] = env.TS + 1
+	}
+	if env.Watermark > t[g] {
+		t[g] = env.Watermark
+	}
+}
+
+// Fold raises the tracked prefix at group g to at least prefix — the
+// feed for read results observed outside the reply path (local replica
+// reads return their serving watermark directly).
+func (t PrefixTracker) Fold(g GroupID, prefix uint64) {
+	if prefix > t[g] {
+		t[g] = prefix
 	}
 }
 

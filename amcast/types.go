@@ -84,15 +84,26 @@ const (
 	// all groups (paper §4.3). Engines treat it as an ordinary message and
 	// additionally prune their histories after delivering it.
 	FlagFlush MsgFlags = 1 << iota
+	// FlagRead marks a read-only transaction served outside the multicast
+	// (KindRead and the KindReply answering it). Read replies carry a
+	// watermark but no delivery sequence, so the flag tells the session
+	// barrier (PrefixTracker) not to interpret TS as one.
+	FlagRead
 )
 
 // Message is an application message handed to multicast(m). Dst must be
 // sorted, non-empty and duplicate-free; use NormalizeDst.
 type Message struct {
-	ID      MsgID
-	Sender  NodeID    // the client that multicast the message
-	Dst     []GroupID // destination groups, sorted ascending
-	Flags   MsgFlags
+	// ID is the globally unique message id (NewMsgID).
+	ID MsgID
+	// Sender is the client that multicast the message.
+	Sender NodeID
+	// Dst is the destination group set, sorted ascending.
+	Dst []GroupID
+	// Flags carries per-message protocol flags (FlagFlush, FlagRead).
+	Flags MsgFlags
+	// Payload is the application payload (gtpcc.EncodeTx on executing
+	// deployments).
 	Payload []byte
 }
 
@@ -152,17 +163,30 @@ const (
 	ResultCommitted uint8 = 1
 	// ResultAborted marks a transaction that executed and rolled back.
 	ResultAborted uint8 = 2
+	// ResultRefused marks a read (KindRead) the serving node declined to
+	// execute — its lease expired or the requested barrier is ahead of
+	// its delivered prefix. The client retries elsewhere or reports it.
+	ResultRefused uint8 = 3
 )
 
 // Delivery is one message handed to the application by a group, together
 // with the group-local delivery sequence number (0-based).
 type Delivery struct {
+	// Group is the delivering group.
 	Group GroupID
-	Seq   uint64
-	Msg   Message
+	// Seq is the group-local delivery sequence number (0-based).
+	Seq uint64
+	// Msg is the delivered message.
+	Msg Message
 	// Result is the execution outcome when the group runs a state
 	// machine over its deliveries (ResultCommitted/ResultAborted);
 	// ResultNone for pure-multicast deployments. Runtimes copy it onto
 	// the KindReply envelope so clients observe commit/abort.
 	Result uint8
+	// Watermark is the serving node's delivered-prefix watermark after
+	// the batch containing this delivery was applied (so at least Seq+1);
+	// 0 when the deployment executes no state machine. Runtimes copy it
+	// onto the KindReply envelope, feeding the client's session barrier
+	// (Envelope.Watermark).
+	Watermark uint64
 }

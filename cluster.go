@@ -92,7 +92,12 @@ type callWaiter struct {
 	// results collects each destination group's execution result code
 	// from its reply (amcast.ResultNone for pure-multicast clusters).
 	results map[GroupID]uint8
-	done    chan struct{}
+	// observed folds this call's replies alone — the per-call barrier
+	// delta a Session merges into its own vector (the cluster-wide
+	// tracker c.observed is too coarse for sessions: it advances with
+	// every caller's traffic, not just this session's observations).
+	observed amcast.PrefixTracker
+	done     chan struct{}
 }
 
 // NewCluster builds and starts a cluster.
@@ -178,12 +183,22 @@ func (c *Cluster) Groups() []GroupID { return append([]GroupID(nil), c.groups...
 
 // ObservedPrefix returns the delivered prefix the cluster's built-in
 // client has observed at group g: one past the highest delivery
-// sequence seen on a reply from g. It only grows as Calls complete, so
-// it is a valid read-your-writes barrier for local reads against g.
+// sequence seen on a reply from g, raised further by any watermark a
+// reply or read result piggybacked (amcast.PrefixTracker). It only
+// grows, so it is a valid read-your-writes barrier for reads against g.
 func (c *Cluster) ObservedPrefix(g GroupID) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.observed.Prefix(g)
+}
+
+// observeRead folds a read result's serving watermark into the
+// cluster-wide barrier, making successive reads monotonic even across
+// different serving replicas.
+func (c *Cluster) observeRead(g GroupID, watermark uint64) {
+	c.mu.Lock()
+	c.observed.Fold(g, watermark)
+	c.mu.Unlock()
 }
 
 // Multicast sends payload to the destination groups and returns the
@@ -209,26 +224,35 @@ func (c *Cluster) Call(dst []GroupID, payload []byte) (MsgID, error) {
 // amcast.ResultAborted on executing clusters, amcast.ResultNone on
 // pure-multicast ones).
 func (c *Cluster) CallResults(dst []GroupID, payload []byte) (MsgID, map[GroupID]uint8, error) {
+	id, results, _, err := c.callObserved(dst, payload)
+	return id, results, err
+}
+
+// callObserved is CallResults, additionally returning the delivered
+// prefixes this call's replies alone witnessed — the per-call barrier
+// delta sessions (StoreCluster.Session) fold into their own vectors.
+func (c *Cluster) callObserved(dst []GroupID, payload []byte) (MsgID, map[GroupID]uint8, amcast.PrefixTracker, error) {
 	w := &callWaiter{
 		remaining: make(map[GroupID]bool),
 		results:   make(map[GroupID]uint8),
+		observed:  make(amcast.PrefixTracker),
 		done:      make(chan struct{}),
 	}
 	m, err := c.send(dst, payload, w)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	select {
 	case <-w.done:
 		c.mu.Lock()
-		results := w.results
+		results, observed := w.results, w.observed
 		c.mu.Unlock()
-		return m.ID, results, nil
+		return m.ID, results, observed, nil
 	case <-time.After(c.cfg.CallTimeout):
 		c.mu.Lock()
 		delete(c.waiters, m.ID)
 		c.mu.Unlock()
-		return m.ID, nil, fmt.Errorf("flexcast: call %s timed out after %v", m.ID, c.cfg.CallTimeout)
+		return m.ID, nil, nil, fmt.Errorf("flexcast: call %s timed out after %v", m.ID, c.cfg.CallTimeout)
 	}
 }
 
@@ -299,6 +323,7 @@ func (c *Cluster) onClientEnvelope(env Envelope) {
 	if !ok {
 		return
 	}
+	w.observed.Observe(env)
 	if w.remaining[env.From.Group()] {
 		w.results[env.From.Group()] = env.Result
 	}

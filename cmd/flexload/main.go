@@ -45,6 +45,9 @@ func main() {
 		execute    = flag.Bool("execute", false, "execute the gTPC-C store at every group (per-type stats, cross-shard invariant digest)")
 		storeSeed  = flag.Int64("store-seed", 0, "store population seed (0 = workload seed)")
 		readPct    = flag.Float64("read-pct", 0, "percent of iterations served as fast-path local reads (requires -execute)")
+		replicas   = flag.Int("replicas", 0, "smr-style replication degree per group (>= 2 deploys follower read replicas; requires -execute)")
+		followerRd = flag.Bool("follower-reads", false, "serve reads from lease-holding follower replicas (requires -replicas >= 2; off: remote leader reads)")
+		readWrk    = flag.Int("read-workers", 0, "dedicated closed-loop read-only sessions per client process (requires -execute)")
 		zipf       = flag.Float64("zipf", 0, "Zipfian workload skew parameter s (> 1; 0 = uniform)")
 		noPool     = flag.Bool("no-pool", false, "disable codec frame pooling (allocation A/B baseline)")
 		ab         = flag.Bool("ab", false, "also run the A/B companions: read mix off and frame pooling off")
@@ -82,6 +85,9 @@ func main() {
 		Execute:       *execute,
 		StoreSeed:     *storeSeed,
 		ReadPct:       *readPct,
+		Replicas:      *replicas,
+		FollowerReads: *followerRd,
+		ReadWorkers:   *readWrk,
 		Zipf:          *zipf,
 		Seed:          *seed,
 	}
@@ -110,9 +116,27 @@ func main() {
 	}
 
 	if *ab {
+		if cfg.FollowerReads {
+			// The follower-reads A/B: identical replicated deployment and
+			// write load, reads routed to the one serving node over the
+			// transport instead of the clients' local lease-holding
+			// replicas.
+			leader := cfg
+			leader.FollowerReads = false
+			vres, err := loadgen.Run(leader)
+			if err != nil {
+				log.Fatalf("flexload: leader_reads variant: %v", err)
+			}
+			printResult(fmt.Sprintf("%s/%s batch=%d leader-reads (variant)", cfg.Transport, cfg.Protocol, cfg.MaxBatch), vres)
+			rep.WithVariant("leader_reads", vres)
+			if vres.ReadThroughput > 0 {
+				fmt.Printf("follower-read speedup vs leader reads: %.2fx\n", res.ReadThroughput/vres.ReadThroughput)
+			}
+		}
 		if cfg.ReadPct > 0 {
 			noReads := cfg
 			noReads.ReadPct = 0
+			noReads.ReadWorkers = 0
 			vres, err := loadgen.Run(noReads)
 			if err != nil {
 				log.Fatalf("flexload: no_reads variant: %v", err)
@@ -171,6 +195,10 @@ func printResult(label string, r *loadgen.Result) {
 	if rl := r.ReadLatency; rl != nil {
 		fmt.Printf("  fast reads: %d (%.0f/s, total %.0f tx/s)  latency µs: p50 %d  p99 %d  max %d  mean %.1f\n",
 			r.Reads, r.ReadThroughput, r.TotalThroughput, rl.P50, rl.P99, rl.Max, rl.Mean)
+		if len(r.ReadsPerReplica) > 0 {
+			fmt.Printf("  reads by replica: %v  (remote %d, lease refusals %d)\n",
+				r.ReadsPerReplica, r.RemoteReads, r.LeaseRefusals)
+		}
 	}
 	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
 		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)

@@ -1,0 +1,67 @@
+package flexcast_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches markdown links and images: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsIntraRepoLinks fails on broken intra-repository links in the
+// top-level documentation — the docs CI job's gate. External links
+// (with a scheme) and pure anchors are skipped; relative targets must
+// exist on disk.
+func TestDocsIntraRepoLinks(t *testing.T) {
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		buf, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(buf), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Clean(target)); err != nil {
+				t.Errorf("%s: broken intra-repo link %q: %v", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsNamedFilesExist keeps the documentation's file references
+// honest: every path-like token the top-level docs name in backticks
+// must exist (packages, commands, files). Directories count.
+func TestDocsNamedFilesExist(t *testing.T) {
+	pathToken := regexp.MustCompile("`((?:cmd|internal|examples|amcast)/[A-Za-z0-9_/.-]+)`")
+	for _, doc := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"} {
+		buf, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range pathToken.FindAllStringSubmatch(string(buf), -1) {
+			target := filepath.Clean(m[1])
+			if _, err := os.Stat(target); err == nil {
+				continue
+			}
+			// `internal/metrics.Histogram`-style package.Symbol
+			// references: the package directory must exist.
+			if i := strings.LastIndexByte(target, '.'); i > strings.LastIndexByte(target, '/') {
+				if _, err := os.Stat(target[:i]); err == nil {
+					continue
+				}
+			}
+			t.Errorf("%s: names %q which does not exist", doc, m[1])
+		}
+	}
+}

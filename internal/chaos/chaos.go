@@ -58,27 +58,38 @@ type Deployment struct {
 	Minimality bool
 	// Instrument, when non-nil, is called once per schedule right after
 	// the engines are built — the hook execute-mode deployments use to
-	// attach execution observers (store.Executor). The returned
-	// Instrumentation provides the schedule's execution-level hooks:
-	// the post-quiescence audit and, optionally, the local-read fast
-	// path the explorer's clients exercise.
-	Instrument func(engines map[amcast.GroupID]amcast.SnapshotEngine) *Instrumentation
+	// attach execution observers and follower read replicas
+	// (store.Executor). now is the schedule's simulator clock (the lease
+	// clock for follower read leases). The returned Instrumentation
+	// provides the schedule's execution-level hooks: the
+	// post-quiescence audit and, optionally, the read fast path the
+	// explorer's clients exercise.
+	Instrument func(engines map[amcast.GroupID]amcast.SnapshotEngine, now func() sim.Time) *Instrumentation
 }
 
 // Instrumentation carries one schedule's execution-level hooks.
 type Instrumentation struct {
 	// FastRead, when non-nil, executes one read-only fast-path
-	// transaction at group g against the group's local state, requiring
-	// barrier (the issuing client's observed delivered prefix). The rng
-	// derives the read deterministically from the schedule seed. A
-	// returned error — including a barrier the shard cannot serve,
-	// which in the simulator means the delivered-prefix contract broke —
-	// is reported as the schedule's violation.
-	FastRead func(rng *rand.Rand, g amcast.GroupID, barrier uint64) error
+	// transaction at group g, requiring barrier (the issuing client's
+	// observed delivered prefix) — served either by the group's node or,
+	// on deployments with follower read replicas, by a lease-gated
+	// follower chosen from the rng. The rng derives the read
+	// deterministically from the schedule seed; now is the simulator's
+	// current time (the lease clock). Returns:
+	//
+	//   - (true, nil): the read served;
+	//   - (false, nil): a follower refused for want of a valid lease —
+	//     the correct behavior after its grantor crashed or partitioned,
+	//     counted (ScheduleResult.LeaseRefusals), never a violation;
+	//   - (_, err): a contract violation — including a barrier the
+	//     serving replica cannot satisfy, which in the simulator means
+	//     the delivered-prefix contract broke — reported as the
+	//     schedule's violation.
+	FastRead func(rng *rand.Rand, g amcast.GroupID, barrier uint64, now sim.Time) (served bool, err error)
 	// PostCheck, when non-nil, runs after the schedule quiesces,
 	// auditing execution-level properties (serializability including
-	// fast reads, store invariants, replica digests). Its error is the
-	// schedule's violation.
+	// fast reads and lease validity, store invariants, replica digests).
+	// Its error is the schedule's violation.
 	PostCheck func() error
 }
 

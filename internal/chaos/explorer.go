@@ -20,6 +20,11 @@ type ScheduleResult struct {
 	// FastReads counts the local-read fast-path transactions issued
 	// (execute-mode deployments with FastRead instrumentation).
 	FastReads int
+	// LeaseRefusals counts fast reads a follower replica refused for
+	// want of a valid lease (its grantor crashed or the lease lapsed) —
+	// correct, audited behavior, kept visible because a schedule that
+	// never refuses has not exercised the lease gate.
+	LeaseRefusals int
 	// Events is the number of simulator events executed.
 	Events uint64
 	// Faults counts the injected faults.
@@ -36,12 +41,13 @@ type Report struct {
 	Deployment string
 	// Schedules is the number of schedules explored.
 	Schedules int
-	// Multicasts, Deliveries, FastReads and Events aggregate the
-	// workload.
-	Multicasts int
-	Deliveries int
-	FastReads  int
-	Events     uint64
+	// Multicasts, Deliveries, FastReads, LeaseRefusals and Events
+	// aggregate the workload.
+	Multicasts    int
+	Deliveries    int
+	FastReads     int
+	LeaseRefusals int
+	Events        uint64
 	// Faults aggregates the injected faults.
 	Faults FaultStats
 	// Violations holds every schedule that failed a safety check.
@@ -61,8 +67,8 @@ func (r *Report) Failed() bool { return len(r.Violations) > 0 }
 // Print renders the report; violations come with their seed and fault
 // trace so they can be replayed.
 func (r *Report) Print(w io.Writer) {
-	fmt.Fprintf(w, "chaos %-12s  schedules=%d multicasts=%d deliveries=%d fast-reads=%d events=%d\n",
-		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.FastReads, r.Events)
+	fmt.Fprintf(w, "chaos %-12s  schedules=%d multicasts=%d deliveries=%d fast-reads=%d lease-refusals=%d events=%d\n",
+		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.FastReads, r.LeaseRefusals, r.Events)
 	fmt.Fprintf(w, "  faults: retransmits=%d duplicates=%d partition-hits=%d crashes=%d parked=%d\n",
 		r.Faults.Retransmits, r.Faults.Duplicates, r.Faults.PartitionHits, r.Faults.Crashes, r.Faults.Parked)
 	if !r.Failed() {
@@ -108,6 +114,7 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 		rep.Multicasts += res.Multicasts
 		rep.Deliveries += res.Deliveries
 		rep.FastReads += res.FastReads
+		rep.LeaseRefusals += res.LeaseRefusals
 		rep.Events += res.Events
 		rep.Faults.Add(res.Faults)
 		if res.Err != nil {
@@ -117,15 +124,17 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// readIssuer tracks one client's observed delivered prefixes (from
-// reply sequence numbers) and issues seeded local-read fast-path
+// readIssuer tracks one client's session barrier (reply sequence
+// numbers plus piggybacked watermarks) and issues seeded fast-path
 // transactions through the deployment's FastRead instrumentation —
 // each read at the client's own barrier, so read-your-writes is
-// exercised under the full fault model.
+// exercised under the full fault model, across whichever replica the
+// instrumentation routes the read to.
 type readIssuer struct {
 	rng    *rand.Rand
 	prob   float64
-	read   func(rng *rand.Rand, g amcast.GroupID, barrier uint64) error
+	read   func(rng *rand.Rand, g amcast.GroupID, barrier uint64, now sim.Time) (bool, error)
+	now    func() sim.Time
 	prefix amcast.PrefixTracker
 	res    *ScheduleResult
 	fail   func(err error)
@@ -133,7 +142,7 @@ type readIssuer struct {
 
 // newReadIssuer returns nil when the deployment has no fast-read hook
 // or reads are disabled.
-func newReadIssuer(instr *Instrumentation, opt Options, seed int64, client int, res *ScheduleResult, fail func(error)) *readIssuer {
+func newReadIssuer(instr *Instrumentation, opt Options, s *sim.Simulator, seed int64, client int, res *ScheduleResult, fail func(error)) *readIssuer {
 	if instr == nil || instr.FastRead == nil || opt.FastReadProb <= 0 {
 		return nil
 	}
@@ -141,15 +150,18 @@ func newReadIssuer(instr *Instrumentation, opt Options, seed int64, client int, 
 		rng:    rand.New(rand.NewSource(ScheduleSeed(seed, 5000+client))),
 		prob:   opt.FastReadProb,
 		read:   instr.FastRead,
+		now:    s.Now,
 		prefix: make(amcast.PrefixTracker),
 		res:    res,
 		fail:   fail,
 	}
 }
 
-// onReply folds one reply into the observed prefix and, with the
+// onReply folds one reply into the session barrier and, with the
 // configured probability, issues a fast-path read at the replying
-// group's barrier.
+// group's barrier. Lease refusals are counted, never failed: a
+// follower that refuses after losing its grantor is behaving exactly
+// as specified.
 func (ri *readIssuer) onReply(env amcast.Envelope) {
 	if ri == nil || env.Kind != amcast.KindReply {
 		return
@@ -160,8 +172,13 @@ func (ri *readIssuer) onReply(env amcast.Envelope) {
 	}
 	g := env.From.Group()
 	ri.res.FastReads++
-	if err := ri.read(ri.rng, g, ri.prefix.Prefix(g)); err != nil {
+	served, err := ri.read(ri.rng, g, ri.prefix.Prefix(g), ri.now())
+	if err != nil {
 		ri.fail(fmt.Errorf("fast read at group %d: %w", g, err))
+		return
+	}
+	if !served {
+		ri.res.LeaseRefusals++
 	}
 }
 
@@ -287,7 +304,7 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	}
 	var instr *Instrumentation
 	if d.Instrument != nil {
-		instr = d.Instrument(engines)
+		instr = d.Instrument(engines, s.Now)
 	}
 
 	// Crash/recovery schedule: crash the server and park its traffic;
@@ -403,14 +420,14 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 			lc := &loopClient{
 				s: s, net: net, route: d.Route, rec: rec, res: res,
 				id: cid, msgs: msgs, think: opt.ThinkTime,
-				reads: newReadIssuer(instr, opt, seed, c, res, fail),
+				reads: newReadIssuer(instr, opt, s, seed, c, res, fail),
 			}
 			net.Register(cid, lc)
 			start := sim.Time(rng.Int63n(int64(opt.InjectWindow)/8 + 1))
 			s.ScheduleAt(start, lc.issue)
 			continue
 		}
-		ri := newReadIssuer(instr, opt, seed, c, res, fail)
+		ri := newReadIssuer(instr, opt, s, seed, c, res, fail)
 		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) { ri.onReply(env) }))
 		for i := range msgs {
 			m := msgs[i]

@@ -76,6 +76,12 @@ func Append(buf []byte, env amcast.Envelope) []byte {
 	if hasResult(env.Kind) {
 		buf = append(buf, env.Result)
 	}
+	if hasWatermark(env.Kind) {
+		buf = binary.AppendUvarint(buf, env.Watermark)
+	}
+	if hasValue(env.Kind, env.Msg.Flags) {
+		buf = binary.AppendUvarint(buf, zigzag(env.Value))
+	}
 	return buf
 }
 

@@ -6,10 +6,16 @@
 //
 // Layout (all integers are unsigned varints unless noted):
 //
-//	kind(1 byte) | from | msg | [payload] | [hist] | [notifList] | [ackCovers] | [ts tsFrom]
+//	kind(1 byte) | from | msg | [payload] | [hist] | [notifList] | [ackCovers] | [ts tsFrom] | [result] | [watermark] | [value]
 //	msg   = id | sender | flags(1 byte) | nDst | dst...
 //	hist  = nNodes | (id nDst dst...)... | nEdges | (from to)...
 //	notifList = nPairs | (notifier notified)...
+//
+// result and watermark appear on REPLY envelopes; value (zigzag varint)
+// appears on REPLY envelopes whose message carries FlagRead — the
+// read-result leg of the KindRead path. Section presence is always a
+// function of bytes decoded earlier in the frame, keeping the encoding
+// canonical.
 //
 // Optional sections are present only for the envelope kinds that use them,
 // keeping auxiliary messages (ACK/NOTIF/TS/REPLY) small, as in the paper's
@@ -38,12 +44,30 @@ func hasAckCovers(k amcast.Kind) bool {
 }
 
 func hasTS(k amcast.Kind) bool {
-	return k == amcast.KindTS || k == amcast.KindReply
+	return k == amcast.KindTS || k == amcast.KindReply || k == amcast.KindRead
 }
 
 func hasResult(k amcast.Kind) bool {
 	return k == amcast.KindReply
 }
+
+func hasWatermark(k amcast.Kind) bool {
+	return k == amcast.KindReply
+}
+
+// hasValue reports whether the envelope carries a read result value:
+// only replies answering a KindRead transaction do. Presence is a
+// function of bytes decoded earlier in the frame (kind, then the
+// message flags), so the encoding stays canonical.
+func hasValue(k amcast.Kind, flags amcast.MsgFlags) bool {
+	return k == amcast.KindReply && flags&amcast.FlagRead != 0
+}
+
+// zigzag maps a signed value to an unsigned varint-friendly one
+// (identical to protobuf's sint64 mapping).
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // Marshal encodes an envelope.
 func Marshal(env amcast.Envelope) []byte {
@@ -112,6 +136,12 @@ func Size(env amcast.Envelope) int {
 	}
 	if hasResult(env.Kind) {
 		n++
+	}
+	if hasWatermark(env.Kind) {
+		n += uvarintLen(env.Watermark)
+	}
+	if hasValue(env.Kind, env.Msg.Flags) {
+		n += uvarintLen(zigzag(env.Value))
 	}
 	return n
 }
@@ -267,7 +297,7 @@ func Unmarshal(buf []byte) (amcast.Envelope, error) {
 	if d.err == nil {
 		switch env.Kind {
 		case amcast.KindRequest, amcast.KindMsg, amcast.KindAck, amcast.KindNotif,
-			amcast.KindTS, amcast.KindFwd, amcast.KindReply:
+			amcast.KindTS, amcast.KindFwd, amcast.KindReply, amcast.KindRead:
 		default:
 			return env, fmt.Errorf("codec: unknown envelope kind %d", env.Kind)
 		}
@@ -289,6 +319,12 @@ func Unmarshal(buf []byte) (amcast.Envelope, error) {
 	}
 	if hasResult(env.Kind) {
 		env.Result = d.byte()
+	}
+	if hasWatermark(env.Kind) {
+		env.Watermark = d.uvarint()
+	}
+	if hasValue(env.Kind, env.Msg.Flags) {
+		env.Value = unzigzag(d.uvarint())
 	}
 	if d.err != nil {
 		return env, d.err

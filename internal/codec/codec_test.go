@@ -34,11 +34,19 @@ func sampleEnvelopes() []amcast.Envelope {
 		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: msg.Header(), TS: 42, TSFrom: 9},
 		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: msg},
 		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: msg.Header(), TS: 7,
-			Result: amcast.ResultCommitted},
+			Result: amcast.ResultCommitted, Watermark: 8},
 		{Kind: amcast.KindMsg, From: amcast.GroupNode(1), Msg: amcast.Message{
 			ID: 1, Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1},
 			Flags: amcast.FlagFlush,
 		}},
+		{Kind: amcast.KindRead, From: amcast.ClientNode(2), Msg: amcast.Message{
+			ID: 9, Sender: amcast.ClientNode(2), Dst: []amcast.GroupID{4},
+			Flags: amcast.FlagRead, Payload: []byte{1, 2, 3},
+		}, TS: 17},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(4), Msg: amcast.Message{
+			ID: 9, Sender: amcast.ClientNode(2), Dst: []amcast.GroupID{4},
+			Flags: amcast.FlagRead,
+		}, Result: amcast.ResultCommitted, Watermark: 17, Value: -1},
 	}
 }
 
@@ -65,6 +73,12 @@ func normalize(e amcast.Envelope) amcast.Envelope {
 	}
 	if !hasResult(e.Kind) {
 		e.Result = 0
+	}
+	if !hasWatermark(e.Kind) {
+		e.Watermark = 0
+	}
+	if !hasValue(e.Kind, e.Msg.Flags) {
+		e.Value = 0
 	}
 	if len(e.Msg.Dst) == 0 {
 		e.Msg.Dst = nil
@@ -158,17 +172,21 @@ func TestTruncatedInputsNeverPanic(t *testing.T) {
 func randomEnvelope(rng *rand.Rand) amcast.Envelope {
 	kinds := []amcast.Kind{
 		amcast.KindRequest, amcast.KindMsg, amcast.KindAck, amcast.KindNotif,
-		amcast.KindTS, amcast.KindFwd, amcast.KindReply,
+		amcast.KindTS, amcast.KindFwd, amcast.KindReply, amcast.KindRead,
 	}
 	env := amcast.Envelope{
-		Kind: kinds[rng.Intn(len(kinds))],
-		From: amcast.NodeID(rng.Intn(1 << 20)),
-		TS:   rng.Uint64() >> uint(rng.Intn(64)),
+		Kind:  kinds[rng.Intn(len(kinds))],
+		From:  amcast.NodeID(rng.Intn(1 << 20)),
+		TS:    rng.Uint64() >> uint(rng.Intn(64)),
+		Value: rng.Int63() - rng.Int63(),
 	}
 	env.Msg = amcast.Message{
 		ID:     amcast.MsgID(rng.Uint64() >> uint(rng.Intn(64))),
 		Sender: amcast.ClientNode(rng.Intn(1000)),
-		Flags:  amcast.MsgFlags(rng.Intn(2)),
+		Flags:  amcast.MsgFlags(rng.Intn(4)),
+	}
+	if env.Kind == amcast.KindReply {
+		env.Watermark = rng.Uint64() >> uint(rng.Intn(64))
 	}
 	for i := 0; i < rng.Intn(4); i++ {
 		env.Msg.Dst = append(env.Msg.Dst, amcast.GroupID(rng.Intn(12)+1))

@@ -37,7 +37,15 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		}, TS: 42, TSFrom: 9},
 		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: amcast.Message{
 			ID: 8, Dst: []amcast.GroupID{5},
-		}, TS: 7, Result: amcast.ResultAborted},
+		}, TS: 7, Result: amcast.ResultAborted, Watermark: 8},
+		{Kind: amcast.KindRead, From: amcast.ClientNode(1), Msg: amcast.Message{
+			ID: 11, Sender: amcast.ClientNode(1), Dst: []amcast.GroupID{3},
+			Flags: amcast.FlagRead, Payload: []byte("ro"),
+		}, TS: 5},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(3), Msg: amcast.Message{
+			ID: 11, Sender: amcast.ClientNode(1), Dst: []amcast.GroupID{3},
+			Flags: amcast.FlagRead,
+		}, Result: amcast.ResultCommitted, Watermark: 6, Value: -1},
 		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: amcast.Message{
 			ID: 1, Dst: []amcast.GroupID{8, 9}, Payload: []byte("fwd"),
 		}},

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -104,14 +105,36 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 	return d, nil
 }
 
+// chaosLeaseTerm and chaosLeaseMargin parameterize the follower read
+// leases of execute-mode chaos schedules (sim µs). Grants ride the
+// shipped log, so a lease is at most as old as the group's last apply;
+// the term is chosen short relative to the injected fault delays —
+// link latencies reach 20ms, retransmission backoffs 30ms, partitions
+// average 150ms and crash downtimes 200ms — so schedules actually
+// drive followers into the expired-lease state and prove the refusal
+// path: a read triggered by a reply that faults delayed past
+// term−margin meets a lapsed lease and must be refused, not served
+// stale.
+const (
+	chaosLeaseTerm   = 40_000
+	chaosLeaseMargin = 10_000
+)
+
 // instrumentExecution attaches a per-schedule execution recorder to
-// every store executor and returns the schedule's instrumentation: the
-// local-read fast path (TryRead at the client's barrier — in the
-// simulator a reply always implies the prefix is applied, so a failed
-// barrier is a violation, not a wait) and the post-schedule audit.
-func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) *chaos.Instrumentation {
+// every store executor, plus one lease-holding follower read replica
+// per group (lockstep-fed from the executor's applied-delivery log;
+// grants ride the feed, so a group that stops shipping its log — crash,
+// partition — lets its follower's lease lapse within one term). The
+// returned instrumentation routes each fast read either to the serving
+// node (TryRead at the client's barrier — in the simulator a reply
+// always implies the prefix is applied, so a failed barrier is a
+// violation, not a wait) or to the group's follower through the lease
+// gate, and runs the post-schedule audit.
+func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine, now func() sim.Time) *chaos.Instrumentation {
 	rec := trace.NewExecRecorder()
 	execs := make(map[amcast.GroupID]*store.Executor, len(engines))
+	reps := make(map[amcast.GroupID]*store.Replica, len(engines))
+	clock := func() uint64 { return uint64(now()) }
 	for g, eng := range engines {
 		ex, ok := eng.(*store.Executor)
 		if !ok {
@@ -122,13 +145,27 @@ func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) *chao
 		}
 		ex.SetExecObserver(rec.OnApply)
 		ex.SetReadObserver(rec.OnFastRead)
+		rep, err := ex.AttachFollower(store.ReplicaConfig{
+			Idx:           1,
+			Clock:         clock,
+			AutoGrantTerm: chaosLeaseTerm,
+			Margin:        chaosLeaseMargin,
+		})
+		if err != nil {
+			g := g
+			return &chaos.Instrumentation{PostCheck: func() error {
+				return fmt.Errorf("harness: attach follower at group %d: %w", g, err)
+			}}
+		}
+		rep.SetReadObserver(rec.OnFastRead)
 		execs[g] = ex
+		reps[g] = rep
 	}
 	return &chaos.Instrumentation{
-		FastRead: func(rng *rand.Rand, g amcast.GroupID, barrier uint64) error {
+		FastRead: func(rng *rand.Rand, g amcast.GroupID, barrier uint64, simNow sim.Time) (bool, error) {
 			ex, ok := execs[g]
 			if !ok {
-				return fmt.Errorf("harness: fast read at unknown group %d", g)
+				return false, fmt.Errorf("harness: fast read at unknown group %d", g)
 			}
 			var tx gtpcc.Tx
 			if rng.Intn(2) == 0 {
@@ -136,8 +173,21 @@ func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) *chao
 			} else {
 				tx = gtpcc.Tx{Type: gtpcc.StockLevel, Home: g, Threshold: int32(10 + rng.Intn(11))}
 			}
+			// Half the reads route to the follower replica through the
+			// lease gate; an expired lease is a refusal (counted by the
+			// explorer), any other failure a violation. The follower is
+			// lockstep-fed, so its watermark equals the serving node's at
+			// every reply — an unmet barrier is as much a violation there
+			// as at the serving node.
+			if rng.Intn(2) == 0 {
+				_, err := reps[g].TryReadAt(tx, barrier, uint64(simNow))
+				if errors.Is(err, store.ErrLeaseExpired) {
+					return false, nil
+				}
+				return err == nil, err
+			}
 			_, err := ex.TryRead(tx, barrier)
-			return err
+			return err == nil, err
 		},
 		PostCheck: func() error {
 			if rec.Records() == 0 {
@@ -154,6 +204,13 @@ func instrumentExecution(engines map[amcast.GroupID]amcast.SnapshotEngine) *chao
 				}
 				if err := ex.CheckMirror(); err != nil {
 					return err
+				}
+				// The lockstep follower applied the identical delivery
+				// log: its state must be byte-identical to the serving
+				// node's — the replicated-read analogue of the mirror
+				// audit.
+				if a, b := ex.Digest(), reps[g].Shard().Digest(); a != b {
+					return fmt.Errorf("harness: group %d follower digest diverged (%x != %x)", g, a[:8], b[:8])
 				}
 				shards = append(shards, ex.Shard())
 			}

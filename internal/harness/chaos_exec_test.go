@@ -80,6 +80,50 @@ func TestChaosFastReadsUnderFaults(t *testing.T) {
 	}
 }
 
+// TestChaosLeaseRefusalsAcrossCrashes drives follower reads under an
+// aggressive crash/partition schedule: every reply triggers a read,
+// half of them routed to the group's lease-holding follower replica.
+// Schedules whose faults delay a reply past the lease term meet a
+// lapsed lease — the group's node (the grantor) crashed or its log
+// stalled mid-read — and the follower must refuse rather than serve
+// stale. The test requires both outcomes to be observed (reads served
+// by followers AND lease refusals), with every audit green: refusal is
+// correct behavior, a stale serve would fail CheckFastReads (see
+// trace.TestCheckFastReadsViolations for the detector proof).
+func TestChaosLeaseRefusalsAcrossCrashes(t *testing.T) {
+	rep, err := harness.RunChaos(harness.ChaosConfig{
+		Protocol: harness.FlexCast,
+		Execute:  true,
+		Options: chaos.Options{
+			Seed: 42, Schedules: 8,
+			ClosedLoop:   true,
+			FastReadProb: 1,
+			Crashes:      3,
+			Partitions:   4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		var b strings.Builder
+		rep.Print(&b)
+		t.Fatalf("lease schedules violated invariants:\n%s", b.String())
+	}
+	if rep.Faults.Crashes == 0 {
+		t.Fatal("schedules explored no crashes alongside the leased reads")
+	}
+	if rep.FastReads == 0 {
+		t.Fatal("no reads issued")
+	}
+	if rep.LeaseRefusals == 0 {
+		t.Fatal("no lease refusals observed — the schedules never exercised the expired-lease gate")
+	}
+	if rep.LeaseRefusals >= rep.FastReads {
+		t.Fatalf("every read refused (%d of %d) — followers never served", rep.LeaseRefusals, rep.FastReads)
+	}
+}
+
 // TestChaosExecuteClosedLoopWANProfile combines everything: the WAN
 // latency matrix, gTPC-C destination locality, closed-loop saturation,
 // executable payloads and the full fault model.

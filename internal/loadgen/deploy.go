@@ -5,7 +5,9 @@ import (
 	"net"
 
 	"flexcast/amcast"
+	"flexcast/internal/gtpcc"
 	"flexcast/internal/runtime"
+	"flexcast/internal/store"
 	"flexcast/internal/transport"
 )
 
@@ -47,6 +49,43 @@ func runtimeConfig(cfg Config) runtime.Config {
 	}
 }
 
+// nodeConfig is runtimeConfig plus, on executing deployments, the
+// KindRead service: remote reads are answered directly against the
+// node's executor at the requested barrier — TryRead, because a
+// barrier derived from observed replies is always already applied at
+// the serving node (the watermark advances before replies leave), so a
+// miss is a broken contract and surfaces as a refusal the client fails
+// on.
+func nodeConfig(cfg Config, eng amcast.Engine) runtime.Config {
+	rc := runtimeConfig(cfg)
+	ex, ok := eng.(*store.Executor)
+	if !ok {
+		return rc
+	}
+	from := amcast.GroupNode(eng.Group())
+	rc.ReadHandler = func(env amcast.Envelope) amcast.Envelope {
+		reply := amcast.Envelope{
+			Kind:   amcast.KindReply,
+			From:   from,
+			Msg:    env.Msg.Header(),
+			Result: amcast.ResultRefused,
+		}
+		tx, err := gtpcc.DecodeTx(env.Msg.Payload)
+		if err != nil {
+			return reply
+		}
+		res, err := ex.TryRead(tx, env.TS)
+		if err != nil {
+			return reply
+		}
+		reply.Result = amcast.ResultCommitted
+		reply.Watermark = res.Watermark
+		reply.Value = res.Value
+		return reply
+	}
+	return rc
+}
+
 func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (*deployment, error) {
 	nw := transport.NewInMemNet()
 	dep := &deployment{}
@@ -58,7 +97,7 @@ func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (
 		}
 		id := amcast.GroupNode(g)
 		send := func(to amcast.NodeID, envs []amcast.Envelope) { nw.SendBatch(id, to, envs) }
-		node := runtime.NewNode(eng, send, runtimeConfig(cfg))
+		node := runtime.NewNode(eng, send, nodeConfig(cfg, eng))
 		dep.nodes = append(dep.nodes, node)
 		if err := nw.AddBatchHandler(id, node.Submit); err != nil {
 			nw.Close()
@@ -80,6 +119,7 @@ func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (
 		for _, n := range dep.nodes {
 			n.Close()
 		}
+		proto.closeFollowers()
 	}
 	return dep, nil
 }
@@ -118,6 +158,7 @@ func deployTCP(cfg Config, proto *protocolDeployment, clients []*clientProc) (*d
 		for _, n := range dep.nodes {
 			n.Close()
 		}
+		proto.closeFollowers()
 	}
 	for _, g := range proto.groups {
 		eng, err := proto.factory(g)
@@ -137,7 +178,7 @@ func deployTCP(cfg Config, proto *protocolDeployment, clients []*clientProc) (*d
 			}
 			// Peer unreachable mid-benchmark only happens at teardown.
 			_ = tn.SendBatch(to, envs)
-		}, runtimeConfig(cfg))
+		}, nodeConfig(cfg, eng))
 		tn, err = transport.NewTCPBatchNode(amcast.GroupNode(g), book, node.Submit)
 		close(ready)
 		if err != nil {

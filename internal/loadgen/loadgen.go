@@ -16,6 +16,7 @@ package loadgen
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -96,11 +97,41 @@ type Config struct {
 	// ReadPct is the read mix in percent: that fraction of each
 	// session's iterations issue a read-only single-shard transaction
 	// (order-status or stock-level at the client's home warehouse)
-	// through the local-read fast path — no multicast, executed directly
-	// against the home shard at the client's delivered-prefix barrier.
-	// Reads are measured in their own histogram (Result.ReadLatency)
-	// and never enter the multicast counters. Requires Execute.
+	// through the read fast path — no multicast, executed at the
+	// client's delivered-prefix barrier. Reads are measured in their own
+	// histogram (Result.ReadLatency) and never enter the multicast
+	// counters. Requires Execute. How a read is served depends on
+	// Replicas/FollowerReads below.
 	ReadPct float64
+	// Replicas is the replication degree of every group (default 1: the
+	// serving node alone, reads served exactly as PR 4's local fast
+	// path). With Replicas >= 2, each group gains Replicas-1 follower
+	// read replicas applying the group's delivery log shipped from the
+	// serving node — the smr deployment shape (replicas kept consistent
+	// by applying the same decided sequence; internal/smr sequences it
+	// through Paxos, this in-process benchmark ships it directly) — and
+	// the read path models clients NOT co-located with the serving
+	// node: reads travel to it as KindRead transactions over the
+	// transport (request, queue, reply), unless FollowerReads routes
+	// them to the client's local replica instead. Requires Execute.
+	Replicas int
+	// FollowerReads, with Replicas >= 2, serves reads from lease-holding
+	// follower replicas local to the client (round-robin), each read at
+	// the client's session barrier against the replica's own watermark —
+	// the follower-read-leases configuration. An expired lease falls
+	// back to the remote serving node and is counted
+	// (Result.LeaseRefusals). Off, reads go remote to the serving node —
+	// the leader-only baseline of the A/B.
+	FollowerReads bool
+	// ReadWorkers adds that many dedicated closed-loop read-only
+	// sessions per client process (each hammering reads back-to-back at
+	// its session barrier), measuring read capacity under the
+	// configured routing while the write workload runs at equal load.
+	// Requires Execute.
+	ReadWorkers int
+	// LeaseTerm is the follower read-lease term (default 200ms; leases
+	// renew as each group's delivery log ships).
+	LeaseTerm time.Duration
 	// Zipf, when > 1, skews the gTPC-C workload with a Zipfian law of
 	// that parameter (hot items, hot customers, near destinations); see
 	// gtpcc.Config.Zipf.
@@ -165,6 +196,33 @@ func (c *Config) fill() error {
 	if c.ReadPct > 0 && !c.Execute {
 		return fmt.Errorf("loadgen: -read-pct requires -execute (fast-path reads run against the store)")
 	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas < 1 {
+		return fmt.Errorf("loadgen: replication degree %d below 1", c.Replicas)
+	}
+	if c.Replicas > 1 && !c.Execute {
+		return fmt.Errorf("loadgen: -replicas requires -execute (follower replicas replicate the store)")
+	}
+	if c.FollowerReads && c.Replicas < 2 {
+		return fmt.Errorf("loadgen: -follower-reads requires -replicas >= 2")
+	}
+	if c.ReadWorkers < 0 {
+		return fmt.Errorf("loadgen: negative read workers")
+	}
+	if c.ReadWorkers > 0 && !c.Execute {
+		return fmt.Errorf("loadgen: -read-workers requires -execute")
+	}
+	if c.Workers+c.ReadWorkers >= 1<<13 {
+		// Worker w's ids start at w<<24; 8192<<24 is readSeqBase, the
+		// remote reads' id space.
+		return fmt.Errorf("loadgen: %d sessions per client exceed the per-worker id space (max %d)",
+			c.Workers+c.ReadWorkers, 1<<13-1)
+	}
+	if c.LeaseTerm == 0 {
+		c.LeaseTerm = 200 * time.Millisecond
+	}
 	if c.Zipf != 0 && c.Zipf <= 1 {
 		return fmt.Errorf("loadgen: zipf parameter %v outside (1, inf)", c.Zipf)
 	}
@@ -222,11 +280,21 @@ type Result struct {
 	// ReadThroughput is their rate and ReadLatency their summary (often
 	// single-digit microseconds — the histogram's unit stays µs, so a
 	// p50 of 0 means sub-microsecond). TotalThroughput combines reads
-	// and writes. Present only on read-mix runs.
+	// and writes. Present only on runs with a read workload (-read-pct
+	// or -read-workers).
 	Reads           uint64                  `json:"reads,omitempty"`
 	ReadThroughput  float64                 `json:"read_throughput_tx_s,omitempty"`
 	TotalThroughput float64                 `json:"total_throughput_tx_s,omitempty"`
 	ReadLatency     *metrics.LatencySummary `json:"read_latency_us,omitempty"`
+	// ReadsPerReplica breaks window reads down by serving replica on
+	// replicated runs (-replicas >= 2): index 0 is the serving node
+	// (remote KindRead transactions and lease fallbacks), index i >= 1
+	// follower replica i. LeaseRefusals counts follower reads refused
+	// for an expired lease (each fell back to the serving node);
+	// RemoteReads counts reads that crossed the transport.
+	ReadsPerReplica []uint64 `json:"reads_per_replica,omitempty"`
+	LeaseRefusals   uint64   `json:"lease_refusals,omitempty"`
+	RemoteReads     uint64   `json:"remote_reads,omitempty"`
 	// Execute carries the store-execution measurement when the run
 	// executed transactions (-execute).
 	Execute *ExecuteResult `json:"execute,omitempty"`
@@ -256,13 +324,19 @@ type protocolDeployment struct {
 	// execByGroup indexes them for the local-read fast path.
 	executors   []*store.Executor
 	execByGroup map[amcast.GroupID]*store.Executor
+	// followers indexes each group's follower read replicas (Replicas
+	// >= 2): log-shipped from the serving node, lease-renewed by the
+	// feed, read by clients co-located with them.
+	followers map[amcast.GroupID][]*store.Replica
 }
 
 // wrapExecute layers the store executor over the protocol factory:
-// every group's engine gains a warehouse shard plus a mirror replica.
+// every group's engine gains a warehouse shard plus a mirror replica —
+// and, with Replicas >= 2, the group's follower read replicas.
 func (d *protocolDeployment) wrapExecute(cfg Config) {
 	base := d.factory
 	d.execByGroup = make(map[amcast.GroupID]*store.Executor)
+	d.followers = make(map[amcast.GroupID][]*store.Replica)
 	d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
 		eng, err := base(g)
 		if err != nil {
@@ -275,9 +349,30 @@ func (d *protocolDeployment) wrapExecute(cfg Config) {
 		if err != nil {
 			return nil, err
 		}
+		for i := 1; i < cfg.Replicas; i++ {
+			rep, err := ex.AttachFollower(store.ReplicaConfig{
+				Idx:           int32(i),
+				Async:         true, // Clock defaults to the wall clock
+				AutoGrantTerm: uint64(cfg.LeaseTerm.Microseconds()),
+			})
+			if err != nil {
+				return nil, err
+			}
+			d.followers[g] = append(d.followers[g], rep)
+		}
 		d.executors = append(d.executors, ex)
 		d.execByGroup[g] = ex
 		return ex, nil
+	}
+}
+
+// closeFollowers stops the follower repliers; call after the serving
+// nodes (the feeders) have closed.
+func (d *protocolDeployment) closeFollowers() {
+	for _, reps := range d.followers {
+		for _, rep := range reps {
+			rep.Close()
+		}
 	}
 }
 
@@ -362,6 +457,9 @@ type txState struct {
 	done      chan struct{} // closed-loop sessions wait on it; nil open-loop
 	// silent transactions (the flush client's) stay out of the metrics.
 	silent bool
+	// isRead marks a remote KindRead transaction: measured in the read
+	// histogram, never in the multicast counters.
+	isRead bool
 	// txType and amount carry execute-mode detail for per-type stats
 	// and the payment cross-check.
 	txType gtpcc.TxType
@@ -385,12 +483,49 @@ type clientProc struct {
 
 	mu       sync.Mutex
 	inflight map[amcast.MsgID]*txState
-	// prefix is the delivered prefix this client has observed per group
-	// — the read-your-writes barrier of its fast-path reads. Guarded by
-	// mu.
+	// prefix is this client process's session barrier: the delivered
+	// prefix observed per group from replies (sequence numbers plus
+	// piggybacked watermarks) and from read results — the
+	// read-your-writes barrier of its reads, valid at whichever replica
+	// serves them. Guarded by mu.
 	prefix amcast.PrefixTracker
 
+	// rr round-robins the process's reads over its group's follower
+	// replicas; readSeq allocates remote-read message ids.
+	rr      atomic.Uint64
+	readSeq atomic.Uint64
+
 	run *run
+}
+
+// readSeqBase puts remote-read message ids in their own space: above
+// every worker's id space (worker << 24) and below the flush client's
+// (1 << 38).
+const readSeqBase = uint64(1) << 37
+
+// foldRead raises the client's barrier at g to a read's serving
+// watermark — the monotonic-reads half of the session guarantee (a
+// later read at a lagging replica waits until it catches up to state
+// this client has already seen).
+func (c *clientProc) foldRead(g amcast.GroupID, watermark uint64) {
+	c.mu.Lock()
+	c.prefix.Fold(g, watermark)
+	c.mu.Unlock()
+}
+
+// recordRead measures one synchronously served read (local or
+// follower; remote reads are measured at reply completion instead).
+func (c *clientProc) recordRead(start time.Time, replica int32) {
+	if !c.run.measuring.Load() || start.Before(c.run.windowStart) {
+		return
+	}
+	lat := time.Since(start).Microseconds()
+	if lat < 0 {
+		lat = 0
+	}
+	c.run.reads.Add(1)
+	c.run.readHist.Record(uint64(lat))
+	c.run.readByReplica[replica].Add(1)
 }
 
 // observedPrefix returns the client's delivered-prefix barrier for g.
@@ -437,6 +572,16 @@ func (c *clientProc) dispatcher(stop <-chan struct{}, wg *sync.WaitGroup) {
 }
 
 func (c *clientProc) addRequest(m amcast.Message) {
+	if m.Flags&amcast.FlagRead != 0 {
+		// A remote read: straight to the serving node (no multicast
+		// entry routing), with the client's barrier taken at send time —
+		// at least as fresh as at issue time, so still read-your-writes.
+		g := m.Dst[0]
+		c.batcher.Add(amcast.GroupNode(g), amcast.Envelope{
+			Kind: amcast.KindRead, From: c.id, Msg: m, TS: c.observedPrefix(g),
+		})
+		return
+	}
 	for _, to := range c.run.proto.route(m) {
 		c.batcher.Add(to, amcast.Envelope{Kind: amcast.KindRequest, From: c.id, Msg: m})
 	}
@@ -493,6 +638,7 @@ func (c *clientProc) issue(m amcast.Message, meta txMeta, closedLoop, silent boo
 	tx := &txState{
 		remaining: make(map[amcast.GroupID]bool, len(m.Dst)),
 		silent:    silent,
+		isRead:    meta.isRead,
 		txType:    meta.typ,
 		amount:    meta.amount,
 	}
@@ -506,7 +652,9 @@ func (c *clientProc) issue(m amcast.Message, meta txMeta, closedLoop, silent boo
 	tx.issued = time.Now()
 	c.inflight[m.ID] = tx
 	c.mu.Unlock()
-	if !silent && c.run.measuring.Load() {
+	if !silent && !meta.isRead && c.run.measuring.Load() {
+		// Issued covers the multicast (write) path only; reads have
+		// their own counters.
 		c.run.issued.Add(1)
 	}
 	c.out <- m
@@ -517,6 +665,7 @@ func (c *clientProc) issue(m amcast.Message, meta txMeta, closedLoop, silent boo
 type txMeta struct {
 	typ    gtpcc.TxType
 	amount int64
+	isRead bool
 }
 
 // run is one executing load run.
@@ -532,8 +681,19 @@ type run struct {
 
 	// Fast-path read accumulators (read-mix runs): window completions
 	// and their latency, kept apart from the multicast counters.
-	readHist *metrics.Histogram
-	reads    atomic.Uint64
+	// readByReplica[i] counts window reads served by replica i of the
+	// serving group (0: the serving node, locally or via remote
+	// KindRead; >= 1: follower replicas). leaseRefusals counts follower
+	// reads refused for an expired lease (fallen back to the serving
+	// node); remoteReads counts reads that crossed the transport;
+	// readRefused counts remote reads the serving node refused — a
+	// contract violation that fails the run.
+	readHist      *metrics.Histogram
+	reads         atomic.Uint64
+	readByReplica []atomic.Uint64
+	leaseRefusals atomic.Uint64
+	remoteReads   atomic.Uint64
+	readRefused   atomic.Uint64
 
 	// Execute-mode accumulators. typeHists/typeCommitted/typeAborted are
 	// indexed by gtpcc.TxType and cover the measurement window;
@@ -552,6 +712,28 @@ type run struct {
 // complete records one finished transaction.
 func (r *run) complete(tx *txState, now time.Time) {
 	if tx.silent {
+		return
+	}
+	if tx.isRead {
+		// A remote read completed: served by the serving node (replica
+		// 0) over the transport. A refused read means the node could not
+		// satisfy a barrier derived from observed replies — the
+		// delivered-prefix contract broke — and fails the run at audit.
+		if tx.result != amcast.ResultCommitted {
+			r.readRefused.Add(1)
+			return
+		}
+		if !r.measuring.Load() || tx.issued.Before(r.windowStart) {
+			return
+		}
+		lat := now.Sub(tx.issued).Microseconds()
+		if lat < 0 {
+			lat = 0
+		}
+		r.reads.Add(1)
+		r.readHist.Record(uint64(lat))
+		r.readByReplica[0].Add(1)
+		r.remoteReads.Add(1)
 		return
 	}
 	if r.cfg.Execute && tx.txType == gtpcc.Payment && tx.result == amcast.ResultCommitted {
@@ -586,6 +768,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram(), readHist: metrics.NewHistogram()}
+	r.readByReplica = make([]atomic.Uint64, cfg.Replicas)
 	for i := range r.typeHists {
 		r.typeHists[i] = metrics.NewHistogram()
 	}
@@ -620,6 +803,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 	for _, c := range clients {
 		c := c
+		for w := 0; w < cfg.ReadWorkers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				readLoop(c, w, cfg, stop, errCh)
+			}()
+		}
 		if cfg.Rate > 0 {
 			wg.Add(1)
 			go func() {
@@ -690,20 +881,30 @@ func Run(cfg Config) (*Result, error) {
 	if windowSecs > 0 {
 		res.Throughput = float64(res.Completed) / windowSecs
 	}
-	if cfg.ReadPct > 0 {
+	if n := r.readRefused.Load(); n > 0 {
+		return nil, fmt.Errorf("loadgen: %d remote reads refused by their serving node (barrier ahead of delivered prefix — the prefix contract broke)", n)
+	}
+	if cfg.ReadPct > 0 || cfg.ReadWorkers > 0 {
 		res.Reads = r.reads.Load()
 		if res.Reads == 0 {
 			// A read-mix run that measured no reads is not a
 			// measurement — and would emit a report the validator
 			// rejects. Fail loudly instead (lengthen the window).
-			return nil, fmt.Errorf("loadgen: read mix %.0f%% measured no fast-path read completions in the %.2fs window",
-				cfg.ReadPct, windowSecs)
+			return nil, fmt.Errorf("loadgen: read workload configured but no read completions measured in the %.2fs window", windowSecs)
 		}
 		rl := r.readHist.Summary()
 		res.ReadLatency = &rl
 		if windowSecs > 0 {
 			res.ReadThroughput = float64(res.Reads) / windowSecs
 			res.TotalThroughput = res.Throughput + res.ReadThroughput
+		}
+		if cfg.Replicas > 1 {
+			res.ReadsPerReplica = make([]uint64, cfg.Replicas)
+			for i := range r.readByReplica {
+				res.ReadsPerReplica[i] = r.readByReplica[i].Load()
+			}
+			res.LeaseRefusals = r.leaseRefusals.Load()
+			res.RemoteReads = r.remoteReads.Load()
 		}
 	}
 	var stats runtime.BatcherStats
@@ -782,29 +983,109 @@ func (r *run) auditExecution() (*ExecuteResult, error) {
 	return res, nil
 }
 
-// fastRead issues one read-only transaction on the local-read fast
-// path: no multicast — it executes synchronously against the client's
-// home shard at the client's delivered-prefix barrier (read-your-writes)
-// and is measured in the read histogram.
-func (c *clientProc) fastRead(gen *gtpcc.Gen, cfg Config) error {
+// doRead serves one read-only transaction under the configured
+// routing, at the client's session barrier:
+//
+//   - Replicas <= 1: the PR 4 local fast path — the client is
+//     co-located with the one serving node and reads it directly.
+//   - FollowerReads: the client reads its local follower replica
+//     (round-robin over the group's followers) through the lease gate;
+//     an expired lease falls back to the remote serving node and is
+//     counted.
+//   - otherwise (the leader-only baseline): the client is NOT
+//     co-located with the serving node — the read crosses the
+//     transport as a KindRead transaction and the reply carries the
+//     value and watermark back.
+//
+// Every serve folds the read's watermark into the session barrier
+// (monotonic reads across replicas). wait selects closed-loop
+// semantics for the remote form; synchronous serves ignore it.
+func (c *clientProc) doRead(gen *gtpcc.Gen, cfg Config, stop <-chan struct{}, wait bool) error {
 	tx := gen.NextRead()
-	ex := c.run.proto.execByGroup[tx.Home]
-	if ex == nil {
-		return fmt.Errorf("loadgen: no executor for warehouse %d", tx.Home)
-	}
-	start := time.Now()
-	if _, err := ex.Read(tx, c.observedPrefix(tx.Home), cfg.Timeout); err != nil {
-		return err
-	}
-	if c.run.measuring.Load() && !start.Before(c.run.windowStart) {
-		lat := time.Since(start).Microseconds()
-		if lat < 0 {
-			lat = 0
+	if cfg.Replicas <= 1 {
+		ex := c.run.proto.execByGroup[tx.Home]
+		if ex == nil {
+			return fmt.Errorf("loadgen: no executor for warehouse %d", tx.Home)
 		}
-		c.run.reads.Add(1)
-		c.run.readHist.Record(uint64(lat))
+		start := time.Now()
+		res, err := ex.Read(tx, c.observedPrefix(tx.Home), cfg.Timeout)
+		if err != nil {
+			return err
+		}
+		c.foldRead(tx.Home, res.Watermark)
+		c.recordRead(start, 0)
+		return nil
 	}
-	return nil
+	if cfg.FollowerReads {
+		reps := c.run.proto.followers[tx.Home]
+		if len(reps) == 0 {
+			return fmt.Errorf("loadgen: no follower replicas for warehouse %d", tx.Home)
+		}
+		rep := reps[c.rr.Add(1)%uint64(len(reps))]
+		start := time.Now()
+		res, err := rep.Read(tx, c.observedPrefix(tx.Home), cfg.Timeout)
+		if err == nil {
+			c.foldRead(tx.Home, res.Watermark)
+			c.recordRead(start, rep.Idx())
+			return nil
+		}
+		if !errors.Is(err, store.ErrLeaseExpired) {
+			return err
+		}
+		c.run.leaseRefusals.Add(1)
+		// Lease lapsed: fall back to the serving node, remotely.
+	}
+	return c.remoteRead(tx, cfg, stop, wait)
+}
+
+// remoteRead ships one read to the serving node as a KindRead
+// transaction. With wait (closed loop) it blocks for the reply; the
+// reply's watermark folds into the session barrier via the ordinary
+// reply path (onReplies), and completion lands in the read histogram
+// (complete).
+func (c *clientProc) remoteRead(tx gtpcc.Tx, cfg Config, stop <-chan struct{}, wait bool) error {
+	m := amcast.Message{
+		ID:      amcast.NewMsgID(c.idx, readSeqBase+c.readSeq.Add(1)),
+		Sender:  c.id,
+		Dst:     []amcast.GroupID{tx.Home},
+		Flags:   amcast.FlagRead,
+		Payload: gtpcc.EncodeTx(tx),
+	}
+	st := c.issue(m, txMeta{typ: tx.Type, isRead: true}, wait, false)
+	if !wait {
+		return nil
+	}
+	select {
+	case <-st.done:
+		return nil
+	case <-time.After(cfg.Timeout):
+		return fmt.Errorf("loadgen: client %d remote read %s to warehouse %d timed out after %v",
+			c.idx, m.ID, tx.Home, cfg.Timeout)
+	case <-stop:
+		return nil
+	}
+}
+
+// readLoop is one dedicated read-only session: reads back-to-back at
+// the session barrier under the configured routing, measuring read
+// capacity while the write workload runs alongside.
+func readLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, errCh chan<- error) {
+	gen, err := newGen(c, cfg.Workers+worker, cfg)
+	if err != nil {
+		sendErr(errCh, err)
+		return
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err := c.doRead(gen, cfg, stop, true); err != nil {
+			sendErr(errCh, err)
+			return
+		}
+	}
 }
 
 // readRoll decides whether an iteration issues a fast-path read; the
@@ -837,7 +1118,7 @@ func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, err
 		default:
 		}
 		if readRoll(reads, cfg) {
-			if err := c.fastRead(gen, cfg); err != nil {
+			if err := c.doRead(gen, cfg, stop, true); err != nil {
 				sendErr(errCh, err)
 				return
 			}
@@ -883,9 +1164,12 @@ func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- erro
 			for seq < owed {
 				seq++
 				if readRoll(reads, cfg) {
-					// A read slot: served synchronously on the fast
-					// path, it never occupies the outstanding budget.
-					if err := c.fastRead(gen, cfg); err != nil {
+					// A read slot: local and follower reads serve
+					// synchronously and never occupy the outstanding
+					// budget; remote reads issue asynchronously and
+					// resolve through the reply handler (they do
+					// occupy the in-flight table until answered).
+					if err := c.doRead(gen, cfg, stop, false); err != nil {
 						sendErr(errCh, err)
 						return
 					}

@@ -263,3 +263,96 @@ func TestValidateFileRejectsGarbage(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestRunFollowerReads deploys the replicated read path: every group
+// gains follower read replicas, dedicated read sessions hammer them at
+// the session barrier, and the report carries the per-replica read
+// breakdown. With follower reads on, the followers (not the serving
+// node) serve the reads.
+func TestRunFollowerReads(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Execute = true
+	cfg.ReadPct = 25
+	cfg.Replicas = 3
+	cfg.FollowerReads = true
+	cfg.ReadWorkers = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Reads == 0 {
+		t.Fatalf("run measured nothing: %+v", res)
+	}
+	if len(res.ReadsPerReplica) != 3 {
+		t.Fatalf("reads_per_replica has %d entries, want 3", len(res.ReadsPerReplica))
+	}
+	if res.ReadsPerReplica[1]+res.ReadsPerReplica[2] == 0 {
+		t.Fatalf("followers served nothing: %v", res.ReadsPerReplica)
+	}
+	var sum uint64
+	for _, n := range res.ReadsPerReplica {
+		sum += n
+	}
+	if sum != res.Reads {
+		t.Fatalf("per-replica counts %v do not sum to reads %d", res.ReadsPerReplica, res.Reads)
+	}
+	if res.Execute == nil || !res.Execute.InvariantsOK {
+		t.Fatalf("execute audits failed under follower reads: %+v", res.Execute)
+	}
+	path := filepath.Join(t.TempDir(), "follower.json")
+	if err := NewReport(cfg, res).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLeaderReadsRemote is the replicated leader-only baseline:
+// reads cross the transport as KindRead transactions to the serving
+// node, resolve through the reply path, and none may be refused.
+func TestRunLeaderReadsRemote(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Execute = true
+	cfg.ReadPct = 25
+	cfg.Replicas = 2
+	cfg.ReadWorkers = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads == 0 {
+		t.Fatalf("no remote reads measured: %+v", res)
+	}
+	if res.RemoteReads != res.Reads {
+		t.Fatalf("leader-only run served %d of %d reads remotely", res.RemoteReads, res.Reads)
+	}
+	if res.ReadsPerReplica[1] != 0 {
+		t.Fatalf("leader-only run read a follower: %v", res.ReadsPerReplica)
+	}
+	// Remote reads pay a transport round trip; the write path must
+	// still dominate them (they skip the ordering round entirely).
+	if res.ReadLatency == nil || res.ReadLatency.Count == 0 {
+		t.Fatal("remote reads measured no latency")
+	}
+}
+
+// TestFollowerReadsConfigContract pins the new knobs' validation.
+func TestFollowerReadsConfigContract(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Replicas = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("-replicas without -execute accepted")
+	}
+	cfg = shortCfg()
+	cfg.Execute = true
+	cfg.FollowerReads = true
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("-follower-reads without -replicas accepted")
+	}
+	cfg = shortCfg()
+	cfg.ReadWorkers = 2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("-read-workers without -execute accepted")
+	}
+}

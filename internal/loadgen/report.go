@@ -36,6 +36,14 @@ type ReportConfig struct {
 	ReadPct float64 `json:"read_pct,omitempty"`
 	// Zipf is the workload's Zipfian skew parameter (0 = uniform).
 	Zipf float64 `json:"zipf_s,omitempty"`
+	// Replicas is the smr-style replication degree (1 = unreplicated);
+	// FollowerReads marks runs that served reads from lease-holding
+	// follower replicas (off: the leader-only remote-read baseline);
+	// ReadWorkers is the number of dedicated read-only sessions per
+	// client process.
+	Replicas      int  `json:"replicas,omitempty"`
+	FollowerReads bool `json:"follower_reads,omitempty"`
+	ReadWorkers   int  `json:"read_workers,omitempty"`
 }
 
 // Report is the serialized benchmark outcome (BENCH_runtime.json).
@@ -93,6 +101,11 @@ func reportConfig(cfg Config) ReportConfig {
 	}
 	rc.ReadPct = cfg.ReadPct
 	rc.Zipf = cfg.Zipf
+	if cfg.Replicas > 1 {
+		rc.Replicas = cfg.Replicas
+		rc.FollowerReads = cfg.FollowerReads
+	}
+	rc.ReadWorkers = cfg.ReadWorkers
 	return rc
 }
 
@@ -166,10 +179,20 @@ func ValidateFile(path string) (*Report, error) {
 	if err := validateResult("results", r.Results); err != nil {
 		return nil, err
 	}
-	if r.Config.ReadPct > 0 {
+	if r.Config.ReadPct > 0 || r.Config.ReadWorkers > 0 {
 		if r.Results.Reads == 0 || r.Results.ReadLatency == nil {
-			return nil, fmt.Errorf("loadgen: %s: read mix configured (%.0f%%) but no fast-path reads measured",
-				path, r.Config.ReadPct)
+			return nil, fmt.Errorf("loadgen: %s: read workload configured but no reads measured", path)
+		}
+	}
+	if r.Config.FollowerReads {
+		var followerServed uint64
+		for i, n := range r.Results.ReadsPerReplica {
+			if i >= 1 {
+				followerServed += n
+			}
+		}
+		if followerServed == 0 {
+			return nil, fmt.Errorf("loadgen: %s: follower reads configured but every read fell back to the serving node", path)
 		}
 	}
 	if r.Baseline != nil {
@@ -207,6 +230,16 @@ func validateResult(label string, res *Result) error {
 		}
 		if rl.P50 > rl.P90 || rl.P90 > rl.P99 || rl.P99 > rl.P999 || rl.P999 > rl.Max || rl.Min > rl.P50 {
 			return fmt.Errorf("loadgen: %s: read percentiles out of order: %+v", label, rl)
+		}
+	}
+	if len(res.ReadsPerReplica) > 0 {
+		var sum uint64
+		for _, n := range res.ReadsPerReplica {
+			sum += n
+		}
+		if sum != res.Reads {
+			return fmt.Errorf("loadgen: %s: per-replica read counts sum to %d but %d reads measured",
+				label, sum, res.Reads)
 		}
 	}
 	if res.EnvelopesSent < res.BatchesSent {

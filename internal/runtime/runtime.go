@@ -56,6 +56,15 @@ type Config struct {
 	// OnDeliver observes every delivery after the client reply has been
 	// queued. Called from the node's worker goroutine. May be nil.
 	OnDeliver func(d amcast.Delivery)
+	// ReadHandler, when non-nil, serves KindRead envelopes — read-only
+	// transactions addressed to this node outside the multicast
+	// (DESIGN.md §1e). Read envelopes never enter the engine: they are
+	// diverted at Submit and served on the submitting goroutine (reads
+	// only take the executor's read side, so they run concurrently with
+	// the worker), and the returned reply is transmitted immediately —
+	// a read never queues behind the write path. Nodes without a handler
+	// drop read envelopes.
+	ReadHandler func(env amcast.Envelope) amcast.Envelope
 }
 
 func (c *Config) fill() {
@@ -75,9 +84,10 @@ func (c *Config) fill() {
 // inbound batches enter through Submit, outputs leave through the
 // per-destination Batcher.
 type Node struct {
-	id  amcast.NodeID
-	cfg Config
-	eng amcast.Engine
+	id   amcast.NodeID
+	cfg  Config
+	eng  amcast.Engine
+	send SendBatchFunc
 
 	// Inbound queue: an envelope-counted deque. A channel would count
 	// batches, and 1024 64-envelope batches is 64x the buffering of 1024
@@ -108,6 +118,7 @@ func NewNode(eng amcast.Engine, send SendBatchFunc, cfg Config) *Node {
 		id:      amcast.GroupNode(eng.Group()),
 		cfg:     cfg,
 		eng:     eng,
+		send:    send,
 		batcher: NewBatcher(send, cfg.MaxBatch),
 		stop:    make(chan struct{}),
 	}
@@ -131,6 +142,10 @@ func (n *Node) Submit(envs []amcast.Envelope) {
 	if len(envs) == 0 {
 		return
 	}
+	envs = n.serveReads(envs)
+	if len(envs) == 0 {
+		return
+	}
 	n.qmu.Lock()
 	for len(n.queue) >= n.cfg.QueueDepth && !n.stopped {
 		n.qcond.Wait()
@@ -142,6 +157,38 @@ func (n *Node) Submit(envs []amcast.Envelope) {
 	n.queue = append(n.queue, envs...)
 	n.qmu.Unlock()
 	n.qcond.Signal()
+}
+
+// serveReads diverts KindRead envelopes out of an inbound batch and
+// serves them through the configured ReadHandler, on the submitting
+// goroutine; the filtered batch (usually the whole batch — reads are
+// rare relative to protocol traffic on any one link) continues to the
+// queue. Replies go out directly, bypassing the worker-owned batcher: a
+// read completes without ever synchronizing with the write path.
+func (n *Node) serveReads(envs []amcast.Envelope) []amcast.Envelope {
+	hasRead := false
+	for i := range envs {
+		if envs[i].Kind == amcast.KindRead {
+			hasRead = true
+			break
+		}
+	}
+	if !hasRead {
+		return envs
+	}
+	rest := make([]amcast.Envelope, 0, len(envs))
+	for _, env := range envs {
+		if env.Kind != amcast.KindRead {
+			rest = append(rest, env)
+			continue
+		}
+		if n.cfg.ReadHandler == nil {
+			continue // no serving state: drop, like any unexpected kind
+		}
+		reply := n.cfg.ReadHandler(env)
+		n.send(env.Msg.Sender, []amcast.Envelope{reply})
+	}
+	return rest
 }
 
 // take pops up to MaxBatch queued envelopes, blocking until at least one
@@ -278,11 +325,12 @@ func (n *Node) process(envs []amcast.Envelope) {
 	for _, d := range dels {
 		if d.Msg.Sender.IsClient() {
 			n.batcher.Add(d.Msg.Sender, amcast.Envelope{
-				Kind:   amcast.KindReply,
-				From:   n.id,
-				Msg:    d.Msg.Header(),
-				TS:     d.Seq,
-				Result: d.Result,
+				Kind:      amcast.KindReply,
+				From:      n.id,
+				Msg:       d.Msg.Header(),
+				TS:        d.Seq,
+				Result:    d.Result,
+				Watermark: d.Watermark,
 			})
 		}
 		if n.cfg.OnDeliver != nil {

@@ -1,0 +1,264 @@
+package smr
+
+import (
+	"errors"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/gtpcc"
+	"flexcast/internal/overlay"
+	"flexcast/internal/sim"
+	"flexcast/internal/store"
+	"flexcast/internal/trace"
+)
+
+const (
+	testLeaseTerm   = sim.Time(900_000) // 900ms in sim µs
+	testLeaseMargin = sim.Time(150_000)
+)
+
+// deployLeasedABC is deployStoreABC with follower read leases enabled
+// and the fast-read audit attached to every replica's executor.
+func deployLeasedABC(t *testing.T, nReplicas int) (*storeDeployment, *trace.ExecRecorder) {
+	t.Helper()
+	d := &storeDeployment{
+		s:      sim.New(),
+		groups: make(map[amcast.GroupID]*Group),
+	}
+	rec := trace.NewExecRecorder()
+	d.ov = overlay.MustCDAG([]amcast.GroupID{1, 2, 3})
+	d.net = sim.NewNetwork(d.s, func(from, to amcast.NodeID) sim.Time { return 2000 })
+	for _, g := range d.ov.Order() {
+		g := g
+		grp := MustNew(Config{
+			Group:       g,
+			Replicas:    nReplicas,
+			LeaseTerm:   testLeaseTerm,
+			LeaseMargin: testLeaseMargin,
+			NewEngine: func() (amcast.Engine, error) {
+				eng, err := core.New(core.Config{Group: g, Overlay: d.ov})
+				if err != nil {
+					return nil, err
+				}
+				ex, err := store.NewExecutor(eng, store.Config{Warehouse: g}, false)
+				if err != nil {
+					return nil, err
+				}
+				ex.SetExecObserver(rec.OnApply)
+				ex.SetReadObserver(rec.OnFastRead)
+				return ex, nil
+			},
+		}, d.s, d.net)
+		d.groups[g] = grp
+		grp.Start()
+	}
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	return d, rec
+}
+
+// followerRead serves one order-status read at replica idx of group g,
+// at the given session barrier, through the lease gate.
+func followerRead(d *storeDeployment, g amcast.GroupID, idx int, barrier uint64) (store.ReadResult, error) {
+	var res store.ReadResult
+	err := d.groups[g].FollowerRead(idx, func(eng amcast.Engine) error {
+		ex := eng.(*store.Executor)
+		var rerr error
+		res, rerr = ex.TryRead(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: g, Customer: 1}, barrier)
+		return rerr
+	})
+	return res, err
+}
+
+// TestLeaseGrantRenewalExpiry drives the full lease lifecycle: no lease
+// before the first grant is decided, grants renewed while the leader
+// lives, refusal after revocation, and expiry once grants stop.
+func TestLeaseGrantRenewalExpiry(t *testing.T) {
+	d, _ := deployLeasedABC(t, 3)
+	g1 := d.groups[1]
+
+	// Before the first grant is decided, followers refuse.
+	if _, err := followerRead(d, 1, 1, 0); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("ungranted follower served: %v", err)
+	}
+
+	// Run past a few grant periods: every replica must hold a lease.
+	d.s.RunUntil(2_000_000)
+	for idx := 0; idx < 3; idx++ {
+		if !g1.HoldsLease(idx) {
+			t.Fatalf("replica %d holds no lease after grant periods (expiry %d, now %d)",
+				idx, g1.LeaseExpiry(idx), d.s.Now())
+		}
+	}
+	first := g1.LeaseExpiry(1)
+	if first <= 0 {
+		t.Fatal("no lease applied")
+	}
+
+	// Renewal: expiries keep moving as long as the leader lives.
+	d.s.RunUntil(4_000_000)
+	if g1.LeaseExpiry(1) <= first {
+		t.Fatalf("lease not renewed: expiry still %d", g1.LeaseExpiry(1))
+	}
+	if _, err := followerRead(d, 1, 1, 0); err != nil {
+		t.Fatalf("leased follower refused: %v", err)
+	}
+
+	// Revocation rides the log like grants do.
+	g1.RevokeLeases()
+	d.s.RunUntil(4_100_000)
+	if _, err := followerRead(d, 1, 1, 0); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("read after revocation served: %v", err)
+	}
+
+	// The next grant period re-establishes the lease; then stop the
+	// whole group: with no leader proposing grants the lease expires on
+	// its own within one term.
+	d.s.RunUntil(5_000_000)
+	if !g1.HoldsLease(1) {
+		t.Fatal("lease not re-granted after revocation")
+	}
+	g1.Stop()
+	for i := 0; i < 3; i++ {
+		g1.Crash(i)
+	}
+	g2 := d.groups[2]
+	_ = g2
+	d.s.RunUntil(5_000_000 + int64(testLeaseTerm) + 1)
+	g1.replicas[1].crashed = false // inspect the lease gate alone
+	if g1.HoldsLease(1) {
+		t.Fatalf("lease survived a full term with no leader (expiry %d, now %d)",
+			g1.LeaseExpiry(1), d.s.Now())
+	}
+}
+
+// TestLeaseCrashRecoveryRefusesThenRecovers exercises the two recovery
+// shapes. A follower that crashes while a majority stays live catches
+// up by state transfer — including the grants decided during its
+// downtime — so it may serve again exactly because its state is
+// current. A follower recovering with no live peer ahead of it replays
+// only pre-crash grants (stale by construction) and must refuse reads
+// until a fresh grant is decided — the "expired-lease reads are
+// refused" contract.
+func TestLeaseCrashRecoveryRefusesThenRecovers(t *testing.T) {
+	d, rec := deployLeasedABC(t, 3)
+	d.workload(t, 6)
+	d.s.RunUntil(3_000_000)
+
+	g1 := d.groups[1]
+	if !g1.HoldsLease(1) {
+		t.Fatal("follower holds no lease before crash")
+	}
+	g1.Crash(1)
+	if _, err := followerRead(d, 1, 1, 0); err == nil {
+		t.Fatal("crashed follower served a read")
+	}
+
+	// Majority-alive recovery: the donor's log includes current grants,
+	// so the caught-up replica holds a lease consistent with its now-
+	// current state.
+	d.s.RunUntil(3_000_000 + int64(testLeaseTerm) + int64(testLeaseMargin))
+	if err := g1.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if !g1.HoldsLease(1) {
+		t.Fatalf("caught-up replica holds no lease (expiry %d, now %d) — state transfer lost the grant stream",
+			g1.LeaseExpiry(1), d.s.Now())
+	}
+
+	// Whole-group crash: recovery replays only the replica's own stable
+	// log, whose grants are all pre-crash. Waiting out the term leaves
+	// the recovered replica lease-less, and it must refuse.
+	crashAt := d.s.Now()
+	for i := 0; i < 3; i++ {
+		g1.Crash(i)
+	}
+	d.s.RunUntil(crashAt + 2*int64(testLeaseTerm))
+	if err := g1.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	if g1.HoldsLease(1) {
+		t.Fatalf("lone recovered replica holds a pre-crash lease (expiry %d, now %d)",
+			g1.LeaseExpiry(1), d.s.Now())
+	}
+	if _, err := followerRead(d, 1, 1, 0); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("lone recovered replica served before a fresh grant: %v", err)
+	}
+
+	// Restart the rest of the group: a leader re-establishes, the next
+	// grant is decided, and the follower serves again — at its own
+	// watermark, recorded for the audit.
+	if err := g1.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	d.s.RunUntil(d.s.Now() + 2_000_000)
+	if !g1.HoldsLease(1) {
+		t.Fatal("recovered replica never re-acquired a lease")
+	}
+	res, err := followerRead(d, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Watermark == 0 {
+		t.Fatal("recovered follower served at watermark 0 after a workload")
+	}
+	if rec.FastReads() == 0 {
+		t.Fatal("no fast-read records reached the audit")
+	}
+	if err := rec.CheckFastReads(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowerReadsMatchLeaderState serves reads at every replica and
+// checks the values agree with the serving state (byte-identical
+// replicas ⇒ identical read results at equal watermarks).
+func TestFollowerReadsMatchLeaderState(t *testing.T) {
+	d, rec := deployLeasedABC(t, 3)
+	d.workload(t, 8)
+	d.s.RunUntil(6_000_000)
+
+	// Records from replica 1 of group 1 must carry its identity and
+	// serve-time lease validity (the stamp smr wires into every
+	// replica's executor) — the audit's handle on stale follower serves.
+	var got []trace.FastReadRecord
+	d.executor(t, 1, 1).SetReadObserver(func(r trace.FastReadRecord) {
+		got = append(got, r)
+		rec.OnFastRead(r)
+	})
+
+	for _, g := range d.ov.Order() {
+		ex0 := d.executor(t, g, 0)
+		want, err := ex0.TryRead(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: g, Customer: 1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := 1; idx < 3; idx++ {
+			got, err := followerRead(d, g, idx, 0)
+			if err != nil {
+				t.Fatalf("group %d replica %d: %v", g, idx, err)
+			}
+			if got.Value != want.Value {
+				t.Fatalf("group %d replica %d read %d, leader read %d", g, idx, got.Value, want.Value)
+			}
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("replica 1 of group 1 recorded no reads")
+	}
+	for _, r := range got {
+		if r.Replica != 1 || !r.LeaseOK {
+			t.Fatalf("follower read record mis-stamped: %+v", r)
+		}
+	}
+	if err := rec.CheckFastReads(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range d.groups {
+		g.Stop()
+	}
+	d.s.Run()
+}

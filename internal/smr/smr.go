@@ -20,6 +20,8 @@
 package smr
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"flexcast/amcast"
@@ -27,6 +29,14 @@ import (
 	"flexcast/internal/paxos"
 	"flexcast/internal/sim"
 )
+
+// ErrLeaseExpired is returned by FollowerRead when the addressed
+// follower does not hold a valid read lease — it has not yet applied a
+// grant covering the current time (crashed and recovering, partitioned
+// from the log, or leases disabled). Callers route the read to another
+// replica; serving anyway would be the stale-serve bug the fast-read
+// audit catches.
+var ErrLeaseExpired = errors.New("smr: follower read lease expired")
 
 // replicaBase offsets replica node ids: replica idx of group g lives at
 // NodeID(g) + (idx+1)*replicaBase. Group ids stay below replicaBase and
@@ -68,6 +78,22 @@ type Config struct {
 	// precisely, at every replica; see OnDeliverAll) exactly once per
 	// replica. May be nil.
 	OnDeliver func(replica int, d amcast.Delivery)
+	// LeaseTerm enables follower read leases: while it is > 0, the
+	// current leader periodically (every LeaseTerm/3) sequences a lease
+	// grant through the Paxos log, valid for LeaseTerm from its propose
+	// time. Because grants ride decided log entries, every replica
+	// learns the lease state deterministically, totally ordered with the
+	// command stream — a replica that has not applied a current grant
+	// (crashed, recovering, cut off) holds no lease and FollowerRead
+	// refuses. 0 disables leases (FollowerRead always refuses).
+	LeaseTerm sim.Time
+	// LeaseMargin is the follower-side safety margin: a follower stops
+	// serving once now+LeaseMargin reaches the grant's expiry, i.e.
+	// strictly before the leader considers the lease dead. The margin is
+	// what absorbs clock skew between grantor and follower — zero-cost
+	// in the simulator's global clock, load-bearing on real transports
+	// (DESIGN.md §1e). Default LeaseTerm/4.
+	LeaseMargin sim.Time
 }
 
 // Group is a replicated protocol group attached to a simulated network.
@@ -97,6 +123,10 @@ type replica struct {
 	eng     amcast.Engine
 	crashed bool
 	applied uint64
+	// leaseExpiry is the expiry of the newest lease grant this replica
+	// has applied from the decided log (0: none). Each replica holds its
+	// own view: a lagging replica holds an older — hence safer — lease.
+	leaseExpiry sim.Time
 }
 
 // New builds the group and registers its ingress and replicas on the
@@ -120,6 +150,9 @@ func New(cfg Config, s *sim.Simulator, net *sim.Network) (*Group, error) {
 	if cfg.BatchMax > codec.MaxBatchEnvelopes {
 		cfg.BatchMax = codec.MaxBatchEnvelopes
 	}
+	if cfg.LeaseTerm > 0 && cfg.LeaseMargin == 0 {
+		cfg.LeaseMargin = cfg.LeaseTerm / 4
+	}
 	g := &Group{cfg: cfg, s: s, net: net}
 	for i := 0; i < cfg.Replicas; i++ {
 		eng, err := cfg.NewEngine()
@@ -135,12 +168,40 @@ func New(cfg Config, s *sim.Simulator, net *sim.Network) (*Group, error) {
 		}
 		g.replicas = append(g.replicas, r)
 	}
+	for _, r := range g.replicas {
+		g.stampReads(r)
+	}
 	// The group's logical endpoint: the paper treats each group as a
 	// reliable entity; the ingress forwards external envelopes into the
 	// replica set (to the believed leader, falling back to any live
 	// replica).
 	net.Register(amcast.GroupNode(cfg.Group), sim.HandlerFunc(g.ingress))
 	return g, nil
+}
+
+// readStamper is implemented by store.Executor; asserted structurally
+// so smr stays independent of the store package.
+type readStamper interface {
+	SetReadStamp(replica int32, lease func() bool)
+}
+
+// stampReads marks a read-capable engine (store.Executor) with its
+// replica identity and this group's lease gate, so every fast-read
+// audit record carries which replica served and whether it was allowed
+// to — a follower serve through a regressed lease gate then fails
+// trace.CheckFastReads instead of passing as a serving-node read. The
+// leader needs no lease (it is the grantor and current by
+// construction); a non-leading replica's authority is its applied
+// lease. Re-applied on Restart, which builds a fresh engine.
+func (g *Group) stampReads(r *replica) {
+	s, ok := r.eng.(readStamper)
+	if !ok {
+		return
+	}
+	r2 := r
+	s.SetReadStamp(int32(r.idx), func() bool {
+		return r2.pax.IsLeader() || g.holdsLease(r2)
+	})
 }
 
 // MustNew is New for known-good configurations; it panics on error.
@@ -152,9 +213,13 @@ func MustNew(cfg Config, s *sim.Simulator, net *sim.Network) *Group {
 	return g
 }
 
-// Start begins the Paxos failure-detector ticks.
+// Start begins the Paxos failure-detector ticks (and, with LeaseTerm
+// set, the leader's lease-grant loop).
 func (g *Group) Start() {
 	g.s.Schedule(g.cfg.TickEvery, g.tick)
+	if g.cfg.LeaseTerm > 0 {
+		g.s.Schedule(g.cfg.LeaseTerm/3, g.leaseTick)
+	}
 }
 
 // Stop halts the tick loop (tests call it before draining the simulator).
@@ -199,6 +264,7 @@ func (g *Group) Restart(idx int) error {
 		return fmt.Errorf("smr: restart replica %d: %w", idx, err)
 	}
 	r.eng = eng
+	g.stampReads(r)
 	r.applied = 0
 	r.crashed = false
 	r.pax.Recover()
@@ -227,9 +293,17 @@ func (g *Group) Restart(idx int) error {
 }
 
 // replay applies a decided-value sequence to the engine without emitting
-// outputs, replies or OnDeliver callbacks.
+// outputs, replies or OnDeliver callbacks. Lease entries are replayed
+// into the lease view too — their grant times are pre-crash, so a
+// recovered replica's lease is typically already expired and it refuses
+// follower reads until the live leader's next grant is decided.
 func (r *replica) replay(vals [][]byte) {
 	for _, v := range vals {
+		if isLease(v) {
+			r.applied++
+			r.applyLease(v)
+			continue
+		}
 		envs, err := codec.DecodeFrame(v)
 		if err != nil {
 			continue // mirrors apply: skip deterministically
@@ -238,6 +312,93 @@ func (r *replica) replay(vals [][]byte) {
 		amcast.BatchStep(r.eng, envs)
 		r.eng.TakeDeliveries()
 	}
+}
+
+// leaseMarker discriminates lease entries from codec frames in the
+// decided log: envelope kinds occupy 1..8 and batch frames start with
+// codec.BatchKind (0x40), so the high marker byte is unambiguous.
+const leaseMarker byte = 0xF5
+
+// leaseValue encodes a lease entry: a grant valid until expiry, or a
+// revocation (expiry 0).
+func leaseValue(expiry sim.Time) []byte {
+	buf := make([]byte, 1, 10)
+	buf[0] = leaseMarker
+	return binary.AppendUvarint(buf, uint64(expiry))
+}
+
+// isLease reports whether a decided value is a lease entry.
+func isLease(v []byte) bool { return len(v) > 0 && v[0] == leaseMarker }
+
+// applyLease installs one decided lease entry into this replica's lease
+// view. Entries are applied in log order on every replica, so the view
+// is deterministic — a replica that has not caught up simply holds an
+// older (sooner-expiring, hence safer) lease.
+func (r *replica) applyLease(v []byte) {
+	expiry, n := binary.Uvarint(v[1:])
+	if n <= 0 {
+		return // corrupt lease entry: skip deterministically, like apply
+	}
+	r.leaseExpiry = sim.Time(expiry)
+}
+
+// leaseTick is the leader's grant loop: every LeaseTerm/3 the replica
+// that currently leads sequences a grant through the Paxos log, valid
+// for LeaseTerm from now. Riding the log (rather than a side channel)
+// is what makes the lease state consistent with the command stream on
+// every replica, including across leader changes and recoveries.
+func (g *Group) leaseTick() {
+	if g.stopped {
+		return
+	}
+	if lead := g.Leader(); lead >= 0 {
+		r := g.replicas[lead]
+		r.route(r.pax.Propose(leaseValue(g.s.Now() + g.cfg.LeaseTerm)))
+		r.apply()
+	}
+	g.s.Schedule(g.cfg.LeaseTerm/3, g.leaseTick)
+}
+
+// RevokeLeases has the current leader sequence a revocation entry:
+// replicas applying it refuse follower reads until a fresh grant is
+// decided. No-op without a live leader (leases then expire on their
+// own).
+func (g *Group) RevokeLeases() {
+	if lead := g.Leader(); lead >= 0 {
+		r := g.replicas[lead]
+		r.route(r.pax.Propose(leaseValue(0)))
+		r.apply()
+	}
+}
+
+// HoldsLease reports whether replica idx could serve a follower read
+// now: it is live and has applied a grant whose expiry is more than
+// LeaseMargin away.
+func (g *Group) HoldsLease(idx int) bool { return g.holdsLease(g.replicas[idx]) }
+
+func (g *Group) holdsLease(r *replica) bool {
+	return !r.crashed && r.leaseExpiry > 0 && g.s.Now()+g.cfg.LeaseMargin < r.leaseExpiry
+}
+
+// LeaseExpiry exposes replica idx's applied lease expiry (tests).
+func (g *Group) LeaseExpiry(idx int) sim.Time { return g.replicas[idx].leaseExpiry }
+
+// FollowerRead runs read against replica idx's engine iff the replica
+// holds a valid read lease (HoldsLease); otherwise the read is refused
+// with ErrLeaseExpired (or a crash error) and read is not called. The
+// read callback typically asserts the engine to its executor wrapper
+// (store.Executor) and serves a fast read at the caller's session
+// barrier against the replica's own delivered-prefix watermark.
+func (g *Group) FollowerRead(idx int, read func(eng amcast.Engine) error) error {
+	r := g.replicas[idx]
+	if r.crashed {
+		return fmt.Errorf("smr: follower read at crashed replica %d of group %d", idx, g.cfg.Group)
+	}
+	if !g.HoldsLease(idx) {
+		return fmt.Errorf("replica %d of group %d (expiry %d, now %d): %w",
+			idx, g.cfg.Group, r.leaseExpiry, g.s.Now(), ErrLeaseExpired)
+	}
+	return read(r.eng)
 }
 
 // Leader returns the index of the first live replica that believes it
@@ -349,6 +510,11 @@ func (r *replica) route(ms []paxos.Message) {
 // the engine and emits its outputs and client replies.
 func (r *replica) apply() {
 	for _, dec := range r.pax.TakeDecisions() {
+		if isLease(dec.Value) {
+			r.applied++
+			r.applyLease(dec.Value)
+			continue
+		}
 		envs, err := codec.DecodeFrame(dec.Value)
 		if err != nil {
 			// A corrupt decided value would be a codec bug; skip it
@@ -366,11 +532,12 @@ func (r *replica) apply() {
 			}
 			if d.Msg.Sender.IsClient() {
 				r.grp.net.Send(amcast.GroupNode(r.grp.cfg.Group), d.Msg.Sender, amcast.Envelope{
-					Kind:   amcast.KindReply,
-					From:   amcast.GroupNode(r.grp.cfg.Group),
-					Msg:    d.Msg.Header(),
-					TS:     d.Seq,
-					Result: d.Result,
+					Kind:      amcast.KindReply,
+					From:      amcast.GroupNode(r.grp.cfg.Group),
+					Msg:       d.Msg.Header(),
+					TS:        d.Seq,
+					Result:    d.Result,
+					Watermark: d.Watermark,
 				})
 			}
 		}

@@ -50,6 +50,21 @@ type Executor struct {
 	// onRead observes fast-path reads (the fast-read audit's feed);
 	// same contract as onApply.
 	onRead func(trace.FastReadRecord)
+
+	// shardCfg is the shard's population configuration, retained so
+	// follower read replicas (AttachFollower) start from the identical
+	// seeded state the serving node started from.
+	shardCfg Config
+	// replicaID and leaseStamp identify this executor among a
+	// replicated group's replicas (SetReadStamp): fast-read records
+	// carry the identity and the serving authority evaluated at serve
+	// time, so the audit sees follower serves as follower serves.
+	replicaID  int32
+	leaseStamp func() bool
+	// followers are the attached read replicas; every applied delivery
+	// batch is shipped to each, in order, after the executor's lock is
+	// released (the followers have their own locks and watermarks).
+	followers []*Replica
 }
 
 // Wrap builds an executor over a protocol engine, asserting the
@@ -77,7 +92,7 @@ func NewExecutor(eng amcast.SnapshotEngine, cfg Config, mirror bool) (*Executor,
 	if err != nil {
 		return nil, err
 	}
-	e := &Executor{eng: eng, shard: shard}
+	e := &Executor{eng: eng, shard: shard, shardCfg: cfg}
 	e.cond = sync.NewCond(e.mu.RLocker())
 	if mirror {
 		m, err := New(cfg)
@@ -93,11 +108,40 @@ func NewExecutor(eng amcast.SnapshotEngine, cfg Config, mirror bool) (*Executor,
 // only after the owning runtime has quiesced.
 func (e *Executor) Shard() *Shard { return e.shard }
 
+// AttachFollower builds a follower read replica over a shard seeded
+// identically to the serving node's and subscribes it to the executor's
+// applied-delivery feed. Attach followers before traffic flows, so the
+// shipped log starts at delivery 0.
+func (e *Executor) AttachFollower(cfg ReplicaConfig) (*Replica, error) {
+	r, err := newReplica(e.shardCfg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.followers = append(e.followers, r)
+	return r, nil
+}
+
+// Followers returns the attached read replicas in attach order.
+func (e *Executor) Followers() []*Replica { return e.followers }
+
 // SetExecObserver installs the execution-record observer.
 func (e *Executor) SetExecObserver(f func(trace.ExecRecord)) { e.onApply = f }
 
 // SetReadObserver installs the fast-read record observer.
 func (e *Executor) SetReadObserver(f func(trace.FastReadRecord)) { e.onRead = f }
+
+// SetReadStamp identifies this executor among a replicated group's
+// replicas (internal/smr wires it for every replica's executor):
+// fast-read records carry the replica index, and lease is evaluated at
+// serve time to stamp the record's LeaseOK — so a read served through
+// a regressed lease gate reaches the audit labeled as the stale
+// follower serve it is (trace.CheckFastReads rejects it) instead of
+// masquerading as a lease-exempt serving-node read. Unset, the
+// executor records itself as replica 0, which needs no lease.
+func (e *Executor) SetReadStamp(replica int32, lease func() bool) {
+	e.replicaID = replica
+	e.leaseStamp = lease
+}
 
 // Digest returns the live shard's state digest.
 func (e *Executor) Digest() [32]byte { return e.shard.Digest() }
@@ -154,9 +198,22 @@ func (e *Executor) TakeDeliveries() []amcast.Delivery {
 		if e.onApply != nil && res.Code != amcast.ResultNone {
 			e.onApply(res.Record)
 		}
+		// Stamp the delivery's watermark: the runtime copies it to the
+		// KindReply envelope, feeding the client's session barrier. Seq+1
+		// (not the batch-final watermark) keeps deliveries identical
+		// under any chunking — a batch is a scheduling unit, never a
+		// semantic one (amcast.BatchStepper).
+		dels[i].Watermark = dels[i].Seq + 1
 	}
 	e.mu.Unlock()
 	e.cond.Broadcast()
+	// Ship the applied batch to the follower read replicas, in apply
+	// order (TakeDeliveries is called by the engine's single owner, so
+	// feeds are ordered). Recovery replay re-feeds a prefix; followers
+	// skip sequences they already applied.
+	for _, f := range e.followers {
+		f.Feed(dels)
+	}
 	return dels
 }
 
@@ -215,31 +272,16 @@ func (e *Executor) Read(tx gtpcc.Tx, barrier uint64, timeout time.Duration) (Rea
 }
 
 // readLocked executes the read at the current watermark and reports it
-// to the fast-read observer. Callers hold mu (read side suffices:
-// nothing here mutates shard or executor state, and the observer is
+// to the fast-read observer through the shared fast-read core (see
+// readTx in replica.go). Callers hold mu (read side suffices: nothing
+// here mutates shard or executor state, and the observer is
 // concurrency-safe).
 func (e *Executor) readLocked(tx gtpcc.Tx, barrier uint64) (ReadResult, error) {
-	if tx.Home != e.shard.Warehouse() {
-		return ReadResult{}, fmt.Errorf("store: read for warehouse %d routed to warehouse %d",
-			tx.Home, e.shard.Warehouse())
+	leaseOK := true
+	if e.leaseStamp != nil {
+		leaseOK = e.leaseStamp()
 	}
-	val, rows, err := e.shard.ReadTx(tx)
-	if err != nil {
-		return ReadResult{}, err
-	}
-	if e.onRead != nil {
-		e.onRead(trace.FastReadRecord{
-			Group:       e.shard.Warehouse(),
-			Watermark:   e.watermark,
-			Barrier:     barrier,
-			TxWatermark: e.shard.Applied(),
-			Kind:        uint8(tx.Type),
-			ReadSet:     readSetDigest(gtpcc.EncodeTx(tx)),
-			Value:       val,
-			Rows:        rows,
-		})
-	}
-	return ReadResult{Value: val, Watermark: e.watermark}, nil
+	return readTx(e.shard, tx, barrier, e.watermark, e.replicaID, leaseOK, e.onRead)
 }
 
 // Watermark returns the delivered-prefix watermark (deliveries with

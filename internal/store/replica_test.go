@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/gtpcc"
+	"flexcast/internal/trace"
+)
+
+// feedTx pushes one committed new-order through the executor (and so
+// into every attached follower's log feed).
+func feedTx(t *testing.T, ex *Executor, eng *stubEngine, seq, id uint64) {
+	t.Helper()
+	eng.deliver(seq, id, gtpcc.Tx{
+		Type: gtpcc.NewOrder, Home: 1, Customer: int32(id % gtpcc.NumCustomers), Items: 1,
+		Lines: []gtpcc.OrderLine{{Item: int32(id % gtpcc.NumItems), Supply: 1, Qty: 1}},
+	})
+	ex.TakeDeliveries()
+}
+
+func TestReplicaAppliesLogAndServesLeasedReads(t *testing.T) {
+	ex, eng := newReadExecutor(t)
+	now := uint64(0)
+	clock := func() uint64 { return now }
+	rep, err := ex.AttachFollower(ReplicaConfig{Idx: 1, Clock: clock, AutoGrantTerm: 1000, Margin: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any grant, reads are refused — not served stale.
+	if _, err := rep.TryReadAt(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 2}, 0, now); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("ungranted replica served a read: %v", err)
+	}
+	if rep.Refusals() != 1 {
+		t.Fatalf("refusals = %d, want 1", rep.Refusals())
+	}
+
+	feedTx(t, ex, eng, 0, 7)
+	feedTx(t, ex, eng, 1, 8)
+	if rep.Watermark() != 2 {
+		t.Fatalf("follower watermark = %d, want 2", rep.Watermark())
+	}
+	if a, b := rep.Shard().Digest(), ex.Digest(); a != b {
+		t.Fatalf("follower digest diverged from serving node: %x != %x", a[:8], b[:8])
+	}
+
+	// The feed renewed the lease (auto-grant rides the log): reads serve
+	// at the follower's own watermark.
+	res, err := rep.TryReadAt(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 7 % gtpcc.NumCustomers}, 2, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Watermark != 2 {
+		t.Fatalf("read watermark = %d, want 2", res.Watermark)
+	}
+	if rep.Reads() != 1 {
+		t.Fatalf("reads = %d, want 1", rep.Reads())
+	}
+
+	// Inside the margin the replica already refuses — it stops serving
+	// strictly before the grantor considers the lease dead.
+	now += 850 // expiry 1000, margin 200: 850+200 >= 1000
+	if _, err := rep.TryReadAt(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 2}, 0, now); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("read inside the safety margin served: %v", err)
+	}
+
+	// A fresh feed renews; revocation refuses immediately.
+	feedTx(t, ex, eng, 2, 9)
+	if !rep.HoldsLease(now) {
+		t.Fatal("lease not renewed by log feed")
+	}
+	rep.Revoke()
+	if _, err := rep.TryReadAt(gtpcc.Tx{Type: gtpcc.OrderStatus, Home: 1, Customer: 2}, 0, now); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("read after revoke served: %v", err)
+	}
+}
+
+func TestReplicaSkipsReplayedPrefix(t *testing.T) {
+	ex, eng := newReadExecutor(t)
+	rep, err := ex.AttachFollower(ReplicaConfig{Idx: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedTx(t, ex, eng, 0, 7)
+	feedTx(t, ex, eng, 1, 8)
+	dig := rep.Shard().Digest()
+
+	// Recovery replay re-feeds the applied prefix: the follower must
+	// skip it (its state already reflects those deliveries) and keep its
+	// watermark.
+	eng.deliver(0, 7, gtpcc.Tx{
+		Type: gtpcc.NewOrder, Home: 1, Customer: 7 % gtpcc.NumCustomers, Items: 1,
+		Lines: []gtpcc.OrderLine{{Item: 7, Supply: 1, Qty: 1}},
+	})
+	ex.TakeDeliveries()
+	if rep.Watermark() != 2 {
+		t.Fatalf("replayed feed moved the watermark to %d", rep.Watermark())
+	}
+	if rep.Shard().Digest() != dig {
+		t.Fatal("replayed feed mutated follower state")
+	}
+}
+
+func TestReplicaAsyncReadWaitsForBarrier(t *testing.T) {
+	ex, eng := newReadExecutor(t)
+	now := func() uint64 { return 0 }
+	rep, err := ex.AttachFollower(ReplicaConfig{Idx: 1, Async: true, Clock: now, AutoGrantTerm: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	var recs []trace.FastReadRecord
+	rep.SetReadObserver(func(r trace.FastReadRecord) { recs = append(recs, r) })
+
+	// A blocking read refuses promptly when no lease is held (the
+	// barrier wait is pointless on a lease-less replica).
+	if _, err := rep.Read(gtpcc.Tx{Type: gtpcc.StockLevel, Home: 1, Threshold: 10}, 2, time.Second); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("lease-less blocking read did not refuse: %v", err)
+	}
+	rep.Grant(1, 1<<40)
+
+	done := make(chan error, 1)
+	go func() {
+		// Barrier 2 is ahead of the follower: the read must block until
+		// the async applier catches up, then serve.
+		_, err := rep.Read(gtpcc.Tx{Type: gtpcc.StockLevel, Home: 1, Threshold: 10}, 2, 5*time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	feedTx(t, ex, eng, 0, 3)
+	feedTx(t, ex, eng, 1, 4)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d reads, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Replica != 1 || !rec.LeaseOK || rec.Barrier != 2 || rec.Watermark < 2 {
+		t.Fatalf("bad follower read record: %+v", rec)
+	}
+	if rec.Group != amcast.GroupID(1) {
+		t.Fatalf("record group = %d", rec.Group)
+	}
+
+	// An unreachable barrier times out rather than hanging.
+	if _, err := rep.Read(gtpcc.Tx{Type: gtpcc.StockLevel, Home: 1, Threshold: 10}, 99, 20*time.Millisecond); err == nil {
+		t.Fatal("unreachable barrier served")
+	}
+}

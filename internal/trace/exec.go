@@ -108,6 +108,17 @@ type FastReadRecord struct {
 	Value int64
 	// Rows lists the rows read; all must be read-only and owned by Group.
 	Rows []Row
+	// Replica identifies which replica of the group served the read: 0
+	// is the serving node (needs no lease), >= 1 a follower read replica
+	// (DESIGN.md §1e). The replica's apply sequence is, by determinism,
+	// a prefix of the group's, so TxWatermark indexes the same
+	// serialization cut whichever replica served.
+	Replica int32
+	// LeaseOK reports that the serving replica held a valid read lease
+	// when the read executed (vacuously true for the serving node). A
+	// false record is a stale follower serve — the implementation was
+	// required to refuse — and fails the audit.
+	LeaseOK bool
 }
 
 // ExecRecorder accumulates execution records and checks them. Safe for
@@ -155,12 +166,17 @@ func (r *ExecRecorder) FastReads() int {
 }
 
 // CheckFastReads verifies the fast-path read contract: every read is
-// read-only (no write rows), contained to the serving shard, served at
+// read-only (no write rows), contained to the serving shard, served
+// under a valid lease (follower replicas; a stale serve fails here), at
 // or after its barrier (read-your-writes), and serialized at a cut no
 // deeper than the shard's applied sequence.
 func (r *ExecRecorder) CheckFastReads() error {
 	for _, g := range r.readShards() {
 		for i, rec := range r.reads[g] {
+			if !rec.LeaseOK {
+				return fmt.Errorf("exec: fast read %d at shard %d served by replica %d without a valid lease — stale follower serve",
+					i, g, rec.Replica)
+			}
 			if rec.Barrier > rec.Watermark {
 				return fmt.Errorf("exec: fast read %d at shard %d served before its barrier (barrier %d > watermark %d) — read-your-writes broken",
 					i, g, rec.Barrier, rec.Watermark)

@@ -15,6 +15,7 @@ func fastRead(g amcast.GroupID, cut uint64, rows ...Row) FastReadRecord {
 		TxWatermark: cut,
 		Kind:        3, // order-status
 		Rows:        rows,
+		LeaseOK:     true,
 	}
 }
 
@@ -60,6 +61,18 @@ func TestCheckFastReadsViolations(t *testing.T) {
 	if err := r.CheckFastReads(); err == nil || !strings.Contains(err.Error(), "beyond") {
 		t.Fatalf("cut beyond applied sequence not caught: %v", err)
 	}
+
+	// A follower that serves after its lease expired must be caught: the
+	// implementation is required to refuse (store.ErrLeaseExpired), so a
+	// record claiming a lease-less serve is a stale-serve bug.
+	r = base()
+	rec = fastRead(1, 1, Row{Shard: 1, Table: TableCustomer, Key: 3})
+	rec.Replica = 2
+	rec.LeaseOK = false
+	r.OnFastRead(rec)
+	if err := r.CheckFastReads(); err == nil || !strings.Contains(err.Error(), "stale follower serve") {
+		t.Fatalf("lease-less follower serve not caught: %v", err)
+	}
 }
 
 // TestFastReadClosesCycle builds the anomaly the fast path must never
@@ -96,5 +109,21 @@ func TestFastReadClosesCycle(t *testing.T) {
 		Row{Shard: 1, Table: TableStock, Key: 2}))
 	if err := r.CheckConflictSerializability(); err == nil || !strings.Contains(err.Error(), "fast read") {
 		t.Fatalf("inconsistent fast-read cut not caught: %v", err)
+	}
+
+	// The follower-read variant of the same anomaly: a crashed-and-stale
+	// follower hypothetically serving the identical inconsistent cut. By
+	// determinism a follower's apply sequence is a prefix of the group's,
+	// so its reads merge into the group's conflict graph at their
+	// recorded cut exactly like serving-node reads — the cycle must be
+	// caught with replica identity attached, whichever replica served.
+	r = build()
+	follower := fastRead(1, 1,
+		Row{Shard: 1, Table: TableStock, Key: 1},
+		Row{Shard: 1, Table: TableStock, Key: 2})
+	follower.Replica = 1
+	r.OnFastRead(follower)
+	if err := r.CheckConflictSerializability(); err == nil || !strings.Contains(err.Error(), "fast read") {
+		t.Fatalf("inconsistent follower-read cut not caught: %v", err)
 	}
 }

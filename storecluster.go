@@ -1,8 +1,10 @@
 package flexcast
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"flexcast/amcast"
@@ -24,30 +26,53 @@ type StoreClusterConfig struct {
 	Overlay *Overlay
 	// Tree overrides the generated tree (hierarchical).
 	Tree *Tree
-	// Items and Customers size each warehouse's tables (defaults: the
-	// gTPC-C generator's table sizes).
-	Items     int
+	// Items and Customers size each warehouse's stock and customer
+	// tables (defaults: the gTPC-C generator's table sizes).
+	Items int
+	// Customers is the customer-table size per warehouse.
 	Customers int
 	// StoreSeed drives the deterministic initial population (default 1).
 	StoreSeed int64
 	// MaxBatch, FlushInterval and CallTimeout pass through to the
 	// underlying ClusterConfig.
-	MaxBatch      int
+	MaxBatch int
+	// FlushInterval is the runtime's batch flush period (see
+	// ClusterConfig.FlushInterval).
 	FlushInterval time.Duration
-	CallTimeout   time.Duration
+	// CallTimeout bounds each transaction call (see
+	// ClusterConfig.CallTimeout); it also bounds fast-path read waits.
+	CallTimeout time.Duration
 	// DisableFastReads forces the read-only single-shard transactions
 	// (OrderStatus, StockLevel) through the full multicast instead of
 	// the local-read fast path — the A/B baseline and a fallback should
 	// a deployment want strictly multicast-ordered reads.
 	DisableFastReads bool
+	// ReadReplicas attaches that many follower read replicas to every
+	// warehouse: each applies the warehouse's delivery log shipped from
+	// the serving node (asynchronously, with its own delivered-prefix
+	// watermark) and serves lease-gated fast reads, multiplying read
+	// capacity by the replication factor (DESIGN.md §1e). Sessions
+	// (Session) load-balance OrderStatus/StockLevel across them; an
+	// expired lease falls back to the serving node. 0 keeps all reads
+	// on the serving node.
+	ReadReplicas int
+	// LeaseTerm is the follower read-lease term (default 250ms). Leases
+	// renew as the delivery log ships, so an idle warehouse's leases
+	// lapse and its reads fall back to the serving node — by design: a
+	// follower cut off from the log must stop serving within one term.
+	LeaseTerm time.Duration
 }
 
 // OrderLine is one item of a NewOrder call: Qty units of Item supplied
 // by warehouse Supply.
 type OrderLine struct {
-	Item   int
+	// Item is the stock item index within the supplying warehouse.
+	Item int
+	// Supply is the supplying warehouse (NoGroup / zero: the order's
+	// home warehouse).
 	Supply GroupID
-	Qty    int
+	// Qty is the quantity ordered (must be positive).
+	Qty int
 }
 
 // TxResult is the outcome of one executed transaction.
@@ -62,14 +87,18 @@ type TxResult struct {
 	Results map[GroupID]uint8
 	// FastPath reports that the transaction was a read-only single-shard
 	// transaction served by the local-read fast path: executed directly
-	// against the local shard at the delivered-prefix barrier, without a
-	// multicast round (DESIGN.md §1d).
+	// against a local shard replica at the delivered-prefix barrier,
+	// without a multicast round (DESIGN.md §1d/§1e).
 	FastPath bool
 	// Value is the fast-path read's result: the customer's most recent
 	// order id for OrderStatus (-1 when none), the low-stock item count
 	// for StockLevel. Multicast transactions carry no value (replies are
 	// verdict-only).
 	Value int64
+	// Replica identifies which replica served a fast-path read: 0 is
+	// the warehouse's serving node, >= 1 a lease-holding follower read
+	// replica (sessions on clusters with ReadReplicas).
+	Replica int32
 }
 
 // StoreCluster is an in-process deployment of the partially replicated
@@ -80,6 +109,7 @@ type TxResult struct {
 type StoreCluster struct {
 	c         *Cluster
 	execs     map[GroupID]*store.Executor
+	replicas  map[GroupID][]*store.Replica
 	items     int
 	customers int
 	fastReads bool
@@ -132,8 +162,12 @@ func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
+	if cfg.LeaseTerm == 0 {
+		cfg.LeaseTerm = 250 * time.Millisecond
+	}
 	sc := &StoreCluster{
 		execs:     make(map[GroupID]*store.Executor),
+		replicas:  make(map[GroupID][]*store.Replica),
 		items:     cfg.Items,
 		customers: cfg.Customers,
 		fastReads: !cfg.DisableFastReads,
@@ -150,6 +184,17 @@ func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) {
 			return nil, err
 		}
 		sc.execs[g] = ex
+		for i := 0; i < cfg.ReadReplicas; i++ {
+			rep, err := ex.AttachFollower(store.ReplicaConfig{
+				Idx:           int32(i + 1),
+				Async:         true, // Clock defaults to the wall clock
+				AutoGrantTerm: uint64(cfg.LeaseTerm.Microseconds()),
+			})
+			if err != nil {
+				return nil, err
+			}
+			sc.replicas[g] = append(sc.replicas[g], rep)
+		}
 		return ex, nil
 	}
 	c, err := NewCluster(ccfg)
@@ -177,6 +222,12 @@ func (sc *StoreCluster) exec(tx gtpcc.Tx) (*TxResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return foldVerdicts(id, results)
+}
+
+// foldVerdicts checks that every involved warehouse executed and that
+// the verdicts agree, and assembles the transaction result.
+func foldVerdicts(id MsgID, results map[GroupID]uint8) (*TxResult, error) {
 	res := &TxResult{ID: id, Results: results}
 	first := uint8(0)
 	groups := make([]GroupID, 0, len(results))
@@ -201,22 +252,20 @@ func (sc *StoreCluster) exec(tx gtpcc.Tx) (*TxResult, error) {
 	return res, nil
 }
 
-// NewOrder executes a TPC-C new-order for a customer of the home
-// warehouse; order lines may be supplied by remote warehouses, making
-// the transaction multi-shard.
-func (sc *StoreCluster) NewOrder(home GroupID, customer int, lines []OrderLine) (*TxResult, error) {
+// newOrderTx validates and assembles a new-order transaction.
+func (sc *StoreCluster) newOrderTx(home GroupID, customer int, lines []OrderLine) (gtpcc.Tx, error) {
 	if len(lines) == 0 {
-		return nil, fmt.Errorf("flexcast: new-order needs at least one order line")
+		return gtpcc.Tx{}, fmt.Errorf("flexcast: new-order needs at least one order line")
 	}
 	if err := sc.checkCustomer(customer); err != nil {
-		return nil, err
+		return gtpcc.Tx{}, err
 	}
 	for _, l := range lines {
 		if l.Item < 0 || l.Item >= sc.items {
-			return nil, fmt.Errorf("flexcast: item %d outside [0,%d)", l.Item, sc.items)
+			return gtpcc.Tx{}, fmt.Errorf("flexcast: item %d outside [0,%d)", l.Item, sc.items)
 		}
 		if l.Qty <= 0 {
-			return nil, fmt.Errorf("flexcast: non-positive quantity %d", l.Qty)
+			return gtpcc.Tx{}, fmt.Errorf("flexcast: non-positive quantity %d", l.Qty)
 		}
 	}
 	tx := gtpcc.Tx{
@@ -236,18 +285,27 @@ func (sc *StoreCluster) NewOrder(home GroupID, customer int, lines []OrderLine) 
 		})
 	}
 	tx.Dst = tx.Involved()
+	return tx, nil
+}
+
+// NewOrder executes a TPC-C new-order for a customer of the home
+// warehouse; order lines may be supplied by remote warehouses, making
+// the transaction multi-shard.
+func (sc *StoreCluster) NewOrder(home GroupID, customer int, lines []OrderLine) (*TxResult, error) {
+	tx, err := sc.newOrderTx(home, customer, lines)
+	if err != nil {
+		return nil, err
+	}
 	return sc.exec(tx)
 }
 
-// Payment executes a TPC-C payment: the home warehouse banks amount,
-// the customer's warehouse debits the customer (multi-shard when they
-// differ).
-func (sc *StoreCluster) Payment(home, customerWarehouse GroupID, customer int, amount int64) (*TxResult, error) {
+// paymentTx validates and assembles a payment transaction.
+func (sc *StoreCluster) paymentTx(home, customerWarehouse GroupID, customer int, amount int64) (gtpcc.Tx, error) {
 	if amount <= 0 {
-		return nil, fmt.Errorf("flexcast: payment amount must be positive")
+		return gtpcc.Tx{}, fmt.Errorf("flexcast: payment amount must be positive")
 	}
 	if err := sc.checkCustomer(customer); err != nil {
-		return nil, err
+		return gtpcc.Tx{}, err
 	}
 	if customerWarehouse == amcast.NoGroup {
 		customerWarehouse = home
@@ -261,14 +319,29 @@ func (sc *StoreCluster) Payment(home, customerWarehouse GroupID, customer int, a
 		PayloadSize:   48,
 	}
 	tx.Dst = tx.Involved()
+	return tx, nil
+}
+
+// Payment executes a TPC-C payment: the home warehouse banks amount,
+// the customer's warehouse debits the customer (multi-shard when they
+// differ).
+func (sc *StoreCluster) Payment(home, customerWarehouse GroupID, customer int, amount int64) (*TxResult, error) {
+	tx, err := sc.paymentTx(home, customerWarehouse, customer, amount)
+	if err != nil {
+		return nil, err
+	}
 	return sc.exec(tx)
 }
 
 // readFast serves a read-only single-shard transaction on the local-read
 // fast path: no multicast — the read executes directly against the
-// warehouse's shard once the shard has applied every delivery this
+// warehouse's serving shard once it has applied every delivery this
 // client has already observed there (the delivered-prefix barrier,
-// giving read-your-writes and serializable reads; DESIGN.md §1d).
+// giving read-your-writes and serializable reads; DESIGN.md §1d). The
+// read's serving watermark folds back into the cluster-wide barrier, so
+// successive reads are monotonic. Session reads additionally
+// load-balance across follower replicas; this cluster-wide form always
+// reads the serving node.
 func (sc *StoreCluster) readFast(tx gtpcc.Tx) (*TxResult, error) {
 	ex, ok := sc.execs[tx.Home]
 	if !ok {
@@ -278,6 +351,7 @@ func (sc *StoreCluster) readFast(tx gtpcc.Tx) (*TxResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	sc.c.observeRead(tx.Home, res.Watermark)
 	return &TxResult{
 		Committed: true,
 		Results:   map[GroupID]uint8{tx.Home: amcast.ResultCommitted},
@@ -357,5 +431,157 @@ func (sc *StoreCluster) CheckInvariants() error {
 	return store.CheckInvariants(shards)
 }
 
-// Close stops the underlying cluster.
-func (sc *StoreCluster) Close() { sc.c.Close() }
+// Close stops the underlying cluster, then the follower read replicas
+// (in that order: the cluster's nodes are the replicas' log feeders).
+func (sc *StoreCluster) Close() {
+	sc.c.Close()
+	for _, reps := range sc.replicas {
+		for _, rep := range reps {
+			rep.Close()
+		}
+	}
+}
+
+// Session is one client session over the store: it carries its own
+// barrier vector (amcast.PrefixTracker) fed by the replies and read
+// watermarks this session alone has observed. Reads through a session
+// are read-your-writes across shards (a multi-shard transaction's
+// Call completes only after every involved warehouse replied, so the
+// vector covers all of them) and monotonic across replicas (each read
+// folds its serving watermark back in, so a later read on a lagging
+// replica waits until that replica catches up to whatever this session
+// has already seen). On clusters with ReadReplicas, session reads
+// load-balance round-robin across the warehouse's lease-holding
+// followers, falling back to the serving node when a lease has lapsed.
+// A Session is safe for concurrent use; independent sessions share
+// nothing but the cluster.
+type Session struct {
+	sc *StoreCluster
+
+	mu      sync.Mutex
+	barrier amcast.PrefixTracker
+	rr      uint64
+}
+
+// Session opens a fresh client session (empty barrier: the session has
+// observed nothing yet).
+func (sc *StoreCluster) Session() *Session {
+	return &Session{sc: sc, barrier: make(amcast.PrefixTracker)}
+}
+
+// exec runs one multicast transaction and folds the replies' delivered
+// prefixes (and piggybacked watermarks) into the session barrier.
+func (s *Session) exec(tx gtpcc.Tx) (*TxResult, error) {
+	id, results, observed, err := s.sc.c.callObserved(tx.Involved(), gtpcc.EncodeTx(tx))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	for g, p := range observed {
+		s.barrier.Fold(g, p)
+	}
+	s.mu.Unlock()
+	return foldVerdicts(id, results)
+}
+
+// NewOrder is StoreCluster.NewOrder through this session's barrier.
+func (s *Session) NewOrder(home GroupID, customer int, lines []OrderLine) (*TxResult, error) {
+	tx, err := s.sc.newOrderTx(home, customer, lines)
+	if err != nil {
+		return nil, err
+	}
+	return s.exec(tx)
+}
+
+// Payment is StoreCluster.Payment through this session's barrier.
+func (s *Session) Payment(home, customerWarehouse GroupID, customer int, amount int64) (*TxResult, error) {
+	tx, err := s.sc.paymentTx(home, customerWarehouse, customer, amount)
+	if err != nil {
+		return nil, err
+	}
+	return s.exec(tx)
+}
+
+// DeliverOrders is StoreCluster.DeliverOrders through this session's
+// barrier.
+func (s *Session) DeliverOrders(warehouse GroupID) (*TxResult, error) {
+	tx := gtpcc.Tx{Type: gtpcc.Delivery, Home: warehouse, PayloadSize: 40}
+	tx.Dst = tx.Involved()
+	return s.exec(tx)
+}
+
+// OrderStatus serves the read-only order-status transaction at this
+// session's barrier — on a lease-holding follower replica when the
+// cluster has them, else on the serving node.
+func (s *Session) OrderStatus(warehouse GroupID, customer int) (*TxResult, error) {
+	if err := s.sc.checkCustomer(customer); err != nil {
+		return nil, err
+	}
+	tx := gtpcc.Tx{
+		Type: gtpcc.OrderStatus, Home: warehouse,
+		Customer: int32(customer), PayloadSize: 40,
+	}
+	return s.read(tx)
+}
+
+// StockLevel serves the read-only stock-level transaction at this
+// session's barrier — on a lease-holding follower replica when the
+// cluster has them, else on the serving node.
+func (s *Session) StockLevel(warehouse GroupID, threshold int) (*TxResult, error) {
+	tx := gtpcc.Tx{
+		Type: gtpcc.StockLevel, Home: warehouse,
+		Threshold: int32(threshold), PayloadSize: 40,
+	}
+	return s.read(tx)
+}
+
+// read routes one read-only transaction: multicast when fast reads are
+// disabled, else a follower replica (round-robin over the warehouse's
+// lease holders) or the serving node. The read's serving watermark
+// folds back into the session barrier — the monotonic-reads half of
+// the session guarantee.
+func (s *Session) read(tx gtpcc.Tx) (*TxResult, error) {
+	if !s.sc.fastReads {
+		tx.Dst = tx.Involved()
+		return s.exec(tx)
+	}
+	ex, ok := s.sc.execs[tx.Home]
+	if !ok {
+		return nil, fmt.Errorf("flexcast: unknown warehouse %d", tx.Home)
+	}
+	s.mu.Lock()
+	barrier := s.barrier.Prefix(tx.Home)
+	turn := s.rr
+	s.rr++
+	s.mu.Unlock()
+
+	var res store.ReadResult
+	var err error
+	var replica int32
+	if reps := s.sc.replicas[tx.Home]; len(reps) > 0 {
+		rep := reps[turn%uint64(len(reps))]
+		res, err = rep.Read(tx, barrier, s.sc.timeout)
+		replica = rep.Idx()
+		if errors.Is(err, store.ErrLeaseExpired) {
+			// The follower's lease lapsed (idle warehouse, stalled log):
+			// fall back to the serving node, which needs no lease.
+			res, err = ex.Read(tx, barrier, s.sc.timeout)
+			replica = 0
+		}
+	} else {
+		res, err = ex.Read(tx, barrier, s.sc.timeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.barrier.Fold(tx.Home, res.Watermark)
+	s.mu.Unlock()
+	return &TxResult{
+		Committed: true,
+		Results:   map[GroupID]uint8{tx.Home: amcast.ResultCommitted},
+		FastPath:  true,
+		Value:     res.Value,
+		Replica:   replica,
+	}, nil
+}

@@ -2,6 +2,7 @@ package flexcast_test
 
 import (
 	"testing"
+	"time"
 
 	"flexcast"
 )
@@ -182,5 +183,92 @@ func TestStoreClusterValidation(t *testing.T) {
 	}
 	if _, err := sc.Payment(1, 99, 0, 5); err == nil {
 		t.Fatal("payment to unknown warehouse accepted")
+	}
+}
+
+// TestSessionFollowerReads deploys follower read replicas and drives a
+// session: a write the session completed must be visible to its next
+// read (read-your-writes), the read must be served by a lease-holding
+// follower at the follower's own watermark, and reads must stay
+// monotonic as they round-robin across replicas.
+func TestSessionFollowerReads(t *testing.T) {
+	sc, err := flexcast.NewStoreCluster(flexcast.StoreClusterConfig{
+		Warehouses:   3,
+		ReadReplicas: 2,
+		// Generous term: the wall-clock lease (renewed by the NewOrder
+		// feed below) must survive the read loop even on a loaded CI
+		// runner; lease *expiry* behavior is covered deterministically
+		// in internal/store and internal/smr.
+		LeaseTerm: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+
+	s := sc.Session()
+	res, err := s.NewOrder(1, 3, []flexcast.OrderLine{{Item: 7, Qty: 2}})
+	if err != nil || !res.Committed {
+		t.Fatalf("new-order: %+v, %v", res, err)
+	}
+
+	sawFollower := false
+	var lastOrder int64 = -2
+	for i := 0; i < 4; i++ {
+		rd, err := s.OrderStatus(1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rd.FastPath {
+			t.Fatalf("session read left the fast path: %+v", rd)
+		}
+		if rd.Value < 0 {
+			t.Fatalf("read-your-writes broken: session's own order invisible (value %d, replica %d)",
+				rd.Value, rd.Replica)
+		}
+		if lastOrder != -2 && rd.Value != lastOrder {
+			t.Fatalf("non-monotonic session reads: %d then %d", lastOrder, rd.Value)
+		}
+		lastOrder = rd.Value
+		if rd.Replica > 0 {
+			sawFollower = true
+		}
+	}
+	if !sawFollower {
+		t.Fatal("no session read was served by a follower replica (all fell back to the serving node)")
+	}
+
+	// A second, independent session starts with an empty barrier but
+	// still reads consistent state.
+	s2 := sc.Session()
+	if rd, err := s2.StockLevel(1, 15); err != nil || !rd.Committed {
+		t.Fatalf("fresh session stock-level: %+v, %v", rd, err)
+	}
+	if err := sc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionDisabledFastReads keeps sessions usable on clusters that
+// route reads through the multicast.
+func TestSessionDisabledFastReads(t *testing.T) {
+	sc, err := flexcast.NewStoreCluster(flexcast.StoreClusterConfig{
+		Warehouses:       2,
+		DisableFastReads: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	s := sc.Session()
+	if res, err := s.Payment(1, 2, 4, 100); err != nil || !res.Committed {
+		t.Fatalf("session payment: %+v, %v", res, err)
+	}
+	rd, err := s.OrderStatus(1, 4)
+	if err != nil || !rd.Committed {
+		t.Fatalf("multicast-routed session read: %+v, %v", rd, err)
+	}
+	if rd.FastPath {
+		t.Fatal("DisableFastReads session read took the fast path")
 	}
 }
