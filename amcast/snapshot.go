@@ -15,6 +15,19 @@ type Snapshot interface {
 	SnapshotGroup() GroupID
 }
 
+// BinarySnapshot is a Snapshot with a canonical byte serialization —
+// the seam the durable backend (internal/durable) persists through.
+// MarshalBinary must capture the complete snapshot: decoding the bytes
+// with the producing package's UnmarshalSnapshot and restoring the
+// result must be indistinguishable from restoring the original.
+type BinarySnapshot interface {
+	Snapshot
+	// MarshalBinary returns the snapshot's canonical encoding. The same
+	// snapshot always marshals to the same bytes (map iteration is
+	// sorted), so snapshot files are reproducible and diffable.
+	MarshalBinary() ([]byte, error)
+}
+
 // SnapshotEngine is an Engine whose full state can be captured and
 // restored, enabling crash/recovery testing (internal/chaos) and
 // state-transfer-based replica recovery. All three protocol engines in

@@ -2,11 +2,17 @@ package flexcast
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/durable"
+	"flexcast/internal/hierarchical"
 	"flexcast/internal/runtime"
+	"flexcast/internal/skeen"
 	"flexcast/internal/transport"
 )
 
@@ -64,6 +70,56 @@ type ClusterConfig struct {
 	// (StoreCluster) use to run a state machine over deliveries without
 	// the cluster knowing about application state.
 	WrapEngine func(g GroupID, eng Engine) (Engine, error)
+	// Durable, when non-nil, selects the durable persistence backend:
+	// each group's (wrapped) engine runs behind a write-ahead log plus
+	// periodic snapshot files (internal/durable) rooted under
+	// Durable.Dir, and a restarted cluster pointed at the same directory
+	// recovers each group's state before serving. nil keeps the default
+	// in-memory backend, byte-for-byte unchanged.
+	Durable *DurableConfig
+}
+
+// DurableConfig configures the durable persistence backend
+// (ClusterConfig.Durable / StoreClusterConfig.Durable).
+type DurableConfig struct {
+	// Dir is the persistence root; each group persists into
+	// Dir/group-<id>. Required.
+	Dir string
+	// SnapshotEvery snapshots and rotates each group's WAL every N input
+	// envelopes (default 256; <0 disables snapshots — the WAL then grows
+	// unbounded and recovery replays it all).
+	SnapshotEvery int
+	// FsyncEvery fsyncs each WAL every N appends (default 64; 1 fsyncs
+	// every append, <0 never fsyncs — kill -9 durability only).
+	FsyncEvery int
+	// KeepEpochs retains superseded WAL/snapshot files instead of
+	// deleting them.
+	KeepEpochs bool
+	// Decode rebuilds one group's engine snapshot from its binary form.
+	// nil takes the cluster's protocol decoder; layers that wrap engines
+	// (StoreCluster) install their composed decoder automatically.
+	Decode func(g GroupID, data []byte) (amcast.Snapshot, error)
+}
+
+// DurableRecovery reports how one group's durable engine recovered at
+// cluster start (zero-valued when the directory was empty).
+type DurableRecovery struct {
+	// Group identifies the recovered group.
+	Group GroupID
+	// Recovered is true when prior state (snapshot or WAL) was found.
+	Recovered bool
+	// SnapshotEpoch is the restored snapshot's epoch (0: none).
+	SnapshotEpoch uint64
+	// ReplayedRecords counts the WAL records replayed on top.
+	ReplayedRecords int
+	// ReplayedEnvelopes counts the envelopes inside those records — the
+	// recovery bound: with snapshots on, it is bounded by the snapshot
+	// cadence, not the run length.
+	ReplayedEnvelopes int
+	// TornTailBytes is the length of the discarded torn WAL tail.
+	TornTailBytes int64
+	// Elapsed is the wall-clock recovery time (restore + replay).
+	Elapsed time.Duration
 }
 
 // Cluster is an in-process deployment of one multicast protocol: one
@@ -71,10 +127,17 @@ type ClusterConfig struct {
 // (internal/runtime), plus a built-in client for Multicast/Call. It is
 // the easiest way to embed atomic multicast in an application or test.
 type Cluster struct {
-	cfg    ClusterConfig
-	groups []GroupID
-	net    *transport.InMemNet
-	nodes  []*runtime.Node
+	cfg      ClusterConfig
+	groups   []GroupID
+	net      *transport.InMemNet
+	nodes    []*runtime.Node
+	durables map[GroupID]*durable.Engine
+	// clientSeq persists the built-in client's sequence reservation on
+	// durable clusters: message ids must stay unique across cluster
+	// incarnations, or a reopened cluster would reissue ids its recovered
+	// engines already delivered — and the engines would deduplicate the
+	// new requests instead of ordering them. nil on in-memory clusters.
+	clientSeq *durable.SeqFile
 
 	mu      sync.Mutex
 	seq     uint64
@@ -128,8 +191,19 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:      cfg,
 		groups:   groups,
 		net:      transport.NewInMemNet(),
+		durables: make(map[GroupID]*durable.Engine),
 		waiters:  make(map[MsgID]*callWaiter),
 		observed: make(amcast.PrefixTracker),
+	}
+	if cfg.Durable != nil {
+		if err := os.MkdirAll(cfg.Durable.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		sf, err := durable.OpenSeqFile(filepath.Join(cfg.Durable.Dir, "client.seq"), 0)
+		if err != nil {
+			return nil, err
+		}
+		c.clientSeq = sf
 	}
 	for _, g := range groups {
 		eng, err := c.newEngine(g)
@@ -172,10 +246,84 @@ func (c *Cluster) newEngine(g GroupID) (Engine, error) {
 	default:
 		eng, err = NewHierarchicalEngine(g, c.cfg.Tree)
 	}
-	if err != nil || c.cfg.WrapEngine == nil {
-		return eng, err
+	if err != nil {
+		return nil, err
 	}
-	return c.cfg.WrapEngine(g, eng)
+	if c.cfg.WrapEngine != nil {
+		if eng, err = c.cfg.WrapEngine(g, eng); err != nil {
+			return nil, err
+		}
+	}
+	if c.cfg.Durable != nil {
+		// The durable layer wraps the fully composed engine (execution
+		// layers included), so its WAL records the exact inputs of the
+		// state its snapshots capture.
+		return c.wrapDurable(g, eng)
+	}
+	return eng, nil
+}
+
+// wrapDurable puts one group's engine behind the durable backend,
+// recovering any prior state from its directory.
+func (c *Cluster) wrapDurable(g GroupID, eng Engine) (Engine, error) {
+	d := c.cfg.Durable
+	decode := d.Decode
+	if decode == nil {
+		proto := protocolSnapshotDecoder(c.cfg.Protocol)
+		decode = func(_ GroupID, data []byte) (amcast.Snapshot, error) { return proto(data) }
+	}
+	se, ok := eng.(amcast.SnapshotEngine)
+	if !ok {
+		return nil, fmt.Errorf("flexcast: durable backend requires a snapshot-capable engine, got %T", eng)
+	}
+	de, err := durable.Wrap(se, durable.Options{
+		Dir:           filepath.Join(d.Dir, fmt.Sprintf("group-%d", g)),
+		SnapshotEvery: d.SnapshotEvery,
+		FsyncEvery:    d.FsyncEvery,
+		KeepEpochs:    d.KeepEpochs,
+		Decode:        func(data []byte) (amcast.Snapshot, error) { return decode(g, data) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.durables[g] = de
+	return de, nil
+}
+
+// protocolSnapshotDecoder returns the snapshot decoder of a protocol's
+// bare engine.
+func protocolSnapshotDecoder(p ProtocolKind) func([]byte) (amcast.Snapshot, error) {
+	switch p {
+	case ProtocolSkeen:
+		return skeen.UnmarshalSnapshot
+	case ProtocolHierarchical:
+		return hierarchical.UnmarshalSnapshot
+	default:
+		return core.UnmarshalSnapshot
+	}
+}
+
+// DurableRecoveries reports, per group, how the durable backend
+// recovered at cluster start. Empty on in-memory clusters.
+func (c *Cluster) DurableRecoveries() []DurableRecovery {
+	var out []DurableRecovery
+	for _, g := range c.groups {
+		de, ok := c.durables[g]
+		if !ok {
+			continue
+		}
+		st := de.Recovery()
+		out = append(out, DurableRecovery{
+			Group:             g,
+			Recovered:         st.Recovered,
+			SnapshotEpoch:     st.SnapshotEpoch,
+			ReplayedRecords:   st.ReplayedRecords,
+			ReplayedEnvelopes: st.ReplayedEnvelopes,
+			TornTailBytes:     st.TornTailBytes,
+			Elapsed:           st.Elapsed,
+		})
+	}
+	return out
 }
 
 // Groups returns the cluster's group set.
@@ -271,7 +419,16 @@ func (c *Cluster) send(dst []GroupID, payload []byte, w *callWaiter) (Message, e
 		c.mu.Unlock()
 		return Message{}, fmt.Errorf("flexcast: cluster closed")
 	}
-	c.seq++
+	if c.clientSeq != nil {
+		seq, err := c.clientSeq.Next()
+		if err != nil {
+			c.mu.Unlock()
+			return Message{}, fmt.Errorf("flexcast: reserving client sequence: %w", err)
+		}
+		c.seq = seq
+	} else {
+		c.seq++
+	}
 	m := Message{
 		ID:      amcast.NewMsgID(0, c.seq),
 		Sender:  amcast.ClientNode(0),

@@ -58,6 +58,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		messages   = fs.Int("messages", 0, "chaos: multicasts per client (0 = default)")
 		execute    = fs.Bool("execute", false, "chaos: run the gTPC-C store at every group and audit execution (serializability, invariants, replica digests)")
 		profile    = fs.String("profile", "random", "chaos: environment profile: random (default) or wan (WAN latency matrix + gTPC-C destination locality)")
+		durable    = fs.Bool("durable", false, "chaos: persist every node through the real durable WAL+snapshot backend; crashes abandon the files (half tear the WAL tail) and recovery rebuilds from disk")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,7 +67,7 @@ func run(stdout, stderr io.Writer, args []string) int {
 		return runChaos(stdout, stderr, chaosRunConfig{
 			protocol: *protocol, seed: *seed, schedules: *schedules, reproSeed: *reproSeed,
 			bugEvery: *chaosBug, closedLoop: *closedLoop, messages: *messages,
-			execute: *execute, profile: *profile,
+			execute: *execute, profile: *profile, durable: *durable,
 		})
 	}
 	if *mode != "bench" {
@@ -148,6 +149,7 @@ type chaosRunConfig struct {
 	messages   int
 	execute    bool
 	profile    string
+	durable    bool
 }
 
 // runChaos drives the fault-injection explorer. The exit code reports
@@ -164,7 +166,7 @@ func runChaos(stdout, stderr io.Writer, rc chaosRunConfig) int {
 		return 2
 	}
 	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: rc.bugEvery,
-		ClosedLoop: rc.closedLoop, Messages: rc.messages}
+		ClosedLoop: rc.closedLoop, Messages: rc.messages, Durable: rc.durable}
 	switch rc.profile {
 	case "", "random":
 	case "wan":

@@ -49,6 +49,10 @@ func main() {
 		followerRd = flag.Bool("follower-reads", false, "serve reads from lease-holding follower replicas (requires -replicas >= 2; off: remote leader reads)")
 		readWrk    = flag.Int("read-workers", 0, "dedicated closed-loop read-only sessions per client process (requires -execute)")
 		zipf       = flag.Float64("zipf", 0, "Zipfian workload skew parameter s (> 1; 0 = uniform)")
+		durableF   = flag.Bool("durable", false, "run every group's engine on the durable WAL+snapshot backend and verify end-of-run crash recovery (requires -execute)")
+		durableDir = flag.String("durable-dir", "", "durable persistence root (each run uses a fresh subdirectory; default: a temp dir removed at exit)")
+		durableSE  = flag.Int("durable-snapshot-every", 0, "snapshot + WAL-rotation cadence in input envelopes (0 = backend default, 256)")
+		durableFS  = flag.Int("durable-fsync-every", 0, "WAL fsync cadence in appends (0 = backend default, 64)")
 		noPool     = flag.Bool("no-pool", false, "disable codec frame pooling (allocation A/B baseline)")
 		ab         = flag.Bool("ab", false, "also run the A/B companions: read mix off and frame pooling off")
 		seed       = flag.Int64("seed", 1, "workload seed")
@@ -69,27 +73,31 @@ func main() {
 	}
 
 	cfg := loadgen.Config{
-		Transport:     *transportF,
-		Protocol:      *protocol,
-		Groups:        *groups,
-		Clients:       *clients,
-		Workers:       *workers,
-		Rate:          *rate,
-		Warmup:        *warmup,
-		Duration:      *duration,
-		MaxBatch:      *batch,
-		FlushInterval: *flush,
-		PayloadSize:   *payload,
-		Locality:      *locality,
-		GlobalOnly:    *globalOnly,
-		Execute:       *execute,
-		StoreSeed:     *storeSeed,
-		ReadPct:       *readPct,
-		Replicas:      *replicas,
-		FollowerReads: *followerRd,
-		ReadWorkers:   *readWrk,
-		Zipf:          *zipf,
-		Seed:          *seed,
+		Transport:            *transportF,
+		Protocol:             *protocol,
+		Groups:               *groups,
+		Clients:              *clients,
+		Workers:              *workers,
+		Rate:                 *rate,
+		Warmup:               *warmup,
+		Duration:             *duration,
+		MaxBatch:             *batch,
+		FlushInterval:        *flush,
+		PayloadSize:          *payload,
+		Locality:             *locality,
+		GlobalOnly:           *globalOnly,
+		Execute:              *execute,
+		StoreSeed:            *storeSeed,
+		ReadPct:              *readPct,
+		Replicas:             *replicas,
+		FollowerReads:        *followerRd,
+		ReadWorkers:          *readWrk,
+		Zipf:                 *zipf,
+		Seed:                 *seed,
+		Durable:              *durableF,
+		DurableDir:           *durableDir,
+		DurableSnapshotEvery: *durableSE,
+		DurableFsyncEvery:    *durableFS,
 	}
 
 	codec.SetPooling(!*noPool)
@@ -202,6 +210,10 @@ func printResult(label string, r *loadgen.Result) {
 	}
 	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
 		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)
+	if d := r.Durable; d != nil {
+		fmt.Printf("  durable: %d groups recovered (%d from snapshots), digests match, replay max %d envelopes (total %d), recovery mean %.0fµs max %dµs\n",
+			d.Groups, d.SnapshottedGroups, d.MaxReplayedEnvelopes, d.ReplayedEnvelopes, d.RecoveryMeanUs, d.RecoveryMaxUs)
+	}
 	if ex := r.Execute; ex != nil {
 		fmt.Printf("  execute: %d shards, %d applies, abort rate %.4f, invariants ok, digest %s…\n",
 			ex.Shards, ex.TxApplied, ex.AbortRate, ex.GlobalDigest[:16])

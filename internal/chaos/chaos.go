@@ -56,6 +56,10 @@ type Deployment struct {
 	// Minimality enables the genuineness audit (false for the
 	// non-genuine hierarchical protocol).
 	Minimality bool
+	// Decode rebuilds an engine snapshot from its binary form — the
+	// protocol half of the durable on-disk format. Required for
+	// Options.Durable, unused otherwise.
+	Decode func(data []byte) (amcast.Snapshot, error)
 	// Instrument, when non-nil, is called once per schedule right after
 	// the engines are built — the hook execute-mode deployments use to
 	// attach execution observers and follower read replicas
@@ -171,6 +175,24 @@ type Options struct {
 	// 16): state since the last snapshot must be rebuilt by WAL replay
 	// on recovery.
 	SnapshotEvery int
+	// Durable routes every node's persistence through the real durable
+	// backend (internal/durable) in a per-schedule temporary directory,
+	// instead of the in-memory snapshot+WAL model: inputs are appended
+	// to a CRC-framed on-disk WAL, snapshots rotate it on the
+	// SnapshotEvery cadence, a crash abandons the files exactly as
+	// kill -9 would, and recovery rebuilds a fresh engine from disk
+	// (Deployment.Decode required). Every recovery is audited: the
+	// recovered state must equal the crashed engine's final state byte
+	// for byte, and the replay length must stay within the snapshot
+	// cadence. Does not compose with Instrument deployments (their
+	// observers would bind to pre-crash engines).
+	Durable bool
+	// TornTailProb is the per-crash probability, in durable mode, that
+	// the abandoned WAL is left with a torn tail — a partial record cut
+	// mid-frame, the artifact of dying mid-append. Recovery must detect
+	// and discard it (injections are counted in FaultStats.TornTails;
+	// default 0.5, negative disables).
+	TornTailProb float64
 
 	// FastReadProb is the probability that a client reply triggers a
 	// local-read fast-path transaction at the replying group, at the
@@ -248,6 +270,9 @@ func (o *Options) fill() {
 	}
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 16
+	}
+	if o.TornTailProb == 0 {
+		o.TornTailProb = 0.5
 	}
 	if o.FastReadProb == 0 {
 		o.FastReadProb = 0.25

@@ -25,6 +25,7 @@ func flexDeployment(groups []amcast.GroupID) chaos.Deployment {
 			return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
 		},
 		Minimality: true,
+		Decode:     core.UnmarshalSnapshot,
 	}
 }
 
@@ -43,6 +44,7 @@ func skeenDeployment(groups []amcast.GroupID) chaos.Deployment {
 			return nodes
 		},
 		Minimality: true,
+		Decode:     skeen.UnmarshalSnapshot,
 	}
 }
 
@@ -61,6 +63,7 @@ func treeDeployment() chaos.Deployment {
 			return []amcast.NodeID{amcast.GroupNode(tree.Lca(m.Dst))}
 		},
 		Minimality: false,
+		Decode:     hierarchical.UnmarshalSnapshot,
 	}
 }
 

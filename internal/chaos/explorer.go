@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"flexcast/amcast"
 	"flexcast/internal/sim"
@@ -69,8 +71,8 @@ func (r *Report) Failed() bool { return len(r.Violations) > 0 }
 func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "chaos %-12s  schedules=%d multicasts=%d deliveries=%d fast-reads=%d lease-refusals=%d events=%d\n",
 		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.FastReads, r.LeaseRefusals, r.Events)
-	fmt.Fprintf(w, "  faults: retransmits=%d duplicates=%d partition-hits=%d crashes=%d parked=%d\n",
-		r.Faults.Retransmits, r.Faults.Duplicates, r.Faults.PartitionHits, r.Faults.Crashes, r.Faults.Parked)
+	fmt.Fprintf(w, "  faults: retransmits=%d duplicates=%d partition-hits=%d crashes=%d parked=%d torn-tails=%d\n",
+		r.Faults.Retransmits, r.Faults.Duplicates, r.Faults.PartitionHits, r.Faults.Crashes, r.Faults.Parked, r.Faults.TornTails)
 	if !r.Failed() {
 		fmt.Fprintf(w, "  invariants: OK (acyclic order, agreement, integrity, prefix order%s)\n",
 			map[bool]string{true: ", minimality"}[r.minimality])
@@ -272,6 +274,24 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 		}
 	}
 
+	// Durable mode: every node persists through the real backend in a
+	// per-schedule temporary directory, removed when the schedule ends.
+	var durDir string
+	if opt.Durable {
+		if d.Decode == nil {
+			return nil, fmt.Errorf("chaos: Options.Durable requires Deployment.Decode")
+		}
+		if d.Instrument != nil {
+			return nil, fmt.Errorf("chaos: Options.Durable does not compose with Instrument deployments (observers would bind to pre-crash engines)")
+		}
+		dir, err := os.MkdirTemp("", "chaos-durable-")
+		if err != nil {
+			return nil, err
+		}
+		durDir = dir
+		defer os.RemoveAll(durDir)
+	}
+
 	inj := newInjector(opt, d.Groups, rng, s)
 	netOpts := []sim.NetworkOption{
 		sim.WithFaults(inj.Fault),
@@ -298,6 +318,14 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 		}
 		n.fail = fail
 		n.bugEvery = opt.BugFlipEvery
+		if opt.Durable {
+			g := g
+			err := n.enableDurable(filepath.Join(durDir, fmt.Sprintf("group-%d", g)),
+				func() (amcast.SnapshotEngine, error) { return d.Factory(g) }, d.Decode)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: durable backend for group %d: %w", g, err)
+			}
+		}
 		nodes[g] = n
 		engines[g] = eng
 		net.Register(amcast.GroupNode(g), n)
@@ -314,7 +342,15 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 		w := w
 		gnode := amcast.GroupNode(w.group)
 		s.ScheduleAt(w.start, func() {
-			nodes[w.group].Crash()
+			n := nodes[w.group]
+			n.Crash()
+			if w.torn {
+				if err := n.TearTail(); err != nil {
+					fail(err)
+				} else {
+					inj.stats.TornTails++
+				}
+			}
 			net.CrashNode(gnode)
 			inj.stats.Crashes++
 		})
@@ -447,10 +483,20 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	res.Faults = inj.stats
 	res.FaultTrace = inj.FaultTrace()
 
+	// Durable teardown: surface any latched backend I/O error, then
+	// release the file descriptors before the directory is removed.
+	for _, g := range d.Groups {
+		if err := nodes[g].closeDurable(); err != nil {
+			fail(fmt.Errorf("group %d durable backend: %w", g, err))
+		}
+	}
+
 	// Safety checks. res.Err may already hold an at-most-once violation
 	// or a recovery divergence; the trace checkers add the global
 	// properties, and engines exposing an internal acyclicity check (the
-	// FlexCast history DAG) are audited too.
+	// FlexCast history DAG) are audited too. The audit runs against each
+	// node's current engine — durable recovery replaces engines, so the
+	// build-time map can be stale.
 	if res.Err == nil {
 		if err := rec.CheckAll(d.Minimality); err != nil {
 			res.Err = err
@@ -458,7 +504,7 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	}
 	if res.Err == nil {
 		for _, g := range d.Groups {
-			if c, ok := engines[g].(interface{ CheckHistoryAcyclic() error }); ok {
+			if c, ok := nodes[g].eng.(interface{ CheckHistoryAcyclic() error }); ok {
 				if err := c.CheckHistoryAcyclic(); err != nil {
 					res.Err = fmt.Errorf("group %d: %w", g, err)
 					break

@@ -22,6 +22,9 @@ type FaultStats struct {
 	// Parked counts envelopes that arrived at crashed servers and were
 	// replayed on restart.
 	Parked int
+	// TornTails counts crashes that left a torn record at the WAL tail
+	// (durable mode only); recovery must discard every one.
+	TornTails int
 }
 
 // Add accumulates s2 into s.
@@ -31,6 +34,7 @@ func (s *FaultStats) Add(s2 FaultStats) {
 	s.PartitionHits += s2.PartitionHits
 	s.Crashes += s2.Crashes
 	s.Parked += s2.Parked
+	s.TornTails += s2.TornTails
 }
 
 // window is a half-open interval of simulated time.
@@ -39,6 +43,9 @@ type window struct {
 	group    amcast.GroupID // crash windows only
 	start    sim.Time
 	end      sim.Time
+	// torn marks a durable-mode crash that leaves a partial record at
+	// the WAL tail.
+	torn bool
 }
 
 // maxTraceEvents bounds the per-schedule fault trace kept for reports.
@@ -86,8 +93,13 @@ func newInjector(opt Options, groups []amcast.GroupID, rng *rand.Rand, s *sim.Si
 		g := groups[perm[i]]
 		start := sim.Time(rng.Int63n(int64(opt.InjectWindow)))
 		dur := opt.DowntimeMean/2 + sim.Time(rng.Int63n(int64(opt.DowntimeMean)))
-		inj.crashes = append(inj.crashes, window{group: g, start: start, end: start + dur})
-		inj.note(start, "crash %s for %dµs", amcast.GroupNode(g), dur)
+		torn := opt.Durable && opt.TornTailProb > 0 && rng.Float64() < opt.TornTailProb
+		inj.crashes = append(inj.crashes, window{group: g, start: start, end: start + dur, torn: torn})
+		if torn {
+			inj.note(start, "crash %s for %dµs (torn WAL tail)", amcast.GroupNode(g), dur)
+		} else {
+			inj.note(start, "crash %s for %dµs", amcast.GroupNode(g), dur)
+		}
 	}
 	return inj
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+	"flexcast/internal/history"
+)
+
+// Binary snapshot codec for the FlexCast engine. Map iteration is
+// always sorted, so the same snapshot marshals to the same bytes; the
+// history log is serialized verbatim (its entries back diff cursors).
+
+var _ amcast.BinarySnapshot = (*snapshot)(nil)
+
+func sortedIDs[V any](m map[amcast.MsgID]V) []amcast.MsgID {
+	ids := make([]amcast.MsgID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedGroups[V any](m map[amcast.GroupID]V) []amcast.GroupID {
+	gs := make([]amcast.GroupID, 0, len(m))
+	for g := range m {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}
+
+func appendIDSet(buf []byte, m map[amcast.MsgID]bool) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for _, id := range sortedIDs(m) {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = codec.AppendBool(buf, m[id])
+	}
+	return buf
+}
+
+func readIDSet(r *codec.Reader) map[amcast.MsgID]bool {
+	n := r.Count()
+	m := make(map[amcast.MsgID]bool, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		id := amcast.MsgID(r.Uvarint())
+		m[id] = r.Bool()
+	}
+	return m
+}
+
+func appendGroupSet(buf []byte, m map[amcast.GroupID]bool) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for _, g := range sortedGroups(m) {
+		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		buf = codec.AppendBool(buf, m[g])
+	}
+	return buf
+}
+
+func readGroupSet(r *codec.Reader) map[amcast.GroupID]bool {
+	n := r.Count()
+	m := make(map[amcast.GroupID]bool, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		g := amcast.GroupID(r.Uvarint())
+		m[g] = r.Bool()
+	}
+	return m
+}
+
+func appendPending(buf []byte, p *pending) []byte {
+	buf = codec.AppendMessage(buf, p.msg)
+	buf = codec.AppendBool(buf, p.hasMsg)
+	buf = codec.AppendBool(buf, p.queued)
+	buf = appendGroupSet(buf, p.acks)
+	pairs := make([]amcast.NotifPair, 0, len(p.notif))
+	for pr := range p.notif {
+		pairs = append(pairs, pr)
+	}
+	amcast.NormalizePairs(pairs)
+	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
+	for _, pr := range pairs {
+		buf = binary.AppendUvarint(buf, uint64(uint32(pr.Notifier)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(pr.Notified)))
+		buf = codec.AppendBool(buf, p.notif[pr])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(p.notifAcks)))
+	for _, g := range sortedGroups(p.notifAcks) {
+		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		buf = appendGroupSet(buf, p.notifAcks[g])
+	}
+	return buf
+}
+
+func readPending(r *codec.Reader) *pending {
+	p := &pending{
+		msg:    r.Message(),
+		hasMsg: r.Bool(),
+		queued: r.Bool(),
+		acks:   readGroupSet(r),
+		notif:  make(map[amcast.NotifPair]bool),
+	}
+	nPairs := r.Count()
+	for i := 0; i < nPairs && r.Err() == nil; i++ {
+		pr := amcast.NotifPair{
+			Notifier: amcast.GroupID(r.Uvarint()),
+			Notified: amcast.GroupID(r.Uvarint()),
+		}
+		p.notif[pr] = r.Bool()
+	}
+	nAcks := r.Count()
+	p.notifAcks = make(map[amcast.GroupID]map[amcast.GroupID]bool, nAcks)
+	for i := 0; i < nAcks && r.Err() == nil; i++ {
+		g := amcast.GroupID(r.Uvarint())
+		p.notifAcks[g] = readGroupSet(r)
+	}
+	return p
+}
+
+// MarshalBinary implements amcast.BinarySnapshot.
+func (s *snapshot) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 1024)
+	buf = binary.AppendUvarint(buf, uint64(uint32(s.g)))
+	buf = s.hst.AppendBinary(buf)
+	buf = appendIDSet(buf, s.delivered)
+	buf = appendIDSet(buf, s.open)
+	buf = binary.AppendUvarint(buf, uint64(len(s.queues)))
+	for _, g := range sortedGroups(s.queues) {
+		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		q := s.queues[g]
+		buf = binary.AppendUvarint(buf, uint64(len(q)))
+		for _, id := range q {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.pend)))
+	for _, id := range sortedIDs(s.pend) {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = appendPending(buf, s.pend[id])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.pendNotif)))
+	for _, pn := range s.pendNotif {
+		buf = codec.AppendMessage(buf, pn.msg)
+		buf = binary.AppendUvarint(buf, uint64(uint32(pn.notifier)))
+		buf = binary.AppendUvarint(buf, uint64(len(pn.deps)))
+		for _, id := range sortedIDs(pn.deps) {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.notifDone)))
+	for _, id := range sortedIDs(s.notifDone) {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = appendGroupSet(buf, s.notifDone[id])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.cursors)))
+	for _, g := range sortedGroups(s.cursors) {
+		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		buf = binary.AppendUvarint(buf, uint64(s.cursors[g]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.deliveries)))
+	for _, d := range s.deliveries {
+		buf = codec.AppendDelivery(buf, d)
+	}
+	buf = binary.AppendUvarint(buf, s.seq)
+	buf = binary.AppendUvarint(buf, uint64(s.nPruned))
+	return buf, nil
+}
+
+// UnmarshalSnapshot decodes a snapshot previously produced by
+// MarshalBinary. The result restores into an Engine of the same group.
+func UnmarshalSnapshot(data []byte) (amcast.Snapshot, error) {
+	r := codec.NewReader(data)
+	s := &snapshot{
+		g:   amcast.GroupID(r.Uvarint()),
+		hst: history.Decode(r),
+	}
+	s.delivered = readIDSet(r)
+	s.open = readIDSet(r)
+	nQ := r.Count()
+	s.queues = make(map[amcast.GroupID][]amcast.MsgID, nQ)
+	for i := 0; i < nQ && r.Err() == nil; i++ {
+		g := amcast.GroupID(r.Uvarint())
+		nIDs := r.Count()
+		q := make([]amcast.MsgID, 0, nIDs)
+		for j := 0; j < nIDs && r.Err() == nil; j++ {
+			q = append(q, amcast.MsgID(r.Uvarint()))
+		}
+		s.queues[g] = q
+	}
+	nPend := r.Count()
+	s.pend = make(map[amcast.MsgID]*pending, nPend)
+	for i := 0; i < nPend && r.Err() == nil; i++ {
+		id := amcast.MsgID(r.Uvarint())
+		s.pend[id] = readPending(r)
+	}
+	nPN := r.Count()
+	for i := 0; i < nPN && r.Err() == nil; i++ {
+		pn := &pendingNotif{
+			msg:      r.Message(),
+			notifier: amcast.GroupID(r.Uvarint()),
+			deps:     make(map[amcast.MsgID]bool),
+		}
+		nDeps := r.Count()
+		for j := 0; j < nDeps && r.Err() == nil; j++ {
+			pn.deps[amcast.MsgID(r.Uvarint())] = true
+		}
+		s.pendNotif = append(s.pendNotif, pn)
+	}
+	nND := r.Count()
+	s.notifDone = make(map[amcast.MsgID]map[amcast.GroupID]bool, nND)
+	for i := 0; i < nND && r.Err() == nil; i++ {
+		id := amcast.MsgID(r.Uvarint())
+		s.notifDone[id] = readGroupSet(r)
+	}
+	nCur := r.Count()
+	s.cursors = make(map[amcast.GroupID]history.Cursor, nCur)
+	for i := 0; i < nCur && r.Err() == nil; i++ {
+		g := amcast.GroupID(r.Uvarint())
+		s.cursors[g] = history.Cursor(r.Uvarint())
+	}
+	nDel := r.Count()
+	s.deliveries = make([]amcast.Delivery, 0, nDel)
+	for i := 0; i < nDel && r.Err() == nil; i++ {
+		s.deliveries = append(s.deliveries, r.Delivery())
+	}
+	s.seq = r.Uvarint()
+	s.nPruned = int(r.Uvarint())
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("core: snapshot decode: %w", err)
+	}
+	return s, nil
+}

@@ -634,11 +634,3 @@ func (e *Engine) DebugDump() string {
 	return sb.String()
 }
 
-func sortedGroups(set map[amcast.GroupID]bool) []amcast.GroupID {
-	gs := make([]amcast.GroupID, 0, len(set))
-	for g := range set {
-		gs = append(gs, g)
-	}
-	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
-	return gs
-}

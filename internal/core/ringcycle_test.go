@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+)
+
+// TestFreshRequestRingCycle is the shrunk, scripted form of the
+// acyclic-order violation behind the long-open fig5 repro
+//
+//	flexbench -experiment fig5 -scale 0.02 -seed 2 -verify
+//
+// (ROADMAP "known issue"; DESIGN.md §4). In the wild trace, five
+// two-destination messages over five rank-adjacent groups form a ring:
+// each adjacent pair shares exactly ONE destination group, so pairwise
+// prefix order holds everywhere and only the global acyclicity audit
+// sees the cycle. This test replays that ring move by move.
+//
+// Groups ranked 1 < 2 < 3 < 4 < 5. Ring members (all two-destination):
+//
+//	mA = {1,2}, mB = {1,5}, mC = {2,3}, mD = {3,4}, mE = {4,5}
+//
+// plus two seeds that only make g1's and g3's histories carry traffic
+// for the NOTIF gate: s3 = {1,3} and s34 = {3,4}.
+//
+// Mechanism — a staircase of lca fast-path deliveries racing in-flight
+// MSGs: g1 delivers mA then mB; g2 delivers fresh mC just before
+// MSG(mA) lands (mC ≺ mA); g3 delivers fresh mD just before MSG(mC)
+// lands (mD ≺ mC); g4 delivers fresh mE just before MSG(mD) lands
+// (mE ≺ mD); g5 finally delivers mB before MSG(mE) — closing
+// mA ≺ mB ≺ mE ≺ mD ≺ mC ≺ mA.
+//
+// Every flush ack collected by g5 is legitimate: each notified group's
+// ack snapshots dependencies AFTER the notifier's earlier traffic
+// (FIFO), and each group's fatal inversion is created only after its
+// last mB-related send, so no ack can carry it. The one mechanism that
+// could still ship the final edge (mE ≺ mD, created at g4) to g5 is
+// g3's re-notification of g4 — but g4 already answered a NOTIF from g3
+// once, so the duplicate is folded and no fresh ack is sent. That fold
+// is the escape hatch: in 3- and 4-group variants of this ring the
+// re-notify chain necessarily follows the staircase MSG on the same
+// FIFO link, the covering ack carries the fatal edge, and the pair-wise
+// wait (DESIGN.md §4, the PR 1 fix) blocks the cycle — this scripted
+// 5-group configuration is minimal.
+//
+// The test pins today's behaviour step by step, then Skips: this is a
+// protocol-level hole (flush acks certify only orderings that exist at
+// ack time; nothing re-certifies after a notified group orders a new
+// message before in-flight traffic), not an implementation slip. A fix
+// must break the staircase and should flip this test to assert the
+// cycle-free order.
+func TestFreshRequestRingCycle(t *testing.T) {
+	const (
+		g1 amcast.GroupID = 1
+		g2 amcast.GroupID = 2
+		g3 amcast.GroupID = 3
+		g4 amcast.GroupID = 4
+		g5 amcast.GroupID = 5
+	)
+	ov := overlay.MustCDAG([]amcast.GroupID{g1, g2, g3, g4, g5})
+	r := prototest.NewRouter(t, ov.Order(), func(g amcast.GroupID) amcast.Engine {
+		return core.MustNew(core.Config{Group: g, Overlay: ov})
+	})
+	s3 := prototest.Msg(1, g1, g3)
+	mA := prototest.Msg(2, g1, g2)
+	mB := prototest.Msg(3, g1, g5)
+	s34 := prototest.Msg(4, g3, g4)
+	mC := prototest.Msg(5, g2, g3)
+	mD := prototest.Msg(6, g3, g4)
+	mE := prototest.Msg(7, g4, g5)
+
+	// g1 delivers s3, mA, mB on the lca fast path. mB's delivery sends
+	// MSG(mB) to g5 and — g1's history holding traffic for g2 (mA) and
+	// g3 (s3) — NOTIF(mB) to both, creating pairs (g1→g2) and (g1→g3).
+	r.Multicast(g1, s3)
+	r.Multicast(g1, mA)
+	r.Multicast(g1, mB)
+	wantOrder(t, r.Seq(g1), 1, 2, 3)
+
+	// g3 seeds its history with s34 (fresh lca) and s3, then answers
+	// g1's NOTIF(mB) with nothing open: the flush ack (covering g1)
+	// heads for g5, and — g3's history holding s34, addressed to g4 —
+	// g3 re-notifies g4, creating pair (g3→g4). All of this happens
+	// before g3's staircase step, exactly as in the wild trace.
+	r.Multicast(g3, s34)
+	r.Step(g1, g3, amcast.KindMsg, 1)
+	r.Step(g1, g3, amcast.KindNotif, 3)
+	wantOrder(t, r.Seq(g3), 4, 1)
+
+	// g2's staircase step: fresh mC is delivered before the in-flight
+	// MSG(mA) lands — the first ring inversion, mC ≺ mA. The NOTIF(mB)
+	// answer then carries that edge to g5 (harmless: neither mC nor mA
+	// is addressed to g5) and re-notifies g3, creating pair (g2→g3).
+	r.Multicast(g2, mC)
+	r.Step(g1, g2, amcast.KindMsg, 2)
+	r.Step(g1, g2, amcast.KindNotif, 3)
+	wantOrder(t, r.Seq(g2), 5, 2)
+
+	// g4 discharges ALL of its mB obligations before its own staircase
+	// step: it delivers s34, then answers g3's NOTIF with nothing open.
+	// Its covering ack predates the fatal edge by construction.
+	r.Step(g3, g4, amcast.KindMsg, 4)
+	r.Step(g3, g4, amcast.KindNotif, 3)
+	wantOrder(t, r.Seq(g4), 4)
+
+	// g3's staircase step: fresh mD before the in-flight MSG(mC) —
+	// mD ≺ mC. Answering g2's NOTIF (a different notifier, so not
+	// folded) sends a second flush ack that DOES carry mD ≺ mC to g5 —
+	// harmless again, since neither is addressed to g5 — and re-sends
+	// NOTIF(mB) to g4.
+	r.Multicast(g3, mD)
+	r.Step(g2, g3, amcast.KindMsg, 5)
+	r.Step(g2, g3, amcast.KindNotif, 3)
+	wantOrder(t, r.Seq(g3), 4, 1, 6, 5)
+
+	// g4's staircase step: fresh mE before the in-flight MSG(mD) — the
+	// fatal edge mE ≺ mD, created AFTER g4's last mB-related send. g3's
+	// re-sent NOTIF(mB) then lands and is folded as a duplicate: the
+	// one message that could have carried the fatal edge to g5 in a
+	// fresh covering ack is never sent.
+	before := r.LinkDepth(g4, g5)
+	r.Multicast(g4, mE)
+	r.Step(g3, g4, amcast.KindMsg, 6)
+	r.Step(g3, g4, amcast.KindNotif, 3)
+	wantOrder(t, r.Seq(g4), 4, 7, 6)
+	if got := r.LinkDepth(g4, g5) - before; got != 1 {
+		t.Fatalf("g4 sent %d envelopes to g5 after its staircase step, want 1 (MSG(mE) only; "+
+			"the duplicate NOTIF must be folded)", got)
+	}
+
+	// g5 collects MSG(mB) and the covering flush acks one by one. The
+	// pair-wise wait (the PR 1 fix) blocks delivery until every known
+	// (notifier → notified) pair is covered — working exactly as
+	// designed, and still not enough.
+	r.Step(g1, g5, amcast.KindMsg, 3)
+	if got := r.Seq(g5); len(got) != 0 {
+		t.Fatalf("g5 delivered %v with no flush acks", got)
+	}
+	r.Step(g2, g5, amcast.KindAck, 3) // g2 covering g1
+	r.Step(g3, g5, amcast.KindAck, 3) // g3 covering g1, announcing (g3→g4)
+	r.Step(g3, g5, amcast.KindAck, 3) // g3 covering g2, carrying mD ≺ mC
+	if got := r.Seq(g5); len(got) != 0 {
+		t.Fatalf("g5 delivered %v before g4's ack covered the (g3→g4) pair", got)
+	}
+	// The last covering ack arrives — sent before g4's fatal edge
+	// existed. g5 now knows mD ≺ mC ≺ mA ≺ mB, but none of those is
+	// addressed to g5, and the edge mE ≺ mD exists only inside g4:
+	// every wait is satisfied and mB is delivered.
+	r.Step(g4, g5, amcast.KindAck, 3)
+	wantOrder(t, r.Seq(g5), 3)
+
+	// MSG(mE) lands with no known predecessors: mB ≺ mE closes the ring.
+	r.Step(g4, g5, amcast.KindMsg, 7)
+	wantOrder(t, r.Seq(g5), 3, 7)
+
+	r.Drain()
+
+	// Integrity, agreement and pairwise prefix order all hold — the
+	// ring is invisible to every check but the global acyclicity audit.
+	if err := r.Recorder.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recorder.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Recorder.CheckPrefixOrder(); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Recorder.CheckAcyclicOrder()
+	if err == nil {
+		t.Fatal("ring scenario no longer cycles: the known issue appears fixed — " +
+			"flip this test to assert the corrected order and update DESIGN.md §4 " +
+			"and ROADMAP.md")
+	}
+	t.Skipf("known protocol-level hole, reproduced deterministically (see DESIGN.md §4, "+
+		"ROADMAP.md; wild repro: flexbench -experiment fig5 -scale 0.02 -seed 2 -verify): %v", err)
+}

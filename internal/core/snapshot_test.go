@@ -41,6 +41,31 @@ func TestSnapshotReplay(t *testing.T) {
 	}
 }
 
+// TestDurableReplay runs the on-disk sibling of TestSnapshotReplay: the
+// engines persist through the real durable backend, and the kill -9
+// image of each group is recovered under three crash shapes — clean,
+// a torn frame appended past the last record, and the last record
+// truncated mid-frame — with the recovered state audited byte for byte.
+func TestDurableReplay(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4, 5}
+	ov := overlay.MustCDAG(groups)
+	route := func(m amcast.Message) []amcast.NodeID {
+		return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
+	}
+	for _, snapEvery := range []int{7, 1 << 20} {
+		for seed := int64(1); seed <= 3; seed++ {
+			prototest.RunDurableReplay(t, prototest.RandomConfig{
+				Groups:   groups,
+				Clients:  3,
+				Messages: 12,
+				Route:    route,
+				Factory:  snapFactory(ov),
+				Seed:     seed,
+			}, core.UnmarshalSnapshot, snapEvery)
+		}
+	}
+}
+
 // TestRestoreRejectsMismatch verifies the Restore guard rails: wrong
 // group and foreign snapshot types are refused.
 func TestRestoreRejectsMismatch(t *testing.T) {

@@ -1,0 +1,425 @@
+// Package durable is the pluggable persistence layer behind the
+// amcast.SnapshotEngine seam: a write-ahead log of every input envelope
+// (CRC-framed, fsync-batched) plus periodic snapshot files, organized
+// in epochs.
+//
+//	wal-%08d.log   input records of epoch e (wire-codec frames)
+//	snap-%08d.snap engine state after every record of epochs < e
+//
+// Taking a snapshot writes snap-(e+1) (tmp + rename, so a crash never
+// leaves a half-written snapshot under the real name), rotates the log
+// to wal-(e+1), and deletes older epochs — the store-level consumer of
+// the paper's §4.3 truncate-delivered-prefixes rule. Recovery restores
+// the highest decodable snapshot and replays only the WAL epochs at or
+// after it, so recovery work is bounded by the snapshot cadence, never
+// by run length. A torn record at the WAL tail (the partial write a
+// kill -9 leaves) is detected by its frame CRC and truncated away.
+//
+// The failure model is process crash (kill -9): write()n data survives
+// in the page cache even when the process dies before fsync. Batched
+// fsync (Options.FsyncEvery) bounds what a simultaneous machine crash
+// could lose; tests inject torn tails explicitly rather than relying on
+// the kernel to produce them.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+)
+
+// Options configures a durable engine.
+type Options struct {
+	// Dir is the persistence directory (required; created if missing).
+	// One engine per directory.
+	Dir string
+	// SnapshotEvery takes a snapshot and rotates the WAL every N input
+	// envelopes (default 256; <0 disables snapshots, the WAL grows
+	// unbounded and recovery replays it all).
+	SnapshotEvery int
+	// FsyncEvery fsyncs the WAL every N appends (default 64; 1 fsyncs
+	// every append, <0 never fsyncs — kill -9 durability only).
+	FsyncEvery int
+	// Decode decodes a snapshot file previously written by the engine's
+	// Snapshot (an amcast.BinarySnapshot). Required: it is the protocol
+	// half of the on-disk format (core.UnmarshalSnapshot, or
+	// store.UnmarshalSnapshot composed over it for executors).
+	Decode func([]byte) (amcast.Snapshot, error)
+	// KeepEpochs retains superseded WAL and snapshot files instead of
+	// deleting them (debugging, archaeology).
+	KeepEpochs bool
+}
+
+func (o *Options) fill() error {
+	if o.Dir == "" {
+		return fmt.Errorf("durable: missing directory")
+	}
+	if o.Decode == nil {
+		return fmt.Errorf("durable: missing snapshot decoder")
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 256
+	}
+	if o.FsyncEvery == 0 {
+		o.FsyncEvery = 64
+	}
+	return nil
+}
+
+// RecoveryStats reports what Wrap found and replayed on open.
+type RecoveryStats struct {
+	// Recovered is true when any prior state (snapshot or WAL records)
+	// was found.
+	Recovered bool
+	// SnapshotEpoch is the epoch of the restored snapshot (0 = none,
+	// recovery started from the engine's fresh state).
+	SnapshotEpoch uint64
+	// SnapshotBytes is the restored snapshot's size.
+	SnapshotBytes int
+	// ReplayedRecords counts the WAL records replayed (each one input
+	// frame: a single envelope or a batch).
+	ReplayedRecords int
+	// ReplayedEnvelopes counts the envelopes inside those records — the
+	// recovery bound the crash tests assert on.
+	ReplayedEnvelopes int
+	// TornTailBytes is the length of the discarded torn WAL tail.
+	TornTailBytes int64
+	// Elapsed is the wall-clock recovery time (restore + replay).
+	Elapsed time.Duration
+}
+
+func walPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", epoch))
+}
+
+func snapPath(dir string, epoch uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.snap", epoch))
+}
+
+// scanEpochs lists the wal and snapshot epochs present in dir, sorted
+// ascending.
+func scanEpochs(dir string) (wals, snaps []uint64, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, ent := range ents {
+		var e uint64
+		switch {
+		case matchEpoch(ent.Name(), "wal-%08d.log", &e):
+			wals = append(wals, e)
+		case matchEpoch(ent.Name(), "snap-%08d.snap", &e):
+			snaps = append(snaps, e)
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return wals, snaps, nil
+}
+
+func matchEpoch(name, pattern string, e *uint64) bool {
+	var got uint64
+	if n, err := fmt.Sscanf(name, pattern, &got); n == 1 && err == nil {
+		if fmt.Sprintf(pattern, got) == name {
+			*e = got
+			return true
+		}
+	}
+	return false
+}
+
+// Engine wraps an amcast.SnapshotEngine with the durable backend. It is
+// single-owner like the engine it wraps: the runtime goroutine that
+// feeds the engine is the only goroutine that may call it, so the input
+// path needs no locking. I/O errors latch (Err) rather than panic — the
+// wrapped engine keeps running, durability is reported broken.
+type Engine struct {
+	inner amcast.SnapshotEngine
+	opts  Options
+
+	epoch uint64
+	w     *walWriter
+	// sinceSnap counts input envelopes appended since the last snapshot
+	// (the replay length a crash right now would pay).
+	sinceSnap int
+	stats     RecoveryStats
+	err       error
+}
+
+// Wrap opens (or creates) the durable state under opts.Dir, recovers
+// the wrapped engine from it — restore the newest snapshot, replay the
+// WAL suffix, truncate any torn tail — and returns the engine ready to
+// append. The engine must be freshly constructed (its pre-Wrap state is
+// the epoch-0 baseline a recovery without snapshot replays onto).
+func Wrap(inner amcast.SnapshotEngine, opts Options) (*Engine, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	e := &Engine{inner: inner, opts: opts}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// recover restores the newest decodable snapshot, replays WAL epochs at
+// or after it, and opens the current WAL for appending (past any torn
+// tail, which is truncated).
+func (e *Engine) recover() error {
+	start := time.Now()
+	wals, snaps, err := scanEpochs(e.opts.Dir)
+	if err != nil {
+		return err
+	}
+	// Restore the newest snapshot that decodes; fall back on older ones
+	// rather than failing recovery outright (a bad snapshot costs replay
+	// length, not correctness, as long as its WAL epochs still exist).
+	snapEpoch := uint64(0)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(snapPath(e.opts.Dir, snaps[i]))
+		if err != nil {
+			continue
+		}
+		snap, err := e.opts.Decode(data)
+		if err != nil {
+			continue
+		}
+		if err := e.inner.Restore(snap); err != nil {
+			return fmt.Errorf("durable: restore snapshot epoch %d: %w", snaps[i], err)
+		}
+		e.inner.TakeDeliveries() // restore discards undrained deliveries
+		snapEpoch = snaps[i]
+		e.stats.SnapshotEpoch = snaps[i]
+		e.stats.SnapshotBytes = len(data)
+		e.stats.Recovered = true
+		break
+	}
+	// Replay the WAL suffix: every record of every epoch >= snapEpoch,
+	// ascending. Outputs and deliveries were already emitted before the
+	// crash; replay only rebuilds state.
+	curEpoch := snapEpoch
+	var curGoodLen int64
+	for _, we := range wals {
+		if we < snapEpoch {
+			continue
+		}
+		scan, err := readWAL(walPath(e.opts.Dir, we))
+		if err != nil {
+			return err
+		}
+		for _, rec := range scan.records {
+			envs, err := codec.DecodeFrame(rec)
+			if err != nil {
+				return fmt.Errorf("durable: wal epoch %d record %d: %w", we, e.stats.ReplayedRecords, err)
+			}
+			amcast.BatchStep(e.inner, envs)
+			e.inner.TakeDeliveries()
+			e.stats.ReplayedRecords++
+			e.stats.ReplayedEnvelopes += len(envs)
+			e.stats.Recovered = true
+		}
+		e.stats.TornTailBytes += scan.tornBytes
+		if we >= curEpoch {
+			curEpoch, curGoodLen = we, scan.goodLen
+		}
+	}
+	e.epoch = curEpoch
+	e.sinceSnap = e.stats.ReplayedEnvelopes
+	e.w, err = openWALWriter(walPath(e.opts.Dir, curEpoch), e.opts.FsyncEvery, curGoodLen)
+	if err != nil {
+		return err
+	}
+	if !e.opts.KeepEpochs {
+		e.truncateBelow(snapEpoch)
+	}
+	e.stats.Elapsed = time.Since(start)
+	return nil
+}
+
+// truncateBelow deletes WAL and snapshot files of epochs strictly below
+// e — they are covered by snapshot e.
+func (e *Engine) truncateBelow(epoch uint64) {
+	wals, snaps, err := scanEpochs(e.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, we := range wals {
+		if we < epoch {
+			os.Remove(walPath(e.opts.Dir, we))
+		}
+	}
+	for _, se := range snaps {
+		if se < epoch {
+			os.Remove(snapPath(e.opts.Dir, se))
+		}
+	}
+}
+
+// Recovery reports what Wrap restored and replayed.
+func (e *Engine) Recovery() RecoveryStats { return e.stats }
+
+// Inner returns the wrapped engine — for layers that need the concrete
+// engine underneath (read fast paths, audits). Callers must respect the
+// single-owner discipline of the engine they unwrap.
+func (e *Engine) Inner() amcast.SnapshotEngine { return e.inner }
+
+// Err returns the latched I/O error, if any: the first WAL append or
+// snapshot write that failed. State on disk is frozen at that point.
+func (e *Engine) Err() error { return e.err }
+
+// Epoch returns the current WAL epoch.
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
+// SinceSnapshot reports the input envelopes appended since the last
+// snapshot — the replay length a crash right now would pay.
+func (e *Engine) SinceSnapshot() int { return e.sinceSnap }
+
+// append logs one input frame before it reaches the engine.
+func (e *Engine) append(frame []byte, envelopes int) {
+	if e.err != nil {
+		return
+	}
+	if err := e.w.append(frame); err != nil {
+		e.err = err
+		return
+	}
+	e.sinceSnap += envelopes
+}
+
+// Group implements amcast.Engine.
+func (e *Engine) Group() amcast.GroupID { return e.inner.Group() }
+
+// OnEnvelope implements amcast.Engine: the envelope is appended to the
+// WAL, then forwarded.
+func (e *Engine) OnEnvelope(env amcast.Envelope) []amcast.Output {
+	e.append(codec.Marshal(env), 1)
+	return e.inner.OnEnvelope(env)
+}
+
+// BatchStep implements amcast.BatchStepper: the batch is appended as
+// one record (one frame, one CRC), then forwarded to the engine's batch
+// fast path.
+func (e *Engine) BatchStep(envs []amcast.Envelope) []amcast.Output {
+	if len(envs) == 0 {
+		return nil
+	}
+	e.append(codec.MarshalBatch(envs), len(envs))
+	return amcast.BatchStep(e.inner, envs)
+}
+
+// TakeDeliveries implements amcast.Engine and is the snapshot point:
+// right after a drain the engine's delivery buffer is empty, so the
+// snapshot restores to a state with nothing half-emitted. When the
+// snapshot cadence is due the engine state is written to snap-(e+1),
+// the WAL rotates to epoch e+1, and older epochs are deleted.
+func (e *Engine) TakeDeliveries() []amcast.Delivery {
+	dels := e.inner.TakeDeliveries()
+	if e.err == nil && e.opts.SnapshotEvery > 0 && e.sinceSnap >= e.opts.SnapshotEvery {
+		if err := e.snapshot(); err != nil {
+			e.err = err
+		}
+	}
+	return dels
+}
+
+// SnapshotNow forces a snapshot + rotation regardless of cadence. The
+// engine's delivery buffer must be drained (call it from the owning
+// goroutine between TakeDeliveries and the next input).
+func (e *Engine) SnapshotNow() error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.snapshot(); err != nil {
+		e.err = err
+	}
+	return e.err
+}
+
+func (e *Engine) snapshot() error {
+	bs, ok := e.inner.Snapshot().(amcast.BinarySnapshot)
+	if !ok {
+		return fmt.Errorf("durable: engine %T snapshot has no binary form", e.inner)
+	}
+	data, err := bs.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	// The WAL must be on disk before the snapshot that supersedes it:
+	// snap-(e+1) claims to cover every record of epoch e.
+	if err := e.w.sync(); err != nil {
+		return err
+	}
+	next := e.epoch + 1
+	tmp := snapPath(e.opts.Dir, next) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snapPath(e.opts.Dir, next)); err != nil {
+		return err
+	}
+	if err := e.w.close(); err != nil {
+		return err
+	}
+	w, err := openWALWriter(walPath(e.opts.Dir, next), e.opts.FsyncEvery, 0)
+	if err != nil {
+		return err
+	}
+	e.w = w
+	e.epoch = next
+	e.sinceSnap = 0
+	if !e.opts.KeepEpochs {
+		e.truncateBelow(next)
+	}
+	return nil
+}
+
+// Snapshot implements amcast.SnapshotEngine (forwarded).
+func (e *Engine) Snapshot() amcast.Snapshot { return e.inner.Snapshot() }
+
+// Restore implements amcast.SnapshotEngine (forwarded). Restoring past
+// state does not rewind the on-disk log — it is a test-harness seam
+// (the chaos explorer's in-memory model), not a durability operation.
+func (e *Engine) Restore(s amcast.Snapshot) error { return e.inner.Restore(s) }
+
+// CheckHistoryAcyclic forwards the inner engine's ordering audit.
+func (e *Engine) CheckHistoryAcyclic() error {
+	if c, ok := e.inner.(interface{ CheckHistoryAcyclic() error }); ok {
+		return c.CheckHistoryAcyclic()
+	}
+	return nil
+}
+
+// Sync forces the WAL to disk.
+func (e *Engine) Sync() error {
+	if e.err != nil {
+		return e.err
+	}
+	if err := e.w.sync(); err != nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Close flushes and closes the WAL. The engine must not be used after.
+func (e *Engine) Close() error {
+	if e.w == nil {
+		return e.err
+	}
+	err := e.w.close()
+	e.w = nil
+	if e.err == nil {
+		e.err = err
+	}
+	return err
+}
+
+var _ amcast.SnapshotEngine = (*Engine)(nil)
+var _ amcast.BatchStepper = (*Engine)(nil)

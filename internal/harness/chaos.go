@@ -69,6 +69,7 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 		d.Route = func(m amcast.Message) []amcast.NodeID {
 			return []amcast.NodeID{amcast.GroupNode(ov.Lca(m.Dst))}
 		}
+		d.Decode = core.UnmarshalSnapshot
 	case Distributed:
 		d.Factory = func(g amcast.GroupID) (amcast.SnapshotEngine, error) {
 			return skeen.New(skeen.Config{Group: g, Groups: groups})
@@ -80,6 +81,7 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 			}
 			return nodes
 		}
+		d.Decode = skeen.UnmarshalSnapshot
 	case Hierarchical:
 		tree := cfg.Tree
 		d.Factory = func(g amcast.GroupID) (amcast.SnapshotEngine, error) {
@@ -88,6 +90,7 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 		d.Route = func(m amcast.Message) []amcast.NodeID {
 			return []amcast.NodeID{amcast.GroupNode(tree.Lca(m.Dst))}
 		}
+		d.Decode = hierarchical.UnmarshalSnapshot
 	default:
 		return d, fmt.Errorf("harness: unknown protocol %d", cfg.Protocol)
 	}
@@ -99,6 +102,12 @@ func chaosDeployment(cfg ChaosConfig) (chaos.Deployment, error) {
 				return nil, err
 			}
 			return store.NewExecutor(eng, store.Config{Warehouse: g}, true)
+		}
+		// Executor snapshots embed the protocol snapshot; compose the
+		// decoders so durable mode can recover executor-wrapped engines.
+		proto := d.Decode
+		d.Decode = func(data []byte) (amcast.Snapshot, error) {
+			return store.UnmarshalSnapshot(data, proto)
 		}
 		d.Instrument = instrumentExecution
 	}

@@ -1,0 +1,62 @@
+package hierarchical
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+)
+
+// Binary snapshot codec for the hierarchical engine; sorted map
+// iteration keeps the encoding canonical.
+
+var _ amcast.BinarySnapshot = (*snapshot)(nil)
+
+// MarshalBinary implements amcast.BinarySnapshot.
+func (s *snapshot) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 128)
+	buf = binary.AppendUvarint(buf, uint64(uint32(s.g)))
+	ids := make([]amcast.MsgID, 0, len(s.seen))
+	for id := range s.seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = codec.AppendBool(buf, s.seen[id])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.deliveries)))
+	for _, d := range s.deliveries {
+		buf = codec.AppendDelivery(buf, d)
+	}
+	buf = binary.AppendUvarint(buf, s.seq)
+	buf = binary.AppendUvarint(buf, s.relayed)
+	return buf, nil
+}
+
+// UnmarshalSnapshot decodes a snapshot previously produced by
+// MarshalBinary.
+func UnmarshalSnapshot(data []byte) (amcast.Snapshot, error) {
+	r := codec.NewReader(data)
+	s := &snapshot{g: amcast.GroupID(r.Uvarint())}
+	nSeen := r.Count()
+	s.seen = make(map[amcast.MsgID]bool, nSeen)
+	for i := 0; i < nSeen && r.Err() == nil; i++ {
+		id := amcast.MsgID(r.Uvarint())
+		s.seen[id] = r.Bool()
+	}
+	nD := r.Count()
+	s.deliveries = make([]amcast.Delivery, 0, nD)
+	for i := 0; i < nD && r.Err() == nil; i++ {
+		s.deliveries = append(s.deliveries, r.Delivery())
+	}
+	s.seq = r.Uvarint()
+	s.relayed = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("hierarchical: snapshot decode: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,44 @@
+package hierarchical_test
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/hierarchical"
+	"flexcast/internal/overlay"
+	"flexcast/internal/prototest"
+)
+
+// TestSnapshotBinaryRoundTrip audits the hierarchical binary snapshot
+// codec over mid-run state: marshal → decode → restore → re-marshal
+// must be byte-identical.
+func TestSnapshotBinaryRoundTrip(t *testing.T) {
+	tree := overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{
+		1: {2, 3},
+		2: {4, 5},
+	})
+	groups := tree.Groups()
+	route := func(m amcast.Message) []amcast.NodeID {
+		return []amcast.NodeID{amcast.GroupNode(tree.Lca(m.Dst))}
+	}
+	factory := func(g amcast.GroupID) amcast.Engine {
+		return hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tree})
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		prototest.RunRandom(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 15,
+			Route:    route,
+			Factory:  factory,
+			Seed:     seed,
+			Jitter:   3000,
+			OnEngines: func(engines map[amcast.GroupID]amcast.Engine) {
+				for g, eng := range engines {
+					fresh := hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tree})
+					prototest.CheckBinarySnapshot(t, eng.(amcast.SnapshotEngine), fresh, hierarchical.UnmarshalSnapshot)
+				}
+			},
+		})
+	}
+}

@@ -38,6 +38,32 @@ func TestSnapshotReplay(t *testing.T) {
 	}
 }
 
+// TestDurableReplay audits recovery from the real durable backend's
+// kill -9 image under clean and torn-WAL-tail crash shapes.
+func TestDurableReplay(t *testing.T) {
+	tree := overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{
+		1: {2, 3},
+		2: {4, 5},
+	})
+	groups := tree.Groups()
+	route := func(m amcast.Message) []amcast.NodeID {
+		return []amcast.NodeID{amcast.GroupNode(tree.Lca(m.Dst))}
+	}
+	factory := func(g amcast.GroupID) amcast.Engine {
+		return hierarchical.MustNew(hierarchical.Config{Group: g, Tree: tree})
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		prototest.RunDurableReplay(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 12,
+			Route:    route,
+			Factory:  factory,
+			Seed:     seed,
+		}, hierarchical.UnmarshalSnapshot, 11)
+	}
+}
+
 // TestRestoreRejectsMismatch verifies the Restore guard rails.
 func TestRestoreRejectsMismatch(t *testing.T) {
 	tree := overlay.MustTree(1, map[amcast.GroupID][]amcast.GroupID{1: {2}})

@@ -1,0 +1,122 @@
+package history
+
+import (
+	"encoding/binary"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+)
+
+// AppendBinary appends a canonical encoding of the history: lastDlvd,
+// the append-only log (pruned entries included — diff cursors are
+// indexes into it, so the log must survive serialization verbatim),
+// live nodes sorted by id, and live edges sorted by (from, to). The
+// pred index and msgsTo counters are derived on decode.
+func (h *History) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(h.last))
+	buf = binary.AppendUvarint(buf, uint64(len(h.log)))
+	for _, le := range h.log {
+		buf = codec.AppendBool(buf, le.isEdge)
+		if le.isEdge {
+			buf = binary.AppendUvarint(buf, uint64(le.edge.From))
+			buf = binary.AppendUvarint(buf, uint64(le.edge.To))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(le.node.ID))
+			buf = codec.AppendGroups(buf, le.node.Dst)
+		}
+	}
+	ns, es := h.Snapshot()
+	buf = binary.AppendUvarint(buf, uint64(len(ns)))
+	for _, n := range ns {
+		buf = binary.AppendUvarint(buf, uint64(n.ID))
+		buf = codec.AppendGroups(buf, n.Dst)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(es)))
+	for _, e := range es {
+		buf = binary.AppendUvarint(buf, uint64(e.From))
+		buf = binary.AppendUvarint(buf, uint64(e.To))
+	}
+	return buf
+}
+
+// Decode reads an AppendBinary record from r and rebuilds the history.
+// Returns a usable empty history if the reader has latched an error;
+// the caller checks r.Err/Close once at the end.
+func Decode(r *codec.Reader) *History {
+	h := New()
+	h.last = amcast.MsgID(r.Uvarint())
+	nLog := r.Count()
+	h.log = make([]logEntry, 0, nLog)
+	for i := 0; i < nLog && r.Err() == nil; i++ {
+		if r.Bool() {
+			h.log = append(h.log, logEntry{isEdge: true, edge: amcast.HistEdge{
+				From: amcast.MsgID(r.Uvarint()),
+				To:   amcast.MsgID(r.Uvarint()),
+			}})
+		} else {
+			h.log = append(h.log, logEntry{node: Node{
+				ID:  amcast.MsgID(r.Uvarint()),
+				Dst: r.Groups(),
+			}})
+		}
+	}
+	nNodes := r.Count()
+	for i := 0; i < nNodes && r.Err() == nil; i++ {
+		n := Node{ID: amcast.MsgID(r.Uvarint()), Dst: r.Groups()}
+		h.nodes[n.ID] = n
+		for _, g := range n.Dst {
+			h.msgsTo[g]++
+		}
+	}
+	nEdges := r.Count()
+	for i := 0; i < nEdges && r.Err() == nil; i++ {
+		from := amcast.MsgID(r.Uvarint())
+		to := amcast.MsgID(r.Uvarint())
+		addSet(h.succ, from, to)
+		addSet(h.pred, to, from)
+	}
+	return h
+}
+
+// Equal reports whether two histories have identical live state and log
+// (test helper for codec round-trips).
+func (h *History) Equal(o *History) bool {
+	if h.last != o.last || len(h.log) != len(o.log) {
+		return false
+	}
+	for i, le := range h.log {
+		ol := o.log[i]
+		if le.isEdge != ol.isEdge || le.edge != ol.edge || le.node.ID != ol.node.ID {
+			return false
+		}
+		if len(le.node.Dst) != len(ol.node.Dst) {
+			return false
+		}
+		for j := range le.node.Dst {
+			if le.node.Dst[j] != ol.node.Dst[j] {
+				return false
+			}
+		}
+	}
+	an, ae := h.Snapshot()
+	bn, be := o.Snapshot()
+	if len(an) != len(bn) || len(ae) != len(be) {
+		return false
+	}
+	for i := range an {
+		if an[i].ID != bn[i].ID || len(an[i].Dst) != len(bn[i].Dst) {
+			return false
+		}
+		for j := range an[i].Dst {
+			if an[i].Dst[j] != bn[i].Dst[j] {
+				return false
+			}
+		}
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 
 	"flexcast/amcast"
+	"flexcast/internal/durable"
 	"flexcast/internal/gtpcc"
 	"flexcast/internal/runtime"
 	"flexcast/internal/store"
@@ -58,6 +59,11 @@ func runtimeConfig(cfg Config) runtime.Config {
 // on.
 func nodeConfig(cfg Config, eng amcast.Engine) runtime.Config {
 	rc := runtimeConfig(cfg)
+	if de, ok := eng.(*durable.Engine); ok {
+		// The read handler serves against the executor inside the durable
+		// wrap (reads are not inputs — nothing to log).
+		eng = de.Inner()
+	}
 	ex, ok := eng.(*store.Executor)
 	if !ok {
 		return rc

@@ -19,12 +19,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flexcast/amcast"
 	"flexcast/internal/core"
+	"flexcast/internal/durable"
 	"flexcast/internal/gtpcc"
 	"flexcast/internal/hierarchical"
 	"flexcast/internal/metrics"
@@ -136,6 +139,24 @@ type Config struct {
 	// that parameter (hot items, hot customers, near destinations); see
 	// gtpcc.Config.Zipf.
 	Zipf float64
+	// Durable runs every group's engine behind the durable backend
+	// (internal/durable): a write-ahead log of every input envelope plus
+	// periodic snapshot files. The run then ends with a crash-recovery
+	// verification: the on-disk image — exactly what a kill -9 at the end
+	// of the measurement window would leave — is recovered into fresh
+	// executors and digest-compared against the live shards, and the
+	// replay length is checked against the live engines' records-since-
+	// last-snapshot (the snapshot-age recovery bound). Requires Execute.
+	Durable bool
+	// DurableDir is the persistence root (each run persists into a fresh
+	// subdirectory so successive runs never recover each other's state;
+	// empty: a temp dir removed when the run ends).
+	DurableDir string
+	// DurableSnapshotEvery and DurableFsyncEvery override the backend's
+	// snapshot and fsync cadences (0: the durable package defaults,
+	// 256 and 64).
+	DurableSnapshotEvery int
+	DurableFsyncEvery    int
 }
 
 func (c *Config) fill() error {
@@ -226,6 +247,9 @@ func (c *Config) fill() error {
 	if c.Zipf != 0 && c.Zipf <= 1 {
 		return fmt.Errorf("loadgen: zipf parameter %v outside (1, inf)", c.Zipf)
 	}
+	if c.Durable && !c.Execute {
+		return fmt.Errorf("loadgen: -durable requires -execute (crash recovery is verified against shard digests)")
+	}
 	return nil
 }
 
@@ -267,6 +291,36 @@ type ExecuteResult struct {
 	TxApplied uint64 `json:"tx_applied"`
 }
 
+// DurableResult is the -durable run's end-of-run crash-recovery
+// verification: the on-disk image (the exact state a kill -9 at the end
+// of the window would leave) recovered into fresh executors and checked
+// against the live deployment.
+type DurableResult struct {
+	// Groups is the number of groups recovered and verified.
+	Groups int `json:"groups"`
+	// DigestsMatch reports that every recovered shard reached a
+	// byte-identical digest with its live counterpart (a mismatch fails
+	// the run, so emitted reports carry true).
+	DigestsMatch bool `json:"digests_match"`
+	// SnapshottedGroups counts groups whose recovery restored from a
+	// snapshot file (the rest replayed their whole WAL — short runs or
+	// cold groups that never hit the cadence).
+	SnapshottedGroups int `json:"snapshotted_groups"`
+	// ReplayedEnvelopes totals the WAL envelopes replayed across groups;
+	// MaxReplayedEnvelopes is the worst single group. Each group's replay
+	// equals its records since the last snapshot — the snapshot-age bound
+	// (checked, a violation fails the run).
+	ReplayedEnvelopes    int `json:"replayed_envelopes"`
+	MaxReplayedEnvelopes int `json:"max_replayed_envelopes"`
+	// RecoveryMeanUs and RecoveryMaxUs summarize per-group recovery
+	// wall-clock time (restore + replay).
+	RecoveryMeanUs float64 `json:"recovery_mean_us"`
+	RecoveryMaxUs  int64   `json:"recovery_max_us"`
+	// TornTailBytes totals discarded torn WAL tails (0 on a healthy
+	// image: the process was alive, so no write was mid-frame).
+	TornTailBytes int64 `json:"torn_tail_bytes"`
+}
+
 // Result is one run's measurement. Completed/Throughput/Latency cover
 // the multicast (write) path only — comparable across every report this
 // repository has ever emitted; read-mix runs add the fast-path read
@@ -298,6 +352,9 @@ type Result struct {
 	// Execute carries the store-execution measurement when the run
 	// executed transactions (-execute).
 	Execute *ExecuteResult `json:"execute,omitempty"`
+	// Durable carries the crash-recovery verification when the run used
+	// the durable backend (-durable).
+	Durable *DurableResult `json:"durable,omitempty"`
 	// Issued counts requests issued during the measurement window (a
 	// transaction issued in warmup and completed in-window counts toward
 	// Completed but not Issued, so the two may differ slightly in either
@@ -328,6 +385,13 @@ type protocolDeployment struct {
 	// >= 2): log-shipped from the serving node, lease-renewed by the
 	// feed, read by clients co-located with them.
 	followers map[amcast.GroupID][]*store.Replica
+	// Durable-backend pieces (-durable): the live durable engines by
+	// group, the protocol-only factory (for building the fresh engines
+	// the crash-recovery verification recovers into), and the snapshot
+	// decoder matching what the engines persist.
+	durables     map[amcast.GroupID]*durable.Engine
+	protoFactory func(g amcast.GroupID) (amcast.Engine, error)
+	snapDecode   func([]byte) (amcast.Snapshot, error)
 }
 
 // wrapExecute layers the store executor over the protocol factory:
@@ -363,6 +427,36 @@ func (d *protocolDeployment) wrapExecute(cfg Config) {
 		d.executors = append(d.executors, ex)
 		d.execByGroup[g] = ex
 		return ex, nil
+	}
+}
+
+// wrapDurable layers the durable backend over the composed factory:
+// every group's engine (execution layer included, so the WAL records
+// the exact inputs of the state its snapshots capture) persists into
+// DurableDir/group-<id>.
+func (d *protocolDeployment) wrapDurable(cfg Config) {
+	base := d.factory
+	d.durables = make(map[amcast.GroupID]*durable.Engine)
+	d.factory = func(g amcast.GroupID) (amcast.Engine, error) {
+		eng, err := base(g)
+		if err != nil {
+			return nil, err
+		}
+		se, ok := eng.(amcast.SnapshotEngine)
+		if !ok {
+			return nil, fmt.Errorf("loadgen: durable backend requires a snapshot-capable engine, got %T", eng)
+		}
+		de, err := durable.Wrap(se, durable.Options{
+			Dir:           filepath.Join(cfg.DurableDir, fmt.Sprintf("group-%d", g)),
+			SnapshotEvery: cfg.DurableSnapshotEvery,
+			FsyncEvery:    cfg.DurableFsyncEvery,
+			Decode:        d.snapDecode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.durables[g] = de
+		return de, nil
 	}
 }
 
@@ -444,10 +538,34 @@ func buildProtocol(cfg Config) (*protocolDeployment, error) {
 			return []amcast.NodeID{amcast.GroupNode(tr.Lca(m.Dst))}
 		}
 	}
+	d.protoFactory = d.factory
 	if cfg.Execute {
 		d.wrapExecute(cfg)
 	}
+	if cfg.Durable {
+		proto := protoSnapshotDecoder(cfg.Protocol)
+		d.snapDecode = proto
+		if cfg.Execute {
+			d.snapDecode = func(data []byte) (amcast.Snapshot, error) {
+				return store.UnmarshalSnapshot(data, proto)
+			}
+		}
+		d.wrapDurable(cfg)
+	}
 	return d, nil
+}
+
+// protoSnapshotDecoder returns the snapshot decoder of a protocol's
+// bare engine.
+func protoSnapshotDecoder(protocol string) func([]byte) (amcast.Snapshot, error) {
+	switch protocol {
+	case "skeen":
+		return skeen.UnmarshalSnapshot
+	case "hierarchical":
+		return hierarchical.UnmarshalSnapshot
+	default:
+		return core.UnmarshalSnapshot
+	}
 }
 
 // txState tracks one in-flight transaction at its issuing client.
@@ -763,6 +881,28 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
+	if cfg.Durable {
+		// Each run persists into a fresh directory: recovering a previous
+		// run's state under a fresh client would not be a benchmark, and
+		// the verification below needs to own the image.
+		if cfg.DurableDir == "" {
+			dir, err := os.MkdirTemp("", "flexload-durable-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			cfg.DurableDir = dir
+		} else {
+			if err := os.MkdirAll(cfg.DurableDir, 0o755); err != nil {
+				return nil, err
+			}
+			dir, err := os.MkdirTemp(cfg.DurableDir, "run-")
+			if err != nil {
+				return nil, err
+			}
+			cfg.DurableDir = dir
+		}
+	}
 	proto, err := buildProtocol(cfg)
 	if err != nil {
 		return nil, err
@@ -869,6 +1009,15 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	var durRes *DurableResult
+	if cfg.Durable {
+		// The load has stopped and drained, so the on-disk state is
+		// quiescent: recover the crash image while the live shards are
+		// still around to compare against.
+		if durRes, err = r.verifyDurableRecovery(); err != nil {
+			return nil, err
+		}
+	}
 
 	res := &Result{
 		Completed:  r.completed.Load(),
@@ -877,6 +1026,7 @@ func Run(cfg Config) (*Result, error) {
 		WindowSecs: windowSecs,
 		Latency:    r.hist.Summary(),
 		Execute:    execRes,
+		Durable:    durRes,
 	}
 	if windowSecs > 0 {
 		res.Throughput = float64(res.Completed) / windowSecs
@@ -981,6 +1131,112 @@ func (r *run) auditExecution() (*ExecuteResult, error) {
 		res.AbortRate = float64(res.Aborted) / float64(completed)
 	}
 	return res, nil
+}
+
+// verifyDurableRecovery is the -durable run's ending: for every group,
+// copy the on-disk state as it stands — exactly the image a kill -9
+// right now would leave, since WAL appends hit the page cache
+// unbuffered — recover it into a fresh executor, and check that (a) the
+// recovered shard digest is byte-identical to the live one and (b) the
+// replay length equals the live engine's records since its last
+// snapshot, i.e. recovery work is bounded by snapshot age, not run
+// length. Either check failing fails the run.
+func (r *run) verifyDurableRecovery() (*DurableResult, error) {
+	cfg := r.cfg
+	res := &DurableResult{DigestsMatch: true}
+	var totalElapsed time.Duration
+	for _, g := range r.proto.groups {
+		de := r.proto.durables[g]
+		live := r.proto.execByGroup[g]
+		if de == nil || live == nil {
+			return nil, fmt.Errorf("loadgen: group %d has no durable engine or executor", g)
+		}
+		if err := de.Err(); err != nil {
+			return nil, fmt.Errorf("loadgen: group %d durable backend failed mid-run: %w", g, err)
+		}
+		image, err := copyDirImage(filepath.Join(cfg.DurableDir, fmt.Sprintf("group-%d", g)))
+		if err != nil {
+			return nil, err
+		}
+		eng, err := r.proto.protoFactory(g)
+		if err != nil {
+			os.RemoveAll(image)
+			return nil, err
+		}
+		fresh, err := store.Wrap(eng, store.Config{Warehouse: g, Seed: cfg.StoreSeed}, false)
+		if err != nil {
+			os.RemoveAll(image)
+			return nil, err
+		}
+		rde, err := durable.Wrap(fresh, durable.Options{
+			Dir:           image,
+			SnapshotEvery: cfg.DurableSnapshotEvery,
+			FsyncEvery:    -1, // verification only reads; never fsync
+			Decode:        r.proto.snapDecode,
+		})
+		if err != nil {
+			os.RemoveAll(image)
+			return nil, fmt.Errorf("loadgen: group %d crash-image recovery: %w", g, err)
+		}
+		stats := rde.Recovery()
+		rde.Close()
+		os.RemoveAll(image)
+
+		if got, want := fresh.Shard().Digest(), live.Shard().Digest(); got != want {
+			return nil, fmt.Errorf("loadgen: group %d recovered shard digest diverges from live state", g)
+		}
+		if since := de.SinceSnapshot(); stats.ReplayedEnvelopes != since {
+			return nil, fmt.Errorf("loadgen: group %d replayed %d envelopes but %d were appended since the last snapshot (snapshot age does not bound recovery)",
+				g, stats.ReplayedEnvelopes, since)
+		}
+		res.Groups++
+		if stats.SnapshotEpoch > 0 {
+			res.SnapshottedGroups++
+		}
+		res.ReplayedEnvelopes += stats.ReplayedEnvelopes
+		if stats.ReplayedEnvelopes > res.MaxReplayedEnvelopes {
+			res.MaxReplayedEnvelopes = stats.ReplayedEnvelopes
+		}
+		res.TornTailBytes += stats.TornTailBytes
+		totalElapsed += stats.Elapsed
+		if us := stats.Elapsed.Microseconds(); us > res.RecoveryMaxUs {
+			res.RecoveryMaxUs = us
+		}
+	}
+	if res.Groups > 0 {
+		res.RecoveryMeanUs = float64(totalElapsed.Microseconds()) / float64(res.Groups)
+	}
+	return res, nil
+}
+
+// copyDirImage copies a durable directory into a fresh temp dir — the
+// crash image the recovery verification owns (recovering in place would
+// race the live engine's open WAL).
+func copyDirImage(src string) (string, error) {
+	dst, err := os.MkdirTemp("", "flexload-crash-")
+	if err != nil {
+		return "", err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		os.RemoveAll(dst)
+		return "", err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
+		if err != nil {
+			os.RemoveAll(dst)
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dst, ent.Name()), data, 0o644); err != nil {
+			os.RemoveAll(dst)
+			return "", err
+		}
+	}
+	return dst, nil
 }
 
 // doRead serves one read-only transaction under the configured

@@ -44,6 +44,12 @@ type ReportConfig struct {
 	Replicas      int  `json:"replicas,omitempty"`
 	FollowerReads bool `json:"follower_reads,omitempty"`
 	ReadWorkers   int  `json:"read_workers,omitempty"`
+	// Durable marks runs on the durable WAL+snapshot backend;
+	// DurableSnapshotEvery/DurableFsyncEvery are its cadences (0: the
+	// backend defaults, 256 and 64).
+	Durable              bool `json:"durable,omitempty"`
+	DurableSnapshotEvery int  `json:"durable_snapshot_every,omitempty"`
+	DurableFsyncEvery    int  `json:"durable_fsync_every,omitempty"`
 }
 
 // Report is the serialized benchmark outcome (BENCH_runtime.json).
@@ -106,6 +112,11 @@ func reportConfig(cfg Config) ReportConfig {
 		rc.FollowerReads = cfg.FollowerReads
 	}
 	rc.ReadWorkers = cfg.ReadWorkers
+	if cfg.Durable {
+		rc.Durable = true
+		rc.DurableSnapshotEvery = cfg.DurableSnapshotEvery
+		rc.DurableFsyncEvery = cfg.DurableFsyncEvery
+	}
 	return rc
 }
 
@@ -248,6 +259,34 @@ func validateResult(label string, res *Result) error {
 	if res.Execute != nil {
 		if err := validateExecute(label, res.Execute); err != nil {
 			return err
+		}
+	}
+	if d := res.Durable; d != nil {
+		if !d.DigestsMatch {
+			return fmt.Errorf("loadgen: %s: crash-recovery digests diverged", label)
+		}
+		if d.Groups == 0 {
+			return fmt.Errorf("loadgen: %s: durable run verified no groups", label)
+		}
+		if d.TornTailBytes != 0 {
+			return fmt.Errorf("loadgen: %s: live crash image carried a torn WAL tail (%d bytes)", label, d.TornTailBytes)
+		}
+		if d.RecoveryMaxUs < 0 || d.MaxReplayedEnvelopes < 0 {
+			return fmt.Errorf("loadgen: %s: negative durable recovery stats", label)
+		}
+		// A run that completed transactions has real per-group state, so
+		// the kill-and-restart verification must have done measurable
+		// work: a zero recovery time means the field was never stamped.
+		if d.RecoveryMaxUs == 0 {
+			return fmt.Errorf("loadgen: %s: durable run reports zero recovery time", label)
+		}
+		if d.RecoveryMeanUs <= 0 || d.RecoveryMeanUs > float64(d.RecoveryMaxUs) {
+			return fmt.Errorf("loadgen: %s: durable recovery mean %.1fµs inconsistent with max %dµs",
+				label, d.RecoveryMeanUs, d.RecoveryMaxUs)
+		}
+		if d.MaxReplayedEnvelopes > d.ReplayedEnvelopes {
+			return fmt.Errorf("loadgen: %s: durable replay max %d exceeds total %d",
+				label, d.MaxReplayedEnvelopes, d.ReplayedEnvelopes)
 		}
 	}
 	return nil

@@ -183,6 +183,13 @@ type Replica struct {
 	// floorFrom is the first instance it covers.
 	floor     Ballot
 	floorFrom InstanceID
+	// base is the truncation floor: instances below it were decided,
+	// delivered and then dropped from memory because an application-level
+	// snapshot covers them (TruncateBefore / InstallSnapshot). base never
+	// exceeds nextDeliver, so truncation only ever discards the decided
+	// contiguous prefix — consensus state for undecided instances is
+	// never lost.
+	base InstanceID
 }
 
 // NewReplica builds a replica; replica 0 boots as the presumed leader
@@ -243,25 +250,101 @@ func (r *Replica) Recover() {
 	r.quietTicks = 0
 }
 
-// DecidedLog returns the values of the contiguous decided prefix
-// (instances 0..Decided()-1) in instance order. This is the stable log a
-// recovering replica replays into a fresh engine, and the payload of
-// state transfer between replicas (internal/smr).
-func (r *Replica) DecidedLog() [][]byte {
-	log := make([][]byte, 0, r.nextDeliver)
-	for i := InstanceID(0); i < r.nextDeliver; i++ {
+// DecidedLog returns the values of the retained contiguous decided
+// prefix (instances Base()..Decided()-1) in instance order. This is the
+// stable log a recovering replica replays into a fresh engine — after
+// restoring the snapshot that covers everything below Base() — and the
+// payload of state transfer between replicas (internal/smr).
+func (r *Replica) DecidedLog() [][]byte { return r.SuffixFrom(r.base) }
+
+// SuffixFrom returns the decided values of instances start..Decided()-1
+// in order. start below the truncation floor is clamped to it — those
+// entries no longer exist; the caller must ship a snapshot instead
+// (Base() tells it where the retained log begins).
+func (r *Replica) SuffixFrom(start InstanceID) [][]byte {
+	if start < r.base {
+		start = r.base
+	}
+	if start >= r.nextDeliver {
+		return nil
+	}
+	log := make([][]byte, 0, r.nextDeliver-start)
+	for i := start; i < r.nextDeliver; i++ {
 		log = append(log, r.decidedVals[i])
 	}
 	return log
 }
 
 // CatchUp installs decided values for instances start, start+1, …
-// learned from a peer's DecidedLog (the caller passes the suffix it is
+// learned from a peer's SuffixFrom (the caller passes the suffix it is
 // missing). Entries this replica already decided are skipped; new ones
 // are learned and surface through TakeDecisions in instance order.
 func (r *Replica) CatchUp(start InstanceID, vals [][]byte) {
 	for i, v := range vals {
 		r.learn(start+InstanceID(i), v)
+	}
+}
+
+// Base returns the truncation floor: the first instance whose value is
+// still retained. Everything below it is covered by an application
+// snapshot.
+func (r *Replica) Base() InstanceID { return r.base }
+
+// TruncateBefore drops the decided values and acceptor state of all
+// instances below i, because an application-level snapshot now covers
+// them (§4.3's flush-GC discipline applied to the Paxos log). i is
+// clamped to the delivered prefix: undecided or undelivered instances
+// are never truncated, so the operation cannot lose consensus state —
+// only re-derivable history.
+func (r *Replica) TruncateBefore(i InstanceID) {
+	if i > r.nextDeliver {
+		i = r.nextDeliver
+	}
+	if i <= r.base {
+		return
+	}
+	for j := r.base; j < i; j++ {
+		delete(r.decidedVals, j)
+		delete(r.insts, j)
+	}
+	r.base = i
+}
+
+// InstallSnapshot fast-forwards a lagging replica over instances below
+// i: the caller has restored an application snapshot covering them, so
+// their values are no longer needed and in-order delivery resumes at i.
+// Decisions already queued for delivery below i are dropped (the
+// snapshot supersedes them). No-op if the replica already delivered i.
+func (r *Replica) InstallSnapshot(i InstanceID) {
+	if i <= r.nextDeliver {
+		r.TruncateBefore(i)
+		return
+	}
+	for j := r.base; j < i; j++ {
+		delete(r.decidedVals, j)
+		delete(r.insts, j)
+	}
+	kept := r.out[:0]
+	for _, d := range r.out {
+		if d.Instance >= i {
+			kept = append(kept, d)
+		}
+	}
+	r.out = kept
+	r.base = i
+	r.nextDeliver = i
+	if r.nextInstance < i {
+		r.nextInstance = i
+	}
+	// Deliver any decisions that were waiting on the gap the snapshot
+	// just covered.
+	for {
+		val, ok := r.decidedVals[r.nextDeliver]
+		if !ok {
+			break
+		}
+		r.out = append(r.out, Decision{Instance: r.nextDeliver, Value: val})
+		r.nextDeliver++
 	}
 }
 
@@ -581,6 +664,20 @@ func (r *Replica) propose(i InstanceID, v []byte) []Message {
 }
 
 func (r *Replica) onAccept(m Message) []Message {
+	if m.Instance < r.base {
+		// Decided and truncated: the chosen value is fixed and learn()
+		// ignores re-decisions, so ack (as the pre-truncation decided
+		// instance would have) without resurrecting state below the floor.
+		r.observeLeader(m.From)
+		reply := Message{
+			Kind: MsgAccepted, From: r.cfg.ID, To: m.From,
+			Ballot: m.Ballot, Instance: m.Instance,
+		}
+		if m.From == r.cfg.ID {
+			return r.onAccepted(reply)
+		}
+		return []Message{reply}
+	}
 	st := r.inst(m.Instance)
 	promised := st.promised
 	if promised.Less(r.floor) {
@@ -604,7 +701,7 @@ func (r *Replica) onAccept(m Message) []Message {
 }
 
 func (r *Replica) onAccepted(m Message) []Message {
-	if !r.leading || m.Ballot != r.ballot {
+	if !r.leading || m.Ballot != r.ballot || m.Instance < r.base {
 		return nil
 	}
 	st := r.inst(m.Instance)
@@ -646,6 +743,12 @@ func (r *Replica) onNack(m Message) []Message {
 }
 
 func (r *Replica) learn(i InstanceID, v []byte) {
+	if i < r.base {
+		// A late Decide for a truncated instance: already covered by the
+		// snapshot that justified the truncation; resurrecting its state
+		// would leak below the floor.
+		return
+	}
 	st := r.inst(i)
 	if st.decided {
 		return

@@ -1,0 +1,176 @@
+package paxos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// decideN drives n values through a 3-replica cluster and returns it
+// with all replicas having delivered everything.
+func decideN(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := newCluster(t, 3, 1)
+	for i := 0; i < n; i++ {
+		c.propose(0, fmt.Sprintf("v%03d", i))
+	}
+	c.run(40 * n)
+	for id, r := range c.reps {
+		if got := int(r.Decided()); got != n {
+			t.Fatalf("replica %d decided %d of %d", id, got, n)
+		}
+	}
+	return c
+}
+
+func TestTruncateBeforeDropsOnlyDeliveredPrefix(t *testing.T) {
+	c := decideN(t, 12)
+	r := c.reps[1]
+	r.TruncateBefore(7)
+	if r.Base() != 7 {
+		t.Fatalf("base %d, want 7", r.Base())
+	}
+	// Retained suffix is intact and indexed correctly.
+	suffix := r.DecidedLog()
+	if len(suffix) != 5 {
+		t.Fatalf("retained %d entries, want 5", len(suffix))
+	}
+	for i, v := range suffix {
+		if want := fmt.Sprintf("v%03d", 7+i); string(v) != want {
+			t.Fatalf("suffix[%d] = %q, want %q", i, v, want)
+		}
+	}
+	// Dropped entries are genuinely gone.
+	for i := InstanceID(0); i < 7; i++ {
+		if _, ok := r.decidedVals[i]; ok {
+			t.Fatalf("instance %d survived truncation", i)
+		}
+		if _, ok := r.insts[i]; ok {
+			t.Fatalf("instance %d acceptor state survived truncation", i)
+		}
+	}
+	// Truncation beyond the delivered prefix clamps; truncation below the
+	// floor is a no-op.
+	r.TruncateBefore(100)
+	if r.Base() != r.Decided() {
+		t.Fatalf("over-truncation: base %d, want clamp at %d", r.Base(), r.Decided())
+	}
+	r.TruncateBefore(3)
+	if r.Base() != r.Decided() {
+		t.Fatal("truncation floor moved backwards")
+	}
+}
+
+func TestSuffixFromClampsAtBase(t *testing.T) {
+	c := decideN(t, 10)
+	r := c.reps[0]
+	r.TruncateBefore(6)
+	if got := r.SuffixFrom(2); len(got) != 4 || string(got[0]) != "v006" {
+		t.Fatalf("SuffixFrom below base: got %d entries starting %q, want 4 from v006", len(got), got[0])
+	}
+	if got := r.SuffixFrom(8); len(got) != 2 || string(got[0]) != "v008" {
+		t.Fatalf("SuffixFrom(8): got %d entries", len(got))
+	}
+	if got := r.SuffixFrom(10); got != nil {
+		t.Fatalf("SuffixFrom at end: got %d entries, want none", len(got))
+	}
+}
+
+// TestTruncatedClusterKeepsDeciding is the safety check: after replicas
+// truncate different prefixes, new proposals still decide consistently
+// and late traffic about truncated instances cannot resurrect state.
+func TestTruncatedClusterKeepsDeciding(t *testing.T) {
+	c := decideN(t, 8)
+	c.reps[0].TruncateBefore(8)
+	c.reps[1].TruncateBefore(4)
+	// Replica 2 keeps its full log.
+	for i := 8; i < 16; i++ {
+		c.propose(ReplicaID(i%3), fmt.Sprintf("v%03d", i))
+	}
+	c.run(800)
+	for id, r := range c.reps {
+		if got := int(r.Decided()); got != 16 {
+			t.Fatalf("replica %d decided %d of 16 after truncation", id, got)
+		}
+		if r.Base() > 0 {
+			for i := InstanceID(0); i < r.Base(); i++ {
+				if _, ok := r.decidedVals[i]; ok {
+					t.Fatalf("replica %d: truncated instance %d resurrected", id, i)
+				}
+			}
+		}
+	}
+	c.checkPrefixAgreement()
+}
+
+// TestLateDecideBelowBaseIgnored feeds a stale Decide for a truncated
+// instance directly; it must not recreate state below the floor.
+func TestLateDecideBelowBaseIgnored(t *testing.T) {
+	c := decideN(t, 6)
+	r := c.reps[2]
+	r.TruncateBefore(6)
+	r.OnMessage(Message{Kind: MsgDecide, From: 0, To: 2, Instance: 2, Value: []byte("stale")})
+	if _, ok := r.decidedVals[2]; ok {
+		t.Fatal("late Decide resurrected a truncated instance")
+	}
+	if r.Decided() != 6 || r.Base() != 6 {
+		t.Fatalf("late Decide moved cursors: decided %d base %d", r.Decided(), r.Base())
+	}
+}
+
+func TestInstallSnapshotFastForwards(t *testing.T) {
+	c := decideN(t, 10)
+	// A fresh replica joins logically at instance 0 and is handed a
+	// snapshot covering instances < 7.
+	r := MustNewReplica(Config{ID: 0, N: 3})
+	r.InstallSnapshot(7)
+	if r.Base() != 7 || r.Decided() != 7 {
+		t.Fatalf("after install: base %d decided %d, want 7/7", r.Base(), r.Decided())
+	}
+	if d := r.TakeDecisions(); len(d) != 0 {
+		t.Fatalf("install produced %d decisions, want none", len(d))
+	}
+	// Stream the suffix from a live peer; delivery resumes at 7.
+	r.CatchUp(7, c.reps[0].SuffixFrom(7))
+	decs := r.TakeDecisions()
+	if len(decs) != 3 {
+		t.Fatalf("suffix catch-up delivered %d, want 3", len(decs))
+	}
+	for i, d := range decs {
+		want := fmt.Sprintf("v%03d", 7+i)
+		if d.Instance != InstanceID(7+i) || !bytes.Equal(d.Value, []byte(want)) {
+			t.Fatalf("decision %d = (%d, %q), want (%d, %q)", i, d.Instance, d.Value, 7+i, want)
+		}
+	}
+	// Installing a snapshot older than the delivered prefix only
+	// truncates; it never rewinds delivery.
+	r.InstallSnapshot(5)
+	if r.Decided() != 10 {
+		t.Fatalf("old snapshot rewound delivery to %d", r.Decided())
+	}
+}
+
+// TestInstallSnapshotDropsQueuedPrefix verifies decisions already
+// queued for delivery but superseded by the installed snapshot are
+// discarded, and learned-but-gapped decisions beyond the boundary
+// surface once the snapshot covers the gap.
+func TestInstallSnapshotDropsQueuedPrefix(t *testing.T) {
+	r := MustNewReplica(Config{ID: 0, N: 3})
+	// Learn a prefix (queued, not yet taken) plus a gapped decision at 9.
+	r.CatchUp(0, [][]byte{[]byte("q0"), []byte("q1"), []byte("q2")})
+	r.CatchUp(9, [][]byte{[]byte("q9")})
+	// The snapshot covers everything below 8: the queued 0..2 are
+	// superseded; 9 still waits on 8.
+	r.InstallSnapshot(8)
+	if decs := r.TakeDecisions(); len(decs) != 0 {
+		t.Fatalf("superseded decisions leaked: %v", decs)
+	}
+	if r.Decided() != 8 {
+		t.Fatalf("decided %d, want 8", r.Decided())
+	}
+	r.CatchUp(8, [][]byte{[]byte("q8")})
+	decs := r.TakeDecisions()
+	if len(decs) != 2 || decs[0].Instance != 8 || decs[1].Instance != 9 {
+		t.Fatalf("after filling the gap: decisions %v", decs)
+	}
+}

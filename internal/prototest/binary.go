@@ -1,0 +1,58 @@
+package prototest
+
+import (
+	"bytes"
+	"testing"
+
+	"flexcast/amcast"
+)
+
+// CheckBinarySnapshot audits the amcast.BinarySnapshot contract on a
+// (typically mid-run, richly populated) engine: the snapshot must
+// marshal canonically (same bytes twice), decode, restore into a fresh
+// engine, and re-marshal from the restored engine to the identical
+// bytes — proving the encoding captures the complete state and nothing
+// else. Returns the canonical encoding for callers that want to stash
+// or corrupt it.
+func CheckBinarySnapshot(t *testing.T, eng, fresh amcast.SnapshotEngine, decode func([]byte) (amcast.Snapshot, error)) []byte {
+	t.Helper()
+	snap := eng.Snapshot()
+	bs, ok := snap.(amcast.BinarySnapshot)
+	if !ok {
+		t.Fatalf("prototest: snapshot %T has no binary form", snap)
+	}
+	data, err := bs.MarshalBinary()
+	if err != nil {
+		t.Fatalf("prototest: marshal snapshot: %v", err)
+	}
+	again, err := bs.MarshalBinary()
+	if err != nil {
+		t.Fatalf("prototest: re-marshal snapshot: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("prototest: snapshot encoding is not canonical: %d vs %d bytes differ", len(data), len(again))
+	}
+	dec, err := decode(data)
+	if err != nil {
+		t.Fatalf("prototest: decode snapshot: %v", err)
+	}
+	if dec.SnapshotGroup() != snap.SnapshotGroup() {
+		t.Fatalf("prototest: decoded snapshot group %d, want %d", dec.SnapshotGroup(), snap.SnapshotGroup())
+	}
+	if err := fresh.Restore(dec); err != nil {
+		t.Fatalf("prototest: restore decoded snapshot: %v", err)
+	}
+	re, ok := fresh.Snapshot().(amcast.BinarySnapshot)
+	if !ok {
+		t.Fatalf("prototest: restored engine snapshot has no binary form")
+	}
+	data2, err := re.MarshalBinary()
+	if err != nil {
+		t.Fatalf("prototest: marshal restored snapshot: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("prototest: group %d decode+restore+re-marshal diverged: %d bytes vs %d — the codec misses state",
+			snap.SnapshotGroup(), len(data), len(data2))
+	}
+	return data
+}

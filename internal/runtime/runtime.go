@@ -28,6 +28,7 @@
 package runtime
 
 import (
+	"io"
 	"sync"
 	"time"
 
@@ -358,8 +359,10 @@ func (n *Node) flushLoop() {
 // Stats reports the batcher's counters.
 func (n *Node) Stats() BatcherStats { return n.batcher.Stats() }
 
-// Close stops the worker (draining what is queued) and flushes pending
-// output batches.
+// Close stops the worker (draining what is queued), flushes pending
+// output batches, and closes the engine if it holds resources (the
+// durable backend's WAL syncs and closes here — after the worker
+// stopped, so the engine is quiesced).
 func (n *Node) Close() {
 	n.stopOnce.Do(func() {
 		close(n.stop)
@@ -370,4 +373,7 @@ func (n *Node) Close() {
 	})
 	n.wg.Wait()
 	n.batcher.FlushAll()
+	if c, ok := n.eng.(io.Closer); ok {
+		c.Close()
+	}
 }

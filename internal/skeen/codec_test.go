@@ -1,0 +1,43 @@
+package skeen_test
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/prototest"
+	"flexcast/internal/skeen"
+)
+
+// TestSnapshotBinaryRoundTrip audits the Skeen binary snapshot codec
+// over mid-run state: marshal → decode → restore → re-marshal must be
+// byte-identical.
+func TestSnapshotBinaryRoundTrip(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4}
+	route := func(m amcast.Message) []amcast.NodeID {
+		nodes := make([]amcast.NodeID, len(m.Dst))
+		for i, g := range m.Dst {
+			nodes[i] = amcast.GroupNode(g)
+		}
+		return nodes
+	}
+	factory := func(g amcast.GroupID) amcast.Engine {
+		return skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		prototest.RunRandom(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 15,
+			Route:    route,
+			Factory:  factory,
+			Seed:     seed,
+			Jitter:   3000,
+			OnEngines: func(engines map[amcast.GroupID]amcast.Engine) {
+				for g, eng := range engines {
+					fresh := skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+					prototest.CheckBinarySnapshot(t, eng.(amcast.SnapshotEngine), fresh, skeen.UnmarshalSnapshot)
+				}
+			},
+		})
+	}
+}

@@ -38,6 +38,32 @@ func TestSnapshotReplay(t *testing.T) {
 	}
 }
 
+// TestDurableReplay audits recovery from the real durable backend's
+// kill -9 image under clean and torn-WAL-tail crash shapes.
+func TestDurableReplay(t *testing.T) {
+	groups := []amcast.GroupID{1, 2, 3, 4}
+	route := func(m amcast.Message) []amcast.NodeID {
+		nodes := make([]amcast.NodeID, len(m.Dst))
+		for i, g := range m.Dst {
+			nodes[i] = amcast.GroupNode(g)
+		}
+		return nodes
+	}
+	factory := func(g amcast.GroupID) amcast.Engine {
+		return skeen.MustNew(skeen.Config{Group: g, Groups: groups})
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		prototest.RunDurableReplay(t, prototest.RandomConfig{
+			Groups:   groups,
+			Clients:  3,
+			Messages: 12,
+			Route:    route,
+			Factory:  factory,
+			Seed:     seed,
+		}, skeen.UnmarshalSnapshot, 9)
+	}
+}
+
 // TestRestoreRejectsMismatch verifies the Restore guard rails.
 func TestRestoreRejectsMismatch(t *testing.T) {
 	groups := []amcast.GroupID{1, 2}

@@ -94,6 +94,19 @@ type Config struct {
 	// in the simulator's global clock, load-bearing on real transports
 	// (DESIGN.md §1e). Default LeaseTerm/4.
 	LeaseMargin sim.Time
+	// SnapshotEvery, when > 0, has each replica snapshot its engine every
+	// SnapshotEvery applied log entries and truncate its Paxos log at the
+	// snapshot boundary (paxos.TruncateBefore) — the §4.3 flush-GC
+	// discipline applied to the replicated log. The snapshot is retained
+	// on the replica's stable storage (it survives Crash, like the Paxos
+	// acceptor state), so Restart restores it and replays only the log
+	// suffix: recovery work is bounded by the snapshot cadence, not the
+	// run length. A recovering replica whose log predates a live peer's
+	// truncation floor is instead shipped that peer's retained snapshot
+	// and streams only the suffix (mirroring store.Executor's follower
+	// attach). Requires the engine to implement amcast.SnapshotEngine;
+	// 0 disables snapshots and keeps full-log replay.
+	SnapshotEvery int
 }
 
 // Group is a replicated protocol group attached to a simulated network.
@@ -113,6 +126,7 @@ type Group struct {
 	flushGen      uint64
 	nBatchesProp  uint64
 	nEnvsProposed uint64
+	lastRecovery  *RecoveryStats
 }
 
 type replica struct {
@@ -127,6 +141,16 @@ type replica struct {
 	// has applied from the decided log (0: none). Each replica holds its
 	// own view: a lagging replica holds an older — hence safer — lease.
 	leaseExpiry sim.Time
+	// Snapshot state (Config.SnapshotEvery > 0). snap is the retained
+	// engine snapshot — conceptually on stable storage, so it survives
+	// Crash like the Paxos acceptor state; snapDecided is the Paxos
+	// instance boundary it covers (the log below it is truncated),
+	// snapApplied/snapLease restore the replica's counters alongside it.
+	snap        amcast.Snapshot
+	snapDecided paxos.InstanceID
+	snapApplied uint64
+	snapLease   sim.Time
+	sinceSnap   int
 }
 
 // New builds the group and registers its ingress and replicas on the
@@ -246,14 +270,39 @@ func (g *Group) Crash(idx int) {
 	r.pax.Crash()
 }
 
+// RecoveryStats reports how the last Restart rebuilt its replica: which
+// snapshot seeded the engine (its own retained one, a donor-shipped
+// one, or none) and how many log entries were replayed on top. With
+// SnapshotEvery set, Replayed is bounded by the snapshot cadence plus
+// the decisions missed while down — independent of run length.
+type RecoveryStats struct {
+	// Replica is the restarted replica's index.
+	Replica int
+	// FromSnapshot: the replica restored its own retained snapshot.
+	FromSnapshot bool
+	// SnapshotShipped: the replica's log predated a live donor's
+	// truncation floor, so the donor's retained snapshot was installed
+	// instead (the smr analogue of store's follower snapshot shipping).
+	SnapshotShipped bool
+	// Donor is the shipping donor's index (-1 if none shipped).
+	Donor int
+	// Replayed counts decided log entries applied during recovery (own
+	// suffix plus donor catch-up).
+	Replayed int
+}
+
 // Restart recovers a crashed replica — the paper's §4.4 recovery path.
-// The replica's engine state is rebuilt by replaying its stable decided
-// log (the Paxos log is the write-ahead log of engine inputs) into a
-// fresh engine, and the decisions the replica missed while down are
-// state-transferred from the most advanced live peer. Replayed outputs
-// are suppressed: live replicas already emitted them (every replica
-// emits; receivers are idempotent), so recovery adds no duplicate
-// traffic. OnDeliver is likewise not re-invoked for replayed entries.
+// The replica's engine state is rebuilt from its retained snapshot (if
+// SnapshotEvery is set) plus a replay of its stable decided-log suffix
+// (the Paxos log is the write-ahead log of engine inputs); without
+// snapshots the whole log is replayed into a fresh engine. Decisions
+// missed while down are state-transferred from the most advanced live
+// peer — as a log suffix when the peer still retains the needed
+// entries, or as that peer's snapshot plus suffix when truncation
+// already dropped them. Replayed outputs are suppressed: live replicas
+// already emitted them (every replica emits; receivers are idempotent),
+// so recovery adds no duplicate traffic. OnDeliver is likewise not
+// re-invoked for replayed entries.
 func (g *Group) Restart(idx int) error {
 	r := g.replicas[idx]
 	if !r.crashed {
@@ -266,10 +315,11 @@ func (g *Group) Restart(idx int) error {
 	r.eng = eng
 	g.stampReads(r)
 	r.applied = 0
+	r.leaseExpiry = 0
 	r.crashed = false
 	r.pax.Recover()
 	r.pax.TakeDecisions() // discard learner output stranded by the crash
-	r.replay(r.pax.DecidedLog())
+	stats := RecoveryStats{Replica: idx, Donor: -1}
 
 	var donor *replica
 	for _, p := range g.replicas {
@@ -280,16 +330,89 @@ func (g *Group) Restart(idx int) error {
 			donor = p
 		}
 	}
+
+	switch {
+	case donor != nil && donor.snap != nil && donor.pax.Base() > r.pax.Decided():
+		// The donor truncated entries this replica still needs: its own
+		// log is a strict prefix of what the donor's snapshot covers, so
+		// install that snapshot and resume delivery at its boundary.
+		if err := r.restore(donor.snap, donor.snapApplied, donor.snapLease); err != nil {
+			return fmt.Errorf("smr: restart replica %d: install donor snapshot: %w", idx, err)
+		}
+		r.pax.InstallSnapshot(donor.snapDecided)
+		stats.SnapshotShipped = true
+		stats.Donor = donor.idx
+	case r.snap != nil:
+		// Own retained snapshot: the Paxos log was truncated at its
+		// boundary pre-crash, so DecidedLog below is exactly the suffix.
+		if err := r.restore(r.snap, r.snapApplied, r.snapLease); err != nil {
+			return fmt.Errorf("smr: restart replica %d: restore snapshot: %w", idx, err)
+		}
+		stats.FromSnapshot = true
+	}
+
+	suffix := r.pax.DecidedLog()
+	r.replay(suffix)
+	stats.Replayed += len(suffix)
+
 	if donor != nil && donor.pax.Decided() > r.pax.Decided() {
 		from := r.pax.Decided()
-		r.pax.CatchUp(from, donor.pax.DecidedLog()[from:])
+		r.pax.CatchUp(from, donor.pax.SuffixFrom(from))
 		var vals [][]byte
 		for _, dec := range r.pax.TakeDecisions() {
 			vals = append(vals, dec.Value)
 		}
 		r.replay(vals)
+		stats.Replayed += len(vals)
+		if stats.Donor < 0 {
+			stats.Donor = donor.idx
+		}
 	}
+	r.sinceSnap = int(r.applied - r.snapApplied)
+	g.lastRecovery = &stats
 	return nil
+}
+
+// restore installs an engine snapshot plus the counters taken with it.
+func (r *replica) restore(snap amcast.Snapshot, applied uint64, lease sim.Time) error {
+	se, ok := r.eng.(amcast.SnapshotEngine)
+	if !ok {
+		return fmt.Errorf("engine %T does not support snapshots", r.eng)
+	}
+	if err := se.Restore(snap); err != nil {
+		return err
+	}
+	r.applied = applied
+	r.leaseExpiry = lease
+	return nil
+}
+
+// LastRecovery returns the stats of the most recent Restart, or nil if
+// no replica was restarted yet.
+func (g *Group) LastRecovery() *RecoveryStats { return g.lastRecovery }
+
+// maybeSnapshot takes an engine snapshot covering log instances below
+// upTo and truncates the Paxos log there, once SnapshotEvery entries
+// accumulated since the last one. upTo is the instance just applied
+// plus one — NOT pax.Decided(), which mid-batch already counts entries
+// the engine has not applied yet; truncating at it would drop log
+// entries the snapshot does not cover. Called at applied-entry
+// boundaries only: the engine has drained its deliveries, so the
+// snapshot is a clean point.
+func (r *replica) maybeSnapshot(upTo paxos.InstanceID) {
+	if r.grp.cfg.SnapshotEvery <= 0 || r.sinceSnap < r.grp.cfg.SnapshotEvery {
+		return
+	}
+	se, ok := r.eng.(amcast.SnapshotEngine)
+	if !ok {
+		return
+	}
+	r.snap = se.Snapshot()
+	r.snapDecided = upTo
+	r.snapApplied = r.applied
+	r.snapLease = r.leaseExpiry
+	r.sinceSnap = 0
+	r.pax.TruncateBefore(upTo)
 }
 
 // replay applies a decided-value sequence to the engine without emitting
@@ -512,7 +635,9 @@ func (r *replica) apply() {
 	for _, dec := range r.pax.TakeDecisions() {
 		if isLease(dec.Value) {
 			r.applied++
+			r.sinceSnap++
 			r.applyLease(dec.Value)
+			r.maybeSnapshot(dec.Instance + 1)
 			continue
 		}
 		envs, err := codec.DecodeFrame(dec.Value)
@@ -522,6 +647,7 @@ func (r *replica) apply() {
 			continue
 		}
 		r.applied++
+		r.sinceSnap++
 		outs := amcast.BatchStep(r.eng, envs)
 		for _, o := range outs {
 			r.grp.net.Send(amcast.GroupNode(r.grp.cfg.Group), o.To, o.Env)
@@ -541,5 +667,6 @@ func (r *replica) apply() {
 				})
 			}
 		}
+		r.maybeSnapshot(dec.Instance + 1)
 	}
 }

@@ -1,0 +1,260 @@
+package smr
+
+import (
+	"reflect"
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/sim"
+	"flexcast/internal/trace"
+
+	"flexcast/internal/overlay"
+)
+
+// deploySnap is deployABC with per-replica engine snapshots enabled:
+// every snapEvery applied entries each replica snapshots its engine and
+// truncates its Paxos log at the boundary.
+func deploySnap(t *testing.T, nReplicas, snapEvery int) *abcDeployment {
+	t.Helper()
+	d := &abcDeployment{
+		s:         sim.New(),
+		groups:    make(map[amcast.GroupID]*Group),
+		delivered: make(map[amcast.GroupID][][]amcast.MsgID),
+		rec:       trace.NewRecorder(),
+	}
+	d.ov = overlay.MustCDAG([]amcast.GroupID{1, 2, 3})
+	d.net = sim.NewNetwork(d.s, func(from, to amcast.NodeID) sim.Time { return 2000 })
+	for _, g := range d.ov.Order() {
+		g := g
+		d.delivered[g] = make([][]amcast.MsgID, nReplicas)
+		grp := MustNew(Config{
+			Group:         g,
+			Replicas:      nReplicas,
+			SnapshotEvery: snapEvery,
+			NewEngine: func() (amcast.Engine, error) {
+				return core.New(core.Config{Group: g, Overlay: d.ov})
+			},
+			OnDeliver: func(rep int, del amcast.Delivery) {
+				d.delivered[g][rep] = append(d.delivered[g][rep], del.Msg.ID)
+				if rep == 0 {
+					if err := d.rec.OnDeliver(del); err != nil {
+						t.Error(err)
+					}
+				}
+			},
+		}, d.s, d.net)
+		d.groups[g] = grp
+		grp.Start()
+	}
+	return d
+}
+
+// TestSnapshotsTruncateLog: with snapshots on, replicas GC their Paxos
+// log — the retained suffix stays bounded by the cadence while the
+// delivery sequences remain identical to an unsnapshotted deployment.
+func TestSnapshotsTruncateLog(t *testing.T) {
+	plain := deployABC(t, 3)
+	plain.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	snapped := deploySnap(t, 3, 4)
+	snapped.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	for _, d := range []*abcDeployment{plain, snapped} {
+		for i := uint64(1); i <= 12; i++ {
+			d.multicast(t, i, 1, 2, 3)
+		}
+		d.run(t, 10_000_000)
+	}
+	for g := range snapped.groups {
+		for idx := 0; idx < 3; idx++ {
+			if !reflect.DeepEqual(plain.delivered[g][idx], snapped.delivered[g][idx]) {
+				t.Fatalf("group %d replica %d: snapshotting changed the delivery sequence", g, idx)
+			}
+		}
+		grp := snapped.groups[g]
+		for idx, r := range grp.replicas {
+			if r.snap == nil {
+				t.Fatalf("group %d replica %d never snapshotted (applied %d)", g, idx, r.applied)
+			}
+			if r.pax.Base() == 0 {
+				t.Fatalf("group %d replica %d never truncated its log", g, idx)
+			}
+			if retained := len(r.pax.DecidedLog()); retained > int(r.pax.Decided()) {
+				t.Fatalf("group %d replica %d retained %d > decided %d", g, idx, retained, r.pax.Decided())
+			}
+		}
+	}
+	if err := snapped.rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotBoundedRestart: a crashed replica restarts from its
+// retained snapshot and replays only the log suffix — recovery work is
+// bounded by the snapshot cadence plus the decisions missed while down,
+// not by the run length.
+func TestSnapshotBoundedRestart(t *testing.T) {
+	d := deploySnap(t, 3, 4)
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	// Long pre-crash history: far more entries than the cadence.
+	for i := uint64(1); i <= 16; i++ {
+		d.multicast(t, i, 1, 2, 3)
+	}
+	d.s.RunUntil(8_000_000)
+
+	g1 := d.groups[1]
+	lead := g1.Leader()
+	if lead < 0 {
+		lead = 0
+	}
+	down := (lead + 1) % 3
+	appliedAtCrash := g1.Applied(down)
+	g1.Crash(down)
+
+	for i := uint64(17); i <= 19; i++ {
+		d.multicast(t, i, 1, 3)
+	}
+	d.s.RunUntil(12_000_000)
+
+	if err := g1.Restart(down); err != nil {
+		t.Fatal(err)
+	}
+	stats := g1.LastRecovery()
+	if stats == nil || stats.Replica != down {
+		t.Fatalf("missing recovery stats for replica %d: %+v", down, stats)
+	}
+	if !stats.FromSnapshot && !stats.SnapshotShipped {
+		t.Fatalf("recovery did not use a snapshot: %+v", stats)
+	}
+	if got, want := g1.Applied(down), g1.Applied(lead); got != want {
+		t.Fatalf("restarted replica applied %d entries, live peer %d", got, want)
+	}
+	// The bound: replay covers at most the missed entries plus one
+	// cadence window — strictly less than full-log replay.
+	missed := g1.Applied(lead) - appliedAtCrash
+	if bound := int(missed) + 2*4; stats.Replayed > bound {
+		t.Fatalf("replayed %d entries, want <= missed(%d) + 2*cadence", stats.Replayed, missed)
+	}
+	if stats.Replayed >= int(g1.Applied(lead)) {
+		t.Fatalf("replayed the whole log (%d of %d): snapshot did not bound recovery",
+			stats.Replayed, g1.Applied(lead))
+	}
+
+	// The recovered replica keeps delivering consistently.
+	pre := len(d.delivered[1][down])
+	for i := uint64(20); i <= 22; i++ {
+		d.multicast(t, i, 1, 2)
+	}
+	d.run(t, 16_000_000)
+	post := d.delivered[1][down][pre:]
+	full := d.delivered[1][lead]
+	if len(post) == 0 {
+		t.Fatal("restarted replica delivered nothing after restart")
+	}
+	if len(full) < len(post) || !reflect.DeepEqual(full[len(full)-len(post):], post) {
+		t.Fatalf("post-restart deliveries %v not a suffix of live sequence %v", post, full)
+	}
+	if err := d.rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDonorSnapshotShipping: a replica that crashes early and misses so
+// much history that live peers truncated past its position cannot catch
+// up from any retained log — the donor ships its snapshot and the
+// recoverer streams only the suffix (the smr analogue of the store's
+// follower snapshot shipping).
+func TestDonorSnapshotShipping(t *testing.T) {
+	d := deploySnap(t, 3, 4)
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	// Crash one replica of group 1 almost immediately.
+	d.multicast(t, 1, 1, 2, 3)
+	d.s.RunUntil(1_500_000)
+	g1 := d.groups[1]
+	lead := g1.Leader()
+	if lead < 0 {
+		lead = 0
+	}
+	down := (lead + 1) % 3
+	downDecided := g1.replicas[down].pax.Decided()
+	g1.Crash(down)
+
+	// Enough traffic that every live replica snapshots and truncates
+	// well past the crashed replica's decided position.
+	for i := uint64(2); i <= 20; i++ {
+		d.multicast(t, i, 1, 3)
+	}
+	d.s.RunUntil(10_000_000)
+	if base := g1.replicas[lead].pax.Base(); base <= downDecided {
+		t.Fatalf("test premise broken: donor base %d has not passed crashed replica's decided %d",
+			base, downDecided)
+	}
+
+	if err := g1.Restart(down); err != nil {
+		t.Fatal(err)
+	}
+	stats := g1.LastRecovery()
+	if stats == nil || !stats.SnapshotShipped {
+		t.Fatalf("expected donor snapshot shipping, got %+v", stats)
+	}
+	if stats.Donor < 0 || stats.Donor == down {
+		t.Fatalf("implausible donor %d", stats.Donor)
+	}
+	if got, want := g1.Applied(down), g1.Applied(lead); got != want {
+		t.Fatalf("shipped replica applied %d entries, live peer %d", got, want)
+	}
+
+	// And it participates normally afterwards.
+	pre := len(d.delivered[1][down])
+	for i := uint64(21); i <= 23; i++ {
+		d.multicast(t, i, 1, 2)
+	}
+	d.run(t, 14_000_000)
+	post := d.delivered[1][down][pre:]
+	full := d.delivered[1][lead]
+	if len(post) == 0 {
+		t.Fatal("shipped replica delivered nothing after restart")
+	}
+	if len(full) < len(post) || !reflect.DeepEqual(full[len(full)-len(post):], post) {
+		t.Fatalf("post-restart deliveries %v not a suffix of live sequence %v", post, full)
+	}
+	if err := d.rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotEveryZeroKeepsFullReplay: the default config replays the
+// whole log on restart, exactly as before snapshots existed.
+func TestSnapshotEveryZeroKeepsFullReplay(t *testing.T) {
+	d := deployABC(t, 3)
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	for i := uint64(1); i <= 6; i++ {
+		d.multicast(t, i, 1, 2)
+	}
+	d.s.RunUntil(4_000_000)
+	g1 := d.groups[1]
+	lead := g1.Leader()
+	if lead < 0 {
+		lead = 0
+	}
+	down := (lead + 1) % 3
+	g1.Crash(down)
+	d.s.RunUntil(5_000_000)
+	if err := g1.Restart(down); err != nil {
+		t.Fatal(err)
+	}
+	stats := g1.LastRecovery()
+	if stats == nil {
+		t.Fatal("missing recovery stats")
+	}
+	if stats.FromSnapshot || stats.SnapshotShipped {
+		t.Fatalf("snapshots used with SnapshotEvery=0: %+v", stats)
+	}
+	if stats.Replayed != int(g1.replicas[down].pax.Decided()) {
+		t.Fatalf("full replay expected: replayed %d of %d decided",
+			stats.Replayed, g1.replicas[down].pax.Decided())
+	}
+	d.run(t, 8_000_000)
+	if err := d.rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"flexcast/amcast"
+	"flexcast/internal/codec"
+	"flexcast/internal/gtpcc"
+)
+
+// Binary codecs for the shard and the combined executor snapshot. Like
+// the engine snapshot codecs, map iteration is sorted so the same state
+// always marshals to the same bytes — recovered and never-crashed
+// shards are diffable at the byte level, not just by digest.
+
+// AppendBinary appends the shard's canonical serialization (the same
+// field walk Digest hashes, plus the configuration needed to rebuild).
+func (s *Shard) AppendBinary(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(uint32(s.cfg.Warehouse)))
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Items))
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Customers))
+	buf = binary.AppendUvarint(buf, uint64(s.cfg.Seed))
+	buf = binary.AppendUvarint(buf, s.applied)
+	buf = binary.AppendUvarint(buf, uint64(s.ytd))
+	buf = binary.AppendUvarint(buf, uint64(s.paidTotal))
+	buf = binary.AppendUvarint(buf, s.delivered)
+	buf = binary.AppendUvarint(buf, uint64(s.deliveredSum))
+	buf = binary.AppendUvarint(buf, s.nextOrder)
+	buf = binary.AppendUvarint(buf, uint64(s.refills))
+	buf = binary.AppendUvarint(buf, uint64(len(s.stockQty)))
+	for i := range s.stockQty {
+		buf = binary.AppendUvarint(buf, uint64(uint32(s.stockQty[i])))
+		buf = binary.AppendUvarint(buf, uint64(s.stockYTD[i]))
+		buf = binary.AppendUvarint(buf, uint64(uint32(s.stockCnt[i])))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.balance)))
+	for c := range s.balance {
+		buf = binary.AppendUvarint(buf, uint64(s.balance[c]))
+		buf = binary.AppendUvarint(buf, uint64(s.ytdPaid[c]))
+		buf = binary.AppendUvarint(buf, uint64(uint32(s.payCnt[c])))
+		buf = binary.AppendUvarint(buf, uint64(s.lastOrder[c]))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.pending)))
+	for _, o := range s.pending {
+		buf = binary.AppendUvarint(buf, o.id)
+		buf = binary.AppendUvarint(buf, uint64(uint32(o.cust)))
+		buf = binary.AppendUvarint(buf, uint64(o.total))
+		buf = binary.AppendUvarint(buf, uint64(len(o.lines)))
+		for _, l := range o.lines {
+			buf = binary.AppendUvarint(buf, uint64(uint32(l.Item)))
+			buf = binary.AppendUvarint(buf, uint64(uint32(l.Supply)))
+			buf = binary.AppendUvarint(buf, uint64(uint32(l.Qty)))
+		}
+	}
+	ws := make([]amcast.GroupID, 0, len(s.orderedFrom))
+	for w := range s.orderedFrom {
+		ws = append(ws, w)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ws)))
+	for _, w := range ws {
+		buf = binary.AppendUvarint(buf, uint64(uint32(w)))
+		buf = binary.AppendUvarint(buf, uint64(s.orderedFrom[w]))
+	}
+	return buf
+}
+
+// DecodeShard reads an AppendBinary record from r.
+func DecodeShard(r *codec.Reader) *Shard {
+	s := &Shard{
+		cfg: Config{
+			Warehouse: amcast.GroupID(r.Uvarint()),
+			Items:     int(r.Uvarint()),
+			Customers: int(r.Uvarint()),
+			Seed:      int64(r.Uvarint()),
+		},
+		orderedFrom: make(map[amcast.GroupID]int64),
+	}
+	s.applied = r.Uvarint()
+	s.ytd = int64(r.Uvarint())
+	s.paidTotal = int64(r.Uvarint())
+	s.delivered = r.Uvarint()
+	s.deliveredSum = int64(r.Uvarint())
+	s.nextOrder = r.Uvarint()
+	s.refills = int64(r.Uvarint())
+	nItems := r.Count()
+	s.stockQty = make([]int32, 0, nItems)
+	s.stockYTD = make([]int64, 0, nItems)
+	s.stockCnt = make([]int32, 0, nItems)
+	for i := 0; i < nItems && r.Err() == nil; i++ {
+		s.stockQty = append(s.stockQty, int32(r.Uvarint()))
+		s.stockYTD = append(s.stockYTD, int64(r.Uvarint()))
+		s.stockCnt = append(s.stockCnt, int32(r.Uvarint()))
+	}
+	nCust := r.Count()
+	s.balance = make([]int64, 0, nCust)
+	s.ytdPaid = make([]int64, 0, nCust)
+	s.payCnt = make([]int32, 0, nCust)
+	s.lastOrder = make([]int64, 0, nCust)
+	for c := 0; c < nCust && r.Err() == nil; c++ {
+		s.balance = append(s.balance, int64(r.Uvarint()))
+		s.ytdPaid = append(s.ytdPaid, int64(r.Uvarint()))
+		s.payCnt = append(s.payCnt, int32(r.Uvarint()))
+		s.lastOrder = append(s.lastOrder, int64(r.Uvarint()))
+	}
+	nPend := r.Count()
+	s.pending = make([]order, 0, nPend)
+	for i := 0; i < nPend && r.Err() == nil; i++ {
+		o := order{
+			id:    r.Uvarint(),
+			cust:  int32(r.Uvarint()),
+			total: int64(r.Uvarint()),
+		}
+		nLines := r.Count()
+		o.lines = make([]gtpcc.OrderLine, 0, nLines)
+		for j := 0; j < nLines && r.Err() == nil; j++ {
+			o.lines = append(o.lines, gtpcc.OrderLine{
+				Item:   int32(r.Uvarint()),
+				Supply: amcast.GroupID(r.Uvarint()),
+				Qty:    int32(r.Uvarint()),
+			})
+		}
+		s.pending = append(s.pending, o)
+	}
+	nOF := r.Count()
+	for i := 0; i < nOF && r.Err() == nil; i++ {
+		w := amcast.GroupID(r.Uvarint())
+		s.orderedFrom[w] = int64(r.Uvarint())
+	}
+	return s
+}
+
+var _ amcast.BinarySnapshot = (*execSnapshot)(nil)
+
+// MarshalBinary implements amcast.BinarySnapshot: the inner engine
+// snapshot (which must itself be an amcast.BinarySnapshot), the shard,
+// the optional mirror, and the delivered-prefix watermark.
+func (s *execSnapshot) MarshalBinary() ([]byte, error) {
+	bs, ok := s.eng.(amcast.BinarySnapshot)
+	if !ok {
+		return nil, fmt.Errorf("store: engine snapshot %T has no binary form", s.eng)
+	}
+	engBytes, err := bs.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(engBytes)+1024)
+	buf = binary.AppendUvarint(buf, uint64(len(engBytes)))
+	buf = append(buf, engBytes...)
+	buf = s.shard.AppendBinary(buf)
+	buf = codec.AppendBool(buf, s.mirror != nil)
+	if s.mirror != nil {
+		buf = s.mirror.AppendBinary(buf)
+	}
+	buf = binary.AppendUvarint(buf, s.watermark)
+	return buf, nil
+}
+
+// UnmarshalSnapshot decodes an executor snapshot. engDecode decodes the
+// embedded engine snapshot — pass the UnmarshalSnapshot of the protocol
+// package the deployment runs (core, skeen, hierarchical).
+func UnmarshalSnapshot(data []byte, engDecode func([]byte) (amcast.Snapshot, error)) (amcast.Snapshot, error) {
+	r := codec.NewReader(data)
+	n := r.Count()
+	engBytes := r.BytesN(n)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("store: snapshot decode: %w", err)
+	}
+	eng, err := engDecode(engBytes)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot decode: %w", err)
+	}
+	s := &execSnapshot{eng: eng, shard: DecodeShard(r)}
+	if r.Bool() {
+		s.mirror = DecodeShard(r)
+	}
+	s.watermark = r.Uvarint()
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("store: snapshot decode: %w", err)
+	}
+	return s, nil
+}

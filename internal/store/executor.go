@@ -108,12 +108,18 @@ func NewExecutor(eng amcast.SnapshotEngine, cfg Config, mirror bool) (*Executor,
 // only after the owning runtime has quiesced.
 func (e *Executor) Shard() *Shard { return e.shard }
 
-// AttachFollower builds a follower read replica over a shard seeded
-// identically to the serving node's and subscribes it to the executor's
-// applied-delivery feed. Attach followers before traffic flows, so the
-// shipped log starts at delivery 0.
+// AttachFollower builds a follower read replica by snapshot shipping:
+// the joining replica installs a clone of the serving shard at the
+// current delivered-prefix watermark and then consumes only the log
+// suffix the feed streams from that point on — never the full delivery
+// history (DESIGN.md §1f). Attach is safe at any time, including
+// mid-run: the clone and the watermark are captured atomically under
+// the executor's lock, so the replica misses no delivery and re-applies
+// none (feeds below the watermark are skipped as duplicates).
 func (e *Executor) AttachFollower(cfg ReplicaConfig) (*Replica, error) {
-	r, err := newReplica(e.shardCfg, cfg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, err := newReplicaAt(e.shard.Clone(), e.watermark, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +128,11 @@ func (e *Executor) AttachFollower(cfg ReplicaConfig) (*Replica, error) {
 }
 
 // Followers returns the attached read replicas in attach order.
-func (e *Executor) Followers() []*Replica { return e.followers }
+func (e *Executor) Followers() []*Replica {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*Replica(nil), e.followers...)
+}
 
 // SetExecObserver installs the execution-record observer.
 func (e *Executor) SetExecObserver(f func(trace.ExecRecord)) { e.onApply = f }
@@ -205,13 +215,18 @@ func (e *Executor) TakeDeliveries() []amcast.Delivery {
 		// semantic one (amcast.BatchStepper).
 		dels[i].Watermark = dels[i].Seq + 1
 	}
+	// Capture the follower set before unlocking: AttachFollower appends
+	// under the same lock, so a replica attached mid-feed either sees
+	// this batch in its installed snapshot (cloned under the lock) or in
+	// a later feed — never both, never neither.
+	followers := e.followers
 	e.mu.Unlock()
 	e.cond.Broadcast()
 	// Ship the applied batch to the follower read replicas, in apply
 	// order (TakeDeliveries is called by the engine's single owner, so
 	// feeds are ordered). Recovery replay re-feeds a prefix; followers
 	// skip sequences they already applied.
-	for _, f := range e.followers {
+	for _, f := range followers {
 		f.Feed(dels)
 	}
 	return dels

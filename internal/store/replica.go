@@ -94,6 +94,18 @@ type Replica struct {
 // population function as the serving node's, so applying the same
 // delivery prefix reproduces the same state).
 func newReplica(shardCfg Config, cfg ReplicaConfig) (*Replica, error) {
+	shard, err := New(shardCfg)
+	if err != nil {
+		return nil, err
+	}
+	return newReplicaAt(shard, 0, cfg)
+}
+
+// newReplicaAt builds a follower over an installed (snapshot-shipped)
+// shard: the shard already reflects every delivery below start, so the
+// replica's watermark begins there and earlier feeds are skipped as
+// duplicates. The caller hands over ownership of the shard.
+func newReplicaAt(shard *Shard, start uint64, cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Idx <= 0 {
 		return nil, fmt.Errorf("store: follower replica index must be >= 1, got %d", cfg.Idx)
 	}
@@ -106,11 +118,7 @@ func newReplica(shardCfg Config, cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Margin == 0 && cfg.AutoGrantTerm > 0 {
 		cfg.Margin = cfg.AutoGrantTerm / 4
 	}
-	shard, err := New(shardCfg)
-	if err != nil {
-		return nil, err
-	}
-	r := &Replica{cfg: cfg, shard: shard}
+	r := &Replica{cfg: cfg, shard: shard, next: start, watermark: start}
 	r.cond = sync.NewCond(r.mu.RLocker())
 	if cfg.Async {
 		r.queue = make(chan []amcast.Delivery, 64)

@@ -1,0 +1,152 @@
+package store
+
+import (
+	"testing"
+
+	"flexcast/amcast"
+	"flexcast/internal/core"
+	"flexcast/internal/overlay"
+)
+
+// newSingleGroupExecutor builds an executor over a one-group FlexCast
+// engine: every request delivers immediately, so tests drive the
+// executor's apply/feed path directly without a network.
+func newSingleGroupExecutor(t *testing.T) *Executor {
+	t.Helper()
+	ov, err := overlay.NewCDAG([]amcast.GroupID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.MustNew(core.Config{Group: 1, Overlay: ov})
+	ex, err := NewExecutor(eng, Config{Warehouse: 1, Items: 40, Customers: 15}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// applyTxs pushes n single-group gTPC-C transactions through the
+// executor and returns every applied delivery batch.
+func applyTxs(t *testing.T, ex *Executor, from, n int) [][]amcast.Delivery {
+	t.Helper()
+	var batches [][]amcast.Delivery
+	for i := from; i < from+n; i++ {
+		m := txMsg(i)
+		ex.OnEnvelope(amcast.Envelope{Kind: amcast.KindRequest, From: m.Sender, Msg: m})
+		if dels := ex.TakeDeliveries(); len(dels) > 0 {
+			batches = append(batches, dels)
+		}
+	}
+	return batches
+}
+
+var txWorkload = gtpccWorkload([]amcast.GroupID{1, 2}, 31)
+
+// txMsg returns the i-th single-group transaction of the shared
+// workload, re-addressed to group 1 only (the single-group harness).
+func txMsg(i int) amcast.Message {
+	m := txWorkload(0, i, nil)
+	m.Dst = []amcast.GroupID{1}
+	return m
+}
+
+// TestAttachFollowerShippingEquivalence is the tentpole acceptance
+// property: a follower attached mid-run (snapshot-shipped, sees only
+// the log suffix) must reach a byte-identical digest to a follower
+// attached at delivery 0 (full replay) and to the serving shard.
+func TestAttachFollowerShippingEquivalence(t *testing.T) {
+	ex := newSingleGroupExecutor(t)
+	full, err := ex.AttachFollower(ReplicaConfig{Idx: 1, Clock: func() uint64 { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyTxs(t, ex, 0, 25)
+
+	// Mid-feed attach: the shipped snapshot covers deliveries [0, wm).
+	wmAtAttach := ex.Watermark()
+	shipped, err := ex.AttachFollower(ReplicaConfig{Idx: 2, Clock: func() uint64 { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shipped.Watermark() != wmAtAttach {
+		t.Fatalf("shipped follower watermark %d, want attach-point %d", shipped.Watermark(), wmAtAttach)
+	}
+	if wmAtAttach == 0 {
+		t.Fatal("nothing delivered before mid-feed attach; test is vacuous")
+	}
+
+	applyTxs(t, ex, 25, 25)
+
+	lead := ex.Digest()
+	if d := full.Shard().Digest(); d != lead {
+		t.Fatalf("full-replay follower digest %x != serving %x", d[:8], lead[:8])
+	}
+	if d := shipped.Shard().Digest(); d != lead {
+		t.Fatalf("snapshot-shipped follower digest %x != serving %x", d[:8], lead[:8])
+	}
+	if a, b := full.Watermark(), shipped.Watermark(); a != b || a != ex.Watermark() {
+		t.Fatalf("watermarks diverged: full %d, shipped %d, serving %d", a, b, ex.Watermark())
+	}
+}
+
+// TestFollowerDuplicateFeedDedup re-ships already-applied batches (the
+// recovery-replay shape: a restarted serving node re-feeds a prefix)
+// and asserts the follower's dedup keeps state and watermark exact.
+func TestFollowerDuplicateFeedDedup(t *testing.T) {
+	ex := newSingleGroupExecutor(t)
+	f, err := ex.AttachFollower(ReplicaConfig{Idx: 1, Clock: func() uint64 { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := applyTxs(t, ex, 0, 30)
+	want := f.Shard().Digest()
+	wm := f.Watermark()
+
+	// Re-feed the whole prefix, twice, including interleaved stale
+	// batches out of order — every sequence is below next and skipped.
+	for i := 0; i < 2; i++ {
+		for _, b := range batches {
+			f.Feed(b)
+		}
+	}
+	for i := len(batches) - 1; i >= 0; i-- {
+		f.Feed(batches[i])
+	}
+	if got := f.Shard().Digest(); got != want {
+		t.Fatalf("duplicate feeds changed follower state: %x != %x", got[:8], want[:8])
+	}
+	if got := f.Watermark(); got != wm {
+		t.Fatalf("duplicate feeds moved watermark %d -> %d", wm, got)
+	}
+
+	// A genuinely new batch after the duplicates still applies.
+	more := applyTxs(t, ex, 30, 5)
+	if len(more) == 0 {
+		t.Fatal("no new batches applied")
+	}
+	if got := f.Shard().Digest(); got != ex.Digest() {
+		t.Fatal("follower diverged after post-duplicate feed")
+	}
+}
+
+// TestMidFeedAttachMissesNothing attaches a follower between every
+// batch of a run; each must converge to the serving digest — no
+// attach point loses or double-applies the batch in flight.
+func TestMidFeedAttachMissesNothing(t *testing.T) {
+	ex := newSingleGroupExecutor(t)
+	var followers []*Replica
+	for i := 0; i < 20; i++ {
+		f, err := ex.AttachFollower(ReplicaConfig{Idx: int32(i + 1), Clock: func() uint64 { return 0 }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		followers = append(followers, f)
+		applyTxs(t, ex, i*3, 3)
+	}
+	lead := ex.Digest()
+	for i, f := range followers {
+		if d := f.Shard().Digest(); d != lead {
+			t.Fatalf("follower attached before batch %d diverged: %x != %x", i, d[:8], lead[:8])
+		}
+	}
+}

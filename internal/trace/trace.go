@@ -69,6 +69,23 @@ func (r *Recorder) OnSend(from, to amcast.NodeID, env amcast.Envelope) {
 // Multicasts returns the number of recorded multicasts.
 func (r *Recorder) Multicasts() int { return len(r.multicast) }
 
+// Message returns the recorded multicast for id, and whether one exists.
+// Failure analysis uses it to recover a cycle member's destination set.
+func (r *Recorder) Message(id amcast.MsgID) (amcast.Message, bool) {
+	m, ok := r.multicast[id]
+	return m, ok
+}
+
+// Groups returns the groups that delivered at least one message, sorted.
+func (r *Recorder) Groups() []amcast.GroupID {
+	gs := make([]amcast.GroupID, 0, len(r.seqs))
+	for g := range r.seqs {
+		gs = append(gs, g)
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i] < gs[j] })
+	return gs
+}
+
 // Deliveries returns the total number of recorded deliveries.
 func (r *Recorder) Deliveries() int {
 	n := 0

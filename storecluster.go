@@ -61,6 +61,13 @@ type StoreClusterConfig struct {
 	// lapse and its reads fall back to the serving node — by design: a
 	// follower cut off from the log must stop serving within one term.
 	LeaseTerm time.Duration
+	// Durable selects the durable persistence backend (see
+	// ClusterConfig.Durable): each warehouse's executor-wrapped engine
+	// runs behind a WAL plus snapshot files under Durable.Dir, and a
+	// restarted cluster recovers every shard before serving. The
+	// snapshot decoder is composed automatically (store layer over the
+	// protocol engine's). nil keeps the in-memory backend unchanged.
+	Durable *DurableConfig
 }
 
 // OrderLine is one item of a NewOrder call: Qty units of Item supplied
@@ -131,6 +138,18 @@ func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) {
 		MaxBatch:      cfg.MaxBatch,
 		FlushInterval: cfg.FlushInterval,
 		CallTimeout:   cfg.CallTimeout,
+	}
+	if cfg.Durable != nil {
+		dcfg := *cfg.Durable
+		if dcfg.Decode == nil {
+			// The durable layer wraps the executor, so its snapshots are
+			// the store layer's encoding over the protocol engine's.
+			proto := protocolSnapshotDecoder(cfg.Protocol)
+			dcfg.Decode = func(_ GroupID, data []byte) (amcast.Snapshot, error) {
+				return store.UnmarshalSnapshot(data, proto)
+			}
+		}
+		ccfg.Durable = &dcfg
 	}
 	if ccfg.Overlay == nil && ccfg.Tree == nil {
 		groups := make([]GroupID, cfg.Warehouses)
@@ -207,6 +226,12 @@ func NewStoreCluster(cfg StoreClusterConfig) (*StoreCluster, error) {
 
 // Warehouses returns the cluster's warehouse groups.
 func (sc *StoreCluster) Warehouses() []GroupID { return sc.c.Groups() }
+
+// DurableRecoveries reports, per warehouse, how the durable backend
+// recovered at cluster start. Empty on in-memory clusters.
+func (sc *StoreCluster) DurableRecoveries() []DurableRecovery {
+	return sc.c.DurableRecoveries()
+}
 
 // checkCustomer validates a customer index against the table size.
 func (sc *StoreCluster) checkCustomer(customer int) error {
