@@ -633,4 +633,3 @@ func (e *Engine) DebugDump() string {
 	}
 	return sb.String()
 }
-

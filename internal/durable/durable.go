@@ -89,6 +89,10 @@ type RecoveryStats struct {
 	ReplayedEnvelopes int
 	// TornTailBytes is the length of the discarded torn WAL tail.
 	TornTailBytes int64
+	// CorruptSnapshots counts snapshot files that existed but failed to
+	// read or decode, forcing fallback to an older epoch. Recovery fails
+	// outright when no snapshot on disk decodes at all.
+	CorruptSnapshots int
 	// Elapsed is the wall-clock recovery time (restore + replay).
 	Elapsed time.Duration
 }
@@ -179,17 +183,25 @@ func (e *Engine) recover() error {
 	if err != nil {
 		return err
 	}
-	// Restore the newest snapshot that decodes; fall back on older ones
-	// rather than failing recovery outright (a bad snapshot costs replay
-	// length, not correctness, as long as its WAL epochs still exist).
+	// Restore the newest snapshot that decodes. An unreadable snapshot
+	// costs replay length, not correctness, when an older one plus its
+	// WAL epochs still exist (KeepEpochs) — fall back and report it in
+	// CorruptSnapshots. When nothing on disk decodes the truncated prefix
+	// is unrecoverable: fail loudly below instead of silently starting
+	// from fresh state plus the surviving WAL suffix.
 	snapEpoch := uint64(0)
+	var snapErr error
 	for i := len(snaps) - 1; i >= 0; i-- {
 		data, err := os.ReadFile(snapPath(e.opts.Dir, snaps[i]))
 		if err != nil {
+			snapErr = fmt.Errorf("durable: read snapshot epoch %d: %w", snaps[i], err)
+			e.stats.CorruptSnapshots++
 			continue
 		}
 		snap, err := e.opts.Decode(data)
 		if err != nil {
+			snapErr = fmt.Errorf("durable: decode snapshot epoch %d: %w", snaps[i], err)
+			e.stats.CorruptSnapshots++
 			continue
 		}
 		if err := e.inner.Restore(snap); err != nil {
@@ -201,6 +213,9 @@ func (e *Engine) recover() error {
 		e.stats.SnapshotBytes = len(data)
 		e.stats.Recovered = true
 		break
+	}
+	if snapEpoch == 0 && snapErr != nil {
+		return snapErr
 	}
 	// Replay the WAL suffix: every record of every epoch >= snapEpoch,
 	// ascending. Outputs and deliveries were already emitted before the
@@ -245,22 +260,44 @@ func (e *Engine) recover() error {
 }
 
 // truncateBelow deletes WAL and snapshot files of epochs strictly below
-// e — they are covered by snapshot e.
+// e — they are covered by snapshot e. Superseded snapshots go first:
+// a crash mid-truncate then leaves an orphaned old WAL (harmless, re-
+// deleted next time) rather than an old snapshot whose WAL epochs are
+// gone, which recovery could otherwise fall back on and silently replay
+// an incomplete suffix.
 func (e *Engine) truncateBelow(epoch uint64) {
 	wals, snaps, err := scanEpochs(e.opts.Dir)
 	if err != nil {
 		return
-	}
-	for _, we := range wals {
-		if we < epoch {
-			os.Remove(walPath(e.opts.Dir, we))
-		}
 	}
 	for _, se := range snaps {
 		if se < epoch {
 			os.Remove(snapPath(e.opts.Dir, se))
 		}
 	}
+	for _, we := range wals {
+		if we < epoch {
+			os.Remove(walPath(e.opts.Dir, we))
+		}
+	}
+}
+
+// writeFileSync is os.WriteFile plus an fsync before close, for writes
+// whose only other copy is about to be deleted.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Recovery reports what Wrap restored and replayed.
@@ -359,12 +396,16 @@ func (e *Engine) snapshot() error {
 	}
 	next := e.epoch + 1
 	tmp := snapPath(e.opts.Dir, next) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, snapPath(e.opts.Dir, next)); err != nil {
 		return err
 	}
+	// The snapshot must be durable — data fsynced above, rename fsynced
+	// here — before truncateBelow deletes the WAL epochs it supersedes:
+	// they are the only other copy of this state.
+	syncDir(e.opts.Dir)
 	if err := e.w.close(); err != nil {
 		return err
 	}

@@ -320,11 +320,43 @@ func TestCorruptSnapshotFallsBack(t *testing.T) {
 		t.Fatalf("recovery failed on corrupt newest snapshot: %v", err)
 	}
 	defer deng2.Close()
-	if st := deng2.Recovery(); st.SnapshotEpoch >= newest {
+	st := deng2.Recovery()
+	if st.SnapshotEpoch >= newest {
 		t.Fatalf("recovery claims snapshot epoch %d, which is corrupt", st.SnapshotEpoch)
+	}
+	if st.CorruptSnapshots != 1 {
+		t.Fatalf("CorruptSnapshots = %d, want 1 (the fallback must be surfaced, not silent)", st.CorruptSnapshots)
 	}
 	if got := marshalState(t, rec); !bytes.Equal(got, want) {
 		t.Fatal("fallback recovery diverged from live state")
+	}
+}
+
+// TestCorruptOnlySnapshotFailsLoudly: without KeepEpochs, truncation
+// already deleted every older snapshot and WAL epoch — when the one
+// remaining snapshot does not decode there is nothing to fall back on,
+// and recovery must fail instead of silently rebuilding from fresh
+// state plus only the current WAL epoch (silent data loss).
+func TestCorruptOnlySnapshotFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	deng, err := Wrap(newCoreEngine(t), opts(dir, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(deng, 1, 23)
+	deng.Close()
+	_, snaps, err := scanEpochs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("test premise broken: want exactly 1 retained snapshot, have %v", snaps)
+	}
+	if err := os.WriteFile(snapPath(dir, snaps[0]), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Wrap(newCoreEngine(t), opts(dir, 5)); err == nil {
+		t.Fatal("recovery silently succeeded with the only snapshot corrupt")
 	}
 }
 

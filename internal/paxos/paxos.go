@@ -666,8 +666,15 @@ func (r *Replica) propose(i InstanceID, v []byte) []Message {
 func (r *Replica) onAccept(m Message) []Message {
 	if m.Instance < r.base {
 		// Decided and truncated: the chosen value is fixed and learn()
-		// ignores re-decisions, so ack (as the pre-truncation decided
-		// instance would have) without resurrecting state below the floor.
+		// ignores re-decisions, so a current-ballot retransmission can be
+		// acked (as the pre-truncation decided instance would have)
+		// without resurrecting state below the floor. Ballots below the
+		// promise floor are Nacked like the normal path: acking would
+		// hand a deposed leader a bogus quorum vote and flip this
+		// replica's leader pointer off the current leader.
+		if m.Ballot.Less(r.floor) {
+			return []Message{{Kind: MsgNack, From: r.cfg.ID, To: m.From, Ballot: r.floor}}
+		}
 		r.observeLeader(m.From)
 		reply := Message{
 			Kind: MsgAccepted, From: r.cfg.ID, To: m.From,

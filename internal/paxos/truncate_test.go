@@ -118,6 +118,37 @@ func TestLateDecideBelowBaseIgnored(t *testing.T) {
 	}
 }
 
+// TestStaleAcceptBelowBaseNacked: a deposed leader retransmitting an
+// Accept for a truncated instance must be Nacked like any stale ballot
+// — acking would hand it a bogus quorum vote and flip this replica's
+// leader pointer off the current leader. A current-ballot
+// retransmission still gets its ack without resurrecting state.
+func TestStaleAcceptBelowBaseNacked(t *testing.T) {
+	c := decideN(t, 6)
+	r := c.reps[2]
+	r.TruncateBefore(6)
+	leader := r.leader
+	stale := Ballot{Counter: 0, Replica: 1}
+	if !stale.Less(r.floor) {
+		t.Fatalf("test premise broken: ballot %+v not below floor %+v", stale, r.floor)
+	}
+	out := r.OnMessage(Message{Kind: MsgAccept, From: 1, To: 2, Ballot: stale, Instance: 2, Value: []byte("stale")})
+	if len(out) != 1 || out[0].Kind != MsgNack {
+		t.Fatalf("stale below-base Accept answered %v, want a Nack", out)
+	}
+	if r.leader != leader {
+		t.Fatalf("stale below-base Accept flipped leader pointer to %d", r.leader)
+	}
+	cur := r.floor
+	out = r.OnMessage(Message{Kind: MsgAccept, From: cur.Replica, To: 2, Ballot: cur, Instance: 2, Value: []byte("retrans")})
+	if len(out) != 1 || out[0].Kind != MsgAccepted {
+		t.Fatalf("current-ballot below-base Accept answered %v, want an Accepted", out)
+	}
+	if _, ok := r.decidedVals[2]; ok {
+		t.Fatal("below-base Accept resurrected a truncated instance")
+	}
+}
+
 func TestInstallSnapshotFastForwards(t *testing.T) {
 	c := decideN(t, 10)
 	// A fresh replica joins logically at instance 0 and is handed a

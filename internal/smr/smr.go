@@ -340,6 +340,21 @@ func (g *Group) Restart(idx int) error {
 			return fmt.Errorf("smr: restart replica %d: install donor snapshot: %w", idx, err)
 		}
 		r.pax.InstallSnapshot(donor.snapDecided)
+		// Discard the decisions InstallSnapshot queued for instances at or
+		// above the boundary: the DecidedLog suffix replay below covers
+		// exactly those entries, and draining them again in the catch-up
+		// branch would double-apply them (overcounting Replayed and
+		// leaning on engine idempotence for no reason).
+		r.pax.TakeDecisions()
+		// The shipped snapshot becomes this replica's own retained one —
+		// it now sits on the replica's stable storage exactly like a
+		// snapshot it took itself. Without this, a second crash before the
+		// next own snapshot would pair the stale pre-ship snapshot (or
+		// none) with the raised Paxos base and silently lose every entry
+		// in between, and this replica acting as donor later would ship a
+		// snapshot that does not cover its own truncation floor.
+		r.snap, r.snapDecided = donor.snap, donor.snapDecided
+		r.snapApplied, r.snapLease = donor.snapApplied, donor.snapLease
 		stats.SnapshotShipped = true
 		stats.Donor = donor.idx
 	case r.snap != nil:
@@ -357,6 +372,15 @@ func (g *Group) Restart(idx int) error {
 
 	if donor != nil && donor.pax.Decided() > r.pax.Decided() {
 		from := r.pax.Decided()
+		if from < donor.pax.Base() {
+			// The donor truncated entries below from, yet the shipping
+			// branch did not run — it retains no snapshot covering its own
+			// floor, an invariant violation. SuffixFrom would silently
+			// clamp to the donor's base and CatchUp would install those
+			// values at the wrong instances; fail loudly instead.
+			return fmt.Errorf("smr: restart replica %d: donor %d truncated its log below %d (base %d) without a covering snapshot",
+				idx, donor.idx, from, donor.pax.Base())
+		}
 		r.pax.CatchUp(from, donor.pax.SuffixFrom(from))
 		var vals [][]byte
 		for _, dec := range r.pax.TakeDecisions() {

@@ -222,6 +222,98 @@ func TestDonorSnapshotShipping(t *testing.T) {
 	}
 }
 
+// TestShippedSnapshotRetained: a donor-shipped snapshot becomes the
+// recipient's own retained snapshot. A second crash before the replica
+// takes its own snapshot must recover from the shipped one — pairing a
+// stale (or nil) snapshot with the raised Paxos base would silently
+// lose every entry below the base. Also pins the replay accounting: the
+// shipping recovery applies each retained suffix entry exactly once.
+func TestShippedSnapshotRetained(t *testing.T) {
+	d := deploySnap(t, 3, 4)
+	d.net.Register(amcast.ClientNode(0), sim.HandlerFunc(func(amcast.Envelope) {}))
+	d.multicast(t, 1, 1, 2, 3)
+	d.s.RunUntil(1_500_000)
+	g1 := d.groups[1]
+	lead := g1.Leader()
+	if lead < 0 {
+		lead = 0
+	}
+	down := (lead + 1) % 3
+	g1.Crash(down)
+
+	// Enough traffic that live replicas truncate past the crashed
+	// replica's position (forcing donor shipping on restart) AND retain
+	// a suffix of at least two entries past the snapshot boundary, so
+	// the catch-up branch below runs.
+	for i := uint64(2); i <= 22; i++ {
+		d.multicast(t, i, 1, 3)
+	}
+	d.s.RunUntil(10_000_000)
+	// Simulate a pre-crash gapped learn at the donor's snapshot
+	// boundary: the replica heard a Decide for that instance (stable
+	// storage, so it survives the crash) while still missing earlier
+	// ones. InstallSnapshot re-queues it as deliverable; recovery must
+	// apply it exactly once, via the suffix replay.
+	donorRep := g1.replicas[(down+1)%3]
+	if other := g1.replicas[(down+2)%3]; other.pax.Decided() > donorRep.pax.Decided() {
+		donorRep = other
+	}
+	tail := donorRep.pax.SuffixFrom(donorRep.pax.Base())
+	if len(tail) < 2 {
+		t.Fatalf("test premise broken: donor retains %d entries past its snapshot, need >= 2", len(tail))
+	}
+	g1.replicas[down].pax.CatchUp(donorRep.pax.Base(), tail[:1])
+	if err := g1.Restart(down); err != nil {
+		t.Fatal(err)
+	}
+	stats := g1.LastRecovery()
+	if stats == nil || !stats.SnapshotShipped {
+		t.Fatalf("test premise broken: expected donor snapshot shipping, got %+v", stats)
+	}
+	r := g1.replicas[down]
+	if r.snap == nil || r.snapDecided != r.pax.Base() {
+		t.Fatalf("shipped snapshot not retained as the replica's own: snap=%v snapDecided=%d base=%d",
+			r.snap != nil, r.snapDecided, r.pax.Base())
+	}
+	if max := int(r.pax.Decided() - r.pax.Base()); stats.Replayed > max {
+		t.Fatalf("replayed %d entries but the retained suffix holds only %d — entries applied twice",
+			stats.Replayed, max)
+	}
+
+	// Crash again immediately: no own-snapshot cadence has fired, so the
+	// only snapshot covering the truncated prefix is the shipped one.
+	g1.Crash(down)
+	d.s.RunUntil(10_500_000)
+	if err := g1.Restart(down); err != nil {
+		t.Fatal(err)
+	}
+	stats = g1.LastRecovery()
+	if stats == nil || (!stats.FromSnapshot && !stats.SnapshotShipped) {
+		t.Fatalf("second recovery ignored the retained shipped snapshot: %+v", stats)
+	}
+	if got, want := g1.Applied(down), g1.Applied(lead); got != want {
+		t.Fatalf("twice-crashed replica applied %d entries, live peer %d", got, want)
+	}
+
+	// And it keeps delivering consistently with the survivors.
+	pre := len(d.delivered[1][down])
+	for i := uint64(23); i <= 25; i++ {
+		d.multicast(t, i, 1, 2)
+	}
+	d.run(t, 14_000_000)
+	post := d.delivered[1][down][pre:]
+	full := d.delivered[1][lead]
+	if len(post) == 0 {
+		t.Fatal("replica delivered nothing after the second restart")
+	}
+	if len(full) < len(post) || !reflect.DeepEqual(full[len(full)-len(post):], post) {
+		t.Fatalf("post-restart deliveries %v not a suffix of live sequence %v", post, full)
+	}
+	if err := d.rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSnapshotEveryZeroKeepsFullReplay: the default config replays the
 // whole log on restart, exactly as before snapshots existed.
 func TestSnapshotEveryZeroKeepsFullReplay(t *testing.T) {
