@@ -28,6 +28,7 @@ import (
 	"flexcast/internal/chaos"
 	"flexcast/internal/experiments"
 	"flexcast/internal/harness"
+	"flexcast/internal/telemetry"
 )
 
 // printer is the shared shape of all experiment results.
@@ -59,15 +60,26 @@ func run(stdout, stderr io.Writer, args []string) int {
 		execute    = fs.Bool("execute", false, "chaos: run the gTPC-C store at every group and audit execution (serializability, invariants, replica digests)")
 		profile    = fs.String("profile", "random", "chaos: environment profile: random (default) or wan (WAN latency matrix + gTPC-C destination locality)")
 		durable    = fs.Bool("durable", false, "chaos: persist every node through the real durable WAL+snapshot backend; crashes abandon the files (half tear the WAL tail) and recovery rebuilds from disk")
+		traceSmp   = fs.Int("trace-sample", 0, "chaos: lifecycle-trace one multicast in N in virtual time (0 = default 4, negative disables)")
+		telem      = fs.String("telemetry", "", "serve /metrics (JSON) and /debug/pprof on this address (e.g. 127.0.0.1:8090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *telem != "" {
+		srv, err := telemetry.Serve(*telem, telemetry.Default)
+		if err != nil {
+			fmt.Fprintf(stderr, "flexbench: telemetry: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 	if *mode == "chaos" {
 		return runChaos(stdout, stderr, chaosRunConfig{
 			protocol: *protocol, seed: *seed, schedules: *schedules, reproSeed: *reproSeed,
 			bugEvery: *chaosBug, closedLoop: *closedLoop, messages: *messages,
-			execute: *execute, profile: *profile, durable: *durable,
+			execute: *execute, profile: *profile, durable: *durable, traceSample: *traceSmp,
 		})
 	}
 	if *mode != "bench" {
@@ -140,16 +152,17 @@ func chaosProtocols(sel string) ([]harness.Protocol, error) {
 
 // chaosRunConfig bundles the chaos-mode flags.
 type chaosRunConfig struct {
-	protocol   string
-	seed       int64
-	schedules  int
-	reproSeed  int64
-	bugEvery   int
-	closedLoop bool
-	messages   int
-	execute    bool
-	profile    string
-	durable    bool
+	protocol    string
+	seed        int64
+	schedules   int
+	reproSeed   int64
+	bugEvery    int
+	closedLoop  bool
+	messages    int
+	execute     bool
+	profile     string
+	durable     bool
+	traceSample int
 }
 
 // runChaos drives the fault-injection explorer. The exit code reports
@@ -166,7 +179,8 @@ func runChaos(stdout, stderr io.Writer, rc chaosRunConfig) int {
 		return 2
 	}
 	opts := chaos.Options{Seed: seed, Schedules: schedules, BugFlipEvery: rc.bugEvery,
-		ClosedLoop: rc.closedLoop, Messages: rc.messages, Durable: rc.durable}
+		ClosedLoop: rc.closedLoop, Messages: rc.messages, Durable: rc.durable,
+		TraceSample: rc.traceSample}
 	switch rc.profile {
 	case "", "random":
 	case "wan":
@@ -202,6 +216,11 @@ func runChaos(stdout, stderr io.Writer, rc chaosRunConfig) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "flexbench: chaos %s: %v\n", p, err)
 			return 1
+		}
+		if rep.Tracer != nil {
+			// Expose the accumulated stage decomposition on a -telemetry
+			// endpoint once this protocol's exploration completes.
+			telemetry.Default.RegisterTracer("chaos_"+rep.Deployment, rep.Tracer)
 		}
 		rep.Print(stdout)
 		fmt.Fprintf(stdout, "(%s explored in %v)\n\n", p, time.Since(start).Round(time.Millisecond))

@@ -25,6 +25,7 @@ import (
 
 	"flexcast/internal/codec"
 	"flexcast/internal/loadgen"
+	"flexcast/internal/telemetry"
 )
 
 func main() {
@@ -54,7 +55,9 @@ func main() {
 		durableSE  = flag.Int("durable-snapshot-every", 0, "snapshot + WAL-rotation cadence in input envelopes (0 = backend default, 256)")
 		durableFS  = flag.Int("durable-fsync-every", 0, "WAL fsync cadence in appends (0 = backend default, 64)")
 		noPool     = flag.Bool("no-pool", false, "disable codec frame pooling (allocation A/B baseline)")
-		ab         = flag.Bool("ab", false, "also run the A/B companions: read mix off and frame pooling off")
+		traceSmp   = flag.Int("trace-sample", 16, "lifecycle-trace one write in N (0 disables stage tracing)")
+		telemetryF = flag.String("telemetry", "", "serve /metrics (JSON) and /debug/pprof on this address mid-run (e.g. 127.0.0.1:8090)")
+		ab         = flag.Bool("ab", false, "also run the A/B companions: read mix off, frame pooling off, and tracing off (asserts tracing overhead <= 5%)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		out        = flag.String("out", "", "write the JSON report to this file")
 		compare    = flag.Bool("compare", false, "also run the -batch=1 baseline and report the speedup")
@@ -98,6 +101,16 @@ func main() {
 		DurableDir:           *durableDir,
 		DurableSnapshotEvery: *durableSE,
 		DurableFsyncEvery:    *durableFS,
+		TraceSample:          *traceSmp,
+	}
+
+	if *telemetryF != "" {
+		srv, err := telemetry.Serve(*telemetryF, telemetry.Default)
+		if err != nil {
+			log.Fatalf("flexload: telemetry: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 
 	codec.SetPooling(!*noPool)
@@ -151,6 +164,27 @@ func main() {
 			}
 			printResult(fmt.Sprintf("%s/%s batch=%d read-pct=0 (variant)", cfg.Transport, cfg.Protocol, cfg.MaxBatch), vres)
 			rep.WithVariant("no_reads", vres)
+		}
+		if cfg.TraceSample > 0 {
+			// The tracing A/B: identical run with the tracer disabled. The
+			// unsampled hot path is one branch and one modulo, so sampled
+			// tracing must stay within run-to-run noise; gate at 5%.
+			noTrace := cfg
+			noTrace.TraceSample = 0
+			vres, err := loadgen.Run(noTrace)
+			if err != nil {
+				log.Fatalf("flexload: no_trace variant: %v", err)
+			}
+			printResult(fmt.Sprintf("%s/%s batch=%d trace off (variant)", cfg.Transport, cfg.Protocol, cfg.MaxBatch), vres)
+			rep.WithVariant("no_trace", vres)
+			if vres.Throughput > 0 {
+				overhead := 1 - res.Throughput/vres.Throughput
+				fmt.Printf("tracing overhead (1/%d sampling): %.1f%%\n", cfg.TraceSample, overhead*100)
+				if overhead > 0.05 {
+					log.Fatalf("flexload: tracing overhead %.1f%% exceeds the 5%% budget (traced %.0f tx/s vs untraced %.0f tx/s)",
+						overhead*100, res.Throughput, vres.Throughput)
+				}
+			}
 		}
 		// The frame pool is only in the TCP path (the in-memory transport
 		// never touches the codec), so the pooling A/B always runs over
@@ -210,6 +244,15 @@ func printResult(label string, r *loadgen.Result) {
 	}
 	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
 		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)
+	if st := r.Stages; st != nil {
+		fmt.Printf("  stages (1 in %d sampled, %d records): e2e p50 %s  p99 %s\n",
+			st.SampleEvery, st.Records, time.Duration(st.E2E.P50), time.Duration(st.E2E.P99))
+		for _, sg := range st.Stages {
+			fmt.Printf("    %-10s p50 %10s  p90 %10s  p99 %10s  max %10s  mean %10s\n",
+				sg.Stage, time.Duration(sg.P50), time.Duration(sg.P90), time.Duration(sg.P99),
+				time.Duration(sg.Max), time.Duration(sg.Mean))
+		}
+	}
 	if d := r.Durable; d != nil {
 		fmt.Printf("  durable: %d groups recovered (%d from snapshots), digests match, replay max %d envelopes (total %d), recovery mean %.0fµs max %dµs\n",
 			d.Groups, d.SnapshottedGroups, d.MaxReplayedEnvelopes, d.ReplayedEnvelopes, d.RecoveryMeanUs, d.RecoveryMaxUs)

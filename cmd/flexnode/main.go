@@ -26,6 +26,7 @@ import (
 	"flexcast"
 	"flexcast/amcast"
 	"flexcast/internal/runtime"
+	"flexcast/internal/telemetry"
 	"flexcast/internal/transport"
 )
 
@@ -38,15 +39,16 @@ func main() {
 		peersF   = flag.String("peers", "", "comma-separated nodeid=host:port pairs (g1=..., c0=...)")
 		batch    = flag.Int("batch", 64, "max envelopes per runtime batch (1 disables batching)")
 		flush    = flag.Duration("flush-interval", 500*time.Microsecond, "batch flush period")
+		telem    = flag.String("telemetry", "", "serve /metrics (JSON) and /debug/pprof on this address (e.g. 127.0.0.1:8090)")
 		verbose  = flag.Bool("v", false, "log every delivery")
 	)
 	flag.Parse()
-	if err := run(*group, *protocol, *overlayF, *treeF, *peersF, *batch, *flush, *verbose); err != nil {
+	if err := run(*group, *protocol, *overlayF, *treeF, *peersF, *batch, *flush, *telem, *verbose); err != nil {
 		log.Fatalf("flexnode: %v", err)
 	}
 }
 
-func run(group int, protocol, overlayF, treeF, peersF string, batch int, flush time.Duration, verbose bool) error {
+func run(group int, protocol, overlayF, treeF, peersF string, batch int, flush time.Duration, telem string, verbose bool) error {
 	if group <= 0 {
 		return fmt.Errorf("missing -group")
 	}
@@ -131,6 +133,23 @@ func run(group int, protocol, overlayF, treeF, peersF string, batch int, flush t
 		rt.Close()
 	}()
 	log.Printf("flexnode: group %d (%s) listening on %s (batch=%d)", group, protocol, tcp.Addr(), batch)
+
+	if telem != "" {
+		reg := telemetry.Default
+		reg.RegisterGauge("queue_depth", func() float64 { return float64(rt.QueueLen()) })
+		reg.RegisterCounter("backpressure_stalls", func() uint64 { s, _ := rt.Backpressure(); return s })
+		reg.RegisterCounter("backpressure_stall_ns", func() uint64 { _, ns := rt.Backpressure(); return ns })
+		reg.RegisterCounter("batch_size_flushes", func() uint64 { return rt.Stats().SizeFlushes })
+		reg.RegisterCounter("batch_chunk_flushes", func() uint64 { return rt.Stats().ChunkFlushes })
+		reg.RegisterCounter("batch_timer_flushes", func() uint64 { return rt.Stats().TimerFlushes })
+		reg.RegisterGauge("batch_avg", func() float64 { return rt.Stats().AvgBatch() })
+		srv, err := telemetry.Serve(telem, reg)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer srv.Close()
+		log.Printf("flexnode: telemetry on http://%s/metrics (pprof under /debug/pprof/)", srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -202,6 +202,13 @@ type Options struct {
 	// partitions, auditing the fast path under the full fault model.
 	FastReadProb float64
 
+	// TraceSample enables the sim-time lifecycle tracer: one multicast
+	// in TraceSample is stamped at submit, first delivery and
+	// completion, and the per-stage decomposition (in simulated
+	// nanoseconds) aggregates across schedules into Report.Stages
+	// (default 4; negative disables).
+	TraceSample int
+
 	// BugFlipEvery is a test-only hook that validates the checker
 	// pipeline: when > 0, every BugFlipEvery-th multi-delivery batch at
 	// a group records its first two deliveries in swapped order — a
@@ -276,6 +283,9 @@ func (o *Options) fill() {
 	}
 	if o.FastReadProb == 0 {
 		o.FastReadProb = 0.25
+	}
+	if o.TraceSample == 0 {
+		o.TraceSample = 4
 	}
 	// Negative knobs ("fault class off") are kept as-is so fill stays
 	// idempotent; the injector treats them as zero.

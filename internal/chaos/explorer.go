@@ -6,9 +6,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"time"
 
 	"flexcast/amcast"
 	"flexcast/internal/sim"
+	"flexcast/internal/telemetry"
 	"flexcast/internal/trace"
 )
 
@@ -35,6 +37,10 @@ type ScheduleResult struct {
 	Err error
 	// FaultTrace is the schedule's fault log, kept for failure reports.
 	FaultTrace []string
+	// Stages is the schedule's sim-time lifecycle decomposition (nil
+	// when Options.TraceSample disabled tracing or nothing completed);
+	// its durations are simulated nanoseconds. Deterministic per seed.
+	Stages *telemetry.StagesReport
 }
 
 // Report aggregates one exploration run.
@@ -54,6 +60,11 @@ type Report struct {
 	Faults FaultStats
 	// Violations holds every schedule that failed a safety check.
 	Violations []ScheduleResult
+	// Tracer aggregates every schedule's lifecycle tracer and Stages is
+	// its serialized decomposition (submit → delivery → completion, in
+	// simulated nanoseconds); both nil when tracing is disabled.
+	Tracer *telemetry.Tracer
+	Stages *telemetry.StagesReport
 	// minimality records whether the genuineness audit ran (Print).
 	minimality bool
 	// bugFlip, closedLoop and messages echo the options so the printed
@@ -73,6 +84,14 @@ func (r *Report) Print(w io.Writer) {
 		r.Deployment, r.Schedules, r.Multicasts, r.Deliveries, r.FastReads, r.LeaseRefusals, r.Events)
 	fmt.Fprintf(w, "  faults: retransmits=%d duplicates=%d partition-hits=%d crashes=%d parked=%d torn-tails=%d\n",
 		r.Faults.Retransmits, r.Faults.Duplicates, r.Faults.PartitionHits, r.Faults.Crashes, r.Faults.Parked, r.Faults.TornTails)
+	if st := r.Stages; st != nil {
+		fmt.Fprintf(w, "  stages (1 in %d sampled, %d records, virtual time): e2e p50 %v p99 %v\n",
+			st.SampleEvery, st.Records, time.Duration(st.E2E.P50), time.Duration(st.E2E.P99))
+		for _, sg := range st.Stages {
+			fmt.Fprintf(w, "    %-10s p50 %10v  p99 %10v  max %10v\n",
+				sg.Stage, time.Duration(sg.P50), time.Duration(sg.P99), time.Duration(sg.Max))
+		}
+	}
 	if !r.Failed() {
 		fmt.Fprintf(w, "  invariants: OK (acyclic order, agreement, integrity, prefix order%s)\n",
 			map[bool]string{true: ", minimality"}[r.minimality])
@@ -109,7 +128,7 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 	rep := &Report{Deployment: d.Name, Schedules: opt.Schedules, minimality: d.Minimality,
 		bugFlip: opt.BugFlipEvery, closedLoop: opt.ClosedLoop, messages: opt.Messages}
 	for i := 0; i < opt.Schedules; i++ {
-		res, err := RunSchedule(d, opt, ScheduleSeed(opt.Seed, i))
+		res, tracer, err := runScheduleTraced(d, opt, ScheduleSeed(opt.Seed, i))
 		if err != nil {
 			return nil, err
 		}
@@ -119,10 +138,17 @@ func Explore(d Deployment, opt Options) (*Report, error) {
 		rep.LeaseRefusals += res.LeaseRefusals
 		rep.Events += res.Events
 		rep.Faults.Add(res.Faults)
+		if tracer != nil {
+			if rep.Tracer == nil {
+				rep.Tracer = telemetry.NewTracer(tracer.SampleEvery(), nil)
+			}
+			rep.Tracer.Merge(tracer)
+		}
 		if res.Err != nil {
 			rep.Violations = append(rep.Violations, *res)
 		}
 	}
+	rep.Stages = rep.Tracer.Report()
 	return rep, nil
 }
 
@@ -199,6 +225,9 @@ type loopClient struct {
 	cur   map[amcast.GroupID]bool
 	think sim.Time
 	reads *readIssuer
+	// tracer stamps sampled multicasts (nil on the flush client, whose
+	// GC multicasts are not client requests).
+	tracer *telemetry.Tracer
 }
 
 func (c *loopClient) issue() {
@@ -213,6 +242,7 @@ func (c *loopClient) issue() {
 	}
 	c.rec.OnMulticast(m)
 	c.res.Multicasts++
+	c.tracer.Begin(m.ID)
 	for _, to := range c.route(m) {
 		c.net.Send(c.id, to, amcast.Envelope{Kind: amcast.KindRequest, From: c.id, Msg: m})
 	}
@@ -234,6 +264,7 @@ func (c *loopClient) HandleEnvelope(env amcast.Envelope) {
 	}
 	delete(c.cur, env.From.Group())
 	if len(c.cur) == 0 {
+		c.tracer.Finish(env.Msg.ID)
 		c.s.Schedule(c.think, c.issue)
 	}
 }
@@ -243,14 +274,30 @@ func (c *loopClient) HandleEnvelope(env amcast.Envelope) {
 // and check every safety property. The returned error is reserved for
 // deployment problems; invariant violations land in ScheduleResult.Err.
 func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error) {
+	res, _, err := runScheduleTraced(d, opt, seed)
+	return res, err
+}
+
+// runScheduleTraced is RunSchedule plus the schedule's live tracer, so
+// Explore can merge histograms across schedules. The tracer stays off
+// ScheduleResult because it holds a clock closure, which would poison
+// reflect.DeepEqual-based determinism comparisons.
+func runScheduleTraced(d Deployment, opt Options, seed int64) (*ScheduleResult, *telemetry.Tracer, error) {
 	if err := d.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	opt.fill()
 	rng := rand.New(rand.NewSource(seed))
 	s := sim.New()
 	rec := trace.NewRecorder()
 	res := &ScheduleResult{Seed: seed}
+	// The lifecycle tracer runs on the simulator clock, scaled to the
+	// tracer's nanosecond unit (sim.Time is virtual microseconds).
+	sample := opt.TraceSample
+	if sample < 0 {
+		sample = 0
+	}
+	tracer := telemetry.NewTracer(sample, func() uint64 { return uint64(s.Now()) * 1000 })
 	fail := func(err error) {
 		if res.Err == nil {
 			res.Err = err
@@ -279,14 +326,14 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	var durDir string
 	if opt.Durable {
 		if d.Decode == nil {
-			return nil, fmt.Errorf("chaos: Options.Durable requires Deployment.Decode")
+			return nil, nil, fmt.Errorf("chaos: Options.Durable requires Deployment.Decode")
 		}
 		if d.Instrument != nil {
-			return nil, fmt.Errorf("chaos: Options.Durable does not compose with Instrument deployments (observers would bind to pre-crash engines)")
+			return nil, nil, fmt.Errorf("chaos: Options.Durable does not compose with Instrument deployments (observers would bind to pre-crash engines)")
 		}
 		dir, err := os.MkdirTemp("", "chaos-durable-")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		durDir = dir
 		defer os.RemoveAll(durDir)
@@ -309,11 +356,12 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	for _, g := range d.Groups {
 		eng, err := d.Factory(g)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: build engine for group %d: %w", g, err)
+			return nil, nil, fmt.Errorf("chaos: build engine for group %d: %w", g, err)
 		}
 		n := newNode(amcast.GroupNode(g), eng, net, opt.SnapshotEvery)
 		n.onDeliver = func(del amcast.Delivery) error {
 			res.Deliveries++
+			tracer.Stamp(del.Msg.ID, telemetry.StageDeliver)
 			return rec.OnDeliver(del)
 		}
 		n.fail = fail
@@ -323,7 +371,7 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 			err := n.enableDurable(filepath.Join(durDir, fmt.Sprintf("group-%d", g)),
 				func() (amcast.SnapshotEngine, error) { return d.Factory(g) }, d.Decode)
 			if err != nil {
-				return nil, fmt.Errorf("chaos: durable backend for group %d: %w", g, err)
+				return nil, nil, fmt.Errorf("chaos: durable backend for group %d: %w", g, err)
 			}
 		}
 		nodes[g] = n
@@ -456,7 +504,8 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 			lc := &loopClient{
 				s: s, net: net, route: d.Route, rec: rec, res: res,
 				id: cid, msgs: msgs, think: opt.ThinkTime,
-				reads: newReadIssuer(instr, opt, s, seed, c, res, fail),
+				reads:  newReadIssuer(instr, opt, s, seed, c, res, fail),
+				tracer: tracer,
 			}
 			net.Register(cid, lc)
 			start := sim.Time(rng.Int63n(int64(opt.InjectWindow)/8 + 1))
@@ -464,13 +513,37 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 			continue
 		}
 		ri := newReadIssuer(instr, opt, s, seed, c, res, fail)
-		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) { ri.onReply(env) }))
+		// Open-loop completion tracking for the tracer: a sampled
+		// multicast finishes when every destination has replied
+		// (duplicate replies fold into the set).
+		pending := make(map[amcast.MsgID]map[amcast.GroupID]bool)
+		net.Register(cid, sim.HandlerFunc(func(env amcast.Envelope) {
+			ri.onReply(env)
+			if env.Kind != amcast.KindReply {
+				return
+			}
+			if want, ok := pending[env.Msg.ID]; ok {
+				delete(want, env.From.Group())
+				if len(want) == 0 {
+					delete(pending, env.Msg.ID)
+					tracer.Finish(env.Msg.ID)
+				}
+			}
+		}))
 		for i := range msgs {
 			m := msgs[i]
 			rec.OnMulticast(m)
 			res.Multicasts++
 			at := sim.Time(rng.Int63n(int64(opt.InjectWindow)))
 			s.ScheduleAt(at, func() {
+				if tracer.Sampled(m.ID) {
+					want := make(map[amcast.GroupID]bool, len(m.Dst))
+					for _, g := range m.Dst {
+						want[g] = true
+					}
+					pending[m.ID] = want
+					tracer.Begin(m.ID)
+				}
 				for _, to := range d.Route(m) {
 					net.Send(cid, to, amcast.Envelope{Kind: amcast.KindRequest, From: cid, Msg: m})
 				}
@@ -518,5 +591,6 @@ func RunSchedule(d Deployment, opt Options, seed int64) (*ScheduleResult, error)
 	if res.Err == nil && instr != nil && instr.PostCheck != nil {
 		res.Err = instr.PostCheck()
 	}
-	return res, nil
+	res.Stages = tracer.Report()
+	return res, tracer, nil
 }

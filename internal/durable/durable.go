@@ -381,6 +381,7 @@ func (e *Engine) SnapshotNow() error {
 }
 
 func (e *Engine) snapshot() error {
+	start := time.Now()
 	bs, ok := e.inner.Snapshot().(amcast.BinarySnapshot)
 	if !ok {
 		return fmt.Errorf("durable: engine %T snapshot has no binary form", e.inner)
@@ -419,6 +420,7 @@ func (e *Engine) snapshot() error {
 	if !e.opts.KeepEpochs {
 		e.truncateBelow(next)
 	}
+	snapshotHist.Record(uint64(time.Since(start)))
 	return nil
 }
 

@@ -1,0 +1,26 @@
+package durable
+
+import (
+	"flexcast/internal/metrics"
+)
+
+// Durability latency histograms, package-level and process-wide: every
+// durable engine in the process folds into the same distributions (a
+// deployment runs one engine per group, and the question the telemetry
+// plane answers — "is the disk the bottleneck?" — is per process, not
+// per group). Recorded values are nanoseconds; commands register them
+// with the telemetry registry as wal_fsync_ns and snapshot_write_ns.
+var (
+	fsyncHist    = metrics.NewHistogram()
+	snapshotHist = metrics.NewHistogram()
+)
+
+// FsyncHist is the WAL fsync-batch latency distribution: one sample per
+// actual fsync(2) (batched appends share one sample; skipped no-op
+// syncs record nothing).
+func FsyncHist() *metrics.Histogram { return fsyncHist }
+
+// SnapshotHist is the snapshot write duration distribution: marshal,
+// WAL sync, tmp-file write+fsync, rename and directory sync — the full
+// stall a snapshot cadence point inserts into the engine's input path.
+func SnapshotHist() *metrics.Histogram { return snapshotHist }

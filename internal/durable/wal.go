@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // WAL record framing: [u32le payload length][u32le CRC-32C][payload].
@@ -123,9 +124,11 @@ func (w *walWriter) sync() error {
 		return nil
 	}
 	w.sinceSync = 0
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("durable: wal fsync: %w", err)
 	}
+	fsyncHist.Record(uint64(time.Since(start)))
 	return nil
 }
 

@@ -43,10 +43,11 @@ func deploy(cfg Config, proto *protocolDeployment, r *run) (*deployment, []*clie
 	}
 }
 
-func runtimeConfig(cfg Config) runtime.Config {
+func runtimeConfig(cfg Config, proto *protocolDeployment) runtime.Config {
 	return runtime.Config{
 		MaxBatch:      cfg.MaxBatch,
 		FlushInterval: cfg.FlushInterval,
+		Tracer:        proto.tracer,
 	}
 }
 
@@ -57,8 +58,8 @@ func runtimeConfig(cfg Config) runtime.Config {
 // the serving node (the watermark advances before replies leave), so a
 // miss is a broken contract and surfaces as a refusal the client fails
 // on.
-func nodeConfig(cfg Config, eng amcast.Engine) runtime.Config {
-	rc := runtimeConfig(cfg)
+func nodeConfig(cfg Config, proto *protocolDeployment, eng amcast.Engine) runtime.Config {
+	rc := runtimeConfig(cfg, proto)
 	if de, ok := eng.(*durable.Engine); ok {
 		// The read handler serves against the executor inside the durable
 		// wrap (reads are not inputs — nothing to log).
@@ -103,7 +104,7 @@ func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (
 		}
 		id := amcast.GroupNode(g)
 		send := func(to amcast.NodeID, envs []amcast.Envelope) { nw.SendBatch(id, to, envs) }
-		node := runtime.NewNode(eng, send, nodeConfig(cfg, eng))
+		node := runtime.NewNode(eng, send, nodeConfig(cfg, proto, eng))
 		dep.nodes = append(dep.nodes, node)
 		if err := nw.AddBatchHandler(id, node.Submit); err != nil {
 			nw.Close()
@@ -184,7 +185,7 @@ func deployTCP(cfg Config, proto *protocolDeployment, clients []*clientProc) (*d
 			}
 			// Peer unreachable mid-benchmark only happens at teardown.
 			_ = tn.SendBatch(to, envs)
-		}, nodeConfig(cfg, eng))
+		}, nodeConfig(cfg, proto, eng))
 		tn, err = transport.NewTCPBatchNode(amcast.GroupNode(g), book, node.Submit)
 		close(ready)
 		if err != nil {

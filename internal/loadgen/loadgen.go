@@ -35,6 +35,7 @@ import (
 	"flexcast/internal/runtime"
 	"flexcast/internal/skeen"
 	"flexcast/internal/store"
+	"flexcast/internal/telemetry"
 	"flexcast/internal/wan"
 )
 
@@ -157,6 +158,15 @@ type Config struct {
 	// 256 and 64).
 	DurableSnapshotEvery int
 	DurableFsyncEvery    int
+	// TraceSample, when > 0, traces one in TraceSample write
+	// transactions through the lifecycle tracer (internal/telemetry):
+	// stage timestamps at submit, inbound queue entry/exit, delivery,
+	// store execution, reply-batch flush and completion, folded into the
+	// per-stage latency histograms of Result.Stages. Sampling is
+	// deterministic on the message id, so every component agrees on the
+	// sampled set with no coordination; unsampled requests cost one
+	// branch per stage. 0 disables tracing.
+	TraceSample int
 }
 
 func (c *Config) fill() error {
@@ -340,6 +350,11 @@ type Result struct {
 	ReadThroughput  float64                 `json:"read_throughput_tx_s,omitempty"`
 	TotalThroughput float64                 `json:"total_throughput_tx_s,omitempty"`
 	ReadLatency     *metrics.LatencySummary `json:"read_latency_us,omitempty"`
+	// ReadLatencyNs is the same distribution at nanosecond resolution:
+	// the local read fast path completes in hundreds of nanoseconds,
+	// which the microsecond summary above truncates to 0. ReadLatency is
+	// derived from it (integer µs) for backward comparability.
+	ReadLatencyNs *metrics.NsSummary `json:"read_latency_ns,omitempty"`
 	// ReadsPerReplica breaks window reads down by serving replica on
 	// replicated runs (-replicas >= 2): index 0 is the serving node
 	// (remote KindRead transactions and lease fallbacks), index i >= 1
@@ -368,6 +383,10 @@ type Result struct {
 	EnvelopesSent uint64  `json:"envelopes_sent"`
 	AvgBatch      float64 `json:"avg_batch"`
 	LargestBatch  int     `json:"largest_batch"`
+	// Stages is the sampled write-path stage-latency decomposition
+	// (TraceSample > 0): one nanosecond summary per lifecycle transition,
+	// telescoping to the traced end-to-end distribution.
+	Stages *telemetry.StagesReport `json:"stages,omitempty"`
 }
 
 // protocolDeployment carries the protocol-specific pieces.
@@ -392,6 +411,9 @@ type protocolDeployment struct {
 	durables     map[amcast.GroupID]*durable.Engine
 	protoFactory func(g amcast.GroupID) (amcast.Engine, error)
 	snapDecode   func([]byte) (amcast.Snapshot, error)
+	// tracer is the run's lifecycle tracer (nil: tracing off); the
+	// factories wire it into every executor, and deploy into every node.
+	tracer *telemetry.Tracer
 }
 
 // wrapExecute layers the store executor over the protocol factory:
@@ -424,6 +446,7 @@ func (d *protocolDeployment) wrapExecute(cfg Config) {
 			}
 			d.followers[g] = append(d.followers[g], rep)
 		}
+		ex.SetTracer(d.tracer)
 		d.executors = append(d.executors, ex)
 		d.execByGroup[g] = ex
 		return ex, nil
@@ -633,11 +656,13 @@ func (c *clientProc) foldRead(g amcast.GroupID, watermark uint64) {
 
 // recordRead measures one synchronously served read (local or
 // follower; remote reads are measured at reply completion instead).
+// The read histogram records nanoseconds: the local fast path completes
+// in hundreds of ns, which microsecond buckets truncate to zero.
 func (c *clientProc) recordRead(start time.Time, replica int32) {
 	if !c.run.measuring.Load() || start.Before(c.run.windowStart) {
 		return
 	}
-	lat := time.Since(start).Microseconds()
+	lat := time.Since(start).Nanoseconds()
 	if lat < 0 {
 		lat = 0
 	}
@@ -737,6 +762,9 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 			continue
 		}
 		delete(c.inflight, env.Msg.ID)
+		if !tx.silent && !tx.isRead {
+			c.run.tracer.Finish(env.Msg.ID)
+		}
 		c.run.complete(tx, now)
 		if tx.done != nil {
 			close(tx.done)
@@ -770,10 +798,17 @@ func (c *clientProc) issue(m amcast.Message, meta txMeta, closedLoop, silent boo
 	tx.issued = time.Now()
 	c.inflight[m.ID] = tx
 	c.mu.Unlock()
-	if !silent && !meta.isRead && c.run.measuring.Load() {
-		// Issued covers the multicast (write) path only; reads have
-		// their own counters.
-		c.run.issued.Add(1)
+	if !silent && !meta.isRead {
+		// Trace records exist only for measured writes: Begin before the
+		// dispatcher can send, so no downstream stamp precedes it. Flush
+		// multicasts (silent) and reads never begin a record, so their
+		// ids' stamps are dropped at lookup.
+		c.run.tracer.Begin(m.ID)
+		if c.run.measuring.Load() {
+			// Issued covers the multicast (write) path only; reads have
+			// their own counters.
+			c.run.issued.Add(1)
+		}
 	}
 	c.out <- m
 	return tx
@@ -792,6 +827,7 @@ type run struct {
 	proto *protocolDeployment
 
 	hist      *metrics.Histogram
+	tracer    *telemetry.Tracer
 	completed atomic.Uint64
 	issued    atomic.Uint64
 	shed      atomic.Uint64
@@ -844,7 +880,8 @@ func (r *run) complete(tx *txState, now time.Time) {
 		if !r.measuring.Load() || tx.issued.Before(r.windowStart) {
 			return
 		}
-		lat := now.Sub(tx.issued).Microseconds()
+		// Nanoseconds, like recordRead: one read histogram, one unit.
+		lat := now.Sub(tx.issued).Nanoseconds()
 		if lat < 0 {
 			lat = 0
 		}
@@ -908,6 +945,8 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram(), readHist: metrics.NewHistogram()}
+	r.tracer = telemetry.NewTracer(cfg.TraceSample, nil)
+	proto.tracer = r.tracer
 	r.readByReplica = make([]atomic.Uint64, cfg.Replicas)
 	for i := range r.typeHists {
 		r.typeHists[i] = metrics.NewHistogram()
@@ -918,6 +957,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer dep.close()
+	registerTelemetry(r, dep, clients)
 
 	// Sessions stop first; dispatchers stop after every session has
 	// unblocked, so an issue() in flight is always drained.
@@ -1042,7 +1082,9 @@ func Run(cfg Config) (*Result, error) {
 			// rejects. Fail loudly instead (lengthen the window).
 			return nil, fmt.Errorf("loadgen: read workload configured but no read completions measured in the %.2fs window", windowSecs)
 		}
-		rl := r.readHist.Summary()
+		rln := r.readHist.SummaryNs()
+		res.ReadLatencyNs = &rln
+		rl := rln.ToMicros()
 		res.ReadLatency = &rl
 		if windowSecs > 0 {
 			res.ReadThroughput = float64(res.Reads) / windowSecs
@@ -1068,6 +1110,7 @@ func Run(cfg Config) (*Result, error) {
 	res.EnvelopesSent = stats.Envelopes
 	res.AvgBatch = stats.AvgBatch()
 	res.LargestBatch = stats.MaxBatch
+	res.Stages = r.tracer.Report()
 	return res, nil
 }
 

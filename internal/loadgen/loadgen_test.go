@@ -308,6 +308,79 @@ func TestRunFollowerReads(t *testing.T) {
 	}
 }
 
+// TestRunTracedStages runs with lifecycle tracing on and checks the
+// stage decomposition: sampled record count tracks 1-in-N of
+// completions, stage summaries appear in pipeline order, and the
+// report's stages section survives write + validation (which also
+// enforces the telescoping count-weighted mean identity).
+func TestRunTracedStages(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Execute = true
+	cfg.TraceSample = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	st := res.Stages
+	if st == nil {
+		t.Fatalf("traced run produced no stages section: %+v", res)
+	}
+	if st.SampleEvery != 4 {
+		t.Fatalf("sample_every = %d, want 4", st.SampleEvery)
+	}
+	// 1-in-N sampling: the sampled population is every 4th sequence
+	// number, so records sits near completed/4. Allow wide slack for
+	// requests in flight at the deadline and per-client remainders.
+	lo, hi := res.Completed/8, res.Completed/2
+	if st.Records < lo || st.Records > hi {
+		t.Fatalf("records = %d for %d completed; want within [%d, %d] (≈1 in 4)",
+			st.Records, res.Completed, lo, hi)
+	}
+	if st.E2E.Count != st.Records {
+		t.Fatalf("e2e count %d != records %d", st.E2E.Count, st.Records)
+	}
+	// The execute stage must be present on a store-backed run, and all
+	// summaries must arrive in pipeline order with samples.
+	seen := map[string]bool{}
+	for _, sg := range st.Stages {
+		if sg.Count == 0 {
+			t.Fatalf("stage %s has no samples", sg.Stage)
+		}
+		seen[sg.Stage] = true
+	}
+	for _, want := range []string{"ingress", "ordering", "execute", "reply"} {
+		if !seen[want] {
+			t.Fatalf("stage %q missing from decomposition: %+v", want, st.Stages)
+		}
+	}
+	// WriteFile validates on write; ValidateFile re-validates on read —
+	// both run validateStages on the section.
+	path := filepath.Join(t.TempDir(), "traced.json")
+	if err := NewReport(cfg, res).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Results.Stages == nil || back.Config.TraceSample != 4 {
+		t.Fatalf("stages section lost in round trip: %+v", back.Config)
+	}
+
+	// Untraced control: no stages section.
+	cfg.TraceSample = 0
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stages != nil {
+		t.Fatalf("untraced run grew a stages section: %+v", res2.Stages)
+	}
+}
+
 // TestRunLeaderReadsRemote is the replicated leader-only baseline:
 // reads cross the transport as KindRead transactions to the serving
 // node, resolve through the reply path, and none may be refused.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"flexcast/internal/telemetry"
 )
 
 // Schema identifies the BENCH_runtime.json layout; bump on breaking
@@ -50,6 +52,9 @@ type ReportConfig struct {
 	Durable              bool `json:"durable,omitempty"`
 	DurableSnapshotEvery int  `json:"durable_snapshot_every,omitempty"`
 	DurableFsyncEvery    int  `json:"durable_fsync_every,omitempty"`
+	// TraceSample is the lifecycle-tracing interval (1 in N writes;
+	// 0 = tracing off).
+	TraceSample int `json:"trace_sample,omitempty"`
 }
 
 // Report is the serialized benchmark outcome (BENCH_runtime.json).
@@ -117,6 +122,7 @@ func reportConfig(cfg Config) ReportConfig {
 		rc.DurableSnapshotEvery = cfg.DurableSnapshotEvery
 		rc.DurableFsyncEvery = cfg.DurableFsyncEvery
 	}
+	rc.TraceSample = cfg.TraceSample
 	return rc
 }
 
@@ -261,6 +267,11 @@ func validateResult(label string, res *Result) error {
 			return err
 		}
 	}
+	if res.Stages != nil {
+		if err := validateStages(label, res.Stages); err != nil {
+			return err
+		}
+	}
 	if d := res.Durable; d != nil {
 		if !d.DigestsMatch {
 			return fmt.Errorf("loadgen: %s: crash-recovery digests diverged", label)
@@ -288,6 +299,54 @@ func validateResult(label string, res *Result) error {
 			return fmt.Errorf("loadgen: %s: durable replay max %d exceeds total %d",
 				label, d.MaxReplayedEnvelopes, d.ReplayedEnvelopes)
 		}
+	}
+	return nil
+}
+
+// validateStages sanity-checks the stage-latency decomposition: every
+// stage summary must be non-empty with ordered percentiles and appear
+// in pipeline order, and because each traced request's stage durations
+// telescope exactly to its end-to-end latency, the count-weighted stage
+// means must sum to the traced e2e mean (within float rounding).
+func validateStages(label string, st *telemetry.StagesReport) error {
+	if st.SampleEvery < 1 {
+		return fmt.Errorf("loadgen: %s: stages report with sample_every %d", label, st.SampleEvery)
+	}
+	if st.Records == 0 || st.E2E.Count != st.Records {
+		return fmt.Errorf("loadgen: %s: stages report records %d vs e2e count %d",
+			label, st.Records, st.E2E.Count)
+	}
+	if len(st.Stages) == 0 {
+		return fmt.Errorf("loadgen: %s: stages report with no stage summaries", label)
+	}
+	order := make(map[string]int, telemetry.NumStages)
+	for s := 1; s < telemetry.NumStages; s++ {
+		order[telemetry.Stage(s).Name()] = s
+	}
+	prev := 0
+	var weighted float64
+	for _, sg := range st.Stages {
+		idx, ok := order[sg.Stage]
+		if !ok {
+			return fmt.Errorf("loadgen: %s: unknown stage %q", label, sg.Stage)
+		}
+		if idx <= prev {
+			return fmt.Errorf("loadgen: %s: stage %q out of pipeline order", label, sg.Stage)
+		}
+		prev = idx
+		if sg.Count == 0 {
+			return fmt.Errorf("loadgen: %s: stage %q has no samples", label, sg.Stage)
+		}
+		l := sg.NsSummary
+		if l.Min > l.P50 || l.P50 > l.P90 || l.P90 > l.P99 || l.P99 > l.P999 || l.P999 > l.Max {
+			return fmt.Errorf("loadgen: %s: stage %q percentiles out of order: %+v", label, sg.Stage, l)
+		}
+		weighted += float64(sg.Count) * l.Mean
+	}
+	e2eTotal := float64(st.Records) * st.E2E.Mean
+	if diff := weighted - e2eTotal; diff > e2eTotal*0.01 || diff < -e2eTotal*0.01 {
+		return fmt.Errorf("loadgen: %s: stage durations sum to %.0fns but traced e2e totals %.0fns",
+			label, weighted, e2eTotal)
 	}
 	return nil
 }

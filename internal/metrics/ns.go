@@ -1,0 +1,52 @@
+package metrics
+
+// NsSummary is a percentile snapshot of a histogram recorded in
+// nanoseconds — the unit the telemetry subsystem reports in, fine
+// enough to resolve the sub-microsecond read fast path the
+// microsecond summary truncates to zero. The histogram's bucket range
+// (2^41-1) covers ≈36 minutes at ns resolution, far beyond any
+// per-request latency this repository measures.
+type NsSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean_ns"`
+	Min   uint64  `json:"min_ns"`
+	P50   uint64  `json:"p50_ns"`
+	P90   uint64  `json:"p90_ns"`
+	P99   uint64  `json:"p99_ns"`
+	P999  uint64  `json:"p999_ns"`
+	Max   uint64  `json:"max_ns"`
+}
+
+// SummaryNs snapshots a histogram whose recorded values are
+// nanoseconds.
+func (h *Histogram) SummaryNs() NsSummary {
+	s := NsSummary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+	if s.Count > 0 {
+		s.Mean = h.Mean()
+	}
+	return s
+}
+
+// ToMicros derives the backward-compatible microsecond summary from a
+// nanosecond one (integer truncation, matching what recording in µs
+// would have produced).
+func (s NsSummary) ToMicros() LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		Mean:  s.Mean / 1e3,
+		Min:   s.Min / 1e3,
+		P50:   s.P50 / 1e3,
+		P90:   s.P90 / 1e3,
+		P99:   s.P99 / 1e3,
+		P999:  s.P999 / 1e3,
+		Max:   s.Max / 1e3,
+	}
+}

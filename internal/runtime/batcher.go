@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"flexcast/amcast"
+	"flexcast/internal/telemetry"
 )
 
 // Batcher accumulates outbound envelopes per destination and hands them
@@ -35,6 +36,10 @@ type Batcher struct {
 	// so FlushAll is deterministic and starvation-free.
 	order []amcast.NodeID
 
+	// tracer, when non-nil, stamps StageFlush on sampled write replies as
+	// their batch leaves for the transport.
+	tracer *telemetry.Tracer
+
 	stats BatcherStats
 }
 
@@ -49,6 +54,14 @@ type BatcherStats struct {
 	// ControlBatches counts batches flushed in the control-priority
 	// phase (carrying at least one ACK/NOTIF/TS/REPLY envelope).
 	ControlBatches uint64
+	// SizeFlushes counts batches sent because they hit the size cap,
+	// ChunkFlushes batches sent by the worker's chunk-end flush, and
+	// TimerFlushes batches sent by the periodic flush timer. Their ratio
+	// shows whether batching is fill-driven (throughput-bound) or
+	// timer-driven (idle / latency-bound).
+	SizeFlushes  uint64
+	ChunkFlushes uint64
+	TimerFlushes uint64
 }
 
 // AvgBatch returns the mean envelopes per transport send.
@@ -64,6 +77,9 @@ func (s *BatcherStats) Add(s2 BatcherStats) {
 	s.Batches += s2.Batches
 	s.Envelopes += s2.Envelopes
 	s.ControlBatches += s2.ControlBatches
+	s.SizeFlushes += s2.SizeFlushes
+	s.ChunkFlushes += s2.ChunkFlushes
+	s.TimerFlushes += s2.TimerFlushes
 	if s2.MaxBatch > s.MaxBatch {
 		s.MaxBatch = s2.MaxBatch
 	}
@@ -83,6 +99,14 @@ func NewBatcher(send SendBatchFunc, max int) *Batcher {
 	}
 }
 
+// SetTracer attaches the lifecycle tracer (nil detaches). Called once
+// at node construction, before any Add.
+func (b *Batcher) SetTracer(t *telemetry.Tracer) {
+	b.mu.Lock()
+	b.tracer = t
+	b.mu.Unlock()
+}
+
 // isControl reports whether an envelope is latency-critical protocol
 // control traffic rather than payload propagation.
 func isControl(env amcast.Envelope) bool { return !env.Kind.IsPayload() }
@@ -96,6 +120,7 @@ func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
 		if isControl(env) {
 			b.stats.ControlBatches++
 		}
+		b.stats.SizeFlushes++
 		b.sendLocked(to, []amcast.Envelope{env})
 		return
 	}
@@ -118,6 +143,7 @@ func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
 		b.control[to] = true
 	}
 	if len(q) >= b.max {
+		b.stats.SizeFlushes++
 		b.flushLocked(to, q)
 		return
 	}
@@ -127,12 +153,23 @@ func (b *Batcher) Add(to amcast.NodeID, env amcast.Envelope) {
 // FlushAll sends every pending batch: control-bearing destinations
 // first (in first-Add order), payload-only destinations after, so acks
 // and replies are never stuck behind payload frames on a backpressured
-// transport.
-func (b *Batcher) FlushAll() {
+// transport. This is the worker's chunk-end flush.
+func (b *Batcher) FlushAll() { b.flushAll(false) }
+
+// FlushTimer is FlushAll invoked from the periodic flush timer; the
+// batches it sends are accounted as timer flushes instead of chunk
+// flushes.
+func (b *Batcher) FlushTimer() { b.flushAll(true) }
+
+func (b *Batcher) flushAll(timer bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.order) == 0 {
 		return
+	}
+	ctr := &b.stats.ChunkFlushes
+	if timer {
+		ctr = &b.stats.TimerFlushes
 	}
 	order := b.order
 	b.order = nil
@@ -141,11 +178,13 @@ func (b *Batcher) FlushAll() {
 			continue
 		}
 		if q, ok := b.pending[to]; ok {
+			*ctr++
 			b.flushLocked(to, q)
 		}
 	}
 	for _, to := range order {
 		if q, ok := b.pending[to]; ok {
+			*ctr++
 			b.flushLocked(to, q)
 		}
 	}
@@ -176,6 +215,17 @@ func (b *Batcher) sendLocked(to amcast.NodeID, envs []amcast.Envelope) {
 	b.stats.Envelopes += uint64(len(envs))
 	if len(envs) > b.stats.MaxBatch {
 		b.stats.MaxBatch = len(envs)
+	}
+	if tr := b.tracer; tr != nil {
+		// Stamp write replies as the batch leaves: the send below
+		// happens-before the client's Finish, so no stamp can straggle
+		// past record retirement. Read replies are excluded — reads
+		// bypass the batcher and are not traced.
+		for i := range envs {
+			if envs[i].Kind == amcast.KindReply && envs[i].Msg.Flags&amcast.FlagRead == 0 {
+				tr.Stamp(envs[i].Msg.ID, telemetry.StageFlush)
+			}
+		}
 	}
 	b.send(to, envs)
 }

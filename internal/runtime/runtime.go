@@ -30,9 +30,11 @@ package runtime
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flexcast/amcast"
+	"flexcast/internal/telemetry"
 )
 
 // SendBatchFunc transmits one batch to a peer. Implementations:
@@ -66,6 +68,12 @@ type Config struct {
 	// a read never queues behind the write path. Nodes without a handler
 	// drop read envelopes.
 	ReadHandler func(env amcast.Envelope) amcast.Envelope
+	// Tracer, when non-nil, stamps sampled requests' lifecycle stages:
+	// StageEnqueue when a KindRequest enters the inbound queue,
+	// StageDequeue when the worker pops it, StageDeliver when the
+	// engine emits its delivery, StageFlush when its reply batch
+	// leaves the batcher. Unsampled envelopes cost one branch.
+	Tracer *telemetry.Tracer
 }
 
 func (c *Config) fill() {
@@ -105,6 +113,11 @@ type Node struct {
 
 	batcher *Batcher
 
+	// Backpressure accounting: stalls counts Submit calls that blocked
+	// on a full queue, stallNs their total blocked time.
+	stalls  atomic.Uint64
+	stallNs atomic.Uint64
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -123,6 +136,7 @@ func NewNode(eng amcast.Engine, send SendBatchFunc, cfg Config) *Node {
 		batcher: NewBatcher(send, cfg.MaxBatch),
 		stop:    make(chan struct{}),
 	}
+	n.batcher.SetTracer(cfg.Tracer)
 	n.qcond = sync.NewCond(&n.qmu)
 	n.wg.Add(1)
 	go n.worker()
@@ -147,9 +161,27 @@ func (n *Node) Submit(envs []amcast.Envelope) {
 	if len(envs) == 0 {
 		return
 	}
+	// Stamp before the append (not after the unlock): the worker can
+	// pop an envelope the moment it is queued, and a Dequeue stamp must
+	// never precede its Enqueue stamp. Stamped here, the enqueue→dequeue
+	// transition covers queue residency including any backpressure wait.
+	if tr := n.cfg.Tracer; tr != nil {
+		for i := range envs {
+			if envs[i].Kind == amcast.KindRequest {
+				tr.Stamp(envs[i].Msg.ID, telemetry.StageEnqueue)
+			}
+		}
+	}
 	n.qmu.Lock()
-	for len(n.queue) >= n.cfg.QueueDepth && !n.stopped {
-		n.qcond.Wait()
+	if len(n.queue) >= n.cfg.QueueDepth && !n.stopped {
+		// Backpressure: account the stall (off the fast path — an
+		// uncontended Submit never reads the clock).
+		start := time.Now()
+		for len(n.queue) >= n.cfg.QueueDepth && !n.stopped {
+			n.qcond.Wait()
+		}
+		n.stalls.Add(1)
+		n.stallNs.Add(uint64(time.Since(start)))
 	}
 	if n.stopped {
 		n.qmu.Unlock()
@@ -318,6 +350,14 @@ func (n *Node) worker() {
 
 // process steps the engine once for the whole chunk.
 func (n *Node) process(envs []amcast.Envelope) {
+	tr := n.cfg.Tracer
+	if tr != nil {
+		for i := range envs {
+			if envs[i].Kind == amcast.KindRequest {
+				tr.Stamp(envs[i].Msg.ID, telemetry.StageDequeue)
+			}
+		}
+	}
 	outs := amcast.BatchStep(n.eng, envs)
 	dels := n.eng.TakeDeliveries()
 	for _, o := range outs {
@@ -325,6 +365,10 @@ func (n *Node) process(envs []amcast.Envelope) {
 	}
 	for _, d := range dels {
 		if d.Msg.Sender.IsClient() {
+			// First-wins with the executor's own Deliver stamp (which
+			// fires inside TakeDeliveries, before this): the earliest
+			// group to deliver marks the ordering point.
+			tr.Stamp(d.Msg.ID, telemetry.StageDeliver)
 			n.batcher.Add(d.Msg.Sender, amcast.Envelope{
 				Kind:      amcast.KindReply,
 				From:      n.id,
@@ -349,7 +393,7 @@ func (n *Node) flushLoop() {
 	for {
 		select {
 		case <-t.C:
-			n.batcher.FlushAll()
+			n.batcher.FlushTimer()
 		case <-n.stop:
 			return
 		}
@@ -358,6 +402,21 @@ func (n *Node) flushLoop() {
 
 // Stats reports the batcher's counters.
 func (n *Node) Stats() BatcherStats { return n.batcher.Stats() }
+
+// QueueLen reports the inbound queue's current depth in envelopes — a
+// telemetry gauge; saturation shows as QueueLen pinned at QueueDepth.
+func (n *Node) QueueLen() int {
+	n.qmu.Lock()
+	l := len(n.queue)
+	n.qmu.Unlock()
+	return l
+}
+
+// Backpressure reports how often Submit blocked on a full queue and the
+// total nanoseconds spent blocked.
+func (n *Node) Backpressure() (stalls, ns uint64) {
+	return n.stalls.Load(), n.stallNs.Load()
+}
 
 // Close stops the worker (draining what is queued), flushes pending
 // output batches, and closes the engine if it holds resources (the

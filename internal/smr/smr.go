@@ -26,6 +26,7 @@ import (
 
 	"flexcast/amcast"
 	"flexcast/internal/codec"
+	"flexcast/internal/metrics"
 	"flexcast/internal/paxos"
 	"flexcast/internal/sim"
 )
@@ -127,6 +128,31 @@ type Group struct {
 	nBatchesProp  uint64
 	nEnvsProposed uint64
 	lastRecovery  *RecoveryStats
+
+	// Telemetry (observers only — none of it feeds back into protocol
+	// state, so determinism is untouched). proposedAt keys each proposal
+	// by its first envelope's id; the first replica to apply the decided
+	// value records the propose→decide latency and retires the entry.
+	telem      GroupTelemetry
+	proposedAt map[amcast.MsgID]sim.Time
+}
+
+// GroupTelemetry is the group's observability state: lease-protocol
+// counters and the Paxos commit-latency distribution.
+type GroupTelemetry struct {
+	// LeaseGrants counts grant entries the leader sequenced (leaseTick),
+	// LeaseRevocations revocation entries (RevokeLeases).
+	LeaseGrants      uint64
+	LeaseRevocations uint64
+	// LeaseRenewals counts grant entries applied across all replicas
+	// (each applied grant renews that replica's lease view).
+	LeaseRenewals uint64
+	// LeaseRefusals counts FollowerRead calls refused for want of a
+	// valid lease.
+	LeaseRefusals uint64
+	// Commit is the propose→first-decide latency distribution in
+	// nanoseconds (sim µs × 1000, matching the telemetry plane's unit).
+	Commit *metrics.Histogram
 }
 
 type replica struct {
@@ -177,7 +203,8 @@ func New(cfg Config, s *sim.Simulator, net *sim.Network) (*Group, error) {
 	if cfg.LeaseTerm > 0 && cfg.LeaseMargin == 0 {
 		cfg.LeaseMargin = cfg.LeaseTerm / 4
 	}
-	g := &Group{cfg: cfg, s: s, net: net}
+	g := &Group{cfg: cfg, s: s, net: net, proposedAt: make(map[amcast.MsgID]sim.Time)}
+	g.telem.Commit = metrics.NewHistogram()
 	for i := 0; i < cfg.Replicas; i++ {
 		eng, err := cfg.NewEngine()
 		if err != nil {
@@ -500,6 +527,7 @@ func (g *Group) leaseTick() {
 	}
 	if lead := g.Leader(); lead >= 0 {
 		r := g.replicas[lead]
+		g.telem.LeaseGrants++
 		r.route(r.pax.Propose(leaseValue(g.s.Now() + g.cfg.LeaseTerm)))
 		r.apply()
 	}
@@ -513,6 +541,7 @@ func (g *Group) leaseTick() {
 func (g *Group) RevokeLeases() {
 	if lead := g.Leader(); lead >= 0 {
 		r := g.replicas[lead]
+		g.telem.LeaseRevocations++
 		r.route(r.pax.Propose(leaseValue(0)))
 		r.apply()
 	}
@@ -542,6 +571,7 @@ func (g *Group) FollowerRead(idx int, read func(eng amcast.Engine) error) error 
 		return fmt.Errorf("smr: follower read at crashed replica %d of group %d", idx, g.cfg.Group)
 	}
 	if !g.HoldsLease(idx) {
+		g.telem.LeaseRefusals++
 		return fmt.Errorf("replica %d of group %d (expiry %d, now %d): %w",
 			idx, g.cfg.Group, r.leaseExpiry, g.s.Now(), ErrLeaseExpired)
 	}
@@ -568,6 +598,12 @@ func (g *Group) Engine(idx int) amcast.Engine { return g.replicas[idx].eng }
 // ingress sequences an external envelope through Paxos: immediately, or
 // accumulated into a batch proposal when BatchWindow is set.
 func (g *Group) ingress(env amcast.Envelope) {
+	// Commit-latency bookkeeping: key the eventual proposal by this
+	// envelope's id, first-wins (a batch is keyed by its first member;
+	// re-proposed ids keep their original ingress time).
+	if _, ok := g.proposedAt[env.Msg.ID]; !ok {
+		g.proposedAt[env.Msg.ID] = g.s.Now()
+	}
 	if g.cfg.BatchWindow <= 0 {
 		g.propose(codec.Marshal(env), 1)
 		return
@@ -637,6 +673,10 @@ func (g *Group) Proposals() (values, envelopes uint64) {
 	return g.nBatchesProp, g.nEnvsProposed
 }
 
+// Telemetry returns the group's observability state. The histogram
+// pointer is live; the counters are a snapshot.
+func (g *Group) Telemetry() GroupTelemetry { return g.telem }
+
 // route transmits Paxos messages between replicas over the intra-group
 // links.
 func (r *replica) route(ms []paxos.Message) {
@@ -661,6 +701,9 @@ func (r *replica) apply() {
 			r.applied++
 			r.sinceSnap++
 			r.applyLease(dec.Value)
+			if r.leaseExpiry > 0 {
+				r.grp.telem.LeaseRenewals++
+			}
 			r.maybeSnapshot(dec.Instance + 1)
 			continue
 		}
@@ -669,6 +712,12 @@ func (r *replica) apply() {
 			// A corrupt decided value would be a codec bug; skip it
 			// deterministically on every replica.
 			continue
+		}
+		// First replica to apply this value records its propose→decide
+		// latency (sim µs scaled to ns) and retires the key.
+		if t0, ok := r.grp.proposedAt[envs[0].Msg.ID]; ok {
+			delete(r.grp.proposedAt, envs[0].Msg.ID)
+			r.grp.telem.Commit.Record(uint64(r.grp.s.Now()-t0) * 1000)
 		}
 		r.applied++
 		r.sinceSnap++

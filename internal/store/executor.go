@@ -7,6 +7,7 @@ import (
 
 	"flexcast/amcast"
 	"flexcast/internal/gtpcc"
+	"flexcast/internal/telemetry"
 	"flexcast/internal/trace"
 )
 
@@ -65,6 +66,11 @@ type Executor struct {
 	// batch is shipped to each, in order, after the executor's lock is
 	// released (the followers have their own locks and watermarks).
 	followers []*Replica
+
+	// tracer, when non-nil, stamps sampled client deliveries'
+	// StageDeliver (first-wins, pre-apply) and StageExecute (last-wins,
+	// post-apply) in TakeDeliveries.
+	tracer *telemetry.Tracer
 }
 
 // Wrap builds an executor over a protocol engine, asserting the
@@ -117,6 +123,7 @@ func (e *Executor) Shard() *Shard { return e.shard }
 // the executor's lock, so the replica misses no delivery and re-applies
 // none (feeds below the watermark are skipped as duplicates).
 func (e *Executor) AttachFollower(cfg ReplicaConfig) (*Replica, error) {
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	r, err := newReplicaAt(e.shard.Clone(), e.watermark, cfg)
@@ -124,6 +131,7 @@ func (e *Executor) AttachFollower(cfg ReplicaConfig) (*Replica, error) {
 		return nil, err
 	}
 	e.followers = append(e.followers, r)
+	shipHist.Record(uint64(time.Since(start)))
 	return r, nil
 }
 
@@ -133,6 +141,10 @@ func (e *Executor) Followers() []*Replica {
 	defer e.mu.RUnlock()
 	return append([]*Replica(nil), e.followers...)
 }
+
+// SetTracer attaches the lifecycle tracer (nil detaches). Set before
+// traffic flows, like the observers.
+func (e *Executor) SetTracer(t *telemetry.Tracer) { e.tracer = t }
 
 // SetExecObserver installs the execution-record observer.
 func (e *Executor) SetExecObserver(f func(trace.ExecRecord)) { e.onApply = f }
@@ -195,8 +207,15 @@ func (e *Executor) TakeDeliveries() []amcast.Delivery {
 	if len(dels) == 0 {
 		return dels
 	}
+	tr := e.tracer
 	e.mu.Lock()
 	for i := range dels {
+		if dels[i].Msg.Sender.IsClient() {
+			// Entry stage, first-wins: the earliest group to deliver
+			// marks the ordering point (the runtime's own post-drain
+			// stamp loses against this earlier one).
+			tr.Stamp(dels[i].Msg.ID, telemetry.StageDeliver)
+		}
 		res := e.shard.Apply(dels[i])
 		if e.mirror != nil {
 			e.mirror.Apply(dels[i])
@@ -214,6 +233,11 @@ func (e *Executor) TakeDeliveries() []amcast.Delivery {
 		// under any chunking — a batch is a scheduling unit, never a
 		// semantic one (amcast.BatchStepper).
 		dels[i].Watermark = dels[i].Seq + 1
+		if dels[i].Msg.Sender.IsClient() {
+			// Completion stage, last-wins: the final group to apply
+			// closes the execute window.
+			tr.Stamp(dels[i].Msg.ID, telemetry.StageExecute)
+		}
 	}
 	// Capture the follower set before unlocking: AttachFollower appends
 	// under the same lock, so a replica attached mid-feed either sees

@@ -84,6 +84,7 @@ type Replica struct {
 
 	refusals atomic.Uint64
 	reads    atomic.Uint64
+	renewals atomic.Uint64
 	onRead   func(trace.FastReadRecord)
 
 	queue chan []amcast.Delivery
@@ -151,6 +152,7 @@ func (r *Replica) Feed(dels []amcast.Delivery) {
 		r.leaseEpoch++
 		r.leaseExpiry = now + r.cfg.AutoGrantTerm
 		r.mu.Unlock()
+		r.renewals.Add(1)
 	}
 	if r.queue != nil {
 		cp := append([]amcast.Delivery(nil), dels...)
@@ -194,11 +196,15 @@ func (r *Replica) apply(dels []amcast.Delivery) {
 // only move forward; a stale grant (smaller epoch) is ignored.
 func (r *Replica) Grant(epoch, expiry uint64) {
 	r.mu.Lock()
-	if epoch >= r.leaseEpoch {
+	renewed := epoch >= r.leaseEpoch
+	if renewed {
 		r.leaseEpoch = epoch
 		r.leaseExpiry = expiry
 	}
 	r.mu.Unlock()
+	if renewed {
+		r.renewals.Add(1)
+	}
 }
 
 // Revoke withdraws the replica's lease immediately (administrative
@@ -227,6 +233,11 @@ func (r *Replica) Refusals() uint64 { return r.refusals.Load() }
 
 // Reads reports how many fast reads the replica served.
 func (r *Replica) Reads() uint64 { return r.reads.Load() }
+
+// Renewals reports how many lease renewals the replica received
+// (auto-grants riding the log feed plus explicit Grants that advanced
+// the epoch).
+func (r *Replica) Renewals() uint64 { return r.renewals.Load() }
 
 // Watermark returns the replica's delivered-prefix watermark.
 func (r *Replica) Watermark() uint64 {

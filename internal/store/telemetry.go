@@ -1,0 +1,16 @@
+package store
+
+import (
+	"flexcast/internal/metrics"
+)
+
+// shipHist is the snapshot-shipping duration distribution: the time
+// AttachFollower holds the executor's write lock cloning the serving
+// shard and installing it into the joining replica — the pause snapshot
+// shipping inserts into the write path. Package-level and process-wide
+// (values in nanoseconds), like the durable layer's histograms.
+var shipHist = metrics.NewHistogram()
+
+// SnapshotShipHist returns the snapshot-shipping duration histogram;
+// commands register it with the telemetry registry as snapshot_ship_ns.
+func SnapshotShipHist() *metrics.Histogram { return shipHist }
