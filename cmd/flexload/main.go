@@ -29,36 +29,14 @@ import (
 )
 
 func main() {
+	// Every benchmark knob is a loadgen.Config field; AddFlags binds
+	// them all with the struct's own defaults. Only command concerns
+	// (output, A/B companions, telemetry) are declared here.
+	cfgp := loadgen.AddFlags(flag.CommandLine)
 	var (
-		transportF = flag.String("transport", "inmem", "transport: inmem or tcp (loopback)")
-		protocol   = flag.String("protocol", "flexcast", "protocol: flexcast, skeen, hierarchical")
-		groups     = flag.Int("groups", 0, "number of groups (default 12, the paper's WAN set)")
-		clients    = flag.Int("clients", 4, "client processes")
-		workers    = flag.Int("workers", 32, "concurrent closed-loop sessions per client process")
-		rate       = flag.Float64("rate", 0, "open-loop rate per client process in tx/s (0 = closed loop)")
-		warmup     = flag.Duration("warmup", time.Second, "warm-up before the measurement window")
-		duration   = flag.Duration("duration", 5*time.Second, "measurement window")
-		batch      = flag.Int("batch", 64, "max envelopes per runtime batch (1 disables batching)")
-		flush      = flag.Duration("flush-interval", 500*time.Microsecond, "batch flush period")
-		payload    = flag.Int("payload", 0, "payload bytes (0 = gTPC-C sizes)")
-		locality   = flag.Float64("locality", 0.95, "gTPC-C locality rate")
-		globalOnly = flag.Bool("global-only", false, "multi-group transactions only")
-		execute    = flag.Bool("execute", false, "execute the gTPC-C store at every group (per-type stats, cross-shard invariant digest)")
-		storeSeed  = flag.Int64("store-seed", 0, "store population seed (0 = workload seed)")
-		readPct    = flag.Float64("read-pct", 0, "percent of iterations served as fast-path local reads (requires -execute)")
-		replicas   = flag.Int("replicas", 0, "smr-style replication degree per group (>= 2 deploys follower read replicas; requires -execute)")
-		followerRd = flag.Bool("follower-reads", false, "serve reads from lease-holding follower replicas (requires -replicas >= 2; off: remote leader reads)")
-		readWrk    = flag.Int("read-workers", 0, "dedicated closed-loop read-only sessions per client process (requires -execute)")
-		zipf       = flag.Float64("zipf", 0, "Zipfian workload skew parameter s (> 1; 0 = uniform)")
-		durableF   = flag.Bool("durable", false, "run every group's engine on the durable WAL+snapshot backend and verify end-of-run crash recovery (requires -execute)")
-		durableDir = flag.String("durable-dir", "", "durable persistence root (each run uses a fresh subdirectory; default: a temp dir removed at exit)")
-		durableSE  = flag.Int("durable-snapshot-every", 0, "snapshot + WAL-rotation cadence in input envelopes (0 = backend default, 256)")
-		durableFS  = flag.Int("durable-fsync-every", 0, "WAL fsync cadence in appends (0 = backend default, 64)")
 		noPool     = flag.Bool("no-pool", false, "disable codec frame pooling (allocation A/B baseline)")
-		traceSmp   = flag.Int("trace-sample", 16, "lifecycle-trace one write in N (0 disables stage tracing)")
 		telemetryF = flag.String("telemetry", "", "serve /metrics (JSON) and /debug/pprof on this address mid-run (e.g. 127.0.0.1:8090)")
 		ab         = flag.Bool("ab", false, "also run the A/B companions: read mix off, frame pooling off, and tracing off (asserts tracing overhead <= 5%)")
-		seed       = flag.Int64("seed", 1, "workload seed")
 		out        = flag.String("out", "", "write the JSON report to this file")
 		compare    = flag.Bool("compare", false, "also run the -batch=1 baseline and report the speedup")
 		validate   = flag.String("validate", "", "validate an existing report file and exit")
@@ -75,34 +53,7 @@ func main() {
 		return
 	}
 
-	cfg := loadgen.Config{
-		Transport:            *transportF,
-		Protocol:             *protocol,
-		Groups:               *groups,
-		Clients:              *clients,
-		Workers:              *workers,
-		Rate:                 *rate,
-		Warmup:               *warmup,
-		Duration:             *duration,
-		MaxBatch:             *batch,
-		FlushInterval:        *flush,
-		PayloadSize:          *payload,
-		Locality:             *locality,
-		GlobalOnly:           *globalOnly,
-		Execute:              *execute,
-		StoreSeed:            *storeSeed,
-		ReadPct:              *readPct,
-		Replicas:             *replicas,
-		FollowerReads:        *followerRd,
-		ReadWorkers:          *readWrk,
-		Zipf:                 *zipf,
-		Seed:                 *seed,
-		Durable:              *durableF,
-		DurableDir:           *durableDir,
-		DurableSnapshotEvery: *durableSE,
-		DurableFsyncEvery:    *durableFS,
-		TraceSample:          *traceSmp,
-	}
+	cfg := *cfgp
 
 	if *telemetryF != "" {
 		srv, err := telemetry.Serve(*telemetryF, telemetry.Default)
@@ -170,7 +121,7 @@ func main() {
 			// unsampled hot path is one branch and one modulo, so sampled
 			// tracing must stay within run-to-run noise; gate at 5%.
 			noTrace := cfg
-			noTrace.TraceSample = 0
+			noTrace.TraceSample = -1
 			vres, err := loadgen.Run(noTrace)
 			if err != nil {
 				log.Fatalf("flexload: no_trace variant: %v", err)

@@ -1,0 +1,144 @@
+package grid
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRunSpecEndToEnd drives a tiny real grid — 2 load cells × 2
+// repeats plus one simbench cell — through RunSpec and checks the
+// summary, raw artifacts, curves, history line and self-compare.
+func TestRunSpecEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real load grid")
+	}
+	spec := testSpec(t, `{
+		"schema": "flexgrid/experiments/v1",
+		"repeats": 2,
+		"common": {"groups": 3, "clients": 1, "workers": 4,
+		           "warmup_ms": 100, "duration_ms": 300, "timeout_ms": 60000},
+		"experiments": [
+			{"name": "e2e",
+			 "axes": {"batch": [1, 64]},
+			 "curve": {"x": "batch", "y": ["throughput_tx_s"]}},
+			{"name": "micro", "kind": "simbench", "repeats": 1,
+			 "config": {"groups": 3, "replicas": 3, "sim_ops": 2000}}
+		]
+	}`)
+	outDir := t.TempDir()
+	var log strings.Builder
+	sum, err := RunSpec(spec, Options{OutDir: outDir, Log: &log, Spec: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 3 {
+		t.Fatalf("summary has %d cells, want 3", len(sum.Cells))
+	}
+	for _, name := range []string{"e2e/batch=1", "e2e/batch=64"} {
+		c := sum.Cell(name)
+		if c == nil {
+			t.Fatalf("cell %s missing", name)
+		}
+		if c.Repeats != 2 || c.Metrics["throughput_tx_s"].N != 2 {
+			t.Fatalf("cell %s repeats wrong: %+v", name, c)
+		}
+		if c.Metrics["throughput_tx_s"].Median <= 0 {
+			t.Fatalf("cell %s has no throughput", name)
+		}
+		// PR 7's stage decomposition must survive aggregation.
+		if c.Metrics["stage_ordering_p50_ns"].N == 0 {
+			t.Fatalf("cell %s lost its stage decomposition: %v", name, keysOf(c.Metrics))
+		}
+	}
+	micro := sum.Cell("micro")
+	if micro == nil || micro.Metrics["followerread_gate_ns_op"].Median <= 0 {
+		t.Fatalf("simbench cell wrong: %+v", micro)
+	}
+
+	// One curve table with a single series of both batch points in order.
+	if len(sum.Curves) != 1 || len(sum.Curves[0].Series) != 1 {
+		t.Fatalf("curves wrong: %+v", sum.Curves)
+	}
+	pts := sum.Curves[0].Series[0].Points
+	if len(pts) != 2 || pts[0].X != 1 || pts[1].X != 64 {
+		t.Fatalf("curve points wrong: %+v", pts)
+	}
+
+	// Raw artifacts: one file per run.
+	ents, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 5 { // 2 cells × 2 repeats + 1 simbench repeat
+		t.Fatalf("%d raw artifacts, want 5", len(ents))
+	}
+
+	// Summary file + history round trip on real output.
+	sumPath := filepath.Join(t.TempDir(), "summary.json")
+	if err := sum.WriteFile(sumPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSummary(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	histPath := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := AppendHistory(histPath, HistoryFromSummary(back)); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ReadHistory(histPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 || len(hist[0].Cells) != 3 {
+		t.Fatalf("history wrong: %+v", hist)
+	}
+
+	// A summary must always pass the gate against itself.
+	if v := Compare(back, back); !v.OK {
+		t.Fatalf("self-compare failed: %s", v.Format())
+	}
+
+	if !strings.Contains(log.String(), "grid complete: 3 cells") {
+		t.Fatalf("progress log wrong:\n%s", log.String())
+	}
+}
+
+func TestRunSpecFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real sim microbenchmark")
+	}
+	spec := testSpec(t, `{
+		"schema": "flexgrid/experiments/v1",
+		"experiments": [
+			{"name": "skipme", "axes": {"batch": [1]}},
+			{"name": "micro", "kind": "simbench", "repeats": 1,
+			 "config": {"sim_ops": 1000}}
+		]
+	}`)
+	sum, err := RunSpec(spec, Options{Filter: regexp.MustCompile(`^micro$`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Cells) != 1 || sum.Cells[0].Name != "micro" {
+		t.Fatalf("filter ran wrong cells: %+v", sum.Cells)
+	}
+	// A filter matching nothing is an error, not an empty summary.
+	if _, err := RunSpec(spec, Options{Filter: regexp.MustCompile(`^nothing$`)}); err == nil {
+		t.Fatal("empty filtered grid succeeded")
+	}
+}
+
+func keysOf(m map[string]MetricSummary) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -93,8 +93,27 @@ func nodeConfig(cfg Config, proto *protocolDeployment, eng amcast.Engine) runtim
 	return rc
 }
 
+// deployInMem also serves the "wan" transport: the same in-memory
+// deployment with every link routed through a delayNet applying the
+// paper's inter-region one-way latencies.
 func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (*deployment, error) {
 	nw := transport.NewInMemNet()
+	var dn *delayNet
+	if cfg.Transport == "wan" {
+		dn = newDelayNet(proto.groups)
+	}
+	// sendVia builds a node's send function: straight into the mailbox,
+	// or through the WAN delay queue of the (from, to) link.
+	sendVia := func(from amcast.NodeID) func(to amcast.NodeID, envs []amcast.Envelope) {
+		if dn == nil {
+			return func(to amcast.NodeID, envs []amcast.Envelope) { nw.SendBatch(from, to, envs) }
+		}
+		return func(to amcast.NodeID, envs []amcast.Envelope) {
+			dn.send(from, to, envs, func(to amcast.NodeID, envs []amcast.Envelope) {
+				nw.SendBatch(from, to, envs)
+			})
+		}
+	}
 	dep := &deployment{}
 	for _, g := range proto.groups {
 		eng, err := proto.factory(g)
@@ -103,8 +122,7 @@ func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (
 			return nil, err
 		}
 		id := amcast.GroupNode(g)
-		send := func(to amcast.NodeID, envs []amcast.Envelope) { nw.SendBatch(id, to, envs) }
-		node := runtime.NewNode(eng, send, nodeConfig(cfg, proto, eng))
+		node := runtime.NewNode(eng, sendVia(id), nodeConfig(cfg, proto, eng))
 		dep.nodes = append(dep.nodes, node)
 		if err := nw.AddBatchHandler(id, node.Submit); err != nil {
 			nw.Close()
@@ -113,15 +131,16 @@ func deployInMem(cfg Config, proto *protocolDeployment, clients []*clientProc) (
 	}
 	for _, c := range clients {
 		c := c
-		c.batcher = runtime.NewBatcher(func(to amcast.NodeID, envs []amcast.Envelope) {
-			nw.SendBatch(c.id, to, envs)
-		}, cfg.MaxBatch)
+		c.batcher = runtime.NewBatcher(sendVia(c.id), cfg.MaxBatch)
 		if err := nw.AddBatchHandler(c.id, c.onReplies); err != nil {
 			nw.Close()
 			return nil, err
 		}
 	}
 	dep.close = func() {
+		if dn != nil {
+			dn.close()
+		}
 		nw.Close()
 		for _, n := range dep.nodes {
 			n.Close()

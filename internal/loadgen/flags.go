@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+)
+
+// AddFlags binds one flag per Config field onto fs and returns the
+// Config the parsed flags fill. Every default comes from Defaults() —
+// the same fill() the programmatic entry point applies — so the CLI
+// and struct defaults cannot diverge. Callers layer their own
+// command-only flags (output paths, A/B switches) on the same set.
+func AddFlags(fs *flag.FlagSet) *Config {
+	d := Defaults()
+	c := &d
+	fs.StringVar(&c.Transport, "transport", c.Transport,
+		"transport: inmem, tcp (loopback) or wan (in-memory with inter-region delays)")
+	fs.StringVar(&c.Protocol, "protocol", c.Protocol, "protocol: flexcast, skeen, hierarchical")
+	fs.IntVar(&c.Groups, "groups", c.Groups, "number of groups (12: the paper's WAN set)")
+	fs.IntVar(&c.Clients, "clients", c.Clients, "client processes")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "concurrent closed-loop sessions per client process")
+	fs.Float64Var(&c.Rate, "rate", c.Rate, "open-loop rate per client process in tx/s (0 = closed loop)")
+	fs.IntVar(&c.MaxOutstanding, "max-outstanding", c.MaxOutstanding,
+		"open-loop in-flight cap per client process; issuance beyond it is shed")
+	fs.DurationVar(&c.FlushEvery, "flush-every", c.FlushEvery,
+		"period of the §4.3 flush/garbage-collection client (negative disables)")
+	fs.DurationVar(&c.Warmup, "warmup", c.Warmup, "warm-up before the measurement window")
+	fs.DurationVar(&c.Duration, "duration", c.Duration, "measurement window")
+	fs.IntVar(&c.MaxBatch, "batch", c.MaxBatch, "max envelopes per runtime batch (1 disables batching)")
+	fs.DurationVar(&c.FlushInterval, "flush-interval", c.FlushInterval, "batch flush period")
+	fs.IntVar(&c.PayloadSize, "payload", c.PayloadSize, "payload bytes (0 = gTPC-C sizes)")
+	fs.Float64Var(&c.Locality, "locality", c.Locality, "gTPC-C locality rate")
+	fs.BoolVar(&c.GlobalOnly, "global-only", c.GlobalOnly, "multi-group transactions only")
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "workload seed")
+	fs.DurationVar(&c.Timeout, "timeout", c.Timeout, "per-transaction timeout; exceeding it fails the run")
+	fs.BoolVar(&c.Execute, "execute", c.Execute,
+		"execute the gTPC-C store at every group (per-type stats, cross-shard invariant digest)")
+	fs.Int64Var(&c.StoreSeed, "store-seed", c.StoreSeed, "store population seed (0 = workload seed)")
+	fs.Float64Var(&c.ReadPct, "read-pct", c.ReadPct,
+		"percent of iterations served as fast-path local reads (requires -execute)")
+	fs.IntVar(&c.Replicas, "replicas", c.Replicas,
+		"smr-style replication degree per group (>= 2 deploys follower read replicas; requires -execute)")
+	fs.BoolVar(&c.FollowerReads, "follower-reads", c.FollowerReads,
+		"serve reads from lease-holding follower replicas (requires -replicas >= 2; off: remote leader reads)")
+	fs.IntVar(&c.ReadWorkers, "read-workers", c.ReadWorkers,
+		"dedicated closed-loop read-only sessions per client process (requires -execute)")
+	fs.DurationVar(&c.LeaseTerm, "lease-term", c.LeaseTerm, "follower read-lease term")
+	fs.Float64Var(&c.Zipf, "zipf", c.Zipf, "Zipfian workload skew parameter s (> 1; 0 = uniform)")
+	fs.BoolVar(&c.Durable, "durable", c.Durable,
+		"run every group's engine on the durable WAL+snapshot backend and verify end-of-run crash recovery (requires -execute)")
+	fs.StringVar(&c.DurableDir, "durable-dir", c.DurableDir,
+		"durable persistence root (each run uses a fresh subdirectory; default: a temp dir removed at exit)")
+	fs.IntVar(&c.DurableSnapshotEvery, "durable-snapshot-every", c.DurableSnapshotEvery,
+		"snapshot + WAL-rotation cadence in input envelopes (0 = backend default, 256)")
+	fs.IntVar(&c.DurableFsyncEvery, "durable-fsync-every", c.DurableFsyncEvery,
+		"WAL fsync cadence in appends (0 = backend default, 64)")
+	// The CLI keeps its historical "0 disables" contract while the
+	// struct uses 0 = default-on, negative = off: 0 maps to -1 here.
+	fs.Func("trace-sample",
+		fmt.Sprintf("lifecycle-trace one write in N (default %d; 0 disables stage tracing)", c.TraceSample),
+		func(s string) error {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("parse error")
+			}
+			if n == 0 {
+				n = -1
+			}
+			c.TraceSample = n
+			return nil
+		})
+	return c
+}

@@ -39,10 +39,16 @@ import (
 	"flexcast/internal/wan"
 )
 
-// Config parameterizes one load run.
+// Config parameterizes one load run. It is the programmatic entry
+// point behind cmd/flexload and cmd/flexgrid: the zero value is a
+// complete configuration (fill supplies every default), flags are a
+// thin parser over it (AddFlags), and grid cells build it from JSON.
 type Config struct {
-	// Transport selects "inmem" (default) or "tcp" (loopback, one
-	// in-process TCP node per group and client).
+	// Transport selects "inmem" (default), "tcp" (loopback, one
+	// in-process TCP node per group and client) or "wan" (the in-memory
+	// transport with each link delayed by the paper's inter-region
+	// one-way latency matrix — wan.OneWayMicros — so the fig5-style WAN
+	// curves run against real wall-clock latency).
 	Transport string
 	// Protocol selects "flexcast" (default), "skeen" or "hierarchical".
 	Protocol string
@@ -74,7 +80,8 @@ type Config struct {
 	// MaxBatch is the runtime batch cap for servers and clients; 1
 	// disables batching (the baseline), 0 defaults to 64.
 	MaxBatch int
-	// FlushInterval is the batch flush period (0: runtime default).
+	// FlushInterval is the batch flush period (default 500µs, matching
+	// the runtime's own default).
 	FlushInterval time.Duration
 	// PayloadSize overrides the gTPC-C payload size when > 0.
 	PayloadSize int
@@ -158,14 +165,16 @@ type Config struct {
 	// 256 and 64).
 	DurableSnapshotEvery int
 	DurableFsyncEvery    int
-	// TraceSample, when > 0, traces one in TraceSample write
-	// transactions through the lifecycle tracer (internal/telemetry):
-	// stage timestamps at submit, inbound queue entry/exit, delivery,
-	// store execution, reply-batch flush and completion, folded into the
-	// per-stage latency histograms of Result.Stages. Sampling is
-	// deterministic on the message id, so every component agrees on the
-	// sampled set with no coordination; unsampled requests cost one
-	// branch per stage. 0 disables tracing.
+	// TraceSample traces one in TraceSample write transactions through
+	// the lifecycle tracer (internal/telemetry): stage timestamps at
+	// submit, inbound queue entry/exit, delivery, store execution,
+	// reply-batch flush and completion, folded into the per-stage
+	// latency histograms of Result.Stages. Sampling is deterministic on
+	// the message id, so every component agrees on the sampled set with
+	// no coordination; unsampled requests cost one branch per stage.
+	// 0 defaults to 16 (tracing on — the measured overhead is within
+	// run-to-run noise and the decomposition rides every report);
+	// negative disables tracing.
 	TraceSample int
 }
 
@@ -173,7 +182,7 @@ func (c *Config) fill() error {
 	if c.Transport == "" {
 		c.Transport = "inmem"
 	}
-	if c.Transport != "inmem" && c.Transport != "tcp" {
+	if c.Transport != "inmem" && c.Transport != "tcp" && c.Transport != "wan" {
 		return fmt.Errorf("loadgen: unknown transport %q", c.Transport)
 	}
 	if c.Protocol == "" {
@@ -202,6 +211,9 @@ func (c *Config) fill() error {
 	}
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 500 * time.Microsecond
 	}
 	if c.MaxOutstanding == 0 {
 		c.MaxOutstanding = 512
@@ -260,7 +272,30 @@ func (c *Config) fill() error {
 	if c.Durable && !c.Execute {
 		return fmt.Errorf("loadgen: -durable requires -execute (crash recovery is verified against shard digests)")
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 16
+	}
 	return nil
+}
+
+// Fill normalizes the configuration in place, applying every default
+// fill supplies, and reports validation errors. Run calls it
+// implicitly; programmatic callers (the grid runner, tests) use it to
+// observe the effective configuration of a cell before running it.
+func (c *Config) Fill() error { return c.fill() }
+
+// Defaults returns the effective defaults of a zero Config — what Run
+// fills in when a field is unset — with the derived fields (StoreSeed,
+// which follows Seed) left at zero so their derivation still applies
+// after the caller overrides the fields they derive from. AddFlags
+// uses it so flag defaults and struct defaults can never diverge.
+func Defaults() Config {
+	var c Config
+	if err := c.fill(); err != nil {
+		panic(err) // the zero Config must always validate
+	}
+	c.StoreSeed = 0 // derived: follows Seed at fill time
+	return c
 }
 
 // TxTypeStats is the execute-mode measurement of one transaction type.

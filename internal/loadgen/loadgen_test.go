@@ -370,8 +370,9 @@ func TestRunTracedStages(t *testing.T) {
 		t.Fatalf("stages section lost in round trip: %+v", back.Config)
 	}
 
-	// Untraced control: no stages section.
-	cfg.TraceSample = 0
+	// Untraced control: no stages section (negative disables; 0 would
+	// fill to the default of 16).
+	cfg.TraceSample = -1
 	res2, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -85,10 +85,9 @@ func reportConfig(cfg Config) ReportConfig {
 	if cfg.Rate > 0 {
 		mode = "open"
 	}
+	// cfg arrives filled (NewReport normalizes), so FlushInterval and
+	// every other default are already the effective values.
 	flush := cfg.FlushInterval
-	if flush == 0 {
-		flush = 500 * time.Microsecond
-	}
 	rc := ReportConfig{
 		Transport:       cfg.Transport,
 		Protocol:        cfg.Protocol,
@@ -122,7 +121,9 @@ func reportConfig(cfg Config) ReportConfig {
 		rc.DurableSnapshotEvery = cfg.DurableSnapshotEvery
 		rc.DurableFsyncEvery = cfg.DurableFsyncEvery
 	}
-	rc.TraceSample = cfg.TraceSample
+	if cfg.TraceSample > 0 {
+		rc.TraceSample = cfg.TraceSample // negative = disabled: omit
+	}
 	return rc
 }
 

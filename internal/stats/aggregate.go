@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// The grid runner's repeat aggregation (cmd/flexgrid) summarizes a
+// handful of repeats per cell, so these quantiles interpolate linearly
+// between order statistics (the common "type 7" estimator) instead of
+// using Recorder's nearest-rank: with 3–5 samples, nearest-rank
+// quartiles collapse onto the extremes and the IQR noise band would be
+// either zero or the full range.
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs by linear
+// interpolation between closest ranks. It returns NaN when xs is
+// empty; xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Median returns the interpolated median of xs (NaN when empty).
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quartiles returns the interpolated first, second and third quartiles
+// of xs (all NaN when empty).
+func Quartiles(xs []float64) (q1, q2, q3 float64) {
+	return Quantile(xs, 0.25), Quantile(xs, 0.5), Quantile(xs, 0.75)
+}
+
+// IQR returns the interquartile range Q3 - Q1 of xs — the grid
+// runner's per-cell noise width (NaN when empty).
+func IQR(xs []float64) float64 {
+	q1, _, q3 := Quartiles(xs)
+	return q3 - q1
+}
+
+// Median returns the interpolated median of the recorded samples
+// (NaN when empty).
+func (r *Recorder) Median() float64 { return Median(r.samples) }
+
+// IQR returns the interquartile range of the recorded samples (NaN
+// when empty).
+func (r *Recorder) IQR() float64 { return IQR(r.samples) }

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40},
+		{0.5, 25}, // halfway between the middle pair
+		{0.25, 17.5} /* 0.75 of the way from 10 to 20 */, {0.75, 32.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v, %v) = %v, want %v", xs, c.q, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 10 || xs[3] != 40 {
+		t.Fatalf("Quantile reordered its input: %v", xs)
+	}
+}
+
+func TestMedianOddEvenSingleton(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v, want 2", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+	if got := Median([]float64{7}); got != 7 {
+		t.Errorf("singleton median = %v, want 7", got)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median not NaN")
+	}
+}
+
+func TestQuartilesAndIQR(t *testing.T) {
+	// 1..9: quartiles land exactly on order statistics.
+	xs := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	q1, q2, q3 := Quartiles(xs)
+	if q1 != 3 || q2 != 5 || q3 != 7 {
+		t.Fatalf("quartiles = %v %v %v, want 3 5 7", q1, q2, q3)
+	}
+	if got := IQR(xs); got != 4 {
+		t.Fatalf("IQR = %v, want 4", got)
+	}
+	// Identical repeats: zero spread.
+	if got := IQR([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("constant IQR = %v, want 0", got)
+	}
+	// Tiny repeat counts must not collapse onto the extremes the way
+	// nearest-rank would: for {10, 20, 30} the band is half the range.
+	if got := IQR([]float64{10, 20, 30}); got != 10 {
+		t.Fatalf("3-repeat IQR = %v, want 10", got)
+	}
+	if !math.IsNaN(IQR(nil)) {
+		t.Error("empty IQR not NaN")
+	}
+}
+
+func TestRecorderMedianIQR(t *testing.T) {
+	var r Recorder
+	for _, v := range []float64{4, 1, 3, 2} {
+		r.Add(v)
+	}
+	if got := r.Median(); got != 2.5 {
+		t.Errorf("Recorder median = %v, want 2.5", got)
+	}
+	if got := r.IQR(); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("Recorder IQR = %v, want 1.5", got)
+	}
+}
