@@ -101,10 +101,21 @@ type Envelope struct {
 	// ancestor's flush ack against the notifier whose history triggered
 	// the notification, or a flush ack predating a later notifier's
 	// dependencies could satisfy the wait too early (see DESIGN.md §4).
+	// Each pair carries the notifier's certification epoch for the
+	// notified group — destinations wait for a flush ack covering at
+	// least that epoch, which is what closes the fresh-request
+	// staircase ring (DESIGN.md §4 deviation 8).
 	NotifList []NotifPair
 	// AckCovers, on a notified group's flush ACK, names the notifiers
-	// whose notifications this ack answers. Empty on destination acks.
-	AckCovers []GroupID
+	// whose notifications this ack answers, each with the highest
+	// certification epoch answered. Empty on destination acks.
+	AckCovers []AckCover
+	// CertEpoch is the certification epoch of a KindNotif envelope
+	// (≥ 1). A notifier bumps it when traffic addressed to the notified
+	// group entered its history since the last NOTIF about this
+	// message, so the re-NOTIF carrying a fresh edge is not foldable as
+	// a duplicate. 0 on every other kind.
+	CertEpoch uint64
 	// TS is the Skeen local timestamp (KindTS), the delivery sequence
 	// number on KindReply envelopes, and the client's read barrier on
 	// KindRead envelopes.
@@ -132,26 +143,68 @@ type Envelope struct {
 }
 
 // NotifPair records that Notifier sent a NOTIF about a message to
-// Notified (a non-destination holding relevant ordering information).
+// Notified (a non-destination holding relevant ordering information),
+// most recently at certification epoch Epoch (≥ 1).
 type NotifPair struct {
 	// Notifier sent the NOTIF; Notified received it.
 	Notifier, Notified GroupID
+	// Epoch is the highest certification epoch the notifier has sent
+	// for this (message, notified) pair.
+	Epoch uint64
 }
 
-// NormalizePairs sorts pairs by (notifier, notified) and removes
-// duplicates, in place; deterministic encoding needs a canonical order.
+// NormalizePairs sorts pairs by (notifier, notified) and collapses
+// duplicates keeping the highest epoch, in place; deterministic
+// encoding needs a canonical order, and a destination merging pair
+// lists from several envelopes must keep the freshest certification.
 func NormalizePairs(ps []NotifPair) []NotifPair {
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].Notifier != ps[j].Notifier {
 			return ps[i].Notifier < ps[j].Notifier
 		}
-		return ps[i].Notified < ps[j].Notified
+		if ps[i].Notified != ps[j].Notified {
+			return ps[i].Notified < ps[j].Notified
+		}
+		return ps[i].Epoch < ps[j].Epoch
 	})
 	out := ps[:0]
-	for i, p := range ps {
-		if i == 0 || p != ps[i-1] {
-			out = append(out, p)
+	for _, p := range ps {
+		if n := len(out); n > 0 && out[n-1].Notifier == p.Notifier && out[n-1].Notified == p.Notified {
+			out[n-1].Epoch = p.Epoch // sorted ascending: p's epoch is the max
+			continue
 		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// AckCover is one entry of a notified group's flush-ack cover list:
+// the ack answers Notifier's notifications up to certification epoch
+// Epoch (≥ 1).
+type AckCover struct {
+	// Notifier is the group whose notifications this ack answers.
+	Notifier GroupID
+	// Epoch is the highest certification epoch answered.
+	Epoch uint64
+}
+
+// NormalizeCovers sorts covers by notifier and collapses duplicates
+// keeping the highest epoch, in place — the canonical encoding of a
+// flush ack's cover list.
+func NormalizeCovers(cs []AckCover) []AckCover {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Notifier != cs[j].Notifier {
+			return cs[i].Notifier < cs[j].Notifier
+		}
+		return cs[i].Epoch < cs[j].Epoch
+	})
+	out := cs[:0]
+	for _, c := range cs {
+		if n := len(out); n > 0 && out[n-1].Notifier == c.Notifier {
+			out[n-1].Epoch = c.Epoch
+			continue
+		}
+		out = append(out, c)
 	}
 	return out
 }

@@ -233,7 +233,7 @@ func benchEnvelope() amcast.Envelope {
 			},
 			Edges: []amcast.HistEdge{{From: 1, To: 2}, {From: 2, To: 3}},
 		},
-		NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4}},
+		NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4, Epoch: 1}},
 	}
 }
 

@@ -10,15 +10,17 @@ import (
 	"flexcast/internal/harness"
 )
 
-// TestHuntFlushGC is a manual hunting harness for the known flush-GC
-// acyclic-order bug (ROADMAP): dense, fault-free closed-loop schedules
-// with aggressive flushing, now on the profile that mirrors the
-// measurement harness — the WAN latency matrix plus gTPC-C destination
-// locality (harness.ApplyWANProfile), which the earlier random-latency,
-// uniform-destination hunts could not emulate and which the known
-// repro (flexbench -experiment fig5 -scale 0.02 -verify) depends on.
-// Enabled via CHAOS_HUNT=<schedules>; CHAOS_HUNT_RANDOM=1 falls back to
-// the random environment.
+// TestHuntFlushGC hunts for staircase-ring regressions (the formerly
+// open acyclic-order hole, DESIGN.md §4 deviation 8): dense, fault-free
+// closed-loop schedules with aggressive flushing on the profile that
+// mirrors the measurement harness — the WAN latency matrix plus gTPC-C
+// destination locality (harness.ApplyWANProfile), which the
+// random-latency, uniform-destination hunts cannot emulate and which
+// the historical repro (flexbench -experiment fig5 -scale 0.02
+// -verify) depended on. Enabled via CHAOS_HUNT=<schedules> (the
+// scheduled CI ring-hunt job runs it nightly); CHAOS_HUNT_RANDOM=1
+// falls back to the random environment. Any violation FAILS the test;
+// each failing seed is printed for deterministic replay.
 func TestHuntFlushGC(t *testing.T) {
 	n, _ := strconv.Atoi(os.Getenv("CHAOS_HUNT"))
 	if n == 0 {
@@ -54,7 +56,7 @@ func TestHuntFlushGC(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, v := range rep.Violations {
-		fmt.Printf("VIOLATION seed %d: %v\n", v.Seed, v.Err)
+		t.Errorf("VIOLATION seed %d: %v", v.Seed, v.Err)
 	}
 	fmt.Printf("hunted %d schedules, %d multicasts, %d violations\n",
 		rep.Schedules, rep.Multicasts, len(rep.Violations))

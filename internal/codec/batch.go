@@ -56,17 +56,22 @@ func Append(buf []byte, env amcast.Envelope) []byte {
 	if hasHist(env.Kind) {
 		buf = appendHist(buf, env.Hist)
 	}
+	if hasCertEpoch(env.Kind) {
+		buf = binary.AppendUvarint(buf, env.CertEpoch)
+	}
 	if hasNotifList(env.Kind) {
 		buf = binary.AppendUvarint(buf, uint64(len(env.NotifList)))
 		for _, p := range env.NotifList {
 			buf = binary.AppendUvarint(buf, uint64(uint32(p.Notifier)))
 			buf = binary.AppendUvarint(buf, uint64(uint32(p.Notified)))
+			buf = binary.AppendUvarint(buf, p.Epoch)
 		}
 	}
 	if hasAckCovers(env.Kind) {
 		buf = binary.AppendUvarint(buf, uint64(len(env.AckCovers)))
-		for _, g := range env.AckCovers {
-			buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		for _, c := range env.AckCovers {
+			buf = binary.AppendUvarint(buf, uint64(uint32(c.Notifier)))
+			buf = binary.AppendUvarint(buf, c.Epoch)
 		}
 	}
 	if hasTS(env.Kind) {

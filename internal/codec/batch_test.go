@@ -22,10 +22,10 @@ func batchSampleEnvelopes() []amcast.Envelope {
 		}, Hist: &amcast.HistDelta{
 			Nodes: []amcast.HistNode{{ID: 7, Dst: []amcast.GroupID{2, 4}}},
 			Edges: []amcast.HistEdge{{From: 7, To: amcast.NewMsgID(1, 1)}},
-		}, NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 3}}},
+		}, NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 3, Epoch: 1}}},
 		{Kind: amcast.KindAck, From: amcast.GroupNode(3), Msg: amcast.Message{
 			ID: amcast.NewMsgID(1, 1), Dst: []amcast.GroupID{2, 4},
-		}, AckCovers: []amcast.GroupID{2}},
+		}, AckCovers: []amcast.AckCover{{Notifier: 2, Epoch: 1}}},
 		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: amcast.Message{
 			ID: 8, Dst: []amcast.GroupID{9, 11},
 		}, TS: 42, TSFrom: 9},

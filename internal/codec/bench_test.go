@@ -19,8 +19,8 @@ func benchBatch(n int) []amcast.Envelope {
 		default:
 			envs[i] = amcast.Envelope{Kind: amcast.KindAck, From: amcast.GroupNode(2),
 				Msg:       amcast.Message{ID: amcast.MsgID(i + 1), Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1, 2}},
-				NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 3}},
-				AckCovers: []amcast.GroupID{1}}
+				NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 3, Epoch: 1}},
+				AckCovers: []amcast.AckCover{{Notifier: 1, Epoch: 1}}}
 		}
 	}
 	return envs

@@ -6,16 +6,23 @@
 //
 // Layout (all integers are unsigned varints unless noted):
 //
-//	kind(1 byte) | from | msg | [payload] | [hist] | [notifList] | [ackCovers] | [ts tsFrom] | [result] | [watermark] | [value]
+//	kind(1 byte) | from | msg | [payload] | [hist] | [certEpoch] | [notifList] | [ackCovers] | [ts tsFrom] | [result] | [watermark] | [value]
 //	msg   = id | sender | flags(1 byte) | nDst | dst...
 //	hist  = nNodes | (id nDst dst...)... | nEdges | (from to)...
-//	notifList = nPairs | (notifier notified)...
+//	notifList = nPairs | (notifier notified epoch)...
+//	ackCovers = nCovers | (notifier epoch)...
 //
-// result and watermark appear on REPLY envelopes; value (zigzag varint)
-// appears on REPLY envelopes whose message carries FlagRead — the
-// read-result leg of the KindRead path. Section presence is always a
-// function of bytes decoded earlier in the frame, keeping the encoding
-// canonical.
+// certEpoch appears on NOTIF envelopes only and must be ≥ 1 — it is the
+// certification epoch that makes a re-NOTIF carrying a fresh edge
+// distinguishable from a duplicate (DESIGN.md §4 deviation 8). Pair and
+// cover epochs must also be ≥ 1, pairs must be strictly ascending by
+// (notifier, notified) and covers strictly ascending by notifier — the
+// normalized order the engine always sends — so exactly one byte string
+// encodes any accepted list. result and watermark appear on REPLY
+// envelopes; value (zigzag varint) appears on REPLY envelopes whose
+// message carries FlagRead — the read-result leg of the KindRead path.
+// Section presence is always a function of bytes decoded earlier in the
+// frame, keeping the encoding canonical.
 //
 // Optional sections are present only for the envelope kinds that use them,
 // keeping auxiliary messages (ACK/NOTIF/TS/REPLY) small, as in the paper's
@@ -41,6 +48,10 @@ func hasNotifList(k amcast.Kind) bool {
 
 func hasAckCovers(k amcast.Kind) bool {
 	return k == amcast.KindAck
+}
+
+func hasCertEpoch(k amcast.Kind) bool {
+	return k == amcast.KindNotif
 }
 
 func hasTS(k amcast.Kind) bool {
@@ -119,16 +130,19 @@ func Size(env amcast.Envelope) int {
 	if hasHist(env.Kind) {
 		n += histSize(env.Hist)
 	}
+	if hasCertEpoch(env.Kind) {
+		n += uvarintLen(env.CertEpoch)
+	}
 	if hasNotifList(env.Kind) {
 		n += uvarintLen(uint64(len(env.NotifList)))
 		for _, p := range env.NotifList {
-			n += uvarintLen(uint64(uint32(p.Notifier))) + uvarintLen(uint64(uint32(p.Notified)))
+			n += uvarintLen(uint64(uint32(p.Notifier))) + uvarintLen(uint64(uint32(p.Notified))) + uvarintLen(p.Epoch)
 		}
 	}
 	if hasAckCovers(env.Kind) {
 		n += uvarintLen(uint64(len(env.AckCovers)))
-		for _, g := range env.AckCovers {
-			n += uvarintLen(uint64(uint32(g)))
+		for _, c := range env.AckCovers {
+			n += uvarintLen(uint64(uint32(c.Notifier))) + uvarintLen(c.Epoch)
 		}
 	}
 	if hasTS(env.Kind) {
@@ -276,6 +290,10 @@ func (d *decoder) groups(n int) []amcast.GroupID {
 	return gs
 }
 
+// pairs decodes a notification-pair list, enforcing the canonical form
+// the engine always sends: strictly ascending by (notifier, notified)
+// — so a duplicated pair can never smuggle in a second epoch — and
+// every certification epoch ≥ 1.
 func (d *decoder) pairs(n int) []amcast.NotifPair {
 	if n == 0 {
 		return nil
@@ -284,8 +302,52 @@ func (d *decoder) pairs(n int) []amcast.NotifPair {
 	for i := range ps {
 		ps[i].Notifier = amcast.GroupID(d.uvarint32())
 		ps[i].Notified = amcast.GroupID(d.uvarint32())
+		ps[i].Epoch = d.uvarint()
+		if d.err != nil {
+			return ps
+		}
+		if ps[i].Epoch == 0 {
+			d.err = fmt.Errorf("codec: notif pair %d has epoch 0", i)
+			return ps
+		}
+		if i > 0 && !pairLess(ps[i-1], ps[i]) {
+			d.err = fmt.Errorf("codec: notif pairs not strictly ordered at %d", i)
+			return ps
+		}
 	}
 	return ps
+}
+
+func pairLess(a, b amcast.NotifPair) bool {
+	if a.Notifier != b.Notifier {
+		return a.Notifier < b.Notifier
+	}
+	return a.Notified < b.Notified
+}
+
+// covers decodes a flush ack's cover list, enforcing strictly
+// ascending notifiers and epochs ≥ 1 (canonical form).
+func (d *decoder) covers(n int) []amcast.AckCover {
+	if n == 0 {
+		return nil
+	}
+	cs := make([]amcast.AckCover, n)
+	for i := range cs {
+		cs[i].Notifier = amcast.GroupID(d.uvarint32())
+		cs[i].Epoch = d.uvarint()
+		if d.err != nil {
+			return cs
+		}
+		if cs[i].Epoch == 0 {
+			d.err = fmt.Errorf("codec: ack cover %d has epoch 0", i)
+			return cs
+		}
+		if i > 0 && cs[i-1].Notifier >= cs[i].Notifier {
+			d.err = fmt.Errorf("codec: ack covers not strictly ordered at %d", i)
+			return cs
+		}
+	}
+	return cs
 }
 
 // Unmarshal decodes an envelope, validating structure and rejecting
@@ -307,11 +369,17 @@ func Unmarshal(buf []byte) (amcast.Envelope, error) {
 	if hasHist(env.Kind) {
 		env.Hist = d.hist()
 	}
+	if hasCertEpoch(env.Kind) {
+		env.CertEpoch = d.uvarint()
+		if d.err == nil && env.CertEpoch == 0 {
+			return env, fmt.Errorf("codec: NOTIF certification epoch 0")
+		}
+	}
 	if hasNotifList(env.Kind) {
 		env.NotifList = d.pairs(d.count())
 	}
 	if hasAckCovers(env.Kind) {
-		env.AckCovers = d.groups(d.count())
+		env.AckCovers = d.covers(d.count())
 	}
 	if hasTS(env.Kind) {
 		env.TS = d.uvarint()

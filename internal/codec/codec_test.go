@@ -3,6 +3,7 @@ package codec
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -26,11 +27,12 @@ func sampleEnvelopes() []amcast.Envelope {
 	return []amcast.Envelope{
 		{Kind: amcast.KindRequest, From: amcast.ClientNode(3), Msg: msg},
 		{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: msg, Hist: hist,
-			NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4}, {Notifier: 2, Notified: 7}}},
+			NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4, Epoch: 1}, {Notifier: 2, Notified: 7, Epoch: 3}}},
 		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header(), Hist: hist,
-			AckCovers: []amcast.GroupID{2, 3}},
+			AckCovers: []amcast.AckCover{{Notifier: 2, Epoch: 1}, {Notifier: 3, Epoch: 2}}},
 		{Kind: amcast.KindAck, From: amcast.GroupNode(5), Msg: msg.Header()}, // nil hist
-		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: msg.Header(), Hist: hist},
+		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: msg.Header(), Hist: hist, CertEpoch: 1},
+		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: msg.Header(), CertEpoch: 7}, // re-certification
 		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: msg.Header(), TS: 42, TSFrom: 9},
 		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: msg},
 		{Kind: amcast.KindReply, From: amcast.GroupNode(5), Msg: msg.Header(), TS: 7,
@@ -60,6 +62,9 @@ func normalize(e amcast.Envelope) amcast.Envelope {
 		e.Hist = nil
 	} else if e.Hist != nil && len(e.Hist.Nodes) == 0 && len(e.Hist.Edges) == 0 {
 		e.Hist = nil
+	}
+	if !hasCertEpoch(e.Kind) {
+		e.CertEpoch = 0
 	}
 	if !hasNotifList(e.Kind) || len(e.NotifList) == 0 {
 		e.NotifList = nil
@@ -148,6 +153,103 @@ func TestUnmarshalErrors(t *testing.T) {
 	}
 }
 
+// TestRejectsNonCanonicalEpochSections covers the re-certification
+// vocabulary: certification epochs are ≥ 1, notif pairs are strictly
+// ordered by (notifier, notified) so a duplicated pair can never carry
+// a second epoch, and ack covers are strictly ordered by notifier.
+// Marshal encodes whatever it is given; the decoder is the gate.
+func TestRejectsNonCanonicalEpochSections(t *testing.T) {
+	hdr := amcast.Message{ID: amcast.NewMsgID(1, 1), Sender: amcast.ClientNode(1), Dst: []amcast.GroupID{2, 4}}
+	msg := hdr
+	msg.Payload = []byte("p")
+	tests := []struct {
+		name string
+		env  amcast.Envelope
+		want string
+	}{
+		{"notif cert epoch 0",
+			amcast.Envelope{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: hdr},
+			"certification epoch 0"},
+		{"pair epoch 0",
+			amcast.Envelope{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: msg,
+				NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4}}},
+			"epoch 0"},
+		{"duplicate pair smuggling second epoch",
+			amcast.Envelope{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: msg,
+				NotifList: []amcast.NotifPair{{Notifier: 2, Notified: 4, Epoch: 1}, {Notifier: 2, Notified: 4, Epoch: 2}}},
+			"not strictly ordered"},
+		{"pairs out of order",
+			amcast.Envelope{Kind: amcast.KindMsg, From: amcast.GroupNode(2), Msg: msg,
+				NotifList: []amcast.NotifPair{{Notifier: 3, Notified: 4, Epoch: 1}, {Notifier: 2, Notified: 4, Epoch: 1}}},
+			"not strictly ordered"},
+		{"cover epoch 0",
+			amcast.Envelope{Kind: amcast.KindAck, From: amcast.GroupNode(4), Msg: hdr,
+				AckCovers: []amcast.AckCover{{Notifier: 2}}},
+			"epoch 0"},
+		{"duplicate cover",
+			amcast.Envelope{Kind: amcast.KindAck, From: amcast.GroupNode(4), Msg: hdr,
+				AckCovers: []amcast.AckCover{{Notifier: 2, Epoch: 1}, {Notifier: 2, Epoch: 2}}},
+			"not strictly ordered"},
+		{"covers out of order",
+			amcast.Envelope{Kind: amcast.KindAck, From: amcast.GroupNode(4), Msg: hdr,
+				AckCovers: []amcast.AckCover{{Notifier: 3, Epoch: 1}, {Notifier: 2, Epoch: 1}}},
+			"not strictly ordered"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Unmarshal(Marshal(tt.env))
+			if err == nil {
+				t.Fatalf("non-canonical envelope accepted")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// TestDuplicateFoldBoundary pins the epoch semantics the engine's
+// duplicate fold depends on: the max-epoch form survives normalization,
+// and adjacent epochs of the same pair stay distinct on the wire.
+func TestDuplicateFoldBoundary(t *testing.T) {
+	ps := amcast.NormalizePairs([]amcast.NotifPair{
+		{Notifier: 2, Notified: 4, Epoch: 2},
+		{Notifier: 2, Notified: 4, Epoch: 1},
+		{Notifier: 2, Notified: 7, Epoch: 1},
+	})
+	want := []amcast.NotifPair{{Notifier: 2, Notified: 4, Epoch: 2}, {Notifier: 2, Notified: 7, Epoch: 1}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Fatalf("NormalizePairs = %+v, want %+v", ps, want)
+	}
+	cs := amcast.NormalizeCovers([]amcast.AckCover{
+		{Notifier: 3, Epoch: 1},
+		{Notifier: 3, Epoch: 5},
+		{Notifier: 2, Epoch: 1},
+	})
+	wantC := []amcast.AckCover{{Notifier: 2, Epoch: 1}, {Notifier: 3, Epoch: 5}}
+	if !reflect.DeepEqual(cs, wantC) {
+		t.Fatalf("NormalizeCovers = %+v, want %+v", cs, wantC)
+	}
+	// Epochs e and e+1 of the same NOTIF are distinct frames: the only
+	// difference is the certification epoch, which the codec must carry.
+	hdr := amcast.Message{ID: amcast.NewMsgID(1, 1), Sender: amcast.ClientNode(1), Dst: []amcast.GroupID{2, 4}}
+	e1 := amcast.Envelope{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: hdr, CertEpoch: 1}
+	e2 := e1
+	e2.CertEpoch = 2
+	if reflect.DeepEqual(Marshal(e1), Marshal(e2)) {
+		t.Fatal("NOTIF epochs 1 and 2 encode identically")
+	}
+	for _, env := range []amcast.Envelope{e1, e2} {
+		got, err := Unmarshal(Marshal(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.CertEpoch != env.CertEpoch {
+			t.Fatalf("CertEpoch %d round-tripped to %d", env.CertEpoch, got.CertEpoch)
+		}
+	}
+}
+
 func TestUnmarshalRejectsHugeCounts(t *testing.T) {
 	// kind=REQUEST, from=1, id=1, sender=1, flags=0, then a destination
 	// count far beyond maxCount.
@@ -211,17 +313,32 @@ func randomEnvelope(rng *rand.Rand) amcast.Envelope {
 		}
 		env.Hist = h
 	}
+	if hasCertEpoch(env.Kind) {
+		env.CertEpoch = uint64(rng.Intn(5)) + 1
+	}
 	if hasNotifList(env.Kind) {
 		for i := 0; i < rng.Intn(3); i++ {
 			env.NotifList = append(env.NotifList, amcast.NotifPair{
 				Notifier: amcast.GroupID(rng.Intn(12) + 1),
 				Notified: amcast.GroupID(rng.Intn(12) + 1),
+				Epoch:    uint64(rng.Intn(4)) + 1,
 			})
+		}
+		env.NotifList = amcast.NormalizePairs(env.NotifList)
+		if len(env.NotifList) == 0 {
+			env.NotifList = nil
 		}
 	}
 	if hasAckCovers(env.Kind) {
 		for i := 0; i < rng.Intn(3); i++ {
-			env.AckCovers = append(env.AckCovers, amcast.GroupID(rng.Intn(12)+1))
+			env.AckCovers = append(env.AckCovers, amcast.AckCover{
+				Notifier: amcast.GroupID(rng.Intn(12) + 1),
+				Epoch:    uint64(rng.Intn(4)) + 1,
+			})
+		}
+		env.AckCovers = amcast.NormalizeCovers(env.AckCovers)
+		if len(env.AckCovers) == 0 {
+			env.AckCovers = nil
 		}
 	}
 	if hasTS(env.Kind) {

@@ -25,13 +25,16 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		}, Hist: &amcast.HistDelta{
 			Nodes: []amcast.HistNode{{ID: 3, Dst: []amcast.GroupID{1, 2}}},
 			Edges: []amcast.HistEdge{{From: 1, To: 3}},
-		}, NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 4}}},
+		}, NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 4, Epoch: 1}}},
 		{Kind: amcast.KindAck, From: amcast.GroupNode(4), Msg: amcast.Message{
 			ID: 3, Dst: []amcast.GroupID{1, 2},
-		}, AckCovers: []amcast.GroupID{1, 2}},
+		}, AckCovers: []amcast.AckCover{{Notifier: 1, Epoch: 1}, {Notifier: 2, Epoch: 3}}},
 		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: amcast.Message{
 			ID: 3, Dst: []amcast.GroupID{1, 2},
-		}},
+		}, CertEpoch: 1},
+		{Kind: amcast.KindNotif, From: amcast.GroupNode(2), Msg: amcast.Message{
+			ID: 3, Dst: []amcast.GroupID{1, 2},
+		}, CertEpoch: 2}, // re-certification of the same message
 		{Kind: amcast.KindTS, From: amcast.GroupNode(9), Msg: amcast.Message{
 			ID: 8, Dst: []amcast.GroupID{9},
 		}, TS: 42, TSFrom: 9},

@@ -46,8 +46,8 @@ func TestControlFrameDoesNotAlias(t *testing.T) {
 		{Kind: amcast.KindAck, From: amcast.GroupNode(2),
 			Msg:       amcast.Message{ID: 7, Sender: amcast.ClientNode(0), Dst: []amcast.GroupID{1, 2}},
 			Hist:      &amcast.HistDelta{Nodes: []amcast.HistNode{{ID: 7, Dst: []amcast.GroupID{1, 2}}}},
-			NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 3}},
-			AckCovers: []amcast.GroupID{1}},
+			NotifList: []amcast.NotifPair{{Notifier: 1, Notified: 3, Epoch: 1}},
+			AckCovers: []amcast.AckCover{{Notifier: 1, Epoch: 1}}},
 		{Kind: amcast.KindTS, From: amcast.GroupNode(3),
 			Msg: amcast.Message{ID: 9, Sender: amcast.ClientNode(1), Dst: []amcast.GroupID{3}},
 			TS:  42, TSFrom: 3},

@@ -72,26 +72,45 @@ func readGroupSet(r *codec.Reader) map[amcast.GroupID]bool {
 	return m
 }
 
+func appendGroupEpochs(buf []byte, m map[amcast.GroupID]uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(m)))
+	for _, g := range sortedGroups(m) {
+		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+		buf = binary.AppendUvarint(buf, m[g])
+	}
+	return buf
+}
+
+func readGroupEpochs(r *codec.Reader) map[amcast.GroupID]uint64 {
+	n := r.Count()
+	m := make(map[amcast.GroupID]uint64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		g := amcast.GroupID(r.Uvarint())
+		m[g] = r.Uvarint()
+	}
+	return m
+}
+
 func appendPending(buf []byte, p *pending) []byte {
 	buf = codec.AppendMessage(buf, p.msg)
 	buf = codec.AppendBool(buf, p.hasMsg)
 	buf = codec.AppendBool(buf, p.queued)
 	buf = appendGroupSet(buf, p.acks)
 	pairs := make([]amcast.NotifPair, 0, len(p.notif))
-	for pr := range p.notif {
-		pairs = append(pairs, pr)
+	for k, epoch := range p.notif {
+		pairs = append(pairs, amcast.NotifPair{Notifier: k.notifier, Notified: k.notified, Epoch: epoch})
 	}
 	amcast.NormalizePairs(pairs)
 	buf = binary.AppendUvarint(buf, uint64(len(pairs)))
 	for _, pr := range pairs {
 		buf = binary.AppendUvarint(buf, uint64(uint32(pr.Notifier)))
 		buf = binary.AppendUvarint(buf, uint64(uint32(pr.Notified)))
-		buf = codec.AppendBool(buf, p.notif[pr])
+		buf = binary.AppendUvarint(buf, pr.Epoch)
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(p.notifAcks)))
 	for _, g := range sortedGroups(p.notifAcks) {
 		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
-		buf = appendGroupSet(buf, p.notifAcks[g])
+		buf = appendGroupEpochs(buf, p.notifAcks[g])
 	}
 	return buf
 }
@@ -102,21 +121,21 @@ func readPending(r *codec.Reader) *pending {
 		hasMsg: r.Bool(),
 		queued: r.Bool(),
 		acks:   readGroupSet(r),
-		notif:  make(map[amcast.NotifPair]bool),
+		notif:  make(map[pairKey]uint64),
 	}
 	nPairs := r.Count()
 	for i := 0; i < nPairs && r.Err() == nil; i++ {
-		pr := amcast.NotifPair{
-			Notifier: amcast.GroupID(r.Uvarint()),
-			Notified: amcast.GroupID(r.Uvarint()),
+		k := pairKey{
+			notifier: amcast.GroupID(r.Uvarint()),
+			notified: amcast.GroupID(r.Uvarint()),
 		}
-		p.notif[pr] = r.Bool()
+		p.notif[k] = r.Uvarint()
 	}
 	nAcks := r.Count()
-	p.notifAcks = make(map[amcast.GroupID]map[amcast.GroupID]bool, nAcks)
+	p.notifAcks = make(map[amcast.GroupID]map[amcast.GroupID]uint64, nAcks)
 	for i := 0; i < nAcks && r.Err() == nil; i++ {
 		g := amcast.GroupID(r.Uvarint())
-		p.notifAcks[g] = readGroupSet(r)
+		p.notifAcks[g] = readGroupEpochs(r)
 	}
 	return p
 }
@@ -146,6 +165,7 @@ func (s *snapshot) MarshalBinary() ([]byte, error) {
 	for _, pn := range s.pendNotif {
 		buf = codec.AppendMessage(buf, pn.msg)
 		buf = binary.AppendUvarint(buf, uint64(uint32(pn.notifier)))
+		buf = binary.AppendUvarint(buf, pn.epoch)
 		buf = binary.AppendUvarint(buf, uint64(len(pn.deps)))
 		for _, id := range sortedIDs(pn.deps) {
 			buf = binary.AppendUvarint(buf, uint64(id))
@@ -154,7 +174,19 @@ func (s *snapshot) MarshalBinary() ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(s.notifDone)))
 	for _, id := range sortedIDs(s.notifDone) {
 		buf = binary.AppendUvarint(buf, uint64(id))
-		buf = appendGroupSet(buf, s.notifDone[id])
+		buf = appendGroupEpochs(buf, s.notifDone[id])
+	}
+	buf = appendGroupEpochs(buf, s.trafficSeq)
+	buf = binary.AppendUvarint(buf, uint64(len(s.notifSent)))
+	for _, id := range sortedIDs(s.notifSent) {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		sent := s.notifSent[id]
+		buf = binary.AppendUvarint(buf, uint64(len(sent)))
+		for _, g := range sortedGroups(sent) {
+			buf = binary.AppendUvarint(buf, uint64(uint32(g)))
+			buf = binary.AppendUvarint(buf, sent[g].epoch)
+			buf = binary.AppendUvarint(buf, sent[g].seq)
+		}
 	}
 	buf = binary.AppendUvarint(buf, uint64(len(s.cursors)))
 	for _, g := range sortedGroups(s.cursors) {
@@ -202,6 +234,7 @@ func UnmarshalSnapshot(data []byte) (amcast.Snapshot, error) {
 		pn := &pendingNotif{
 			msg:      r.Message(),
 			notifier: amcast.GroupID(r.Uvarint()),
+			epoch:    r.Uvarint(),
 			deps:     make(map[amcast.MsgID]bool),
 		}
 		nDeps := r.Count()
@@ -211,10 +244,23 @@ func UnmarshalSnapshot(data []byte) (amcast.Snapshot, error) {
 		s.pendNotif = append(s.pendNotif, pn)
 	}
 	nND := r.Count()
-	s.notifDone = make(map[amcast.MsgID]map[amcast.GroupID]bool, nND)
+	s.notifDone = make(map[amcast.MsgID]map[amcast.GroupID]uint64, nND)
 	for i := 0; i < nND && r.Err() == nil; i++ {
 		id := amcast.MsgID(r.Uvarint())
-		s.notifDone[id] = readGroupSet(r)
+		s.notifDone[id] = readGroupEpochs(r)
+	}
+	s.trafficSeq = readGroupEpochs(r)
+	nNS := r.Count()
+	s.notifSent = make(map[amcast.MsgID]map[amcast.GroupID]notifState, nNS)
+	for i := 0; i < nNS && r.Err() == nil; i++ {
+		id := amcast.MsgID(r.Uvarint())
+		nG := r.Count()
+		sent := make(map[amcast.GroupID]notifState, nG)
+		for j := 0; j < nG && r.Err() == nil; j++ {
+			g := amcast.GroupID(r.Uvarint())
+			sent[g] = notifState{epoch: r.Uvarint(), seq: r.Uvarint()}
+		}
+		s.notifSent[id] = sent
 	}
 	nCur := r.Count()
 	s.cursors = make(map[amcast.GroupID]history.Cursor, nCur)

@@ -45,6 +45,20 @@ type Config struct {
 	DisableGC bool
 }
 
+// pairKey identifies one (notifier → notified) notification pair; the
+// certification epoch is tracked as the map value, not part of the key.
+type pairKey struct {
+	notifier, notified amcast.GroupID
+}
+
+// notifState is the notifier-side record of the last NOTIF sent about
+// one message to one notified group: the certification epoch used and
+// the trafficSeq snapshot it certified (see Engine.trafficSeq).
+type notifState struct {
+	epoch uint64
+	seq   uint64
+}
+
 // pending tracks protocol state for one not-yet-delivered message
 // (Algorithm 1 lines 5-6: m.acks and m.notifList, plus the message body).
 type pending struct {
@@ -52,24 +66,30 @@ type pending struct {
 	hasMsg bool // the MSG/REQUEST envelope carrying the payload arrived
 	queued bool
 	acks   map[amcast.GroupID]bool
-	// notif is the set of (notifier → notified) pairs known for the
-	// message. Pairs, not a flat set: each notifier's notification must
-	// be answered by a flush ack that causally follows it (the notifier
-	// sends the NOTIF on the same FIFO link as its earlier traffic), or
-	// a stale ack could hide dependencies the notifier knows about.
-	notif map[amcast.NotifPair]bool
-	// notifAcks[n] is the set of notifiers whose notifications group n
-	// has flushed (learned from AckCovers on n's acks).
-	notifAcks map[amcast.GroupID]map[amcast.GroupID]bool
+	// notif maps each known (notifier → notified) pair to the highest
+	// certification epoch announced for it. Pairs, not a flat set: each
+	// notifier's notification must be answered by a flush ack that
+	// causally follows it (the notifier sends the NOTIF on the same
+	// FIFO link as its earlier traffic), or a stale ack could hide
+	// dependencies the notifier knows about. The epoch closes the
+	// remaining window: a flush ack covering epoch e-1 cannot satisfy a
+	// pair re-certified at epoch e (DESIGN.md §4 deviation 8).
+	notif map[pairKey]uint64
+	// notifAcks[n][notifier] is the highest certification epoch of
+	// notifier's notifications that group n has flushed (learned from
+	// AckCovers on n's acks).
+	notifAcks map[amcast.GroupID]map[amcast.GroupID]uint64
 }
 
 // pendingNotif is a deferred notification (Algorithm 2 line 16): the ACK
 // answering notifier's NOTIF for msg is withheld until every open
-// dependency in deps is delivered. One entry per (message, notifier) —
-// a later notifier's NOTIF snapshots its own, possibly larger, open set.
+// dependency in deps is delivered. One entry per (message, notifier,
+// epoch) — a later notifier's (or a re-certifying epoch's) NOTIF
+// snapshots its own, possibly larger, open set.
 type pendingNotif struct {
 	msg      amcast.Message
 	notifier amcast.GroupID
+	epoch    uint64
 	deps     map[amcast.MsgID]bool
 }
 
@@ -96,12 +116,31 @@ type Engine struct {
 	pend map[amcast.MsgID]*pending
 	// pendNotif holds notifications waiting for open dependencies.
 	pendNotif []*pendingNotif
-	// notifDone records, per message, the notifiers whose NOTIF this
-	// group already accepted (flushed or deferred), folding duplicate
-	// deliveries of the same notifier's NOTIF. Distinct notifiers are
-	// NOT folded: each snapshots its own dependency set — see the
-	// pending.notif comment and DESIGN.md §4.
-	notifDone map[amcast.MsgID]map[amcast.GroupID]bool
+	// notifDone records, per message, the highest certification epoch
+	// of each notifier's NOTIF this group already accepted (flushed or
+	// deferred). A NOTIF at an epoch ≤ the accepted one is folded as a
+	// duplicate; a higher epoch means the notifier has certified a
+	// fresh edge since, and is processed anew with a fresh dependency
+	// snapshot. Distinct notifiers are never folded against each other:
+	// each snapshots its own dependency set — see the pending.notif
+	// comment and DESIGN.md §4.
+	notifDone map[amcast.MsgID]map[amcast.GroupID]uint64
+	// trafficSeq[d] counts the history nodes addressed to d that have
+	// entered this engine's history (merged diffs and local
+	// deliveries). A NOTIF to d certifies the edges known at a given
+	// count; when the count has advanced since the last NOTIF about a
+	// message, the next NOTIF bumps its certification epoch so the
+	// notified group cannot fold it — the targeted re-certification
+	// that closes the fresh-request staircase ring (DESIGN.md §4
+	// deviation 8). Monotone counters rather than history sizes: GC
+	// pruning must not make the signal go backwards.
+	trafficSeq map[amcast.GroupID]uint64
+	// notifSent[id][d] is the notifier-side record of the last NOTIF
+	// sent about id to d (epoch + trafficSeq snapshot). Entries for a
+	// message this group delivers are dropped at delivery (a
+	// destination never notifies about a message after delivering it);
+	// notified groups' entries share notifDone's lifecycle.
+	notifSent map[amcast.MsgID]map[amcast.GroupID]notifState
 	// cursors tracks, per descendant, the prefix of the history already
 	// sent (hst(h) in Algorithm 1 line 18, as a log cursor).
 	cursors map[amcast.GroupID]history.Cursor
@@ -126,16 +165,18 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: group %d not in overlay", cfg.Group)
 	}
 	return &Engine{
-		cfg:       cfg,
-		g:         cfg.Group,
-		ov:        cfg.Overlay,
-		hst:       history.New(),
-		delivered: make(map[amcast.MsgID]bool),
-		open:      make(map[amcast.MsgID]bool),
-		queues:    make(map[amcast.GroupID][]amcast.MsgID),
-		pend:      make(map[amcast.MsgID]*pending),
-		notifDone: make(map[amcast.MsgID]map[amcast.GroupID]bool),
-		cursors:   make(map[amcast.GroupID]history.Cursor),
+		cfg:        cfg,
+		g:          cfg.Group,
+		ov:         cfg.Overlay,
+		hst:        history.New(),
+		delivered:  make(map[amcast.MsgID]bool),
+		open:       make(map[amcast.MsgID]bool),
+		queues:     make(map[amcast.GroupID][]amcast.MsgID),
+		pend:       make(map[amcast.MsgID]*pending),
+		notifDone:  make(map[amcast.MsgID]map[amcast.GroupID]uint64),
+		trafficSeq: make(map[amcast.GroupID]uint64),
+		notifSent:  make(map[amcast.MsgID]map[amcast.GroupID]notifState),
+		cursors:    make(map[amcast.GroupID]history.Cursor),
 	}, nil
 }
 
@@ -270,13 +311,15 @@ func (e *Engine) onAck(env amcast.Envelope, outs *[]amcast.Output) {
 	if !from.IsClient() {
 		p := e.pending(m.ID)
 		p.acks[from.Group()] = true
-		for _, a := range env.AckCovers {
+		for _, c := range env.AckCovers {
 			covered, ok := p.notifAcks[from.Group()]
 			if !ok {
-				covered = make(map[amcast.GroupID]bool)
+				covered = make(map[amcast.GroupID]uint64)
 				p.notifAcks[from.Group()] = covered
 			}
-			covered[a] = true
+			if c.Epoch > covered[c.Notifier] {
+				covered[c.Notifier] = c.Epoch
+			}
 		}
 		e.mergeNotifList(p, env.NotifList)
 	}
@@ -287,31 +330,40 @@ func (e *Engine) onAck(env amcast.Envelope, outs *[]amcast.Output) {
 // lines 12-18). Every distinct notifier is processed: its NOTIF arrived
 // on the same FIFO link as the notifier's earlier history traffic, so
 // the open-dependency snapshot taken here covers everything the notifier
-// ordered before the message. The resulting ack declares the notifier it
-// answers (AckCovers), letting destinations pair acks with notifiers.
+// ordered before the message. A NOTIF is folded as a duplicate only when
+// its certification epoch does not exceed the highest already accepted
+// from that notifier; a bumped epoch certifies a fresh edge and is
+// processed anew — its dependency snapshot, taken after the FIFO link
+// delivered the traffic that caused the bump, covers the fresh message.
+// The resulting ack declares the (notifier, epoch) entries it answers
+// (AckCovers), letting destinations pair acks with notifier epochs.
 func (e *Engine) onNotif(env amcast.Envelope, outs *[]amcast.Output) {
 	e.mergeHist(env.Hist)
 	m := env.Msg
 	notifier := env.From.Group()
-	if m.HasDst(e.g) || env.From.IsClient() || e.notifDone[m.ID][notifier] {
-		// Destinations ack on delivery; the same notifier's duplicate
-		// notifications are folded.
+	epoch := env.CertEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	if m.HasDst(e.g) || env.From.IsClient() || epoch <= e.notifDone[m.ID][notifier] {
+		// Destinations ack on delivery; notifications already accepted
+		// at this epoch (or a later one) are folded.
 		return
 	}
 	done, ok := e.notifDone[m.ID]
 	if !ok {
-		done = make(map[amcast.GroupID]bool)
+		done = make(map[amcast.GroupID]uint64)
 		e.notifDone[m.ID] = done
 	}
-	done[notifier] = true
+	done[notifier] = epoch
 	deps := make(map[amcast.MsgID]bool, len(e.open))
 	for id := range e.open {
 		deps[id] = true
 	}
 	if len(deps) > 0 {
-		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: m.Header(), notifier: notifier, deps: deps})
+		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: m.Header(), notifier: notifier, epoch: epoch, deps: deps})
 	} else {
-		e.sendFlushAck(m.Header(), []amcast.GroupID{notifier}, outs)
+		e.sendFlushAck(m.Header(), []amcast.AckCover{{Notifier: notifier, Epoch: epoch}}, outs)
 	}
 }
 
@@ -320,8 +372,8 @@ func (e *Engine) pending(id amcast.MsgID) *pending {
 	if !ok {
 		p = &pending{
 			acks:      make(map[amcast.GroupID]bool),
-			notif:     make(map[amcast.NotifPair]bool),
-			notifAcks: make(map[amcast.GroupID]map[amcast.GroupID]bool),
+			notif:     make(map[pairKey]uint64),
+			notifAcks: make(map[amcast.GroupID]map[amcast.GroupID]uint64),
 		}
 		e.pend[id] = p
 	}
@@ -330,14 +382,25 @@ func (e *Engine) pending(id amcast.MsgID) *pending {
 
 func (e *Engine) mergeNotifList(p *pending, ps []amcast.NotifPair) {
 	for _, pr := range ps {
-		p.notif[pr] = true
+		k := pairKey{notifier: pr.Notifier, notified: pr.Notified}
+		epoch := pr.Epoch
+		if epoch == 0 {
+			epoch = 1
+		}
+		if epoch > p.notif[k] {
+			p.notif[k] = epoch
+		}
 	}
 }
 
 // mergeHist integrates a received history diff (update-hst in Algorithm 3)
-// and maintains the open-dependency set.
+// and maintains the open-dependency set and the per-group traffic
+// counters driving NOTIF re-certification.
 func (e *Engine) mergeHist(d *amcast.HistDelta) {
 	for _, n := range e.hst.Merge(d) {
+		for _, dst := range n.Dst {
+			e.trafficSeq[dst]++
+		}
 		if e.delivered[n.ID] {
 			continue
 		}
@@ -353,6 +416,13 @@ func (e *Engine) mergeHist(d *amcast.HistDelta) {
 // deliver delivers m at this group (Algorithm 3 lines 20-31), appending
 // the outputs it generates.
 func (e *Engine) deliver(m amcast.Message, outs *[]amcast.Output) {
+	if !e.hst.Contains(m.ID) {
+		// A locally appended node is new traffic for its destinations,
+		// exactly like a merged one (mergeHist counts those).
+		for _, dst := range m.Dst {
+			e.trafficSeq[dst]++
+		}
+	}
 	e.hst.AppendDelivered(history.Node{ID: m.ID, Dst: m.Dst})
 	e.delivered[m.ID] = true
 	delete(e.open, m.ID)
@@ -367,14 +437,17 @@ func (e *Engine) deliver(m amcast.Message, outs *[]amcast.Output) {
 		e.sendDescendants(m.Header(), amcast.KindAck, nil, outs)
 	}
 	delete(e.pend, m.ID)
+	// This group never notifies about m again after delivering it (all
+	// sends for m happen above), so its notifier-side record is dead.
+	delete(e.notifSent, m.ID)
 
 	// Unblock pending notifications waiting on this delivery. Entries
 	// for the same message that unblock together are answered with one
-	// ack covering all their notifiers.
+	// ack covering all their (notifier, epoch) entries.
 	kept := e.pendNotif[:0]
 	var readyIDs []amcast.MsgID
 	readyMsg := make(map[amcast.MsgID]amcast.Message)
-	readyCovers := make(map[amcast.MsgID][]amcast.GroupID)
+	readyCovers := make(map[amcast.MsgID][]amcast.AckCover)
 	for _, pn := range e.pendNotif {
 		delete(pn.deps, m.ID)
 		if len(pn.deps) > 0 {
@@ -385,7 +458,7 @@ func (e *Engine) deliver(m amcast.Message, outs *[]amcast.Output) {
 			readyMsg[pn.msg.ID] = pn.msg
 			readyIDs = append(readyIDs, pn.msg.ID)
 		}
-		readyCovers[pn.msg.ID] = append(readyCovers[pn.msg.ID], pn.notifier)
+		readyCovers[pn.msg.ID] = append(readyCovers[pn.msg.ID], amcast.AckCover{Notifier: pn.notifier, Epoch: pn.epoch})
 	}
 	e.pendNotif = kept
 	for _, id := range readyIDs {
@@ -428,26 +501,27 @@ func (e *Engine) dequeue(lca amcast.GroupID, id amcast.MsgID) {
 }
 
 // sendFlushAck answers one or more notifiers' NOTIFs for m: an ACK to
-// every destination above this group, declaring the covered notifiers.
-func (e *Engine) sendFlushAck(m amcast.Message, covers []amcast.GroupID, outs *[]amcast.Output) {
-	e.sendDescendants(m, amcast.KindAck, amcast.NormalizeDst(covers), outs)
+// every destination above this group, declaring the covered
+// (notifier, epoch) entries.
+func (e *Engine) sendFlushAck(m amcast.Message, covers []amcast.AckCover, outs *[]amcast.Output) {
+	e.sendDescendants(m, amcast.KindAck, amcast.NormalizeCovers(covers), outs)
 }
 
 // sendDescendants implements Algorithm 3 lines 32-35: notify
 // non-destination descendants as needed (Strategy c), then send the
 // MSG/ACK with a history diff to every destination ranked above this
 // group. covers, set on a notified group's flush ack, names the
-// notifiers the ack answers (nil on delivery acks and MSG).
-func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, covers []amcast.GroupID, outs *[]amcast.Output) {
-	notified := e.sendNotifs(m, outs)
-	var notifList []amcast.NotifPair
+// (notifier, epoch) entries the ack answers (nil on delivery acks and
+// MSG). The NOTIFs and the MSG/ACK leave in one atomic step, so the
+// pair list announced to destinations always carries the epochs the
+// NOTIFs were actually sent at — a destination can never learn a pair
+// without also learning its current certification epoch.
+func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, covers []amcast.AckCover, outs *[]amcast.Output) {
+	notifList := e.sendNotifs(m, outs)
 	if p, ok := e.pend[m.ID]; ok {
-		for pr := range p.notif {
-			notifList = append(notifList, pr)
+		for k, epoch := range p.notif {
+			notifList = append(notifList, amcast.NotifPair{Notifier: k.notifier, Notified: k.notified, Epoch: epoch})
 		}
-	}
-	for _, n := range notified {
-		notifList = append(notifList, amcast.NotifPair{Notifier: e.g, Notified: n})
 	}
 	notifList = amcast.NormalizePairs(notifList)
 
@@ -474,33 +548,53 @@ func (e *Engine) sendDescendants(m amcast.Message, kind amcast.Kind, covers []am
 // sendNotifs implements Algorithm 3 lines 36-40 (Strategy c): for every
 // descendant d that is not a destination of m but is an ancestor of some
 // destination, and to which this group's history holds application
-// traffic, send a NOTIF so d can flush its dependencies. Returns the
-// newly notified groups.
-func (e *Engine) sendNotifs(m amcast.Message, outs *[]amcast.Output) []amcast.GroupID {
+// traffic, send a NOTIF so d can flush its dependencies. Each NOTIF
+// carries a certification epoch: 1 on the first NOTIF about m to d,
+// bumped whenever traffic addressed to d has entered this group's
+// history since the last NOTIF (trafficSeq advanced) — the NOTIF then
+// certifies edges the earlier one could not have, so the notified group
+// must not fold it. With no new traffic the epoch is unchanged and the
+// receiver folds the re-send (its history diff still advances d's
+// knowledge). Returns the (this group → d) pairs at the epochs actually
+// sent, for the accompanying MSG/ACK's pair list.
+func (e *Engine) sendNotifs(m amcast.Message, outs *[]amcast.Output) []amcast.NotifPair {
 	maxRank := -1
 	for _, d := range m.Dst {
 		if r := e.ov.Rank(d); r > maxRank {
 			maxRank = r
 		}
 	}
-	var notified []amcast.GroupID
+	var notified []amcast.NotifPair
 	myRank := e.ov.Rank(e.g)
 	for r := myRank + 1; r < maxRank; r++ {
 		d := e.ov.GroupAt(r)
 		if m.HasDst(d) || !e.hst.ContainsMsgTo(d) {
 			continue
 		}
+		sent := e.notifSent[m.ID]
+		st := sent[d]
+		cur := e.trafficSeq[d]
+		switch {
+		case st.epoch == 0 || cur > st.seq:
+			st = notifState{epoch: st.epoch + 1, seq: cur}
+		}
+		if sent == nil {
+			sent = make(map[amcast.GroupID]notifState)
+			e.notifSent[m.ID] = sent
+		}
+		sent[d] = st
 		delta := e.diffFor(d)
 		*outs = append(*outs, amcast.Output{
 			To: amcast.GroupNode(d),
 			Env: amcast.Envelope{
-				Kind: amcast.KindNotif,
-				From: amcast.GroupNode(e.g),
-				Msg:  m.Header(),
-				Hist: delta,
+				Kind:      amcast.KindNotif,
+				From:      amcast.GroupNode(e.g),
+				Msg:       m.Header(),
+				Hist:      delta,
+				CertEpoch: st.epoch,
 			},
 		})
-		notified = append(notified, d)
+		notified = append(notified, amcast.NotifPair{Notifier: e.g, Notified: d, Epoch: st.epoch})
 	}
 	return notified
 }
@@ -544,11 +638,13 @@ func (e *Engine) canDeliver(id amcast.MsgID) bool {
 	// Condition 1: acks from every ancestor destination except the lca,
 	// and, for every known notification pair whose notified group is an
 	// ancestor of g, a flush ack from that group covering that notifier
-	// (notified groups ranked above g ack only their own descendants).
-	// Pair-wise matching is what makes the wait causally meaningful: the
-	// covering ack was sent after the notified group processed that
-	// notifier's NOTIF, which on FIFO links follows every message the
-	// notifier had ordered before m (DESIGN.md §4).
+	// at the pair's certification epoch or later (notified groups
+	// ranked above g ack only their own descendants). Pair-wise
+	// matching is what makes the wait causally meaningful: the covering
+	// ack was sent after the notified group processed that notifier's
+	// NOTIF at that epoch, which on FIFO links follows every message
+	// the notifier had ordered before m — including the fresh traffic
+	// that caused an epoch bump (DESIGN.md §4 deviation 8).
 	m := p.msg
 	lca := e.ov.Lca(m.Dst)
 	myRank := e.ov.Rank(e.g)
@@ -560,8 +656,8 @@ func (e *Engine) canDeliver(id amcast.MsgID) bool {
 			return false
 		}
 	}
-	for pr := range p.notif {
-		if e.ov.Rank(pr.Notified) < myRank && !p.notifAcks[pr.Notified][pr.Notifier] {
+	for pr, epoch := range p.notif {
+		if e.ov.Rank(pr.notified) < myRank && p.notifAcks[pr.notified][pr.notifier] < epoch {
 			return false
 		}
 	}
@@ -615,8 +711,8 @@ func (e *Engine) DebugDump() string {
 				continue
 			}
 			pairs := make([]amcast.NotifPair, 0, len(p.notif))
-			for pr := range p.notif {
-				pairs = append(pairs, pr)
+			for k, epoch := range p.notif {
+				pairs = append(pairs, amcast.NotifPair{Notifier: k.notifier, Notified: k.notified, Epoch: epoch})
 			}
 			pairs = amcast.NormalizePairs(pairs)
 			fmt.Fprintf(&sb, "  q[lca %d] %s: hasMsg=%v dst=%v acks=%v notif=%v canDeliver=%v\n",
@@ -629,7 +725,7 @@ func (e *Engine) DebugDump() string {
 			deps = append(deps, id)
 		}
 		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
-		fmt.Fprintf(&sb, "  withheld notif-ack for %s (notifier %d): waiting on %v\n", pn.msg.ID, pn.notifier, deps)
+		fmt.Fprintf(&sb, "  withheld notif-ack for %s (notifier %d epoch %d): waiting on %v\n", pn.msg.ID, pn.notifier, pn.epoch, deps)
 	}
 	return sb.String()
 }

@@ -10,15 +10,16 @@ import (
 )
 
 // TestFreshRequestRingCycle is the shrunk, scripted form of the
-// acyclic-order violation behind the long-open fig5 repro
+// acyclic-order violation that used to reproduce as
 //
 //	flexbench -experiment fig5 -scale 0.02 -seed 2 -verify
 //
-// (ROADMAP "known issue"; DESIGN.md §4). In the wild trace, five
-// two-destination messages over five rank-adjacent groups form a ring:
-// each adjacent pair shares exactly ONE destination group, so pairwise
-// prefix order holds everywhere and only the global acyclicity audit
-// sees the cycle. This test replays that ring move by move.
+// (DESIGN.md §4 deviation 8, now closed). Five two-destination messages
+// over five rank-adjacent groups form a ring: each adjacent pair shares
+// exactly ONE destination group, so pairwise prefix order holds
+// everywhere and only the global acyclicity audit would see the cycle.
+// This test replays that ring move by move and asserts the
+// re-certification fix breaks it.
 //
 // Groups ranked 1 < 2 < 3 < 4 < 5. Ring members (all two-destination):
 //
@@ -31,28 +32,24 @@ import (
 // MSGs: g1 delivers mA then mB; g2 delivers fresh mC just before
 // MSG(mA) lands (mC ≺ mA); g3 delivers fresh mD just before MSG(mC)
 // lands (mD ≺ mC); g4 delivers fresh mE just before MSG(mD) lands
-// (mE ≺ mD); g5 finally delivers mB before MSG(mE) — closing
+// (mE ≺ mD); g5 would then deliver mB before MSG(mE), closing
 // mA ≺ mB ≺ mE ≺ mD ≺ mC ≺ mA.
 //
-// Every flush ack collected by g5 is legitimate: each notified group's
-// ack snapshots dependencies AFTER the notifier's earlier traffic
-// (FIFO), and each group's fatal inversion is created only after its
-// last mB-related send, so no ack can carry it. The one mechanism that
-// could still ship the final edge (mE ≺ mD, created at g4) to g5 is
-// g3's re-notification of g4 — but g4 already answered a NOTIF from g3
-// once, so the duplicate is folded and no fresh ack is sent. That fold
-// is the escape hatch: in 3- and 4-group variants of this ring the
-// re-notify chain necessarily follows the staircase MSG on the same
-// FIFO link, the covering ack carries the fatal edge, and the pair-wise
-// wait (DESIGN.md §4, the PR 1 fix) blocks the cycle — this scripted
-// 5-group configuration is minimal.
+// Before the fix, the staircase escaped every wait: each flush ack
+// snapshots dependencies at ack time, each group's fatal inversion is
+// created only after its last mB-related send, and the one message that
+// could carry the final edge (mE ≺ mD) to g5 — g3's re-notification of
+// g4 — was folded as a duplicate because g4 had already answered a
+// NOTIF(mB) from g3 once.
 //
-// The test pins today's behaviour step by step, then Skips: this is a
-// protocol-level hole (flush acks certify only orderings that exist at
-// ack time; nothing re-certifies after a notified group orders a new
-// message before in-flight traffic), not an implementation slip. A fix
-// must break the staircase and should flip this test to assert the
-// cycle-free order.
+// The fix is latency-bounded edge re-certification: a NOTIF carries a
+// certification epoch that g3 bumps when its history has gained traffic
+// for g4 since the last NOTIF(mB) it sent there (here: mD). The bumped
+// pair (g3→g4)@2 is announced on g3's accompanying flush ack, so g5
+// raises its wait; g4 cannot fold the epoch-2 NOTIF and must answer
+// with a fresh flush ack whose history diff — sent after MSG(mE) on the
+// same FIFO link — carries the fatal edge. g5 then orders mB after mE
+// and the ring never closes. This test walks that exact sequence.
 func TestFreshRequestRingCycle(t *testing.T) {
 	const (
 		g1 amcast.GroupID = 1
@@ -84,8 +81,7 @@ func TestFreshRequestRingCycle(t *testing.T) {
 	// g3 seeds its history with s34 (fresh lca) and s3, then answers
 	// g1's NOTIF(mB) with nothing open: the flush ack (covering g1)
 	// heads for g5, and — g3's history holding s34, addressed to g4 —
-	// g3 re-notifies g4, creating pair (g3→g4). All of this happens
-	// before g3's staircase step, exactly as in the wild trace.
+	// g3 re-notifies g4 at epoch 1, creating pair (g3→g4)@1.
 	r.Multicast(g3, s34)
 	r.Step(g1, g3, amcast.KindMsg, 1)
 	r.Step(g1, g3, amcast.KindNotif, 3)
@@ -100,67 +96,79 @@ func TestFreshRequestRingCycle(t *testing.T) {
 	r.Step(g1, g2, amcast.KindNotif, 3)
 	wantOrder(t, r.Seq(g2), 5, 2)
 
-	// g4 discharges ALL of its mB obligations before its own staircase
-	// step: it delivers s34, then answers g3's NOTIF with nothing open.
-	// Its covering ack predates the fatal edge by construction.
+	// g4 discharges its first round of mB obligations before its own
+	// staircase step: it delivers s34, then answers g3's epoch-1 NOTIF
+	// with nothing open. Its covering ack predates the fatal edge.
 	r.Step(g3, g4, amcast.KindMsg, 4)
 	r.Step(g3, g4, amcast.KindNotif, 3)
 	wantOrder(t, r.Seq(g4), 4)
 
 	// g3's staircase step: fresh mD before the in-flight MSG(mC) —
 	// mD ≺ mC. Answering g2's NOTIF (a different notifier, so not
-	// folded) sends a second flush ack that DOES carry mD ≺ mC to g5 —
-	// harmless again, since neither is addressed to g5 — and re-sends
-	// NOTIF(mB) to g4.
+	// folded) sends a second flush ack that carries mD ≺ mC to g5 AND
+	// re-sends NOTIF(mB) to g4. g3's history has gained traffic for g4
+	// since its epoch-1 NOTIF (mD is addressed to g4), so the re-NOTIF
+	// goes out at epoch 2 and the ack announces the bumped (g3→g4)@2.
 	r.Multicast(g3, mD)
 	r.Step(g2, g3, amcast.KindMsg, 5)
 	r.Step(g2, g3, amcast.KindNotif, 3)
 	wantOrder(t, r.Seq(g3), 4, 1, 6, 5)
 
 	// g4's staircase step: fresh mE before the in-flight MSG(mD) — the
-	// fatal edge mE ≺ mD, created AFTER g4's last mB-related send. g3's
-	// re-sent NOTIF(mB) then lands and is folded as a duplicate: the
-	// one message that could have carried the fatal edge to g5 in a
-	// fresh covering ack is never sent.
+	// fatal edge mE ≺ mD, created AFTER g4's epoch-1 ack. g3's epoch-2
+	// NOTIF(mB) then lands and is NOT foldable: g4 must answer with a
+	// fresh flush ack. On the FIFO g4→g5 link that ack follows MSG(mE),
+	// so its history diff carries the fatal edge to g5.
 	before := r.LinkDepth(g4, g5)
 	r.Multicast(g4, mE)
 	r.Step(g3, g4, amcast.KindMsg, 6)
 	r.Step(g3, g4, amcast.KindNotif, 3)
 	wantOrder(t, r.Seq(g4), 4, 7, 6)
-	if got := r.LinkDepth(g4, g5) - before; got != 1 {
-		t.Fatalf("g4 sent %d envelopes to g5 after its staircase step, want 1 (MSG(mE) only; "+
-			"the duplicate NOTIF must be folded)", got)
+	if got := r.LinkDepth(g4, g5) - before; got != 2 {
+		t.Fatalf("g4 sent %d envelopes to g5 after its staircase step, want 2 "+
+			"(MSG(mE) plus the epoch-2 re-certification ack)", got)
 	}
 
 	// g5 collects MSG(mB) and the covering flush acks one by one. The
-	// pair-wise wait (the PR 1 fix) blocks delivery until every known
-	// (notifier → notified) pair is covered — working exactly as
-	// designed, and still not enough.
+	// pair-wise wait blocks delivery until every known (notifier →
+	// notified) pair is covered at its highest announced epoch.
 	r.Step(g1, g5, amcast.KindMsg, 3)
 	if got := r.Seq(g5); len(got) != 0 {
 		t.Fatalf("g5 delivered %v with no flush acks", got)
 	}
 	r.Step(g2, g5, amcast.KindAck, 3) // g2 covering g1
-	r.Step(g3, g5, amcast.KindAck, 3) // g3 covering g1, announcing (g3→g4)
-	r.Step(g3, g5, amcast.KindAck, 3) // g3 covering g2, carrying mD ≺ mC
+	r.Step(g3, g5, amcast.KindAck, 3) // g3 covering g1, announcing (g3→g4)@1
+	r.Step(g3, g5, amcast.KindAck, 3) // g3 covering g2, announcing (g3→g4)@2
 	if got := r.Seq(g5); len(got) != 0 {
 		t.Fatalf("g5 delivered %v before g4's ack covered the (g3→g4) pair", got)
 	}
-	// The last covering ack arrives — sent before g4's fatal edge
-	// existed. g5 now knows mD ≺ mC ≺ mA ≺ mB, but none of those is
-	// addressed to g5, and the edge mE ≺ mD exists only inside g4:
-	// every wait is satisfied and mB is delivered.
+	// g4's epoch-1 ack — sent before the fatal edge existed — arrives
+	// first on the FIFO link. It covers (g3→g4) only at epoch 1, and g5
+	// knows the pair was re-certified at epoch 2: mB stays blocked.
+	// This is the exact point where the pre-fix engine delivered mB and
+	// closed the ring.
 	r.Step(g4, g5, amcast.KindAck, 3)
-	wantOrder(t, r.Seq(g5), 3)
+	if got := r.Seq(g5); len(got) != 0 {
+		t.Fatalf("g5 delivered %v on a stale epoch-1 cover of the re-certified "+
+			"(g3→g4) pair", got)
+	}
 
-	// MSG(mE) lands with no known predecessors: mB ≺ mE closes the ring.
+	// MSG(mE) lands next on the link. mE has no undelivered
+	// predecessors addressed to g5, so it delivers immediately — and
+	// now precedes mB in g5's local order, exactly opposite the pre-fix
+	// run.
 	r.Step(g4, g5, amcast.KindMsg, 7)
-	wantOrder(t, r.Seq(g5), 3, 7)
+
+	// g4's epoch-2 ack completes the wait; its history diff carries
+	// mE ≺ mD, so mB is ordered after mE. No ring.
+	r.Step(g4, g5, amcast.KindAck, 3)
+	wantOrder(t, r.Seq(g5), 7, 3)
 
 	r.Drain()
 
-	// Integrity, agreement and pairwise prefix order all hold — the
-	// ring is invisible to every check but the global acyclicity audit.
+	// Integrity, agreement, pairwise prefix order AND the global
+	// acyclicity audit — the check only the pre-fix trace failed — all
+	// hold.
 	if err := r.Recorder.CheckIntegrity(); err != nil {
 		t.Fatal(err)
 	}
@@ -170,12 +178,7 @@ func TestFreshRequestRingCycle(t *testing.T) {
 	if err := r.Recorder.CheckPrefixOrder(); err != nil {
 		t.Fatal(err)
 	}
-	err := r.Recorder.CheckAcyclicOrder()
-	if err == nil {
-		t.Fatal("ring scenario no longer cycles: the known issue appears fixed — " +
-			"flip this test to assert the corrected order and update DESIGN.md §4 " +
-			"and ROADMAP.md")
+	if err := r.Recorder.CheckAcyclicOrder(); err != nil {
+		t.Fatal(err)
 	}
-	t.Skipf("known protocol-level hole, reproduced deterministically (see DESIGN.md §4, "+
-		"ROADMAP.md; wild repro: flexbench -experiment fig5 -scale 0.02 -seed 2 -verify): %v", err)
 }

@@ -12,15 +12,17 @@ import (
 // captured — a snapshot is restored into an engine built with the same
 // configuration, which Restore verifies via the group id.
 type snapshot struct {
-	g         amcast.GroupID
-	hst       *history.History
-	delivered map[amcast.MsgID]bool
-	open      map[amcast.MsgID]bool
-	queues    map[amcast.GroupID][]amcast.MsgID
-	pend      map[amcast.MsgID]*pending
-	pendNotif []*pendingNotif
-	notifDone map[amcast.MsgID]map[amcast.GroupID]bool
-	cursors   map[amcast.GroupID]history.Cursor
+	g          amcast.GroupID
+	hst        *history.History
+	delivered  map[amcast.MsgID]bool
+	open       map[amcast.MsgID]bool
+	queues     map[amcast.GroupID][]amcast.MsgID
+	pend       map[amcast.MsgID]*pending
+	pendNotif  []*pendingNotif
+	notifDone  map[amcast.MsgID]map[amcast.GroupID]uint64
+	trafficSeq map[amcast.GroupID]uint64
+	notifSent  map[amcast.MsgID]map[amcast.GroupID]notifState
+	cursors    map[amcast.GroupID]history.Cursor
 
 	deliveries []amcast.Delivery
 	seq        uint64
@@ -48,10 +50,30 @@ func copyGroupSet(m map[amcast.GroupID]bool) map[amcast.GroupID]bool {
 	return c
 }
 
-func copyNotifDone(m map[amcast.MsgID]map[amcast.GroupID]bool) map[amcast.MsgID]map[amcast.GroupID]bool {
-	c := make(map[amcast.MsgID]map[amcast.GroupID]bool, len(m))
+func copyGroupEpochs(m map[amcast.GroupID]uint64) map[amcast.GroupID]uint64 {
+	c := make(map[amcast.GroupID]uint64, len(m))
+	for g, v := range m {
+		c[g] = v
+	}
+	return c
+}
+
+func copyNotifDone(m map[amcast.MsgID]map[amcast.GroupID]uint64) map[amcast.MsgID]map[amcast.GroupID]uint64 {
+	c := make(map[amcast.MsgID]map[amcast.GroupID]uint64, len(m))
 	for id, set := range m {
-		c[id] = copyGroupSet(set)
+		c[id] = copyGroupEpochs(set)
+	}
+	return c
+}
+
+func copyNotifSent(m map[amcast.MsgID]map[amcast.GroupID]notifState) map[amcast.MsgID]map[amcast.GroupID]notifState {
+	c := make(map[amcast.MsgID]map[amcast.GroupID]notifState, len(m))
+	for id, sent := range m {
+		cs := make(map[amcast.GroupID]notifState, len(sent))
+		for g, st := range sent {
+			cs[g] = st
+		}
+		c[id] = cs
 	}
 	return c
 }
@@ -62,14 +84,14 @@ func copyPending(p *pending) *pending {
 		hasMsg:    p.hasMsg,
 		queued:    p.queued,
 		acks:      copyGroupSet(p.acks),
-		notif:     make(map[amcast.NotifPair]bool, len(p.notif)),
-		notifAcks: make(map[amcast.GroupID]map[amcast.GroupID]bool, len(p.notifAcks)),
+		notif:     make(map[pairKey]uint64, len(p.notif)),
+		notifAcks: make(map[amcast.GroupID]map[amcast.GroupID]uint64, len(p.notifAcks)),
 	}
 	for pr, v := range p.notif {
 		c.notif[pr] = v
 	}
 	for g, covered := range p.notifAcks {
-		c.notifAcks[g] = copyGroupSet(covered)
+		c.notifAcks[g] = copyGroupEpochs(covered)
 	}
 	return c
 }
@@ -86,6 +108,8 @@ func (e *Engine) capture() *snapshot {
 		queues:     make(map[amcast.GroupID][]amcast.MsgID, len(e.queues)),
 		pend:       make(map[amcast.MsgID]*pending, len(e.pend)),
 		notifDone:  copyNotifDone(e.notifDone),
+		trafficSeq: copyGroupEpochs(e.trafficSeq),
+		notifSent:  copyNotifSent(e.notifSent),
 		cursors:    make(map[amcast.GroupID]history.Cursor, len(e.cursors)),
 		deliveries: append([]amcast.Delivery(nil), e.deliveries...),
 		seq:        e.seq,
@@ -102,7 +126,7 @@ func (e *Engine) capture() *snapshot {
 		for id := range pn.deps {
 			deps[id] = true
 		}
-		s.pendNotif = append(s.pendNotif, &pendingNotif{msg: pn.msg, notifier: pn.notifier, deps: deps})
+		s.pendNotif = append(s.pendNotif, &pendingNotif{msg: pn.msg, notifier: pn.notifier, epoch: pn.epoch, deps: deps})
 	}
 	for g, c := range e.cursors {
 		s.cursors[g] = c
@@ -130,9 +154,11 @@ func (e *Engine) install(s *snapshot) {
 		for id := range pn.deps {
 			deps[id] = true
 		}
-		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: pn.msg, notifier: pn.notifier, deps: deps})
+		e.pendNotif = append(e.pendNotif, &pendingNotif{msg: pn.msg, notifier: pn.notifier, epoch: pn.epoch, deps: deps})
 	}
 	e.notifDone = copyNotifDone(s.notifDone)
+	e.trafficSeq = copyGroupEpochs(s.trafficSeq)
+	e.notifSent = copyNotifSent(s.notifSent)
 	e.cursors = make(map[amcast.GroupID]history.Cursor, len(s.cursors))
 	for g, c := range s.cursors {
 		e.cursors[g] = c

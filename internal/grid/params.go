@@ -47,6 +47,10 @@ type loadParams struct {
 
 	// Simbench-only knobs; load cells reject them.
 	SimOps int `json:"sim_ops,omitempty"`
+
+	// Fig5-verify-only knobs; load cells reject them.
+	Fig5Scale float64 `json:"fig5_scale,omitempty"`
+	Fig5Seeds int     `json:"fig5_seeds,omitempty"`
 }
 
 // decodeParams round-trips a cell's merged parameter map through JSON

@@ -133,6 +133,9 @@ func runCell(cell Cell, repeat int) (map[string]float64, *loadgen.Result, error)
 	case "soak":
 		m, err := runSoak(cell, repeat)
 		return m, nil, err
+	case "fig5-verify":
+		m, err := runFig5Verify(cell, repeat)
+		return m, nil, err
 	default:
 		p, err := decodeParams(cell.Name, cell.Params)
 		if err != nil {
@@ -140,6 +143,9 @@ func runCell(cell Cell, repeat int) (map[string]float64, *loadgen.Result, error)
 		}
 		if p.SimOps != 0 {
 			return nil, nil, fmt.Errorf("grid: sim_ops is a simbench parameter")
+		}
+		if p.Fig5Scale != 0 || p.Fig5Seeds != 0 {
+			return nil, nil, fmt.Errorf("grid: fig5_scale/fig5_seeds are fig5-verify parameters")
 		}
 		res, err := loadgen.Run(p.loadConfig(repeat))
 		if err != nil {
@@ -157,6 +163,9 @@ func headline(kind string, m map[string]float64) string {
 	case "soak":
 		return fmt.Sprintf("%.0f tx/s, disk peak %.0f/%.0f bytes, heap ratio %.2f",
 			m["throughput_tx_s"], m["soak_disk_peak_bytes"], m["soak_disk_bound_bytes"], m["soak_heap_ratio"])
+	case "fig5-verify":
+		return fmt.Sprintf("%.0f verified runs clean, %.0f tx/s, p50 %.0f µs",
+			m["fig5_verified_runs"], m["throughput_tx_s"], m["latency_p50_us"])
 	default:
 		return fmt.Sprintf("%.0f tx/s, p50 %.0f µs", m["throughput_tx_s"], m["latency_p50_us"])
 	}

@@ -42,8 +42,9 @@ type Experiment struct {
 	Name string `json:"name"`
 	// Kind selects the cell runner: "load" (default, one
 	// loadgen.Run per repeat), "simbench" (the FollowerRead sim
-	// microbenchmark) or "soak" (a durable run with disk-footprint and
-	// heap-flatness assertions).
+	// microbenchmark), "soak" (a durable run with disk-footprint and
+	// heap-flatness assertions) or "fig5-verify" (the fig5 latency
+	// configuration replayed under full trace verification).
 	Kind string `json:"kind,omitempty"`
 	// Repeats overrides the spec default for this experiment.
 	Repeats int `json:"repeats,omitempty"`
@@ -156,7 +157,7 @@ func ParseSpec(data []byte) (*Spec, error) {
 		switch e.Kind {
 		case "":
 			e.Kind = "load"
-		case "load", "simbench", "soak":
+		case "load", "simbench", "soak", "fig5-verify":
 		default:
 			return nil, fmt.Errorf("grid: experiment %q: unknown kind %q", e.Name, e.Kind)
 		}
