@@ -89,6 +89,15 @@ const (
 	// watermark but no delivery sequence, so the flag tells the session
 	// barrier (PrefixTracker) not to interpret TS as one.
 	FlagRead
+	// FlagSession marks a message carrying a session id (Message.Session):
+	// a multiplexed client connection speaking for many logical sessions
+	// stamps each message with the session it belongs to, and replies echo
+	// it (Header preserves it), so the demultiplexer on the client side
+	// routes completions — and the per-session watermark vectors behind
+	// read-your-writes — without one TCP conn per session. On the wire the
+	// flag gates the session varint's presence; a set flag with session 0
+	// is non-canonical (codec rejects it).
+	FlagSession
 )
 
 // Message is an application message handed to multicast(m). Dst must be
@@ -100,8 +109,15 @@ type Message struct {
 	Sender NodeID
 	// Dst is the destination group set, sorted ascending.
 	Dst []GroupID
-	// Flags carries per-message protocol flags (FlagFlush, FlagRead).
+	// Flags carries per-message protocol flags (FlagFlush, FlagRead,
+	// FlagSession).
 	Flags MsgFlags
+	// Session identifies the logical client session the message belongs
+	// to when the sender multiplexes many sessions over one connection
+	// (loadgen's open loop). Nonzero iff Flags&FlagSession is set; ids
+	// are allocated by the client layer and opaque to the protocols —
+	// engines and replies carry them through untouched.
+	Session uint64
 	// Payload is the application payload (gtpcc.EncodeTx on executing
 	// deployments).
 	Payload []byte

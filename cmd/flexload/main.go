@@ -105,10 +105,43 @@ func main() {
 				fmt.Printf("follower-read speedup vs leader reads: %.2fx\n", res.ReadThroughput/vres.ReadThroughput)
 			}
 		}
+		if cfg.Adaptive || cfg.Sessions > 0 {
+			// The tail-latency A/B: identical deployment and offered load,
+			// with the adaptive batching controller and per-session
+			// admission replaced by the static operating point and the
+			// legacy process-level outstanding cap. Overdriven, the static
+			// side queues its excess (bufferbloat p99); the adaptive side
+			// sheds it and keeps the in-flight population small.
+			static := cfg
+			static.Adaptive = false
+			static.Sessions = 0
+			vres, err := loadgen.Run(static)
+			if err != nil {
+				log.Fatalf("flexload: static variant: %v", err)
+			}
+			printResult(fmt.Sprintf("%s/%s batch=%d static (variant)", cfg.Transport, cfg.Protocol, cfg.MaxBatch), vres)
+			rep.WithVariant("static", vres)
+			if res.Latency.P99 > 0 {
+				fmt.Printf("write p99 static/adaptive: %.2fx  (%dµs -> %dµs)\n",
+					float64(vres.Latency.P99)/float64(res.Latency.P99), vres.Latency.P99, res.Latency.P99)
+			}
+			if res.SLO != nil && vres.SLO != nil && vres.SLO.Goodput > 0 {
+				fmt.Printf("goodput adaptive/static: %.2fx  (%.0f vs %.0f tx/s at %.0fms)\n",
+					res.SLO.Goodput/vres.SLO.Goodput, res.SLO.Goodput, vres.SLO.Goodput, res.SLO.TargetMs)
+			}
+		}
 		if cfg.ReadPct > 0 {
 			noReads := cfg
 			noReads.ReadPct = 0
 			noReads.ReadWorkers = 0
+			if cfg.Rate > 0 {
+				// Hold the write offered-load constant: the primary run
+				// offers Rate×(1−ReadPct/100) writes per second, so with
+				// the read mix off the same write pressure needs a
+				// proportionally lower rate — otherwise the variant
+				// measures doubled overload, not the read path.
+				noReads.Rate = cfg.Rate * float64(100-cfg.ReadPct) / 100
+			}
 			vres, err := loadgen.Run(noReads)
 			if err != nil {
 				log.Fatalf("flexload: no_reads variant: %v", err)
@@ -143,6 +176,18 @@ func main() {
 		// noise.
 		poolCfg := cfg
 		poolCfg.Transport = "tcp"
+		if cfg.Rate > 0 {
+			// Pooling overhead is a peak-throughput question. Under an
+			// open-loop overload the TCP deployment's lower capacity
+			// would turn this variant into a shedding measurement, so
+			// the pooling A/B always runs closed loop — the frame pool
+			// sits on the hot path either way.
+			poolCfg.Rate = 0
+			poolCfg.Sessions = 0
+			poolCfg.SessionOutstanding = 0
+			poolCfg.SessionBurst = 0
+			poolCfg.SLOMs = 0
+		}
 		runPool := func(label string, on bool) {
 			codec.SetPooling(on)
 			vres, err := loadgen.Run(poolCfg)
@@ -195,6 +240,15 @@ func printResult(label string, r *loadgen.Result) {
 	}
 	fmt.Printf("  batching: %d envelopes in %d sends, avg %.1f/batch, largest %d\n",
 		r.EnvelopesSent, r.BatchesSent, r.AvgBatch, r.LargestBatch)
+	if s := r.SLO; s != nil {
+		fmt.Printf("  slo: target %.0fms  goodput %.0f tx/s (%.1f%% of completions good)  shed %d (rate %.3f)\n",
+			s.TargetMs, s.Goodput, 100*s.GoodFraction, r.Shed, s.ShedRate)
+		if n := len(s.Trajectory); n > 0 {
+			last := s.Trajectory[n-1]
+			fmt.Printf("  controller: %d trajectory points, final batch %d / flush %dµs (queue %d)\n",
+				n, last.Batch, last.FlushIntervalUs, last.QueueDepth)
+		}
+	}
 	if st := r.Stages; st != nil {
 		fmt.Printf("  stages (1 in %d sampled, %d records): e2e p50 %s  p99 %s\n",
 			st.SampleEvery, st.Records, time.Duration(st.E2E.P50), time.Duration(st.E2E.P99))

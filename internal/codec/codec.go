@@ -7,7 +7,7 @@
 // Layout (all integers are unsigned varints unless noted):
 //
 //	kind(1 byte) | from | msg | [payload] | [hist] | [certEpoch] | [notifList] | [ackCovers] | [ts tsFrom] | [result] | [watermark] | [value]
-//	msg   = id | sender | flags(1 byte) | nDst | dst...
+//	msg   = id | sender | flags(1 byte) | [session] | nDst | dst...
 //	hist  = nNodes | (id nDst dst...)... | nEdges | (from to)...
 //	notifList = nPairs | (notifier notified epoch)...
 //	ackCovers = nCovers | (notifier epoch)...
@@ -23,6 +23,15 @@
 // message carries FlagRead — the read-result leg of the KindRead path.
 // Section presence is always a function of bytes decoded earlier in the
 // frame, keeping the encoding canonical.
+//
+// session appears in the message section iff the flags byte (decoded
+// just before it) carries FlagSession, and must be ≥ 1 — the session id
+// a multiplexed client connection stamps on its messages so replies
+// demultiplex to the right logical session. A set flag with session 0
+// is rejected as non-canonical; an absent flag with a session varint
+// present decodes the varint as the destination count and fails (or
+// leaves trailing bytes), so exactly one byte string encodes any
+// accepted message.
 //
 // Optional sections are present only for the envelope kinds that use them,
 // keeping auxiliary messages (ACK/NOTIF/TS/REPLY) small, as in the paper's
@@ -89,6 +98,9 @@ func appendMessage(buf []byte, m amcast.Message, payload bool) []byte {
 	buf = binary.AppendUvarint(buf, uint64(m.ID))
 	buf = binary.AppendUvarint(buf, uint64(uint32(m.Sender)))
 	buf = append(buf, byte(m.Flags))
+	if m.Flags&amcast.FlagSession != 0 {
+		buf = binary.AppendUvarint(buf, m.Session)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(m.Dst)))
 	for _, g := range m.Dst {
 		buf = binary.AppendUvarint(buf, uint64(uint32(g)))
@@ -162,6 +174,9 @@ func Size(env amcast.Envelope) int {
 
 func messageSize(m amcast.Message, payload bool) int {
 	n := uvarintLen(uint64(m.ID)) + uvarintLen(uint64(uint32(m.Sender))) + 1
+	if m.Flags&amcast.FlagSession != 0 {
+		n += uvarintLen(m.Session)
+	}
 	n += uvarintLen(uint64(len(m.Dst)))
 	for _, g := range m.Dst {
 		n += uvarintLen(uint64(uint32(g)))
@@ -408,6 +423,13 @@ func (d *decoder) message(payload bool) amcast.Message {
 	m.ID = amcast.MsgID(d.uvarint())
 	m.Sender = amcast.NodeID(d.uvarint32())
 	m.Flags = amcast.MsgFlags(d.byte())
+	if m.Flags&amcast.FlagSession != 0 {
+		m.Session = d.uvarint()
+		if d.err == nil && m.Session == 0 {
+			d.err = fmt.Errorf("codec: FlagSession set with session id 0")
+			return m
+		}
+	}
 	m.Dst = d.groups(d.count())
 	if payload {
 		m.Payload = d.bytes(d.count())

@@ -1,6 +1,7 @@
 package codec
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -49,6 +50,15 @@ func sampleEnvelopes() []amcast.Envelope {
 			ID: 9, Sender: amcast.ClientNode(2), Dst: []amcast.GroupID{4},
 			Flags: amcast.FlagRead,
 		}, Result: amcast.ResultCommitted, Watermark: 17, Value: -1},
+		{Kind: amcast.KindRequest, From: amcast.ClientNode(5), Msg: amcast.Message{
+			ID: amcast.NewMsgID(5, 1), Sender: amcast.ClientNode(5),
+			Dst: []amcast.GroupID{3}, Flags: amcast.FlagSession, Session: 1 << 18,
+			Payload: []byte("mux"),
+		}},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(3), Msg: amcast.Message{
+			ID: amcast.NewMsgID(5, 1), Sender: amcast.ClientNode(5),
+			Dst: []amcast.GroupID{3}, Flags: amcast.FlagSession, Session: 1,
+		}, TS: 3, Result: amcast.ResultCommitted, Watermark: 4},
 	}
 }
 
@@ -84,6 +94,9 @@ func normalize(e amcast.Envelope) amcast.Envelope {
 	}
 	if !hasValue(e.Kind, e.Msg.Flags) {
 		e.Value = 0
+	}
+	if e.Msg.Flags&amcast.FlagSession == 0 {
+		e.Msg.Session = 0
 	}
 	if len(e.Msg.Dst) == 0 {
 		e.Msg.Dst = nil
@@ -208,6 +221,58 @@ func TestRejectsNonCanonicalEpochSections(t *testing.T) {
 	}
 }
 
+// TestRejectsNonCanonicalSession covers the session-id vocabulary: the
+// session varint is present iff the flags byte carries FlagSession, must
+// be ≥ 1 and minimally encoded — so exactly one byte string encodes any
+// accepted session-stamped message, and a flag-less frame can never
+// smuggle a session section (the bytes decode as the destination count
+// and fail or leave trailing garbage).
+func TestRejectsNonCanonicalSession(t *testing.T) {
+	// Hand-rolled REQUEST frame: kind | from | id | sender | flags |
+	// [session] | nDst | dst | payloadLen.
+	frame := func(flags amcast.MsgFlags, session []byte) []byte {
+		buf := []byte{byte(amcast.KindRequest)}
+		buf = binary.AppendUvarint(buf, uint64(uint32(amcast.ClientNode(1))))
+		buf = binary.AppendUvarint(buf, 7) // id
+		buf = binary.AppendUvarint(buf, uint64(uint32(amcast.ClientNode(1))))
+		buf = append(buf, byte(flags))
+		buf = append(buf, session...)
+		buf = binary.AppendUvarint(buf, 1) // nDst
+		buf = binary.AppendUvarint(buf, 2) // dst group 2
+		buf = binary.AppendUvarint(buf, 0) // empty payload
+		return buf
+	}
+
+	good := frame(amcast.FlagSession, []byte{42})
+	env, err := Unmarshal(good)
+	if err != nil {
+		t.Fatalf("canonical session frame rejected: %v", err)
+	}
+	if env.Msg.Session != 42 || env.Msg.Flags&amcast.FlagSession == 0 {
+		t.Fatalf("decoded session = %d (flags %b), want 42", env.Msg.Session, env.Msg.Flags)
+	}
+
+	if _, err := Unmarshal(frame(amcast.FlagSession, []byte{0})); err == nil ||
+		!strings.Contains(err.Error(), "session id 0") {
+		t.Fatalf("FlagSession with session 0 accepted (err %v)", err)
+	}
+	// Non-minimal session varint (1 encoded in two bytes).
+	if _, err := Unmarshal(frame(amcast.FlagSession, []byte{0x81, 0x00})); err == nil ||
+		!strings.Contains(err.Error(), "non-minimal") {
+		t.Fatalf("non-minimal session varint accepted (err %v)", err)
+	}
+	// Session bytes without the flag: the varint lands on the destination
+	// count and the frame must not decode.
+	if _, err := Unmarshal(frame(0, []byte{42})); err == nil {
+		t.Fatal("session section without FlagSession accepted")
+	}
+	// Flag without the section: the destination count is consumed as the
+	// session id and the frame must not decode.
+	if _, err := Unmarshal(frame(amcast.FlagSession, nil)); err == nil {
+		t.Fatal("FlagSession without a session varint accepted")
+	}
+}
+
 // TestDuplicateFoldBoundary pins the epoch semantics the engine's
 // duplicate fold depends on: the max-epoch form survives normalization,
 // and adjacent epochs of the same pair stay distinct on the wire.
@@ -285,7 +350,10 @@ func randomEnvelope(rng *rand.Rand) amcast.Envelope {
 	env.Msg = amcast.Message{
 		ID:     amcast.MsgID(rng.Uint64() >> uint(rng.Intn(64))),
 		Sender: amcast.ClientNode(rng.Intn(1000)),
-		Flags:  amcast.MsgFlags(rng.Intn(4)),
+		Flags:  amcast.MsgFlags(rng.Intn(8)),
+	}
+	if env.Msg.Flags&amcast.FlagSession != 0 {
+		env.Msg.Session = 1 + rng.Uint64()>>uint(1+rng.Intn(63))
 	}
 	if env.Kind == amcast.KindReply {
 		env.Watermark = rng.Uint64() >> uint(rng.Intn(64))

@@ -52,6 +52,17 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 		{Kind: amcast.KindFwd, From: amcast.GroupNode(8), Msg: amcast.Message{
 			ID: 1, Dst: []amcast.GroupID{8, 9}, Payload: []byte("fwd"),
 		}},
+		// Session-multiplexed request and its reply (the session-id
+		// vocabulary: FlagSession gates a session varint ≥ 1 after flags).
+		{Kind: amcast.KindRequest, From: amcast.ClientNode(7), Msg: amcast.Message{
+			ID: amcast.NewMsgID(7, 3), Sender: amcast.ClientNode(7),
+			Dst: []amcast.GroupID{2}, Flags: amcast.FlagSession, Session: 98765,
+			Payload: []byte("mux"),
+		}},
+		{Kind: amcast.KindReply, From: amcast.GroupNode(2), Msg: amcast.Message{
+			ID: amcast.NewMsgID(7, 3), Sender: amcast.ClientNode(7),
+			Dst: []amcast.GroupID{2}, Flags: amcast.FlagSession, Session: 1,
+		}, TS: 4, Result: amcast.ResultCommitted, Watermark: 5},
 	}
 	for _, env := range seed {
 		f.Add(Marshal(env))

@@ -44,6 +44,11 @@ type loadParams struct {
 	DurableSnapshotEvery int     `json:"durable_snapshot_every,omitempty"`
 	DurableFsyncEvery    int     `json:"durable_fsync_every,omitempty"`
 	TraceSample          int     `json:"trace_sample,omitempty"`
+	Adaptive             bool    `json:"adaptive,omitempty"`
+	SLOMs                float64 `json:"slo_ms,omitempty"`
+	Sessions             int     `json:"sessions,omitempty"`
+	SessionOutstanding   int     `json:"session_outstanding,omitempty"`
+	SessionBurst         int     `json:"session_burst,omitempty"`
 
 	// Simbench-only knobs; load cells reject them.
 	SimOps int `json:"sim_ops,omitempty"`
@@ -104,6 +109,11 @@ func (p *loadParams) loadConfig(repeat int) loadgen.Config {
 		DurableSnapshotEvery: p.DurableSnapshotEvery,
 		DurableFsyncEvery:    p.DurableFsyncEvery,
 		TraceSample:          p.TraceSample,
+		Adaptive:             p.Adaptive,
+		SLOMs:                p.SLOMs,
+		Sessions:             p.Sessions,
+		SessionOutstanding:   p.SessionOutstanding,
+		SessionBurst:         p.SessionBurst,
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1

@@ -110,6 +110,14 @@ func resultMetrics(res *loadgen.Result) map[string]float64 {
 		m["abort_rate"] = res.Execute.AbortRate
 		m["tx_applied"] = float64(res.Execute.TxApplied)
 	}
+	if res.SLO != nil {
+		// slo_goodput_tx_s compares up (the _tx_s suffix); shed and
+		// slo_shed_rate compare down (the default direction).
+		m["slo_goodput_tx_s"] = res.SLO.Goodput
+		m["slo_good_fraction"] = res.SLO.GoodFraction
+		m["slo_shed_rate"] = res.SLO.ShedRate
+		m["shed"] = float64(res.Shed)
+	}
 	if res.Durable != nil {
 		m["recovery_mean_us"] = res.Durable.RecoveryMeanUs
 		m["recovery_max_us"] = float64(res.Durable.RecoveryMaxUs)

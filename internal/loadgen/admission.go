@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"sync"
+
+	"flexcast/amcast"
+)
+
+// Session-multiplexed admission control (DESIGN.md §1h). With -sessions
+// N, each client process simulates N virtual sessions over its single
+// transport connection: the session id rides the envelope (FlagSession
+// + Message.Session), so one TCP conn carries ~10^5 logical sessions
+// instead of one socket each. Every session gets its own admission gate
+// — a token bucket slicing the process's offered rate evenly, plus a
+// small outstanding cap — and an issuance the gate refuses is SHED on
+// the spot (counted in Result.Shed), never queued. Queuing excess load
+// at an overloaded server only converts offered rate into queue depth,
+// and queue depth into tail latency (bufferbloat); shedding keeps the
+// in-flight population at the operating point the admission budget
+// describes, so the transactions that are admitted see the uncongested
+// path. The per-session cap (rather than one process-wide cap) means a
+// latency spike starves only the sessions whose transactions it holds;
+// the rest keep issuing.
+
+// session is one multiplexed virtual session: its token bucket and
+// outstanding count (the admission state) plus its own read-your-writes
+// barrier, fed by the watermarks on replies carrying its session id.
+type session struct {
+	id uint64
+
+	mu          sync.Mutex
+	tokens      float64
+	lastNs      int64
+	outstanding int
+	prefix      amcast.PrefixTracker
+	// admitted / shed count this session's gate decisions over the whole
+	// run (white-box observability; the run-level counters are windowed).
+	admitted uint64
+	shed     uint64
+}
+
+// newSessions builds client c's session table. Session ids are global
+// and start at 1 (0 is "no session" on the wire): client c owns
+// [1+c*n, 1+(c+1)*n).
+func newSessions(client, n int) []*session {
+	out := make([]*session, n)
+	for s := range out {
+		out[s] = &session{
+			id:     1 + uint64(client)*uint64(n) + uint64(s),
+			prefix: make(amcast.PrefixTracker),
+		}
+	}
+	return out
+}
+
+// observe folds a reply's delivered-prefix watermark into the session's
+// own barrier — the per-session half of the session guarantee. The
+// process-level barrier still advances too (it serves reads); the
+// per-session vector is what the multiplexing tests assert RYW against.
+func (s *session) observe(env amcast.Envelope) {
+	s.mu.Lock()
+	s.prefix.Observe(env)
+	s.mu.Unlock()
+}
+
+// barrier returns the session's delivered-prefix barrier for g.
+func (s *session) barrier(g amcast.GroupID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prefix.Prefix(g)
+}
+
+// release returns one outstanding slot; called when a transaction the
+// session admitted completes.
+func (s *session) release() {
+	s.mu.Lock()
+	if s.outstanding > 0 {
+		s.outstanding--
+	}
+	s.mu.Unlock()
+}
+
+// admission is the per-session gate configuration: rate tokens/s per
+// session (refilled lazily on the caller's clock, so tests inject
+// synthetic time), burst the bucket depth, cap the outstanding bound.
+type admission struct {
+	rate  float64
+	burst float64
+	cap   int
+}
+
+// newAdmission derives the gate from a filled Config: the process
+// offered rate split evenly across its sessions.
+func newAdmission(cfg Config) admission {
+	return admission{
+		rate:  cfg.Rate / float64(cfg.Sessions),
+		burst: float64(cfg.SessionBurst),
+		cap:   cfg.SessionOutstanding,
+	}
+}
+
+// admit charges one issuance against the session at time nowNs
+// (nanoseconds on any monotonic clock — production passes the wall
+// clock, tests pass a synthetic one). It refuses — and the caller
+// sheds — when the bucket is dry (the session is over its rate slice)
+// or the outstanding cap is reached (the session's admitted work has
+// not come back: the latency-spike case).
+func (a admission) admit(s *session, nowNs int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastNs == 0 {
+		s.lastNs = nowNs
+		s.tokens = a.burst // a fresh session starts with a full bucket
+	} else if elapsed := nowNs - s.lastNs; elapsed > 0 {
+		s.tokens += a.rate * float64(elapsed) / 1e9
+		if s.tokens > a.burst {
+			s.tokens = a.burst
+		}
+		s.lastNs = nowNs
+	}
+	if s.tokens < 1 || s.outstanding >= a.cap {
+		s.shed++
+		return false
+	}
+	s.tokens--
+	s.outstanding++
+	s.admitted++
+	return true
+}

@@ -32,6 +32,10 @@ func deploy(cfg Config, proto *protocolDeployment, r *run) (*deployment, []*clie
 			prefix:   make(amcast.PrefixTracker),
 			run:      r,
 		}
+		if cfg.Sessions > 0 {
+			clients[i].sessions = newSessions(i, cfg.Sessions)
+			clients[i].sessBase = clients[i].sessions[0].id
+		}
 	}
 	switch cfg.Transport {
 	case "tcp":
@@ -44,11 +48,19 @@ func deploy(cfg Config, proto *protocolDeployment, r *run) (*deployment, []*clie
 }
 
 func runtimeConfig(cfg Config, proto *protocolDeployment) runtime.Config {
-	return runtime.Config{
+	rc := runtime.Config{
 		MaxBatch:      cfg.MaxBatch,
 		FlushInterval: cfg.FlushInterval,
 		Tracer:        proto.tracer,
 	}
+	if cfg.Adaptive {
+		// The zero AdaptiveConfig fills to the full range: floor 1
+		// envelope / 50µs, ceiling the static knobs above. Adaptivity is
+		// server-side only — client batchers coalesce their own sessions
+		// and flush when the queue runs dry, which is already adaptive.
+		rc.Adaptive = &runtime.AdaptiveConfig{}
+	}
+	return rc
 }
 
 // nodeConfig is runtimeConfig plus, on executing deployments, the

@@ -29,6 +29,16 @@ func AddFlags(fs *flag.FlagSet) *Config {
 	fs.DurationVar(&c.Duration, "duration", c.Duration, "measurement window")
 	fs.IntVar(&c.MaxBatch, "batch", c.MaxBatch, "max envelopes per runtime batch (1 disables batching)")
 	fs.DurationVar(&c.FlushInterval, "flush-interval", c.FlushInterval, "batch flush period")
+	fs.BoolVar(&c.Adaptive, "adaptive", c.Adaptive,
+		"latency-targeted adaptive batching: -batch/-flush-interval become the ceiling, each node steers on queue depth")
+	fs.Float64Var(&c.SLOMs, "slo-ms", c.SLOMs,
+		"tail-latency SLO target in ms (> 0 adds the results.slo section: goodput at target, shed rate, controller trajectory)")
+	fs.IntVar(&c.Sessions, "sessions", c.Sessions,
+		"virtual sessions multiplexed per client process in open loop (0 = process-level admission; requires -rate)")
+	fs.IntVar(&c.SessionOutstanding, "session-outstanding", c.SessionOutstanding,
+		"per-session in-flight cap; admission beyond it is shed")
+	fs.IntVar(&c.SessionBurst, "session-burst", c.SessionBurst,
+		"per-session token-bucket burst depth")
 	fs.IntVar(&c.PayloadSize, "payload", c.PayloadSize, "payload bytes (0 = gTPC-C sizes)")
 	fs.Float64Var(&c.Locality, "locality", c.Locality, "gTPC-C locality rate")
 	fs.BoolVar(&c.GlobalOnly, "global-only", c.GlobalOnly, "multi-group transactions only")

@@ -165,6 +165,32 @@ type Config struct {
 	// 256 and 64).
 	DurableSnapshotEvery int
 	DurableFsyncEvery    int
+	// Adaptive runs every server node under the latency-targeted
+	// adaptive batching controller (runtime.AdaptiveConfig, DESIGN.md
+	// §1h): MaxBatch/FlushInterval become the ceiling of the operating
+	// range instead of the fixed operating point, and each node steers
+	// between the per-envelope floor and that ceiling on its own queue
+	// depth.
+	Adaptive bool
+	// SLOMs, when > 0, adds the tail-latency SLO section to the result:
+	// goodput at p99 <= SLOMs milliseconds, shed rate, and the
+	// controller trajectory over the measurement window.
+	SLOMs float64
+	// Sessions, when > 0, multiplexes that many virtual sessions over
+	// each client process's single transport connection in open-loop
+	// mode (requires Rate > 0): the offered rate splits evenly across
+	// sessions, each behind its own admission gate (token bucket of
+	// SessionBurst, outstanding cap SessionOutstanding), and refused
+	// issuances are shed — counted, never queued. Session ids ride the
+	// envelope (FlagSession), so per-session FIFO and read-your-writes
+	// hold over the shared connection. 0 keeps the legacy process-level
+	// MaxOutstanding cap.
+	Sessions int
+	// SessionOutstanding caps in-flight transactions per session
+	// (default 4); SessionBurst is the per-session token-bucket depth
+	// (default 8).
+	SessionOutstanding int
+	SessionBurst       int
 	// TraceSample traces one in TraceSample write transactions through
 	// the lifecycle tracer (internal/telemetry): stage timestamps at
 	// submit, inbound queue entry/exit, delivery, store execution,
@@ -274,6 +300,27 @@ func (c *Config) fill() error {
 	}
 	if c.TraceSample == 0 {
 		c.TraceSample = 16
+	}
+	if c.SLOMs < 0 {
+		return fmt.Errorf("loadgen: negative SLO target %v", c.SLOMs)
+	}
+	if c.Sessions < 0 {
+		return fmt.Errorf("loadgen: negative session count")
+	}
+	if c.Sessions > 0 && c.Rate <= 0 {
+		return fmt.Errorf("loadgen: -sessions requires -rate (admission control gates the open loop)")
+	}
+	if c.SessionOutstanding == 0 {
+		c.SessionOutstanding = 4
+	}
+	if c.SessionOutstanding < 0 {
+		return fmt.Errorf("loadgen: negative per-session outstanding cap")
+	}
+	if c.SessionBurst == 0 {
+		c.SessionBurst = 8
+	}
+	if c.SessionBurst < 0 {
+		return fmt.Errorf("loadgen: negative per-session burst")
 	}
 	return nil
 }
@@ -405,14 +452,22 @@ type Result struct {
 	// Durable carries the crash-recovery verification when the run used
 	// the durable backend (-durable).
 	Durable *DurableResult `json:"durable,omitempty"`
-	// Issued counts requests issued during the measurement window (a
-	// transaction issued in warmup and completed in-window counts toward
-	// Completed but not Issued, so the two may differ slightly in either
-	// direction); under open loop Issued far above Completed means the
-	// system fell behind the offered rate.
+	// Issued counts requests issued during the measurement window.
+	// Completed counts only transactions both issued AND completed
+	// inside the window (warmup carry-overs and replies landing after
+	// the close are excluded), so under open loop Issued far above
+	// Completed means the system fell behind the offered rate —
+	// transactions were still queued, unanswered, when the window
+	// closed, and the throughput figure does not credit them.
 	Issued uint64 `json:"issued"`
-	// Shed counts open-loop issuances skipped by the outstanding cap.
+	// Shed counts open-loop issuances refused by admission control
+	// during the window: the process-level outstanding cap
+	// (-max-outstanding), or with -sessions the per-session token
+	// bucket and outstanding cap.
 	Shed uint64 `json:"shed,omitempty"`
+	// SLO is the tail-latency service-level section (-slo-ms): goodput
+	// at the latency target, shed rate, controller trajectory.
+	SLO *SLOResult `json:"slo,omitempty"`
 	// Batching statistics aggregated over all server and client nodes.
 	BatchesSent   uint64  `json:"batches_sent"`
 	EnvelopesSent uint64  `json:"envelopes_sent"`
@@ -643,6 +698,10 @@ type txState struct {
 	// result folds the per-group execution verdicts; replies that
 	// disagree bump the run's divergence counter.
 	result uint8
+	// sess is the virtual session that admitted this transaction
+	// (session-multiplexed open loop); completion releases its
+	// outstanding slot. nil outside session mode.
+	sess *session
 }
 
 // clientProc is one client process: its own node id on the transport, a
@@ -671,7 +730,28 @@ type clientProc struct {
 	rr      atomic.Uint64
 	readSeq atomic.Uint64
 
+	// sessions is the process's virtual session table (session-
+	// multiplexed open loop; nil otherwise). sessBase is the id of
+	// sessions[0]; replies carrying a session id resolve through it.
+	sessions []*session
+	sessBase uint64
+
 	run *run
+}
+
+// sessionOf resolves a reply's session id to this process's session,
+// or nil (no session flag, or another client's id — batched fan-in can
+// only misroute if the transport breaks, and a nil just skips the
+// per-session fold).
+func (c *clientProc) sessionOf(m amcast.Message) *session {
+	if m.Flags&amcast.FlagSession == 0 || len(c.sessions) == 0 {
+		return nil
+	}
+	idx := m.Session - c.sessBase
+	if idx >= uint64(len(c.sessions)) {
+		return nil
+	}
+	return c.sessions[idx]
 }
 
 // readSeqBase puts remote-read message ids in their own space: above
@@ -774,6 +854,11 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 			continue
 		}
 		c.prefix.Observe(env)
+		if s := c.sessionOf(env.Msg); s != nil {
+			// The session's own barrier advances on every reply carrying
+			// its id — per-session read-your-writes over the shared conn.
+			s.observe(env)
+		}
 		tx, ok := c.inflight[env.Msg.ID]
 		if !ok || !tx.remaining[env.From.Group()] {
 			continue
@@ -800,6 +885,9 @@ func (c *clientProc) onReplies(envs []amcast.Envelope) {
 		if !tx.silent && !tx.isRead {
 			c.run.tracer.Finish(env.Msg.ID)
 		}
+		if tx.sess != nil {
+			tx.sess.release()
+		}
 		c.run.complete(tx, now)
 		if tx.done != nil {
 			close(tx.done)
@@ -822,6 +910,7 @@ func (c *clientProc) issue(m amcast.Message, meta txMeta, closedLoop, silent boo
 		isRead:    meta.isRead,
 		txType:    meta.typ,
 		amount:    meta.amount,
+		sess:      meta.sess,
 	}
 	for _, g := range m.Dst {
 		tx.remaining[g] = true
@@ -854,6 +943,7 @@ type txMeta struct {
 	typ    gtpcc.TxType
 	amount int64
 	isRead bool
+	sess   *session
 }
 
 // run is one executing load run.
@@ -867,6 +957,10 @@ type run struct {
 	issued    atomic.Uint64
 	shed      atomic.Uint64
 	measuring atomic.Bool
+	// good counts window completions within the SLO latency target
+	// (sloTargetUs, precomputed from Config.SLOMs; 0 = no SLO).
+	good        atomic.Uint64
+	sloTargetUs int64
 
 	// Fast-path read accumulators (read-mix runs): window completions
 	// and their latency, kept apart from the multicast counters.
@@ -895,7 +989,35 @@ type run struct {
 	execDiverged  atomic.Uint64
 	execNoVerdict atomic.Uint64
 
-	windowStart time.Time
+	// windowStart is the measurement window's opening instant (read by
+	// loops that only need a lower bound); windowStartNs/windowEndNs
+	// publish the exact window bounds for completion accounting. The
+	// end is fixed at open time (start + Duration), so whether a
+	// completion counts depends only on when it happened — a reply the
+	// handler processes just after the window closes, or a sleep that
+	// overshoots the duration, can no longer leak into (or deflate) the
+	// window's counters. WindowSecs is then exactly the configured
+	// duration.
+	windowStart   time.Time
+	windowStartNs atomic.Int64
+	windowEndNs   atomic.Int64
+}
+
+// openWindow opens the measurement window at now for d.
+func (r *run) openWindow(now time.Time, d time.Duration) {
+	r.windowStart = now
+	r.windowStartNs.Store(now.UnixNano())
+	r.windowEndNs.Store(now.Add(d).UnixNano())
+	r.measuring.Store(true)
+}
+
+// windowContains reports whether a transaction both issued and
+// completed inside the measurement window — the completion-accounting
+// predicate: Completed (and every latency sample) counts exactly the
+// transactions whose full lifetime fits the window.
+func (r *run) windowContains(issued, done time.Time) bool {
+	start := r.windowStartNs.Load()
+	return start != 0 && issued.UnixNano() >= start && done.UnixNano() <= r.windowEndNs.Load()
 }
 
 // complete records one finished transaction.
@@ -912,7 +1034,7 @@ func (r *run) complete(tx *txState, now time.Time) {
 			r.readRefused.Add(1)
 			return
 		}
-		if !r.measuring.Load() || tx.issued.Before(r.windowStart) {
+		if !r.windowContains(tx.issued, now) {
 			return
 		}
 		// Nanoseconds, like recordRead: one read histogram, one unit.
@@ -929,7 +1051,7 @@ func (r *run) complete(tx *txState, now time.Time) {
 	if r.cfg.Execute && tx.txType == gtpcc.Payment && tx.result == amcast.ResultCommitted {
 		r.paidCommitted.Add(tx.amount)
 	}
-	if !r.measuring.Load() || tx.issued.Before(r.windowStart) {
+	if !r.windowContains(tx.issued, now) {
 		return
 	}
 	r.completed.Add(1)
@@ -938,6 +1060,9 @@ func (r *run) complete(tx *txState, now time.Time) {
 		lat = 0
 	}
 	r.hist.Record(uint64(lat))
+	if r.sloTargetUs > 0 && lat <= r.sloTargetUs {
+		r.good.Add(1)
+	}
 	if r.cfg.Execute && tx.txType >= 1 && int(tx.txType) < len(r.typeHists) {
 		r.typeHists[tx.txType].Record(uint64(lat))
 		if tx.result == amcast.ResultAborted {
@@ -980,6 +1105,9 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r := &run{cfg: cfg, proto: proto, hist: metrics.NewHistogram(), readHist: metrics.NewHistogram()}
+	if cfg.SLOMs > 0 {
+		r.sloTargetUs = int64(cfg.SLOMs * 1000)
+	}
 	r.tracer = telemetry.NewTracer(cfg.TraceSample, nil)
 	proto.tracer = r.tracer
 	r.readByReplica = make([]atomic.Uint64, cfg.Replicas)
@@ -1045,12 +1173,25 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Warm up, open the measurement window, close it, stop the load.
+	// The window bounds are fixed at open time, so completion accounting
+	// is exact: see run.windowContains.
 	time.Sleep(cfg.Warmup)
-	r.windowStart = time.Now()
-	r.measuring.Store(true)
+	r.openWindow(time.Now(), cfg.Duration)
+	var trajStop chan struct{}
+	var trajOut chan []SLOPoint
+	if cfg.SLOMs > 0 {
+		trajStop = make(chan struct{})
+		trajOut = make(chan []SLOPoint, 1)
+		go sampleTrajectory(dep.nodes, r.windowStart, trajStop, trajOut)
+	}
 	time.Sleep(cfg.Duration)
 	r.measuring.Store(false)
-	windowSecs := time.Since(r.windowStart).Seconds()
+	windowSecs := cfg.Duration.Seconds()
+	var traj []SLOPoint
+	if trajStop != nil {
+		close(trajStop)
+		traj = <-trajOut
+	}
 	close(stop)
 	wg.Wait()
 	close(stopDispatch)
@@ -1105,6 +1246,10 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if windowSecs > 0 {
 		res.Throughput = float64(res.Completed) / windowSecs
+	}
+	if cfg.SLOMs > 0 {
+		res.SLO = buildSLO(cfg.SLOMs, r.good.Load(), res.Completed, res.Issued, res.Shed, windowSecs, traj)
+		res.SLO.Sessions = cfg.Sessions
 	}
 	if n := r.readRefused.Load(); n > 0 {
 		return nil, fmt.Errorf("loadgen: %d remote reads refused by their serving node (barrier ahead of delivered prefix — the prefix contract broke)", n)
@@ -1477,8 +1622,13 @@ func closedLoop(c *clientProc, worker int, cfg Config, stop <-chan struct{}, err
 // resolving asynchronously through the reply handler. Pacing is
 // burst-based: a millisecond ticker issues however many transactions the
 // elapsed time owes, so the offered rate is honored far beyond the
-// ticker resolution.
+// ticker resolution. With -sessions the loop runs session-multiplexed
+// instead (openLoopSessions).
 func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- error) {
+	if cfg.Sessions > 0 {
+		openLoopSessions(c, cfg, stop, errCh)
+		return
+	}
 	gen, err := newGen(c, 0, cfg)
 	if err != nil {
 		sendErr(errCh, err)
@@ -1520,6 +1670,62 @@ func openLoop(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- erro
 					break
 				}
 				m, meta := nextMessage(c, gen, cfg, seq)
+				c.issue(m, meta, false, false)
+			}
+		}
+	}
+}
+
+// openLoopSessions is the session-multiplexed open loop (-sessions):
+// the process's offered rate splits evenly across its virtual sessions
+// — round-robin, so the issue order over the shared connection
+// interleaves sessions while each session's own requests stay FIFO —
+// and every issuance passes that session's admission gate (token
+// bucket + outstanding cap, admission.go). A refused issuance is shed
+// on the spot and the loop moves on: one stalled session (its admitted
+// transactions stuck behind a latency spike) cannot make the process
+// queue work for it, and cannot stop the other sessions from issuing.
+// Admitted requests carry the session id on the envelope (FlagSession),
+// so replies resolve the session's barrier and outstanding slot.
+func openLoopSessions(c *clientProc, cfg Config, stop <-chan struct{}, errCh chan<- error) {
+	gen, err := newGen(c, 0, cfg)
+	if err != nil {
+		sendErr(errCh, err)
+		return
+	}
+	reads := readRNG(cfg, c.idx, 0)
+	gate := newAdmission(cfg)
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	start := time.Now()
+	seq := uint64(0)
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			owed := uint64(cfg.Rate * now.Sub(start).Seconds())
+			nowNs := now.UnixNano()
+			for seq < owed {
+				seq++
+				if readRoll(reads, cfg) {
+					if err := c.doRead(gen, cfg, stop, false); err != nil {
+						sendErr(errCh, err)
+						return
+					}
+					continue
+				}
+				s := c.sessions[seq%uint64(len(c.sessions))]
+				if !gate.admit(s, nowNs) {
+					if c.run.measuring.Load() {
+						c.run.shed.Add(1)
+					}
+					continue
+				}
+				m, meta := nextMessage(c, gen, cfg, seq)
+				m.Flags |= amcast.FlagSession
+				m.Session = s.id
+				meta.sess = s
 				c.issue(m, meta, false, false)
 			}
 		}

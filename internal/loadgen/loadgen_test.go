@@ -430,3 +430,102 @@ func TestFollowerReadsConfigContract(t *testing.T) {
 		t.Fatal("-read-workers without -execute accepted")
 	}
 }
+
+// TestRunSessionsOpenLoop is the session-multiplexed open loop end to
+// end on the in-memory transport: ~10^3 virtual sessions per client
+// ride the process's single connection, the adaptive controller runs
+// the nodes, and the report carries a validatable SLO section with a
+// controller trajectory.
+func TestRunSessionsOpenLoop(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Rate = 4000
+	cfg.Sessions = 1024
+	cfg.Adaptive = true
+	cfg.SLOMs = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Issued == 0 {
+		t.Fatalf("session-multiplexed run measured nothing: %+v", res)
+	}
+	slo := res.SLO
+	if slo == nil {
+		t.Fatalf("-slo-ms run produced no slo section: %+v", res)
+	}
+	if slo.TargetMs != 200 || slo.Sessions != 1024 {
+		t.Fatalf("slo config echo mangled: %+v", slo)
+	}
+	if slo.GoodCompleted > res.Completed {
+		t.Fatalf("good %d exceeds completed %d", slo.GoodCompleted, res.Completed)
+	}
+	if len(slo.Trajectory) == 0 {
+		t.Fatalf("no controller trajectory sampled over a %v window", cfg.Duration)
+	}
+	for i, p := range slo.Trajectory {
+		if p.Batch < 1 || p.FlushIntervalUs < 50 {
+			t.Fatalf("trajectory point %d outside the controller range: %+v", i, p)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "slo.json")
+	if err := NewReport(cfg, res).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateFile(path)
+	if err != nil {
+		t.Fatalf("slo report failed validation: %v", err)
+	}
+	if back.Results.SLO == nil || !back.Config.Adaptive || back.Config.Sessions != 1024 {
+		t.Fatalf("slo section lost in round trip: %+v", back.Config)
+	}
+}
+
+// TestRunSessionsTCP drives session multiplexing over loopback TCP with
+// store execution: many sessions share each client's one real socket,
+// session ids cross the wire codec, per-session FIFO rides the
+// connection's FIFO, and every execute-mode audit (verdicts, invariants,
+// replica digests) must still hold.
+func TestRunSessionsTCP(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Transport = "tcp"
+	cfg.Groups = 4
+	cfg.Rate = 2000
+	cfg.Sessions = 256
+	cfg.Adaptive = true
+	cfg.SLOMs = 500
+	cfg.Execute = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("nothing completed: %+v", res)
+	}
+	checkExecuteResult(t, res)
+	if res.SLO == nil {
+		t.Fatal("no slo section over TCP")
+	}
+}
+
+// TestRunSessionsShedUnderOverload overdrives a session-multiplexed
+// run far past capacity with a tight per-session budget: admission must
+// shed (not queue) the excess, and the shed count must be visible in
+// the SLO section's shed rate.
+func TestRunSessionsShedUnderOverload(t *testing.T) {
+	cfg := shortCfg()
+	cfg.Rate = 50000 // far past what the deployment completes
+	cfg.Sessions = 16
+	cfg.SessionOutstanding = 1
+	cfg.SessionBurst = 1
+	cfg.SLOMs = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("overdriven run shed nothing: %+v", res)
+	}
+	if res.SLO == nil || res.SLO.ShedRate <= 0 {
+		t.Fatalf("shed rate missing from slo section: %+v", res.SLO)
+	}
+}

@@ -55,6 +55,16 @@ type ReportConfig struct {
 	// TraceSample is the lifecycle-tracing interval (1 in N writes;
 	// 0 = tracing off).
 	TraceSample int `json:"trace_sample,omitempty"`
+	// Adaptive marks runs under the adaptive batching controller (the
+	// batch/flush-interval knobs above are then the ceiling, not the
+	// operating point). SLOTargetMs is the -slo-ms latency target;
+	// Sessions the multiplexed virtual-session count with its
+	// per-session admission knobs.
+	Adaptive           bool    `json:"adaptive,omitempty"`
+	SLOTargetMs        float64 `json:"slo_target_ms,omitempty"`
+	Sessions           int     `json:"sessions,omitempty"`
+	SessionOutstanding int     `json:"session_outstanding,omitempty"`
+	SessionBurst       int     `json:"session_burst,omitempty"`
 }
 
 // Report is the serialized benchmark outcome (BENCH_runtime.json).
@@ -123,6 +133,13 @@ func reportConfig(cfg Config) ReportConfig {
 	}
 	if cfg.TraceSample > 0 {
 		rc.TraceSample = cfg.TraceSample // negative = disabled: omit
+	}
+	rc.Adaptive = cfg.Adaptive
+	rc.SLOTargetMs = cfg.SLOMs
+	if cfg.Sessions > 0 {
+		rc.Sessions = cfg.Sessions
+		rc.SessionOutstanding = cfg.SessionOutstanding
+		rc.SessionBurst = cfg.SessionBurst
 	}
 	return rc
 }
@@ -273,6 +290,11 @@ func validateResult(label string, res *Result) error {
 			return err
 		}
 	}
+	if res.SLO != nil {
+		if err := validateSLO(label, res); err != nil {
+			return err
+		}
+	}
 	if d := res.Durable; d != nil {
 		if !d.DigestsMatch {
 			return fmt.Errorf("loadgen: %s: crash-recovery digests diverged", label)
@@ -300,6 +322,52 @@ func validateResult(label string, res *Result) error {
 			return fmt.Errorf("loadgen: %s: durable replay max %d exceeds total %d",
 				label, d.MaxReplayedEnvelopes, d.ReplayedEnvelopes)
 		}
+	}
+	return nil
+}
+
+// validateSLO sanity-checks the tail-latency section: a target must be
+// set (a targetless SLO section scores nothing), good completions are a
+// subset of completions, the shed rate must be a consistent fraction of
+// offered load, a run shedding more than it issued is operating past
+// any admissible envelope (the measurement is of the shed path, not the
+// system), and the controller trajectory must be a time-ordered series
+// of valid operating points.
+func validateSLO(label string, res *Result) error {
+	s := res.SLO
+	if s.TargetMs <= 0 {
+		return fmt.Errorf("loadgen: %s: slo section without a latency target", label)
+	}
+	if s.GoodCompleted > res.Completed {
+		return fmt.Errorf("loadgen: %s: slo good completions %d exceed completions %d",
+			label, s.GoodCompleted, res.Completed)
+	}
+	if res.Shed > res.Issued {
+		return fmt.Errorf("loadgen: %s: shed %d exceeds issued %d (the run measured shedding, not the system)",
+			label, res.Shed, res.Issued)
+	}
+	if s.ShedRate < 0 || s.ShedRate > 1 {
+		return fmt.Errorf("loadgen: %s: shed rate %v outside [0, 1]", label, s.ShedRate)
+	}
+	if offered := res.Issued + res.Shed; offered > 0 {
+		want := float64(res.Shed) / float64(offered)
+		if diff := s.ShedRate - want; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("loadgen: %s: shed rate %v inconsistent with shed %d of %d offered",
+				label, s.ShedRate, res.Shed, offered)
+		}
+	}
+	if s.GoodFraction < 0 || s.GoodFraction > 1 {
+		return fmt.Errorf("loadgen: %s: slo good fraction %v outside [0, 1]", label, s.GoodFraction)
+	}
+	prev := int64(-1)
+	for i, p := range s.Trajectory {
+		if p.Batch < 1 || p.FlushIntervalUs <= 0 || p.QueueDepth < 0 {
+			return fmt.Errorf("loadgen: %s: slo trajectory point %d invalid: %+v", label, i, p)
+		}
+		if p.TMs < prev {
+			return fmt.Errorf("loadgen: %s: slo trajectory not time-ordered at point %d", label, i)
+		}
+		prev = p.TMs
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ func registerTelemetry(r *run, dep *deployment, clients []*clientProc) {
 	reg.RegisterCounter("completed", r.completed.Load)
 	reg.RegisterCounter("reads", r.reads.Load)
 	reg.RegisterCounter("shed", r.shed.Load)
+	reg.RegisterCounter("slo_good", r.good.Load)
 	reg.RegisterCounter("lease_refusals", r.leaseRefusals.Load)
 	reg.RegisterCounter("remote_reads", r.remoteReads.Load)
 
@@ -58,6 +59,28 @@ func registerTelemetry(r *run, dep *deployment, clients []*clientProc) {
 		for _, nd := range nodes {
 			if l := nd.QueueLen(); l > max {
 				max = l
+			}
+		}
+		return float64(max)
+	})
+
+	// Adaptive controller operating point, live: the widest batch and
+	// longest flush interval any node is currently running at (static
+	// runs report the configured constants).
+	reg.RegisterGauge("adaptive_batch_max", func() float64 {
+		max := 0
+		for _, nd := range nodes {
+			if b, _ := nd.Operating(); b > max {
+				max = b
+			}
+		}
+		return float64(max)
+	})
+	reg.RegisterGauge("adaptive_flush_interval_us_max", func() float64 {
+		var max int64
+		for _, nd := range nodes {
+			if _, iv := nd.Operating(); iv.Microseconds() > max {
+				max = iv.Microseconds()
 			}
 		}
 		return float64(max)

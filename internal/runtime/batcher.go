@@ -107,6 +107,19 @@ func (b *Batcher) SetTracer(t *telemetry.Tracer) {
 	b.mu.Unlock()
 }
 
+// SetMax republishes the size cap — the adaptive controller's lever.
+// Batches already pending above a shrunk cap flush on the next Add or
+// FlushAll; lowering the cap to 1 keeps pass-through semantics for new
+// envelopes only, never reorders what is queued.
+func (b *Batcher) SetMax(max int) {
+	if max < 1 {
+		max = 1
+	}
+	b.mu.Lock()
+	b.max = max
+	b.mu.Unlock()
+}
+
 // isControl reports whether an envelope is latency-critical protocol
 // control traffic rather than payload propagation.
 func isControl(env amcast.Envelope) bool { return !env.Kind.IsPayload() }

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"flexcast/amcast"
+)
+
+// ctrlNopEngine is the minimal engine stub for wiring tests.
+type ctrlNopEngine struct{}
+
+func (ctrlNopEngine) Group() amcast.GroupID                      { return 1 }
+func (ctrlNopEngine) OnEnvelope(amcast.Envelope) []amcast.Output { return nil }
+func (ctrlNopEngine) TakeDeliveries() []amcast.Delivery          { return nil }
+
+func testController(minBatch, maxBatch int) *BatchController {
+	return NewBatchController(AdaptiveConfig{
+		MinBatch:    minBatch,
+		MaxBatch:    maxBatch,
+		MinInterval: 50 * time.Microsecond,
+		MaxInterval: 500 * time.Microsecond,
+	})
+}
+
+// TestControllerConvergesUp pins convergence under a load step: from the
+// latency floor, a steady deep queue must drive the batch to the ceiling
+// within log2(MaxBatch/MinBatch) ticks and hold it there.
+func TestControllerConvergesUp(t *testing.T) {
+	c := testController(1, 64)
+	const depth = 1024 // saturated queue
+	ticks := 0
+	for ; ticks < 64; ticks++ {
+		if b, _ := c.Tick(depth); b == 64 {
+			break
+		}
+	}
+	if ticks >= 64 {
+		t.Fatalf("controller never reached the ceiling under depth %d", depth)
+	}
+	if ticks > 6 { // log2(64/1)
+		t.Fatalf("converged in %d ticks, want <= 6", ticks)
+	}
+	for i := 0; i < 100; i++ {
+		if b, _ := c.Tick(depth); b != 64 {
+			t.Fatalf("left the ceiling on steady input: batch %d at tick %d", b, i)
+		}
+	}
+}
+
+// TestControllerConvergesDown pins the symmetric step: when load drops
+// to an empty queue, the batch must fall back to the floor within
+// log2(MaxBatch/MinBatch) ticks — and with it the flush interval, so an
+// idle node flushes promptly again.
+func TestControllerConvergesDown(t *testing.T) {
+	c := testController(1, 64)
+	for i := 0; i < 10; i++ {
+		c.Tick(1024)
+	}
+	ticks := 0
+	for ; ticks < 64; ticks++ {
+		if b, _ := c.Tick(0); b == 1 {
+			break
+		}
+	}
+	if ticks > 6 {
+		t.Fatalf("converged down in %d ticks, want <= 6", ticks)
+	}
+	if _, iv := c.Operating(); iv != 50*time.Microsecond {
+		t.Fatalf("interval at the floor is %v, want 50µs", iv)
+	}
+}
+
+// TestControllerBounded fuzzes depth series (including adversarial
+// extremes) and asserts the operating point never leaves
+// [MinBatch, MaxBatch] × [MinInterval, MaxInterval].
+func TestControllerBounded(t *testing.T) {
+	c := testController(2, 48)
+	rng := uint64(7)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng }
+	depths := []int{0, 1, 2, 1 << 20, 0, 47, 48, 49, 1, 1 << 30}
+	for i := 0; i < 10_000; i++ {
+		d := depths[next()%uint64(len(depths))]
+		b, iv := c.Tick(d)
+		if b < 2 || b > 48 {
+			t.Fatalf("tick %d (depth %d): batch %d outside [2,48]", i, d, b)
+		}
+		if iv < 50*time.Microsecond || iv > 500*time.Microsecond {
+			t.Fatalf("tick %d (depth %d): interval %v outside [50µs,500µs]", i, d, iv)
+		}
+	}
+}
+
+// TestControllerNoOscillation pins the hysteresis argument: for every
+// steady depth, once the controller stops moving it never moves again —
+// doubling/halving cannot jump across the band (HighWater ≥ 2·LowWater),
+// so a constant input has exactly one resting point.
+func TestControllerNoOscillation(t *testing.T) {
+	for depth := 0; depth <= 256; depth++ {
+		c := testController(1, 64)
+		prev, _ := c.Operating()
+		settledAt := -1
+		for i := 0; i < 32; i++ {
+			b, _ := c.Tick(depth)
+			if b != prev && settledAt >= 0 {
+				t.Fatalf("depth %d: batch moved %d→%d at tick %d after settling at tick %d",
+					depth, prev, b, i, settledAt)
+			}
+			if b == prev && settledAt < 0 {
+				settledAt = i
+			}
+			prev = b
+		}
+		if settledAt < 0 {
+			t.Fatalf("depth %d: controller never settled", depth)
+		}
+	}
+}
+
+// TestControllerMidbandHolds pins the hold case explicitly: a depth
+// inside the hysteresis band of the current batch must not move the
+// operating point at all.
+func TestControllerMidbandHolds(t *testing.T) {
+	c := testController(1, 64)
+	for i := 0; i < 10; i++ {
+		c.Tick(1024) // drive to the ceiling
+	}
+	// Occupancy 64/64 = 1.0 sits between LowWater 0.5 and HighWater 2.0.
+	for i := 0; i < 50; i++ {
+		if b, _ := c.Tick(64); b != 64 {
+			t.Fatalf("mid-band depth moved the batch to %d", b)
+		}
+	}
+}
+
+// TestControllerIntervalTracksBatch pins the coupling: the flush
+// interval is the linear image of the batch on
+// [MinInterval, MaxInterval], monotone in the batch.
+func TestControllerIntervalTracksBatch(t *testing.T) {
+	c := testController(1, 64)
+	_, lastIv := c.Operating()
+	for i := 0; i < 10; i++ {
+		b, iv := c.Tick(1 << 20)
+		if iv < lastIv {
+			t.Fatalf("interval shrank (%v → %v) while batch grew to %d", lastIv, iv, b)
+		}
+		lastIv = iv
+	}
+	if _, iv := c.Operating(); iv != 500*time.Microsecond {
+		t.Fatalf("interval at the ceiling is %v, want 500µs", iv)
+	}
+}
+
+// TestNodeAdaptiveOperating is the wiring smoke test: an adaptive node
+// starts at the latency floor (batch 1, MinInterval) instead of the
+// static ceiling, and Config.fill drops the adaptive config when
+// batching is off entirely.
+func TestNodeAdaptiveOperating(t *testing.T) {
+	cfg := Config{MaxBatch: 64, FlushInterval: 500 * time.Microsecond, Adaptive: &AdaptiveConfig{}}
+	cfg.fill()
+	if cfg.Adaptive == nil {
+		t.Fatal("fill dropped the adaptive config despite MaxBatch > 1")
+	}
+	if cfg.Adaptive.MaxBatch != 64 || cfg.Adaptive.MaxInterval != 500*time.Microsecond {
+		t.Fatalf("fill did not inherit the static ceiling: %+v", cfg.Adaptive)
+	}
+
+	off := Config{MaxBatch: 1, Adaptive: &AdaptiveConfig{}}
+	off.fill()
+	if off.Adaptive != nil {
+		t.Fatal("fill kept an adaptive config with batching off")
+	}
+
+	n := NewNode(ctrlNopEngine{}, func(amcast.NodeID, []amcast.Envelope) {}, cfg)
+	defer n.Close()
+	b, iv := n.Operating()
+	if b != 1 || iv != 50*time.Microsecond {
+		t.Fatalf("adaptive node starts at (%d, %v), want (1, 50µs)", b, iv)
+	}
+}

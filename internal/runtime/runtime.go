@@ -56,6 +56,13 @@ type Config struct {
 	// QueueDepth bounds the inbound queue in envelopes (default 1024) —
 	// the same effective buffering whatever MaxBatch is.
 	QueueDepth int
+	// Adaptive, when non-nil, puts the node under the latency-targeted
+	// batching controller (controller.go): MaxBatch and FlushInterval
+	// become the ceiling of an adaptive range instead of the operating
+	// point, and the node shrinks its effective batch and flush interval
+	// toward the floor whenever the inbound queue is shallow. Requires
+	// MaxBatch > 1 (with batching off there is nothing to adapt).
+	Adaptive *AdaptiveConfig
 	// OnDeliver observes every delivery after the client reply has been
 	// queued. Called from the node's worker goroutine. May be nil.
 	OnDeliver func(d amcast.Delivery)
@@ -86,6 +93,13 @@ func (c *Config) fill() {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 1024
 	}
+	if c.Adaptive != nil {
+		if c.MaxBatch <= 1 {
+			c.Adaptive = nil // nothing to adapt
+		} else {
+			c.Adaptive.fill(c.MaxBatch, c.FlushInterval)
+		}
+	}
 }
 
 // Node runs one group engine under the batched runtime: a single worker
@@ -106,12 +120,22 @@ type Node struct {
 	qcond   *sync.Cond
 	queue   []amcast.Envelope
 	stopped bool
+	// maxBatch is the effective chunk cap, read by take under qmu.
+	// Static nodes pin it at cfg.MaxBatch; adaptive nodes' flush loop
+	// republishes the controller's operating point every tick.
+	maxBatch int
 	// marks and blocked are the priority drain's reusable scratch
 	// (allocation-free selection; see takePriorityLocked).
 	marks   []bool
 	blocked []amcast.NodeID
 
 	batcher *Batcher
+
+	// ctrl is the adaptive batching controller (nil on static nodes);
+	// owned by flushLoop. intervalUs mirrors its current flush interval
+	// for the telemetry readers.
+	ctrl       *BatchController
+	intervalUs atomic.Int64
 
 	// Backpressure accounting: stalls counts Submit calls that blocked
 	// on a full queue, stallNs their total blocked time.
@@ -138,6 +162,13 @@ func NewNode(eng amcast.Engine, send SendBatchFunc, cfg Config) *Node {
 	}
 	n.batcher.SetTracer(cfg.Tracer)
 	n.qcond = sync.NewCond(&n.qmu)
+	n.maxBatch = cfg.MaxBatch
+	n.intervalUs.Store(cfg.FlushInterval.Microseconds())
+	if cfg.Adaptive != nil {
+		n.ctrl = NewBatchController(*cfg.Adaptive)
+		batch, interval := n.ctrl.Operating()
+		n.applyOperating(batch, interval)
+	}
 	n.wg.Add(1)
 	go n.worker()
 	if cfg.MaxBatch > 1 {
@@ -145,6 +176,28 @@ func NewNode(eng amcast.Engine, send SendBatchFunc, cfg Config) *Node {
 		go n.flushLoop()
 	}
 	return n
+}
+
+// applyOperating publishes a controller operating point: the chunk cap
+// for take, the batcher's size cap, and the telemetry mirror of the
+// flush interval.
+func (n *Node) applyOperating(batch int, interval time.Duration) {
+	n.qmu.Lock()
+	n.maxBatch = batch
+	n.qmu.Unlock()
+	n.batcher.SetMax(batch)
+	n.intervalUs.Store(interval.Microseconds())
+}
+
+// Operating reports the node's current effective (batch, flush
+// interval) — the static configuration on static nodes, the
+// controller's live operating point on adaptive ones. Telemetry and
+// the SLO trajectory sampler read it.
+func (n *Node) Operating() (batch int, interval time.Duration) {
+	n.qmu.Lock()
+	batch = n.maxBatch
+	n.qmu.Unlock()
+	return batch, time.Duration(n.intervalUs.Load()) * time.Microsecond
 }
 
 // ID returns the node's network address.
@@ -245,10 +298,10 @@ func (n *Node) take(buf []amcast.Envelope) []amcast.Envelope {
 		n.qcond.Wait()
 	}
 	k := len(n.queue)
-	if k > n.cfg.MaxBatch {
-		k = n.cfg.MaxBatch
+	if k > n.maxBatch {
+		k = n.maxBatch
 	}
-	if len(n.queue) > n.cfg.MaxBatch && n.cfg.MaxBatch > 1 {
+	if len(n.queue) > n.maxBatch && n.maxBatch > 1 {
 		// Backlogged: the unselected remainder waits at least one more
 		// chunk, so promotion changes real processing order — select.
 		buf = n.takePriorityLocked(buf, k)
@@ -386,14 +439,35 @@ func (n *Node) process(envs []amcast.Envelope) {
 
 // flushLoop is the periodic flush timer: it bounds the wait of output
 // batches parked while the worker is blocked on downstream backpressure.
+// On adaptive nodes it doubles as the controller's cadence — every fire
+// is one Tick on the current queue depth, and the interval until the
+// next fire is whatever the controller returned, so a latency-bound
+// node both flushes and re-samples fast while a loaded node relaxes to
+// the configured ceiling.
 func (n *Node) flushLoop() {
 	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.FlushInterval)
+	if n.ctrl == nil {
+		t := time.NewTicker(n.cfg.FlushInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				n.batcher.FlushTimer()
+			case <-n.stop:
+				return
+			}
+		}
+	}
+	_, interval := n.ctrl.Operating()
+	t := time.NewTimer(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
 			n.batcher.FlushTimer()
+			batch, interval := n.ctrl.Tick(n.QueueLen())
+			n.applyOperating(batch, interval)
+			t.Reset(interval)
 		case <-n.stop:
 			return
 		}
